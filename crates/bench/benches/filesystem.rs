@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for MiniExt: file write/read throughput and
+//! fsck's full-check latency — context for Table II's recovery-path costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use insider_fs::{fsck, FsConfig, MemDev, MiniExt};
+use std::hint::black_box;
+
+fn populated() -> MiniExt<MemDev> {
+    let mut fs = MiniExt::format(MemDev::new(2048, 4096), &FsConfig::default()).unwrap();
+    for i in 0..64 {
+        let content = vec![(i % 251) as u8; 4096 * (1 + i % 10)];
+        fs.write_file(&format!("file{i:02}"), &content).unwrap();
+    }
+    fs
+}
+
+fn bench_fs_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miniext");
+
+    let mut fs = populated();
+    let payload = vec![0xa5u8; 24_000];
+    let mut i = 0u64;
+    group.bench_function("overwrite_24k_file", |b| {
+        b.iter(|| {
+            i += 1;
+            fs.write_file(&format!("file{:02}", i % 64), black_box(&payload))
+                .unwrap();
+        })
+    });
+
+    let mut fs = populated();
+    let mut i = 0u64;
+    group.bench_function("read_file", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(fs.read_file(&format!("file{:02}", i % 64)).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_fsck(c: &mut Criterion) {
+    c.bench_function("fsck_clean_2048_blocks", |b| {
+        b.iter_batched(
+            || populated().into_dev(),
+            |dev| {
+                let (report, dev) = fsck(dev).unwrap();
+                assert!(report.is_clean());
+                black_box(dev)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_fs_ops, bench_fsck);
+criterion_main!(benches);

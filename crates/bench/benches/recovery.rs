@@ -1,0 +1,62 @@
+//! Criterion benchmark of the instant-recovery claim: rolling back a
+//! mapping table with thousands of in-window backup entries must complete
+//! in well under a second (the paper reports < 1 s for a full drive).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insider_ftl::{Ftl, FtlConfig, InsiderFtl};
+use insider_nand::{Geometry, Lba, SimTime};
+use std::hint::black_box;
+
+fn geometry() -> Geometry {
+    Geometry::builder()
+        .channels(2)
+        .chips_per_channel(4)
+        .blocks_per_chip(256)
+        .pages_per_block(64)
+        .page_size(4096)
+        .build()
+}
+
+/// Builds a drive with `entries` in-window backup entries awaiting rollback.
+fn infected_ftl(entries: u64) -> InsiderFtl {
+    let mut ftl = InsiderFtl::new(FtlConfig::new(geometry()));
+    // Original files, written long before the attack.
+    for i in 0..entries {
+        ftl.write(Lba::new(i), Bytes::from_static(b"plain"), SimTime::ZERO)
+            .unwrap();
+    }
+    // The attack overwrites all of them within the window.
+    let t = SimTime::from_secs(100);
+    for i in 0..entries {
+        ftl.write(Lba::new(i), Bytes::from_static(b"cipher"), t)
+            .unwrap();
+    }
+    ftl
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback");
+    group.sample_size(20);
+    for entries in [1_000u64, 10_000, 50_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                b.iter_batched(
+                    || infected_ftl(entries),
+                    |mut ftl| {
+                        let report = ftl.rollback(SimTime::from_secs(101)).unwrap();
+                        assert_eq!(report.restored, entries);
+                        black_box(report)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollback);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Runs the entire evaluation — every table and figure plus the ablations —
+//! and writes one combined report.
+//!
+//! Usage: `cargo run --release -p insider-bench --bin all [-- out.md]`
+//!
+//! This shells out to the sibling binaries (they are self-contained and
+//! individually documented) so the report matches exactly what each one
+//! prints on its own. Expect a few minutes of wall time at the default
+//! (paper-scale) parameters.
+
+use std::io::Write;
+use std::process::{Command, ExitCode};
+
+/// The experiments in presentation order: `(binary, args, heading)`.
+const EXPERIMENTS: &[(&str, &[&str], &str)] = &[
+    ("table1", &[], "Table I — scenario matrix"),
+    ("fig1", &["60"], "Fig. 1 — overwriting behavior"),
+    ("fig2", &["60"], "Fig. 2 — the six features"),
+    ("fig7", &["20", "90"], "Fig. 7 — detection accuracy"),
+    ("fig8", &["20"], "Fig. 8 — per-I/O software overhead"),
+    ("fig9", &["120"], "Fig. 9 — GC cost of delayed deletion"),
+    ("table2", &["100"], "Table II — consistency after rollback"),
+    ("table3", &["30"], "Table III — DRAM requirements"),
+    ("ablation", &["5", "60"], "Ablations — features, window, slice"),
+];
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "evaluation.md".to_string());
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf();
+
+    let mut report = String::new();
+    report.push_str("# SSD-Insider reproduction — full evaluation run\n");
+
+    for (bin, args, heading) in EXPERIMENTS {
+        eprintln!("== running {bin} {args:?} ==");
+        let output = Command::new(exe_dir.join(bin))
+            .args(*args)
+            .output()
+            .unwrap_or_else(|e| panic!("cannot launch {bin}: {e}"));
+        if !output.status.success() {
+            eprintln!(
+                "{bin} failed ({}):\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            );
+            return ExitCode::FAILURE;
+        }
+        report.push_str(&format!("\n## {heading}\n\n```text\n"));
+        report.push_str(&String::from_utf8_lossy(&output.stdout));
+        report.push_str("```\n");
+    }
+
+    let mut file = std::fs::File::create(&out_path).expect("create report file");
+    file.write_all(report.as_bytes()).expect("write report");
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,73 @@
+//! Why six features and a tree? — comparison against naive single-feature
+//! baselines.
+//!
+//! The paper motivates its feature set by showing OWIO alone cannot separate
+//! ransomware from wipers and DB updates (§III-A). This experiment makes the
+//! point quantitatively: a family of "OWIO > k" threshold detectors (the
+//! naive overwrite counter a simpler design would use) is swept against the
+//! trained six-feature ID3 tree on the same test runs.
+//!
+//! Usage: `cargo run --release -p insider-bench --bin baseline_compare [reps] [duration_secs]`
+
+use insider_bench::outcome::{RateAccumulator, RunOutcome};
+use insider_bench::{render_table, replay_detector, train_tree};
+use insider_detect::{DecisionTree, DetectorConfig};
+use insider_nand::SimTime;
+use insider_workloads::table1;
+
+fn evaluate(tree: DecisionTree, runs: &[(insider_workloads::Scenario, u64)], config: DetectorConfig, duration: SimTime) -> (f64, f64) {
+    let mut acc = RateAccumulator::new();
+    for (scenario, seed) in runs {
+        let run = scenario.build(*seed, duration);
+        let verdicts = replay_detector(&run.trace, tree.clone(), config);
+        acc.add(&RunOutcome::new(verdicts, run.active, config.slice), config.threshold);
+    }
+    (acc.frr_pct(), acc.far_pct())
+}
+
+fn main() {
+    let reps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let duration_secs: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    let duration = SimTime::from_secs(duration_secs);
+    let config = DetectorConfig::default();
+
+    let runs: Vec<(insider_workloads::Scenario, u64)> = table1()
+        .into_iter()
+        .filter(|s| !s.training)
+        .flat_map(|s| (0..reps).map(move |r| (s, 0xBA5E ^ (r * 6151 + 3))))
+        .collect();
+
+    println!("== Naive 'OWIO > k' detectors vs the six-feature ID3 tree ==\n");
+    let mut rows = Vec::new();
+    for k in [1.0, 10.0, 30.0, 100.0, 300.0, 1000.0] {
+        eprintln!("sweeping OWIO > {k}...");
+        let (frr, far) = evaluate(DecisionTree::stump(0, k), &runs, config, duration);
+        rows.push(vec![
+            format!("OWIO > {k}"),
+            format!("{frr:.1}"),
+            format!("{far:.1}"),
+        ]);
+    }
+    eprintln!("training full tree...");
+    let tree = train_tree(&config);
+    let (frr, far) = evaluate(tree, &runs, config, duration);
+    rows.push(vec![
+        "six-feature ID3 tree".to_string(),
+        format!("{frr:.1}"),
+        format!("{far:.1}"),
+    ]);
+    println!(
+        "{}",
+        render_table(&["detector", "FRR %", "FAR %"], &rows)
+    );
+    println!();
+    println!("Expected shape: every single-threshold detector trades FRR against");
+    println!("FAR (low k flags wipers/DB; high k misses slow families); the tree");
+    println!("achieves ~0/0 on the same runs — the paper's case for six features.");
+}

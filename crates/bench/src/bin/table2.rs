@@ -1,0 +1,241 @@
+//! Table II — file-system consistency after attack + rollback.
+//!
+//! Repeats the paper's §V-B consistency experiment: a MiniExt filesystem on
+//! an SSD-Insider device is exposed to a custom in-place ransomware while
+//! benign writes churn in the background. Once the device raises the alarm
+//! the user confirms, the drive rolls back one window, the host "reboots"
+//! and runs fsck. The experiment records which corruption classes fsck
+//! found, whether a second pass is clean, whether every victim file's
+//! plaintext was recovered byte-for-byte, and how long recovery took.
+//!
+//! Usage: `cargo run --release -p insider-bench --bin table2 [iterations]`
+//! (default 100, as in the paper)
+
+use insider_bench::{render_table, train_tree};
+use insider_detect::DetectorConfig;
+use insider_ftl::FtlConfig;
+use insider_fs::{fsck, FsConfig, MiniExt};
+use insider_nand::{Geometry, SimTime};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ssd_insider::{DeviceState, FsBridge, InsiderConfig, SsdInsider};
+use std::time::Instant;
+
+fn device_geometry() -> Geometry {
+    Geometry::builder()
+        .channels(2)
+        .chips_per_channel(2)
+        .blocks_per_chip(64)
+        .pages_per_block(64)
+        .page_size(4096)
+        .build()
+}
+
+struct IterationOutcome {
+    report: insider_fs::FsckReport,
+    second_pass_clean: bool,
+    files_not_recovered: usize,
+    files_left_encrypted: usize,
+    recovery_secs: f64,
+    restored_entries: u64,
+}
+
+fn run_iteration(tree: &insider_detect::DecisionTree, seed: u64) -> IterationOutcome {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let config = InsiderConfig::from_parts(
+        FtlConfig::new(device_geometry()),
+        DetectorConfig::default(),
+    );
+    let device = SsdInsider::new(config, tree.clone());
+    let bridge = FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(500));
+    let mut fs = MiniExt::format(bridge, &FsConfig { inode_count: 128 }).unwrap();
+
+    // Lay down the victim corpus.
+    let mut victims = Vec::new();
+    for i in 0..24 {
+        let blocks = rng.random_range(1..=16u32);
+        let mut content = vec![0u8; blocks as usize * 4096 - rng.random_range(0..4000)];
+        rng.fill(&mut content[..]);
+        let name = format!("victim{i:02}");
+        fs.write_file(&name, &content).unwrap();
+        victims.push((name, content));
+    }
+    // Age the corpus well past the protection window.
+    let safe_at = fs.dev_mut().now() + SimTime::from_secs(40);
+    fs.dev_mut().advance(safe_at);
+
+    // Benign churn helper: rewrite rotating scratch files so metadata
+    // updates are in flight nearly all the time.
+    let mut scratch_step = 0usize;
+    let mut churn = |fs: &mut MiniExt<FsBridge>, rng: &mut rand::rngs::StdRng| {
+        for _ in 0..4 {
+            let blocks = rng.random_range(16..=64u32);
+            let mut content = vec![0u8; blocks as usize * 4096];
+            rng.fill(&mut content[..]);
+            fs.write_file(&format!("scratch{}", scratch_step % 8), &content)
+                .unwrap();
+            scratch_step += 1;
+        }
+        let pause = fs.dev_mut().now() + SimTime::from_millis(rng.random_range(40..120));
+        fs.dev_mut().advance(pause);
+    };
+
+    // Pre-attack phase: ≥ 12 s of ordinary write activity, so the eventual
+    // rollback point (10 s before detection) lands amid metadata updates —
+    // the paper's hosts were likewise busy when the attack began. Any alarm
+    // the churn alone raises is dismissed like a user would.
+    let churn_until = fs.dev_mut().now() + SimTime::from_secs(12);
+    while fs.dev_mut().now() < churn_until {
+        churn(&mut fs, &mut rng);
+        if fs.dev_mut().device().state() == DeviceState::Suspicious {
+            fs.dev_mut().device_mut().dismiss_alarm().unwrap();
+        }
+    }
+
+    // Attack loop: encrypt victims one by one while benign churn keeps the
+    // metadata in flight, so the rollback point lands mid-update.
+    let mut order: Vec<usize> = (0..victims.len()).collect();
+    order.shuffle(&mut rng);
+    let mut encrypted_upto = 0;
+    for (step, &v) in order.iter().enumerate() {
+        let _ = step;
+        let (name, _) = &victims[v];
+        let plain = fs.read_file(name).unwrap();
+        let cipher: Vec<u8> = plain.iter().map(|b| b ^ 0xa5).collect();
+        fs.write_file(name, &cipher).unwrap();
+        // Real ransomware also renames its victims (".locked"); the rename
+        // is pure metadata churn at the block layer, and rollback must
+        // restore the original directory entry too.
+        fs.rename(name, &format!("{name}.lk")).unwrap();
+        encrypted_upto = step + 1;
+
+        churn(&mut fs, &mut rng);
+        if fs.dev_mut().device().state() == DeviceState::Suspicious {
+            break;
+        }
+    }
+    assert!(
+        fs.dev_mut().device().state() == DeviceState::Suspicious,
+        "detector must fire during the attack (encrypted {encrypted_upto} files)"
+    );
+
+    // User confirms; drive rolls back; host reboots and runs fsck.
+    let now = fs.dev_mut().now();
+    let mut bridge = fs.into_dev();
+    let wall = Instant::now();
+    let rollback = bridge.device_mut().confirm_and_recover(now).unwrap();
+    let recovery_secs = wall.elapsed().as_secs_f64();
+    bridge.device_mut().reboot().unwrap();
+
+    let (report, bridge) = fsck(bridge).unwrap();
+    let (second, bridge) = fsck(bridge).unwrap();
+
+    // Verify plaintext recovery.
+    let mut fs = MiniExt::mount(bridge).unwrap();
+    let mut not_recovered = 0;
+    let mut left_encrypted = 0;
+    for (name, original) in &victims {
+        let content = fs.read_file(name).unwrap_or_default();
+        if &content != original {
+            not_recovered += 1;
+            let cipher: Vec<u8> = original.iter().map(|b| b ^ 0xa5).collect();
+            if content == cipher {
+                left_encrypted += 1;
+            }
+        }
+    }
+
+    IterationOutcome {
+        report,
+        second_pass_clean: second.is_clean(),
+        files_not_recovered: not_recovered,
+        files_left_encrypted: left_encrypted,
+        recovery_secs,
+        restored_entries: rollback.restored,
+    }
+}
+
+fn main() {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+
+    eprintln!("training ID3 tree...");
+    let tree = train_tree(&DetectorConfig::default());
+
+    let mut corrupted_runs = [0u64; 4]; // free-count, inode-count, bitmap, none
+    let mut unresolved = 0u64;
+    let mut not_recovered_runs = 0u64;
+    let mut encrypted_left_runs = 0u64;
+    let mut recovery_times = Vec::new();
+    let mut restored_total = 0u64;
+
+    for i in 0..iterations {
+        if i % 10 == 0 {
+            eprintln!("iteration {i}/{iterations}...");
+        }
+        let out = run_iteration(&tree, 0x7AB2 + i);
+        if out.report.wrong_free_block_count > 0 {
+            corrupted_runs[0] += 1;
+        }
+        if out.report.wrong_inode_block_count > 0 {
+            corrupted_runs[1] += 1;
+        }
+        if out.report.free_space_bitmap > 0 {
+            corrupted_runs[2] += 1;
+        }
+        if out.report.is_clean() {
+            corrupted_runs[3] += 1;
+        }
+        if !out.second_pass_clean {
+            unresolved += 1;
+        }
+        if out.files_not_recovered > 0 {
+            not_recovered_runs += 1;
+        }
+        if out.files_left_encrypted > 0 {
+            encrypted_left_runs += 1;
+        }
+        recovery_times.push(out.recovery_secs);
+        restored_total += out.restored_entries;
+    }
+
+    println!("== Table II: file-system consistency checks over {iterations} attack/rollback cycles ==\n");
+    let rows = vec![
+        vec!["No corruption".to_string(), corrupted_runs[3].to_string()],
+        vec![
+            "Wrong free-block count".to_string(),
+            corrupted_runs[0].to_string(),
+        ],
+        vec![
+            "Wrong inode-block count".to_string(),
+            corrupted_runs[1].to_string(),
+        ],
+        vec![
+            "Free-space bitmap".to_string(),
+            corrupted_runs[2].to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["Type of corruption", "# of occurrences"], &rows)
+    );
+    println!("corruptions not resolved by fsck:        {unresolved} / {iterations} runs");
+    println!("runs with files left encrypted:          {encrypted_left_runs} / {iterations} runs");
+    println!(
+        "runs with any unrecovered file content:  {not_recovered_runs} / {iterations} runs"
+    );
+    let mean_rec = insider_bench::stats::mean(&recovery_times);
+    let max_rec = insider_bench::stats::max(&recovery_times);
+    println!(
+        "recovery time: mean {:.3} ms, max {:.3} ms ({} mapping entries restored on average)",
+        mean_rec * 1e3,
+        max_rec * 1e3,
+        restored_total / iterations.max(1)
+    );
+    println!();
+    println!("Expected shape (paper): corruptions occur (the rollback point lands");
+    println!("mid-update) but fsck resolves every one; zero files stay encrypted and");
+    println!("recovery completes in well under 1 second.");
+}

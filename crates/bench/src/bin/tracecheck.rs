@@ -1,0 +1,86 @@
+//! Trace import tool — the counterpart of `tracegen`: loads an exported
+//! trace JSON and runs the trained detector over it, printing the verdict
+//! timeline and the run-level outcome. Lets external tooling (or manually
+//! edited traces) be scored exactly like the built-in experiments.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin tracecheck -- trace.json
+
+use insider_bench::outcome::RunOutcome;
+use insider_bench::{replay_detector, train_tree};
+use insider_detect::DetectorConfig;
+use insider_workloads::{ActivePeriod, Trace};
+use serde::Deserialize;
+use std::process::ExitCode;
+
+/// The document `tracegen` writes.
+#[derive(Deserialize)]
+struct TraceDoc {
+    scenario: String,
+    #[serde(default)]
+    active_period: Option<ActivePeriod>,
+    requests: Trace,
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: tracecheck <trace.json>  (produce one with the tracegen binary)");
+        return ExitCode::FAILURE;
+    };
+    let doc: TraceDoc = match std::fs::read_to_string(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = DetectorConfig::default();
+    eprintln!("training/loading ID3 tree...");
+    let tree = train_tree(&config);
+
+    println!(
+        "== {} — {} requests, {:.1} s ==\n",
+        doc.scenario,
+        doc.requests.len(),
+        doc.requests.duration().as_secs_f64()
+    );
+    let verdicts = replay_detector(&doc.requests, tree, config);
+    println!("slice  vote  score  alarm");
+    for v in &verdicts {
+        if v.vote || v.alarm || v.score > 0 {
+            println!(
+                "{:>5}  {:>4}  {:>5}  {}",
+                v.slice,
+                if v.vote { "RW" } else { "-" },
+                v.score,
+                if v.alarm { "ALARM" } else { "" }
+            );
+        }
+    }
+
+    let outcome = RunOutcome::new(verdicts, doc.active_period, config.slice);
+    match doc.active_period {
+        Some(p) => {
+            println!("\nground truth: attack active {} → {}", p.start, p.end);
+            match outcome.detection_latency(config.threshold) {
+                Some(lat) => println!("DETECTED {lat} after the attack started"),
+                None => println!("MISSED (no alarm during the attack)"),
+            }
+            if outcome.is_false_alarm(config.threshold) {
+                println!("note: a false alarm also fired before the attack");
+            }
+        }
+        None => {
+            if outcome.is_false_alarm(config.threshold) {
+                println!("\nFALSE ALARM on a benign trace");
+            } else {
+                println!("\nclean: no alarms on a benign trace");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,82 @@
+//! Trace export tool: generates any Table I scenario (or a single workload)
+//! and writes the block-I/O trace as JSON for external analysis — useful
+//! for feeding other detectors or plotting tools with the same streams the
+//! experiments use.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin tracegen -- list
+//!   cargo run --release -p insider-bench --bin tracegen -- `<row#> <seed> <duration_s> <out.json>`
+
+use insider_bench::render_table;
+use insider_nand::SimTime;
+use insider_workloads::table1;
+use std::process::ExitCode;
+
+fn list() {
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                i.to_string(),
+                if s.training { "train" } else { "test" }.to_string(),
+                s.class.name().to_string(),
+                s.name(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["row", "split", "class", "scenario"], &rows)
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some(row_arg) => {
+            let usage = "usage: tracegen <row#> <seed> <duration_s> <out.json>";
+            let (Ok(row), Some(seed), Some(dur), Some(path)) = (
+                row_arg.parse::<usize>(),
+                args.get(1).and_then(|a| a.parse::<u64>().ok()),
+                args.get(2).and_then(|a| a.parse::<u64>().ok()),
+                args.get(3),
+            ) else {
+                eprintln!("{usage}");
+                return ExitCode::FAILURE;
+            };
+            let scenarios = table1();
+            let Some(scenario) = scenarios.get(row) else {
+                eprintln!("row {row} out of range (0..{})", scenarios.len());
+                return ExitCode::FAILURE;
+            };
+            let run = scenario.build(seed, SimTime::from_secs(dur));
+            let doc = serde_json::json!({
+                "scenario": scenario.name(),
+                "class": scenario.class.name(),
+                "seed": seed,
+                "duration_secs": dur,
+                "active_period": run.active,
+                "requests": run.trace,
+            });
+            match std::fs::write(path, serde_json::to_string(&doc).expect("serializable")) {
+                Ok(()) => {
+                    eprintln!(
+                        "wrote {} requests ({}) to {path}",
+                        run.trace.len(),
+                        scenario.name()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Training the deployed decision tree from Table I's training split.
+
+use insider_detect::{DecisionTree, DetectorConfig, Id3Params, Sample, TrainingSet};
+use insider_nand::SimTime;
+use insider_workloads::table1;
+use std::path::PathBuf;
+
+/// Seeds used for the training replays (the paper runs each combination
+/// multiple times; three seeded runs per training row keep the harness fast
+/// while still averaging out generator noise).
+pub const TRAIN_SEEDS: [u64; 8] = [101, 202, 303, 404, 505, 606, 707, 808];
+
+/// Duration of each training trace.
+pub fn training_duration() -> SimTime {
+    SimTime::from_secs(60)
+}
+
+/// Builds the labeled training set from the Table I training rows and
+/// trains the ID3 tree the experiments deploy.
+///
+/// Training rows never include the test-split ransomware families, so all
+/// detection results measure generalization to unknown ransomware.
+pub fn train_tree(config: &DetectorConfig) -> DecisionTree {
+    // Training replays the full Table I training split (15-30 s), so the
+    // result is cached on disk keyed by the detector config. Delete the
+    // cache file or set INSIDER_RETRAIN=1 after changing the workload
+    // generators or the trainer.
+    let cache = cache_path(config);
+    if std::env::var_os("INSIDER_RETRAIN").is_none() {
+        if let Some(tree) = std::fs::read_to_string(&cache)
+            .ok()
+            .and_then(|json| DecisionTree::from_json(&json).ok())
+        {
+            eprintln!("(using cached tree from {})", cache.display());
+            return tree;
+        }
+    }
+    let tree = train_tree_uncached(config);
+    if let Ok(json) = tree.to_json() {
+        let _ = std::fs::create_dir_all(cache.parent().expect("cache path has a parent"));
+        let _ = std::fs::write(&cache, json);
+    }
+    tree
+}
+
+/// Bump when the training recipe changes (labeling, weighting, seeds,
+/// Id3Params) so stale cached trees are never reused.
+const TRAINING_RECIPE_VERSION: u32 = 2;
+
+fn cache_path(config: &DetectorConfig) -> PathBuf {
+    let dir = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    dir.join(format!(
+        "insider-tree-v{}-{}us-{}w{}.json",
+        TRAINING_RECIPE_VERSION,
+        config.slice.as_micros(),
+        config.window_slices,
+        if config.owst_over_window { "-owstw" } else { "" }
+    ))
+}
+
+/// [`train_tree`] without the disk cache.
+///
+/// Positive (ransomware-active) samples are weighted 3× by replication:
+/// the paper's priority is FRR 0 % — a missed attack destroys data, while a
+/// false alarm costs one user prompt — so decision boundaries are pushed
+/// into ambiguous regions (early data-wiping slices look genuinely
+/// ransomware-like) at the cost of a few per-run false alarms, exactly the
+/// ≤5 % FAR trade the paper reports for heavy overwriting.
+pub fn train_tree_uncached(config: &DetectorConfig) -> DecisionTree {
+    let mut samples = training_samples(config);
+    let positives: Vec<_> = samples.iter().copied().filter(|s| s.label).collect();
+    for _ in 0..2 {
+        samples.extend(positives.iter().copied());
+    }
+    DecisionTree::train(&samples, &Id3Params::default())
+}
+
+/// Labels one training run: a slice is positive iff the ransomware issued
+/// destructive I/O in it (see
+/// [`ScenarioTrace::ransom_activity_slices`](insider_workloads::ScenarioTrace)).
+fn add_run(set: &mut TrainingSet, run: &insider_workloads::ScenarioTrace, config: &DetectorConfig, duration: SimTime) {
+    let active = run.ransom_activity_slices(config.slice);
+    set.add_trace(run.trace.reqs(), duration, |slice_idx| {
+        active.contains(&slice_idx)
+    });
+}
+
+/// The labeled per-slice samples from replaying the Table I training split
+/// under `config` — shared by the trainer and the ablation study so both
+/// always see the same distribution.
+pub fn training_samples(config: &DetectorConfig) -> Vec<Sample> {
+    let duration = training_duration();
+    let mut set = TrainingSet::for_config(config);
+    for scenario in table1().into_iter().filter(|s| s.training) {
+        for seed in TRAIN_SEEDS {
+            let run = scenario.build(seed, duration);
+            add_run(&mut set, &run, config, duration);
+        }
+    }
+    set.samples().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_produces_a_nontrivial_tree() {
+        let tree = train_tree(&DetectorConfig::default());
+        assert!(tree.depth() >= 1, "tree must actually split:\n{}", tree.render());
+        assert!(tree.node_count() >= 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared experiment harness for the SSD-Insider reproduction.
+//!
+//! Each table and figure of the paper has a binary in `src/bin/` (`fig1`,
+//! `fig2`, `fig7`, `fig8`, `fig9`, `table1`, `table2`, `table3`); this
+//! library holds the pieces they share — training the deployed decision
+//! tree, replaying traces through detectors/FTLs/devices, and scoring
+//! detection outcomes. Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod outcome;
+pub mod replay;
+pub mod stats;
+pub mod tablefmt;
+
+pub use harness::{train_tree, train_tree_uncached, training_duration, training_samples, TRAIN_SEEDS};
+pub use replay::feature_series;
+pub use outcome::RunOutcome;
+pub use replay::{prefill_ftl, replay_detector, replay_device, replay_ftl, replay_geometry, small_space};
+pub use tablefmt::render_table;

@@ -1,0 +1,30 @@
+//! # insider-cli
+//!
+//! An interactive console for driving an [`SsdInsider`] device by hand:
+//! issue reads and writes, stage a ransomware-style attack, watch the
+//! detector's score climb, confirm recovery and verify the rollback.
+//!
+//! [`SsdInsider`]: ssd_insider::SsdInsider
+//!
+//! The command interpreter is a library (`Console`) so it is unit-testable
+//! and scriptable; `insider-console` wraps it in a stdin/stdout REPL.
+//!
+//! ```text
+//! $ cargo run --release -p insider-cli
+//! ssd-insider console — type 'help'
+//! > write 10 hello world
+//! ok: wrote 11 bytes at lba:10 (t=0.000s)
+//! > attack 10 20
+//! ...
+//! > status
+//! state: suspicious (alarm pending)  score: 10/10  t: 24.000s
+//! > recover
+//! rolled back 40 entries; drive is read-only until 'reboot'
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod console;
+
+pub use console::{Console, ConsoleError};

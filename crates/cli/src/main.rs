@@ -1,0 +1,33 @@
+//! `insider-console` — interactive REPL over an SSD-Insider device.
+//!
+//! Run with: `cargo run --release -p insider-cli`
+//! Pipe a script: `echo -e "write 1 hi\nstatus" | cargo run --release -p insider-cli`
+
+use insider_cli::Console;
+use std::io::{self, BufRead, Write};
+
+fn main() -> io::Result<()> {
+    let mut console = Console::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+
+    println!("ssd-insider console — type 'help' (ctrl-d to exit)");
+    loop {
+        print!("> ");
+        stdout.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            println!();
+            return Ok(());
+        }
+        let line = line.trim();
+        if line == "exit" || line == "quit" {
+            return Ok(());
+        }
+        match console.execute(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

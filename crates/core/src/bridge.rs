@@ -1,0 +1,169 @@
+//! Adapter mounting a MiniExt filesystem on an SSD-Insider device.
+
+use crate::device::SsdInsider;
+use crate::DeviceError;
+use bytes::Bytes;
+use insider_fs::{BlockDev, FsError};
+use insider_nand::{Lba, SimTime};
+
+/// Bridges [`SsdInsider`] to the [`BlockDev`] trait so MiniExt can mount on
+/// it (the Table II consistency experiment).
+///
+/// The filesystem layer is timeless, so the bridge carries a clock: every
+/// block operation happens at the current clock value, and the driver
+/// advances the clock with [`FsBridge::advance`] (or a fixed
+/// [`per_op`](FsBridge::new) increment) to model real time passing.
+#[derive(Debug)]
+pub struct FsBridge {
+    device: SsdInsider,
+    now: SimTime,
+    per_op: SimTime,
+}
+
+impl FsBridge {
+    /// Wraps `device`, starting the clock at `start` and advancing it by
+    /// `per_op` after every block operation.
+    pub fn new(device: SsdInsider, start: SimTime, per_op: SimTime) -> Self {
+        FsBridge {
+            device,
+            now: start,
+            per_op,
+        }
+    }
+
+    /// The current clock value.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Jumps the clock forward to `now` (panics in debug if moving backwards).
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.now, "clock must not move backwards");
+        self.now = now;
+        self.device.poll(now);
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &SsdInsider {
+        &self.device
+    }
+
+    /// Mutable access to the wrapped device (alarm handling, recovery).
+    pub fn device_mut(&mut self) -> &mut SsdInsider {
+        &mut self.device
+    }
+
+    /// Unwraps the device.
+    pub fn into_device(self) -> SsdInsider {
+        self.device
+    }
+
+    fn tick(&mut self) {
+        self.now += self.per_op;
+    }
+}
+
+fn to_fs_error(e: DeviceError) -> FsError {
+    FsError::Device(e.to_string())
+}
+
+impl BlockDev for FsBridge {
+    fn read_block(&mut self, index: u64) -> insider_fs::Result<Option<Bytes>> {
+        let out = self
+            .device
+            .read(Lba::new(index), self.now)
+            .map_err(to_fs_error);
+        self.tick();
+        out
+    }
+
+    fn write_block(&mut self, index: u64, data: Bytes) -> insider_fs::Result<()> {
+        let out = self
+            .device
+            .write(Lba::new(index), data, self.now)
+            .map_err(to_fs_error);
+        self.tick();
+        out
+    }
+
+    fn trim_block(&mut self, index: u64) -> insider_fs::Result<()> {
+        let out = self
+            .device
+            .trim(Lba::new(index), self.now)
+            .map_err(to_fs_error);
+        self.tick();
+        out
+    }
+
+    fn block_size(&self) -> u32 {
+        self.device.ftl().config().geometry().page_size()
+    }
+
+    fn block_count(&self) -> u64 {
+        self.device.logical_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InsiderConfig;
+    use crate::state::DeviceState;
+    use insider_detect::DecisionTree;
+    use insider_fs::{FsConfig, MiniExt};
+    use insider_nand::Geometry;
+
+    fn bridge(tree: DecisionTree) -> FsBridge {
+        let geometry = Geometry::builder()
+            .blocks_per_chip(64)
+            .pages_per_block(16)
+            .page_size(4096)
+            .build();
+        let device = SsdInsider::new(InsiderConfig::new(geometry), tree);
+        FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(50))
+    }
+
+    #[test]
+    fn filesystem_mounts_and_works_on_the_device() {
+        let b = bridge(DecisionTree::constant(false));
+        let mut fs = MiniExt::format(b, &FsConfig { inode_count: 64 }).unwrap();
+        fs.write_file("hello.txt", b"from miniext on ssd-insider").unwrap();
+        assert_eq!(
+            fs.read_file("hello.txt").unwrap(),
+            b"from miniext on ssd-insider"
+        );
+        let bridge = fs.into_dev();
+        assert!(bridge.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn fs_level_ransomware_raises_device_alarm() {
+        let b = bridge(DecisionTree::stump(0, 0.5));
+        let mut fs = MiniExt::format(b, &FsConfig { inode_count: 64 }).unwrap();
+        for i in 0..12 {
+            fs.write_file(&format!("doc{i}"), &[0x5a; 12_000]).unwrap();
+        }
+        // Encrypt like ransomware: read, then overwrite in place, spread
+        // over simulated seconds.
+        let mut i = 0;
+        while fs.dev_mut().device().state() == DeviceState::Normal {
+            let name = format!("doc{}", i % 12);
+            let data = fs.read_file(&name).unwrap();
+            let cipher: Vec<u8> = data.iter().map(|b| b ^ 0xaa).collect();
+            fs.write_file(&name, &cipher).unwrap();
+            let t = fs.dev_mut().now() + SimTime::from_millis(300);
+            fs.dev_mut().advance(t);
+            i += 1;
+            assert!(i < 500, "alarm never fired");
+        }
+        assert_eq!(fs.dev_mut().device().state(), DeviceState::Suspicious);
+    }
+
+    #[test]
+    fn clock_advances_per_operation() {
+        let mut b = bridge(DecisionTree::constant(false));
+        let t0 = b.now();
+        b.write_block(0, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(b.now(), t0 + SimTime::from_micros(50));
+    }
+}

@@ -1,0 +1,523 @@
+//! The full SSD-Insider device.
+
+use crate::config::InsiderConfig;
+use crate::events::{DeviceEvent, EventLog};
+use crate::state::DeviceState;
+use crate::timing::IoTiming;
+use crate::{DeviceError, Result};
+use bytes::Bytes;
+use insider_detect::{DecisionTree, Detector, IoMode, IoReq, Verdict};
+use insider_ftl::{Ftl, FtlStats, InsiderFtl, RollbackReport};
+use insider_nand::{Lba, NandStats, SimTime};
+
+/// An SSD with SSD-Insider firmware: a delayed-deletion FTL plus the inline
+/// ransomware detector.
+///
+/// Every host operation flows through both halves: the detector sees the
+/// request header (never the payload), and the FTL services the data. When
+/// the detector's score crosses the threshold the device enters
+/// [`DeviceState::Suspicious`] and the host is expected to ask the user;
+/// [`confirm_and_recover`](SsdInsider::confirm_and_recover) then freezes
+/// writes and rolls the mapping table back one window.
+#[derive(Debug)]
+pub struct SsdInsider {
+    ftl: InsiderFtl,
+    detector: Detector,
+    state: DeviceState,
+    last_alarm: Option<Verdict>,
+    timing: IoTiming,
+    detect_enabled: bool,
+    events: EventLog,
+}
+
+impl SsdInsider {
+    /// Builds the device with a trained decision tree.
+    pub fn new(config: InsiderConfig, tree: DecisionTree) -> Self {
+        SsdInsider {
+            ftl: InsiderFtl::new(config.ftl().clone()),
+            detector: Detector::new(*config.detector(), tree),
+            state: DeviceState::Normal,
+            last_alarm: None,
+            timing: IoTiming::new(),
+            detect_enabled: true,
+            events: EventLog::new(),
+        }
+    }
+
+    /// Drains the host-visible event mailbox (alarms, recovery, reboot),
+    /// oldest first — the paper's vendor-command notification channel.
+    pub fn take_events(&mut self) -> Vec<DeviceEvent> {
+        self.events.drain()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// The most recent alarm-raising verdict, if any.
+    pub fn last_alarm(&self) -> Option<&Verdict> {
+        self.last_alarm.as_ref()
+    }
+
+    /// The current detection score (0..=N).
+    pub fn score(&self) -> u32 {
+        self.detector.score()
+    }
+
+    /// FTL statistics.
+    pub fn ftl_stats(&self) -> &FtlStats {
+        self.ftl.stats()
+    }
+
+    /// NAND statistics.
+    pub fn nand_stats(&self) -> &NandStats {
+        self.ftl.nand_stats()
+    }
+
+    /// NAND busy time as `(serial sum, per-channel-parallel makespan)`.
+    pub fn nand_busy_ns(&self) -> (u64, u64) {
+        self.ftl.nand_busy_ns()
+    }
+
+    /// Software-path timing accumulators (paper Fig. 8).
+    pub fn timing(&self) -> &IoTiming {
+        &self.timing
+    }
+
+    /// The inner FTL (read-only view, for experiment instrumentation).
+    pub fn ftl(&self) -> &InsiderFtl {
+        &self.ftl
+    }
+
+    /// The inner detector (read-only view, for memory accounting).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Number of logical pages exported to the host.
+    pub fn logical_pages(&self) -> u64 {
+        self.ftl.logical_pages()
+    }
+
+    /// Disables or re-enables inline detection. With detection off the
+    /// device behaves as a plain delayed-deletion FTL — used by the Fig. 8
+    /// baseline ("FTL code" bars).
+    pub fn set_detection(&mut self, enabled: bool) {
+        self.detect_enabled = enabled;
+    }
+
+    fn feed_detector(&mut self, req: IoReq) -> u64 {
+        if !self.detect_enabled {
+            return 0;
+        }
+        let (verdicts, ns) = IoTiming::time(|| self.detector.ingest(req));
+        self.absorb_verdicts(verdicts);
+        ns
+    }
+
+    fn absorb_verdicts(&mut self, verdicts: Vec<Verdict>) {
+        for v in verdicts {
+            if v.alarm && self.state == DeviceState::Normal {
+                self.state = DeviceState::Suspicious;
+                self.last_alarm = Some(v);
+                // Pin every recoverable version until the user answers: a
+                // slow confirmation must not let pre-attack data age out of
+                // the recovery queue, and rollback stays anchored to the
+                // alarm instant (end of the alarming slice).
+                let alarm_time = SimTime::from_micros(
+                    (v.slice + 1) * self.detector.config().slice.as_micros(),
+                );
+                self.ftl.freeze_retirement(alarm_time);
+                self.events.push(DeviceEvent::AlarmRaised { verdict: v });
+            }
+        }
+    }
+
+    /// Reads one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lba` is out of range or the underlying NAND read fails.
+    pub fn read(&mut self, lba: Lba, now: SimTime) -> Result<Option<Bytes>> {
+        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Read, 1));
+        let (out, ftl_ns) = IoTiming::time(|| self.ftl.read(lba, now));
+        self.timing.read_ops += 1;
+        self.timing.ftl_read_ns += ftl_ns;
+        self.timing.insider_read_ns += insider_ns;
+        Ok(out?)
+    }
+
+    /// Writes one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is recovered/read-only, `lba` is out of range,
+    /// or space is exhausted.
+    pub fn write(&mut self, lba: Lba, data: Bytes, now: SimTime) -> Result<()> {
+        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Write, 1));
+        let (out, ftl_ns) = IoTiming::time(|| self.ftl.write(lba, data, now));
+        self.timing.write_ops += 1;
+        self.timing.ftl_write_ns += ftl_ns;
+        self.timing.insider_write_ns += insider_ns;
+        Ok(out?)
+    }
+
+    /// Unmaps one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is recovered/read-only or `lba` is out of range.
+    pub fn trim(&mut self, lba: Lba, now: SimTime) -> Result<()> {
+        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Trim, 1));
+        let (out, ftl_ns) = IoTiming::time(|| self.ftl.trim(lba, now));
+        self.timing.write_ops += 1;
+        self.timing.ftl_write_ns += ftl_ns;
+        self.timing.insider_write_ns += insider_ns;
+        Ok(out?)
+    }
+
+    /// Advances detection through idle time (closes elapsed slices) and
+    /// retires expired recovery-queue entries.
+    pub fn poll(&mut self, now: SimTime) {
+        if self.detect_enabled {
+            let verdicts = self.detector.flush_until(now);
+            self.absorb_verdicts(verdicts);
+        }
+        self.ftl.tick(now);
+    }
+
+    /// The user confirmed the alarm: freeze writes, roll the mapping table
+    /// back one window, and enter [`DeviceState::Recovered`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DeviceError::WrongState`] unless an alarm is pending,
+    /// and propagates FTL bookkeeping failures. On such a failure the
+    /// device deliberately stays suspicious *and read-only*: writes to a
+    /// partially rolled-back drive would destroy recoverable data, while
+    /// the pending alarm allows the recovery to be retried.
+    pub fn confirm_and_recover(&mut self, now: SimTime) -> Result<RollbackReport> {
+        if self.state != DeviceState::Suspicious {
+            return Err(DeviceError::WrongState {
+                actual: self.state,
+                needed: "a pending alarm (suspicious state)",
+            });
+        }
+        self.ftl.set_read_only(true);
+        // The FTL anchors the rollback window to the freeze (alarm) time
+        // it recorded when the alarm fired.
+        let report = self.ftl.rollback(now)?;
+        self.state = DeviceState::Recovered;
+        self.events.push(DeviceEvent::Recovered { at: now, report });
+        Ok(report)
+    }
+
+    /// The user dismissed the alarm as a false positive; resume normal
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DeviceError::WrongState`] unless an alarm is pending.
+    pub fn dismiss_alarm(&mut self) -> Result<()> {
+        if self.state != DeviceState::Suspicious {
+            return Err(DeviceError::WrongState {
+                actual: self.state,
+                needed: "a pending alarm (suspicious state)",
+            });
+        }
+        self.state = DeviceState::Normal;
+        self.last_alarm = None;
+        // The user judged the evidence benign: spend it, thaw retirement.
+        self.detector.reset_votes();
+        self.ftl.thaw_retirement();
+        self.events.push(DeviceEvent::AlarmDismissed);
+        Ok(())
+    }
+
+    /// Host rebooted (and ran fsck): leave read-only mode and return to
+    /// normal service.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DeviceError::WrongState`] unless the device is in the
+    /// recovered state.
+    pub fn reboot(&mut self) -> Result<()> {
+        if self.state != DeviceState::Recovered {
+            return Err(DeviceError::WrongState {
+                actual: self.state,
+                needed: "the recovered state",
+            });
+        }
+        self.ftl.set_read_only(false);
+        self.state = DeviceState::Normal;
+        self.last_alarm = None;
+        self.detector.reset_votes();
+        self.events.push(DeviceEvent::Rebooted);
+        Ok(())
+    }
+}
+
+/// `SsdInsider` exposes the same host-facing block interface as the raw
+/// FTLs, so experiment harnesses can swap a monitored device in anywhere a
+/// plain FTL is accepted. Every operation flows through the inline detector.
+impl Ftl for SsdInsider {
+    fn write(&mut self, lba: Lba, data: Bytes, now: SimTime) -> insider_ftl::Result<()> {
+        SsdInsider::write(self, lba, data, now).map_err(|e| match e {
+            DeviceError::Ftl(f) => f,
+            DeviceError::WrongState { .. } => unreachable!("write never gates on state"),
+        })
+    }
+
+    fn read(&mut self, lba: Lba, now: SimTime) -> insider_ftl::Result<Option<Bytes>> {
+        SsdInsider::read(self, lba, now).map_err(|e| match e {
+            DeviceError::Ftl(f) => f,
+            DeviceError::WrongState { .. } => unreachable!("read never gates on state"),
+        })
+    }
+
+    fn trim(&mut self, lba: Lba, now: SimTime) -> insider_ftl::Result<()> {
+        SsdInsider::trim(self, lba, now).map_err(|e| match e {
+            DeviceError::Ftl(f) => f,
+            DeviceError::WrongState { .. } => unreachable!("trim never gates on state"),
+        })
+    }
+
+    fn stats(&self) -> &FtlStats {
+        self.ftl_stats()
+    }
+
+    fn nand_stats(&self) -> &NandStats {
+        SsdInsider::nand_stats(self)
+    }
+
+    fn logical_pages(&self) -> u64 {
+        SsdInsider::logical_pages(self)
+    }
+
+    fn utilization(&self) -> f64 {
+        self.ftl.utilization()
+    }
+
+    fn wear_summary(&self) -> (u32, u32, f64) {
+        self.ftl.wear_summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insider_nand::Geometry;
+
+    fn device() -> SsdInsider {
+        SsdInsider::new(
+            InsiderConfig::new(Geometry::tiny()),
+            DecisionTree::stump(0, 0.5),
+        )
+    }
+
+    fn attack(ssd: &mut SsdInsider, lba: Lba, from: SimTime) -> SimTime {
+        let mut t = from;
+        let mut guard = 0;
+        while ssd.state() == DeviceState::Normal {
+            ssd.read(lba, t).unwrap();
+            ssd.write(lba, Bytes::from_static(b"3ncryp7ed"), t).unwrap();
+            t = t + SimTime::from_millis(200);
+            guard += 1;
+            assert!(guard < 1000, "alarm never fired");
+        }
+        t
+    }
+
+    #[test]
+    fn normal_io_round_trips() {
+        let mut ssd = device();
+        ssd.write(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            ssd.read(Lba::new(0), SimTime::ZERO).unwrap().unwrap().as_ref(),
+            b"x"
+        );
+        assert_eq!(ssd.state(), DeviceState::Normal);
+        assert_eq!(ssd.score(), 0);
+    }
+
+    #[test]
+    fn sustained_overwriting_raises_alarm() {
+        let mut ssd = device();
+        let t = attack(&mut ssd, Lba::new(5), SimTime::from_secs(30));
+        assert_eq!(ssd.state(), DeviceState::Suspicious);
+        let alarm = ssd.last_alarm().expect("alarm verdict recorded");
+        assert!(alarm.alarm);
+        assert!(alarm.score >= 3);
+        // Detection latency is bounded by threshold slices (3) + 1.
+        assert!(t.saturating_sub(SimTime::from_secs(30)) <= SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn recovery_restores_pre_attack_data() {
+        let mut ssd = device();
+        ssd.write(Lba::new(7), Bytes::from_static(b"original"), SimTime::from_secs(1))
+            .unwrap();
+        let t = attack(&mut ssd, Lba::new(7), SimTime::from_secs(60));
+        let report = ssd.confirm_and_recover(t).unwrap();
+        assert!(report.restored > 0);
+        assert_eq!(ssd.state(), DeviceState::Recovered);
+        assert_eq!(
+            ssd.read(Lba::new(7), t).unwrap().unwrap().as_ref(),
+            b"original"
+        );
+    }
+
+    #[test]
+    fn recovered_device_rejects_writes_until_reboot() {
+        let mut ssd = device();
+        ssd.write(Lba::new(7), Bytes::from_static(b"v"), SimTime::from_secs(1))
+            .unwrap();
+        let t = attack(&mut ssd, Lba::new(7), SimTime::from_secs(60));
+        ssd.confirm_and_recover(t).unwrap();
+        assert!(matches!(
+            ssd.write(Lba::new(7), Bytes::from_static(b"w"), t),
+            Err(DeviceError::Ftl(insider_ftl::FtlError::ReadOnly))
+        ));
+        // Reads still served.
+        assert!(ssd.read(Lba::new(7), t).unwrap().is_some());
+        ssd.reboot().unwrap();
+        assert_eq!(ssd.state(), DeviceState::Normal);
+        ssd.write(Lba::new(7), Bytes::from_static(b"w"), t).unwrap();
+    }
+
+    #[test]
+    fn dismiss_returns_to_normal() {
+        let mut ssd = device();
+        let t = attack(&mut ssd, Lba::new(3), SimTime::from_secs(30));
+        ssd.dismiss_alarm().unwrap();
+        assert_eq!(ssd.state(), DeviceState::Normal);
+        assert!(ssd.last_alarm().is_none());
+        // I/O continues.
+        ssd.write(Lba::new(3), Bytes::from_static(b"k"), t).unwrap();
+    }
+
+    #[test]
+    fn recover_without_alarm_is_rejected() {
+        let mut ssd = device();
+        assert!(matches!(
+            ssd.confirm_and_recover(SimTime::ZERO),
+            Err(DeviceError::WrongState { .. })
+        ));
+        assert!(matches!(ssd.dismiss_alarm(), Err(DeviceError::WrongState { .. })));
+        assert!(matches!(ssd.reboot(), Err(DeviceError::WrongState { .. })));
+    }
+
+    #[test]
+    fn poll_advances_detection_through_idle_time() {
+        let mut ssd = device();
+        // Attack bursts, then silence: score must decay via poll.
+        attack(&mut ssd, Lba::new(1), SimTime::from_secs(10));
+        ssd.dismiss_alarm().unwrap();
+        ssd.poll(SimTime::from_secs(120));
+        assert_eq!(ssd.score(), 0);
+    }
+
+    #[test]
+    fn detection_can_be_disabled() {
+        let mut ssd = device();
+        ssd.set_detection(false);
+        let mut t = SimTime::from_secs(10);
+        for _ in 0..100 {
+            ssd.read(Lba::new(2), t).unwrap();
+            ssd.write(Lba::new(2), Bytes::from_static(b"junk"), t).unwrap();
+            t = t + SimTime::from_millis(100);
+        }
+        assert_eq!(ssd.state(), DeviceState::Normal);
+        assert_eq!(ssd.timing().summary().insider_write_ns, 0.0);
+        assert!(ssd.timing().summary().ftl_write_ns > 0.0);
+    }
+
+    #[test]
+    fn timing_accumulates_for_both_paths() {
+        let mut ssd = device();
+        ssd.write(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO)
+            .unwrap();
+        ssd.read(Lba::new(0), SimTime::ZERO).unwrap();
+        let t = ssd.timing();
+        assert_eq!(t.read_ops, 1);
+        assert_eq!(t.write_ops, 1);
+        assert!(t.ftl_write_ns > 0);
+    }
+
+    #[test]
+    fn event_mailbox_narrates_the_lifecycle() {
+        use crate::events::DeviceEvent;
+        let mut ssd = device();
+        ssd.write(Lba::new(1), Bytes::from_static(b"v"), SimTime::from_secs(1))
+            .unwrap();
+        assert!(ssd.take_events().is_empty(), "normal I/O emits no events");
+        let t = attack(&mut ssd, Lba::new(1), SimTime::from_secs(60));
+        ssd.confirm_and_recover(t).unwrap();
+        ssd.reboot().unwrap();
+        let events = ssd.take_events();
+        assert!(matches!(events[0], DeviceEvent::AlarmRaised { .. }));
+        assert!(matches!(events[1], DeviceEvent::Recovered { .. }));
+        assert!(matches!(events[2], DeviceEvent::Rebooted));
+        assert!(ssd.take_events().is_empty(), "drain empties the mailbox");
+    }
+
+    #[test]
+    fn dismissed_alarm_does_not_instantly_retrigger() {
+        let mut ssd = device();
+        let t = attack(&mut ssd, Lba::new(3), SimTime::from_secs(30));
+        ssd.dismiss_alarm().unwrap();
+        // A couple of idle slices: the spent evidence must not re-alarm.
+        ssd.poll(t + SimTime::from_secs(2));
+        assert_eq!(ssd.state(), DeviceState::Normal);
+        // Fresh overwriting re-raises the alarm with fresh votes.
+        let t2 = attack(&mut ssd, Lba::new(3), t + SimTime::from_secs(5));
+        assert_eq!(ssd.state(), DeviceState::Suspicious);
+        let _ = t2;
+    }
+
+    #[test]
+    fn slow_confirmation_does_not_lose_recoverable_data() {
+        let mut ssd = device();
+        ssd.write(Lba::new(7), Bytes::from_static(b"original"), SimTime::from_secs(1))
+            .unwrap();
+        let t = attack(&mut ssd, Lba::new(7), SimTime::from_secs(60));
+        // The user stares at the warning dialog for five minutes, while the
+        // clock keeps advancing (polls and stray reads).
+        let confirm_at = t + SimTime::from_secs(300);
+        ssd.poll(confirm_at);
+        ssd.read(Lba::new(7), confirm_at).unwrap();
+        let report = ssd.confirm_and_recover(confirm_at).unwrap();
+        assert!(report.restored > 0);
+        assert_eq!(
+            ssd.read(Lba::new(7), confirm_at).unwrap().unwrap().as_ref(),
+            b"original",
+            "pre-attack data must survive a slow confirmation"
+        );
+    }
+
+    #[test]
+    fn trim_is_monitored_and_recoverable() {
+        let mut ssd = device();
+        ssd.write(Lba::new(9), Bytes::from_static(b"keep"), SimTime::from_secs(1))
+            .unwrap();
+        // Read-then-trim pattern at scale also raises the alarm (class C).
+        let mut t = SimTime::from_secs(60);
+        let mut guard = 0;
+        while ssd.state() == DeviceState::Normal {
+            ssd.read(Lba::new(9), t).unwrap();
+            ssd.trim(Lba::new(9), t).unwrap();
+            ssd.write(Lba::new(9), Bytes::from_static(b"keep"), t).unwrap();
+            t = t + SimTime::from_millis(200);
+            guard += 1;
+            assert!(guard < 1000, "alarm never fired");
+        }
+        let report = ssd.confirm_and_recover(t).unwrap();
+        assert!(report.restored > 0);
+        assert_eq!(
+            ssd.read(Lba::new(9), t).unwrap().unwrap().as_ref(),
+            b"keep"
+        );
+    }
+}

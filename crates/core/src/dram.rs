@@ -1,0 +1,149 @@
+//! DRAM accounting for SSD-Insider's data structures (paper Table III).
+
+use crate::device::SsdInsider;
+use insider_ftl::RecoveryQueue;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per hash-table slot (per-LBA index entry), from Table III.
+pub const HASH_SLOT_BYTES: usize = 42;
+
+/// Bytes per counting-table entry, from Table III.
+pub const COUNTING_ENTRY_BYTES: usize = 12;
+
+/// Bytes per recovery-queue entry, from Table III.
+pub const QUEUE_ENTRY_BYTES: usize = RecoveryQueue::ENTRY_BYTES;
+
+/// DRAM footprint of the three SSD-Insider structures, in the units the
+/// paper's Table III uses (entry count × fixed entry size — what a firmware
+/// implementation would statically provision).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramUsage {
+    /// Hash-table slots in use (one per LBA indexed by the counting table).
+    pub hash_entries: usize,
+    /// Counting-table entries in use.
+    pub counting_entries: usize,
+    /// Recovery-queue entries in use.
+    pub queue_entries: usize,
+}
+
+impl DramUsage {
+    /// Snapshot of a live device's structure sizes.
+    pub fn measure(device: &SsdInsider) -> Self {
+        let table = device.detector().engine().counting_table();
+        DramUsage {
+            hash_entries: table.indexed_blocks(),
+            counting_entries: table.len(),
+            queue_entries: device.ftl().recovery_queue().len(),
+        }
+    }
+
+    /// The paper's provisioned capacities: 250 000 hash slots, 1 000
+    /// counting entries, 2 621 440 queue entries (≈ 40 MB total).
+    pub fn paper_provisioned() -> Self {
+        DramUsage {
+            hash_entries: 250_000,
+            counting_entries: 1_000,
+            queue_entries: 2_621_440,
+        }
+    }
+
+    /// Hash-table bytes.
+    pub fn hash_bytes(&self) -> usize {
+        self.hash_entries * HASH_SLOT_BYTES
+    }
+
+    /// Counting-table bytes.
+    pub fn counting_bytes(&self) -> usize {
+        self.counting_entries * COUNTING_ENTRY_BYTES
+    }
+
+    /// Recovery-queue bytes.
+    pub fn queue_bytes(&self) -> usize {
+        self.queue_entries * QUEUE_ENTRY_BYTES
+    }
+
+    /// Total bytes across all three structures.
+    pub fn total_bytes(&self) -> usize {
+        self.hash_bytes() + self.counting_bytes() + self.queue_bytes()
+    }
+}
+
+impl std::fmt::Display for DramUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>12}",
+            "structure", "unit (B)", "entries", "bytes"
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>12}",
+            "hash table",
+            HASH_SLOT_BYTES,
+            self.hash_entries,
+            self.hash_bytes()
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>12}",
+            "counting table",
+            COUNTING_ENTRY_BYTES,
+            self.counting_entries,
+            self.counting_bytes()
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>12}",
+            "recovery queue",
+            QUEUE_ENTRY_BYTES,
+            self.queue_entries,
+            self.queue_bytes()
+        )?;
+        write!(f, "total: {} bytes", self.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InsiderConfig;
+    use bytes::Bytes;
+    use insider_detect::DecisionTree;
+    use insider_nand::{Geometry, Lba, SimTime};
+
+    #[test]
+    fn paper_capacities_total_about_40_mb() {
+        let paper = DramUsage::paper_provisioned();
+        let mb = paper.total_bytes() as f64 / 1e6;
+        assert!(
+            (40.0..43.0).contains(&mb),
+            "paper Table III totals ≈ 40 MB, got {mb:.2} MB"
+        );
+    }
+
+    #[test]
+    fn live_measurement_tracks_structures() {
+        let mut ssd = SsdInsider::new(
+            InsiderConfig::new(Geometry::tiny()),
+            DecisionTree::constant(false),
+        );
+        let t = SimTime::from_secs(1);
+        for i in 0..8u64 {
+            ssd.read(Lba::new(i), t).unwrap();
+            ssd.write(Lba::new(i), Bytes::from_static(b"x"), t).unwrap();
+        }
+        let usage = DramUsage::measure(&ssd);
+        assert_eq!(usage.hash_entries, 8);
+        assert!(usage.counting_entries >= 1);
+        assert_eq!(usage.queue_entries, 8);
+        assert!(usage.total_bytes() > 0);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = DramUsage::paper_provisioned().to_string();
+        for key in ["hash table", "counting table", "recovery queue", "total"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Device event log: the host-visible notifications the paper delivers via
+//! a vendor-specific command ("ransomware attack alarm", §III-C footnote).
+//!
+//! The device appends events; the host driver drains them with
+//! [`SsdInsider::take_events`](crate::SsdInsider::take_events) and reacts —
+//! showing the warning dialog, confirming recovery, prompting a reboot.
+
+use insider_detect::Verdict;
+use insider_ftl::RollbackReport;
+use insider_nand::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One host-visible device notification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeviceEvent {
+    /// The detection score crossed the threshold; the drive awaits the
+    /// user's verdict.
+    AlarmRaised {
+        /// The verdict that tripped the alarm.
+        verdict: Verdict,
+    },
+    /// The user dismissed the alarm; normal service resumed.
+    AlarmDismissed,
+    /// The user confirmed; the mapping table was rolled back and the drive
+    /// is read-only until reboot.
+    Recovered {
+        /// When the rollback ran.
+        at: SimTime,
+        /// What the rollback did.
+        report: RollbackReport,
+    },
+    /// The host rebooted; write service resumed.
+    Rebooted,
+}
+
+/// Bounded FIFO of pending events (a real device would expose a small
+/// mailbox; unconsumed events age out oldest-first).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: std::collections::VecDeque<DeviceEvent>,
+}
+
+/// Capacity of the event mailbox.
+pub const EVENT_CAPACITY: usize = 64;
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: DeviceEvent) {
+        if self.events.len() == EVENT_CAPACITY {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// Drains all pending events, oldest first.
+    pub fn drain(&mut self) -> Vec<DeviceEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_drain() {
+        let mut log = EventLog::new();
+        log.push(DeviceEvent::AlarmDismissed);
+        log.push(DeviceEvent::Rebooted);
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained, vec![DeviceEvent::AlarmDismissed, DeviceEvent::Rebooted]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut log = EventLog::new();
+        for _ in 0..EVENT_CAPACITY {
+            log.push(DeviceEvent::AlarmDismissed);
+        }
+        log.push(DeviceEvent::Rebooted);
+        assert_eq!(log.len(), EVENT_CAPACITY);
+        let drained = log.drain();
+        assert_eq!(drained.last(), Some(&DeviceEvent::Rebooted));
+        assert_eq!(drained.len(), EVENT_CAPACITY);
+    }
+}

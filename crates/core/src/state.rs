@@ -1,0 +1,58 @@
+//! The device's alarm/recovery state machine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lifecycle state of an [`SsdInsider`](crate::SsdInsider) device.
+///
+/// Transitions (paper §III-C):
+///
+/// * `Normal → Suspicious` — the detector's score crossed the threshold.
+///   The host is notified via the alarm command; I/O continues (the window
+///   still protects everything while the user decides).
+/// * `Suspicious → Recovered` — the user confirmed; the drive went
+///   read-only, the mapping table was rolled back.
+/// * `Suspicious → Normal` — the user dismissed the alarm (false positive).
+/// * `Recovered → Normal` — host rebooted and ran fsck; writes re-enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DeviceState {
+    /// Serving I/O, no alarm pending.
+    #[default]
+    Normal,
+    /// Alarm raised, awaiting the user's verdict.
+    Suspicious,
+    /// Rolled back and read-only, awaiting reboot.
+    Recovered,
+}
+
+impl fmt::Display for DeviceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceState::Normal => "normal",
+            DeviceState::Suspicious => "suspicious (alarm pending)",
+            DeviceState::Recovered => "recovered (read-only)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(DeviceState::default(), DeviceState::Normal);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        for s in [
+            DeviceState::Normal,
+            DeviceState::Suspicious,
+            DeviceState::Recovered,
+        ] {
+            assert!(s.to_string().chars().next().unwrap().is_lowercase());
+        }
+    }
+}

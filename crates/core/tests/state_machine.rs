@@ -1,0 +1,176 @@
+//! State-machine fuzzing for the device lifecycle: arbitrary interleavings
+//! of I/O, polls, alarms, confirmations, dismissals and reboots must never
+//! panic, never corrupt data outside the window, and always leave the
+//! device in a coherent state.
+
+use bytes::Bytes;
+use insider_detect::DecisionTree;
+use insider_nand::{Geometry, Lba, SimTime};
+use proptest::prelude::*;
+use ssd_insider::{DeviceError, DeviceState, InsiderConfig, SsdInsider};
+
+fn device() -> SsdInsider {
+    SsdInsider::new(
+        InsiderConfig::new(Geometry::tiny()),
+        DecisionTree::stump(0, 0.5),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lba: u8 },
+    ReadOverwrite { lba: u8 },
+    Read { lba: u8 },
+    Trim { lba: u8 },
+    Poll { secs: u8 },
+    Recover,
+    Dismiss,
+    Reboot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..32).prop_map(|lba| Op::Write { lba }),
+        3 => (0u8..32).prop_map(|lba| Op::ReadOverwrite { lba }),
+        2 => (0u8..32).prop_map(|lba| Op::Read { lba }),
+        1 => (0u8..32).prop_map(|lba| Op::Trim { lba }),
+        2 => (1u8..30).prop_map(|secs| Op::Poll { secs }),
+        1 => Just(Op::Recover),
+        1 => Just(Op::Dismiss),
+        1 => Just(Op::Reboot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lifecycle_never_wedges(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut ssd = device();
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            let state_before = ssd.state();
+            match op {
+                Op::Write { lba } => {
+                    let r = ssd.write(Lba::new(*lba as u64), Bytes::from_static(b"w"), now);
+                    match state_before {
+                        DeviceState::Recovered => {
+                            let read_only = matches!(
+                                r,
+                                Err(DeviceError::Ftl(insider_ftl::FtlError::ReadOnly))
+                            );
+                            prop_assert!(read_only, "recovered drive must reject writes");
+                        }
+                        _ => prop_assert!(r.is_ok()),
+                    }
+                    now = now.plus_micros(500);
+                }
+                Op::ReadOverwrite { lba } => {
+                    ssd.read(Lba::new(*lba as u64), now).unwrap();
+                    let _ = ssd.write(Lba::new(*lba as u64), Bytes::from_static(b"o"), now);
+                    now = now.plus_micros(500);
+                }
+                Op::Read { lba } => {
+                    // Reads are always served, in every state.
+                    prop_assert!(ssd.read(Lba::new(*lba as u64), now).is_ok());
+                }
+                Op::Trim { lba } => {
+                    let r = ssd.trim(Lba::new(*lba as u64), now);
+                    if state_before != DeviceState::Recovered {
+                        prop_assert!(r.is_ok());
+                    }
+                }
+                Op::Poll { secs } => {
+                    now += SimTime::from_secs(*secs as u64);
+                    ssd.poll(now);
+                }
+                Op::Recover => {
+                    let r = ssd.confirm_and_recover(now);
+                    match state_before {
+                        DeviceState::Suspicious => {
+                            prop_assert!(r.is_ok());
+                            prop_assert_eq!(ssd.state(), DeviceState::Recovered);
+                        }
+                        _ => {
+                            let wrong_state =
+                                matches!(r, Err(DeviceError::WrongState { .. }));
+                            prop_assert!(wrong_state);
+                        }
+                    }
+                }
+                Op::Dismiss => {
+                    let r = ssd.dismiss_alarm();
+                    match state_before {
+                        DeviceState::Suspicious => {
+                            prop_assert!(r.is_ok());
+                            prop_assert_eq!(ssd.state(), DeviceState::Normal);
+                        }
+                        _ => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::Reboot => {
+                    let r = ssd.reboot();
+                    match state_before {
+                        DeviceState::Recovered => {
+                            prop_assert!(r.is_ok());
+                            prop_assert_eq!(ssd.state(), DeviceState::Normal);
+                        }
+                        _ => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+            // Global coherence: a pending alarm exists iff suspicious.
+            match ssd.state() {
+                DeviceState::Suspicious => prop_assert!(ssd.last_alarm().is_some()),
+                DeviceState::Normal => {}
+                DeviceState::Recovered => {}
+            }
+        }
+    }
+
+    /// Data written before the window and never touched again survives any
+    /// op sequence, including recoveries.
+    #[test]
+    fn cold_data_survives_any_lifecycle(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut ssd = device();
+        // Sentinel outside the fuzzed LBA range (ops use 0..32).
+        let sentinel = Lba::new(200);
+        ssd.write(sentinel, Bytes::from_static(b"sentinel"), SimTime::ZERO).unwrap();
+        let mut now = SimTime::from_secs(60);
+        ssd.poll(now);
+        for op in &ops {
+            match op {
+                Op::Write { lba } => {
+                    let _ = ssd.write(Lba::new(*lba as u64), Bytes::from_static(b"w"), now);
+                    now = now.plus_micros(500);
+                }
+                Op::ReadOverwrite { lba } => {
+                    let _ = ssd.read(Lba::new(*lba as u64), now);
+                    let _ = ssd.write(Lba::new(*lba as u64), Bytes::from_static(b"o"), now);
+                    now = now.plus_micros(500);
+                }
+                Op::Read { lba } => {
+                    let _ = ssd.read(Lba::new(*lba as u64), now);
+                }
+                Op::Trim { lba } => {
+                    let _ = ssd.trim(Lba::new(*lba as u64), now);
+                }
+                Op::Poll { secs } => {
+                    now += SimTime::from_secs(*secs as u64);
+                    ssd.poll(now);
+                }
+                Op::Recover => {
+                    let _ = ssd.confirm_and_recover(now);
+                }
+                Op::Dismiss => {
+                    let _ = ssd.dismiss_alarm();
+                }
+                Op::Reboot => {
+                    let _ = ssd.reboot();
+                }
+            }
+        }
+        let data = ssd.read(sentinel, now).unwrap().expect("sentinel mapped");
+        prop_assert_eq!(data.as_ref(), b"sentinel");
+    }
+}

@@ -1,0 +1,371 @@
+//! The counting table: run-length tracking of reads and overwrites.
+//!
+//! Each [`Entry`] describes one contiguous LBA range that was read recently
+//! (`rl` blocks starting at `start`) together with the number of overwrites
+//! that followed those reads (`wl`), and the time slice it was last touched.
+//! A hash index from every covered LBA to its entry gives O(1) lookup per
+//! request, exactly as the paper's design (Fig. 3) prescribes.
+//!
+//! The table implements the five primitives of the paper's Fig. 3(b):
+//! *NewEntry* (a read to an uncovered, non-adjacent LBA), *UpdateEntryR*
+//! (a read extending a run), *MergeEntry* (a read joining two runs),
+//! *UpdateEntryW* (a write landing inside a read run — an overwrite), and
+//! eviction of entries untouched for a full window (*sliding* the table).
+
+use insider_nand::Lba;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One counting-table record: a contiguous read run and its overwrite count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Time slice at which the entry was created or last updated.
+    pub slice: u64,
+    /// First LBA of the read run.
+    pub start: Lba,
+    /// Read run length in blocks (`RL` in the paper).
+    pub rl: u32,
+    /// Number of overwrites that hit the run (`WL` in the paper).
+    pub wl: u32,
+}
+
+impl Entry {
+    /// Exclusive end LBA of the run.
+    pub fn end(&self) -> Lba {
+        self.start.offset(self.rl as u64)
+    }
+
+    /// Whether `lba` falls inside the read run.
+    pub fn covers(&self, lba: Lba) -> bool {
+        self.start <= lba && lba < self.end()
+    }
+}
+
+/// Run-length counting table with a per-LBA hash index.
+///
+/// # Example
+///
+/// ```rust
+/// use insider_detect::CountingTable;
+/// use insider_nand::Lba;
+///
+/// let mut table = CountingTable::new();
+/// table.record_read(Lba::new(100), 0);
+/// table.record_read(Lba::new(101), 0);
+/// // A write into the read run is an overwrite:
+/// assert!(table.record_write(Lba::new(100), 0));
+/// // A write elsewhere is not:
+/// assert!(!table.record_write(Lba::new(999), 0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CountingTable {
+    entries: HashMap<u64, Entry>,
+    index: HashMap<Lba, u64>,
+    next_id: u64,
+}
+
+impl CountingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries (runs) currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of LBAs covered by the index.
+    pub fn indexed_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Records a read of `lba` during `slice`, growing/merging runs.
+    pub fn record_read(&mut self, lba: Lba, slice: u64) {
+        // Already covered: refresh the run's timestamp.
+        if let Some(&id) = self.index.get(&lba) {
+            self.entries.get_mut(&id).expect("index is consistent").slice = slice;
+            return;
+        }
+
+        // Extend the run ending at `lba` (UpdateEntryR)…
+        let prev = lba
+            .index()
+            .checked_sub(1)
+            .and_then(|p| self.index.get(&Lba::new(p)).copied());
+        if let Some(id) = prev {
+            {
+                let e = self.entries.get_mut(&id).expect("index is consistent");
+                debug_assert_eq!(e.end(), lba, "lba-1 coverage implies run ends at lba");
+                e.rl += 1;
+                e.slice = slice;
+            }
+            self.index.insert(lba, id);
+            // …and merge with a run starting right after (MergeEntry).
+            if let Some(&next_id) = self.index.get(&lba.next()) {
+                if next_id != id {
+                    self.merge(id, next_id, slice);
+                }
+            }
+            return;
+        }
+
+        // Prepend to a run starting at `lba + 1`.
+        if let Some(&id) = self.index.get(&lba.next()) {
+            let e = self.entries.get_mut(&id).expect("index is consistent");
+            if e.start == lba.next() {
+                e.start = lba;
+                e.rl += 1;
+                e.slice = slice;
+                self.index.insert(lba, id);
+                return;
+            }
+        }
+
+        // Fresh run (NewEntry).
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                slice,
+                start: lba,
+                rl: 1,
+                wl: 0,
+            },
+        );
+        self.index.insert(lba, id);
+    }
+
+    /// Records a write of `lba` during `slice`. Returns `true` when the
+    /// write lands inside a tracked read run — i.e. it is an **overwrite**
+    /// (UpdateEntryW) — and `false` for a plain write.
+    pub fn record_write(&mut self, lba: Lba, slice: u64) -> bool {
+        match self.index.get(&lba) {
+            Some(&id) => {
+                let e = self.entries.get_mut(&id).expect("index is consistent");
+                e.wl += 1;
+                e.slice = slice;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn merge(&mut self, keep: u64, drop: u64, slice: u64) {
+        let dropped = self.entries.remove(&drop).expect("merge target exists");
+        for b in 0..dropped.rl as u64 {
+            self.index.insert(dropped.start.offset(b), keep);
+        }
+        let e = self.entries.get_mut(&keep).expect("merge keeper exists");
+        e.rl += dropped.rl;
+        e.wl += dropped.wl;
+        e.slice = slice;
+    }
+
+    /// Drops entries last touched before `cutoff_slice` (window slide).
+    /// Returns how many entries were evicted.
+    pub fn evict_older_than(&mut self, cutoff_slice: u64) -> usize {
+        let stale: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.slice < cutoff_slice)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &stale {
+            let e = self.entries.remove(id).expect("listed entry exists");
+            for b in 0..e.rl as u64 {
+                self.index.remove(&e.start.offset(b));
+            }
+        }
+        stale.len()
+    }
+
+    /// Mean `WL` over all entries (`AVGWIO`'s numerator); 0.0 when empty.
+    pub fn avg_wl(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            let sum: u64 = self.entries.values().map(|e| e.wl as u64).sum();
+            sum as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+
+    /// The entry covering `lba`, if any.
+    pub fn entry_covering(&self, lba: Lba) -> Option<&Entry> {
+        self.index.get(&lba).map(|id| &self.entries[id])
+    }
+
+    /// Approximate DRAM an on-device implementation would need, in bytes:
+    /// 12 bytes per table entry plus 42 bytes per hash-index slot (the
+    /// paper's Table III unit sizes).
+    pub fn dram_bytes(&self) -> usize {
+        self.entries.len() * 12 + self.index.len() * 42
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u64) -> Lba {
+        Lba::new(i)
+    }
+
+    #[test]
+    fn new_entry_per_isolated_read() {
+        let mut t = CountingTable::new();
+        t.record_read(l(10), 0);
+        t.record_read(l(20), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entry_covering(l(10)).unwrap().rl, 1);
+    }
+
+    #[test]
+    fn sequential_reads_extend_one_run() {
+        let mut t = CountingTable::new();
+        for i in 0..5 {
+            t.record_read(l(100 + i), 0);
+        }
+        assert_eq!(t.len(), 1);
+        let e = t.entry_covering(l(102)).unwrap();
+        assert_eq!(e.start, l(100));
+        assert_eq!(e.rl, 5);
+    }
+
+    #[test]
+    fn reverse_sequential_reads_prepend() {
+        let mut t = CountingTable::new();
+        for i in (0..5).rev() {
+            t.record_read(l(100 + i), 0);
+        }
+        assert_eq!(t.len(), 1);
+        let e = t.entry_covering(l(100)).unwrap();
+        assert_eq!(e.start, l(100));
+        assert_eq!(e.rl, 5);
+    }
+
+    #[test]
+    fn bridging_read_merges_two_runs() {
+        let mut t = CountingTable::new();
+        t.record_read(l(100), 0);
+        t.record_read(l(102), 0);
+        assert_eq!(t.len(), 2);
+        t.record_read(l(101), 1); // bridges the gap
+        assert_eq!(t.len(), 1);
+        let e = t.entry_covering(l(100)).unwrap();
+        assert_eq!(e.rl, 3);
+        assert_eq!(e.slice, 1);
+    }
+
+    #[test]
+    fn merge_preserves_overwrite_counts() {
+        let mut t = CountingTable::new();
+        t.record_read(l(100), 0);
+        t.record_read(l(102), 0);
+        assert!(t.record_write(l(100), 0));
+        assert!(t.record_write(l(102), 0));
+        t.record_read(l(101), 0);
+        let e = t.entry_covering(l(101)).unwrap();
+        assert_eq!(e.wl, 2);
+    }
+
+    #[test]
+    fn write_inside_run_is_overwrite() {
+        let mut t = CountingTable::new();
+        for i in 0..3 {
+            t.record_read(l(i), 0);
+        }
+        assert!(t.record_write(l(1), 0));
+        assert_eq!(t.entry_covering(l(1)).unwrap().wl, 1);
+    }
+
+    #[test]
+    fn write_outside_any_run_is_plain() {
+        let mut t = CountingTable::new();
+        t.record_read(l(0), 0);
+        assert!(!t.record_write(l(5), 0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn repeated_overwrites_accumulate_wl() {
+        let mut t = CountingTable::new();
+        t.record_read(l(0), 0);
+        for _ in 0..7 {
+            assert!(t.record_write(l(0), 0)); // DoD-style 7-pass wipe
+        }
+        assert_eq!(t.entry_covering(l(0)).unwrap().wl, 7);
+    }
+
+    #[test]
+    fn rereading_refreshes_timestamp() {
+        let mut t = CountingTable::new();
+        t.record_read(l(0), 0);
+        t.record_read(l(0), 5);
+        assert_eq!(t.entry_covering(l(0)).unwrap().slice, 5);
+    }
+
+    #[test]
+    fn eviction_drops_stale_entries_and_index() {
+        let mut t = CountingTable::new();
+        t.record_read(l(0), 0);
+        t.record_read(l(10), 8);
+        assert_eq!(t.evict_older_than(5), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.entry_covering(l(0)).is_none());
+        assert!(t.entry_covering(l(10)).is_some());
+        // The evicted range no longer counts writes as overwrites.
+        assert!(!t.record_write(l(0), 9));
+        assert_eq!(t.indexed_blocks(), 1);
+    }
+
+    #[test]
+    fn avg_wl_over_all_entries() {
+        let mut t = CountingTable::new();
+        assert_eq!(t.avg_wl(), 0.0);
+        t.record_read(l(0), 0);
+        t.record_read(l(10), 0);
+        t.record_write(l(0), 0);
+        t.record_write(l(0), 0);
+        // Runs: wl=2 and wl=0 → average 1.0.
+        assert!((t.avg_wl() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overwrite_touch_keeps_entry_alive() {
+        let mut t = CountingTable::new();
+        t.record_read(l(0), 0);
+        t.record_write(l(0), 9); // touched at slice 9
+        assert_eq!(t.evict_older_than(5), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dram_accounting_scales_with_contents() {
+        let mut t = CountingTable::new();
+        for i in 0..10 {
+            t.record_read(l(i), 0);
+        }
+        // One run of 10 blocks: 1 entry * 12 + 10 slots * 42.
+        assert_eq!(t.dram_bytes(), 12 + 420);
+    }
+
+    #[test]
+    fn merge_at_zero_boundary_is_safe() {
+        let mut t = CountingTable::new();
+        t.record_read(l(0), 0); // no lba -1 underflow
+        t.record_read(l(1), 0);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,723 @@
+//! The real-time detector: feature extraction + decision tree + score window.
+
+use crate::counting_table::CountingTable;
+use crate::features::FeatureVector;
+use crate::id3::DecisionTree;
+use crate::ioreq::{IoMode, IoReq};
+use crate::window::{SliceWindow, VoteWindow};
+use insider_nand::{Lba, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Detector tuning knobs. Defaults match the paper: 1-second slices, a
+/// 10-slice window, and an alarm threshold of 3.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Length of one time slice.
+    pub slice: SimTime,
+    /// Number of slices per window (`N`).
+    pub window_slices: usize,
+    /// Alarm when the score (positive votes in the window) reaches this.
+    pub threshold: u32,
+    /// Compute `OWST` over the whole window instead of the current slice.
+    ///
+    /// The paper defines OWST per window in §III-A but per slice in its
+    /// data-structure walkthrough (Fig. 3); the per-slice form is the
+    /// default here (and what the shipped experiments use). The window form
+    /// counts each overwritten block once across the whole window, which
+    /// pushes a 7-pass wiper's OWST toward 1/7.
+    pub owst_over_window: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            slice: SimTime::from_secs(1),
+            window_slices: 10,
+            threshold: 3,
+            owst_over_window: false,
+        }
+    }
+}
+
+/// Per-slice accumulators, reset at each slice boundary.
+#[derive(Debug, Clone, Default)]
+struct SliceAccum {
+    rio: u64,
+    wio: u64,
+    owio: u64,
+    distinct_ow: HashSet<Lba>,
+}
+
+/// Streaming feature extraction: the counting table plus the sliding-window
+/// state needed to emit one [`FeatureVector`] per time slice.
+///
+/// [`Detector`] composes this with a [`DecisionTree`]; training and the
+/// feature-series experiments (paper Figs. 1–2) use it directly.
+#[derive(Debug, Clone)]
+pub struct FeatureEngine {
+    slice_len: SimTime,
+    window_slices: usize,
+    owst_over_window: bool,
+    table: CountingTable,
+    owio_history: SliceWindow,
+    /// Write-block counts of the previous `N-1` slices (window-level OWST
+    /// covers the window *ending at the current slice*, so current + N−1).
+    wio_history: std::collections::VecDeque<u64>,
+    /// Distinct-overwritten sets of the previous `N-1` slices.
+    ow_sets: std::collections::VecDeque<HashSet<Lba>>,
+    accum: SliceAccum,
+    cur_slice: u64,
+}
+
+impl FeatureEngine {
+    /// A fresh engine with the given slice length and window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero or `window_slices` is zero.
+    pub fn new(slice: SimTime, window_slices: usize) -> Self {
+        Self::with_options(slice, window_slices, false)
+    }
+
+    /// A fresh engine, optionally computing `OWST` over the whole window
+    /// (see [`DetectorConfig::owst_over_window`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero or `window_slices` is zero.
+    pub fn with_options(slice: SimTime, window_slices: usize, owst_over_window: bool) -> Self {
+        assert!(slice > SimTime::ZERO, "slice length must be non-zero");
+        assert!(window_slices >= 1, "window must span at least one slice");
+        FeatureEngine {
+            slice_len: slice,
+            window_slices,
+            owst_over_window,
+            table: CountingTable::new(),
+            owio_history: SliceWindow::new(window_slices),
+            wio_history: std::collections::VecDeque::with_capacity(window_slices),
+            ow_sets: std::collections::VecDeque::with_capacity(window_slices),
+            accum: SliceAccum::default(),
+            cur_slice: 0,
+        }
+    }
+
+    /// The slice index currently being accumulated.
+    pub fn current_slice(&self) -> u64 {
+        self.cur_slice
+    }
+
+    /// Read access to the counting table (for memory accounting).
+    pub fn counting_table(&self) -> &CountingTable {
+        &self.table
+    }
+
+    /// Closes slices up to `target`, bounding the work for arbitrarily
+    /// long idle gaps: the engine emits `window + 1` idle slices — enough
+    /// that every slice whose window still overlaps pre-gap activity is
+    /// emitted (the next slice's features are exactly zero) — then resets
+    /// its state and jumps the counter; the landing window re-emits a full
+    /// window of true zeros, flushing any downstream vote window. At the
+    /// `2·window` trigger boundary the fast path therefore emits the same
+    /// slices as the dense path. Without the bound, a single far-future
+    /// timestamp would make the detector loop for (and allocate) trillions
+    /// of slices.
+    fn advance_to(&mut self, target: u64) -> Vec<(u64, FeatureVector)> {
+        let mut closed = Vec::new();
+        let window = self.window_slices as u64;
+        if target > self.cur_slice + 2 * window {
+            for _ in 0..=window {
+                closed.push(self.close_slice());
+            }
+            self.table.evict_older_than(u64::MAX);
+            self.owio_history.clear();
+            self.wio_history.clear();
+            self.ow_sets.clear();
+            self.accum = SliceAccum::default();
+            self.cur_slice = target - window;
+        }
+        while self.cur_slice < target {
+            closed.push(self.close_slice());
+        }
+        closed
+    }
+
+    /// Feeds one request, returning a `(slice index, features)` pair for
+    /// every slice boundary the request's timestamp crossed (at most two
+    /// windows' worth — see [`ingest`](Self::ingest) gap handling).
+    ///
+    /// Requests must arrive in non-decreasing time order; a request that
+    /// appears to go backwards is accounted to the current slice.
+    pub fn ingest(&mut self, req: IoReq) -> Vec<(u64, FeatureVector)> {
+        let target = req.time.slice_index(self.slice_len);
+        let closed = self.advance_to(target);
+        match req.mode {
+            IoMode::Read => {
+                for lba in req.blocks() {
+                    self.table.record_read(lba, self.cur_slice);
+                }
+                self.accum.rio += req.len as u64;
+            }
+            IoMode::Write | IoMode::Trim => {
+                for lba in req.blocks() {
+                    if self.table.record_write(lba, self.cur_slice) {
+                        self.accum.owio += 1;
+                        self.accum.distinct_ow.insert(lba);
+                    }
+                }
+                self.accum.wio += req.len as u64;
+            }
+        }
+        closed
+    }
+
+    /// Closes slices until (excluding) the slice containing `now`, emitting
+    /// their feature vectors (bounded for long gaps like
+    /// [`ingest`](Self::ingest)). Call at end-of-trace or in idle periods.
+    pub fn flush_until(&mut self, now: SimTime) -> Vec<(u64, FeatureVector)> {
+        self.advance_to(now.slice_index(self.slice_len))
+    }
+
+    /// Closes the current slice unconditionally and returns its features.
+    pub fn close_slice(&mut self) -> (u64, FeatureVector) {
+        // Keep only entries touched within the last `window_slices` slices.
+        let cutoff = (self.cur_slice + 1).saturating_sub(self.window_slices as u64);
+        self.table.evict_older_than(cutoff);
+
+        let a = &self.accum;
+        let owio = a.owio as f64;
+        let owst = if self.owst_over_window {
+            // Distinct overwritten blocks across the window (current slice
+            // included) over the window's write blocks.
+            let mut distinct: HashSet<Lba> = a.distinct_ow.clone();
+            for set in &self.ow_sets {
+                distinct.extend(set.iter().copied());
+            }
+            let wio_window: u64 = self.wio_history.iter().sum::<u64>() + a.wio;
+            if wio_window > 0 {
+                distinct.len() as f64 / wio_window as f64
+            } else {
+                0.0
+            }
+        } else if a.wio > 0 {
+            a.distinct_ow.len() as f64 / a.wio as f64
+        } else {
+            0.0
+        };
+        let pwio = self.owio_history.sum() as f64;
+        let avgwio = self.table.avg_wl();
+        let prev_avg = self.owio_history.mean();
+        let owslope = if prev_avg > 0.0 { owio / prev_avg } else { owio };
+        let io = (a.rio + a.wio) as f64;
+
+        let features = FeatureVector {
+            owio,
+            owst,
+            pwio,
+            avgwio,
+            owslope,
+            io,
+        };
+        let slice = self.cur_slice;
+        self.owio_history.push(a.owio);
+        // Keep exactly the previous N-1 slices of OWST state, so the
+        // window at the *next* close spans current + N−1 = N slices.
+        if self.window_slices > 1 {
+            if self.wio_history.len() == self.window_slices - 1 {
+                self.wio_history.pop_front();
+                self.ow_sets.pop_front();
+            }
+            let finished = std::mem::take(&mut self.accum);
+            self.wio_history.push_back(finished.wio);
+            self.ow_sets.push_back(finished.distinct_ow);
+        } else {
+            self.accum = SliceAccum::default();
+        }
+        self.cur_slice += 1;
+        (slice, features)
+    }
+}
+
+/// One slice's detection outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Index of the closed time slice.
+    pub slice: u64,
+    /// The slice's feature vector.
+    pub features: FeatureVector,
+    /// The decision tree's vote for this slice.
+    pub vote: bool,
+    /// Score after this slice: positive votes in the last `N` slices.
+    pub score: u32,
+    /// Whether the score reached the alarm threshold.
+    pub alarm: bool,
+}
+
+/// The SSD-Insider real-time detector (paper Algorithm 1).
+///
+/// Feed it every I/O request header with [`Detector::ingest`]; it emits one
+/// [`Verdict`] per completed time slice. When `Verdict::alarm` is true, the
+/// device should halt writes and offer recovery.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    config: DetectorConfig,
+    engine: FeatureEngine,
+    tree: DecisionTree,
+    votes: VoteWindow,
+}
+
+impl Detector {
+    /// A detector with the given configuration and trained tree.
+    pub fn new(config: DetectorConfig, tree: DecisionTree) -> Self {
+        Detector {
+            engine: FeatureEngine::with_options(
+                config.slice,
+                config.window_slices,
+                config.owst_over_window,
+            ),
+            votes: VoteWindow::new(config.window_slices),
+            config,
+            tree,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The current score.
+    pub fn score(&self) -> u32 {
+        self.votes.score()
+    }
+
+    /// The decision tree in use.
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// Read access to the feature engine (for memory accounting).
+    pub fn engine(&self) -> &FeatureEngine {
+        &self.engine
+    }
+
+    fn judge(&mut self, slice: u64, features: FeatureVector) -> Verdict {
+        let vote = self.tree.predict(&features);
+        let score = self.votes.push(vote);
+        Verdict {
+            slice,
+            features,
+            vote,
+            score,
+            alarm: score >= self.config.threshold,
+        }
+    }
+
+    /// Feeds one request header, returning a verdict for every slice
+    /// boundary it crossed (usually zero or one).
+    pub fn ingest(&mut self, req: IoReq) -> Vec<Verdict> {
+        let closed = self.engine.ingest(req);
+        closed
+            .into_iter()
+            .map(|(slice, f)| self.judge(slice, f))
+            .collect()
+    }
+
+    /// Closes all slices up to (excluding) the one containing `now`.
+    /// Use during idle periods so silence also produces verdicts.
+    pub fn flush_until(&mut self, now: SimTime) -> Vec<Verdict> {
+        let closed = self.engine.flush_until(now);
+        closed
+            .into_iter()
+            .map(|(slice, f)| self.judge(slice, f))
+            .collect()
+    }
+
+    /// Clears the vote window and score — the user dismissed the alarm or
+    /// the host rebooted, so the accumulated evidence is spent. Feature
+    /// state (the counting table) is left intact: ongoing activity keeps
+    /// being measured and can re-raise the alarm with *fresh* votes.
+    pub fn reset_votes(&mut self) {
+        self.votes.clear();
+    }
+
+    /// Closes the in-progress slice and returns its verdict.
+    pub fn finish(&mut self) -> Verdict {
+        let (slice, f) = self.engine.close_slice();
+        self.judge(slice, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u64) -> Lba {
+        Lba::new(i)
+    }
+
+    fn t(secs: u64, us: u64) -> SimTime {
+        SimTime::from_secs(secs).plus_micros(us)
+    }
+
+    /// An engine with 1 s slices and a 10-slice window.
+    fn engine() -> FeatureEngine {
+        FeatureEngine::new(SimTime::from_secs(1), 10)
+    }
+
+    #[test]
+    fn read_then_overwrite_counts_as_owio() {
+        let mut e = engine();
+        e.ingest(IoReq::read(t(0, 0), l(5)));
+        e.ingest(IoReq::write(t(0, 10), l(5)));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 1.0);
+        assert_eq!(f.io, 2.0);
+        assert_eq!(f.owst, 1.0);
+    }
+
+    #[test]
+    fn write_without_prior_read_is_not_overwrite() {
+        let mut e = engine();
+        e.ingest(IoReq::write(t(0, 0), l(5)));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 0.0);
+        assert_eq!(f.owst, 0.0);
+        assert_eq!(f.io, 1.0);
+    }
+
+    #[test]
+    fn overwrite_outside_window_is_not_counted() {
+        let mut e = engine();
+        e.ingest(IoReq::read(t(0, 0), l(5)));
+        // 20 s later, far past the 10-slice window:
+        let closed = e.ingest(IoReq::write(t(20, 0), l(5)));
+        assert_eq!(closed.len(), 20);
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 0.0, "read aged out; write is plain");
+    }
+
+    #[test]
+    fn owst_dedups_repeat_overwrites() {
+        let mut e = engine();
+        e.ingest(IoReq::read(t(0, 0), l(5)));
+        for i in 0..7u64 {
+            e.ingest(IoReq::write(t(0, 10 + i), l(5))); // DoD 7-pass wipe
+        }
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 7.0);
+        assert!((f.owst - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwio_sums_previous_window() {
+        let mut e = engine();
+        for s in 0..3u64 {
+            e.ingest(IoReq::read(t(s, 0), l(s)));
+            e.ingest(IoReq::write(t(s, 10), l(s)));
+            e.close_slice();
+        }
+        // Three slices, one overwrite each → PWIO at slice 3 is 3.
+        e.ingest(IoReq::read(t(3, 0), l(100)));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.pwio, 3.0);
+    }
+
+    #[test]
+    fn owslope_measures_ramp_up() {
+        let mut e = engine();
+        // One overwrite per slice for 5 slices.
+        for s in 0..5u64 {
+            e.ingest(IoReq::read(t(s, 0), l(s)));
+            e.ingest(IoReq::write(t(s, 10), l(s)));
+            e.close_slice();
+        }
+        // Burst: 10 overwrites in slice 5 → slope = 10 / mean(1) = 10.
+        for i in 0..10u64 {
+            e.ingest(IoReq::read(t(5, i * 2), l(100 + i)));
+            e.ingest(IoReq::write(t(5, i * 2 + 1), l(100 + i)));
+        }
+        let (_, f) = e.close_slice();
+        assert!((f.owslope - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avgwio_reflects_run_lengths() {
+        let mut e = engine();
+        // Read an 8-block run and overwrite all of it (ransomware-style).
+        for i in 0..8u64 {
+            e.ingest(IoReq::read(t(0, i), l(i)));
+        }
+        for i in 0..8u64 {
+            e.ingest(IoReq::write(t(0, 100 + i), l(i)));
+        }
+        let (_, f) = e.close_slice();
+        assert_eq!(f.avgwio, 8.0);
+    }
+
+    #[test]
+    fn slice_boundaries_emit_gap_slices() {
+        let mut e = engine();
+        e.ingest(IoReq::read(t(0, 0), l(0)));
+        let closed = e.ingest(IoReq::read(t(5, 0), l(1)));
+        assert_eq!(closed.len(), 5); // slices 0..=4 closed
+        assert_eq!(closed[0].1.io, 1.0);
+        assert_eq!(closed[1].1.io, 0.0);
+        assert_eq!(e.current_slice(), 5);
+    }
+
+    #[test]
+    fn flush_until_closes_idle_slices() {
+        let mut e = engine();
+        e.ingest(IoReq::read(t(0, 0), l(0)));
+        let closed = e.flush_until(t(3, 0));
+        assert_eq!(closed.len(), 3);
+    }
+
+    #[test]
+    fn multi_block_requests_expand() {
+        let mut e = engine();
+        e.ingest(IoReq::new(t(0, 0), l(0), IoMode::Read, 4));
+        e.ingest(IoReq::new(t(0, 10), l(0), IoMode::Write, 4));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 4.0);
+        assert_eq!(f.io, 8.0);
+        assert_eq!(f.avgwio, 4.0);
+    }
+
+    #[test]
+    fn trim_counts_as_destructive_write() {
+        let mut e = engine();
+        e.ingest(IoReq::read(t(0, 0), l(3)));
+        e.ingest(IoReq::new(t(0, 10), l(3), IoMode::Trim, 1));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 1.0);
+    }
+
+    #[test]
+    fn detector_score_accumulates_and_alarms() {
+        let mut d = Detector::new(DetectorConfig::default(), DecisionTree::stump(0, 0.5));
+        let mut alarms = Vec::new();
+        for s in 0..6u64 {
+            d.ingest(IoReq::read(t(s, 0), l(s)));
+            d.ingest(IoReq::write(t(s, 10), l(s)));
+            for v in d.flush_until(t(s + 1, 0)) {
+                alarms.push((v.slice, v.score, v.alarm));
+            }
+        }
+        // Votes are positive every slice; alarm from score 3 (slice 2) on.
+        assert_eq!(alarms[0].1, 1);
+        assert!(!alarms[0].2);
+        assert_eq!(alarms[2].1, 3);
+        assert!(alarms[2].2);
+        assert!(alarms[5].2);
+        assert_eq!(d.score(), 6);
+    }
+
+    #[test]
+    fn detector_score_decays_after_activity_stops() {
+        let mut d = Detector::new(DetectorConfig::default(), DecisionTree::stump(0, 0.5));
+        for s in 0..4u64 {
+            d.ingest(IoReq::read(t(s, 0), l(s)));
+            d.ingest(IoReq::write(t(s, 10), l(s)));
+        }
+        d.flush_until(t(4, 0));
+        assert_eq!(d.score(), 4);
+        // 20 idle slices: all positive votes slide out.
+        d.flush_until(t(24, 0));
+        assert_eq!(d.score(), 0);
+    }
+
+    #[test]
+    fn finish_closes_current_slice() {
+        let mut d = Detector::new(DetectorConfig::default(), DecisionTree::constant(false));
+        d.ingest(IoReq::read(t(0, 0), l(0)));
+        let v = d.finish();
+        assert_eq!(v.slice, 0);
+        assert!(!v.vote);
+    }
+}
+
+#[cfg(test)]
+mod owst_window_tests {
+    use super::*;
+
+    fn l(i: u64) -> Lba {
+        Lba::new(i)
+    }
+
+    fn t(secs: u64, us: u64) -> SimTime {
+        SimTime::from_secs(secs).plus_micros(us)
+    }
+
+    /// A DoD-style 7-pass wipe spread over several slices: the per-slice
+    /// OWST stays near 1.0 (each slice rewrites each block ~once), while the
+    /// window-level OWST converges to 1/7.
+    #[test]
+    fn window_owst_separates_multi_pass_wiping()  {
+        let run = |over_window: bool| -> f64 {
+            let mut e = FeatureEngine::with_options(SimTime::from_secs(1), 10, over_window);
+            // Read 8 blocks, then one overwrite pass per slice for 7 slices.
+            for i in 0..8u64 {
+                e.ingest(IoReq::read(t(0, i), l(i)));
+            }
+            let mut last = 0.0;
+            for pass in 0..7u64 {
+                for i in 0..8u64 {
+                    e.ingest(IoReq::write(t(pass, 1000 + i), l(i)));
+                }
+                let (_, f) = e.close_slice();
+                last = f.owst;
+            }
+            last
+        };
+        let per_slice = run(false);
+        let per_window = run(true);
+        assert!((per_slice - 1.0).abs() < 1e-9, "per-slice OWST {per_slice}");
+        assert!(
+            (per_window - 1.0 / 7.0).abs() < 1e-9,
+            "window OWST {per_window} should be 1/7"
+        );
+    }
+
+    /// Single-pass ransomware keeps OWST at 1.0 under both variants.
+    #[test]
+    fn single_pass_overwrites_score_one_either_way() {
+        for over_window in [false, true] {
+            let mut e = FeatureEngine::with_options(SimTime::from_secs(1), 10, over_window);
+            for i in 0..8u64 {
+                e.ingest(IoReq::read(t(0, i), l(i)));
+                e.ingest(IoReq::write(t(0, 1000 + i), l(i)));
+            }
+            let (_, f) = e.close_slice();
+            assert!((f.owst - 1.0).abs() < 1e-9, "owst {} (window={over_window})", f.owst);
+        }
+    }
+
+    /// The window covers exactly N slices ending at the current one: an
+    /// overwrite in slice 0 must be outside a 3-slice window at slice 3.
+    #[test]
+    fn window_owst_spans_exactly_n_slices() {
+        let mut e = FeatureEngine::with_options(SimTime::from_secs(1), 3, true);
+        e.ingest(IoReq::read(t(0, 0), l(0)));
+        e.ingest(IoReq::write(t(0, 1), l(0)));
+        e.close_slice(); // slice 0 (has the overwrite)
+        e.close_slice(); // slice 1
+        e.close_slice(); // slice 2
+        e.ingest(IoReq::write(t(3, 0), l(99)));
+        let (_, f) = e.close_slice(); // slice 3: window = slices {1,2,3}
+        assert_eq!(f.owst, 0.0, "slice 0 must have slid out of the window");
+    }
+
+    /// Window OWST forgets slices that slide out.
+    #[test]
+    fn window_owst_slides() {
+        let mut e = FeatureEngine::with_options(SimTime::from_secs(1), 3, true);
+        e.ingest(IoReq::read(t(0, 0), l(0)));
+        e.ingest(IoReq::write(t(0, 1), l(0)));
+        e.close_slice(); // slice 0: 1 distinct / 1 write
+        for _ in 0..3 {
+            let (_, f) = e.close_slice(); // empty slices slide the window
+            let _ = f;
+        }
+        // The overwrite fell out of the 3-slice window: OWST must be 0.
+        e.ingest(IoReq::write(t(4, 0), l(99)));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owst, 0.0);
+    }
+
+    /// The detector config plumbs the option through.
+    #[test]
+    fn detector_config_controls_owst_mode() {
+        let config = DetectorConfig {
+            owst_over_window: true,
+            ..Default::default()
+        };
+        let mut d = Detector::new(config, DecisionTree::constant(false));
+        d.ingest(IoReq::read(t(0, 0), l(1)));
+        for pass in 0..7u64 {
+            d.ingest(IoReq::write(t(0, 10 + pass), l(1)));
+        }
+        let v = d.finish();
+        assert!((v.features.owst - 1.0 / 7.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod gap_tests {
+    use super::*;
+
+    fn l(i: u64) -> Lba {
+        Lba::new(i)
+    }
+
+    #[test]
+    fn far_future_timestamp_is_bounded() {
+        let mut e = FeatureEngine::new(SimTime::from_secs(1), 10);
+        e.ingest(IoReq::read(SimTime::ZERO, l(0)));
+        // Nearly 600 000 years of idle time in one step.
+        let closed = e.ingest(IoReq::read(SimTime::from_micros(u64::MAX - 1), l(1)));
+        assert!(closed.len() <= 21, "gap handling must stay bounded: {}", closed.len());
+        assert_eq!(
+            e.current_slice(),
+            (u64::MAX - 1) / 1_000_000,
+            "engine must land on the request's slice"
+        );
+        // State reset: the ancient read no longer makes writes overwrites.
+        e.ingest(IoReq::write(SimTime::from_micros(u64::MAX - 1), l(0)));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 0.0);
+    }
+
+    #[test]
+    fn detector_score_is_zero_after_a_long_gap() {
+        let mut d = Detector::new(DetectorConfig::default(), DecisionTree::stump(0, 0.5));
+        for s in 0..5u64 {
+            d.ingest(IoReq::read(SimTime::from_secs(s), l(s)));
+            d.ingest(IoReq::write(SimTime::from_secs(s).plus_micros(1), l(s)));
+        }
+        d.flush_until(SimTime::from_secs(5));
+        assert!(d.score() > 0);
+        // A year of silence: the emitted slices must flush the vote window.
+        d.flush_until(SimTime::from_secs(31_536_000));
+        assert_eq!(d.score(), 0);
+    }
+
+    /// The fast path must emit every slice whose window overlaps pre-gap
+    /// activity: a PWIO-keyed vote at slice `window` (the last with nonzero
+    /// PWIO) must appear identically on both sides of the cutover.
+    #[test]
+    fn gap_paths_agree_on_pwio_tail_votes() {
+        let run = |flush_secs: u64| -> Vec<(u64, bool)> {
+            let mut d =
+                Detector::new(DetectorConfig::default(), DecisionTree::stump(2, 0.5));
+            for i in 0..5u64 {
+                d.ingest(IoReq::read(SimTime::from_millis(i * 10), l(i)));
+                d.ingest(IoReq::write(SimTime::from_millis(i * 10 + 1), l(i)));
+            }
+            d.flush_until(SimTime::from_secs(flush_secs))
+                .into_iter()
+                .map(|v| (v.slice, v.vote))
+                .collect()
+        };
+        // 20 s: dense path (exactly at the trigger boundary).
+        // 21 s: fast path. Both must contain slice 10's positive PWIO vote.
+        let dense = run(20);
+        let fast = run(21);
+        let dense_v10 = dense.iter().find(|(s, _)| *s == 10).copied();
+        let fast_v10 = fast.iter().find(|(s, _)| *s == 10).copied();
+        assert_eq!(dense_v10, Some((10, true)));
+        assert_eq!(fast_v10, Some((10, true)), "fast path dropped the tail vote");
+    }
+
+    #[test]
+    fn short_gaps_still_emit_every_slice() {
+        let mut e = FeatureEngine::new(SimTime::from_secs(1), 10);
+        e.ingest(IoReq::read(SimTime::ZERO, l(0)));
+        // A gap of exactly 2 windows is the cutover boundary: still dense.
+        let closed = e.ingest(IoReq::read(SimTime::from_secs(20), l(1)));
+        assert_eq!(closed.len(), 20);
+        let slices: Vec<u64> = closed.iter().map(|(s, _)| *s).collect();
+        assert_eq!(slices, (0..20).collect::<Vec<u64>>());
+    }
+}

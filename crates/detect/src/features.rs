@@ -1,0 +1,129 @@
+//! The six behavioral features of SSD-Insider (paper §III-A).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of features the detector computes per time slice.
+pub const FEATURE_COUNT: usize = 6;
+
+/// Canonical feature names, in vector order.
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] =
+    ["OWIO", "OWST", "PWIO", "AVGWIO", "OWSLOPE", "IO"];
+
+/// One slice's feature values, in [`FEATURE_NAMES`] order.
+///
+/// * `owio` — overwrites during the slice (principal feature: ransomware
+///   reads, encrypts and overwrites the same blocks within seconds).
+/// * `owst` — distinct overwritten blocks divided by write blocks during the
+///   slice. Separates ransomware (each block overwritten once) from DoD-style
+///   wipers (each block overwritten 7×, so `owst ≈ 1/7`).
+/// * `pwio` — overwrites accumulated over the previous window (catches slow
+///   ransomware such as Jaff that evades the per-slice features).
+/// * `avgwio` — mean overwrite-run length in the counting table. Ransomware
+///   targets documents (short runs); wipers/defrag/DB touch long runs.
+/// * `owslope` — `owio` relative to the previous window's per-slice average:
+///   the abrupt ramp-up when ransomware starts.
+/// * `io` — total read+write blocks in the slice (activity level).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Overwrites in the current slice.
+    pub owio: f64,
+    /// Distinct overwritten blocks / write blocks, current slice.
+    pub owst: f64,
+    /// Overwrites across the previous window.
+    pub pwio: f64,
+    /// Mean overwrite run length in the counting table.
+    pub avgwio: f64,
+    /// `owio` over the previous window's per-slice average.
+    pub owslope: f64,
+    /// Total read+write blocks in the current slice.
+    pub io: f64,
+}
+
+impl FeatureVector {
+    /// The feature at `index`, in [`FEATURE_NAMES`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= FEATURE_COUNT`.
+    pub fn get(&self, index: usize) -> f64 {
+        match index {
+            0 => self.owio,
+            1 => self.owst,
+            2 => self.pwio,
+            3 => self.avgwio,
+            4 => self.owslope,
+            5 => self.io,
+            _ => panic!("feature index {index} out of range"),
+        }
+    }
+
+    /// The features as an array, in [`FEATURE_NAMES`] order.
+    pub fn to_array(&self) -> [f64; FEATURE_COUNT] {
+        [
+            self.owio,
+            self.owst,
+            self.pwio,
+            self.avgwio,
+            self.owslope,
+            self.io,
+        ]
+    }
+
+    /// Builds a vector from an array in [`FEATURE_NAMES`] order.
+    pub fn from_array(a: [f64; FEATURE_COUNT]) -> Self {
+        FeatureVector {
+            owio: a[0],
+            owst: a[1],
+            pwio: a[2],
+            avgwio: a[3],
+            owslope: a[4],
+            io: a[5],
+        }
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OWIO={:.1} OWST={:.3} PWIO={:.1} AVGWIO={:.2} OWSLOPE={:.2} IO={:.1}",
+            self.owio, self.owst, self.pwio, self.avgwio, self.owslope, self.io
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_round_trip() {
+        let v = FeatureVector {
+            owio: 1.0,
+            owst: 0.5,
+            pwio: 10.0,
+            avgwio: 2.0,
+            owslope: 3.0,
+            io: 100.0,
+        };
+        assert_eq!(FeatureVector::from_array(v.to_array()), v);
+        for (i, name) in FEATURE_NAMES.iter().enumerate() {
+            assert_eq!(v.get(i), v.to_array()[i], "feature {name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        FeatureVector::default().get(6);
+    }
+
+    #[test]
+    fn display_names_every_feature() {
+        let s = FeatureVector::default().to_string();
+        for name in FEATURE_NAMES {
+            assert!(s.contains(name), "missing {name} in {s}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The block-device abstraction MiniExt mounts on.
+
+use crate::{FsError, Result};
+use bytes::Bytes;
+
+/// A logical block device: fixed-size blocks addressed by index.
+///
+/// `MiniExt` is generic over this trait so the same filesystem code runs on
+/// the in-memory test device and on an SSD-Insider FTL adapter (provided by
+/// the `ssd-insider` crate). Blocks read back `None` when never written or
+/// trimmed.
+pub trait BlockDev {
+    /// Reads block `index`; `None` if the block was never written.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on out-of-range indices or device errors.
+    fn read_block(&mut self, index: u64) -> Result<Option<Bytes>>;
+
+    /// Writes block `index`. Payloads never exceed [`block_size`].
+    ///
+    /// [`block_size`]: BlockDev::block_size
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on out-of-range indices or device errors.
+    fn write_block(&mut self, index: u64, data: Bytes) -> Result<()>;
+
+    /// Discards block `index` (subsequent reads return `None`).
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on out-of-range indices or device errors.
+    fn trim_block(&mut self, index: u64) -> Result<()>;
+
+    /// Size of one block in bytes.
+    fn block_size(&self) -> u32;
+
+    /// Number of addressable blocks.
+    fn block_count(&self) -> u64;
+}
+
+/// A trivial in-memory block device for tests and examples.
+#[derive(Debug, Clone)]
+pub struct MemDev {
+    blocks: Vec<Option<Bytes>>,
+    block_size: u32,
+}
+
+impl MemDev {
+    /// A device with `count` blocks of `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `block_size` is zero.
+    pub fn new(count: u64, block_size: u32) -> Self {
+        assert!(count > 0, "device must have at least one block");
+        assert!(block_size > 0, "block size must be non-zero");
+        MemDev {
+            blocks: vec![None; count as usize],
+            block_size,
+        }
+    }
+}
+
+impl BlockDev for MemDev {
+    fn read_block(&mut self, index: u64) -> Result<Option<Bytes>> {
+        self.blocks
+            .get(index as usize)
+            .cloned()
+            .ok_or(FsError::BlockOutOfRange(index))
+    }
+
+    fn write_block(&mut self, index: u64, data: Bytes) -> Result<()> {
+        if data.len() > self.block_size as usize {
+            return Err(FsError::PayloadTooLarge {
+                len: data.len(),
+                block_size: self.block_size,
+            });
+        }
+        match self.blocks.get_mut(index as usize) {
+            Some(slot) => {
+                *slot = Some(data);
+                Ok(())
+            }
+            None => Err(FsError::BlockOutOfRange(index)),
+        }
+    }
+
+    fn trim_block(&mut self, index: u64) -> Result<()> {
+        match self.blocks.get_mut(index as usize) {
+            Some(slot) => {
+                *slot = None;
+                Ok(())
+            }
+            None => Err(FsError::BlockOutOfRange(index)),
+        }
+    }
+
+    fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    fn block_count(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_trim_round_trip() {
+        let mut d = MemDev::new(4, 16);
+        assert_eq!(d.read_block(0).unwrap(), None);
+        d.write_block(0, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(d.read_block(0).unwrap().unwrap().as_ref(), b"hello");
+        d.trim_block(0).unwrap();
+        assert_eq!(d.read_block(0).unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_fails() {
+        let mut d = MemDev::new(2, 16);
+        assert!(matches!(d.read_block(2), Err(FsError::BlockOutOfRange(2))));
+        assert!(d.write_block(9, Bytes::new()).is_err());
+        assert!(d.trim_block(9).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut d = MemDev::new(2, 4);
+        assert!(matches!(
+            d.write_block(0, Bytes::from_static(b"12345")),
+            Err(FsError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let d = MemDev::new(7, 512);
+        assert_eq!(d.block_count(), 7);
+        assert_eq!(d.block_size(), 512);
+    }
+}

@@ -1,0 +1,57 @@
+//! # insider-fs
+//!
+//! A deliberately small ext-style filesystem (`MiniExt`) plus a consistency
+//! checker (`fsck`), used to reproduce the paper's Table II: after
+//! SSD-Insider rolls the drive back 10 seconds, the filesystem is in the
+//! same state as after a sudden power loss, and `fsck` must bring it back to
+//! a consistent state with no data loss.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! block 0              superblock
+//! blocks 1..=I         inode table (64-byte inodes, 64 per block)
+//! blocks I+1..=I+B     free-block bitmap over the data region
+//! blocks I+B+1..       data blocks
+//! ```
+//!
+//! Files live in a single root directory (enough surface for the paper's
+//! experiments: create, overwrite, read, delete, plus the three metadata
+//! structures fsck audits — superblock free count, per-inode block counts,
+//! and the free-space bitmap).
+//!
+//! # Example
+//!
+//! ```rust
+//! use insider_fs::{MemDev, MiniExt, FsConfig};
+//!
+//! # fn main() -> Result<(), insider_fs::FsError> {
+//! let dev = MemDev::new(1024, 4096);
+//! let mut fs = MiniExt::format(dev, &FsConfig::default())?;
+//! fs.write_file("report.docx", b"quarterly numbers")?;
+//! assert_eq!(fs.read_file("report.docx")?, b"quarterly numbers");
+//! fs.delete("report.docx")?;
+//! assert!(fs.read_file("report.docx").is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blockdev;
+mod error;
+mod fs;
+mod fsck;
+mod inode;
+mod layout;
+
+pub use blockdev::{BlockDev, MemDev};
+pub use error::FsError;
+pub use fs::{FsConfig, MiniExt};
+pub use fsck::{fsck, CorruptionKind, FsckReport};
+pub use inode::{Inode, InodeKind};
+pub use layout::{Bitmap, Superblock, DIRENT_SIZE, INODE_SIZE, NAME_MAX};
+
+/// Convenience result alias for filesystem operations.
+pub type Result<T> = std::result::Result<T, FsError>;

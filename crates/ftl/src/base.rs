@@ -1,0 +1,522 @@
+//! Machinery shared by the conventional and SSD-Insider FTLs: page
+//! allocation, the reverse map, and greedy garbage collection.
+
+use crate::config::{FtlConfig, GcPolicy};
+use crate::mapping::MappingTable;
+use crate::recovery_queue::RecoveryQueue;
+use crate::stats::FtlStats;
+use crate::{FtlError, Result};
+use bytes::Bytes;
+use insider_nand::{Lba, NandDevice, PageState, Pba, Ppa};
+use std::collections::VecDeque;
+
+/// Common FTL state: the device, the forward and reverse maps, the free-block
+/// pool and the statistics. The two public FTLs compose this and differ only
+/// in how they treat superseded pages.
+#[derive(Debug)]
+pub(crate) struct FtlBase {
+    pub device: NandDevice,
+    pub mapping: MappingTable,
+    /// Reverse map PPA → LBA, standing in for the out-of-band (OOB) metadata
+    /// real firmware writes next to each page. For a *protected invalid*
+    /// page it names the logical page whose old version it holds.
+    rmap: Vec<Option<Lba>>,
+    /// Free-block pools, one per chip (die): allocation stripes pages
+    /// across dies (one active block per die, round-robin), which is what
+    /// lets a multi-channel/multi-way controller overlap NAND operations —
+    /// the source of the paper's card's bandwidth.
+    free: Vec<VecDeque<Pba>>,
+    /// Mirror of `free` membership for O(1) lookups.
+    free_flags: Vec<bool>,
+    /// Blocks retired after hitting their endurance limit; never selected
+    /// as GC victims and never returned to the free pool.
+    bad_flags: Vec<bool>,
+    /// Invalid-page count per block, maintained incrementally so garbage
+    /// collection picks victims in O(blocks).
+    invalid_per_block: Vec<u32>,
+    /// Monotone counter of block openings; `block_epoch[b]` is the epoch at
+    /// which block `b` last became the active block (FIFO/cost-benefit age).
+    block_epoch: Vec<u64>,
+    next_epoch: u64,
+    /// One active (partially programmed) block per chip.
+    active: Vec<Option<Pba>>,
+    /// Round-robin chip cursor for page allocation.
+    next_chip: usize,
+    pub stats: FtlStats,
+    config: FtlConfig,
+}
+
+impl FtlBase {
+    pub fn new(config: FtlConfig) -> Self {
+        let device = NandDevice::new(config.nand().clone());
+        let g = *config.geometry();
+        let chips = g.total_chips() as usize;
+        let mut free: Vec<VecDeque<Pba>> = vec![VecDeque::new(); chips];
+        for raw in 0..g.total_blocks() {
+            let pba = Pba::new(raw);
+            free[(raw / g.blocks_per_chip()) as usize].push_back(pba);
+        }
+        FtlBase {
+            device,
+            mapping: MappingTable::new(config.logical_pages()),
+            rmap: vec![None; g.total_pages() as usize],
+            free,
+            free_flags: vec![true; g.total_blocks() as usize],
+            bad_flags: vec![false; g.total_blocks() as usize],
+            invalid_per_block: vec![0; g.total_blocks() as usize],
+            block_epoch: vec![0; g.total_blocks() as usize],
+            next_epoch: 1,
+            active: vec![None; chips],
+            next_chip: 0,
+            stats: FtlStats::new(),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// Installs a deterministic NAND fault plan (failure-injection tests).
+    pub fn set_fault_plan(&mut self, plan: insider_nand::FaultPlan) {
+        self.device.set_fault_plan(plan);
+    }
+
+    /// Device busy time as `(serial sum, parallel makespan)`.
+    pub fn nand_busy_ns(&self) -> (u64, u64) {
+        (self.device.stats().busy_ns, self.device.parallel_busy_ns())
+    }
+
+    /// Per-chip and per-channel-bus busy vectors (phase-delta analyses).
+    pub fn nand_busy_detail(&self) -> (Vec<u64>, Vec<u64>) {
+        (
+            self.device.chip_busy_ns().to_vec(),
+            self.device.bus_busy_ns().to_vec(),
+        )
+    }
+
+    pub fn logical_pages(&self) -> u64 {
+        self.mapping.len()
+    }
+
+    /// Number of blocks in the free pools (excluding active blocks).
+    pub fn free_blocks(&self) -> usize {
+        self.free.iter().map(VecDeque::len).sum()
+    }
+
+    pub fn check_lba(&self, lba: Lba) -> Result<()> {
+        if self.mapping.contains(lba) {
+            Ok(())
+        } else {
+            Err(FtlError::LbaOutOfRange {
+                lba,
+                logical_pages: self.mapping.len(),
+            })
+        }
+    }
+
+    #[cfg(test)]
+    pub fn rmap_of(&self, ppa: Ppa) -> Option<Lba> {
+        self.rmap[ppa.index() as usize]
+    }
+
+    /// Hands out the next programmable physical page, rotating across one
+    /// active block per chip so consecutive pages land on different dies;
+    /// a chip whose pool is empty is skipped until GC refills it.
+    fn allocate(&mut self) -> Result<Ppa> {
+        let g = *self.config.geometry();
+        let chips = self.active.len();
+        for attempt in 0..chips {
+            let chip = (self.next_chip + attempt) % chips;
+            loop {
+                if let Some(pba) = self.active[chip] {
+                    let block = self.device.block(pba)?;
+                    if let Some(offset) = block.write_ptr() {
+                        self.next_chip = (chip + 1) % chips;
+                        return Ok(pba.page(&g, offset));
+                    }
+                    self.active[chip] = None;
+                }
+                match self.free[chip].pop_front() {
+                    Some(pba) => {
+                        self.free_flags[pba.index() as usize] = false;
+                        self.block_epoch[pba.index() as usize] = self.next_epoch;
+                        self.next_epoch += 1;
+                        self.active[chip] = Some(pba);
+                    }
+                    None => break, // this chip is dry; try the next
+                }
+            }
+        }
+        Err(FtlError::NoReclaimableSpace)
+    }
+
+    /// Programs `data` for `lba` at a fresh physical page, updates both maps,
+    /// and returns the superseded physical page, if any. The caller decides
+    /// what happens to the old page (immediate invalidation vs. protection).
+    pub fn program_mapped(&mut self, lba: Lba, data: Bytes) -> Result<Option<Ppa>> {
+        let new = self.allocate()?;
+        self.device.program(new, data)?;
+        self.rmap[new.index() as usize] = Some(lba);
+        let old = self.mapping.set(lba, Some(new));
+        Ok(old)
+    }
+
+    /// Reads the current version of `lba`, or `None` if unmapped.
+    pub fn read_mapped(&mut self, lba: Lba) -> Result<Option<Bytes>> {
+        match self.mapping.get(lba) {
+            Some(ppa) => Ok(Some(self.device.read(ppa)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Runs garbage collection until the free pool is back above the reserve.
+    ///
+    /// `queue` carries the protection state for the SSD-Insider FTL: invalid
+    /// pages it protects are migrated (and their backup entries redirected)
+    /// rather than discarded. The conventional FTL passes `None`.
+    pub fn gc_if_needed(&mut self, mut queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        let mut collected = false;
+        while self.free_blocks() < self.config.gc_reserve() as usize {
+            self.collect_once(queue.as_deref_mut())?;
+            collected = true;
+        }
+        if collected {
+            self.maybe_wear_level(queue.as_deref_mut())?;
+            // A wear-level victim hitting its endurance limit consumes
+            // migration pages without returning a block; top the reserve
+            // back up so the caller's write cannot starve.
+            while self.free_blocks() < self.config.gc_reserve() as usize {
+                self.collect_once(queue.as_deref_mut())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Static wear leveling: when the erase-count spread exceeds the
+    /// configured threshold, migrate the coldest (least-erased) in-service
+    /// block so it rejoins the hot rotation. Runs only right after GC, when
+    /// the free pool has headroom for the migration.
+    fn maybe_wear_level(&mut self, queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        let Some(threshold) = self.config.wear_leveling_threshold() else {
+            return Ok(());
+        };
+        let g = *self.config.geometry();
+        let mut coldest: Option<(Pba, u32)> = None;
+        let mut hottest = 0u32;
+        for raw in 0..g.total_blocks() {
+            let pba = Pba::new(raw);
+            // Retired blocks never cycle again: counting their (maximal)
+            // wear would hold the spread open forever and make leveling
+            // thrash on every GC.
+            if self.bad_flags[raw as usize] {
+                continue;
+            }
+            let wear = self.device.block(pba)?.erase_count();
+            hottest = hottest.max(wear);
+            if self.active.contains(&Some(pba)) || self.free_flags[raw as usize] {
+                continue;
+            }
+            if coldest.is_none_or(|(_, w)| wear < w) {
+                coldest = Some((pba, wear));
+            }
+        }
+        if let Some((victim, wear)) = coldest {
+            if hottest - wear > threshold {
+                match self.migrate_and_erase(victim, queue) {
+                    Ok(()) => self.stats.wear_level_swaps += 1,
+                    // The coldest block hitting its endurance limit means
+                    // leveling has nothing left to do; never surface the
+                    // internal retirement marker to the host write path.
+                    Err(FtlError::BadBlockRetired) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks the best victim under the configured policy (excluding free,
+    /// active and retired-bad blocks), or `None` when nothing is reclaimable.
+    fn select_victim(&self, queue: Option<&RecoveryQueue>) -> Option<Pba> {
+        let g = self.config.geometry();
+        let ppb = g.pages_per_block();
+        let policy = self.config.gc_policy_ref();
+        let mut best: Option<(Pba, f64)> = None;
+        for raw in 0..g.total_blocks() {
+            let pba = Pba::new(raw);
+            if self.active.contains(&Some(pba))
+                || self.free_flags[raw as usize]
+                || self.bad_flags[raw as usize]
+            {
+                continue;
+            }
+            let invalid = self.invalid_per_block[raw as usize];
+            if invalid == 0 {
+                continue;
+            }
+            let protected = queue.map_or(0, |q| q.protected_in_block(raw));
+            debug_assert!(protected <= invalid, "protected pages must be invalid");
+            let reclaimable = invalid - protected;
+            if reclaimable == 0 {
+                continue;
+            }
+            let score = match policy {
+                GcPolicy::Greedy => reclaimable as f64,
+                // Older epoch = larger score; reclaimability only gates.
+                GcPolicy::Fifo => -(self.block_epoch[raw as usize] as f64),
+                GcPolicy::CostBenefit => {
+                    let age = (self.next_epoch - self.block_epoch[raw as usize]) as f64;
+                    let cost = (ppb - reclaimable) as f64 + 1.0;
+                    reclaimable as f64 * age / cost
+                }
+            };
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((pba, score));
+            }
+        }
+        best.map(|(pba, _)| pba)
+    }
+
+    /// Collects one victim. Each page is migrated *atomically* (copy,
+    /// remap, invalidate source, clear source rmap), so an abort at any
+    /// point — allocation failure, injected fault, worn-out erase — leaves
+    /// the FTL fully consistent and the victim re-collectable. A block
+    /// whose erase hits its endurance limit is retired as *bad* and another
+    /// victim is tried.
+    fn collect_once(&mut self, mut queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        loop {
+            let victim = self
+                .select_victim(queue.as_deref())
+                .ok_or(FtlError::NoReclaimableSpace)?;
+            match self.migrate_and_erase(victim, queue.as_deref_mut()) {
+                Ok(()) => {
+                    self.stats.gc_invocations += 1;
+                    return Ok(());
+                }
+                Err(FtlError::BadBlockRetired) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Migrates every live (and protected) page out of `victim`, then
+    /// erases it and returns it to the free pool. Each page is migrated
+    /// *atomically* (copy, remap, invalidate source, clear source rmap), so
+    /// an abort at any point — allocation failure, injected fault, worn-out
+    /// erase — leaves the FTL fully consistent and the victim
+    /// re-collectable. A block whose erase hits its endurance limit is
+    /// retired as *bad* and reported as [`FtlError::BadBlockRetired`].
+    fn migrate_and_erase(
+        &mut self,
+        victim: Pba,
+        mut queue: Option<&mut RecoveryQueue>,
+    ) -> Result<()> {
+        let g = *self.config.geometry();
+        let ppb = g.pages_per_block();
+        {
+            for off in 0..ppb {
+                let ppa = victim.page(&g, off);
+                match self.device.page_state(ppa)? {
+                    PageState::Valid => {
+                        let lba = self.rmap[ppa.index() as usize]
+                            .expect("valid page must have a reverse mapping");
+                        let data = self.device.read(ppa)?;
+                        let new = self.allocate()?;
+                        self.device.program(new, data)?;
+                        self.rmap[new.index() as usize] = Some(lba);
+                        self.mapping.set(lba, Some(new));
+                        self.invalidate(ppa)?;
+                        self.rmap[ppa.index() as usize] = None;
+                        self.stats.gc_page_copies += 1;
+                    }
+                    PageState::Invalid => {
+                        let protected = queue.as_ref().is_some_and(|q| q.is_protected(ppa));
+                        if protected {
+                            // Delayed deletion: the old version must survive
+                            // the erase, so copy it and redirect its backup
+                            // entry.
+                            let lba = self.rmap[ppa.index() as usize]
+                                .expect("protected page must have a reverse mapping");
+                            let data = self.device.read(ppa)?;
+                            let new = self.allocate()?;
+                            self.device.program(new, data)?;
+                            // The copy holds an *old* version, not live data.
+                            self.invalidate(new)?;
+                            self.rmap[new.index() as usize] = Some(lba);
+                            queue
+                                .as_mut()
+                                .expect("protection implies a queue")
+                                .relocate(ppa, new);
+                            self.stats.gc_page_copies += 1;
+                            self.stats.gc_protected_copies += 1;
+                        }
+                        self.rmap[ppa.index() as usize] = None;
+                    }
+                    PageState::Free => {}
+                }
+            }
+
+        }
+        match self.device.erase(victim) {
+            Ok(()) => {
+                self.invalid_per_block[victim.index() as usize] = 0;
+                self.free_flags[victim.index() as usize] = true;
+                let g = self.config.geometry();
+                self.free[(victim.index() / g.blocks_per_chip()) as usize].push_back(victim);
+                self.stats.gc_erases += 1;
+                Ok(())
+            }
+            Err(insider_nand::NandError::BlockWornOut(_)) => {
+                // Retire the block: its pages are all invalid and
+                // unprotected (migrated above), so nothing is lost —
+                // the capacity just shrinks by one block.
+                self.bad_flags[victim.index() as usize] = true;
+                self.invalid_per_block[victim.index() as usize] = 0;
+                self.stats.bad_blocks += 1;
+                Err(FtlError::BadBlockRetired)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Marks a superseded physical page invalid (no-op unless valid).
+    pub fn invalidate(&mut self, ppa: Ppa) -> Result<()> {
+        if self.device.page_state(ppa)? == PageState::Valid {
+            self.device.invalidate(ppa)?;
+            let g = self.config.geometry();
+            self.invalid_per_block[ppa.block(g).index() as usize] += 1;
+        }
+        Ok(())
+    }
+
+    /// Marks an old version valid again (no-op unless invalid).
+    fn revalidate(&mut self, ppa: Ppa) -> Result<()> {
+        if self.device.page_state(ppa)? == PageState::Invalid {
+            self.device.revalidate(ppa)?;
+            let g = self.config.geometry();
+            self.invalid_per_block[ppa.block(g).index() as usize] -= 1;
+        }
+        Ok(())
+    }
+
+    /// Restores a mapping entry to `old` (rollback step), invalidating the
+    /// current version and reviving the old one.
+    pub fn restore_mapping(&mut self, lba: Lba, old: Option<Ppa>) -> Result<()> {
+        let current = self.mapping.set(lba, old);
+        if let Some(cur) = current {
+            self.invalidate(cur)?;
+        }
+        if let Some(ppa) = old {
+            self.revalidate(ppa)?;
+            debug_assert_eq!(
+                self.rmap[ppa.index() as usize],
+                Some(lba),
+                "restored page must reverse-map to its logical page"
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insider_nand::Geometry;
+
+    fn base() -> FtlBase {
+        // 16 blocks x 16 pages, ~1 MiB; 2-block reserve.
+        FtlBase::new(FtlConfig::new(Geometry::tiny()))
+    }
+
+    #[test]
+    fn allocation_is_sequential_within_block() {
+        let mut b = base();
+        let p0 = b.allocate().unwrap();
+        b.device.program(p0, Bytes::from_static(b"a")).unwrap();
+        let p1 = b.allocate().unwrap();
+        assert_eq!(p1.index(), p0.index() + 1);
+    }
+
+    #[test]
+    fn allocation_skips_to_new_block_when_full() {
+        let mut b = base();
+        for i in 0..16 {
+            let p = b.allocate().unwrap();
+            assert_eq!(p.index(), i);
+            b.device.program(p, Bytes::from_static(b"x")).unwrap();
+        }
+        let p = b.allocate().unwrap();
+        assert_eq!(p.index(), 16); // first page of next free block
+    }
+
+    #[test]
+    fn program_mapped_tracks_both_maps() {
+        let mut b = base();
+        let lba = Lba::new(3);
+        let old = b.program_mapped(lba, Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(old, None);
+        let ppa = b.mapping.get(lba).unwrap();
+        assert_eq!(b.rmap_of(ppa), Some(lba));
+        let old = b.program_mapped(lba, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(old, Some(ppa));
+    }
+
+    #[test]
+    fn gc_reclaims_invalid_pages() {
+        let mut b = base();
+        // Overwrite one logical page enough times to exhaust the free pool.
+        let lba = Lba::new(0);
+        for i in 0..(15 * 16 + 8) {
+            if let Some(old) = b
+                .program_mapped(lba, Bytes::copy_from_slice(format!("{i}").as_bytes()))
+                .unwrap()
+            {
+                b.invalidate(old).unwrap();
+            }
+            b.gc_if_needed(None).unwrap();
+        }
+        assert!(b.stats.gc_invocations > 0);
+        assert!(b.free_blocks() >= 2);
+        // The single live page still reads back the latest value.
+        let data = b.read_mapped(lba).unwrap().unwrap();
+        assert_eq!(data.as_ref(), format!("{}", 15 * 16 + 8 - 1).as_bytes());
+    }
+
+    #[test]
+    fn gc_migrates_valid_pages() {
+        let mut b = base();
+        // Interleave one cold (never overwritten) page into every block of
+        // hot overwrites, so each GC victim holds live data to migrate.
+        for i in 0..(16 * 16) {
+            b.gc_if_needed(None).unwrap();
+            let (lba, data) = if i % 16 == 0 {
+                (Lba::new(100 + i / 16), Bytes::from_static(b"cold"))
+            } else {
+                (Lba::new(0), Bytes::from_static(b"hot"))
+            };
+            if let Some(old) = b.program_mapped(lba, data).unwrap() {
+                b.invalidate(old).unwrap();
+            }
+        }
+        assert!(b.stats.gc_page_copies > 0);
+        for k in 0..16u64 {
+            assert_eq!(
+                b.read_mapped(Lba::new(100 + k)).unwrap().unwrap().as_ref(),
+                b"cold",
+                "cold page {k} must survive GC"
+            );
+        }
+    }
+
+    #[test]
+    fn check_lba_bounds() {
+        let b = base();
+        assert!(b.check_lba(Lba::new(0)).is_ok());
+        let max = b.logical_pages();
+        assert!(matches!(
+            b.check_lba(Lba::new(max)),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
+    }
+}

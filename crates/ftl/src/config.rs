@@ -1,0 +1,254 @@
+//! FTL configuration.
+
+use insider_nand::{Geometry, NandConfig, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Garbage-collection victim-selection policy.
+///
+/// The paper's prototype uses greedy selection ("page-level mapping with
+/// greedy victim selection", §V-C footnote); the alternatives are provided
+/// for the design-space ablation (`cargo run -p insider-bench --bin
+/// ablation_gc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Pick the block with the most immediately reclaimable pages.
+    #[default]
+    Greedy,
+    /// Pick the least-recently-opened block with any reclaimable page.
+    Fifo,
+    /// Classic cost-benefit: maximize
+    /// `reclaimable × age / (migration cost + 1)` — prefers old,
+    /// mostly-dead blocks, tolerating slightly fuller victims when cold.
+    CostBenefit,
+}
+
+impl GcPolicy {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GcPolicy::Greedy => "greedy",
+            GcPolicy::Fifo => "fifo",
+            GcPolicy::CostBenefit => "cost-benefit",
+        }
+    }
+}
+
+impl std::fmt::Display for GcPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration shared by both FTL variants.
+///
+/// # Example
+///
+/// ```rust
+/// use insider_ftl::FtlConfig;
+/// use insider_nand::{Geometry, SimTime};
+///
+/// let cfg = FtlConfig::new(Geometry::tiny())
+///     .over_provisioning(0.10)
+///     .protection_window(SimTime::from_secs(10));
+/// assert!(cfg.logical_pages() < Geometry::tiny().total_pages());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FtlConfig {
+    nand: NandConfig,
+    over_provisioning: f64,
+    gc_reserve_blocks: u32,
+    protection_window: SimTime,
+    gc_policy: GcPolicy,
+    wear_leveling_threshold: Option<u32>,
+}
+
+impl FtlConfig {
+    /// Configuration with default NAND timings, 7 % over-provisioning,
+    /// a 2-block GC reserve and the paper's 10 s protection window.
+    pub fn new(geometry: Geometry) -> Self {
+        Self::with_nand(NandConfig::new(geometry))
+    }
+
+    /// Configuration over an explicit NAND configuration (custom latencies,
+    /// endurance, fault plans are installed on the device afterwards).
+    pub fn with_nand(nand: NandConfig) -> Self {
+        FtlConfig {
+            nand,
+            over_provisioning: 0.07,
+            gc_reserve_blocks: 2,
+            protection_window: SimTime::from_secs(10),
+            gc_policy: GcPolicy::Greedy,
+            wear_leveling_threshold: None,
+        }
+    }
+
+    /// Sets the over-provisioning ratio (fraction of raw capacity hidden
+    /// from the host).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ratio < 1.0`.
+    pub fn over_provisioning(mut self, ratio: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&ratio),
+            "over-provisioning ratio must be in [0, 1)"
+        );
+        self.over_provisioning = ratio;
+        self
+    }
+
+    /// Sets how many free blocks garbage collection keeps in reserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn gc_reserve_blocks(mut self, blocks: u32) -> Self {
+        assert!(blocks >= 1, "gc reserve must be at least one block");
+        self.gc_reserve_blocks = blocks;
+        self
+    }
+
+    /// Sets the delayed-deletion protection window (how long pre-overwrite
+    /// versions are kept recoverable). The paper uses 10 seconds.
+    pub fn protection_window(mut self, window: SimTime) -> Self {
+        self.protection_window = window;
+        self
+    }
+
+    /// Sets the garbage-collection victim-selection policy (default greedy,
+    /// as in the paper's prototype).
+    pub fn gc_policy(mut self, policy: GcPolicy) -> Self {
+        self.gc_policy = policy;
+        self
+    }
+
+    /// The garbage-collection policy.
+    pub fn gc_policy_ref(&self) -> GcPolicy {
+        self.gc_policy
+    }
+
+    /// Enables static wear leveling: after garbage collection, if the
+    /// erase-count spread (max − min) exceeds `threshold`, the coldest
+    /// in-service block is migrated and erased so it rejoins the hot
+    /// rotation. Disabled by default (the paper's prototype has none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn wear_leveling(mut self, threshold: u32) -> Self {
+        assert!(threshold >= 1, "wear-leveling threshold must be at least 1");
+        self.wear_leveling_threshold = Some(threshold);
+        self
+    }
+
+    /// The static wear-leveling threshold, if enabled.
+    pub fn wear_leveling_threshold(&self) -> Option<u32> {
+        self.wear_leveling_threshold
+    }
+
+    /// The NAND configuration.
+    pub fn nand(&self) -> &NandConfig {
+        &self.nand
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        self.nand.geometry()
+    }
+
+    /// The over-provisioning ratio.
+    pub fn over_provisioning_ratio(&self) -> f64 {
+        self.over_provisioning
+    }
+
+    /// The GC free-block reserve.
+    pub fn gc_reserve(&self) -> u32 {
+        self.gc_reserve_blocks
+    }
+
+    /// The protection window.
+    pub fn window(&self) -> SimTime {
+        self.protection_window
+    }
+
+    /// Number of logical pages exported to the host.
+    ///
+    /// At least one block's worth of pages (plus the GC reserve) is always
+    /// held back, even with zero over-provisioning, so GC can make progress.
+    pub fn logical_pages(&self) -> u64 {
+        let g = self.geometry();
+        let total = g.total_pages();
+        let op_pages = (total as f64 * self.over_provisioning).ceil() as u64;
+        let reserve_pages =
+            (self.gc_reserve_blocks as u64 + 1) * g.pages_per_block() as u64;
+        total.saturating_sub(op_pages.max(reserve_pages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_pages_respects_over_provisioning() {
+        let g = Geometry::builder()
+            .blocks_per_chip(100)
+            .pages_per_block(10)
+            .build(); // 1000 pages
+        let cfg = FtlConfig::new(g).over_provisioning(0.10).gc_reserve_blocks(2);
+        // 10% of 1000 = 100 held back > 3 blocks * 10 pages reserve.
+        assert_eq!(cfg.logical_pages(), 900);
+    }
+
+    #[test]
+    fn reserve_floor_applies_with_tiny_op() {
+        let g = Geometry::builder()
+            .blocks_per_chip(100)
+            .pages_per_block(10)
+            .build();
+        let cfg = FtlConfig::new(g).over_provisioning(0.0).gc_reserve_blocks(2);
+        // (2 + 1) blocks * 10 pages held back.
+        assert_eq!(cfg.logical_pages(), 970);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-provisioning")]
+    fn invalid_op_ratio_panics() {
+        FtlConfig::new(Geometry::tiny()).over_provisioning(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_reserve_panics() {
+        FtlConfig::new(Geometry::tiny()).gc_reserve_blocks(0);
+    }
+
+    #[test]
+    fn default_window_is_ten_seconds() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert_eq!(cfg.window(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn wear_leveling_knob() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert_eq!(cfg.wear_leveling_threshold(), None);
+        let cfg = cfg.wear_leveling(8);
+        assert_eq!(cfg.wear_leveling_threshold(), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_wear_threshold_panics() {
+        FtlConfig::new(Geometry::tiny()).wear_leveling(0);
+    }
+
+    #[test]
+    fn default_policy_is_greedy_and_settable() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert_eq!(cfg.gc_policy_ref(), GcPolicy::Greedy);
+        let cfg = cfg.gc_policy(GcPolicy::CostBenefit);
+        assert_eq!(cfg.gc_policy_ref(), GcPolicy::CostBenefit);
+        assert_eq!(GcPolicy::Fifo.to_string(), "fifo");
+    }
+}

@@ -1,0 +1,153 @@
+//! The logical-to-physical page mapping table.
+
+use insider_nand::{Lba, Ppa};
+
+/// Page-level logical-to-physical mapping table.
+///
+/// A dense array indexed by LBA; `None` means the logical page is unmapped
+/// (never written, trimmed, or unmapped by rollback).
+///
+/// # Example
+///
+/// ```rust
+/// use insider_ftl::MappingTable;
+/// use insider_nand::{Lba, Ppa};
+///
+/// let mut map = MappingTable::new(8);
+/// assert_eq!(map.set(Lba::new(3), Some(Ppa::new(40))), None);
+/// assert_eq!(map.get(Lba::new(3)), Some(Ppa::new(40)));
+/// assert_eq!(map.set(Lba::new(3), None), Some(Ppa::new(40)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappingTable {
+    entries: Vec<Option<Ppa>>,
+    mapped: u64,
+}
+
+impl MappingTable {
+    /// An empty table covering `logical_pages` logical pages.
+    pub fn new(logical_pages: u64) -> Self {
+        MappingTable {
+            entries: vec![None; logical_pages as usize],
+            mapped: 0,
+        }
+    }
+
+    /// Number of logical pages the table covers.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Whether the table covers zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `lba` falls within the table.
+    pub fn contains(&self, lba: Lba) -> bool {
+        (lba.index() as usize) < self.entries.len()
+    }
+
+    /// Current physical location of `lba`, if mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range; callers validate against
+    /// [`MappingTable::contains`] (the FTL front-ends do).
+    pub fn get(&self, lba: Lba) -> Option<Ppa> {
+        self.entries[lba.index() as usize]
+    }
+
+    /// Points `lba` at `ppa` (or unmaps it with `None`), returning the
+    /// previous mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range.
+    pub fn set(&mut self, lba: Lba, ppa: Option<Ppa>) -> Option<Ppa> {
+        let slot = &mut self.entries[lba.index() as usize];
+        let old = std::mem::replace(slot, ppa);
+        match (old.is_some(), ppa.is_some()) {
+            (false, true) => self.mapped += 1,
+            (true, false) => self.mapped -= 1,
+            _ => {}
+        }
+        old
+    }
+
+    /// Number of currently mapped logical pages.
+    pub fn mapped_count(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Fraction of logical pages currently mapped.
+    pub fn utilization(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.mapped as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// Iterates over `(lba, ppa)` pairs for all mapped pages.
+    pub fn iter(&self) -> impl Iterator<Item = (Lba, Ppa)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|ppa| (Lba::new(i as u64), ppa)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = MappingTable::new(4);
+        assert_eq!(m.get(Lba::new(0)), None);
+        assert_eq!(m.set(Lba::new(0), Some(Ppa::new(9))), None);
+        assert_eq!(m.get(Lba::new(0)), Some(Ppa::new(9)));
+        assert_eq!(m.set(Lba::new(0), Some(Ppa::new(11))), Some(Ppa::new(9)));
+    }
+
+    #[test]
+    fn mapped_count_tracks_transitions() {
+        let mut m = MappingTable::new(4);
+        m.set(Lba::new(0), Some(Ppa::new(1)));
+        m.set(Lba::new(1), Some(Ppa::new(2)));
+        assert_eq!(m.mapped_count(), 2);
+        m.set(Lba::new(0), Some(Ppa::new(3))); // remap, no change
+        assert_eq!(m.mapped_count(), 2);
+        m.set(Lba::new(0), None);
+        assert_eq!(m.mapped_count(), 1);
+        m.set(Lba::new(0), None); // unmapping twice is a no-op
+        assert_eq!(m.mapped_count(), 1);
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_only_mapped() {
+        let mut m = MappingTable::new(4);
+        m.set(Lba::new(1), Some(Ppa::new(5)));
+        m.set(Lba::new(3), Some(Ppa::new(7)));
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(Lba::new(1), Ppa::new(5)), (Lba::new(3), Ppa::new(7))]
+        );
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let m = MappingTable::new(4);
+        assert!(m.contains(Lba::new(3)));
+        assert!(!m.contains(Lba::new(4)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_get_panics() {
+        MappingTable::new(2).get(Lba::new(2));
+    }
+}

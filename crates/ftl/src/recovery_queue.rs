@@ -1,0 +1,310 @@
+//! The recovery queue: SSD-Insider's delayed-deletion backup log.
+//!
+//! Every host write that supersedes an existing mapping (and every trim)
+//! appends a [`BackupEntry`] recording the logical address, the physical page
+//! that held the *previous* version, and a timestamp. While an entry is in
+//! the queue, its old physical page is **protected**: garbage collection must
+//! migrate it instead of discarding it. Entries older than the protection
+//! window are retired, releasing their pages for normal reclamation.
+
+use insider_nand::{Lba, Ppa, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// One backup record in the recovery queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackupEntry {
+    /// The logical page that was overwritten or trimmed.
+    pub lba: Lba,
+    /// Physical page holding the previous version, or `None` if the logical
+    /// page had never been mapped (a first write — rollback unmaps it).
+    pub old: Option<Ppa>,
+    /// When the superseding operation happened.
+    pub stamp: SimTime,
+}
+
+/// Time-ordered queue of [`BackupEntry`] records with an index from protected
+/// physical pages back to their entries.
+///
+/// Entries live in a `VecDeque` in insertion (= time) order; a monotonically
+/// increasing sequence number addresses them stably across front retirement
+/// (`index = seq − front_seq`), so push, retire and the protected-page
+/// lookup are all O(1) — this sits on the write hot path.
+///
+/// # Example
+///
+/// ```rust
+/// use insider_ftl::RecoveryQueue;
+/// use insider_nand::{Lba, Ppa, SimTime};
+///
+/// let mut q = RecoveryQueue::new();
+/// q.push(Lba::new(7), Some(Ppa::new(21)), SimTime::from_secs(3));
+/// assert!(q.is_protected(Ppa::new(21)));
+///
+/// // 10 s later the entry retires and the old page becomes reclaimable.
+/// let retired = q.retire_before(SimTime::from_secs(13));
+/// assert_eq!(retired, 1);
+/// assert!(!q.is_protected(Ppa::new(21)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryQueue {
+    entries: VecDeque<BackupEntry>,
+    by_old_ppa: HashMap<Ppa, u64>,
+    /// Sequence number of the entry currently at the front of the deque.
+    front_seq: u64,
+    next_seq: u64,
+    /// When non-zero, protected pages are also counted per erase block
+    /// (block = `ppa / pages_per_block`) so garbage collection can pick
+    /// victims in O(blocks) instead of O(pages).
+    pages_per_block: u64,
+    per_block: HashMap<u32, u32>,
+}
+
+impl RecoveryQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty queue that additionally maintains per-block protected-page
+    /// counts for `pages_per_block`-page erase blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages_per_block` is zero.
+    pub fn with_block_size(pages_per_block: u32) -> Self {
+        assert!(pages_per_block > 0, "pages per block must be non-zero");
+        RecoveryQueue {
+            pages_per_block: pages_per_block as u64,
+            ..Self::default()
+        }
+    }
+
+    fn block_of(&self, ppa: Ppa) -> Option<u32> {
+        (self.pages_per_block > 0).then(|| (ppa.index() / self.pages_per_block) as u32)
+    }
+
+    fn count_block(&mut self, ppa: Ppa, delta: i32) {
+        if let Some(block) = self.block_of(ppa) {
+            let slot = self.per_block.entry(block).or_insert(0);
+            *slot = slot
+                .checked_add_signed(delta)
+                .expect("per-block protected count underflow");
+            if *slot == 0 {
+                self.per_block.remove(&block);
+            }
+        }
+    }
+
+    /// Number of protected pages inside erase block `block`. Always zero
+    /// unless the queue was built with [`RecoveryQueue::with_block_size`].
+    pub fn protected_in_block(&self, block: u32) -> u32 {
+        self.per_block.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Number of entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a backup entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is already protected by another entry — a physical
+    /// page can be the pre-image of at most one overwrite, so a duplicate
+    /// indicates an FTL accounting bug.
+    pub fn push(&mut self, lba: Lba, old: Option<Ppa>, stamp: SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(ppa) = old {
+            let prev = self.by_old_ppa.insert(ppa, seq);
+            assert!(
+                prev.is_none(),
+                "physical page {ppa} already protected by another backup entry"
+            );
+            self.count_block(ppa, 1);
+        }
+        self.entries.push_back(BackupEntry { lba, old, stamp });
+    }
+
+    /// Whether `ppa` holds a protected old version.
+    pub fn is_protected(&self, ppa: Ppa) -> bool {
+        self.by_old_ppa.contains_key(&ppa)
+    }
+
+    /// Number of protected physical pages.
+    pub fn protected_count(&self) -> usize {
+        self.by_old_ppa.len()
+    }
+
+    /// Redirects the protection of a migrated old version: garbage collection
+    /// moved the page at `from` to `to`, so the backup entry must now point
+    /// at `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not protected, or if `to` is already protected.
+    pub fn relocate(&mut self, from: Ppa, to: Ppa) {
+        let seq = self
+            .by_old_ppa
+            .remove(&from)
+            .unwrap_or_else(|| panic!("relocating unprotected page {from}"));
+        let idx = (seq - self.front_seq) as usize;
+        let entry = self.entries.get_mut(idx).expect("index points at live entry");
+        entry.old = Some(to);
+        let prev = self.by_old_ppa.insert(to, seq);
+        assert!(prev.is_none(), "relocation target {to} already protected");
+        self.count_block(from, -1);
+        self.count_block(to, 1);
+    }
+
+    /// Retires (drops) all entries with `stamp < cutoff`, releasing their
+    /// protected pages. Returns how many entries were retired.
+    pub fn retire_before(&mut self, cutoff: SimTime) -> usize {
+        let mut retired = 0;
+        while let Some(entry) = self.entries.front() {
+            if entry.stamp >= cutoff {
+                break;
+            }
+            if let Some(ppa) = entry.old {
+                self.by_old_ppa.remove(&ppa);
+                self.count_block(ppa, -1);
+            }
+            self.entries.pop_front();
+            self.front_seq += 1;
+            retired += 1;
+        }
+        retired
+    }
+
+    /// Iterates entries from newest to oldest — the scan order of the
+    /// paper's Fig. 5 recovery process.
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = &BackupEntry> {
+        self.entries.iter().rev()
+    }
+
+    /// Iterates entries from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &BackupEntry> {
+        self.entries.iter()
+    }
+
+    /// Removes every entry and protection. Used after rollback completes.
+    pub fn clear(&mut self) {
+        self.front_seq = self.next_seq;
+        self.entries.clear();
+        self.by_old_ppa.clear();
+        self.per_block.clear();
+    }
+
+    /// Bytes of DRAM an on-device implementation would need per entry
+    /// (LBA + PPA + timestamp packed as in the paper's Table III).
+    pub const ENTRY_BYTES: usize = 12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(lba: u64, old: Option<u64>, secs: u64) -> (Lba, Option<Ppa>, SimTime) {
+        (Lba::new(lba), old.map(Ppa::new), SimTime::from_secs(secs))
+    }
+
+    #[test]
+    fn push_protects_old_pages() {
+        let mut q = RecoveryQueue::new();
+        let (l, o, t) = e(1, Some(10), 0);
+        q.push(l, o, t);
+        assert_eq!(q.len(), 1);
+        assert!(q.is_protected(Ppa::new(10)));
+        assert_eq!(q.protected_count(), 1);
+    }
+
+    #[test]
+    fn first_writes_protect_nothing() {
+        let mut q = RecoveryQueue::new();
+        let (l, o, t) = e(1, None, 0);
+        q.push(l, o, t);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.protected_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already protected")]
+    fn duplicate_protection_panics() {
+        let mut q = RecoveryQueue::new();
+        q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::ZERO);
+        q.push(Lba::new(2), Some(Ppa::new(10)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn retire_releases_only_expired() {
+        let mut q = RecoveryQueue::new();
+        q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::from_secs(0));
+        q.push(Lba::new(2), Some(Ppa::new(11)), SimTime::from_secs(5));
+        q.push(Lba::new(3), Some(Ppa::new(12)), SimTime::from_secs(9));
+        let retired = q.retire_before(SimTime::from_secs(5));
+        assert_eq!(retired, 1);
+        assert!(!q.is_protected(Ppa::new(10)));
+        assert!(q.is_protected(Ppa::new(11)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn retire_with_equal_stamp_keeps_entry() {
+        let mut q = RecoveryQueue::new();
+        q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::from_secs(5));
+        assert_eq!(q.retire_before(SimTime::from_secs(5)), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn relocate_moves_protection() {
+        let mut q = RecoveryQueue::new();
+        q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::ZERO);
+        q.relocate(Ppa::new(10), Ppa::new(99));
+        assert!(!q.is_protected(Ppa::new(10)));
+        assert!(q.is_protected(Ppa::new(99)));
+        let entry = q.iter().next().unwrap();
+        assert_eq!(entry.old, Some(Ppa::new(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "relocating unprotected")]
+    fn relocate_unprotected_panics() {
+        RecoveryQueue::new().relocate(Ppa::new(1), Ppa::new(2));
+    }
+
+    #[test]
+    fn newest_first_iteration_order() {
+        let mut q = RecoveryQueue::new();
+        for i in 0..4u64 {
+            q.push(Lba::new(i), Some(Ppa::new(100 + i)), SimTime::from_secs(i));
+        }
+        let lbas: Vec<u64> = q.iter_newest_first().map(|e| e.lba.index()).collect();
+        assert_eq!(lbas, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut q = RecoveryQueue::new();
+        q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::ZERO);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.protected_count(), 0);
+    }
+
+    #[test]
+    fn same_lba_multiple_overwrites_coexist() {
+        let mut q = RecoveryQueue::new();
+        q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::from_secs(1));
+        q.push(Lba::new(1), Some(Ppa::new(11)), SimTime::from_secs(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.protected_count(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! The `Ftl` trait: the host-facing block interface both FTLs implement.
+
+use crate::{FtlStats, Result};
+use bytes::Bytes;
+use insider_nand::{Lba, NandStats, SimTime};
+
+/// Host-facing interface of a flash translation layer.
+///
+/// Both [`ConventionalFtl`](crate::ConventionalFtl) and
+/// [`InsiderFtl`](crate::InsiderFtl) implement this, so experiments can swap
+/// policies behind `&mut dyn Ftl`.
+///
+/// Each operation carries the simulated time `now`, which the SSD-Insider
+/// FTL uses to stamp backup entries and retire expired ones.
+pub trait Ftl {
+    /// Writes one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lba` is out of range, the drive is read-only, space is
+    /// exhausted, or the underlying NAND rejects an operation.
+    fn write(&mut self, lba: Lba, data: Bytes, now: SimTime) -> Result<()>;
+
+    /// Reads one logical page; `None` if the page is unmapped.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lba` is out of range or the underlying NAND read fails.
+    fn read(&mut self, lba: Lba, now: SimTime) -> Result<Option<Bytes>>;
+
+    /// Unmaps one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lba` is out of range or the drive is read-only.
+    fn trim(&mut self, lba: Lba, now: SimTime) -> Result<()>;
+
+    /// FTL-level statistics (host ops, GC cost).
+    fn stats(&self) -> &FtlStats;
+
+    /// NAND-level statistics (device ops, simulated busy time).
+    fn nand_stats(&self) -> &NandStats;
+
+    /// Number of logical pages exported to the host.
+    fn logical_pages(&self) -> u64;
+
+    /// Fraction of logical pages currently mapped.
+    fn utilization(&self) -> f64;
+
+    /// Per-block wear summary: `(min, max, mean)` erase counts.
+    fn wear_summary(&self) -> (u32, u32, f64);
+}

@@ -1,0 +1,589 @@
+//! The simulated NAND device.
+
+use crate::block::Block;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::page::PageState;
+use crate::stats::NandStats;
+use crate::{Geometry, NandError, Pba, Ppa, Result};
+use bytes::Bytes;
+
+/// Timing and reliability configuration for a [`NandDevice`].
+///
+/// Defaults follow the paper's cited NAND datasheet (Micron MT29F):
+/// 50 µs page read, 500 µs page program, and 3 ms block erase, with a
+/// 3000-cycle endurance limit typical of MLC NAND.
+#[derive(Debug, Clone)]
+pub struct NandConfig {
+    geometry: Geometry,
+    read_latency_ns: u64,
+    program_latency_ns: u64,
+    erase_latency_ns: u64,
+    /// Page-transfer time over the shared channel bus (serialized among
+    /// the chips of one channel).
+    bus_transfer_ns: u64,
+    endurance: u32,
+}
+
+impl NandConfig {
+    /// Configuration with default latencies for `geometry`.
+    pub fn new(geometry: Geometry) -> Self {
+        NandConfig {
+            geometry,
+            read_latency_ns: 50_000,
+            program_latency_ns: 500_000,
+            erase_latency_ns: 3_000_000,
+            // ~133 MB/s per channel for a 4 KiB page: the ONFI-class bus
+            // of the paper's prototype card, which is what bounds its
+            // 1.2 GB/s read throughput across 8 channels.
+            bus_transfer_ns: 30_000,
+            endurance: 3_000,
+        }
+    }
+
+    /// Sets the page-read latency in nanoseconds.
+    pub fn read_latency_ns(mut self, ns: u64) -> Self {
+        self.read_latency_ns = ns;
+        self
+    }
+
+    /// Sets the page-program latency in nanoseconds.
+    pub fn program_latency_ns(mut self, ns: u64) -> Self {
+        self.program_latency_ns = ns;
+        self
+    }
+
+    /// Sets the block-erase latency in nanoseconds.
+    pub fn erase_latency_ns(mut self, ns: u64) -> Self {
+        self.erase_latency_ns = ns;
+        self
+    }
+
+    /// Sets the channel-bus page-transfer time in nanoseconds.
+    pub fn bus_transfer_ns(mut self, ns: u64) -> Self {
+        self.bus_transfer_ns = ns;
+        self
+    }
+
+    /// Sets the per-block program/erase endurance limit.
+    pub fn endurance(mut self, cycles: u32) -> Self {
+        self.endurance = cycles;
+        self
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+}
+
+/// A simulated NAND flash device.
+///
+/// Enforces the physical constraints of NAND (no in-place updates, in-order
+/// programming, erase-before-reuse, endurance) and accounts per-operation
+/// latency into [`NandStats`].
+///
+/// The device is deliberately *dumb*: address translation, garbage collection
+/// and wear leveling belong to the FTL crate layered on top.
+///
+/// # Example
+///
+/// ```rust
+/// use insider_nand::{Geometry, NandConfig, NandDevice, Ppa, NandError};
+/// use bytes::Bytes;
+///
+/// let mut dev = NandDevice::new(NandConfig::new(Geometry::tiny()));
+/// dev.program(Ppa::new(0), Bytes::from_static(b"v1")).unwrap();
+/// // NAND forbids in-place updates:
+/// let err = dev.program(Ppa::new(0), Bytes::from_static(b"v2")).unwrap_err();
+/// assert!(matches!(err, NandError::ProgramNonFree(_)));
+/// ```
+#[derive(Debug)]
+pub struct NandDevice {
+    config: NandConfig,
+    blocks: Vec<Block>,
+    stats: NandStats,
+    /// Simulated busy time accumulated per chip (die): programs and erases
+    /// occupy a die, and dies operate in parallel on real hardware — the
+    /// device-level makespan is the maximum over chips rather than the
+    /// serial sum.
+    chip_busy: Vec<u64>,
+    /// Page-transfer time accumulated per channel bus: all chips of a
+    /// channel share it, so it serializes their data transfers and is the
+    /// read-throughput bound on real cards.
+    bus_busy: Vec<u64>,
+    faults: FaultPlan,
+}
+
+impl NandDevice {
+    /// Creates an erased device with the given configuration.
+    pub fn new(config: NandConfig) -> Self {
+        let blocks = (0..config.geometry.total_blocks())
+            .map(|_| Block::new(config.geometry.pages_per_block()))
+            .collect();
+        let chips = config.geometry.total_chips() as usize;
+        let channels = config.geometry.channels() as usize;
+        NandDevice {
+            config,
+            blocks,
+            stats: NandStats::new(),
+            chip_busy: vec![0; chips],
+            bus_busy: vec![0; channels],
+            faults: FaultPlan::new(),
+        }
+    }
+
+    fn charge_chip(&mut self, pba: Pba, ns: u64, bus_ns: u64) {
+        let chip = (pba.index() / self.config.geometry.blocks_per_chip()) as usize;
+        self.chip_busy[chip] += ns;
+        let ch = pba.channel(&self.config.geometry) as usize;
+        self.bus_busy[ch] += bus_ns;
+    }
+
+    /// Simulated busy time per chip (die), in nanoseconds.
+    pub fn chip_busy_ns(&self) -> &[u64] {
+        &self.chip_busy
+    }
+
+    /// Page-transfer busy time per channel bus, in nanoseconds.
+    pub fn bus_busy_ns(&self) -> &[u64] {
+        &self.bus_busy
+    }
+
+    /// Device-level makespan under perfect die parallelism, bounded by the
+    /// busiest chip *or* the busiest channel bus — whichever saturates
+    /// first. Compare with [`NandStats::busy_ns`](crate::NandStats) (the
+    /// serial sum) to see how much parallelism a workload's distribution
+    /// can exploit.
+    pub fn parallel_busy_ns(&self) -> u64 {
+        let chip = self.chip_busy.iter().copied().max().unwrap_or(0);
+        let bus = self.bus_busy.iter().copied().max().unwrap_or(0);
+        chip.max(bus)
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.config.geometry
+    }
+
+    /// Cumulative operation statistics.
+    pub fn stats(&self) -> &NandStats {
+        &self.stats
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Immutable view of a block, for policy audits and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PbaOutOfRange`] for addresses beyond the geometry.
+    pub fn block(&self, pba: Pba) -> Result<&Block> {
+        self.blocks
+            .get(pba.index() as usize)
+            .ok_or(NandError::PbaOutOfRange(pba))
+    }
+
+    fn check_ppa(&self, ppa: Ppa) -> Result<()> {
+        if ppa.is_valid(&self.config.geometry) {
+            Ok(())
+        } else {
+            Err(NandError::PpaOutOfRange(ppa))
+        }
+    }
+
+    /// Reads the payload of a programmed page.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::PpaOutOfRange`] — address beyond geometry.
+    /// * [`NandError::ReadUnwritten`] — page not programmed since last erase.
+    /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    pub fn read(&mut self, ppa: Ppa) -> Result<Bytes> {
+        if let Err(e) = self.check_ppa(ppa) {
+            self.stats.record_failure();
+            return Err(e);
+        }
+        if self.faults.should_fail(FaultKind::Read) {
+            self.stats.record_failure();
+            return Err(NandError::InjectedFault("read"));
+        }
+        let g = self.config.geometry;
+        let block = &self.blocks[ppa.block(&g).index() as usize];
+        let page = block.page(ppa.page_offset(&g));
+        match page.data() {
+            Some(data) => {
+                let data = data.clone();
+                self.stats.record_read(self.config.read_latency_ns);
+                self.charge_chip(ppa.block(&g), self.config.read_latency_ns, self.config.bus_transfer_ns);
+                Ok(data)
+            }
+            None => {
+                self.stats.record_failure();
+                Err(NandError::ReadUnwritten(ppa))
+            }
+        }
+    }
+
+    /// Programs a free page with `data`.
+    ///
+    /// Pages within a block must be programmed in order; the page must be
+    /// free; the payload must fit in a page.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::PpaOutOfRange`] — address beyond geometry.
+    /// * [`NandError::PayloadTooLarge`] — payload exceeds page size.
+    /// * [`NandError::ProgramNonFree`] — in-place update attempted.
+    /// * [`NandError::ProgramOutOfOrder`] — violates in-order programming.
+    /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    pub fn program(&mut self, ppa: Ppa, data: Bytes) -> Result<()> {
+        if let Err(e) = self.check_ppa(ppa) {
+            self.stats.record_failure();
+            return Err(e);
+        }
+        if data.len() > self.config.geometry.page_size() as usize {
+            self.stats.record_failure();
+            return Err(NandError::PayloadTooLarge {
+                len: data.len(),
+                page_size: self.config.geometry.page_size(),
+            });
+        }
+        if self.faults.should_fail(FaultKind::Program) {
+            self.stats.record_failure();
+            return Err(NandError::InjectedFault("program"));
+        }
+        let g = self.config.geometry;
+        let offset = ppa.page_offset(&g);
+        let block = &mut self.blocks[ppa.block(&g).index() as usize];
+        if !block.page(offset).is_free() {
+            self.stats.record_failure();
+            return Err(NandError::ProgramNonFree(ppa));
+        }
+        match block.write_ptr() {
+            Some(expected) if expected == offset => {
+                block.page_mut(offset).program(data);
+                block.advance_write_ptr();
+                self.stats.record_program(self.config.program_latency_ns);
+                self.charge_chip(ppa.block(&g), self.config.program_latency_ns, self.config.bus_transfer_ns);
+                Ok(())
+            }
+            expected => {
+                self.stats.record_failure();
+                Err(NandError::ProgramOutOfOrder {
+                    requested: ppa,
+                    expected_offset: expected,
+                })
+            }
+        }
+    }
+
+    /// Marks a programmed page invalid (superseded). FTL-driven; free pages
+    /// or already-invalid pages are left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PpaOutOfRange`] for addresses beyond the geometry.
+    pub fn invalidate(&mut self, ppa: Ppa) -> Result<()> {
+        self.check_ppa(ppa)?;
+        let g = self.config.geometry;
+        let block = &mut self.blocks[ppa.block(&g).index() as usize];
+        let offset = ppa.page_offset(&g);
+        if block.page(offset).state() == PageState::Valid {
+            block.page_mut(offset).invalidate();
+        }
+        Ok(())
+    }
+
+    /// Marks an invalid page valid again.
+    ///
+    /// This is FTL bookkeeping, not a physical NAND operation: the page's
+    /// payload was never erased ("delayed deletion"), so rolling a mapping
+    /// entry back to an old physical page simply flips the old page's state
+    /// back to live. Valid and free pages are left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PpaOutOfRange`] for addresses beyond the geometry.
+    pub fn revalidate(&mut self, ppa: Ppa) -> Result<()> {
+        self.check_ppa(ppa)?;
+        let g = self.config.geometry;
+        let block = &mut self.blocks[ppa.block(&g).index() as usize];
+        let offset = ppa.page_offset(&g);
+        if block.page(offset).state() == PageState::Invalid {
+            block.page_mut(offset).revalidate();
+        }
+        Ok(())
+    }
+
+    /// Erases a block, freeing all of its pages.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::PbaOutOfRange`] — address beyond geometry.
+    /// * [`NandError::BlockWornOut`] — endurance limit reached.
+    /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    pub fn erase(&mut self, pba: Pba) -> Result<()> {
+        if !pba.is_valid(&self.config.geometry) {
+            self.stats.record_failure();
+            return Err(NandError::PbaOutOfRange(pba));
+        }
+        if self.faults.should_fail(FaultKind::Erase) {
+            self.stats.record_failure();
+            return Err(NandError::InjectedFault("erase"));
+        }
+        let block = &mut self.blocks[pba.index() as usize];
+        if block.erase_count() >= self.config.endurance {
+            self.stats.record_failure();
+            return Err(NandError::BlockWornOut(pba));
+        }
+        block.erase();
+        self.stats.record_erase(self.config.erase_latency_ns);
+        self.charge_chip(pba, self.config.erase_latency_ns, 0);
+        Ok(())
+    }
+
+    /// The state of the page at `ppa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PpaOutOfRange`] for addresses beyond the geometry.
+    pub fn page_state(&self, ppa: Ppa) -> Result<PageState> {
+        self.check_ppa(ppa)?;
+        let g = self.config.geometry;
+        Ok(self.blocks[ppa.block(&g).index() as usize]
+            .page(ppa.page_offset(&g))
+            .state())
+    }
+
+    /// Maximum erase count across all blocks (wear ceiling).
+    pub fn max_erase_count(&self) -> u32 {
+        self.blocks.iter().map(Block::erase_count).max().unwrap_or(0)
+    }
+
+    /// Per-block wear summary: `(min, max, mean)` erase counts. The spread
+    /// between min and max is what wear-leveling tries to keep small.
+    pub fn wear_summary(&self) -> (u32, u32, f64) {
+        let min = self.blocks.iter().map(Block::erase_count).min().unwrap_or(0);
+        let max = self.max_erase_count();
+        let mean = if self.blocks.is_empty() {
+            0.0
+        } else {
+            self.total_erases() as f64 / self.blocks.len() as f64
+        };
+        (min, max, mean)
+    }
+
+    /// Sum of erase counts across all blocks.
+    pub fn total_erases(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NandDevice {
+        NandDevice::new(NandConfig::new(Geometry::tiny()))
+    }
+
+    #[test]
+    fn program_then_read_round_trips() {
+        let mut d = dev();
+        d.program(Ppa::new(0), Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(d.read(Ppa::new(0)).unwrap().as_ref(), b"abc");
+    }
+
+    #[test]
+    fn read_unwritten_page_fails() {
+        let mut d = dev();
+        assert_eq!(d.read(Ppa::new(5)), Err(NandError::ReadUnwritten(Ppa::new(5))));
+    }
+
+    #[test]
+    fn in_place_update_is_rejected() {
+        let mut d = dev();
+        d.program(Ppa::new(0), Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(
+            d.program(Ppa::new(0), Bytes::from_static(b"v2")),
+            Err(NandError::ProgramNonFree(Ppa::new(0)))
+        );
+        // Old data untouched.
+        assert_eq!(d.read(Ppa::new(0)).unwrap().as_ref(), b"v1");
+    }
+
+    #[test]
+    fn out_of_order_program_is_rejected() {
+        let mut d = dev();
+        let err = d.program(Ppa::new(2), Bytes::from_static(b"x")).unwrap_err();
+        assert_eq!(
+            err,
+            NandError::ProgramOutOfOrder {
+                requested: Ppa::new(2),
+                expected_offset: Some(0)
+            }
+        );
+    }
+
+    #[test]
+    fn erase_frees_pages_for_reprogramming() {
+        let mut d = dev();
+        d.program(Ppa::new(0), Bytes::from_static(b"v1")).unwrap();
+        d.erase(Pba::new(0)).unwrap();
+        assert_eq!(d.page_state(Ppa::new(0)).unwrap(), PageState::Free);
+        d.program(Ppa::new(0), Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(d.read(Ppa::new(0)).unwrap().as_ref(), b"v2");
+    }
+
+    #[test]
+    fn invalidate_marks_valid_pages_only() {
+        let mut d = dev();
+        d.program(Ppa::new(0), Bytes::from_static(b"v")).unwrap();
+        d.invalidate(Ppa::new(0)).unwrap();
+        assert_eq!(d.page_state(Ppa::new(0)).unwrap(), PageState::Invalid);
+        // Idempotent on invalid pages, no-op on free pages.
+        d.invalidate(Ppa::new(0)).unwrap();
+        d.invalidate(Ppa::new(1)).unwrap();
+        assert_eq!(d.page_state(Ppa::new(1)).unwrap(), PageState::Free);
+    }
+
+    #[test]
+    fn invalid_page_data_survives_until_erase() {
+        let mut d = dev();
+        d.program(Ppa::new(0), Bytes::from_static(b"old")).unwrap();
+        d.invalidate(Ppa::new(0)).unwrap();
+        // Delayed deletion: the payload is still physically readable.
+        assert_eq!(d.read(Ppa::new(0)).unwrap().as_ref(), b"old");
+        d.erase(Pba::new(0)).unwrap();
+        assert!(d.read(Ppa::new(0)).is_err());
+    }
+
+    #[test]
+    fn payload_too_large_is_rejected() {
+        let g = Geometry::builder().page_size(4).build();
+        let mut d = NandDevice::new(NandConfig::new(g));
+        let err = d.program(Ppa::new(0), Bytes::from_static(b"12345")).unwrap_err();
+        assert_eq!(
+            err,
+            NandError::PayloadTooLarge {
+                len: 5,
+                page_size: 4
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_addresses_fail() {
+        let mut d = dev();
+        assert!(matches!(
+            d.read(Ppa::new(100_000)),
+            Err(NandError::PpaOutOfRange(_))
+        ));
+        assert!(matches!(
+            d.erase(Pba::new(100_000)),
+            Err(NandError::PbaOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn endurance_limit_enforced() {
+        let g = Geometry::tiny();
+        let mut d = NandDevice::new(NandConfig::new(g).endurance(2));
+        d.erase(Pba::new(0)).unwrap();
+        d.erase(Pba::new(0)).unwrap();
+        assert_eq!(d.erase(Pba::new(0)), Err(NandError::BlockWornOut(Pba::new(0))));
+        assert_eq!(d.max_erase_count(), 2);
+        assert_eq!(d.total_erases(), 2);
+    }
+
+    #[test]
+    fn stats_account_latencies() {
+        let g = Geometry::tiny();
+        let mut d = NandDevice::new(
+            NandConfig::new(g)
+                .read_latency_ns(10)
+                .program_latency_ns(20)
+                .erase_latency_ns(30),
+        );
+        d.program(Ppa::new(0), Bytes::from_static(b"x")).unwrap();
+        d.read(Ppa::new(0)).unwrap();
+        d.erase(Pba::new(0)).unwrap();
+        let s = d.stats();
+        assert_eq!((s.reads, s.programs, s.erases), (1, 1, 1));
+        assert_eq!(s.busy_ns, 60);
+    }
+
+    #[test]
+    fn injected_faults_fail_scheduled_ops() {
+        let mut d = dev();
+        let mut plan = FaultPlan::new();
+        plan.fail_nth(FaultKind::Program, 2);
+        d.set_fault_plan(plan);
+        d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
+        assert_eq!(
+            d.program(Ppa::new(1), Bytes::from_static(b"b")),
+            Err(NandError::InjectedFault("program"))
+        );
+        // Page 1 was not programmed, so in-order pointer still expects offset 1.
+        d.program(Ppa::new(1), Bytes::from_static(b"b")).unwrap();
+        assert_eq!(d.stats().failures, 1);
+    }
+
+    #[test]
+    fn chip_parallelism_accounting() {
+        let g = Geometry::builder()
+            .channels(1)
+            .chips_per_channel(2)
+            .blocks_per_chip(2)
+            .pages_per_block(4)
+            .page_size(16)
+            .build();
+        let mut d = NandDevice::new(
+            NandConfig::new(g).program_latency_ns(100).bus_transfer_ns(10),
+        );
+        // Blocks 0..1 live on chip 0; blocks 2..3 on chip 1 (same channel).
+        d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
+        d.program(Ppa::new(8), Bytes::from_static(b"b")).unwrap();
+        assert_eq!(d.stats().busy_ns, 200, "serial sum counts both");
+        assert_eq!(d.parallel_busy_ns(), 100, "dies overlap perfectly");
+        assert_eq!(d.chip_busy_ns(), &[100, 100]);
+        assert_eq!(d.bus_busy_ns(), &[20], "one shared bus carried both pages");
+        // A second op on chip 0 breaks the symmetry.
+        d.program(Ppa::new(1), Bytes::from_static(b"c")).unwrap();
+        assert_eq!(d.parallel_busy_ns(), 200);
+    }
+
+    #[test]
+    fn bus_bound_workloads_saturate_on_the_channel() {
+        let g = Geometry::builder()
+            .channels(1)
+            .chips_per_channel(4)
+            .blocks_per_chip(2)
+            .pages_per_block(4)
+            .page_size(16)
+            .build();
+        // Fast dies, slow bus: the shared channel becomes the bottleneck.
+        let mut d = NandDevice::new(
+            NandConfig::new(g).program_latency_ns(10).bus_transfer_ns(100),
+        );
+        for chip in 0..4u64 {
+            d.program(Ppa::new(chip * 8), Bytes::from_static(b"x")).unwrap();
+        }
+        // Four dies overlap (10 ns each) but the bus carried 4 x 100 ns.
+        assert_eq!(d.parallel_busy_ns(), 400);
+    }
+
+    #[test]
+    fn block_view_reports_counts() {
+        let mut d = dev();
+        d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
+        d.program(Ppa::new(1), Bytes::from_static(b"b")).unwrap();
+        d.invalidate(Ppa::new(0)).unwrap();
+        let b = d.block(Pba::new(0)).unwrap();
+        assert_eq!(b.valid_pages(), 1);
+        assert_eq!(b.invalid_pages(), 1);
+    }
+}

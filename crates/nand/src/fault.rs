@@ -1,0 +1,130 @@
+//! Deterministic fault injection.
+//!
+//! Failure-injection tests need repeatable faults rather than random ones, so
+//! the plan counts operations of each kind and fails exactly the scheduled
+//! occurrences.
+
+use std::collections::BTreeSet;
+
+/// The kind of device operation a fault can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Page read.
+    Read,
+    /// Page program.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+impl FaultKind {
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::Read => "read",
+            FaultKind::Program => "program",
+            FaultKind::Erase => "erase",
+        }
+    }
+}
+
+/// A deterministic schedule of operation failures.
+///
+/// `fail_nth(FaultKind::Program, 3)` makes the third program operation after
+/// the plan is installed return [`NandError::InjectedFault`]. Counting is
+/// 1-based and per-kind. A triggered fault is consumed.
+///
+/// [`NandError::InjectedFault`]: crate::NandError::InjectedFault
+///
+/// # Example
+///
+/// ```rust
+/// use insider_nand::{FaultKind, FaultPlan};
+///
+/// let mut plan = FaultPlan::new();
+/// plan.fail_nth(FaultKind::Program, 1);
+/// assert!(plan.should_fail(FaultKind::Program)); // first program fails
+/// assert!(!plan.should_fail(FaultKind::Program)); // consumed
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    scheduled: BTreeSet<(FaultKind, u64)>,
+    counters: [u64; 3],
+}
+
+impl FaultPlan {
+    /// An empty plan that never fails anything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the `n`-th (1-based) operation of `kind` to fail.
+    pub fn fail_nth(&mut self, kind: FaultKind, n: u64) -> &mut Self {
+        assert!(n >= 1, "fault occurrence index is 1-based");
+        self.scheduled.insert((kind, n));
+        self
+    }
+
+    fn counter_mut(&mut self, kind: FaultKind) -> &mut u64 {
+        match kind {
+            FaultKind::Read => &mut self.counters[0],
+            FaultKind::Program => &mut self.counters[1],
+            FaultKind::Erase => &mut self.counters[2],
+        }
+    }
+
+    /// Records one operation of `kind` and reports whether it must fail.
+    pub fn should_fail(&mut self, kind: FaultKind) -> bool {
+        let c = self.counter_mut(kind);
+        *c += 1;
+        let key = (kind, *c);
+        self.scheduled.remove(&key)
+    }
+
+    /// Human-readable label for the fault, used in error messages.
+    pub fn label(kind: FaultKind) -> &'static str {
+        kind.label()
+    }
+
+    /// Whether any faults remain scheduled.
+    pub fn is_exhausted(&self) -> bool {
+        self.scheduled.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fails_exactly_the_scheduled_occurrence() {
+        let mut plan = FaultPlan::new();
+        plan.fail_nth(FaultKind::Erase, 2);
+        assert!(!plan.should_fail(FaultKind::Erase));
+        assert!(plan.should_fail(FaultKind::Erase));
+        assert!(!plan.should_fail(FaultKind::Erase));
+        assert!(plan.is_exhausted());
+    }
+
+    #[test]
+    fn kinds_count_independently() {
+        let mut plan = FaultPlan::new();
+        plan.fail_nth(FaultKind::Read, 1);
+        assert!(!plan.should_fail(FaultKind::Program));
+        assert!(plan.should_fail(FaultKind::Read));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_occurrence_panics() {
+        FaultPlan::new().fail_nth(FaultKind::Read, 0);
+    }
+
+    #[test]
+    fn multiple_faults_same_kind() {
+        let mut plan = FaultPlan::new();
+        plan.fail_nth(FaultKind::Program, 1).fail_nth(FaultKind::Program, 3);
+        assert!(plan.should_fail(FaultKind::Program));
+        assert!(!plan.should_fail(FaultKind::Program));
+        assert!(plan.should_fail(FaultKind::Program));
+    }
+}

@@ -1,0 +1,103 @@
+//! Page state and content.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of a NAND page.
+///
+/// A page moves `Free → Valid → Invalid → (erase) → Free`. The `Invalid`
+/// transition is driven by the FTL above (the device itself only knows
+/// free/programmed); the simulator tracks it so garbage-collection policies
+/// and SSD-Insider's delayed-deletion protection can be audited at the
+/// device level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PageState {
+    /// Erased and programmable.
+    #[default]
+    Free,
+    /// Programmed and holding live data.
+    Valid,
+    /// Programmed but superseded; reclaimable once the block is erased
+    /// (unless protected by a recovery-queue reference).
+    Invalid,
+}
+
+/// A single NAND page: its state plus the programmed payload, if any.
+#[derive(Debug, Clone, Default)]
+pub struct Page {
+    state: PageState,
+    data: Option<Bytes>,
+}
+
+impl Page {
+    /// A fresh, erased page.
+    pub fn erased() -> Self {
+        Page::default()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> PageState {
+        self.state
+    }
+
+    /// Programmed payload, if the page has been programmed since last erase.
+    pub fn data(&self) -> Option<&Bytes> {
+        self.data.as_ref()
+    }
+
+    /// Whether the page can be programmed.
+    pub fn is_free(&self) -> bool {
+        self.state == PageState::Free
+    }
+
+    pub(crate) fn program(&mut self, data: Bytes) {
+        debug_assert!(self.is_free(), "programming a non-free page");
+        self.state = PageState::Valid;
+        self.data = Some(data);
+    }
+
+    pub(crate) fn invalidate(&mut self) {
+        debug_assert_eq!(self.state, PageState::Valid, "invalidating a non-valid page");
+        self.state = PageState::Invalid;
+    }
+
+    pub(crate) fn revalidate(&mut self) {
+        debug_assert_eq!(self.state, PageState::Invalid, "revalidating a non-invalid page");
+        self.state = PageState::Valid;
+    }
+
+    pub(crate) fn erase(&mut self) {
+        self.state = PageState::Free;
+        self.data = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_free_valid_invalid_free() {
+        let mut p = Page::erased();
+        assert!(p.is_free());
+        assert!(p.data().is_none());
+
+        p.program(Bytes::from_static(b"x"));
+        assert_eq!(p.state(), PageState::Valid);
+        assert_eq!(p.data().unwrap().as_ref(), b"x");
+
+        p.invalidate();
+        assert_eq!(p.state(), PageState::Invalid);
+        // Invalid pages still hold their data (delayed deletion).
+        assert_eq!(p.data().unwrap().as_ref(), b"x");
+
+        p.erase();
+        assert!(p.is_free());
+        assert!(p.data().is_none());
+    }
+
+    #[test]
+    fn default_state_is_free() {
+        assert_eq!(PageState::default(), PageState::Free);
+    }
+}

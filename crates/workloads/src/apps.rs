@@ -1,0 +1,521 @@
+//! Header-level models of the background applications of Table I.
+
+use crate::filespace::{FileKind, FileSpace};
+use crate::trace::Trace;
+use insider_detect::{IoMode, IoReq};
+use insider_nand::{Lba, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The background applications the paper runs alongside ransomware,
+/// spanning its four categories (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// WPM data wiper satisfying DoD 5220.22-M: seven overwrite passes per
+    /// read over long sequential runs. The paper's hardest false-alarm case.
+    DataWiping,
+    /// MySQL-style heavy database update: random in-place page rewrites plus
+    /// sequential log appends.
+    Database,
+    /// Dropbox-style cloud synchronization: bulk new-file writes plus small
+    /// metadata read-modify-writes.
+    CloudStorage,
+    /// IOMeter: high-rate mixed random reads/writes.
+    IoMeter,
+    /// CrystalDiskMark-style sweep: alternating sequential and random phases.
+    DiskMark,
+    /// HD Tune Pro: surface-scan reads plus scattered write probes.
+    HdTunePro,
+    /// Bandizip compression: sequential read of a large source, sequential
+    /// archive write (CPU-bound pace).
+    Compression,
+    /// Video encoding (Daum PotEncoder): slow sequential read, new-file write.
+    VideoEncode,
+    /// Video playback (Daum PotPlayer): pure sequential reads.
+    VideoDecode,
+    /// Software installation (AutoCAD / Visual Studio): many new files plus
+    /// a few config overwrites.
+    Install,
+    /// MS Windows update: download plus system-file replacement.
+    WindowsUpdate,
+    /// Outlook mailbox synchronization: PST read-modify-write bursts.
+    OutlookSync,
+    /// BitTorrent download: out-of-order plain writes, no preceding reads.
+    P2pDownload,
+    /// Chrome web browsing: small cache writes and reads.
+    WebSurfing,
+    /// KakaoTalk-style SQLite activity: tiny transactions.
+    SqliteApp,
+}
+
+impl AppKind {
+    /// All application kinds.
+    pub const ALL: [AppKind; 15] = [
+        AppKind::DataWiping,
+        AppKind::Database,
+        AppKind::CloudStorage,
+        AppKind::IoMeter,
+        AppKind::DiskMark,
+        AppKind::HdTunePro,
+        AppKind::Compression,
+        AppKind::VideoEncode,
+        AppKind::VideoDecode,
+        AppKind::Install,
+        AppKind::WindowsUpdate,
+        AppKind::OutlookSync,
+        AppKind::P2pDownload,
+        AppKind::WebSurfing,
+        AppKind::SqliteApp,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::DataWiping => "WPM (DataWiping)",
+            AppKind::Database => "MySQL (Database)",
+            AppKind::CloudStorage => "Dropbox (CloudStorage)",
+            AppKind::IoMeter => "IOMeter (IOStress)",
+            AppKind::DiskMark => "DiskMark (IOStress)",
+            AppKind::HdTunePro => "hdtunepro (IOStress)",
+            AppKind::Compression => "Bandizip (Compression)",
+            AppKind::VideoEncode => "PotEncoder (VideoEncode)",
+            AppKind::VideoDecode => "PotPlayer (VideoDecode)",
+            AppKind::Install => "AutoCAD/VS (Install)",
+            AppKind::WindowsUpdate => "WindowUpdate",
+            AppKind::OutlookSync => "OutlookSync",
+            AppKind::P2pDownload => "BitTorrent (P2PDown)",
+            AppKind::WebSurfing => "Chrome (WebSurfing)",
+            AppKind::SqliteApp => "Kakaotalk (SQLite)",
+        }
+    }
+
+    /// How much this app slows a concurrently running ransomware down —
+    /// the paper's CPU- and IO-intensive apps starve it of cycles and
+    /// bandwidth (§V-B: "they interfered with ransomware to slow down the
+    /// speed of overwriting").
+    pub fn ransomware_slowdown(self) -> f64 {
+        match self {
+            AppKind::IoMeter | AppKind::DiskMark | AppKind::HdTunePro => 2.0,
+            AppKind::Compression | AppKind::VideoEncode => 2.0,
+            AppKind::DataWiping | AppKind::Database => 1.2,
+            _ => 1.1,
+        }
+    }
+
+    /// The trace model for this app.
+    pub fn model(self) -> AppModel {
+        AppModel { kind: self }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Trace generator for one background application.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Which app this models.
+    pub kind: AppKind,
+}
+
+/// Pacing/book-keeping shared by the generators.
+struct Gen<'a, R: Rng> {
+    rng: &'a mut R,
+    trace: Trace,
+    now: SimTime,
+    end: SimTime,
+}
+
+impl<'a, R: Rng> Gen<'a, R> {
+    fn new(rng: &'a mut R, duration: SimTime) -> Self {
+        Gen {
+            rng,
+            trace: Trace::new(),
+            now: SimTime::ZERO,
+            end: duration,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.now >= self.end
+    }
+
+    fn emit(&mut self, lba: Lba, mode: IoMode, len: u32, step_us: u64) {
+        self.trace.push(IoReq::new(self.now, lba, mode, len));
+        self.now = self.now.plus_micros(step_us.max(1));
+    }
+
+    fn idle(&mut self, us: u64) {
+        self.now = self.now.plus_micros(us);
+    }
+
+    /// Sequential read of `[start, start+blocks)` in `chunk`-block requests.
+    fn seq(&mut self, start: Lba, blocks: u32, chunk: u32, mode: IoMode, step_us: u64) {
+        let mut off = 0u32;
+        while off < blocks && !self.done() {
+            let len = chunk.min(blocks - off);
+            self.emit(start.offset(off as u64), mode, len, step_us);
+            off += len;
+        }
+    }
+}
+
+impl AppModel {
+    /// Generates this app's trace over `space` for `duration`, starting at
+    /// time zero.
+    pub fn generate(&self, rng: &mut impl Rng, space: &FileSpace, duration: SimTime) -> Trace {
+        let mut g = Gen::new(rng, duration);
+        match self.kind {
+            AppKind::DataWiping => wiper(&mut g, space),
+            AppKind::Database => database(&mut g, space),
+            AppKind::CloudStorage => cloud(&mut g, space),
+            AppKind::IoMeter => io_stress(&mut g, space, 0.5, false),
+            AppKind::DiskMark => io_stress(&mut g, space, 0.4, true),
+            AppKind::HdTunePro => io_stress(&mut g, space, 0.9, true),
+            AppKind::Compression => compress(&mut g, space),
+            AppKind::VideoEncode => video(&mut g, space, true),
+            AppKind::VideoDecode => video(&mut g, space, false),
+            AppKind::Install => install(&mut g, space, 0.02),
+            AppKind::WindowsUpdate => install(&mut g, space, 0.06),
+            AppKind::OutlookSync => outlook(&mut g, space),
+            AppKind::P2pDownload => p2p(&mut g, space),
+            AppKind::WebSurfing => web(&mut g, space),
+            AppKind::SqliteApp => sqlite(&mut g, space),
+        }
+        g.trace
+    }
+}
+
+/// DoD 5220.22-M wiper: verify-read a long run, then overwrite it 7 times.
+fn wiper<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let files: Vec<_> = space.all_files().to_vec();
+    'outer: loop {
+        for file in &files {
+            if g.done() {
+                break 'outer;
+            }
+            // One verification read pass…
+            g.seq(file.start, file.blocks, 32, IoMode::Read, 160_000);
+            // …then the seven DoD overwrite passes. The pace (a 32-block
+            // request every 320 ms ≈ 0.4 MB/s of 7-pass wiping) keeps the
+            // wiper's cumulative overwrite curve in the same range as the
+            // ransomware curves, as in the paper's Fig. 1(b).
+            for _ in 0..7 {
+                g.seq(file.start, file.blocks, 32, IoMode::Write, 320_000);
+            }
+        }
+        if files.is_empty() {
+            break;
+        }
+    }
+}
+
+/// MySQL-style update load: random page read-modify-writes inside the DB
+/// region in medium-length runs, plus sequential log appends.
+fn database<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let db = space.database();
+    let mut log_cursor = space.free_start();
+    while !g.done() {
+        // A bulk update touches a long run of consecutive pages — unlike
+        // ransomware's short document-sized runs, which is what AVGWIO
+        // separates on (paper §III-A).
+        let run = g.rng.random_range(96..=160u32);
+        let max_start = (db.blocks - run) as u64;
+        let start = db.start.offset(g.rng.random_range(0..=max_start));
+        g.seq(start, run, 16, IoMode::Read, 200);
+        g.seq(start, run, 16, IoMode::Write, 200);
+        // WAL append.
+        g.emit(log_cursor, IoMode::Write, 4, 200);
+        log_cursor = log_cursor.offset(4);
+        let pause = g.rng.random_range(500_000..900_000);
+        g.idle(pause);
+    }
+}
+
+/// Dropbox-style sync: download new file versions into the free region,
+/// with small index read-modify-writes in between.
+fn cloud<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let mut cursor = space.free_start();
+    let db = space.database();
+    while !g.done() {
+        let blocks = g.rng.random_range(16..256u32);
+        g.seq(cursor, blocks, 16, IoMode::Write, 500);
+        cursor = cursor.offset(blocks as u64);
+        // Index update: tiny read-modify-write.
+        let at = db.start.offset(g.rng.random_range(0..db.blocks as u64 - 2));
+        g.seq(at, 2, 2, IoMode::Read, 200);
+        g.seq(at, 2, 2, IoMode::Write, 200);
+        let pause = g.rng.random_range(50_000..400_000);
+        g.idle(pause);
+    }
+}
+
+/// IO stress tools: saturating mixed random traffic. `read_ratio` sets the
+/// read/write mix; `sweep` adds sequential phases (DiskMark/HDTune style).
+fn io_stress<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, read_ratio: f64, sweep: bool) {
+    let total = space.total_blocks();
+    loop {
+        if sweep {
+            // Sequential phase over a random 1-MiB window.
+            let start = Lba::new(g.rng.random_range(0..total - 256));
+            let mode = if g.rng.random::<f64>() < read_ratio {
+                IoMode::Read
+            } else {
+                IoMode::Write
+            };
+            g.seq(start, 256, 32, mode, 100);
+        }
+        // Random phase: classic 4-KiB random I/O at ~1.3k IOPS — the same
+        // drive-relative pressure as a saturating stress tool on the
+        // paper's 512 GB card. Single-block requests keep the read coverage
+        // of the LBA space realistic; a stress tool's overwrites come from
+        // rare accidental write-after-read collisions, not systematic
+        // overwriting.
+        for _ in 0..512 {
+            if g.done() {
+                return;
+            }
+            let lba = Lba::new(g.rng.random_range(0..total - 8));
+            let mode = if g.rng.random::<f64>() < read_ratio {
+                IoMode::Read
+            } else {
+                IoMode::Write
+            };
+            g.emit(lba, mode, 1, 750);
+        }
+        if g.done() {
+            return;
+        }
+    }
+}
+
+/// Compression: sequentially read a media source, write the archive.
+fn compress<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let mut cursor = space.free_start();
+    while !g.done() {
+        let src = space.pick(g.rng, FileKind::Media);
+        let mut off = 0u32;
+        while off < src.blocks && !g.done() {
+            let len = 32.min(src.blocks - off);
+            g.seq(src.start.offset(off as u64), len, 32, IoMode::Read, 10_000);
+            // Compressed output ~60 % of input; the pace is CPU-bound
+            // (compression, not the disk, is the bottleneck).
+            let out = (len * 6 / 10).max(1);
+            g.seq(cursor, out, 32, IoMode::Write, 20_000);
+            cursor = cursor.offset(out as u64);
+            off += len;
+        }
+        g.idle(200_000);
+    }
+}
+
+/// Video encode (read + new-file write) or decode (read-only playback).
+fn video<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, encode: bool) {
+    let mut cursor = space.free_start();
+    while !g.done() {
+        let src = space.pick(g.rng, FileKind::Media);
+        let mut off = 0u32;
+        while off < src.blocks && !g.done() {
+            let len = 16.min(src.blocks - off);
+            // Playback/encode paces are frame-rate bound, not disk bound.
+            g.seq(src.start.offset(off as u64), len, 16, IoMode::Read, 2_000);
+            if encode {
+                g.seq(cursor, len / 2 + 1, 16, IoMode::Write, 2_000);
+                cursor = cursor.offset(len as u64 / 2 + 1);
+            }
+            off += len;
+            g.idle(20_000);
+        }
+    }
+}
+
+/// Installer / OS update: unpack many new files; occasionally replace a
+/// system file (read old then overwrite) with probability `replace_p`.
+fn install<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, replace_p: f64) {
+    let mut cursor = space.free_start();
+    while !g.done() {
+        if g.rng.random::<f64>() < replace_p {
+            let victim = space.pick(g.rng, FileKind::System);
+            g.seq(victim.start, victim.blocks, 8, IoMode::Read, 300);
+            g.seq(victim.start, victim.blocks, 8, IoMode::Write, 300);
+        } else {
+            let blocks = g.rng.random_range(4..128u32);
+            g.seq(cursor, blocks, 16, IoMode::Write, 250);
+            cursor = cursor.offset(blocks as u64);
+        }
+        let pause = g.rng.random_range(50_000..300_000);
+        g.idle(pause);
+    }
+}
+
+/// Outlook synchronization: bursts of PST read-modify-write plus appends.
+fn outlook<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let db = space.database();
+    let mut append = db.start.offset(db.blocks as u64 / 2);
+    while !g.done() {
+        // A sync burst: a couple of messages.
+        for _ in 0..g.rng.random_range(1..4) {
+            if g.done() {
+                return;
+            }
+            let run = g.rng.random_range(2..6u32);
+            let at = db.start.offset(g.rng.random_range(0..(db.blocks / 2 - run) as u64));
+            g.seq(at, run, 4, IoMode::Read, 250);
+            g.seq(at, run, 4, IoMode::Write, 250);
+            // New message appended.
+            g.emit(append, IoMode::Write, 2, 250);
+            append = append.offset(2);
+        }
+        let pause = g.rng.random_range(1_000_000..4_000_000);
+        g.idle(pause);
+    }
+}
+
+/// BitTorrent: pieces arrive in random order as plain writes; no reads.
+fn p2p<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let free = space.free_start().index();
+    let span = space.total_blocks() - free;
+    while !g.done() {
+        // A 16-block piece at a random offset in the preallocated file.
+        let at = Lba::new(free + g.rng.random_range(0..span - 16));
+        g.seq(at, 16, 16, IoMode::Write, 400);
+        let pause = g.rng.random_range(10_000..60_000);
+        g.idle(pause);
+    }
+}
+
+/// Chrome browsing: small cache-file writes and reads, light rate.
+fn web<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let free = space.free_start().index();
+    let span = space.total_blocks() - free;
+    let db = space.database();
+    while !g.done() {
+        for _ in 0..g.rng.random_range(3..12) {
+            if g.done() {
+                return;
+            }
+            let at = Lba::new(free + g.rng.random_range(0..span - 8));
+            if g.rng.random::<f64>() < 0.5 {
+                let len = g.rng.random_range(1..=8);
+                g.emit(at, IoMode::Write, len, 300);
+            } else {
+                let len = g.rng.random_range(1..=8);
+                g.emit(at, IoMode::Read, len, 300);
+            }
+        }
+        // History/cookie sqlite update.
+        let at = db.start.offset(g.rng.random_range(0..db.blocks as u64 - 2));
+        g.seq(at, 2, 2, IoMode::Read, 200);
+        g.seq(at, 2, 2, IoMode::Write, 200);
+        let pause = g.rng.random_range(200_000..1_000_000);
+        g.idle(pause);
+    }
+}
+
+/// KakaoTalk-style SQLite: sparse tiny transactions.
+fn sqlite<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
+    let db = space.database();
+    while !g.done() {
+        let at = db.start.offset(g.rng.random_range(0..db.blocks as u64 - 2));
+        g.seq(at, 2, 2, IoMode::Read, 300);
+        g.seq(at, 2, 2, IoMode::Write, 300);
+        // WAL-style append next to the table pages.
+        g.emit(db.start.offset(db.blocks as u64 - 2), IoMode::Write, 1, 300);
+        let pause = g.rng.random_range(500_000..2_000_000);
+        g.idle(pause);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filespace::FileSpaceConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (rand::rngs::StdRng, FileSpace) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
+        (rng, space)
+    }
+
+    #[test]
+    fn every_app_generates_nonempty_sorted_bounded_traces() {
+        let (mut rng, space) = setup();
+        let dur = SimTime::from_secs(10);
+        for kind in AppKind::ALL {
+            let trace = kind.model().generate(&mut rng, &space, dur);
+            assert!(!trace.is_empty(), "{kind} produced an empty trace");
+            assert!(trace.is_sorted(), "{kind} trace out of order");
+            for req in &trace {
+                assert!(
+                    req.end().index() <= space.total_blocks(),
+                    "{kind} request {req} beyond space"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn video_decode_never_writes() {
+        let (mut rng, space) = setup();
+        let trace = AppKind::VideoDecode
+            .model()
+            .generate(&mut rng, &space, SimTime::from_secs(10));
+        assert!(trace.iter().all(|r| r.mode == IoMode::Read));
+    }
+
+    #[test]
+    fn p2p_never_reads() {
+        let (mut rng, space) = setup();
+        let trace = AppKind::P2pDownload
+            .model()
+            .generate(&mut rng, &space, SimTime::from_secs(10));
+        assert!(trace.iter().all(|r| r.mode == IoMode::Write));
+    }
+
+    #[test]
+    fn wiper_writes_seven_times_per_read() {
+        let (mut rng, space) = setup();
+        let trace = AppKind::DataWiping
+            .model()
+            .generate(&mut rng, &space, SimTime::from_secs(10));
+        let reads: u64 = trace
+            .iter()
+            .filter(|r| r.mode == IoMode::Read)
+            .map(|r| r.len as u64)
+            .sum();
+        let writes: u64 = trace
+            .iter()
+            .filter(|r| r.mode == IoMode::Write)
+            .map(|r| r.len as u64)
+            .sum();
+        let ratio = writes as f64 / reads as f64;
+        assert!(
+            (5.0..9.0).contains(&ratio),
+            "wiper write/read ratio {ratio} should be near 7"
+        );
+    }
+
+    #[test]
+    fn io_stress_is_much_busier_than_web() {
+        let (mut rng, space) = setup();
+        let dur = SimTime::from_secs(10);
+        let stress = AppKind::IoMeter.model().generate(&mut rng, &space, dur);
+        let web = AppKind::WebSurfing.model().generate(&mut rng, &space, dur);
+        assert!(stress.total_blocks() > 10 * web.total_blocks());
+    }
+
+    #[test]
+    fn slowdowns_are_sane() {
+        for kind in AppKind::ALL {
+            let s = kind.ransomware_slowdown();
+            assert!((1.0..=5.0).contains(&s), "{kind} slowdown {s}");
+        }
+        assert!(
+            AppKind::IoMeter.ransomware_slowdown() > AppKind::WebSurfing.ransomware_slowdown()
+        );
+    }
+}

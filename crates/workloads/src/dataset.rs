@@ -1,0 +1,314 @@
+//! The Table I scenario matrix: training and testing combinations of
+//! ransomware and background applications.
+
+use crate::apps::AppKind;
+use crate::filespace::{FileSpace, FileSpaceConfig};
+use crate::mixer::merge;
+use crate::ransomware::RansomwareKind;
+use crate::trace::{ActivePeriod, Trace};
+use insider_nand::SimTime;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The paper's four background-application categories (plus ransomware-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioClass {
+    /// Ransomware with no background traffic.
+    RansomOnly,
+    /// Background app with a high overwrite rate (wiper, DB, cloud sync).
+    HeavyOverwriting,
+    /// IO stress tools saturating the drive.
+    IoIntensive,
+    /// CPU-heavy apps (compression, video encode) that starve ransomware.
+    CpuIntensive,
+    /// Ordinary desktop activity.
+    NormalApp,
+}
+
+impl ScenarioClass {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioClass::RansomOnly => "Ransom only",
+            ScenarioClass::HeavyOverwriting => "Heavy overwriting",
+            ScenarioClass::IoIntensive => "IO-intensive",
+            ScenarioClass::CpuIntensive => "CPU-intensive",
+            ScenarioClass::NormalApp => "Normal App",
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of Table I: an optional background app combined with an optional
+/// ransomware, assigned to the training or testing split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Background-application category.
+    pub class: ScenarioClass,
+    /// Background application, if any.
+    pub app: Option<AppKind>,
+    /// Ransomware, if any.
+    pub ransomware: Option<RansomwareKind>,
+    /// `true` for the training split.
+    pub training: bool,
+}
+
+impl Scenario {
+    /// A human-readable row label, e.g. `"IOMeter (IOStress) + CryptoShield"`.
+    pub fn name(&self) -> String {
+        match (self.app, self.ransomware) {
+            (Some(a), Some(r)) => format!("{a} + {r}"),
+            (Some(a), None) => a.to_string(),
+            (None, Some(r)) => format!("{r} (ransom only)"),
+            (None, None) => "idle".to_string(),
+        }
+    }
+
+    /// Builds the scenario's merged trace.
+    ///
+    /// The background app runs for all of `duration`; the ransomware (if
+    /// any) starts at a seeded-random point in the first third and runs to
+    /// the end, slowed by the app's contention factor. Each distinct `seed`
+    /// yields an independent run (the paper repeats each combination 20×).
+    pub fn build(&self, seed: u64, duration: SimTime) -> ScenarioTrace {
+        self.build_with_space(seed, duration, &FileSpaceConfig::default())
+    }
+
+    /// [`Scenario::build`] with an explicit file-space configuration (e.g. a
+    /// smaller space for FTL-replay experiments).
+    pub fn build_with_space(
+        &self,
+        seed: u64,
+        duration: SimTime,
+        space_cfg: &FileSpaceConfig,
+    ) -> ScenarioTrace {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let space = FileSpace::generate(&mut rng, space_cfg);
+
+        let mut parts = Vec::new();
+        if let Some(app) = self.app {
+            parts.push(app.model().generate(&mut rng, &space, duration));
+        }
+        let mut ransom_trace = None;
+        let active = self.ransomware.map(|kind| {
+            let third = duration.as_micros() / 3;
+            let start_us = if third > 0 { rng.random_range(0..third) } else { 0 };
+            let start = SimTime::from_micros(start_us);
+            let slowdown = self.app.map_or(1.0, AppKind::ransomware_slowdown);
+            let model = kind.model().starting_at(start).slowed_by(slowdown);
+            let trace = model.generate(&mut rng, &space, duration.saturating_sub(start));
+            // An empty trace (degenerate duration) must not invert the period.
+            let end = trace.duration().plus_micros(1).max(start.plus_micros(1));
+            parts.push(trace.clone());
+            ransom_trace = Some(trace);
+            ActivePeriod { start, end }
+        });
+
+        ScenarioTrace {
+            scenario: *self,
+            trace: merge(parts),
+            active,
+            ransom_trace,
+            space,
+        }
+    }
+}
+
+/// A built scenario run: the merged trace, the ransomware's active period
+/// (if any), and the file space it ran against.
+#[derive(Debug, Clone)]
+pub struct ScenarioTrace {
+    /// The scenario this run realizes.
+    pub scenario: Scenario,
+    /// Merged, time-ordered request stream.
+    pub trace: Trace,
+    /// When the ransomware was active (None for benign runs).
+    pub active: Option<ActivePeriod>,
+    /// The ransomware's own requests (subset of `trace`), for precise
+    /// per-slice training labels.
+    pub ransom_trace: Option<Trace>,
+    /// The file layout used.
+    pub space: FileSpace,
+}
+
+impl ScenarioTrace {
+    /// Ground-truth label for a time slice: was ransomware active then?
+    pub fn label(&self, slice_idx: u64, slice: SimTime) -> bool {
+        self.active
+            .is_some_and(|p| p.overlaps_slice(slice_idx, slice))
+    }
+
+    /// The slices in which the ransomware actually issued destructive I/O.
+    ///
+    /// Training labels come from this rather than from the coarse
+    /// [`ActivePeriod`]: a slowed ransomware idles between file bursts, and
+    /// labeling those background-only slices positive teaches the tree that
+    /// pure background traffic is malicious (a major false-alarm source).
+    pub fn ransom_activity_slices(&self, slice: SimTime) -> std::collections::HashSet<u64> {
+        self.ransom_trace
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter(|r| r.mode.is_destructive())
+            .map(|r| r.time.slice_index(slice))
+            .collect()
+    }
+}
+
+fn row(
+    class: ScenarioClass,
+    app: Option<AppKind>,
+    ransomware: Option<RansomwareKind>,
+    training: bool,
+) -> Scenario {
+    Scenario {
+        class,
+        app,
+        ransomware,
+        training,
+    }
+}
+
+/// The full Table I matrix: 13 training rows and 12 testing rows.
+///
+/// As in the paper, no ransomware family used for training appears in the
+/// test split, so test results measure detection of *unknown* ransomware.
+pub fn table1() -> Vec<Scenario> {
+    use AppKind as A;
+    use RansomwareKind as R;
+    use ScenarioClass as C;
+    vec![
+        // ---- training ----
+        row(C::RansomOnly, None, Some(R::LockyBbs), true),
+        row(C::HeavyOverwriting, Some(A::DataWiping), None, true),
+        row(C::HeavyOverwriting, Some(A::Database), None, true),
+        row(C::HeavyOverwriting, Some(A::CloudStorage), None, true),
+        row(C::IoIntensive, Some(A::DiskMark), Some(R::ZerberUfb), true),
+        row(C::IoIntensive, Some(A::IoMeter), Some(R::ZerberUfb), true),
+        row(C::IoIntensive, Some(A::HdTunePro), Some(R::ZerberUfb), true),
+        row(C::NormalApp, Some(A::Install), Some(R::LockyBdf), true),
+        row(C::NormalApp, Some(A::WebSurfing), Some(R::LockyBbs), true),
+        row(C::NormalApp, Some(A::OutlookSync), Some(R::LockyBdf), true),
+        row(C::NormalApp, Some(A::WindowsUpdate), Some(R::LockyBdf), true),
+        row(C::NormalApp, Some(A::P2pDownload), None, true),
+        row(C::NormalApp, Some(A::SqliteApp), None, true),
+        // ---- testing ----
+        row(C::RansomOnly, None, Some(R::WannaCry), false),
+        row(C::HeavyOverwriting, Some(A::CloudStorage), Some(R::InHouseOutPlace), false),
+        row(C::HeavyOverwriting, Some(A::DataWiping), Some(R::GlobeImposter), false),
+        row(C::HeavyOverwriting, Some(A::Database), Some(R::InHouseInPlace), false),
+        row(C::IoIntensive, Some(A::IoMeter), Some(R::CryptoShield), false),
+        row(C::CpuIntensive, Some(A::Compression), Some(R::Mole), false),
+        row(C::CpuIntensive, Some(A::VideoEncode), Some(R::Jaff), false),
+        row(C::NormalApp, Some(A::Install), Some(R::GlobeImposter), false),
+        row(C::NormalApp, Some(A::VideoDecode), Some(R::WannaCry), false),
+        row(C::NormalApp, Some(A::OutlookSync), Some(R::Mole), false),
+        row(C::NormalApp, Some(A::P2pDownload), Some(R::WannaCry), false),
+        row(C::NormalApp, Some(A::WebSurfing), Some(R::GlobeImposter), false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_the_paper_splits() {
+        let rows = table1();
+        assert_eq!(rows.iter().filter(|s| s.training).count(), 13);
+        assert_eq!(rows.iter().filter(|s| !s.training).count(), 12);
+    }
+
+    #[test]
+    fn no_training_ransomware_appears_in_testing() {
+        let rows = table1();
+        let train: Vec<_> = rows
+            .iter()
+            .filter(|s| s.training)
+            .filter_map(|s| s.ransomware)
+            .collect();
+        let test: Vec<_> = rows
+            .iter()
+            .filter(|s| !s.training)
+            .filter_map(|s| s.ransomware)
+            .collect();
+        for r in &test {
+            assert!(!train.contains(r), "{r} leaks from training to testing");
+        }
+    }
+
+    #[test]
+    fn build_produces_sorted_trace_with_active_period() {
+        let scenario = table1()
+            .into_iter()
+            .find(|s| !s.training && s.ransomware.is_some() && s.app.is_some())
+            .unwrap();
+        let run = scenario.build(99, SimTime::from_secs(20));
+        assert!(!run.trace.is_empty());
+        assert!(run.trace.is_sorted());
+        let active = run.active.expect("scenario has ransomware");
+        assert!(active.start < active.end);
+        assert!(active.start <= SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn benign_scenarios_have_no_active_period() {
+        let scenario = table1()
+            .into_iter()
+            .find(|s| s.ransomware.is_none())
+            .unwrap();
+        let run = scenario.build(1, SimTime::from_secs(10));
+        assert!(run.active.is_none());
+        assert!(!run.label(3, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_runs() {
+        let scenario = table1()[0];
+        let a = scenario.build(5, SimTime::from_secs(10));
+        let b = scenario.build(5, SimTime::from_secs(10));
+        assert_eq!(a.trace.reqs(), b.trace.reqs());
+        assert_eq!(a.active, b.active);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenario = table1()[0];
+        let a = scenario.build(5, SimTime::from_secs(10));
+        let b = scenario.build(6, SimTime::from_secs(10));
+        assert_ne!(a.trace.reqs(), b.trace.reqs());
+    }
+
+    #[test]
+    fn labels_follow_active_period() {
+        let scenario = row(
+            ScenarioClass::RansomOnly,
+            None,
+            Some(RansomwareKind::WannaCry),
+            false,
+        );
+        let run = scenario.build(3, SimTime::from_secs(20));
+        let active = run.active.unwrap();
+        let slice = SimTime::from_secs(1);
+        let first_active = active.start.as_micros() / 1_000_000;
+        assert!(run.label(first_active, slice));
+        if first_active > 0 {
+            assert!(!run.label(first_active - 1, slice));
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_informative() {
+        for s in table1() {
+            let n = s.name();
+            assert!(!n.is_empty());
+            if let Some(r) = s.ransomware {
+                assert!(n.contains(r.name()));
+            }
+        }
+    }
+}

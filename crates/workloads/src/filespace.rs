@@ -1,0 +1,294 @@
+//! A synthetic layout of user files over the logical block space.
+//!
+//! Workload generators need somewhere to aim their I/O. `FileSpace` lays out
+//! documents, media files, a database region and system files across the
+//! LBA range, with a free region at the tail for out-of-place writers
+//! (class-B ransomware, downloads, archive output).
+
+use insider_nand::Lba;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Category of a synthetic file, which decides who targets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileKind {
+    /// User documents and images — ransomware's primary target.
+    Document,
+    /// Large media files (video) — read by players/encoders.
+    Media,
+    /// OS/system files — touched by installs and updates.
+    System,
+    /// Database/PST region — hot random read-modify-write.
+    Database,
+}
+
+/// One contiguous file extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileExtent {
+    /// First LBA of the file.
+    pub start: Lba,
+    /// Length in 4-KiB blocks.
+    pub blocks: u32,
+    /// What kind of file lives here.
+    pub kind: FileKind,
+}
+
+impl FileExtent {
+    /// Exclusive end LBA.
+    pub fn end(&self) -> Lba {
+        self.start.offset(self.blocks as u64)
+    }
+}
+
+/// Configuration for [`FileSpace::generate`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FileSpaceConfig {
+    /// Total logical blocks available (must exceed the laid-out files).
+    pub total_blocks: u64,
+    /// Number of document files.
+    pub documents: usize,
+    /// Document size range in blocks (4 KiB each); sampled log-uniformly.
+    pub doc_blocks: (u32, u32),
+    /// Number of media files.
+    pub media: usize,
+    /// Media size range in blocks.
+    pub media_blocks: (u32, u32),
+    /// Number of system files.
+    pub system: usize,
+    /// System-file size range in blocks.
+    pub system_blocks: (u32, u32),
+    /// Size of the database region in blocks.
+    pub database_blocks: u32,
+}
+
+impl Default for FileSpaceConfig {
+    fn default() -> Self {
+        // Sized like the paper's 512 GB prototype drive: detection
+        // experiments observe headers only, so the space does not need to
+        // fit on a simulated device — and random-I/O workloads (IOMeter,
+        // BitTorrent) only look realistic when the space is large enough
+        // that random writes rarely collide with recently read blocks
+        // (on a small space, stress tools degenerate into pure-overwrite
+        // workloads no detector could tell from ransomware).
+        FileSpaceConfig {
+            total_blocks: 125_000_000,
+            documents: 120,
+            doc_blocks: (4, 128),    // 16 KiB – 512 KiB
+            media: 4,
+            media_blocks: (512, 2048), // 2 MiB – 8 MiB
+            system: 40,
+            system_blocks: (2, 32),
+            database_blocks: 65_536, // 256 MiB
+        }
+    }
+}
+
+/// The laid-out logical block space.
+///
+/// # Example
+///
+/// ```rust
+/// use insider_workloads::{FileSpace, FileSpaceConfig, FileKind};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
+/// assert!(space.files(FileKind::Document).count() > 0);
+/// assert!(space.free_start().index() < space.total_blocks());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileSpace {
+    files: Vec<FileExtent>,
+    free_start: Lba,
+    total_blocks: u64,
+}
+
+fn log_uniform(rng: &mut impl Rng, range: (u32, u32)) -> u32 {
+    let (lo, hi) = range;
+    assert!(lo >= 1 && hi >= lo, "invalid size range");
+    if lo == hi {
+        return lo;
+    }
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let v = (llo + rng.random::<f64>() * (lhi - llo)).exp();
+    (v.round() as u32).clamp(lo, hi)
+}
+
+impl FileSpace {
+    /// Lays files out sequentially with small random gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured files do not fit in `total_blocks`.
+    pub fn generate(rng: &mut impl Rng, config: &FileSpaceConfig) -> Self {
+        let mut files = Vec::new();
+        let mut cursor: u64 = 64; // leave room for "boot/metadata" blocks
+
+        fn place<R: Rng>(
+            rng: &mut R,
+            cursor: &mut u64,
+            count: usize,
+            size: (u32, u32),
+            kind: FileKind,
+            files: &mut Vec<FileExtent>,
+        ) {
+            for _ in 0..count {
+                let blocks = log_uniform(rng, size);
+                files.push(FileExtent {
+                    start: Lba::new(*cursor),
+                    blocks,
+                    kind,
+                });
+                // Small inter-file gap models metadata/slack.
+                *cursor += blocks as u64 + rng.random_range(0..4u64);
+            }
+        }
+
+        place(rng, &mut cursor, config.documents, config.doc_blocks, FileKind::Document, &mut files);
+        place(rng, &mut cursor, config.media, config.media_blocks, FileKind::Media, &mut files);
+        place(rng, &mut cursor, config.system, config.system_blocks, FileKind::System, &mut files);
+        files.push(FileExtent {
+            start: Lba::new(cursor),
+            blocks: config.database_blocks,
+            kind: FileKind::Database,
+        });
+        cursor += config.database_blocks as u64;
+
+        assert!(
+            cursor < config.total_blocks,
+            "file layout ({cursor} blocks) exceeds configured space ({})",
+            config.total_blocks
+        );
+        FileSpace {
+            files,
+            free_start: Lba::new(cursor),
+            total_blocks: config.total_blocks,
+        }
+    }
+
+    /// All extents of a given kind.
+    pub fn files(&self, kind: FileKind) -> impl Iterator<Item = &FileExtent> {
+        self.files.iter().filter(move |f| f.kind == kind)
+    }
+
+    /// All extents.
+    pub fn all_files(&self) -> &[FileExtent] {
+        &self.files
+    }
+
+    /// A uniformly random extent of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no file of that kind exists.
+    pub fn pick(&self, rng: &mut impl Rng, kind: FileKind) -> FileExtent {
+        let candidates: Vec<&FileExtent> = self.files(kind).collect();
+        assert!(!candidates.is_empty(), "no files of kind {kind:?}");
+        *candidates[rng.random_range(0..candidates.len())]
+    }
+
+    /// First LBA of the unoccupied tail region.
+    pub fn free_start(&self) -> Lba {
+        self.free_start
+    }
+
+    /// Total logical blocks in the space.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Number of free blocks in the tail region.
+    pub fn free_blocks(&self) -> u64 {
+        self.total_blocks - self.free_start.index()
+    }
+
+    /// The database region (always present).
+    pub fn database(&self) -> FileExtent {
+        *self
+            .files
+            .iter()
+            .find(|f| f.kind == FileKind::Database)
+            .expect("database region is always laid out")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space() -> FileSpace {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        FileSpace::generate(&mut rng, &FileSpaceConfig::default())
+    }
+
+    #[test]
+    fn generates_all_kinds() {
+        let s = space();
+        for kind in [
+            FileKind::Document,
+            FileKind::Media,
+            FileKind::System,
+            FileKind::Database,
+        ] {
+            assert!(s.files(kind).count() > 0, "missing kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn extents_do_not_overlap() {
+        let s = space();
+        let mut files = s.all_files().to_vec();
+        files.sort_by_key(|f| f.start);
+        for w in files.windows(2) {
+            assert!(w[0].end() <= w[1].start, "{:?} overlaps {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn free_region_is_nonempty_and_after_files() {
+        let s = space();
+        assert!(s.free_blocks() > 0);
+        for f in s.all_files() {
+            assert!(f.end() <= s.free_start());
+        }
+    }
+
+    #[test]
+    fn sizes_respect_ranges() {
+        let s = space();
+        let cfg = FileSpaceConfig::default();
+        for f in s.files(FileKind::Document) {
+            assert!(f.blocks >= cfg.doc_blocks.0 && f.blocks <= cfg.doc_blocks.1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        let cfg = FileSpaceConfig::default();
+        let sa = FileSpace::generate(&mut a, &cfg);
+        let sb = FileSpace::generate(&mut b, &cfg);
+        assert_eq!(sa.all_files(), sb.all_files());
+    }
+
+    #[test]
+    fn pick_returns_requested_kind() {
+        let s = space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            assert_eq!(s.pick(&mut rng, FileKind::Document).kind, FileKind::Document);
+        }
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut rng, (4, 128));
+            assert!((4..=128).contains(&v));
+        }
+        assert_eq!(log_uniform(&mut rng, (7, 7)), 7);
+    }
+}

@@ -1,0 +1,45 @@
+//! # insider-workloads
+//!
+//! Synthetic block-I/O trace generators reproducing the workload zoo of the
+//! SSD-Insider paper (Baek et al., ICDCS 2018, Table I): eight real-world
+//! ransomware families plus two in-house ones, and twelve background
+//! applications spanning the paper's four categories (heavy overwriting,
+//! IO-intensive, CPU-intensive, normal).
+//!
+//! The real malware binaries are not runnable here, but the detector only
+//! ever sees `(time, LBA, mode, length)` headers — so a generator that
+//! reproduces each family's *header-level* behavior (read-encrypt-overwrite
+//! pattern, speed, target file sizes, in-place vs. out-of-place class) is
+//! indistinguishable from the real thing at the layer under test. See
+//! DESIGN.md for the substitution argument.
+//!
+//! # Example
+//!
+//! ```rust
+//! use insider_workloads::{FileSpace, FileSpaceConfig, RansomwareKind};
+//! use insider_nand::SimTime;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
+//! let model = RansomwareKind::WannaCry.model();
+//! let trace = model.generate(&mut rng, &space, insider_nand::SimTime::from_secs(30));
+//! assert!(!trace.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod dataset;
+mod filespace;
+mod mixer;
+mod ransomware;
+mod trace;
+
+pub use apps::{AppKind, AppModel};
+pub use dataset::{table1, Scenario, ScenarioClass, ScenarioTrace};
+pub use filespace::{FileExtent, FileKind, FileSpace, FileSpaceConfig};
+pub use mixer::merge;
+pub use ransomware::{OverwriteClass, RansomwareKind, RansomwareModel};
+pub use trace::{ActivePeriod, Trace};

@@ -1,0 +1,64 @@
+//! Time-axis merging of traces.
+
+use crate::trace::Trace;
+
+/// Merges traces into one time-ordered stream.
+///
+/// Each input is expected to be time-sorted (all generators in this crate
+/// produce sorted traces); the merge is a stable k-way interleave.
+///
+/// # Example
+///
+/// ```rust
+/// use insider_workloads::{merge, Trace};
+/// use insider_detect::IoReq;
+/// use insider_nand::{Lba, SimTime};
+///
+/// let a = Trace::from_reqs(vec![IoReq::read(SimTime::from_secs(1), Lba::new(0))]);
+/// let b = Trace::from_reqs(vec![IoReq::read(SimTime::from_secs(0), Lba::new(1))]);
+/// let merged = merge([a, b]);
+/// assert_eq!(merged.reqs()[0].lba, Lba::new(1));
+/// assert!(merged.is_sorted());
+/// ```
+pub fn merge(traces: impl IntoIterator<Item = Trace>) -> Trace {
+    let mut all = Trace::new();
+    for t in traces {
+        all.extend(t);
+    }
+    all.sort();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insider_detect::IoReq;
+    use insider_nand::{Lba, SimTime};
+
+    #[test]
+    fn merge_preserves_all_requests_in_order() {
+        let a: Trace = (0..10u64)
+            .map(|i| IoReq::read(SimTime::from_millis(i * 100), Lba::new(i)))
+            .collect();
+        let b: Trace = (0..10u64)
+            .map(|i| IoReq::write(SimTime::from_millis(i * 100 + 50), Lba::new(100 + i)))
+            .collect();
+        let m = merge([a, b]);
+        assert_eq!(m.len(), 20);
+        assert!(m.is_sorted());
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(merge(std::iter::empty::<Trace>()).is_empty());
+    }
+
+    #[test]
+    fn merge_is_stable_for_equal_timestamps() {
+        let a = Trace::from_reqs(vec![IoReq::read(SimTime::ZERO, Lba::new(1))]);
+        let b = Trace::from_reqs(vec![IoReq::read(SimTime::ZERO, Lba::new(2))]);
+        let m = merge([a, b]);
+        assert_eq!(m.reqs()[0].lba, Lba::new(1));
+        assert_eq!(m.reqs()[1].lba, Lba::new(2));
+    }
+}

@@ -1,0 +1,356 @@
+//! Header-level models of the ten ransomware samples of Table I.
+
+use crate::filespace::{FileKind, FileSpace};
+use crate::trace::Trace;
+use insider_detect::{IoMode, IoReq};
+use insider_nand::{Lba, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a family disposes of the victim's plaintext (paper §III-A,
+/// after Scaife et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OverwriteClass {
+    /// Class A: encrypt and overwrite the file in place.
+    InPlace,
+    /// Class B: write the ciphertext elsewhere, then overwrite the original.
+    OutOfPlace,
+    /// Class C: write the ciphertext elsewhere, then delete (trim) the
+    /// original.
+    DeleteThenWrite,
+}
+
+/// The ransomware families evaluated in the paper (Table I), plus the two
+/// in-house samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RansomwareKind {
+    /// Locky variant `.bbs` — in-place, moderate speed (training set).
+    LockyBbs,
+    /// Locky variant `.bdf` — in-place, moderate speed (training set).
+    LockyBdf,
+    /// Zerber `.ufb` — in-place, moderate speed (training set).
+    ZerberUfb,
+    /// WannaCry — fast, out-of-place with original overwrite (test set).
+    WannaCry,
+    /// Jaff — deliberately slow and dispersed; the hardest to catch per
+    /// slice, caught by `PWIO` (test set).
+    Jaff,
+    /// Mole — fast in-place encryptor (test set).
+    Mole,
+    /// GlobeImposter — moderate in-place (test set).
+    GlobeImposter,
+    /// CryptoShield — slow in-place, low overwrite growth rate (test set).
+    CryptoShield,
+    /// In-house sample doing in-place update encryption.
+    InHouseInPlace,
+    /// In-house sample doing out-of-place update encryption.
+    InHouseOutPlace,
+}
+
+impl RansomwareKind {
+    /// All ten kinds.
+    pub const ALL: [RansomwareKind; 10] = [
+        RansomwareKind::LockyBbs,
+        RansomwareKind::LockyBdf,
+        RansomwareKind::ZerberUfb,
+        RansomwareKind::WannaCry,
+        RansomwareKind::Jaff,
+        RansomwareKind::Mole,
+        RansomwareKind::GlobeImposter,
+        RansomwareKind::CryptoShield,
+        RansomwareKind::InHouseInPlace,
+        RansomwareKind::InHouseOutPlace,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RansomwareKind::LockyBbs => "Locky.bbs",
+            RansomwareKind::LockyBdf => "Locky.bdf",
+            RansomwareKind::ZerberUfb => "Zerber.ufb",
+            RansomwareKind::WannaCry => "WannaCry",
+            RansomwareKind::Jaff => "Jaff",
+            RansomwareKind::Mole => "Mole",
+            RansomwareKind::GlobeImposter => "GlobeImposter",
+            RansomwareKind::CryptoShield => "CryptoShield",
+            RansomwareKind::InHouseInPlace => "In-house (inplace)",
+            RansomwareKind::InHouseOutPlace => "In-house (outplace)",
+        }
+    }
+
+    /// The header-level behavior model for this family. Speeds are relative
+    /// magnitudes consistent with the paper's Figs. 1–2 (WannaCry/Mole fast,
+    /// Jaff/CryptoShield slow).
+    pub fn model(self) -> RansomwareModel {
+        let (class, files_per_sec) = match self {
+            RansomwareKind::LockyBbs => (OverwriteClass::InPlace, 4.0),
+            RansomwareKind::LockyBdf => (OverwriteClass::InPlace, 3.5),
+            RansomwareKind::ZerberUfb => (OverwriteClass::InPlace, 3.0),
+            RansomwareKind::WannaCry => (OverwriteClass::OutOfPlace, 10.0),
+            RansomwareKind::Jaff => (OverwriteClass::InPlace, 2.0),
+            RansomwareKind::Mole => (OverwriteClass::InPlace, 8.0),
+            RansomwareKind::GlobeImposter => (OverwriteClass::InPlace, 3.0),
+            RansomwareKind::CryptoShield => (OverwriteClass::InPlace, 0.8),
+            RansomwareKind::InHouseInPlace => (OverwriteClass::InPlace, 5.0),
+            RansomwareKind::InHouseOutPlace => (OverwriteClass::DeleteThenWrite, 5.0),
+        };
+        RansomwareModel {
+            kind: self,
+            class,
+            files_per_sec,
+            read_chunk: 8,
+            start: SimTime::ZERO,
+            slowdown: 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for RansomwareKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parameterized generator for one family's read-encrypt-overwrite stream.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RansomwareModel {
+    /// Which family this models.
+    pub kind: RansomwareKind,
+    /// How the plaintext is destroyed.
+    pub class: OverwriteClass,
+    /// Encryption throughput in victim files per second.
+    pub files_per_sec: f64,
+    /// Blocks per read/write request (files are processed in chunks).
+    pub read_chunk: u32,
+    /// When the attack begins.
+    pub start: SimTime,
+    /// Throughput divisor modeling CPU/IO contention (≥ 1.0); the paper's
+    /// CPU- and IO-intensive background apps slow ransomware down.
+    pub slowdown: f64,
+}
+
+impl RansomwareModel {
+    /// Returns a copy starting at `start`.
+    pub fn starting_at(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Returns a copy slowed down by `factor` (≥ 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn slowed_by(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be at least 1.0");
+        self.slowdown = factor;
+        self
+    }
+
+    /// Effective files encrypted per second after contention.
+    pub fn effective_rate(&self) -> f64 {
+        self.files_per_sec / self.slowdown
+    }
+
+    /// Generates the attack trace over `space`, running from
+    /// [`start`](Self::start) for `duration`. Victims are document files in
+    /// random order (without replacement until exhausted).
+    pub fn generate(&self, rng: &mut impl Rng, space: &FileSpace, duration: SimTime) -> Trace {
+        let mut victims: Vec<_> = space.files(FileKind::Document).copied().collect();
+        victims.shuffle(rng);
+
+        let mut trace = Trace::new();
+        let end = self.start + duration;
+        let mut now = self.start;
+        let file_gap_us = (1e6 / self.effective_rate()) as u64;
+        let mut out_cursor = space.free_start();
+
+        for file in victims {
+            if now >= end {
+                break;
+            }
+            // Jitter the inter-file gap ±25 %.
+            let gap = file_gap_us + rng.random_range(0..=file_gap_us / 2)
+                - file_gap_us / 4;
+            // Spread the file's requests over a fraction of the gap.
+            let reqs_for_file = 2 * file.blocks.div_ceil(self.read_chunk) as u64 + 2;
+            let step = (gap / 2 / reqs_for_file).max(1);
+
+            // Read the whole file in chunks (the "encrypt" phase).
+            now = emit_chunks(&mut trace, now, step, file.start, file.blocks,
+                              self.read_chunk, IoMode::Read);
+
+            // Destroy the plaintext according to class.
+            match self.class {
+                OverwriteClass::InPlace => {
+                    now = emit_chunks(&mut trace, now, step, file.start, file.blocks,
+                                      self.read_chunk, IoMode::Write);
+                }
+                OverwriteClass::OutOfPlace => {
+                    // Ciphertext copy to the free region…
+                    now = emit_chunks(&mut trace, now, step, out_cursor, file.blocks,
+                                      self.read_chunk, IoMode::Write);
+                    out_cursor = out_cursor.offset(file.blocks as u64);
+                    // …then a single junk overwrite pass over the original.
+                    now = emit_chunks(&mut trace, now, step, file.start, file.blocks,
+                                      self.read_chunk, IoMode::Write);
+                }
+                OverwriteClass::DeleteThenWrite => {
+                    // Ciphertext copy to the free region…
+                    now = emit_chunks(&mut trace, now, step, out_cursor, file.blocks,
+                                      self.read_chunk, IoMode::Write);
+                    out_cursor = out_cursor.offset(file.blocks as u64);
+                    // …then trim the original away.
+                    trace.push(IoReq::new(now, file.start, IoMode::Trim, file.blocks));
+                    now = now.plus_micros(step);
+                }
+            }
+
+            // Idle until the next victim.
+            now = now.plus_micros(gap / 2);
+        }
+        trace
+    }
+}
+
+/// Emits `[start, start+blocks)` as `chunk`-block requests of `mode`,
+/// `step` microseconds apart; returns the advanced clock.
+fn emit_chunks(
+    trace: &mut Trace,
+    mut now: SimTime,
+    step: u64,
+    start: Lba,
+    blocks: u32,
+    chunk: u32,
+    mode: IoMode,
+) -> SimTime {
+    let mut offset = 0u32;
+    while offset < blocks {
+        let len = chunk.min(blocks - offset);
+        trace.push(IoReq::new(now, start.offset(offset as u64), mode, len));
+        now = now.plus_micros(step);
+        offset += len;
+    }
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filespace::FileSpaceConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (rand::rngs::StdRng, FileSpace) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
+        (rng, space)
+    }
+
+    #[test]
+    fn every_kind_generates_nonempty_sorted_traces() {
+        let (mut rng, space) = setup();
+        for kind in RansomwareKind::ALL {
+            let trace = kind.model().generate(&mut rng, &space, SimTime::from_secs(20));
+            assert!(!trace.is_empty(), "{kind} produced an empty trace");
+            assert!(trace.is_sorted(), "{kind} trace out of order");
+        }
+    }
+
+    #[test]
+    fn in_place_overwrites_every_read_block() {
+        let (mut rng, space) = setup();
+        let trace = RansomwareKind::Mole
+            .model()
+            .generate(&mut rng, &space, SimTime::from_secs(10));
+        use std::collections::HashSet;
+        let mut read: HashSet<u64> = HashSet::new();
+        let mut written: HashSet<u64> = HashSet::new();
+        for req in &trace {
+            for lba in req.blocks() {
+                match req.mode {
+                    IoMode::Read => {
+                        read.insert(lba.index());
+                    }
+                    IoMode::Write => {
+                        written.insert(lba.index());
+                    }
+                    IoMode::Trim => {}
+                }
+            }
+        }
+        assert!(!read.is_empty());
+        assert!(
+            read.is_subset(&written),
+            "in-place ransomware must overwrite everything it read"
+        );
+    }
+
+    #[test]
+    fn out_of_place_writes_to_free_region_and_original() {
+        let (mut rng, space) = setup();
+        let trace = RansomwareKind::WannaCry
+            .model()
+            .generate(&mut rng, &space, SimTime::from_secs(5));
+        let free = space.free_start().index();
+        let wrote_free = trace
+            .iter()
+            .any(|r| r.mode == IoMode::Write && r.lba.index() >= free);
+        let wrote_used = trace
+            .iter()
+            .any(|r| r.mode == IoMode::Write && r.lba.index() < free);
+        assert!(wrote_free, "ciphertext copy must land in the free region");
+        assert!(wrote_used, "original must be overwritten");
+    }
+
+    #[test]
+    fn delete_class_trims_originals() {
+        let (mut rng, space) = setup();
+        let trace = RansomwareKind::InHouseOutPlace
+            .model()
+            .generate(&mut rng, &space, SimTime::from_secs(5));
+        assert!(trace.iter().any(|r| r.mode == IoMode::Trim));
+    }
+
+    #[test]
+    fn fast_families_touch_more_blocks_than_slow_ones() {
+        let (mut rng, space) = setup();
+        let dur = SimTime::from_secs(15);
+        let fast = RansomwareKind::WannaCry.model().generate(&mut rng, &space, dur);
+        let slow = RansomwareKind::Jaff.model().generate(&mut rng, &space, dur);
+        assert!(
+            fast.total_blocks() > 3 * slow.total_blocks(),
+            "WannaCry ({}) must far outpace Jaff ({})",
+            fast.total_blocks(),
+            slow.total_blocks()
+        );
+    }
+
+    #[test]
+    fn slowdown_reduces_throughput() {
+        let (mut rng, space) = setup();
+        let dur = SimTime::from_secs(15);
+        let normal = RansomwareKind::Mole.model().generate(&mut rng, &space, dur);
+        let slowed = RansomwareKind::Mole
+            .model()
+            .slowed_by(4.0)
+            .generate(&mut rng, &space, dur);
+        assert!(normal.total_blocks() > slowed.total_blocks());
+    }
+
+    #[test]
+    fn start_offset_shifts_first_request() {
+        let (mut rng, space) = setup();
+        let trace = RansomwareKind::Mole
+            .model()
+            .starting_at(SimTime::from_secs(30))
+            .generate(&mut rng, &space, SimTime::from_secs(5));
+        assert!(trace.reqs()[0].time >= SimTime::from_secs(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1.0")]
+    fn invalid_slowdown_panics() {
+        RansomwareKind::Mole.model().slowed_by(0.5);
+    }
+}

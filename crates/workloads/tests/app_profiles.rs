@@ -1,0 +1,144 @@
+//! Profile regression tests: the detection results (paper Fig. 7) depend on
+//! each workload generator staying in its tuned feature band. These tests
+//! pin the bands so an innocent-looking pacing change that would silently
+//! wreck the detector's training balance fails loudly here instead.
+
+use insider_detect::{FeatureEngine, FeatureVector};
+use insider_nand::SimTime;
+use insider_workloads::{AppKind, FileSpace, FileSpaceConfig, RansomwareKind, Trace};
+use rand::SeedableRng;
+
+fn series(trace: &Trace) -> Vec<FeatureVector> {
+    let mut engine = FeatureEngine::new(SimTime::from_secs(1), 10);
+    let mut out = Vec::new();
+    for req in trace {
+        out.extend(engine.ingest(*req).into_iter().map(|(_, f)| f));
+    }
+    out.extend(
+        engine
+            .flush_until(trace.duration() + SimTime::from_secs(2))
+            .into_iter()
+            .map(|(_, f)| f),
+    );
+    out
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn app_series(kind: AppKind, seed: u64) -> Vec<FeatureVector> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
+    let trace = kind.model().generate(&mut rng, &space, SimTime::from_secs(40));
+    series(&trace)
+}
+
+fn ransom_series(kind: RansomwareKind, seed: u64) -> Vec<FeatureVector> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
+    let trace = kind.model().generate(&mut rng, &space, SimTime::from_secs(40));
+    series(&trace)
+}
+
+#[test]
+fn zero_overwrite_apps_stay_at_zero() {
+    // These apps are modeled with no read-modify-write at all; a single
+    // overwrite means a generator regression.
+    for kind in [AppKind::P2pDownload, AppKind::VideoDecode, AppKind::Compression] {
+        let s = app_series(kind, 1);
+        let owio = mean(s.iter().map(|f| f.owio));
+        assert_eq!(owio, 0.0, "{kind} must not overwrite (got mean OWIO {owio})");
+    }
+}
+
+#[test]
+fn stress_tools_have_negligible_overwrite_density() {
+    // Random 4-KiB I/O over a 512 GB-scale space: accidental collisions
+    // only. A jump here means the space shrank or the op pattern changed.
+    for kind in [AppKind::IoMeter, AppKind::DiskMark, AppKind::HdTunePro] {
+        let s = app_series(kind, 2);
+        let owio = mean(s.iter().map(|f| f.owio));
+        let io = mean(s.iter().map(|f| f.io));
+        assert!(io > 200.0, "{kind} must stay busy (mean IO {io})");
+        assert!(
+            owio < 0.05 * io,
+            "{kind}: overwrites must be accidental ({owio:.1} of {io:.1})"
+        );
+    }
+}
+
+#[test]
+fn wiper_band() {
+    let s = app_series(AppKind::DataWiping, 3);
+    let owio = mean(s.iter().map(|f| f.owio));
+    let avgwio = mean(s.iter().map(|f| f.avgwio));
+    assert!(
+        (20.0..300.0).contains(&owio),
+        "wiper overwrite rate drifted: {owio:.1}/s"
+    );
+    assert!(
+        avgwio > 100.0,
+        "wiper runs must be long (AVGWIO {avgwio:.1}) — that's what separates it"
+    );
+}
+
+#[test]
+fn database_band() {
+    let s = app_series(AppKind::Database, 4);
+    let owio = mean(s.iter().map(|f| f.owio));
+    let avgwio = mean(s.iter().map(|f| f.avgwio));
+    assert!(
+        (50.0..800.0).contains(&owio),
+        "DB overwrite rate drifted: {owio:.1}/s"
+    );
+    assert!(
+        avgwio > 60.0,
+        "DB updates must overwrite long runs (AVGWIO {avgwio:.1})"
+    );
+}
+
+#[test]
+fn ransomware_bands() {
+    // (family, min mean OWIO during its run, max AVGWIO)
+    let expectations = [
+        (RansomwareKind::WannaCry, 100.0),
+        (RansomwareKind::Mole, 100.0),
+        (RansomwareKind::GlobeImposter, 40.0),
+        (RansomwareKind::Jaff, 20.0),
+        (RansomwareKind::CryptoShield, 10.0),
+    ];
+    for (kind, min_owio) in expectations {
+        let s = ransom_series(kind, 5);
+        let owio = mean(s.iter().map(|f| f.owio));
+        let avgwio = mean(s.iter().map(|f| f.avgwio));
+        assert!(
+            owio >= min_owio,
+            "{kind}: mean OWIO {owio:.1} fell below its band ({min_owio})"
+        );
+        assert!(
+            avgwio < 60.0,
+            "{kind}: AVGWIO {avgwio:.1} must stay document-short (< 60)"
+        );
+    }
+}
+
+#[test]
+fn speed_ordering_matches_the_paper() {
+    // Fig. 1(b)'s ordering: WannaCry/Mole fastest, CryptoShield slowest.
+    let total = |k: RansomwareKind| -> f64 {
+        ransom_series(k, 6).iter().map(|f| f.owio).sum()
+    };
+    let wannacry = total(RansomwareKind::WannaCry);
+    let mole = total(RansomwareKind::Mole);
+    let jaff = total(RansomwareKind::Jaff);
+    let cryptoshield = total(RansomwareKind::CryptoShield);
+    assert!(wannacry > jaff, "WannaCry ({wannacry}) must outpace Jaff ({jaff})");
+    assert!(mole > cryptoshield, "Mole ({mole}) must outpace CryptoShield ({cryptoshield})");
+    assert!(jaff > cryptoshield, "Jaff ({jaff}) must outpace CryptoShield ({cryptoshield})");
+}

@@ -1,0 +1,138 @@
+//! Property tests over the scenario builder: every Table I scenario, for
+//! any seed and duration, yields a well-formed run — sorted trace, in-bounds
+//! addresses, labels consistent with the active period, and ransomware
+//! activity actually present when the scenario includes one.
+
+use insider_detect::IoMode;
+use insider_nand::SimTime;
+use insider_workloads::{table1, FileSpaceConfig};
+use proptest::prelude::*;
+
+fn compact_space() -> FileSpaceConfig {
+    FileSpaceConfig {
+        total_blocks: 120_000,
+        documents: 50,
+        doc_blocks: (4, 64),
+        media: 2,
+        media_blocks: (128, 512),
+        system: 10,
+        system_blocks: (2, 16),
+        database_blocks: 1_024,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_scenario_builds_well_formed_runs(
+        row in 0usize..25,
+        seed in any::<u64>(),
+        duration_s in 5u64..25,
+    ) {
+        let scenario = table1()[row];
+        let duration = SimTime::from_secs(duration_s);
+        let run = scenario.build_with_space(seed, duration, &compact_space());
+
+        // Time-ordered, in-bounds.
+        prop_assert!(run.trace.is_sorted());
+        for req in &run.trace {
+            prop_assert!(
+                req.end().index() <= run.space.total_blocks(),
+                "request {req} beyond the space"
+            );
+        }
+
+        match (scenario.ransomware, run.active) {
+            (Some(_), Some(active)) => {
+                prop_assert!(active.start < active.end);
+                // The attack starts in the first third, as documented.
+                prop_assert!(active.start.as_micros() <= duration.as_micros() / 3);
+                // Destructive traffic exists inside the active period.
+                let destructive_inside = run
+                    .trace
+                    .iter()
+                    .any(|r| r.mode.is_destructive() && active.contains(r.time));
+                prop_assert!(destructive_inside, "no attack I/O inside the active period");
+                // Labels align with the period.
+                let slice = SimTime::from_secs(1);
+                let first = active.start.as_micros() / 1_000_000;
+                prop_assert!(run.label(first, slice));
+            }
+            (None, None) => {
+                for s in 0..duration_s {
+                    prop_assert!(!run.label(s, SimTime::from_secs(1)));
+                }
+            }
+            (expected, got) => {
+                prop_assert!(
+                    false,
+                    "scenario ransomware {:?} but active period {:?}",
+                    expected,
+                    got
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_families_only_write_where_they_read(
+        seed in any::<u64>(),
+    ) {
+        use insider_workloads::{FileSpace, OverwriteClass, RansomwareKind};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let space = FileSpace::generate(&mut rng, &compact_space());
+        for kind in RansomwareKind::ALL {
+            let model = kind.model();
+            if model.class != OverwriteClass::InPlace {
+                continue;
+            }
+            let trace = model.generate(&mut rng, &space, SimTime::from_secs(8));
+            let mut read = std::collections::HashSet::new();
+            for req in &trace {
+                match req.mode {
+                    IoMode::Read => read.extend(req.blocks().map(|l| l.index())),
+                    IoMode::Write => {
+                        for b in req.blocks() {
+                            prop_assert!(
+                                read.contains(&b.index()),
+                                "{kind}: in-place write to unread {b}"
+                            );
+                        }
+                    }
+                    IoMode::Trim => prop_assert!(false, "{kind}: in-place family must not trim"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benign_apps_without_rmw_never_overwrite_read_blocks(
+        seed in any::<u64>(),
+        duration_s in 5u64..15,
+    ) {
+        use insider_workloads::{AppKind, FileSpace};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let space = FileSpace::generate(&mut rng, &compact_space());
+        // These apps are defined to produce no read-modify-write traffic.
+        for app in [AppKind::P2pDownload, AppKind::VideoDecode, AppKind::Compression] {
+            let trace = app.model().generate(&mut rng, &space, SimTime::from_secs(duration_s));
+            let mut read = std::collections::HashSet::new();
+            for req in &trace {
+                match req.mode {
+                    IoMode::Read => read.extend(req.blocks().map(|l| l.index())),
+                    IoMode::Write | IoMode::Trim => {
+                        for b in req.blocks() {
+                            prop_assert!(
+                                !read.contains(&b.index()),
+                                "{app}: unexpected overwrite of a read block"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

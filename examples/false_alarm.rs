@@ -1,0 +1,74 @@
+//! The other half of the lifecycle: a false alarm, dismissed.
+//!
+//! A DoD-style data wiper is the paper's hardest benign workload — it
+//! reads and overwrites like ransomware. This walkthrough shows the alarm
+//! firing on wiper-like traffic, the user dismissing it, and the drive
+//! carrying on with no data disturbed and no second alarm from the same
+//! already-judged evidence.
+//!
+//! Run with: `cargo run --release --example false_alarm`
+
+use bytes::Bytes;
+use insider_detect::DecisionTree;
+use insider_nand::{Geometry, Lba, SimTime};
+use ssd_insider::{DeviceEvent, DeviceState, InsiderConfig, SsdInsider};
+
+fn main() {
+    // Demo rule: any overwrite votes ransomware — guaranteed to false-alarm
+    // on a wiper. (The trained tree of examples/detection_tour.rs separates
+    // wipers via AVGWIO; this example is about the dismissal flow.)
+    let mut ssd = SsdInsider::new(
+        InsiderConfig::new(Geometry::tiny()),
+        DecisionTree::stump(0, 0.5),
+    );
+
+    // User data, long before the wipe.
+    ssd.write(Lba::new(50), Bytes::from_static(b"keep me"), SimTime::from_secs(1))
+        .expect("write");
+
+    // A secure-erase tool wipes a retired scratch area: read, then
+    // overwrite each block several times.
+    let mut t = SimTime::from_secs(120);
+    'wipe: for pass in 0..7u64 {
+        for lba in 100..140u64 {
+            if pass == 0 {
+                ssd.read(Lba::new(lba), t).expect("read");
+            }
+            ssd.write(Lba::new(lba), Bytes::from_static(b"\0\0\0\0"), t)
+                .expect("write");
+            t = t + SimTime::from_millis(40);
+            if ssd.state() == DeviceState::Suspicious {
+                break 'wipe;
+            }
+        }
+    }
+    assert_eq!(ssd.state(), DeviceState::Suspicious);
+    let alarm = ssd.last_alarm().expect("alarm pending");
+    println!(
+        "alarm raised by wiper traffic (score {}): {}",
+        alarm.score, alarm.features
+    );
+
+    // The user recognizes their own wiper and dismisses.
+    ssd.dismiss_alarm().expect("dismiss");
+    println!("user dismissed the alarm — drive stays in normal service");
+
+    // The spent evidence must not re-trigger by itself…
+    ssd.poll(t + SimTime::from_secs(3));
+    assert_eq!(ssd.state(), DeviceState::Normal);
+    println!("three quiet seconds later: still normal (evidence was spent)");
+
+    // …and nothing was rolled back: both the user file and the wiped area
+    // reflect exactly what the host wrote.
+    let kept = ssd.read(Lba::new(50), t).expect("read").expect("mapped");
+    assert_eq!(kept.as_ref(), b"keep me");
+    let wiped = ssd.read(Lba::new(100), t).expect("read").expect("mapped");
+    assert_eq!(wiped.as_ref(), b"\0\0\0\0");
+    println!("user file intact, wiped blocks stay wiped — no rollback happened");
+
+    // The event mailbox narrates the episode for the host driver.
+    let events = ssd.take_events();
+    assert!(matches!(events[0], DeviceEvent::AlarmRaised { .. }));
+    assert!(matches!(events[1], DeviceEvent::AlarmDismissed));
+    println!("event mailbox: {events:?}");
+}

@@ -1,0 +1,91 @@
+//! A full filesystem-level attack-and-recovery scenario (the paper's §V-B
+//! consistency experiment, as a narrated walkthrough).
+//!
+//! A MiniExt filesystem is mounted on an SSD-Insider device. User files are
+//! created and aged; a ransomware process then reads, encrypts and
+//! overwrites them in place while background writes churn. The device
+//! detects the attack, the user confirms, the drive rolls back, the host
+//! "reboots" and runs fsck — and every file's plaintext is verified intact.
+//!
+//! Run with: `cargo run --release --example ransomware_attack`
+
+use insider_detect::{DecisionTree, DetectorConfig};
+use insider_ftl::FtlConfig;
+use insider_fs::{fsck, FsConfig, MiniExt};
+use insider_nand::{Geometry, SimTime};
+use rand::{Rng, SeedableRng};
+use ssd_insider::{DeviceState, FsBridge, InsiderConfig, SsdInsider};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+
+    // A 64 MiB drive with the paper's detector parameters.
+    let geometry = Geometry::builder()
+        .channels(2)
+        .chips_per_channel(2)
+        .blocks_per_chip(64)
+        .pages_per_block(64)
+        .page_size(4096)
+        .build();
+    let config = InsiderConfig::from_parts(FtlConfig::new(geometry), DetectorConfig::default());
+    let device = SsdInsider::new(config, DecisionTree::stump(0, 0.5));
+    let bridge = FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(500));
+
+    // Format and populate the filesystem.
+    let mut fs = MiniExt::format(bridge, &FsConfig { inode_count: 128 }).expect("format");
+    let mut corpus = Vec::new();
+    for i in 0..16 {
+        let mut content = vec![0u8; rng.random_range(2_000..40_000)];
+        rng.fill(&mut content[..]);
+        let name = format!("photo_{i:02}.raw");
+        fs.write_file(&name, &content).expect("write");
+        corpus.push((name, content));
+    }
+    println!("created {} files", corpus.len());
+
+    // Age the corpus past the protection window.
+    let aged = fs.dev_mut().now() + SimTime::from_secs(30);
+    fs.dev_mut().advance(aged);
+
+    // The attack: read, XOR-"encrypt", overwrite in place — exactly the
+    // block-level pattern the detector watches for.
+    let mut encrypted = 0;
+    for (name, _) in &corpus {
+        let plain = fs.read_file(name).expect("read");
+        let cipher: Vec<u8> = plain.iter().map(|b| b ^ 0x5c).collect();
+        fs.write_file(name, &cipher).expect("write");
+        encrypted += 1;
+        let t = fs.dev_mut().now() + SimTime::from_millis(400);
+        fs.dev_mut().advance(t);
+        if fs.dev_mut().device().state() == DeviceState::Suspicious {
+            break;
+        }
+    }
+    println!("ransomware encrypted {encrypted} files before the alarm fired");
+    assert_eq!(fs.dev_mut().device().state(), DeviceState::Suspicious);
+
+    // User confirms → instant rollback → reboot → fsck.
+    let now = fs.dev_mut().now();
+    let mut bridge = fs.into_dev();
+    let started = std::time::Instant::now();
+    let report = bridge.device_mut().confirm_and_recover(now).expect("recover");
+    println!(
+        "rollback restored {} mapping entries in {:.3} ms",
+        report.restored,
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    bridge.device_mut().reboot().expect("reboot");
+
+    let (fsck_report, bridge) = fsck(bridge).expect("fsck");
+    println!("fsck: {fsck_report}");
+    let (second, bridge) = fsck(bridge).expect("fsck second pass");
+    assert!(second.is_clean(), "fsck must converge");
+
+    // Every file's plaintext must be back, byte for byte.
+    let mut fs = MiniExt::mount(bridge).expect("remount");
+    for (name, original) in &corpus {
+        let content = fs.read_file(name).expect("read back");
+        assert_eq!(&content, original, "{name} must be fully recovered");
+    }
+    println!("all {} files verified byte-for-byte — 0% data loss", corpus.len());
+}

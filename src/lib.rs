@@ -1,0 +1,23 @@
+//! # ssd-insider-repro
+//!
+//! Workspace umbrella for the SSD-Insider reproduction (Baek et al.,
+//! ICDCS 2018). This crate re-exports the member crates so the runnable
+//! examples and cross-crate integration tests have a single import surface;
+//! the actual functionality lives in:
+//!
+//! * [`insider_nand`] — NAND flash device simulator;
+//! * [`insider_ftl`] — conventional + delayed-deletion FTLs;
+//! * [`insider_detect`] — counting table, six features, ID3 tree;
+//! * [`insider_workloads`] — ransomware & background-app trace generators;
+//! * [`insider_fs`] — MiniExt filesystem and fsck;
+//! * [`ssd_insider`] — the integrated device.
+//!
+//! See `README.md` for a tour and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! reproduction methodology and results.
+
+pub use insider_detect as detect;
+pub use insider_fs as fs;
+pub use insider_ftl as ftl;
+pub use insider_nand as nand;
+pub use insider_workloads as workloads;
+pub use ssd_insider as device;

@@ -1,0 +1,147 @@
+//! Property tests on the detection engine: feature-value ranges, score
+//! bounds, slice monotonicity, and the definition of "overwrite" — all under
+//! arbitrary request streams.
+
+use insider_detect::{
+    DecisionTree, Detector, DetectorConfig, FeatureEngine, IoMode, IoReq,
+};
+use insider_nand::{Lba, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawReq {
+    advance_us: u32,
+    lba: u16,
+    write: bool,
+    len: u8,
+}
+
+fn req_strategy() -> impl Strategy<Value = RawReq> {
+    (0u32..400_000, any::<u16>(), any::<bool>(), 1u8..16).prop_map(
+        |(advance_us, lba, write, len)| RawReq {
+            advance_us,
+            lba,
+            write,
+            len,
+        },
+    )
+}
+
+fn materialize(raw: &[RawReq]) -> Vec<IoReq> {
+    let mut now = SimTime::ZERO;
+    raw.iter()
+        .map(|r| {
+            now = now.plus_micros(r.advance_us as u64);
+            IoReq::new(
+                now,
+                Lba::new(r.lba as u64),
+                if r.write { IoMode::Write } else { IoMode::Read },
+                r.len as u32,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn feature_values_stay_in_range(raw in prop::collection::vec(req_strategy(), 1..300)) {
+        let reqs = materialize(&raw);
+        let mut engine = FeatureEngine::new(SimTime::from_secs(1), 10);
+        let mut all = Vec::new();
+        for req in &reqs {
+            all.extend(engine.ingest(*req));
+        }
+        all.push(engine.close_slice());
+
+        let mut last_slice = None;
+        for (slice, f) in &all {
+            // Slices are emitted strictly in order.
+            if let Some(prev) = last_slice {
+                prop_assert_eq!(*slice, prev + 1, "slice sequence must be dense");
+            }
+            last_slice = Some(*slice);
+            // Ranges.
+            prop_assert!(f.owio >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&f.owst), "OWST {} out of [0,1]", f.owst);
+            prop_assert!(f.pwio >= 0.0);
+            prop_assert!(f.avgwio >= 0.0);
+            prop_assert!(f.owslope >= 0.0);
+            prop_assert!(f.io >= 0.0);
+            // An overwrite is also a write, and every op is an IO.
+            prop_assert!(f.owio <= f.io);
+        }
+    }
+
+    #[test]
+    fn score_is_bounded_by_window(raw in prop::collection::vec(req_strategy(), 1..300)) {
+        let reqs = materialize(&raw);
+        let config = DetectorConfig::default();
+        let mut det = Detector::new(config, DecisionTree::stump(0, 0.5));
+        for req in &reqs {
+            for v in det.ingest(*req) {
+                prop_assert!(v.score <= config.window_slices as u32);
+                prop_assert_eq!(v.alarm, v.score >= config.threshold);
+            }
+        }
+        prop_assert!(det.score() <= config.window_slices as u32);
+    }
+
+    #[test]
+    fn writes_without_reads_never_count_as_overwrites(
+        raw in prop::collection::vec(req_strategy(), 1..200)
+    ) {
+        // Force every request to be a write: OWIO must stay zero.
+        let reqs: Vec<IoReq> = materialize(&raw)
+            .into_iter()
+            .map(|r| IoReq::new(r.time, r.lba, IoMode::Write, r.len))
+            .collect();
+        let mut engine = FeatureEngine::new(SimTime::from_secs(1), 10);
+        let mut all = Vec::new();
+        for req in &reqs {
+            all.extend(engine.ingest(*req));
+        }
+        all.push(engine.close_slice());
+        for (_, f) in &all {
+            prop_assert_eq!(f.owio, 0.0);
+            prop_assert_eq!(f.owst, 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_false_tree_never_alarms(raw in prop::collection::vec(req_strategy(), 1..200)) {
+        let reqs = materialize(&raw);
+        let mut det = Detector::new(DetectorConfig::default(), DecisionTree::constant(false));
+        for req in &reqs {
+            for v in det.ingest(*req) {
+                prop_assert!(!v.vote);
+                prop_assert!(!v.alarm);
+                prop_assert_eq!(v.score, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn counting_table_eviction_bounds_memory(
+        raw in prop::collection::vec(req_strategy(), 1..400)
+    ) {
+        let reqs = materialize(&raw);
+        let mut engine = FeatureEngine::new(SimTime::from_secs(1), 10);
+        let mut max_blocks_per_window = 0usize;
+        let mut window_blocks = 0usize;
+        for req in &reqs {
+            let closed = engine.ingest(*req);
+            if !closed.is_empty() {
+                window_blocks = 0;
+            }
+            window_blocks += req.len as usize;
+            max_blocks_per_window = max_blocks_per_window.max(window_blocks);
+            // The table can never index more blocks than were touched in the
+            // retention horizon (window + current slice); with dense single
+            // slices this is loosely bounded by total blocks seen.
+        }
+        let total_blocks: usize = reqs.iter().map(|r| r.len as usize).sum();
+        prop_assert!(engine.counting_table().indexed_blocks() <= total_blocks);
+    }
+}

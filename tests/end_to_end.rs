@@ -1,0 +1,198 @@
+//! End-to-end integration: trained detector + device + filesystem,
+//! exercising the full attack → alarm → rollback → fsck → verify pipeline
+//! across every crate in the workspace.
+
+use insider_detect::{DetectorConfig, Id3Params, TrainingSet};
+use insider_ftl::FtlConfig;
+use insider_fs::{fsck, FsConfig, MiniExt};
+use insider_nand::{Geometry, SimTime};
+use insider_workloads::{table1, RansomwareKind, Scenario, ScenarioClass};
+use rand::{Rng, SeedableRng};
+use ssd_insider::{DeviceState, FsBridge, InsiderConfig, SsdInsider};
+
+/// Trains a small tree from a subset of the Table I training split —
+/// enough signal for integration testing while keeping the test fast.
+fn quick_tree(config: &DetectorConfig) -> insider_detect::DecisionTree {
+    let duration = SimTime::from_secs(25);
+    let mut set = TrainingSet::new(config.slice, config.window_slices);
+    for scenario in table1().into_iter().filter(|s| s.training) {
+        for seed in [42, 43] {
+            let run = scenario.build(seed, duration);
+            let slice = config.slice;
+            set.add_trace(run.trace.reqs(), duration, |idx| {
+                run.active.is_some_and(|p| p.overlaps_slice(idx, slice))
+            });
+        }
+    }
+    set.train(&Id3Params::default())
+}
+
+fn device_geometry() -> Geometry {
+    Geometry::builder()
+        .channels(2)
+        .chips_per_channel(2)
+        .blocks_per_chip(64)
+        .pages_per_block(64)
+        .page_size(4096)
+        .build()
+}
+
+#[test]
+fn trained_detector_catches_unknown_ransomware_trace() {
+    let config = DetectorConfig::default();
+    let tree = quick_tree(&config);
+
+    // WannaCry is not in the training split.
+    let scenario = Scenario {
+        class: ScenarioClass::RansomOnly,
+        app: None,
+        ransomware: Some(RansomwareKind::WannaCry),
+        training: false,
+    };
+    let run = scenario.build(7, SimTime::from_secs(30));
+    let active = run.active.unwrap();
+
+    let mut detector = insider_detect::Detector::new(config, tree);
+    let mut verdicts = Vec::new();
+    for req in &run.trace {
+        verdicts.extend(detector.ingest(*req));
+    }
+    verdicts.extend(detector.flush_until(run.trace.duration() + config.slice));
+
+    let alarm = verdicts
+        .iter()
+        .find(|v| v.alarm && SimTime::from_secs(v.slice + 1) >= active.start)
+        .expect("unknown ransomware must be detected");
+    let latency = SimTime::from_secs(alarm.slice + 1).saturating_sub(active.start);
+    assert!(
+        latency <= SimTime::from_secs(10),
+        "detection took {latency}, paper bound is 10 s"
+    );
+}
+
+#[test]
+fn full_attack_rollback_fsck_cycle_recovers_every_byte() {
+    let config = DetectorConfig::default();
+    let tree = quick_tree(&config);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+
+    let insider_cfg =
+        InsiderConfig::from_parts(FtlConfig::new(device_geometry()), config);
+    let device = SsdInsider::new(insider_cfg, tree);
+    let bridge = FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(500));
+    let mut fs = MiniExt::format(bridge, &FsConfig { inode_count: 128 }).unwrap();
+
+    // Corpus — each file will be encrypted exactly once, like real
+    // ransomware (re-encrypting the same files over and over would smear
+    // the features).
+    let mut corpus = Vec::new();
+    for i in 0..48 {
+        let mut content = vec![0u8; rng.random_range(8_000..40_000)];
+        rng.fill(&mut content[..]);
+        let name = format!("doc{i}");
+        fs.write_file(&name, &content).unwrap();
+        corpus.push((name, content));
+        // A small pad file after each document keeps the on-disk layout
+        // realistic (metadata and unrelated files between documents);
+        // without it MiniExt packs every file back-to-back and reads of
+        // consecutive victims would merge into one giant run.
+        fs.write_file(&format!("pad{i}"), &[0u8; 100]).unwrap();
+    }
+    let aged = fs.dev_mut().now() + SimTime::from_secs(30);
+    fs.dev_mut().advance(aged);
+
+    // Attack until the alarm fires (single pass over the corpus).
+    let mut fired = false;
+    for (name, _) in &corpus {
+        let plain = fs.read_file(name).unwrap();
+        let cipher: Vec<u8> = plain.iter().map(|b| b ^ 0x33).collect();
+        fs.write_file(name, &cipher).unwrap();
+        let t = fs.dev_mut().now() + SimTime::from_millis(150);
+        fs.dev_mut().advance(t);
+        if fs.dev_mut().device().state() == DeviceState::Suspicious {
+            fired = true;
+            break;
+        }
+    }
+    assert!(fired, "alarm never fired during the single-pass attack");
+
+    // Recover.
+    let now = fs.dev_mut().now();
+    let mut bridge = fs.into_dev();
+    let report = bridge.device_mut().confirm_and_recover(now).unwrap();
+    assert!(report.restored > 0);
+    bridge.device_mut().reboot().unwrap();
+
+    // fsck converges.
+    let (_, bridge) = fsck(bridge).unwrap();
+    let (second, bridge) = fsck(bridge).unwrap();
+    assert!(second.is_clean());
+
+    // Perfect recovery.
+    let mut fs = MiniExt::mount(bridge).unwrap();
+    for (name, original) in &corpus {
+        assert_eq!(
+            fs.read_file(name).unwrap(),
+            *original,
+            "{name} must be byte-for-byte intact"
+        );
+    }
+}
+
+#[test]
+fn benign_heavy_workload_does_not_trip_the_trained_detector() {
+    let config = DetectorConfig::default();
+    let tree = quick_tree(&config);
+
+    // Cloud-sync style bulk writes with no read-then-overwrite pattern.
+    let scenario = Scenario {
+        class: ScenarioClass::HeavyOverwriting,
+        app: Some(insider_workloads::AppKind::CloudStorage),
+        ransomware: None,
+        training: false,
+    };
+    let run = scenario.build(5, SimTime::from_secs(30));
+    let mut detector = insider_detect::Detector::new(config, tree);
+    let mut alarms = 0;
+    for req in &run.trace {
+        alarms += detector.ingest(*req).iter().filter(|v| v.alarm).count();
+    }
+    assert_eq!(alarms, 0, "benign cloud sync must not raise alarms");
+}
+
+#[test]
+fn device_survives_repeated_attack_recovery_cycles() {
+    let mut device = SsdInsider::new(
+        InsiderConfig::new(device_geometry()),
+        insider_detect::DecisionTree::stump(0, 0.5),
+    );
+    let mut t = SimTime::from_secs(50);
+    for round in 0..5 {
+        let lba = insider_nand::Lba::new(round);
+        device
+            .write(lba, bytes::Bytes::from_static(b"keep"), t)
+            .unwrap();
+        // Age past the window, then attack.
+        t = t + SimTime::from_secs(20);
+        device.poll(t);
+        let mut guard = 0;
+        while device.state() == DeviceState::Normal {
+            device.read(lba, t).unwrap();
+            device
+                .write(lba, bytes::Bytes::from_static(b"junk"), t)
+                .unwrap();
+            t = t + SimTime::from_millis(200);
+            guard += 1;
+            assert!(guard < 200, "round {round}: alarm never fired");
+        }
+        device.confirm_and_recover(t).unwrap();
+        assert_eq!(
+            device.read(lba, t).unwrap().unwrap().as_ref(),
+            b"keep",
+            "round {round}: data must be restored"
+        );
+        device.reboot().unwrap();
+        t = t + SimTime::from_secs(20);
+        device.poll(t);
+    }
+}

