@@ -1,0 +1,29 @@
+# Convenience targets for the SSD-Insider reproduction.
+#
+#   make tier1       — the gating check: release build, quick tests, and a
+#                      zero-warning clippy pass over the detection crate
+#                      (the hot path this repo optimizes hardest).
+#   make test        — full workspace test suite, including the differential
+#                      interval-vs-naive counting-table tests.
+#   make bench       — criterion micro-benchmarks (detector group includes
+#                      the interval-vs-naive counting-table comparison).
+#   make bench-json  — regenerate BENCH_detect.json (detector-ingest
+#                      throughput, interval vs legacy table, three traces).
+
+CARGO ?= cargo
+
+.PHONY: tier1 test bench bench-json
+
+tier1:
+	$(CARGO) build --release
+	$(CARGO) test -q
+	$(CARGO) clippy --release -p insider-detect -- -D warnings
+
+test:
+	$(CARGO) test --workspace -q
+
+bench:
+	$(CARGO) bench -p insider-bench
+
+bench-json:
+	$(CARGO) run --release -p insider-bench --bin bench_json

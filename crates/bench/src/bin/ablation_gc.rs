@@ -60,7 +60,8 @@ fn main() {
                     &mut conv
                 };
                 prefill_ftl(ftl, 0.9);
-                replay_ftl(&run.trace, ftl);
+                let outcome = replay_ftl(&run.trace, ftl);
+                assert_eq!(outcome.skipped, 0, "ablation traces must fit the replay drive");
                 let s = ftl.stats();
                 let (wmin, wmax, wmean) = ftl.wear_summary();
                 let label = if leveling.is_some() {

@@ -1,0 +1,178 @@
+//! Machine-readable detector-ingest benchmark: replays three deterministic
+//! traces through the [`insider_detect::FeatureEngine`] twice — once on the
+//! interval-indexed [`CountingTable`], once on the legacy per-LBA
+//! [`NaiveCountingTable`] — and writes requests/s plus peak table state to
+//! `BENCH_detect.json` so CI can diff throughput across commits.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin bench_json [-- out.json]
+
+use insider_bench::small_space;
+use insider_detect::{
+    CountingBackend, CountingTable, FeatureEngine, IoMode, IoReq, NaiveCountingTable,
+};
+use insider_nand::{Lba, SimTime};
+use insider_workloads::{merge, AppKind, FileSpace, RansomwareKind};
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::time::Instant;
+
+/// Timed passes per layout; the best is reported to damp scheduler noise.
+const TIMED_PASSES: usize = 3;
+
+/// Sequential-read sweep: 256-block reads walking a 64 MiB region over and
+/// over for ten slices — the workload the interval index collapses to a
+/// single run while the legacy layout pays one hash op per block.
+fn sequential_trace() -> Vec<IoReq> {
+    let mut reqs = Vec::new();
+    for s in 0..10u64 {
+        for i in 0..2_000u64 {
+            let lba = Lba::new((i % 64) * 256);
+            let t = SimTime::from_secs(s).plus_micros(i * 400);
+            reqs.push(IoReq::new(t, lba, IoMode::Read, 256));
+        }
+    }
+    reqs
+}
+
+/// Random mixed I/O: short variable-length extents, reads/writes/trims.
+fn random_trace() -> Vec<IoReq> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
+    let mut reqs = Vec::new();
+    for i in 0..40_000u64 {
+        let t = SimTime::from_micros(i * 1_000);
+        let lba = Lba::new(rng.random_range(0u64..50_000));
+        let len = rng.random_range(1u32..=16);
+        let mode = match rng.random_range(0u32..10) {
+            0..=4 => IoMode::Read,
+            5..=8 => IoMode::Write,
+            _ => IoMode::Trim,
+        };
+        reqs.push(IoReq::new(t, lba, mode, len));
+    }
+    reqs
+}
+
+/// Ransomware (Mole) mixed with cloud-storage background traffic — the
+/// realistic detection workload.
+fn ransomware_mix_trace() -> Vec<IoReq> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    let space = FileSpace::generate(&mut rng, &small_space());
+    let duration = SimTime::from_secs(10);
+    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
+    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
+    merge([ransom, cloud]).reqs().to_vec()
+}
+
+/// One layout's measurements on one trace.
+struct LayoutStats {
+    elapsed_s: f64,
+    requests_per_sec: f64,
+    blocks_per_sec: f64,
+    peak_table_bytes: usize,
+    peak_entries: usize,
+}
+
+impl LayoutStats {
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "elapsed_s": self.elapsed_s,
+            "requests_per_sec": self.requests_per_sec,
+            "blocks_per_sec": self.blocks_per_sec,
+            "peak_table_bytes": self.peak_table_bytes as u64,
+            "peak_entries": self.peak_entries as u64,
+        })
+    }
+}
+
+/// Ingests the whole trace through a fresh engine; returns elapsed seconds.
+fn timed_pass<T: CountingBackend>(reqs: &[IoReq], backend: T) -> f64 {
+    let mut engine = FeatureEngine::with_backend(SimTime::from_secs(1), 10, false, backend);
+    let start = Instant::now();
+    let mut slices = 0usize;
+    for req in reqs {
+        slices += engine.ingest(*req).len();
+    }
+    let end = reqs.last().map_or(SimTime::ZERO, |r| r.time);
+    slices += engine.flush_until(end.saturating_add(SimTime::from_secs(5))).len();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(slices > 0, "trace must produce slices");
+    elapsed
+}
+
+/// Benchmarks one layout: best-of-N timed passes plus an untimed
+/// instrumented pass sampling peak table footprint.
+fn run_layout<T: CountingBackend, F: Fn() -> T>(reqs: &[IoReq], make: F) -> LayoutStats {
+    let elapsed_s = (0..TIMED_PASSES)
+        .map(|_| timed_pass(reqs, make()))
+        .fold(f64::INFINITY, f64::min);
+
+    let mut engine = FeatureEngine::with_backend(SimTime::from_secs(1), 10, false, make());
+    let (mut peak_table_bytes, mut peak_entries) = (0usize, 0usize);
+    for (i, req) in reqs.iter().enumerate() {
+        engine.ingest(*req);
+        if i % 64 == 0 {
+            peak_table_bytes = peak_table_bytes.max(engine.counting_table().dram_bytes());
+            peak_entries = peak_entries.max(engine.counting_table().entries());
+        }
+    }
+    peak_table_bytes = peak_table_bytes.max(engine.counting_table().dram_bytes());
+    peak_entries = peak_entries.max(engine.counting_table().entries());
+
+    let blocks: u64 = reqs.iter().map(|r| r.len as u64).sum();
+    LayoutStats {
+        elapsed_s,
+        requests_per_sec: reqs.len() as f64 / elapsed_s,
+        blocks_per_sec: blocks as f64 / elapsed_s,
+        peak_table_bytes,
+        peak_entries,
+    }
+}
+
+fn bench_trace(name: &str, reqs: &[IoReq]) -> serde_json::Value {
+    eprintln!("bench_json: {name} — {} requests", reqs.len());
+    let interval = run_layout(reqs, CountingTable::new);
+    let naive = run_layout(reqs, NaiveCountingTable::new);
+    let speedup = interval.requests_per_sec / naive.requests_per_sec;
+    let blocks: u64 = reqs.iter().map(|r| r.len as u64).sum();
+    println!(
+        "{name:>16}: interval {:>12.0} req/s  naive {:>12.0} req/s  speedup {speedup:.2}x  \
+         (peak table {} B vs {} B)",
+        interval.requests_per_sec,
+        naive.requests_per_sec,
+        interval.peak_table_bytes,
+        naive.peak_table_bytes,
+    );
+    json!({
+        "trace": name,
+        "requests": reqs.len() as u64,
+        "blocks": blocks,
+        "interval": interval.to_json(),
+        "naive": naive.to_json(),
+        "speedup": speedup,
+    })
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_detect.json".into());
+    let traces = vec![
+        bench_trace("sequential-read", &sequential_trace()),
+        bench_trace("random-mixed", &random_trace()),
+        bench_trace("ransomware-mix", &ransomware_mix_trace()),
+    ];
+    let doc = json!({
+        "benchmark": "detector_ingest",
+        "units": json!({ "throughput": "requests/s", "table": "bytes" }),
+        "slice_secs": 1u64,
+        "window_slices": 10u64,
+        "timed_passes": TIMED_PASSES as u64,
+        "layouts": json!({
+            "interval": "BTreeMap run index + slice-bucketed eviction",
+            "naive": "legacy per-LBA HashMap index + full-scan eviction",
+        }),
+        "traces": traces,
+    });
+    std::fs::write(&out, serde_json::to_string(&doc).expect("serializable"))
+        .expect("write benchmark JSON");
+    println!("wrote {out}");
+}

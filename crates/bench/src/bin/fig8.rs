@@ -42,7 +42,8 @@ fn main() {
 
         let insider_cfg = InsiderConfig::from_parts(FtlConfig::new(replay_geometry()), config);
         let mut device = SsdInsider::new(insider_cfg, tree.clone());
-        replay_device(&run.trace, &mut device);
+        let outcome = replay_device(&run.trace, &mut device);
+        assert_eq!(outcome.skipped, 0, "fig8 traces must fit the replay drive");
         let s = device.timing().summary();
         let (serial_ns, parallel_ns) = device.nand_busy_ns();
         eprintln!(

@@ -27,7 +27,8 @@ fn run_one(trace: &insider_workloads::Trace, utilization: f64, insider: bool) ->
         &mut conv
     };
     prefill_ftl(ftl, utilization);
-    replay_ftl(trace, ftl);
+    let outcome = replay_ftl(trace, ftl);
+    assert_eq!(outcome.skipped, 0, "fig9 traces must fit the replay drive");
     (ftl.stats().gc_page_copies, ftl.stats().gc_invocations)
 }
 

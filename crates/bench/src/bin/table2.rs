@@ -54,7 +54,7 @@ fn run_iteration(tree: &insider_detect::DecisionTree, seed: u64) -> IterationOut
     let mut victims = Vec::new();
     for i in 0..24 {
         let blocks = rng.random_range(1..=16u32);
-        let mut content = vec![0u8; blocks as usize * 4096 - rng.random_range(0..4000)];
+        let mut content = vec![0u8; blocks as usize * 4096 - rng.random_range(0..4000usize)];
         rng.fill(&mut content[..]);
         let name = format!("victim{i:02}");
         fs.write_file(&name, &content).unwrap();

@@ -18,5 +18,8 @@ pub mod tablefmt;
 pub use harness::{train_tree, train_tree_uncached, training_duration, training_samples, TRAIN_SEEDS};
 pub use replay::feature_series;
 pub use outcome::RunOutcome;
-pub use replay::{prefill_ftl, replay_detector, replay_device, replay_ftl, replay_geometry, small_space};
+pub use replay::{
+    prefill_ftl, replay_detector, replay_device, replay_ftl, replay_geometry, small_space,
+    ReplayOutcome,
+};
 pub use tablefmt::render_table;

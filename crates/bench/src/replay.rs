@@ -81,19 +81,56 @@ fn payload() -> Bytes {
     Bytes::from_static(b"replayed")
 }
 
+/// What a replay actually did: blocks applied to the device vs blocks
+/// dropped because their LBAs exceeded its exported capacity. A skipped
+/// block means the trace was mis-sized for the drive — the workload it
+/// models silently shrank — so callers should surface `skipped`, not
+/// ignore it.
+#[must_use = "check `skipped` — a nonzero value means the trace did not fit the drive"]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Blocks applied to the device.
+    pub applied: u64,
+    /// Blocks dropped for exceeding the device's logical capacity.
+    pub skipped: u64,
+}
+
+impl ReplayOutcome {
+    /// Total blocks the trace asked for.
+    pub fn total(&self) -> u64 {
+        self.applied + self.skipped
+    }
+
+    /// Warns on stderr when any blocks were skipped. Returns `self` so
+    /// callers can chain it.
+    pub fn warn_if_skipped(self, context: &str) -> Self {
+        if self.skipped > 0 {
+            eprintln!(
+                "warning: {context}: {} of {} blocks exceeded device capacity and were skipped \
+                 — the trace is mis-sized for this drive",
+                self.skipped,
+                self.total()
+            );
+        }
+        self
+    }
+}
+
 /// Replays a trace against any FTL. Requests whose LBAs exceed the FTL's
-/// exported capacity are skipped (returns how many were applied).
+/// exported capacity are skipped; the returned [`ReplayOutcome`] reports
+/// both counts and a warning is logged when anything was skipped.
 ///
 /// # Panics
 ///
 /// Panics if the FTL reports an error other than capacity exhaustion —
 /// replay workloads are sized to fit.
-pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> u64 {
+pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
     let logical = ftl.logical_pages();
-    let mut applied = 0;
+    let mut outcome = ReplayOutcome::default();
     for req in trace {
         for lba in req.blocks() {
             if lba.index() >= logical {
+                outcome.skipped += 1;
                 continue;
             }
             match req.mode {
@@ -107,10 +144,10 @@ pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> u64 {
                     ftl.trim(lba, req.time).expect("replay trim failed");
                 }
             }
-            applied += 1;
+            outcome.applied += 1;
         }
     }
-    applied
+    outcome.warn_if_skipped("replay_ftl")
 }
 
 /// Replays a trace against a full SSD-Insider device. Alarms are
@@ -123,13 +160,14 @@ pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> u64 {
 /// # Panics
 ///
 /// Panics on device errors other than capacity exhaustion.
-pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> u64 {
+pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> ReplayOutcome {
     use ssd_insider::DeviceState;
     let logical = Ftl::logical_pages(device);
-    let mut applied = 0;
+    let mut outcome = ReplayOutcome::default();
     for req in trace {
         for lba in req.blocks() {
             if lba.index() >= logical {
+                outcome.skipped += 1;
                 continue;
             }
             match req.mode {
@@ -145,13 +183,13 @@ pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> u64 {
                     device.trim(lba, req.time).expect("replay trim failed");
                 }
             }
-            applied += 1;
+            outcome.applied += 1;
         }
         if device.state() == DeviceState::Suspicious {
             device.dismiss_alarm().expect("alarm pending");
         }
     }
-    applied
+    outcome.warn_if_skipped("replay_device")
 }
 
 /// Fills the first `fraction` of an FTL's logical space with one write per
@@ -215,10 +253,31 @@ mod tests {
             .model()
             .generate(&mut rng, &space, SimTime::from_secs(5));
         let mut ftl = ConventionalFtl::new(FtlConfig::new(replay_geometry()));
-        let applied = replay_ftl(&trace, &mut ftl);
-        assert_eq!(applied, trace.total_blocks());
+        let outcome = replay_ftl(&trace, &mut ftl);
+        assert_eq!(outcome.applied, trace.total_blocks());
+        assert_eq!(outcome.skipped, 0);
         assert!(ftl.stats().host_writes > 0);
         assert!(ftl.stats().host_reads > 0);
+    }
+
+    #[test]
+    fn ftl_replay_reports_out_of_capacity_blocks() {
+        use insider_detect::{IoMode, IoReq};
+        let mut ftl = ConventionalFtl::new(FtlConfig::new(Geometry::tiny()));
+        let logical = ftl.logical_pages();
+        let mut trace = Trace::new();
+        // One in-range write, one straddling the capacity edge by 2 blocks.
+        trace.push(IoReq::new(SimTime::ZERO, Lba::new(0), IoMode::Write, 1));
+        trace.push(IoReq::new(
+            SimTime::from_micros(1),
+            Lba::new(logical - 2),
+            IoMode::Write,
+            4,
+        ));
+        let outcome = replay_ftl(&trace, &mut ftl);
+        assert_eq!(outcome.applied, 3);
+        assert_eq!(outcome.skipped, 2);
+        assert_eq!(outcome.total(), trace.total_blocks());
     }
 
     #[test]

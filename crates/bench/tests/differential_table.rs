@@ -1,0 +1,116 @@
+//! Differential test: the interval-indexed [`CountingTable`] and the legacy
+//! per-LBA [`NaiveCountingTable`] must produce **byte-identical** per-slice
+//! feature series on identical request streams. The optimization is a data-
+//! structure change only; any divergence here is a correctness bug.
+
+use insider_bench::small_space;
+use insider_detect::{
+    CountingBackend, CountingTable, FeatureEngine, IoMode, IoReq, NaiveCountingTable,
+};
+use insider_nand::{Lba, SimTime};
+use insider_workloads::{merge, AppKind, FileSpace, RansomwareKind, Trace};
+use rand::{Rng, SeedableRng};
+
+/// Per-slice feature series as raw f64 bit patterns (byte-identical check).
+fn series<T: CountingBackend>(
+    reqs: &[IoReq],
+    backend: T,
+    owst_over_window: bool,
+) -> Vec<(u64, [u64; 6])> {
+    let mut engine =
+        FeatureEngine::with_backend(SimTime::from_secs(1), 10, owst_over_window, backend);
+    let mut out = Vec::new();
+    for req in reqs {
+        out.extend(engine.ingest(*req));
+    }
+    let end = reqs.last().map_or(SimTime::ZERO, |r| r.time);
+    out.extend(engine.flush_until(end.saturating_add(SimTime::from_secs(5))));
+    out.into_iter()
+        .map(|(slice, f)| {
+            (
+                slice,
+                [
+                    f.owio.to_bits(),
+                    f.owst.to_bits(),
+                    f.pwio.to_bits(),
+                    f.avgwio.to_bits(),
+                    f.owslope.to_bits(),
+                    f.io.to_bits(),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn assert_identical(name: &str, reqs: &[IoReq]) {
+    for owst_over_window in [false, true] {
+        let interval = series(reqs, CountingTable::new(), owst_over_window);
+        let naive = series(reqs, NaiveCountingTable::new(), owst_over_window);
+        assert_eq!(
+            interval.len(),
+            naive.len(),
+            "{name} (window OWST {owst_over_window}): slice counts diverged"
+        );
+        for (a, b) in interval.iter().zip(&naive) {
+            assert_eq!(
+                a, b,
+                "{name} (window OWST {owst_over_window}): slice {} features diverged",
+                a.0
+            );
+        }
+        assert!(
+            !interval.is_empty(),
+            "{name}: trace must actually produce slices"
+        );
+    }
+}
+
+/// Sequential sweep: large extent reads then full overwrites — the workload
+/// the interval index optimizes hardest.
+#[test]
+fn differential_sequential_trace() {
+    let mut reqs = Vec::new();
+    for s in 0..8u64 {
+        for i in 0..24u64 {
+            let lba = Lba::new(s * 8192 + i * 256);
+            let t = SimTime::from_secs(s).plus_micros(i * 1_000);
+            reqs.push(IoReq::new(t, lba, IoMode::Read, 256));
+            reqs.push(IoReq::new(t.plus_micros(500), lba, IoMode::Write, 256));
+        }
+    }
+    assert_identical("sequential", &reqs);
+}
+
+/// Random mixed I/O with variable-length extents, including writes that
+/// partially overlap read runs and trims.
+#[test]
+fn differential_random_trace() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1FF);
+    let mut reqs = Vec::new();
+    for i in 0..4_000u64 {
+        let t = SimTime::from_micros(i * 3_000); // ~12 s of traffic
+        let lba = Lba::new(rng.random_range(0u64..5_000));
+        let len = rng.random_range(1u32..=16);
+        let mode = match rng.random_range(0u32..10) {
+            0..=4 => IoMode::Read,
+            5..=8 => IoMode::Write,
+            _ => IoMode::Trim,
+        };
+        reqs.push(IoReq::new(t, lba, mode, len));
+    }
+    assert_identical("random", &reqs);
+}
+
+/// Ransomware mixed with background cloud-storage traffic — the realistic
+/// detection workload.
+#[test]
+fn differential_ransomware_mix_trace() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    let space = FileSpace::generate(&mut rng, &small_space());
+    let duration = SimTime::from_secs(10);
+    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
+    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
+    let mixed: Trace = merge([ransom, cloud]);
+    assert!(mixed.is_sorted());
+    assert_identical("ransomware-mix", mixed.reqs());
+}

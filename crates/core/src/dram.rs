@@ -4,7 +4,9 @@ use crate::device::SsdInsider;
 use insider_ftl::RecoveryQueue;
 use serde::{Deserialize, Serialize};
 
-/// Bytes per hash-table slot (per-LBA index entry), from Table III.
+/// Bytes per index slot, from Table III. The paper provisions one slot per
+/// covered LBA (hash index); our interval-indexed counting table needs one
+/// slot per *run*, so live measurements count index nodes, not blocks.
 pub const HASH_SLOT_BYTES: usize = 42;
 
 /// Bytes per counting-table entry, from Table III.
@@ -18,7 +20,8 @@ pub const QUEUE_ENTRY_BYTES: usize = RecoveryQueue::ENTRY_BYTES;
 /// implementation would statically provision).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramUsage {
-    /// Hash-table slots in use (one per LBA indexed by the counting table).
+    /// Index slots in use: interval-index nodes (one per run) on a live
+    /// device; the paper's per-LBA hash slots in `paper_provisioned`.
     pub hash_entries: usize,
     /// Counting-table entries in use.
     pub counting_entries: usize,
@@ -31,7 +34,7 @@ impl DramUsage {
     pub fn measure(device: &SsdInsider) -> Self {
         let table = device.detector().engine().counting_table();
         DramUsage {
-            hash_entries: table.indexed_blocks(),
+            hash_entries: table.index_nodes(),
             counting_entries: table.len(),
             queue_entries: device.ftl().recovery_queue().len(),
         }
@@ -133,7 +136,9 @@ mod tests {
             ssd.write(Lba::new(i), Bytes::from_static(b"x"), t).unwrap();
         }
         let usage = DramUsage::measure(&ssd);
-        assert_eq!(usage.hash_entries, 8);
+        // Eight sequential blocks form a single run: one interval-index
+        // node, where the per-LBA hash layout needed eight slots.
+        assert_eq!(usage.hash_entries, 1);
         assert!(usage.counting_entries >= 1);
         assert_eq!(usage.queue_entries, 8);
         assert!(usage.total_bytes() > 0);

@@ -1,13 +1,13 @@
 //! The real-time detector: feature extraction + decision tree + score window.
 
-use crate::counting_table::CountingTable;
+use crate::counting_table::{CountingBackend, CountingTable};
 use crate::features::FeatureVector;
 use crate::id3::DecisionTree;
 use crate::ioreq::{IoMode, IoReq};
+use crate::rangeset::LbaRangeSet;
 use crate::window::{SliceWindow, VoteWindow};
-use insider_nand::{Lba, SimTime};
+use insider_nand::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Detector tuning knobs. Defaults match the paper: 1-second slices, a
 /// 10-slice window, and an alarm threshold of 3.
@@ -46,26 +46,32 @@ struct SliceAccum {
     rio: u64,
     wio: u64,
     owio: u64,
-    distinct_ow: HashSet<Lba>,
+    distinct_ow: LbaRangeSet,
 }
 
 /// Streaming feature extraction: the counting table plus the sliding-window
 /// state needed to emit one [`FeatureVector`] per time slice.
 ///
+/// Generic over the counting-table layout so differential tests and benches
+/// can swap in the legacy [`crate::NaiveCountingTable`]; production code
+/// uses the default interval-indexed [`CountingTable`]. Requests are
+/// consumed as whole extents — one table operation per request, never a
+/// per-block loop.
+///
 /// [`Detector`] composes this with a [`DecisionTree`]; training and the
 /// feature-series experiments (paper Figs. 1–2) use it directly.
 #[derive(Debug, Clone)]
-pub struct FeatureEngine {
+pub struct FeatureEngine<T: CountingBackend = CountingTable> {
     slice_len: SimTime,
     window_slices: usize,
     owst_over_window: bool,
-    table: CountingTable,
+    table: T,
     owio_history: SliceWindow,
     /// Write-block counts of the previous `N-1` slices (window-level OWST
     /// covers the window *ending at the current slice*, so current + N−1).
     wio_history: std::collections::VecDeque<u64>,
     /// Distinct-overwritten sets of the previous `N-1` slices.
-    ow_sets: std::collections::VecDeque<HashSet<Lba>>,
+    ow_sets: std::collections::VecDeque<LbaRangeSet>,
     accum: SliceAccum,
     cur_slice: u64,
 }
@@ -87,13 +93,30 @@ impl FeatureEngine {
     ///
     /// Panics if `slice` is zero or `window_slices` is zero.
     pub fn with_options(slice: SimTime, window_slices: usize, owst_over_window: bool) -> Self {
+        Self::with_backend(slice, window_slices, owst_over_window, CountingTable::new())
+    }
+}
+
+impl<T: CountingBackend> FeatureEngine<T> {
+    /// A fresh engine over an explicit counting-table backend (used by the
+    /// differential tests and benches to drive the legacy layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero or `window_slices` is zero.
+    pub fn with_backend(
+        slice: SimTime,
+        window_slices: usize,
+        owst_over_window: bool,
+        table: T,
+    ) -> Self {
         assert!(slice > SimTime::ZERO, "slice length must be non-zero");
         assert!(window_slices >= 1, "window must span at least one slice");
         FeatureEngine {
             slice_len: slice,
             window_slices,
             owst_over_window,
-            table: CountingTable::new(),
+            table,
             owio_history: SliceWindow::new(window_slices),
             wio_history: std::collections::VecDeque::with_capacity(window_slices),
             ow_sets: std::collections::VecDeque::with_capacity(window_slices),
@@ -108,7 +131,7 @@ impl FeatureEngine {
     }
 
     /// Read access to the counting table (for memory accounting).
-    pub fn counting_table(&self) -> &CountingTable {
+    pub fn counting_table(&self) -> &T {
         &self.table
     }
 
@@ -153,19 +176,19 @@ impl FeatureEngine {
         let closed = self.advance_to(target);
         match req.mode {
             IoMode::Read => {
-                for lba in req.blocks() {
-                    self.table.record_read(lba, self.cur_slice);
-                }
+                self.table.record_read_range(req.lba, req.len, self.cur_slice);
                 self.accum.rio += req.len as u64;
             }
             IoMode::Write | IoMode::Trim => {
-                for lba in req.blocks() {
-                    if self.table.record_write(lba, self.cur_slice) {
-                        self.accum.owio += 1;
-                        self.accum.distinct_ow.insert(lba);
-                    }
-                }
-                self.accum.wio += req.len as u64;
+                let (table, accum) = (&mut self.table, &mut self.accum);
+                let overwritten = table.record_write_extent(
+                    req.lba,
+                    req.len,
+                    self.cur_slice,
+                    &mut |start, n| accum.distinct_ow.insert_run(start, n),
+                );
+                accum.owio += overwritten as u64;
+                accum.wio += req.len as u64;
             }
         }
         closed
@@ -189,18 +212,18 @@ impl FeatureEngine {
         let owst = if self.owst_over_window {
             // Distinct overwritten blocks across the window (current slice
             // included) over the window's write blocks.
-            let mut distinct: HashSet<Lba> = a.distinct_ow.clone();
+            let mut distinct = a.distinct_ow.clone();
             for set in &self.ow_sets {
-                distinct.extend(set.iter().copied());
+                distinct.merge(set);
             }
             let wio_window: u64 = self.wio_history.iter().sum::<u64>() + a.wio;
             if wio_window > 0 {
-                distinct.len() as f64 / wio_window as f64
+                distinct.block_count() as f64 / wio_window as f64
             } else {
                 0.0
             }
         } else if a.wio > 0 {
-            a.distinct_ow.len() as f64 / a.wio as f64
+            a.distinct_ow.block_count() as f64 / a.wio as f64
         } else {
             0.0
         };
@@ -351,6 +374,7 @@ impl Detector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use insider_nand::Lba;
 
     fn l(i: u64) -> Lba {
         Lba::new(i)
@@ -541,6 +565,7 @@ mod tests {
 #[cfg(test)]
 mod owst_window_tests {
     use super::*;
+    use insider_nand::Lba;
 
     fn l(i: u64) -> Lba {
         Lba::new(i)
@@ -646,6 +671,7 @@ mod owst_window_tests {
 #[cfg(test)]
 mod gap_tests {
     use super::*;
+    use insider_nand::Lba;
 
     fn l(i: u64) -> Lba {
         Lba::new(i)

@@ -59,11 +59,15 @@ mod detector;
 mod features;
 mod id3;
 mod ioreq;
+mod naive;
+mod rangeset;
 mod training;
 mod window;
 
-pub use counting_table::{CountingTable, Entry};
+pub use counting_table::{CountingBackend, CountingTable, Entry};
 pub use detector::{Detector, DetectorConfig, FeatureEngine, Verdict};
+pub use naive::NaiveCountingTable;
+pub use rangeset::LbaRangeSet;
 pub use features::{FeatureVector, FEATURE_COUNT, FEATURE_NAMES};
 pub use id3::{DecisionTree, Id3Params, Sample};
 pub use ioreq::{IoMode, IoReq};

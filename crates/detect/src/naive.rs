@@ -1,0 +1,233 @@
+//! The legacy per-LBA counting-table layout, kept as a differential oracle.
+//!
+//! This is the original implementation of the paper's Fig. 3 design: a hash
+//! index from **every covered LBA** to its entry (O(1) lookup per block,
+//! O(blocks) per request, O(covered blocks) memory) and a full-table scan
+//! for window eviction. The interval-indexed [`crate::CountingTable`]
+//! replaced it on the hot path; this module survives so differential tests
+//! and benches can replay identical traces through both layouts and assert
+//! identical feature series — any behavioral drift in the optimized table
+//! is a bug, not a tuning choice.
+
+use crate::counting_table::{CountingBackend, Entry};
+use insider_nand::Lba;
+use std::collections::HashMap;
+
+/// Run-length counting table with a per-LBA hash index (legacy layout).
+#[derive(Debug, Clone, Default)]
+pub struct NaiveCountingTable {
+    entries: HashMap<u64, Entry>,
+    index: HashMap<Lba, u64>,
+    next_id: u64,
+}
+
+impl NaiveCountingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries (runs) currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of LBAs covered by the index (one hash slot per block).
+    pub fn indexed_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Records a read of `lba` during `slice`, growing/merging runs.
+    pub fn record_read(&mut self, lba: Lba, slice: u64) {
+        // Already covered: refresh the run's timestamp.
+        if let Some(&id) = self.index.get(&lba) {
+            self.entries.get_mut(&id).expect("index is consistent").slice = slice;
+            return;
+        }
+
+        // Extend the run ending at `lba` (UpdateEntryR)…
+        let prev = lba
+            .index()
+            .checked_sub(1)
+            .and_then(|p| self.index.get(&Lba::new(p)).copied());
+        if let Some(id) = prev {
+            {
+                let e = self.entries.get_mut(&id).expect("index is consistent");
+                debug_assert_eq!(e.end(), lba, "lba-1 coverage implies run ends at lba");
+                e.rl = e.rl.saturating_add(1);
+                e.slice = slice;
+            }
+            self.index.insert(lba, id);
+            // …and merge with a run starting right after (MergeEntry).
+            if let Some(&next_id) = self.index.get(&lba.next()) {
+                if next_id != id {
+                    self.merge(id, next_id, slice);
+                }
+            }
+            return;
+        }
+
+        // Prepend to a run starting at `lba + 1`.
+        if let Some(&id) = self.index.get(&lba.next()) {
+            let e = self.entries.get_mut(&id).expect("index is consistent");
+            if e.start == lba.next() {
+                e.start = lba;
+                e.rl = e.rl.saturating_add(1);
+                e.slice = slice;
+                self.index.insert(lba, id);
+                return;
+            }
+        }
+
+        // Fresh run (NewEntry).
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                slice,
+                start: lba,
+                rl: 1,
+                wl: 0,
+            },
+        );
+        self.index.insert(lba, id);
+    }
+
+    /// Records a write of `lba` during `slice`; `true` when it overwrites.
+    pub fn record_write(&mut self, lba: Lba, slice: u64) -> bool {
+        match self.index.get(&lba) {
+            Some(&id) => {
+                let e = self.entries.get_mut(&id).expect("index is consistent");
+                e.wl = e.wl.saturating_add(1);
+                e.slice = slice;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn merge(&mut self, keep: u64, drop: u64, slice: u64) {
+        let dropped = self.entries.remove(&drop).expect("merge target exists");
+        for b in 0..dropped.rl as u64 {
+            self.index.insert(dropped.start.offset(b), keep);
+        }
+        let e = self.entries.get_mut(&keep).expect("merge keeper exists");
+        e.rl = e.rl.saturating_add(dropped.rl);
+        e.wl = e.wl.saturating_add(dropped.wl);
+        e.slice = slice;
+    }
+
+    /// The entry covering `lba`, if any.
+    pub fn entry_covering(&self, lba: Lba) -> Option<&Entry> {
+        self.index.get(&lba).map(|id| &self.entries[id])
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+}
+
+impl CountingBackend for NaiveCountingTable {
+    fn record_read_range(&mut self, lba: Lba, len: u32, slice: u64) {
+        assert!(len >= 1, "a read covers at least one block");
+        for b in 0..len as u64 {
+            self.record_read(lba.offset(b), slice);
+        }
+    }
+
+    fn record_write_extent(
+        &mut self,
+        lba: Lba,
+        len: u32,
+        slice: u64,
+        on_overwrite: &mut dyn FnMut(Lba, u32),
+    ) -> u32 {
+        assert!(len >= 1, "a write covers at least one block");
+        let mut total = 0;
+        for b in 0..len as u64 {
+            let block = lba.offset(b);
+            if self.record_write(block, slice) {
+                on_overwrite(block, 1);
+                total += 1;
+            }
+        }
+        total
+    }
+
+    fn evict_older_than(&mut self, cutoff_slice: u64) -> usize {
+        let stale: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.slice < cutoff_slice)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &stale {
+            let e = self.entries.remove(id).expect("listed entry exists");
+            for b in 0..e.rl as u64 {
+                self.index.remove(&e.start.offset(b));
+            }
+        }
+        stale.len()
+    }
+
+    fn avg_wl(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            let sum: u64 = self.entries.values().map(|e| e.wl as u64).sum();
+            sum as f64 / self.entries.len() as f64
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.len()
+    }
+
+    /// Legacy formula: 12 bytes per entry plus one 42-byte hash slot per
+    /// **covered LBA** (paper Table III as originally provisioned).
+    fn dram_bytes(&self) -> usize {
+        self.entries.len() * 12 + self.index.len() * 42
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u64) -> Lba {
+        Lba::new(i)
+    }
+
+    #[test]
+    fn per_lba_index_costs_one_slot_per_block() {
+        let mut t = NaiveCountingTable::new();
+        t.record_read_range(l(0), 10, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.indexed_blocks(), 10);
+        assert_eq!(t.dram_bytes(), 12 + 10 * 42);
+    }
+
+    #[test]
+    fn range_write_counts_only_covered_blocks() {
+        let mut t = NaiveCountingTable::new();
+        t.record_read_range(l(10), 10, 0);
+        assert_eq!(t.record_write_range(l(15), 10, 0), 5);
+    }
+
+    #[test]
+    fn eviction_scans_out_stale_runs() {
+        let mut t = NaiveCountingTable::new();
+        t.record_read(l(0), 0);
+        t.record_read(l(10), 8);
+        assert_eq!(t.evict_older_than(5), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.entry_covering(l(0)).is_none());
+    }
+}

@@ -436,7 +436,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (rand::rngs::StdRng, FileSpace) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
         (rng, space)
     }

@@ -1,0 +1,259 @@
+//! Minimal offline implementation of `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace's `harness =
+//! false` bench targets use — `Criterion`, `BenchmarkGroup`, `Bencher`
+//! (`iter`/`iter_batched`), `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock timer instead of the real crate's statistical machinery.
+//! Each benchmark warms up briefly, then reports the mean time per
+//! iteration over a fixed measurement window.
+//!
+//! Like the real crate, the generated `main` does nothing unless invoked
+//! with a `--bench` argument, so `cargo test` runs the bench binaries as
+//! fast no-ops while `cargo bench` measures.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Wall-clock budget for estimating a benchmark's per-iteration cost.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark registry; hands out groups and runs benchmarks.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Defines and immediately runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness sizes its
+    /// sample window by wall-clock time instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Defines and runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Defines and runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (the vendored harness prints as it goes, so this is
+    /// a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterization of a benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; the vendored harness times
+/// setup and routine separately, so the hint is accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Times the routine the benchmark hands it.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    mean_nanos: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: estimate cost, keep the caches hot.
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_nanos = elapsed.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding the
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup round to estimate the routine's cost.
+        let input = setup();
+        let warm_start = Instant::now();
+        std::hint::black_box(routine(input));
+        let per_iter = warm_start.elapsed().as_secs_f64();
+        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 100_000);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_nanos = total.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher {
+        mean_nanos: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let (scaled, unit) = scale_nanos(bencher.mean_nanos);
+    println!(
+        "{name:<50} {scaled:>10.3} {unit}/iter  ({} iterations)",
+        bencher.iterations
+    );
+}
+
+fn scale_nanos(nanos: f64) -> (f64, &'static str) {
+    if nanos >= 1e9 {
+        (nanos / 1e9, "s")
+    } else if nanos >= 1e6 {
+        (nanos / 1e6, "ms")
+    } else if nanos >= 1e3 {
+        (nanos / 1e3, "µs")
+    } else {
+        (nanos, "ns")
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of the
+/// standard library's hint, matching the real crate's API).
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target. Runs the groups
+/// only under `cargo bench` (which passes `--bench`); under `cargo test`
+/// the binary exits immediately, keeping test runs fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !::std::env::args().any(|arg| arg == "--bench") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter_batched(|| vec![n; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(3).0, "3");
+    }
+}

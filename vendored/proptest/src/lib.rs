@@ -1,0 +1,515 @@
+//! Minimal offline implementation of `proptest`.
+//!
+//! Covers the surface this workspace uses: the [`Strategy`] trait with
+//! `prop_map`, integer-range and tuple strategies, [`strategy::Just`],
+//! [`arbitrary::any`], [`collection::vec`], weighted [`prop_oneof!`], the
+//! [`proptest!`] test macro, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate, deliberate for offline simplicity:
+//! no shrinking (a failing case reports its case number and message, not a
+//! minimized input) and a fixed RNG seed per test function (fully
+//! deterministic runs).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only the case count is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single proptest case failed.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(msg: String) -> Self {
+            TestCaseError { msg }
+        }
+    }
+
+    /// Per-case result alias, as in the real crate.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Carries the RNG through a property run.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A deterministic runner (fixed seed: failures reproduce exactly).
+        pub fn new(_config: &ProptestConfig) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x5EED_CA5E_D00D_F00Du64),
+            }
+        }
+
+        /// The runner's random source.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Transforms generated values with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.map)(self.inner.new_value(runner))
+        }
+    }
+
+    /// Object-safe subset of [`Strategy`], for [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn dyn_new_value(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+
+        fn dyn_new_value(&self, runner: &mut TestRunner) -> S::Value {
+            self.new_value(runner)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.0.dyn_new_value(runner)
+        }
+    }
+
+    /// Weighted choice among boxed strategies (built by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            let mut pick = runner.rng().random_range(0..self.total_weight);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return arm.new_value(runner);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights summed correctly above")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().random_range(self.clone())
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.new_value(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::RngCore;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical full-range strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Uniform over every value of a primitive type.
+    pub struct AnyPrimitive<T> {
+        sample: fn(&mut TestRunner) -> T,
+    }
+
+    impl<T> Strategy for AnyPrimitive<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            (self.sample)(runner)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive {
+                        sample: |runner| runner.rng().next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive {
+                sample: |runner| runner.rng().next_u64() & 1 == 1,
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Generates `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A strategy for vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.rng().random_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs, including the crate itself
+/// under the conventional alias `prop`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each function body runs once per case; `prop_assert!` family macros
+/// abort just that case with a message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __runner = $crate::test_runner::TestRunner::new(&__config);
+            // The parameter strategies form one tuple strategy; each case
+            // draws a tuple of values and destructures it.
+            let __strategies = ($($strategy,)+);
+            for __case in 0..__config.cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::new_value(&__strategies, &mut __runner);
+                let __result: $crate::test_runner::TestCaseResult =
+                    (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    ::std::panic!("proptest case #{} failed: {}", __case, __msg);
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", __left, __right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("{}: `{:?}` != `{:?}`", ::std::format!($($fmt)+), __left, __right),
+            ));
+        }
+    }};
+}
+
+/// Fails the current proptest case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", __left, __right),
+            ));
+        }
+    }};
+}
+
+/// Weighted (or unweighted) choice among strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(x in 3u8..9, y in 0u64..1000) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 1000, "y = {}", y);
+        }
+
+        #[test]
+        fn vec_lengths_hold(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_respects_zero_weight(
+            picks in prop::collection::vec(
+                prop_oneof![
+                    1 => Just(1u8),
+                    0 => Just(2u8),
+                    1 => (3u8..5).prop_map(|v| v),
+                ],
+                1..50,
+            )
+        ) {
+            for p in &picks {
+                prop_assert_ne!(*p, 2u8);
+                prop_assert!(matches!(p, 1 | 3 | 4), "unexpected pick {}", p);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case #0 failed")]
+    fn failing_property_panics_with_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+
+            #[allow(dead_code)]
+            fn always_fails(x in 0u8..1) {
+                prop_assert!(x > 10, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

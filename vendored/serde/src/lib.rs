@@ -1,0 +1,453 @@
+//! Minimal offline implementation of `serde`.
+//!
+//! The real serde abstracts over data formats with visitor-based
+//! `Serializer`/`Deserializer` traits. This workspace uses exactly one
+//! format (JSON via the vendored `serde_json`), so the vendored contract is
+//! much simpler: `Serialize` lowers a value to a [`Content`] tree and
+//! `Deserialize` lifts it back. The derive macros (vendored
+//! `serde_derive`, enabled by the `derive` feature) generate those two
+//! lowerings for structs and externally-tagged enums, matching the real
+//! crate's JSON representation:
+//!
+//! - named struct      → map of fields
+//! - newtype struct    → the inner value
+//! - tuple struct      → sequence
+//! - unit enum variant → `"Variant"`
+//! - data variant      → `{"Variant": payload}`
+//!
+//! `#[serde(default)]` on a field is honored during deserialization.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The format-independent value tree all (de)serialization goes through.
+///
+/// Map entries preserve insertion order so serialized output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (values that do not fit `u64`).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a [`Content::Map`].
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A (de)serialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value to a [`Content`] tree.
+pub trait Serialize {
+    /// The value as a [`Content`] tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Lifts a value from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs the value, or explains why the content does not match.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the content shape or range does not fit.
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let raw = match content {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", found {:?}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        concat!("integer {} out of range for ", stringify!($t)),
+                        raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let raw: i64 = match content {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n).map_err(|_| {
+                        Error::custom(format!("integer {n} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", found {:?}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        concat!("integer {} out of range for ", stringify!($t)),
+                        raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(n) => Ok(*n),
+            Content::U64(n) => Ok(*n as f64),
+            Content::I64(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        f64::deserialize_content(content).map(|n| n as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(Error::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) => Ok((
+                        $($name::deserialize_content(items.get($idx).ok_or_else(|| {
+                            Error::custom("tuple sequence too short")
+                        })?)?,)+
+                    )),
+                    other => Err(Error::custom(format!(
+                        "expected sequence for tuple, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+/// Helpers called by `serde_derive`-generated code. Not a stable API.
+pub mod __private {
+    pub use crate::Content;
+    use crate::{Deserialize, Error};
+
+    /// Extracts and deserializes a required struct field from a map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `content` is not a map, the field is
+    /// missing, or the field's value does not deserialize as `T`.
+    pub fn field<T: Deserialize>(
+        content: &Content,
+        type_name: &'static str,
+        field_name: &'static str,
+    ) -> Result<T, Error> {
+        match content {
+            Content::Map(_) => match content.get(field_name) {
+                Some(v) => T::deserialize_content(v).map_err(|e| {
+                    Error::custom(format!("{type_name}.{field_name}: {e}"))
+                }),
+                None => Err(Error::custom(format!(
+                    "missing field `{field_name}` for {type_name}"
+                ))),
+            },
+            other => Err(Error::custom(format!(
+                "expected map for {type_name}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Like [`field`], but a missing field yields `T::default()`
+    /// (`#[serde(default)]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `content` is not a map or a present
+    /// field's value does not deserialize as `T`.
+    pub fn field_or_default<T: Deserialize + Default>(
+        content: &Content,
+        type_name: &'static str,
+        field_name: &'static str,
+    ) -> Result<T, Error> {
+        match content {
+            Content::Map(_) => match content.get(field_name) {
+                Some(v) => T::deserialize_content(v).map_err(|e| {
+                    Error::custom(format!("{type_name}.{field_name}: {e}"))
+                }),
+                None => Ok(T::default()),
+            },
+            other => Err(Error::custom(format!(
+                "expected map for {type_name}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Extracts and deserializes element `idx` of a sequence (tuple
+    /// structs and tuple enum variants).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `content` is not a sequence, is too
+    /// short, or the element does not deserialize as `T`.
+    pub fn seq_field<T: Deserialize>(
+        content: &Content,
+        type_name: &'static str,
+        idx: usize,
+    ) -> Result<T, Error> {
+        match content {
+            Content::Seq(items) => match items.get(idx) {
+                Some(v) => T::deserialize_content(v).map_err(|e| {
+                    Error::custom(format!("{type_name}[{idx}]: {e}"))
+                }),
+                None => Err(Error::custom(format!(
+                    "sequence too short for {type_name}: no element {idx}"
+                ))),
+            },
+            other => Err(Error::custom(format!(
+                "expected sequence for {type_name}, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::deserialize_content(&7u64.serialize_content()).unwrap(), 7);
+        assert_eq!(i64::deserialize_content(&(-3i64).serialize_content()).unwrap(), -3);
+        assert_eq!(f64::deserialize_content(&1.5f64.serialize_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize_content(&"hi".serialize_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u32>::deserialize_content(&Content::Null).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize_content(&vec![1u8, 2].serialize_content()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn range_checks_reject() {
+        assert!(u8::deserialize_content(&Content::U64(300)).is_err());
+        assert!(u64::deserialize_content(&Content::I64(-1)).is_err());
+        assert!(bool::deserialize_content(&Content::U64(1)).is_err());
+    }
+
+    #[test]
+    fn integer_as_float_coerces() {
+        assert_eq!(f64::deserialize_content(&Content::U64(4)).unwrap(), 4.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Minimal offline implementation of `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored `serde`
+//! crate's `Content` contract. To avoid external dependencies (`syn`,
+//! `quote` are unavailable offline) the input is parsed directly at the
+//! `proc_macro::TokenTree` level and the impl is produced as a string.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! - structs with named fields (`#[serde(default)]` honored per field)
+//! - tuple structs (newtype and general arity)
+//! - unit structs
+//! - enums with unit, tuple, and struct variants (externally tagged)
+//!
+//! Generics are not supported and panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present on the field.
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => serialize_struct(name, fields),
+        Input::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => deserialize_struct(name, fields),
+        Input::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attribute groups, reporting whether any of
+/// them is `#[serde(default)]`.
+fn skip_attrs(iter: &mut TokenIter) -> bool {
+    let mut has_default = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                has_default |= attr_is_serde_default(g.stream());
+            }
+            other => panic!("expected attribute body after `#`, found {other:?}"),
+        }
+    }
+    has_default
+}
+
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "type name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_segments(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("derive input must be a struct or enum, found `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let default = skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let name = expect_ident(&mut iter, "field name");
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next comma that is not
+/// nested inside `<...>` generics. `(...)`/`[...]` arrive as atomic groups.
+fn skip_type_until_comma(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of comma-separated segments at the top level of a token stream
+/// (tuple-struct arity; trailing commas ignored).
+fn count_top_level_segments(body: TokenStream) -> usize {
+    let mut segments = 0usize;
+    let mut current_nonempty = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if current_nonempty {
+                        segments += 1;
+                    }
+                    current_nonempty = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current_nonempty = true;
+    }
+    if current_nonempty {
+        segments += 1;
+    }
+    segments
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut iter, "variant name");
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                iter.next();
+                Fields::Tuple(count_top_level_segments(stream))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume an optional `= discriminant` and the separating comma.
+        skip_type_until_comma(&mut iter);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn impl_header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, clippy::nursery)]\n\
+         impl ::serde::{trait_name} for {type_name} "
+    )
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::serialize_content(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_content(&self.{i}),"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Fields::Unit => "::serde::Content::Null".to_string(),
+    };
+    format!(
+        "{header}{{\n    fn serialize_content(&self) -> ::serde::Content {{\n        {body}\n    }}\n}}\n",
+        header = impl_header("Serialize", name)
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let helper = if f.default { "field_or_default" } else { "field" };
+                    format!(
+                        "{0}: ::serde::__private::{helper}(__content, \"{name}\", \"{0}\")?,",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_content(__content)?))"
+        ),
+        Fields::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::__private::seq_field(__content, \"{name}\", {i}usize)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({items}))")
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "{header}{{\n    fn deserialize_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n",
+        header = impl_header("Deserialize", name)
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),\n"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::serialize_content(__f0))]),\n"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: String = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize_content({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Seq(vec![{items}]))]),\n",
+                        binds = binds.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let items: String = binds
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_content({f})),")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(vec![{items}]))]),\n",
+                        binds = binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "{header}{{\n    fn serialize_content(&self) -> ::serde::Content {{\n        match self {{\n{arms}        }}\n    }}\n}}\n",
+        header = impl_header("Serialize", name)
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n",
+                vname = v.name
+            )
+        })
+        .collect();
+
+    let payload_variants: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .collect();
+    let payload_arms: String = payload_variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Tuple(1) => format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize_content(__value)?)),\n"
+                ),
+                Fields::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::__private::seq_field(__value, \"{name}::{vname}\", {i}usize)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({items})),\n"
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            let helper =
+                                if f.default { "field_or_default" } else { "field" };
+                            format!(
+                                "{0}: ::serde::__private::{helper}(__value, \"{name}::{vname}\", \"{0}\")?,",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),\n"
+                    )
+                }
+                Fields::Unit => unreachable!(),
+            }
+        })
+        .collect();
+
+    let map_arm = if payload_variants.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Content::Map(__entries) if __entries.len() == 1usize => {{\n\
+                 let (__tag, __value) = &__entries[0usize];\n\
+                 match __tag.as_str() {{\n\
+                     {payload_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(format!(\n\
+                         \"unknown variant `{{__other}}` for {name}\"\n\
+                     ))),\n\
+                 }}\n\
+             }}\n"
+        )
+    };
+
+    format!(
+        "{header}{{\n    fn deserialize_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n        match __content {{\n            ::serde::Content::Str(__tag) => match __tag.as_str() {{\n                {unit_arms}\
+                __other => ::std::result::Result::Err(::serde::Error::custom(format!(\n                    \"unknown variant `{{__other}}` for {name}\"\n                ))),\n            }},\n            {map_arm}\
+            __other => ::std::result::Result::Err(::serde::Error::custom(format!(\n                \"invalid enum representation for {name}: {{__other:?}}\"\n            ))),\n        }}\n    }}\n}}\n",
+        header = impl_header("Deserialize", name)
+    )
+}

@@ -1,0 +1,458 @@
+//! Minimal offline implementation of `serde_json`.
+//!
+//! Serializes the vendored serde [`Content`](serde::Content) tree to JSON
+//! text and parses JSON text back. Floats rely on Rust's shortest
+//! round-trip `Display` formatting, so `f64` values survive a
+//! serialize/parse cycle bit-exactly (non-finite floats serialize as
+//! `null`, as in the real crate).
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A parsed JSON value (the vendored serde content tree).
+pub use serde::Content as Value;
+
+/// Errors from this crate are plain serde errors.
+pub type Error = serde::Error;
+
+/// Result alias matching the real crate's signature style.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Lowers any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_content()
+}
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the value shapes this workspace produces; the
+/// `Result` mirrors the real crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.serialize_content(), &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into any deserializable value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let content = Parser::new(s).parse_document()?;
+    T::deserialize_content(&content)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Object values and array
+/// elements may be arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $(($key.to_string(), $crate::to_value(&$value)),)*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![$($crate::to_value(&$value),)*])
+    };
+    ($value:expr) => { $crate::to_value(&$value) };
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Content::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Content::F64(n) => {
+            if n.is_finite() {
+                // Rust's Display emits the shortest decimal that parses
+                // back to the same f64 and never uses exponent notation.
+                // Keep a `.0` marker on integral values (as the real crate
+                // does) so the text re-parses as a float.
+                let text = n.to_string();
+                out.push_str(&text);
+                if !text.contains('.') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_content(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn parse_document(&mut self) -> Result<Content> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Content::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Content::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Content::Bool(false))
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.err(&format!("unexpected `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain UTF-8 up to the next quote or escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<()> {
+        let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match esc {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let first = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&first) {
+                    // High surrogate: require a following \uXXXX low half.
+                    self.eat(b'\\')?;
+                    self.eat(b'u')?;
+                    let low = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                } else {
+                    first
+                };
+                let ch = char::from_u32(code)
+                    .ok_or_else(|| self.err("invalid unicode escape"))?;
+                out.push(ch);
+            }
+            _ => return Err(self.err("unknown escape")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| self.err("bad number"))
+        } else if text.starts_with('-') {
+            // Integers beyond 64 bits degrade to f64, as in the real crate.
+            match text.parse::<i64>() {
+                Ok(n) => Ok(Content::I64(n)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Content::F64)
+                    .map_err(|_| self.err("bad number")),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Ok(Content::U64(n)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Content::F64)
+                    .map_err(|_| self.err("bad number")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string("a\"b\\c\n").unwrap(), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"a\\\"b\\\\c\\n\"").unwrap(), "a\"b\\c\n");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &f in &[0.1f64, 1.0 / 3.0, 1e-12, 123456.789, f64::MAX, 5e-324] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} reserialized as {text}");
+        }
+        // Whole floats keep a `.0` marker so they re-parse as floats.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<Value>("2.0").unwrap(), Value::F64(2.0));
+    }
+
+    #[test]
+    fn nested_values() {
+        let v: Vec<Vec<u8>> = vec![vec![1, 2], vec![], vec![3]];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[[1,2],[],[3]]");
+        assert_eq!(from_str::<Vec<Vec<u8>>>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let doc = json!({
+            "name": "trace",
+            "seed": 7u64,
+            "active": Option::<u32>::None,
+        });
+        let text = to_string(&doc).unwrap();
+        assert_eq!(text, "{\"name\":\"trace\",\"seed\":7,\"active\":null}");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(), "é😀");
+        let control = to_string("\u{01}").unwrap();
+        assert_eq!(control, "\"\\u0001\"");
+        assert_eq!(from_str::<String>(&control).unwrap(), "\u{01}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("12,").is_err());
+        assert!(from_str::<Vec<u8>>("[1 2]").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+    }
+}
