@@ -1,8 +1,7 @@
 # Convenience targets for the SSD-Insider reproduction.
 #
 #   make tier1       — the gating check: release build, quick tests, and a
-#                      zero-warning clippy pass over the detection crate
-#                      (the hot path this repo optimizes hardest).
+#                      zero-warning clippy pass over the whole workspace.
 #   make test        — full workspace test suite, including the differential
 #                      interval-vs-naive counting-table tests.
 #   make bench       — criterion micro-benchmarks (detector group includes
@@ -17,7 +16,7 @@ CARGO ?= cargo
 tier1:
 	$(CARGO) build --release
 	$(CARGO) test -q
-	$(CARGO) clippy --release -p insider-detect -- -D warnings
+	$(CARGO) clippy --release --workspace -- -D warnings
 
 test:
 	$(CARGO) test --workspace -q

@@ -1,68 +1,29 @@
-//! Machine-readable detector-ingest benchmark: replays three deterministic
-//! traces through the [`insider_detect::FeatureEngine`] twice — once on the
+//! Machine-readable benchmark: replays three deterministic traces through
+//! the [`insider_detect::FeatureEngine`] twice — once on the
 //! interval-indexed [`CountingTable`], once on the legacy per-LBA
-//! [`NaiveCountingTable`] — and writes requests/s plus peak table state to
-//! `BENCH_detect.json` so CI can diff throughput across commits.
+//! [`NaiveCountingTable`] — then replays the sequential trace through a
+//! whole [`SsdInsider`] device via the scalar and extent host paths, and
+//! writes requests/s plus peak table state to `BENCH_detect.json` so CI
+//! can diff throughput across commits.
 //!
 //! Usage:
 //!   cargo run --release -p insider-bench --bin bench_json [-- out.json]
 
-use insider_bench::small_space;
-use insider_detect::{
-    CountingBackend, CountingTable, FeatureEngine, IoMode, IoReq, NaiveCountingTable,
+use insider_bench::{
+    ransomware_mix_trace, random_trace, replay_device, replay_device_scalar, replay_geometry,
+    sequential_trace,
 };
-use insider_nand::{Lba, SimTime};
-use insider_workloads::{merge, AppKind, FileSpace, RansomwareKind};
-use rand::{Rng, SeedableRng};
+use insider_detect::{
+    CountingBackend, CountingTable, DecisionTree, FeatureEngine, IoReq, NaiveCountingTable,
+};
+use insider_nand::SimTime;
+use insider_workloads::Trace;
 use serde_json::json;
+use ssd_insider::{InsiderConfig, SsdInsider};
 use std::time::Instant;
 
 /// Timed passes per layout; the best is reported to damp scheduler noise.
 const TIMED_PASSES: usize = 3;
-
-/// Sequential-read sweep: 256-block reads walking a 64 MiB region over and
-/// over for ten slices — the workload the interval index collapses to a
-/// single run while the legacy layout pays one hash op per block.
-fn sequential_trace() -> Vec<IoReq> {
-    let mut reqs = Vec::new();
-    for s in 0..10u64 {
-        for i in 0..2_000u64 {
-            let lba = Lba::new((i % 64) * 256);
-            let t = SimTime::from_secs(s).plus_micros(i * 400);
-            reqs.push(IoReq::new(t, lba, IoMode::Read, 256));
-        }
-    }
-    reqs
-}
-
-/// Random mixed I/O: short variable-length extents, reads/writes/trims.
-fn random_trace() -> Vec<IoReq> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
-    let mut reqs = Vec::new();
-    for i in 0..40_000u64 {
-        let t = SimTime::from_micros(i * 1_000);
-        let lba = Lba::new(rng.random_range(0u64..50_000));
-        let len = rng.random_range(1u32..=16);
-        let mode = match rng.random_range(0u32..10) {
-            0..=4 => IoMode::Read,
-            5..=8 => IoMode::Write,
-            _ => IoMode::Trim,
-        };
-        reqs.push(IoReq::new(t, lba, mode, len));
-    }
-    reqs
-}
-
-/// Ransomware (Mole) mixed with cloud-storage background traffic — the
-/// realistic detection workload.
-fn ransomware_mix_trace() -> Vec<IoReq> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
-    let space = FileSpace::generate(&mut rng, &small_space());
-    let duration = SimTime::from_secs(10);
-    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
-    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
-    merge([ransom, cloud]).reqs().to_vec()
-}
 
 /// One layout's measurements on one trace.
 struct LayoutStats {
@@ -153,13 +114,59 @@ fn bench_trace(name: &str, reqs: &[IoReq]) -> serde_json::Value {
     })
 }
 
+/// Device-level replay throughput: the sequential trace through a whole
+/// `SsdInsider` (detector + FTL + NAND model), once per host path. Each
+/// timed pass gets a fresh device; the best of N is reported.
+fn bench_device_replay(trace: &Trace) -> serde_json::Value {
+    fn timed(trace: &Trace, scalar: bool) -> f64 {
+        (0..TIMED_PASSES)
+            .map(|_| {
+                let mut device = SsdInsider::new(
+                    InsiderConfig::new(replay_geometry()),
+                    DecisionTree::constant(false),
+                );
+                let start = Instant::now();
+                let outcome = if scalar {
+                    replay_device_scalar(trace, &mut device)
+                } else {
+                    replay_device(trace, &mut device)
+                };
+                let elapsed = start.elapsed().as_secs_f64();
+                assert_eq!(outcome.skipped, 0, "trace must fit the replay geometry");
+                elapsed
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+    eprintln!("bench_json: device-replay (sequential) — {} requests", trace.len());
+    let scalar_s = timed(trace, true);
+    let extent_s = timed(trace, false);
+    let reqs = trace.len() as f64;
+    let speedup = scalar_s / extent_s;
+    println!(
+        "{:>16}: extent {:>12.0} req/s  scalar {:>12.0} req/s  speedup {speedup:.2}x",
+        "device-replay",
+        reqs / extent_s,
+        reqs / scalar_s,
+    );
+    json!({
+        "trace": "sequential-read",
+        "requests": trace.len() as u64,
+        "blocks": trace.total_blocks(),
+        "scalar": json!({ "elapsed_s": scalar_s, "requests_per_sec": reqs / scalar_s }),
+        "extent": json!({ "elapsed_s": extent_s, "requests_per_sec": reqs / extent_s }),
+        "speedup": speedup,
+    })
+}
+
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_detect.json".into());
+    let sequential = sequential_trace();
     let traces = vec![
-        bench_trace("sequential-read", &sequential_trace()),
-        bench_trace("random-mixed", &random_trace()),
-        bench_trace("ransomware-mix", &ransomware_mix_trace()),
+        bench_trace("sequential-read", sequential.reqs()),
+        bench_trace("random-mixed", random_trace().reqs()),
+        bench_trace("ransomware-mix", ransomware_mix_trace().reqs()),
     ];
+    let device_replay = bench_device_replay(&sequential);
     let doc = json!({
         "benchmark": "detector_ingest",
         "units": json!({ "throughput": "requests/s", "table": "bytes" }),
@@ -171,6 +178,7 @@ fn main() {
             "naive": "legacy per-LBA HashMap index + full-scan eviction",
         }),
         "traces": traces,
+        "device_replay": device_replay,
     });
     std::fs::write(&out, serde_json::to_string(&doc).expect("serializable"))
         .expect("write benchmark JSON");

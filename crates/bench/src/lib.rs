@@ -19,7 +19,8 @@ pub use harness::{train_tree, train_tree_uncached, training_duration, training_s
 pub use replay::feature_series;
 pub use outcome::RunOutcome;
 pub use replay::{
-    prefill_ftl, replay_detector, replay_device, replay_ftl, replay_geometry, small_space,
-    ReplayOutcome,
+    prefill_ftl, random_trace, ransomware_mix_trace, replay_detector, replay_device,
+    replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry, sequential_trace,
+    small_space, ReplayOutcome,
 };
 pub use tablefmt::render_table;

@@ -1,13 +1,13 @@
 //! Replaying traces through detectors, FTLs and whole devices.
 
 use bytes::Bytes;
-use insider_detect::{DecisionTree, Detector, DetectorConfig, IoMode, Verdict};
+use insider_detect::{DecisionTree, Detector, DetectorConfig, IoMode, IoReq, Verdict};
 use insider_ftl::Ftl;
 use insider_nand::{Lba, SimTime};
 use insider_nand::Geometry;
-use insider_workloads::{FileSpaceConfig, Trace};
+use insider_workloads::{merge, AppKind, FileSpace, FileSpaceConfig, RansomwareKind, Trace};
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use ssd_insider::SsdInsider;
 
 /// Geometry of the simulated drive used by the FTL-replay experiments
@@ -45,6 +45,50 @@ pub fn small_space() -> FileSpaceConfig {
         system_blocks: (2, 24),
         database_blocks: 1_024,
     }
+}
+
+/// Sequential-read sweep: 256-block reads walking a 64 MiB region over and
+/// over for ten slices — the workload where extents pay off most (one
+/// request header and one batched dispatch replace 256 per-block calls).
+pub fn sequential_trace() -> Trace {
+    let mut trace = Trace::new();
+    for s in 0..10u64 {
+        for i in 0..2_000u64 {
+            let lba = Lba::new((i % 64) * 256);
+            let t = SimTime::from_secs(s).plus_micros(i * 400);
+            trace.push(IoReq::new(t, lba, IoMode::Read, 256));
+        }
+    }
+    trace
+}
+
+/// Random mixed I/O: short variable-length extents, reads/writes/trims.
+pub fn random_trace() -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
+    let mut trace = Trace::new();
+    for i in 0..40_000u64 {
+        let t = SimTime::from_micros(i * 1_000);
+        let lba = Lba::new(rng.random_range(0u64..50_000));
+        let len = rng.random_range(1u32..=16);
+        let mode = match rng.random_range(0u32..10) {
+            0..=4 => IoMode::Read,
+            5..=8 => IoMode::Write,
+            _ => IoMode::Trim,
+        };
+        trace.push(IoReq::new(t, lba, mode, len));
+    }
+    trace
+}
+
+/// Ransomware (Mole) mixed with cloud-storage background traffic — the
+/// realistic detection workload.
+pub fn ransomware_mix_trace() -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    let space = FileSpace::generate(&mut rng, &small_space());
+    let duration = SimTime::from_secs(10);
+    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
+    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
+    merge([ransom, cloud])
 }
 
 /// Per-slice feature vectors of a trace (plus a few trailing idle slices so
@@ -116,15 +160,61 @@ impl ReplayOutcome {
     }
 }
 
-/// Replays a trace against any FTL. Requests whose LBAs exceed the FTL's
-/// exported capacity are skipped; the returned [`ReplayOutcome`] reports
-/// both counts and a warning is logged when anything was skipped.
+/// Clips a request to the device's logical capacity, charging any excess
+/// blocks to `outcome.skipped`. Returns the in-range prefix as
+/// `(lba, len)`, or `None` when the whole request is out of range — the
+/// same per-block clamping the scalar replay loops apply.
+fn clamp_extent(req: &IoReq, logical: u64, outcome: &mut ReplayOutcome) -> Option<(Lba, u32)> {
+    if req.lba.index() >= logical {
+        outcome.skipped += req.len as u64;
+        return None;
+    }
+    let fit = (req.len as u64).min(logical - req.lba.index()) as u32;
+    outcome.skipped += (req.len - fit) as u64;
+    Some((req.lba, fit))
+}
+
+/// Replays a trace against any FTL, one extent request per trace entry
+/// (the native path). Requests are clipped to the FTL's exported capacity;
+/// the returned [`ReplayOutcome`] reports applied vs skipped blocks and a
+/// warning is logged when anything was skipped.
 ///
 /// # Panics
 ///
 /// Panics if the FTL reports an error other than capacity exhaustion —
 /// replay workloads are sized to fit.
 pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
+    let logical = ftl.logical_pages();
+    let mut outcome = ReplayOutcome::default();
+    for req in trace {
+        let Some((lba, fit)) = clamp_extent(req, logical, &mut outcome) else {
+            continue;
+        };
+        match req.mode {
+            IoMode::Read => {
+                ftl.read_extent(lba, fit, req.time).expect("replay read failed");
+            }
+            IoMode::Write => {
+                let payloads = vec![payload(); fit as usize];
+                ftl.write_extent(lba, &payloads, req.time).expect("replay write failed");
+            }
+            IoMode::Trim => {
+                ftl.trim_extent(lba, fit, req.time).expect("replay trim failed");
+            }
+        }
+        outcome.applied += fit as u64;
+    }
+    outcome.warn_if_skipped("replay_ftl")
+}
+
+/// [`replay_ftl`] with every request decomposed into single-block scalar
+/// calls — the pre-extent code path, kept as the differential baseline the
+/// oracle tests and throughput benchmarks compare against.
+///
+/// # Panics
+///
+/// Panics if the FTL reports an error other than capacity exhaustion.
+pub fn replay_ftl_scalar(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
     let logical = ftl.logical_pages();
     let mut outcome = ReplayOutcome::default();
     for req in trace {
@@ -147,20 +237,59 @@ pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
             outcome.applied += 1;
         }
     }
-    outcome.warn_if_skipped("replay_ftl")
+    outcome.warn_if_skipped("replay_ftl_scalar")
 }
 
-/// Replays a trace against a full SSD-Insider device. Alarms are
-/// auto-dismissed (modeling a user who waves the dialog away and keeps
-/// working): without the dismissal, the alarm-time retirement freeze would
-/// pin every backup entry for the rest of the replay, distorting GC and
-/// eventually exhausting the drive. This per-request state check is why
-/// the loop is not a plain [`replay_ftl`] delegation.
+/// Replays a trace against a full SSD-Insider device, one extent request
+/// per trace entry, so the detector sees exactly the multi-sector headers
+/// the trace recorded. Alarms are auto-dismissed (modeling a user who
+/// waves the dialog away and keeps working): without the dismissal, the
+/// alarm-time retirement freeze would pin every backup entry for the rest
+/// of the replay, distorting GC and eventually exhausting the drive. That
+/// per-request state check is why the loop is not a plain [`replay_ftl`]
+/// delegation.
 ///
 /// # Panics
 ///
 /// Panics on device errors other than capacity exhaustion.
 pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> ReplayOutcome {
+    use ssd_insider::DeviceState;
+    let logical = Ftl::logical_pages(device);
+    let mut outcome = ReplayOutcome::default();
+    for req in trace {
+        let Some((lba, fit)) = clamp_extent(req, logical, &mut outcome) else {
+            continue;
+        };
+        match req.mode {
+            IoMode::Read => {
+                device.read_extent(lba, fit, req.time).expect("replay read failed");
+            }
+            IoMode::Write => {
+                let payloads = vec![payload(); fit as usize];
+                device
+                    .write_extent(lba, &payloads, req.time)
+                    .expect("replay write failed");
+            }
+            IoMode::Trim => {
+                device.trim_extent(lba, fit, req.time).expect("replay trim failed");
+            }
+        }
+        outcome.applied += fit as u64;
+        if device.state() == DeviceState::Suspicious {
+            device.dismiss_alarm().expect("alarm pending");
+        }
+    }
+    outcome.warn_if_skipped("replay_device")
+}
+
+/// [`replay_device`] with every request decomposed into single-block
+/// scalar calls — the pre-extent baseline for the throughput comparison in
+/// `bench_json`.
+///
+/// # Panics
+///
+/// Panics on device errors other than capacity exhaustion.
+pub fn replay_device_scalar(trace: &Trace, device: &mut SsdInsider) -> ReplayOutcome {
     use ssd_insider::DeviceState;
     let logical = Ftl::logical_pages(device);
     let mut outcome = ReplayOutcome::default();
@@ -189,7 +318,7 @@ pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> ReplayOutcome {
             device.dismiss_alarm().expect("alarm pending");
         }
     }
-    outcome.warn_if_skipped("replay_device")
+    outcome.warn_if_skipped("replay_device_scalar")
 }
 
 /// Fills the first `fraction` of an FTL's logical space with one write per
@@ -278,6 +407,39 @@ mod tests {
         assert_eq!(outcome.applied, 3);
         assert_eq!(outcome.skipped, 2);
         assert_eq!(outcome.total(), trace.total_blocks());
+    }
+
+    #[test]
+    fn scalar_replay_reports_the_same_outcome() {
+        use insider_detect::{IoMode, IoReq};
+        let mut trace = Trace::new();
+        let mut ftl = ConventionalFtl::new(FtlConfig::new(Geometry::tiny()));
+        let logical = ftl.logical_pages();
+        trace.push(IoReq::new(SimTime::ZERO, Lba::new(0), IoMode::Write, 1));
+        trace.push(IoReq::new(
+            SimTime::from_micros(1),
+            Lba::new(logical - 2),
+            IoMode::Write,
+            4,
+        ));
+        trace.push(IoReq::new(SimTime::from_micros(2), Lba::new(logical), IoMode::Read, 3));
+        let extent = replay_ftl(&trace, &mut ftl);
+        let mut ftl2 = ConventionalFtl::new(FtlConfig::new(Geometry::tiny()));
+        let scalar = replay_ftl_scalar(&trace, &mut ftl2);
+        assert_eq!(extent, scalar);
+        assert_eq!(extent.applied, 3);
+        assert_eq!(extent.skipped, 5);
+        assert_eq!(ftl.stats(), ftl2.stats());
+    }
+
+    #[test]
+    fn bench_traces_are_deterministic_and_sorted() {
+        assert_eq!(sequential_trace().len(), 20_000);
+        assert!(sequential_trace().is_sorted());
+        let r1 = random_trace();
+        let r2 = random_trace();
+        assert_eq!(r1.reqs(), r2.reqs());
+        assert!(!ransomware_mix_trace().is_empty());
     }
 
     #[test]

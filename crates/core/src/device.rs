@@ -134,46 +134,94 @@ impl SsdInsider {
         }
     }
 
-    /// Reads one logical page.
+    /// Reads one logical page — a `len = 1` delegate of
+    /// [`read_extent`](Self::read_extent).
     ///
     /// # Errors
     ///
     /// Fails if `lba` is out of range or the underlying NAND read fails.
     pub fn read(&mut self, lba: Lba, now: SimTime) -> Result<Option<Bytes>> {
-        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Read, 1));
-        let (out, ftl_ns) = IoTiming::time(|| self.ftl.read(lba, now));
-        self.timing.read_ops += 1;
-        self.timing.ftl_read_ns += ftl_ns;
-        self.timing.insider_read_ns += insider_ns;
-        Ok(out?)
+        let mut out = self.read_extent(lba, 1, now)?;
+        Ok(out.pop().expect("len-1 extent yields one slot"))
     }
 
-    /// Writes one logical page.
+    /// Writes one logical page — a `len = 1` delegate of
+    /// [`write_extent`](Self::write_extent).
     ///
     /// # Errors
     ///
     /// Fails if the device is recovered/read-only, `lba` is out of range,
     /// or space is exhausted.
     pub fn write(&mut self, lba: Lba, data: Bytes, now: SimTime) -> Result<()> {
-        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Write, 1));
-        let (out, ftl_ns) = IoTiming::time(|| self.ftl.write(lba, data, now));
-        self.timing.write_ops += 1;
-        self.timing.ftl_write_ns += ftl_ns;
-        self.timing.insider_write_ns += insider_ns;
-        Ok(out?)
+        self.write_extent(lba, std::slice::from_ref(&data), now)
     }
 
-    /// Unmaps one logical page.
+    /// Unmaps one logical page — a `len = 1` delegate of
+    /// [`trim_extent`](Self::trim_extent).
     ///
     /// # Errors
     ///
     /// Fails if the device is recovered/read-only or `lba` is out of range.
     pub fn trim(&mut self, lba: Lba, now: SimTime) -> Result<()> {
-        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Trim, 1));
-        let (out, ftl_ns) = IoTiming::time(|| self.ftl.trim(lba, now));
-        self.timing.write_ops += 1;
+        self.trim_extent(lba, 1, now)
+    }
+
+    /// Reads `len` consecutive logical pages. The detector sees ONE
+    /// multi-length request header — exactly what a real block-I/O request
+    /// carries — and the FTL services the whole extent as a single batch.
+    /// Timing is sampled once per extent; `read_ops` still advances by
+    /// `len` so per-4-KB averages (Fig. 8) stay comparable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the extent exceeds the logical range or a NAND read fails.
+    pub fn read_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<Vec<Option<Bytes>>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Read, len));
+        let (out, ftl_ns) = IoTiming::time(|| self.ftl.read_extent(lba, len, now));
+        self.timing.read_ops += len as u64;
+        self.timing.ftl_read_ns += ftl_ns;
+        self.timing.insider_read_ns += insider_ns;
+        Ok(out?)
+    }
+
+    /// Writes `data.len()` consecutive logical pages as one extent: one
+    /// detector header, one batched FTL/NAND dispatch, one timing sample.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is recovered/read-only, the extent exceeds the
+    /// logical range, or space is exhausted.
+    pub fn write_extent(&mut self, lba: Lba, data: &[Bytes], now: SimTime) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let insider_ns =
+            self.feed_detector(IoReq::new(now, lba, IoMode::Write, data.len() as u32));
+        let (out, ftl_ns) = IoTiming::time(|| self.ftl.write_extent(lba, data, now));
+        self.timing.write_ops += data.len() as u64;
         self.timing.ftl_write_ns += ftl_ns;
         self.timing.insider_write_ns += insider_ns;
+        Ok(out?)
+    }
+
+    /// Unmaps `len` consecutive logical pages as one extent.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is recovered/read-only or the extent exceeds the
+    /// logical range.
+    pub fn trim_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Trim, len));
+        let (out, ftl_ns) = IoTiming::time(|| self.ftl.trim_extent(lba, len, now));
+        self.timing.trim_ops += len as u64;
+        self.timing.ftl_trim_ns += ftl_ns;
+        self.timing.insider_trim_ns += insider_ns;
         Ok(out?)
     }
 
@@ -278,6 +326,32 @@ impl Ftl for SsdInsider {
 
     fn trim(&mut self, lba: Lba, now: SimTime) -> insider_ftl::Result<()> {
         SsdInsider::trim(self, lba, now).map_err(|e| match e {
+            DeviceError::Ftl(f) => f,
+            DeviceError::WrongState { .. } => unreachable!("trim never gates on state"),
+        })
+    }
+
+    fn read_extent(
+        &mut self,
+        lba: Lba,
+        len: u32,
+        now: SimTime,
+    ) -> insider_ftl::Result<Vec<Option<Bytes>>> {
+        SsdInsider::read_extent(self, lba, len, now).map_err(|e| match e {
+            DeviceError::Ftl(f) => f,
+            DeviceError::WrongState { .. } => unreachable!("read never gates on state"),
+        })
+    }
+
+    fn write_extent(&mut self, lba: Lba, data: &[Bytes], now: SimTime) -> insider_ftl::Result<()> {
+        SsdInsider::write_extent(self, lba, data, now).map_err(|e| match e {
+            DeviceError::Ftl(f) => f,
+            DeviceError::WrongState { .. } => unreachable!("write never gates on state"),
+        })
+    }
+
+    fn trim_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> insider_ftl::Result<()> {
+        SsdInsider::trim_extent(self, lba, len, now).map_err(|e| match e {
             DeviceError::Ftl(f) => f,
             DeviceError::WrongState { .. } => unreachable!("trim never gates on state"),
         })
@@ -444,6 +518,68 @@ mod tests {
         assert_eq!(t.read_ops, 1);
         assert_eq!(t.write_ops, 1);
         assert!(t.ftl_write_ns > 0);
+    }
+
+    #[test]
+    fn trims_account_separately_from_writes() {
+        let mut ssd = device();
+        ssd.write(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO)
+            .unwrap();
+        ssd.trim(Lba::new(0), SimTime::ZERO).unwrap();
+        let t = ssd.timing();
+        assert_eq!(t.write_ops, 1, "trims must not count as writes");
+        assert_eq!(t.trim_ops, 1);
+        assert!(t.ftl_trim_ns > 0);
+        assert_eq!(t.summary().ftl_write_ns, t.ftl_write_ns as f64);
+    }
+
+    #[test]
+    fn extent_ops_flow_through_whole_stack() {
+        let mut ssd = device();
+        let data: Vec<Bytes> =
+            (0..8).map(|i| Bytes::copy_from_slice(format!("blk{i}").as_bytes())).collect();
+        ssd.write_extent(Lba::new(4), &data, SimTime::from_secs(1)).unwrap();
+        let back = ssd.read_extent(Lba::new(4), 8, SimTime::from_secs(1)).unwrap();
+        for (i, page) in back.into_iter().enumerate() {
+            assert_eq!(page.unwrap().as_ref(), format!("blk{i}").as_bytes());
+        }
+        ssd.trim_extent(Lba::new(4), 8, SimTime::from_secs(1)).unwrap();
+        assert_eq!(
+            ssd.read_extent(Lba::new(4), 8, SimTime::from_secs(1)).unwrap(),
+            vec![None; 8]
+        );
+        let t = ssd.timing();
+        assert_eq!((t.read_ops, t.write_ops, t.trim_ops), (16, 8, 8));
+        assert_eq!(ssd.ftl_stats().host_writes, 8);
+    }
+
+    #[test]
+    fn extent_attack_raises_alarm_from_one_header_per_request() {
+        let mut ssd = device();
+        let data = vec![Bytes::from_static(b"3ncryp7ed"); 4];
+        let mut t = SimTime::from_secs(30);
+        let mut guard = 0;
+        while ssd.state() == DeviceState::Normal {
+            ssd.read_extent(Lba::new(16), 4, t).unwrap();
+            ssd.write_extent(Lba::new(16), &data, t).unwrap();
+            t = t + SimTime::from_millis(200);
+            guard += 1;
+            assert!(guard < 1000, "alarm never fired via extent path");
+        }
+        assert_eq!(ssd.state(), DeviceState::Suspicious);
+        let report = ssd.confirm_and_recover(t).unwrap();
+        assert!(report.restored > 0);
+    }
+
+    #[test]
+    fn empty_extents_touch_nothing() {
+        let mut ssd = device();
+        ssd.write_extent(Lba::new(0), &[], SimTime::ZERO).unwrap();
+        ssd.trim_extent(Lba::new(0), 0, SimTime::ZERO).unwrap();
+        assert!(ssd.read_extent(Lba::new(0), 0, SimTime::ZERO).unwrap().is_empty());
+        let t = ssd.timing();
+        assert_eq!((t.read_ops, t.write_ops, t.trim_ops), (0, 0, 0));
+        assert_eq!(ssd.score(), 0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub enum DeviceEvent {
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     events: std::collections::VecDeque<DeviceEvent>,
+    dropped: u64,
 }
 
 /// Capacity of the event mailbox.
@@ -49,12 +50,22 @@ impl EventLog {
         Self::default()
     }
 
-    /// Appends an event, evicting the oldest when full.
+    /// Appends an event, evicting the oldest when full. Evictions are
+    /// counted in [`dropped`](Self::dropped) so a slow host driver can tell
+    /// it missed notifications (possibly an alarm) instead of losing them
+    /// silently.
     pub fn push(&mut self, event: DeviceEvent) {
         if self.events.len() == EVENT_CAPACITY {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back(event);
+    }
+
+    /// Total events evicted unread since the device powered on. Monotonic;
+    /// draining does not reset it.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Drains all pending events, oldest first.
@@ -99,5 +110,19 @@ mod tests {
         let drained = log.drain();
         assert_eq!(drained.last(), Some(&DeviceEvent::Rebooted));
         assert_eq!(drained.len(), EVENT_CAPACITY);
+    }
+
+    #[test]
+    fn dropped_counts_evictions_and_survives_drain() {
+        let mut log = EventLog::new();
+        assert_eq!(log.dropped(), 0);
+        for _ in 0..EVENT_CAPACITY + 3 {
+            log.push(DeviceEvent::AlarmDismissed);
+        }
+        assert_eq!(log.dropped(), 3);
+        log.drain();
+        assert_eq!(log.dropped(), 3, "dropped is monotonic across drains");
+        log.push(DeviceEvent::Rebooted);
+        assert_eq!(log.dropped(), 3, "pushing into free space drops nothing");
     }
 }

@@ -13,16 +13,25 @@ use std::time::Instant;
 pub struct IoTiming {
     /// Host read operations measured.
     pub read_ops: u64,
-    /// Host write (and trim) operations measured.
+    /// Host write operations measured.
     pub write_ops: u64,
+    /// Host trim (discard) operations measured.
+    #[serde(default)]
+    pub trim_ops: u64,
     /// Total ns spent in FTL code on the read path.
     pub ftl_read_ns: u64,
     /// Total ns spent in FTL code on the write path.
     pub ftl_write_ns: u64,
+    /// Total ns spent in FTL code on the trim path.
+    #[serde(default)]
+    pub ftl_trim_ns: u64,
     /// Total ns spent in SSD-Insider detection code on the read path.
     pub insider_read_ns: u64,
     /// Total ns spent in SSD-Insider detection code on the write path.
     pub insider_write_ns: u64,
+    /// Total ns spent in SSD-Insider detection code on the trim path.
+    #[serde(default)]
+    pub insider_trim_ns: u64,
 }
 
 impl IoTiming {
@@ -49,8 +58,10 @@ impl IoTiming {
         TimingSummary {
             ftl_read_ns: avg(self.ftl_read_ns, self.read_ops),
             ftl_write_ns: avg(self.ftl_write_ns, self.write_ops),
+            ftl_trim_ns: avg(self.ftl_trim_ns, self.trim_ops),
             insider_read_ns: avg(self.insider_read_ns, self.read_ops),
             insider_write_ns: avg(self.insider_write_ns, self.write_ops),
+            insider_trim_ns: avg(self.insider_trim_ns, self.trim_ops),
         }
     }
 }
@@ -62,10 +73,16 @@ pub struct TimingSummary {
     pub ftl_read_ns: f64,
     /// Mean ns of FTL code per write.
     pub ftl_write_ns: f64,
+    /// Mean ns of FTL code per trim.
+    #[serde(default)]
+    pub ftl_trim_ns: f64,
     /// Mean ns of added SSD-Insider code per read.
     pub insider_read_ns: f64,
     /// Mean ns of added SSD-Insider code per write.
     pub insider_write_ns: f64,
+    /// Mean ns of added SSD-Insider code per trim.
+    #[serde(default)]
+    pub insider_trim_ns: f64,
 }
 
 impl TimingSummary {
@@ -92,8 +109,14 @@ impl std::fmt::Display for TimingSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "read: ftl {:.0} ns + insider {:.0} ns | write: ftl {:.0} ns + insider {:.0} ns",
-            self.ftl_read_ns, self.insider_read_ns, self.ftl_write_ns, self.insider_write_ns
+            "read: ftl {:.0} ns + insider {:.0} ns | write: ftl {:.0} ns + insider {:.0} ns \
+             | trim: ftl {:.0} ns + insider {:.0} ns",
+            self.ftl_read_ns,
+            self.insider_read_ns,
+            self.ftl_write_ns,
+            self.insider_write_ns,
+            self.ftl_trim_ns,
+            self.insider_trim_ns
         )
     }
 }
@@ -121,16 +144,21 @@ mod tests {
         let t = IoTiming {
             read_ops: 2,
             write_ops: 4,
+            trim_ops: 5,
             ftl_read_ns: 200,
             ftl_write_ns: 800,
+            ftl_trim_ns: 500,
             insider_read_ns: 20,
             insider_write_ns: 40,
+            insider_trim_ns: 50,
         };
         let s = t.summary();
         assert_eq!(s.ftl_read_ns, 100.0);
         assert_eq!(s.ftl_write_ns, 200.0);
+        assert_eq!(s.ftl_trim_ns, 100.0);
         assert_eq!(s.insider_read_ns, 10.0);
         assert_eq!(s.insider_write_ns, 10.0);
+        assert_eq!(s.insider_trim_ns, 10.0);
         assert!((s.read_overhead_fraction() - 0.1).abs() < 1e-12);
         assert!((s.write_overhead_fraction() - 0.05).abs() < 1e-12);
     }

@@ -33,6 +33,34 @@ pub trait BlockDev {
     /// Implementations fail on out-of-range indices or device errors.
     fn trim_block(&mut self, index: u64) -> Result<()>;
 
+    /// Reads `count` consecutive blocks starting at `index`; slot `i` is
+    /// `None` if block `index + i` was never written. A zero-length read
+    /// returns an empty vector.
+    ///
+    /// The default loops over [`read_block`](BlockDev::read_block); devices
+    /// with a native extent path (the SSD-Insider bridge) override it to
+    /// issue one multi-block request.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on out-of-range indices or device errors.
+    fn read_blocks(&mut self, index: u64, count: u64) -> Result<Vec<Option<Bytes>>> {
+        (0..count).map(|i| self.read_block(index + i)).collect()
+    }
+
+    /// Writes `data.len()` consecutive blocks starting at `index`,
+    /// `data[i]` landing in block `index + i`. An empty slice is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on out-of-range indices or device errors.
+    fn write_blocks(&mut self, index: u64, data: &[Bytes]) -> Result<()> {
+        for (i, block) in data.iter().enumerate() {
+            self.write_block(index + i as u64, block.clone())?;
+        }
+        Ok(())
+    }
+
     /// Size of one block in bytes.
     fn block_size(&self) -> u32;
 
@@ -135,6 +163,21 @@ mod tests {
             d.write_block(0, Bytes::from_static(b"12345")),
             Err(FsError::PayloadTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn default_multi_block_ops_decompose_to_scalar() {
+        let mut d = MemDev::new(6, 16);
+        d.write_blocks(1, &[Bytes::from_static(b"a"), Bytes::from_static(b"b")])
+            .unwrap();
+        let got = d.read_blocks(0, 4).unwrap();
+        assert_eq!(got[0], None);
+        assert_eq!(got[1].as_ref().unwrap().as_ref(), b"a");
+        assert_eq!(got[2].as_ref().unwrap().as_ref(), b"b");
+        assert_eq!(got[3], None);
+        assert!(d.read_blocks(0, 0).unwrap().is_empty());
+        d.write_blocks(0, &[]).unwrap();
+        assert!(d.read_blocks(5, 2).is_err(), "straddling read fails");
     }
 
     #[test]

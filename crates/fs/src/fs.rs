@@ -276,12 +276,18 @@ impl<D: BlockDev> MiniExt<D> {
             self.free_block(b)?;
         }
 
-        // Write the content.
-        for (i, block) in blocks.iter().enumerate() {
-            let lo = i * bs;
-            let hi = ((i + 1) * bs).min(data.len());
-            self.dev
-                .write_block(*block, Bytes::copy_from_slice(&data[lo..hi]))?;
+        // Write the content, one extent per contiguous run of blocks (a
+        // file's blocks are usually sequential on a fresh format, so this
+        // is typically a single multi-block request).
+        for (pos, len) in contiguous_runs(&blocks) {
+            let payloads: Vec<Bytes> = (pos..pos + len)
+                .map(|i| {
+                    let lo = i * bs;
+                    let hi = ((i + 1) * bs).min(data.len());
+                    Bytes::copy_from_slice(&data[lo..hi])
+                })
+                .collect();
+            self.dev.write_blocks(blocks[pos], &payloads)?;
         }
 
         // Update pointers.
@@ -324,9 +330,13 @@ impl<D: BlockDev> MiniExt<D> {
         let size = self.inodes[idx as usize].size as usize;
         let blocks = self.collect_blocks(idx)?;
         let mut out = vec![0u8; blocks.len() * bs];
-        for (i, block) in blocks.iter().enumerate() {
-            if let Some(data) = self.dev.read_block(*block)? {
-                out[i * bs..i * bs + data.len()].copy_from_slice(&data);
+        for (pos, len) in contiguous_runs(&blocks) {
+            let payloads = self.dev.read_blocks(blocks[pos], len as u64)?;
+            for (i, data) in payloads.into_iter().enumerate() {
+                if let Some(data) = data {
+                    let lo = (pos + i) * bs;
+                    out[lo..lo + data.len()].copy_from_slice(&data);
+                }
             }
         }
         out.truncate(size);
@@ -586,6 +596,22 @@ pub(crate) fn read_inode_table<D: BlockDev>(dev: &mut D, sb: &Superblock) -> Res
     Ok(inodes)
 }
 
+/// Splits a block list into maximal runs of consecutive indices, returned
+/// as `(position, length)` pairs into the input slice. File data then moves
+/// as one extent per run instead of one request per block; indirect-pointer
+/// files whose blocks are scattered simply yield more, shorter runs.
+pub(crate) fn contiguous_runs(blocks: &[u64]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = 0;
+    for i in 1..=blocks.len() {
+        if i == blocks.len() || blocks[i] != blocks[i - 1] + 1 {
+            runs.push((start, i - start));
+            start = i;
+        }
+    }
+    runs
+}
+
 /// Reads the free-space bitmap from a device.
 pub(crate) fn read_bitmap<D: BlockDev>(dev: &mut D, sb: &Superblock) -> Result<Bitmap> {
     let mut raw = Vec::new();
@@ -605,6 +631,18 @@ mod tests {
 
     fn fresh() -> MiniExt<MemDev> {
         MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn contiguous_runs_split_on_gaps() {
+        assert_eq!(contiguous_runs(&[]), vec![]);
+        assert_eq!(contiguous_runs(&[5]), vec![(0, 1)]);
+        assert_eq!(contiguous_runs(&[5, 6, 7]), vec![(0, 3)]);
+        assert_eq!(
+            contiguous_runs(&[5, 6, 9, 10, 11, 3]),
+            vec![(0, 2), (2, 3), (5, 1)]
+        );
+        assert_eq!(contiguous_runs(&[2, 2, 3]), vec![(0, 1), (1, 2)]);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::recovery_queue::RecoveryQueue;
 use crate::stats::FtlStats;
 use crate::{FtlError, Result};
 use bytes::Bytes;
-use insider_nand::{Lba, NandDevice, PageState, Pba, Ppa};
+use insider_nand::{Lba, NandDevice, NandError, PageState, Pba, Ppa, SimTime};
 use std::collections::VecDeque;
 
 /// Common FTL state: the device, the forward and reverse maps, the free-block
@@ -115,6 +115,22 @@ impl FtlBase {
         }
     }
 
+    /// One bounds check for a whole extent: every page of `[lba, lba+len)`
+    /// must be inside the logical range. The reported address is the first
+    /// out-of-range page, matching what a scalar decomposition would hit.
+    pub fn check_extent(&self, lba: Lba, len: u32) -> Result<()> {
+        let logical = self.mapping.len();
+        let end = lba.index().checked_add(len as u64);
+        match end {
+            _ if len == 0 => Ok(()),
+            Some(end) if end <= logical => Ok(()),
+            _ => Err(FtlError::LbaOutOfRange {
+                lba: Lba::new(lba.index().max(logical)),
+                logical_pages: logical,
+            }),
+        }
+    }
+
     #[cfg(test)]
     pub fn rmap_of(&self, ppa: Ppa) -> Option<Lba> {
         self.rmap[ppa.index() as usize]
@@ -151,6 +167,58 @@ impl FtlBase {
         Err(FtlError::NoReclaimableSpace)
     }
 
+    /// Reserves `n` programmable physical pages with the same die-striping
+    /// rotation as [`allocate`](Self::allocate), without programming them.
+    ///
+    /// The device's per-block write pointer only advances when a page is
+    /// actually programmed, so a batch reservation must account for pages
+    /// handed out earlier in the same extent: `reserved[chip]` counts the
+    /// offsets claimed ahead of the active block's write pointer. The
+    /// caller programs the reservation in order (one grouped submit), which
+    /// preserves NAND's in-order-programming constraint per block.
+    ///
+    /// A block left reservation-full is closed (its chip opens a fresh
+    /// block); if the subsequent batch program aborts mid-extent, the
+    /// closed block's unprogrammed tail is stranded until GC erases it —
+    /// the price of grouping, only paid on injected faults.
+    fn allocate_extent(&mut self, n: usize) -> Result<Vec<Ppa>> {
+        let g = *self.config.geometry();
+        let ppb = g.pages_per_block();
+        let chips = self.active.len();
+        let mut reserved = vec![0u32; chips];
+        let mut out = Vec::with_capacity(n);
+        'pages: for _ in 0..n {
+            for attempt in 0..chips {
+                let chip = (self.next_chip + attempt) % chips;
+                loop {
+                    if let Some(pba) = self.active[chip] {
+                        let base = self.device.block(pba)?.write_ptr().unwrap_or(ppb);
+                        let offset = base + reserved[chip];
+                        if offset < ppb {
+                            reserved[chip] += 1;
+                            self.next_chip = (chip + 1) % chips;
+                            out.push(pba.page(&g, offset));
+                            continue 'pages;
+                        }
+                        self.active[chip] = None;
+                        reserved[chip] = 0;
+                    }
+                    match self.free[chip].pop_front() {
+                        Some(pba) => {
+                            self.free_flags[pba.index() as usize] = false;
+                            self.block_epoch[pba.index() as usize] = self.next_epoch;
+                            self.next_epoch += 1;
+                            self.active[chip] = Some(pba);
+                        }
+                        None => break, // this chip is dry; try the next
+                    }
+                }
+            }
+            return Err(FtlError::NoReclaimableSpace);
+        }
+        Ok(out)
+    }
+
     /// Programs `data` for `lba` at a fresh physical page, updates both maps,
     /// and returns the superseded physical page, if any. The caller decides
     /// what happens to the old page (immediate invalidation vs. protection).
@@ -170,14 +238,114 @@ impl FtlBase {
         }
     }
 
+    /// Batched read of `len` consecutive logical pages: one mapping-table
+    /// scan gathers the mapped physical pages, a single grouped NAND submit
+    /// fetches them, and the payloads are scattered back into request order
+    /// (`None` for unmapped pages).
+    pub fn read_extent_mapped(&mut self, lba: Lba, len: u32) -> Result<Vec<Option<Bytes>>> {
+        let mut out = vec![None; len as usize];
+        let mut ppas = Vec::new();
+        let mut slots = Vec::new();
+        for i in 0..len as u64 {
+            if let Some(ppa) = self.mapping.get(lba.offset(i)) {
+                ppas.push(ppa);
+                slots.push(i as usize);
+            }
+        }
+        if !ppas.is_empty() {
+            let payloads = self.device.read_pages(&ppas)?;
+            for (slot, data) in slots.into_iter().zip(payloads) {
+                out[slot] = Some(data);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Programs a whole extent starting at `lba` — `data[i]` lands at
+    /// `lba + i` — as one batch: the physical pages are reserved across the
+    /// dies up front, ONE multi-page NAND submit programs them, and the
+    /// forward/reverse mapping updates, superseded-page invalidations and
+    /// (when `queue` is given) recovery-queue appends are applied in a
+    /// single vectorized pass. Host write stats are counted here.
+    ///
+    /// Payload sizes are validated up front, so an oversized buffer fails
+    /// the whole extent before anything is programmed. A mid-batch NAND
+    /// fault leaves the leading pages fully applied — mapped, pre-images
+    /// invalidated, backup entries pushed, exactly the state the scalar
+    /// loop leaves when its k-th write fails — before the error returns.
+    pub fn program_extent_mapped(
+        &mut self,
+        lba: Lba,
+        data: &[Bytes],
+        queue: Option<(&mut RecoveryQueue, SimTime)>,
+    ) -> Result<()> {
+        let page_size = self.config.geometry().page_size();
+        for page in data {
+            if page.len() > page_size as usize {
+                return Err(NandError::PayloadTooLarge {
+                    len: page.len(),
+                    page_size,
+                }
+                .into());
+            }
+        }
+        let ppas = self.allocate_extent(data.len())?;
+        let batch: Vec<(Ppa, Bytes)> = ppas.iter().copied().zip(data.iter().cloned()).collect();
+        let (done, result) = self.device.program_pages(batch);
+        let mut olds = Vec::with_capacity(done);
+        for (i, &new) in ppas[..done].iter().enumerate() {
+            let l = lba.offset(i as u64);
+            self.rmap[new.index() as usize] = Some(l);
+            let old = self.mapping.set(l, Some(new));
+            if let Some(old) = old {
+                self.invalidate(old)?;
+            }
+            olds.push(old);
+        }
+        if let Some((queue, stamp)) = queue {
+            queue.push_extent(lba, &olds, stamp);
+        }
+        self.stats.host_writes += done as u64;
+        result.map_err(Into::into)
+    }
+
+    /// Unmaps `len` consecutive logical pages in one batched pass,
+    /// invalidating their current versions, and returns the per-page old
+    /// mappings (in extent order) for the caller's recovery bookkeeping.
+    /// Host trim stats are counted here.
+    pub fn unmap_extent(&mut self, lba: Lba, len: u32) -> Result<Vec<Option<Ppa>>> {
+        let mut olds = Vec::with_capacity(len as usize);
+        for i in 0..len as u64 {
+            let old = self.mapping.set(lba.offset(i), None);
+            if let Some(old) = old {
+                self.invalidate(old)?;
+            }
+            olds.push(old);
+        }
+        self.stats.host_trims += len as u64;
+        Ok(olds)
+    }
+
     /// Runs garbage collection until the free pool is back above the reserve.
     ///
     /// `queue` carries the protection state for the SSD-Insider FTL: invalid
     /// pages it protects are migrated (and their backup entries redirected)
     /// rather than discarded. The conventional FTL passes `None`.
-    pub fn gc_if_needed(&mut self, mut queue: Option<&mut RecoveryQueue>) -> Result<()> {
+    pub fn gc_if_needed(&mut self, queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        self.gc_for_extent(0, queue)
+    }
+
+    /// Extent-aware garbage collection: collects until the free pool holds
+    /// the configured reserve *plus* enough whole blocks to absorb `pages`
+    /// upcoming programs, so a batched extent write cannot run the
+    /// allocator dry mid-submit the way a per-page GC check would have
+    /// caught. Scalar writes go through [`gc_if_needed`](Self::gc_if_needed)
+    /// (`pages = 0`), keeping their historical threshold.
+    pub fn gc_for_extent(&mut self, pages: u64, mut queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        let ppb = self.config.geometry().pages_per_block() as u64;
+        let target = self.config.gc_reserve() as usize + pages.div_ceil(ppb) as usize;
         let mut collected = false;
-        while self.free_blocks() < self.config.gc_reserve() as usize {
+        while self.free_blocks() < target {
             self.collect_once(queue.as_deref_mut())?;
             collected = true;
         }
@@ -186,7 +354,7 @@ impl FtlBase {
             // A wear-level victim hitting its endurance limit consumes
             // migration pages without returning a block; top the reserve
             // back up so the caller's write cannot starve.
-            while self.free_blocks() < self.config.gc_reserve() as usize {
+            while self.free_blocks() < target {
                 self.collect_once(queue.as_deref_mut())?;
             }
         }
@@ -507,6 +675,94 @@ mod tests {
                 "cold page {k} must survive GC"
             );
         }
+    }
+
+    #[test]
+    fn extent_allocation_matches_scalar_striping() {
+        // The reservation path must hand out exactly the PPAs the scalar
+        // allocate-program loop would, in the same die-striped order.
+        let mut scalar = base();
+        let mut expected = Vec::new();
+        for _ in 0..20 {
+            let p = scalar.allocate().unwrap();
+            scalar.device.program(p, Bytes::from_static(b"s")).unwrap();
+            expected.push(p);
+        }
+        let mut batched = base();
+        let payloads = vec![Bytes::from_static(b"s"); 20];
+        batched.program_extent_mapped(Lba::new(0), &payloads, None).unwrap();
+        let got: Vec<Ppa> = (0..20).map(|i| batched.mapping.get(Lba::new(i)).unwrap()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn extent_program_and_read_round_trip() {
+        let mut b = base();
+        let payloads: Vec<Bytes> =
+            (0..5).map(|i| Bytes::copy_from_slice(format!("p{i}").as_bytes())).collect();
+        b.program_extent_mapped(Lba::new(10), &payloads, None).unwrap();
+        assert_eq!(b.stats.host_writes, 5);
+        let out = b.read_extent_mapped(Lba::new(9), 7).unwrap();
+        assert_eq!(out[0], None, "lba 9 never written");
+        assert_eq!(out[6], None, "lba 15 never written");
+        for (i, payload) in payloads.iter().enumerate() {
+            assert_eq!(out[i + 1].as_ref(), Some(payload));
+        }
+    }
+
+    #[test]
+    fn extent_overwrite_returns_pre_images_to_queue() {
+        let mut b = base();
+        let v1 = vec![Bytes::from_static(b"v1"); 3];
+        b.program_extent_mapped(Lba::new(0), &v1, None).unwrap();
+        let olds: Vec<Ppa> = (0..3).map(|i| b.mapping.get(Lba::new(i)).unwrap()).collect();
+        let mut q = RecoveryQueue::new();
+        let v2 = vec![Bytes::from_static(b"v2"); 3];
+        b.program_extent_mapped(Lba::new(0), &v2, Some((&mut q, SimTime::from_secs(1))))
+            .unwrap();
+        assert_eq!(q.len(), 3);
+        for old in olds {
+            assert!(q.is_protected(old), "pre-image {old} must be protected");
+        }
+    }
+
+    #[test]
+    fn oversized_extent_payload_fails_before_programming() {
+        let mut b = base();
+        let page = b.config().geometry().page_size() as usize;
+        let payloads = vec![Bytes::from_static(b"ok"), Bytes::from(vec![0u8; page + 1])];
+        assert!(b.program_extent_mapped(Lba::new(0), &payloads, None).is_err());
+        assert_eq!(b.device.stats().programs, 0, "whole extent validated up front");
+        assert_eq!(b.mapping.get(Lba::new(0)), None);
+    }
+
+    #[test]
+    fn unmap_extent_invalidates_and_reports() {
+        let mut b = base();
+        b.program_extent_mapped(Lba::new(0), &vec![Bytes::from_static(b"x"); 2], None)
+            .unwrap();
+        let olds = b.unmap_extent(Lba::new(0), 4).unwrap();
+        assert_eq!(olds.len(), 4);
+        assert!(olds[0].is_some() && olds[1].is_some());
+        assert_eq!(olds[2], None);
+        assert_eq!(b.stats.host_trims, 4);
+        assert_eq!(b.read_extent_mapped(Lba::new(0), 2).unwrap(), vec![None, None]);
+    }
+
+    #[test]
+    fn check_extent_bounds() {
+        let b = base();
+        let max = b.logical_pages();
+        assert!(b.check_extent(Lba::new(0), max as u32).is_ok());
+        assert!(b.check_extent(Lba::new(max), 0).is_ok(), "empty extent is a no-op");
+        assert!(matches!(
+            b.check_extent(Lba::new(max - 2), 4),
+            Err(FtlError::LbaOutOfRange { lba, .. }) if lba == Lba::new(max)
+        ));
+        assert!(matches!(
+            b.check_extent(Lba::new(u64::MAX), 2),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
     }
 
     #[test]

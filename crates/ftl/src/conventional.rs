@@ -98,6 +98,31 @@ impl Ftl for ConventionalFtl {
         Ok(())
     }
 
+    fn read_extent(&mut self, lba: Lba, len: u32, _now: SimTime) -> Result<Vec<Option<Bytes>>> {
+        self.base.check_extent(lba, len)?;
+        let out = self.base.read_extent_mapped(lba, len)?;
+        self.base.stats.host_reads += len as u64;
+        Ok(out)
+    }
+
+    fn write_extent(&mut self, lba: Lba, data: &[Bytes], _now: SimTime) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.base.check_extent(lba, data.len() as u32)?;
+        self.base.gc_for_extent(data.len() as u64, None)?;
+        self.base.program_extent_mapped(lba, data, None)
+    }
+
+    fn trim_extent(&mut self, lba: Lba, len: u32, _now: SimTime) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        self.base.check_extent(lba, len)?;
+        self.base.unmap_extent(lba, len)?;
+        Ok(())
+    }
+
     fn stats(&self) -> &FtlStats {
         &self.base.stats
     }
@@ -198,6 +223,63 @@ mod tests {
             .is_err());
         assert!(f.read(Lba::new(max), SimTime::ZERO).is_err());
         assert!(f.trim(Lba::new(max), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn extent_ops_match_scalar_decomposition() {
+        let mut scalar = ftl();
+        let mut extent = ftl();
+        let payloads: Vec<Bytes> =
+            (0..6).map(|i| Bytes::copy_from_slice(format!("pg{i}").as_bytes())).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            scalar.write(Lba::new(3 + i as u64), p.clone(), SimTime::ZERO).unwrap();
+        }
+        extent.write_extent(Lba::new(3), &payloads, SimTime::ZERO).unwrap();
+        let scalar_read: Vec<Option<Bytes>> =
+            (0..8).map(|i| scalar.read(Lba::new(2 + i), SimTime::ZERO).unwrap()).collect();
+        let extent_read = extent.read_extent(Lba::new(2), 8, SimTime::ZERO).unwrap();
+        assert_eq!(scalar_read, extent_read);
+        assert_eq!(scalar.stats(), extent.stats());
+        assert_eq!(scalar.nand_stats(), extent.nand_stats());
+
+        for i in 0..4u64 {
+            scalar.trim(Lba::new(3 + i), SimTime::ZERO).unwrap();
+        }
+        extent.trim_extent(Lba::new(3), 4, SimTime::ZERO).unwrap();
+        assert_eq!(scalar.stats(), extent.stats());
+        assert_eq!(
+            extent.read_extent(Lba::new(3), 4, SimTime::ZERO).unwrap(),
+            vec![None; 4]
+        );
+    }
+
+    #[test]
+    fn extent_bounds_checked_once_up_front() {
+        let mut f = ftl();
+        let max = f.logical_pages();
+        let err = f.write_extent(
+            Lba::new(max - 1),
+            &[Bytes::from_static(b"a"), Bytes::from_static(b"b")],
+            SimTime::ZERO,
+        );
+        assert!(err.is_err());
+        assert_eq!(f.stats().host_writes, 0, "nothing applied on a straddling extent");
+        assert_eq!(
+            f.read(Lba::new(max - 1), SimTime::ZERO).unwrap(),
+            None,
+            "in-range prefix not written either"
+        );
+        assert!(f.read_extent(Lba::new(max - 1), 2, SimTime::ZERO).is_err());
+        assert!(f.trim_extent(Lba::new(max - 1), 2, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn empty_extents_are_no_ops() {
+        let mut f = ftl();
+        f.write_extent(Lba::new(0), &[], SimTime::ZERO).unwrap();
+        f.trim_extent(Lba::new(0), 0, SimTime::ZERO).unwrap();
+        assert!(f.read_extent(Lba::new(0), 0, SimTime::ZERO).unwrap().is_empty());
+        assert_eq!(f.stats().host_writes + f.stats().host_trims + f.stats().host_reads, 0);
     }
 
     #[test]

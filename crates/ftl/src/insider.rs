@@ -223,6 +223,50 @@ impl Ftl for InsiderFtl {
         Ok(())
     }
 
+    fn read_extent(&mut self, lba: Lba, len: u32, _now: SimTime) -> Result<Vec<Option<Bytes>>> {
+        self.base.check_extent(lba, len)?;
+        let out = self.base.read_extent_mapped(lba, len)?;
+        self.base.stats.host_reads += len as u64;
+        Ok(out)
+    }
+
+    fn write_extent(&mut self, lba: Lba, data: &[Bytes], now: SimTime) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        if self.read_only {
+            return Err(FtlError::ReadOnly);
+        }
+        self.base.check_extent(lba, data.len() as u32)?;
+        self.tick(now);
+        self.base.gc_for_extent(data.len() as u64, Some(&mut self.queue))?;
+        // The base layer finalizes mapping, invalidation and the vectorized
+        // queue append page by page, so a mid-batch NAND failure leaves the
+        // programmed prefix fully recoverable.
+        self.base
+            .program_extent_mapped(lba, data, Some((&mut self.queue, now)))
+    }
+
+    fn trim_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        if self.read_only {
+            return Err(FtlError::ReadOnly);
+        }
+        self.base.check_extent(lba, len)?;
+        self.tick(now);
+        let olds = self.base.unmap_extent(lba, len)?;
+        // Like scalar trim, only pages that were actually mapped leave a
+        // backup entry — trimming a hole is not an undoable event.
+        for (i, old) in olds.into_iter().enumerate() {
+            if let Some(old) = old {
+                self.queue.push(lba.offset(i as u64), Some(old), now);
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> &FtlStats {
         &self.base.stats
     }
@@ -486,6 +530,77 @@ mod tests {
         f.thaw_retirement();
         f.tick(secs(100));
         assert!(f.recovery_queue().is_empty());
+    }
+
+    #[test]
+    fn extent_write_matches_scalar_queue_and_contents() {
+        let mut scalar = ftl();
+        let mut extent = ftl();
+        let v1: Vec<Bytes> = (0..5).map(|i| Bytes::copy_from_slice(format!("a{i}").as_bytes())).collect();
+        let v2: Vec<Bytes> = (0..5).map(|i| Bytes::copy_from_slice(format!("b{i}").as_bytes())).collect();
+        for round in [&v1, &v2] {
+            for (i, p) in round.iter().enumerate() {
+                scalar.write(Lba::new(i as u64), p.clone(), secs(1)).unwrap();
+            }
+            extent.write_extent(Lba::new(0), round, secs(1)).unwrap();
+        }
+        assert_eq!(scalar.recovery_queue().len(), extent.recovery_queue().len());
+        assert_eq!(
+            scalar.recovery_queue().protected_count(),
+            extent.recovery_queue().protected_count()
+        );
+        assert_eq!(scalar.stats(), extent.stats());
+        assert_eq!(
+            scalar.read_extent(Lba::new(0), 5, secs(1)).unwrap(),
+            extent.read_extent(Lba::new(0), 5, secs(1)).unwrap()
+        );
+    }
+
+    #[test]
+    fn extent_write_rolls_back_like_scalar_writes() {
+        let mut f = ftl();
+        let plain: Vec<Bytes> =
+            (0..4).map(|i| Bytes::copy_from_slice(format!("plain{i}").as_bytes())).collect();
+        let cipher: Vec<Bytes> =
+            (0..4).map(|i| Bytes::copy_from_slice(format!("cipher{i}").as_bytes())).collect();
+        f.write_extent(Lba::new(0), &plain, secs(0)).unwrap();
+        f.write_extent(Lba::new(0), &cipher, secs(15)).unwrap();
+        let report = f.rollback(secs(16)).unwrap();
+        assert_eq!(report.restored, 4);
+        assert_eq!(report.lbas_touched, 4);
+        let back = f.read_extent(Lba::new(0), 4, secs(16)).unwrap();
+        for (i, page) in back.into_iter().enumerate() {
+            assert_eq!(page.unwrap().as_ref(), format!("plain{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn extent_trim_records_only_mapped_pages() {
+        let mut f = ftl();
+        f.write(Lba::new(1), Bytes::from_static(b"doc"), secs(0)).unwrap();
+        f.tick(secs(20)); // retire the creation entry
+        // Trim lbas 0..4; only lba 1 was mapped.
+        f.trim_extent(Lba::new(0), 4, secs(21)).unwrap();
+        assert_eq!(f.recovery_queue().len(), 1);
+        assert_eq!(f.stats().host_trims, 4);
+        f.rollback(secs(22)).unwrap();
+        assert_eq!(f.read(Lba::new(1), secs(22)).unwrap().unwrap().as_ref(), b"doc");
+        assert_eq!(f.read(Lba::new(0), secs(22)).unwrap(), None);
+    }
+
+    #[test]
+    fn read_only_blocks_extent_ops() {
+        let mut f = ftl();
+        f.write(Lba::new(0), Bytes::from_static(b"x"), secs(0)).unwrap();
+        f.set_read_only(true);
+        assert_eq!(
+            f.write_extent(Lba::new(0), &[Bytes::from_static(b"y")], secs(1)),
+            Err(FtlError::ReadOnly)
+        );
+        assert_eq!(f.trim_extent(Lba::new(0), 1, secs(1)), Err(FtlError::ReadOnly));
+        // Empty extents stay no-ops even when read-only.
+        assert_eq!(f.write_extent(Lba::new(0), &[], secs(1)), Ok(()));
+        assert!(f.read_extent(Lba::new(0), 1, secs(1)).unwrap()[0].is_some());
     }
 
     #[test]

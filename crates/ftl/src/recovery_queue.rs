@@ -133,6 +133,21 @@ impl RecoveryQueue {
         self.entries.push_back(BackupEntry { lba, old, stamp });
     }
 
+    /// Appends one backup entry per page of an extent write in a single
+    /// vectorized pass: `olds[i]` is the pre-image of `lba + i`, and every
+    /// entry carries the same request timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`push`](Self::push) if any pre-image is already
+    /// protected.
+    pub fn push_extent(&mut self, lba: Lba, olds: &[Option<Ppa>], stamp: SimTime) {
+        self.entries.reserve(olds.len());
+        for (i, &old) in olds.iter().enumerate() {
+            self.push(lba.offset(i as u64), old, stamp);
+        }
+    }
+
     /// Whether `ppa` holds a protected old version.
     pub fn is_protected(&self, ppa: Ppa) -> bool {
         self.by_old_ppa.contains_key(&ppa)
@@ -297,6 +312,22 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.protected_count(), 0);
+    }
+
+    #[test]
+    fn push_extent_appends_in_lba_order_with_one_stamp() {
+        let mut q = RecoveryQueue::new();
+        let olds = [Some(Ppa::new(30)), None, Some(Ppa::new(32))];
+        q.push_extent(Lba::new(4), &olds, SimTime::from_secs(7));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.protected_count(), 2);
+        let entries: Vec<&BackupEntry> = q.iter().collect();
+        for (i, entry) in entries.iter().enumerate() {
+            assert_eq!(entry.lba, Lba::new(4 + i as u64));
+            assert_eq!(entry.stamp, SimTime::from_secs(7));
+        }
+        assert!(q.is_protected(Ppa::new(30)));
+        assert!(q.is_protected(Ppa::new(32)));
     }
 
     #[test]

@@ -35,6 +35,53 @@ pub trait Ftl {
     /// Fails if `lba` is out of range or the drive is read-only.
     fn trim(&mut self, lba: Lba, now: SimTime) -> Result<()>;
 
+    /// Reads `len` consecutive logical pages starting at `lba`, in order;
+    /// unmapped pages yield `None`. A zero-length extent is a no-op.
+    ///
+    /// The default decomposes into scalar [`read`](Ftl::read) calls; both
+    /// in-tree FTLs override it with a native batch (one bounds check, one
+    /// mapping-table scan, one grouped NAND submit) that returns exactly the
+    /// same payloads and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page of the extent is out of range or a NAND read fails.
+    fn read_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<Vec<Option<Bytes>>> {
+        (0..len as u64).map(|i| self.read(lba.offset(i), now)).collect()
+    }
+
+    /// Writes `data.len()` consecutive logical pages starting at `lba`,
+    /// `data[i]` landing at `lba + i`. An empty extent is a no-op.
+    ///
+    /// The default decomposes into scalar [`write`](Ftl::write) calls; the
+    /// native overrides batch the mapping updates and issue one grouped
+    /// NAND submit per extent.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the extent exceeds the logical range, the drive is
+    /// read-only, any payload exceeds the page size, or space is exhausted.
+    fn write_extent(&mut self, lba: Lba, data: &[Bytes], now: SimTime) -> Result<()> {
+        for (i, page) in data.iter().enumerate() {
+            self.write(lba.offset(i as u64), page.clone(), now)?;
+        }
+        Ok(())
+    }
+
+    /// Unmaps `len` consecutive logical pages starting at `lba`. A
+    /// zero-length extent is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the extent exceeds the logical range or the drive is
+    /// read-only.
+    fn trim_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<()> {
+        for i in 0..len as u64 {
+            self.trim(lba.offset(i), now)?;
+        }
+        Ok(())
+    }
+
     /// FTL-level statistics (host ops, GC cost).
     fn stats(&self) -> &FtlStats;
 

@@ -1,0 +1,125 @@
+//! Property test: an extent operation is observably identical to its
+//! scalar decomposition, for both FTL policies — same logical contents,
+//! same host/GC statistics, same NAND accounting, same recovery-queue
+//! shape. The geometry and op budget are sized so garbage collection never
+//! fires: GC victim choice may legitimately differ between per-page and
+//! per-extent reservation timing, so the equivalence claimed here is about
+//! the host-visible interface, not physical placement.
+
+use bytes::Bytes;
+use insider_ftl::{ConventionalFtl, Ftl, FtlConfig, InsiderFtl};
+use insider_nand::{Geometry, Lba, SimTime};
+use proptest::prelude::*;
+
+/// Logical span the ops land in — small, so overwrites and trims of mapped
+/// pages are common.
+const SPAN: u64 = 64;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read { lba: u64, len: u32 },
+    Write { lba: u64, len: u32 },
+    Trim { lba: u64, len: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Extents stay inside the span so every op succeeds on both paths.
+    (0u32..3, 0u64..SPAN, 1u32..=8).prop_map(|(kind, start, len)| {
+        let len = len.min((SPAN - start) as u32).max(1);
+        match kind {
+            0 => Op::Read { lba: start, len },
+            1 => Op::Write { lba: start, len },
+            _ => Op::Trim { lba: start, len },
+        }
+    })
+}
+
+/// 1024 physical pages against ≤ 40 ops × ≤ 8 pages — far below any GC
+/// threshold.
+fn geometry() -> Geometry {
+    Geometry::builder()
+        .channels(2)
+        .chips_per_channel(2)
+        .blocks_per_chip(16)
+        .pages_per_block(16)
+        .page_size(64)
+        .build()
+}
+
+fn payload(op: usize, page: u32) -> Bytes {
+    Bytes::copy_from_slice(format!("op{op}p{page}").as_bytes())
+}
+
+/// Applies `ops` twice — natively and decomposed into scalar calls — and
+/// asserts every host-visible observable matches. `queue_len` extracts the
+/// recovery-queue shape to compare (insider only; `None` elsewhere).
+fn assert_equivalent<F: Ftl>(
+    mut native: F,
+    mut scalar: F,
+    ops: &[(Op, u64)],
+    queue_len: impl Fn(&F) -> Option<(usize, usize)>,
+) -> Result<(), TestCaseError> {
+    let mut now = SimTime::ZERO;
+    for (idx, &(op, dt)) in ops.iter().enumerate() {
+        now = now.saturating_add(SimTime::from_millis(dt));
+        match op {
+            Op::Read { lba, len } => {
+                let a = native.read_extent(Lba::new(lba), len, now).unwrap();
+                let b: Vec<Option<Bytes>> = (0..len as u64)
+                    .map(|i| scalar.read(Lba::new(lba + i), now).unwrap())
+                    .collect();
+                prop_assert_eq!(a, b, "read mismatch at op {}", idx);
+            }
+            Op::Write { lba, len } => {
+                let data: Vec<Bytes> = (0..len).map(|i| payload(idx, i)).collect();
+                native.write_extent(Lba::new(lba), &data, now).unwrap();
+                for (i, page) in data.iter().enumerate() {
+                    scalar.write(Lba::new(lba + i as u64), page.clone(), now).unwrap();
+                }
+            }
+            Op::Trim { lba, len } => {
+                native.trim_extent(Lba::new(lba), len, now).unwrap();
+                for i in 0..len as u64 {
+                    scalar.trim(Lba::new(lba + i), now).unwrap();
+                }
+            }
+        }
+    }
+    prop_assert_eq!(native.stats(), scalar.stats());
+    prop_assert_eq!(native.nand_stats(), scalar.nand_stats());
+    prop_assert_eq!(queue_len(&native), queue_len(&scalar));
+    for lba in 0..SPAN {
+        let a = native.read(Lba::new(lba), now).unwrap();
+        let b = scalar.read(Lba::new(lba), now).unwrap();
+        prop_assert_eq!(a, b, "content mismatch at lba {}", lba);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conventional_extents_equal_scalar_decomposition(
+        ops in prop::collection::vec((op_strategy(), 0u64..1000), 1..40)
+    ) {
+        assert_equivalent(
+            ConventionalFtl::new(FtlConfig::new(geometry())),
+            ConventionalFtl::new(FtlConfig::new(geometry())),
+            &ops,
+            |_| None,
+        )?;
+    }
+
+    #[test]
+    fn insider_extents_equal_scalar_decomposition(
+        ops in prop::collection::vec((op_strategy(), 0u64..1000), 1..40)
+    ) {
+        assert_equivalent(
+            InsiderFtl::new(FtlConfig::new(geometry())),
+            InsiderFtl::new(FtlConfig::new(geometry())),
+            &ops,
+            |f: &InsiderFtl| Some((f.recovery_queue().len(), f.recovery_queue().protected_count())),
+        )?;
+    }
+}

@@ -280,6 +280,49 @@ impl NandDevice {
         }
     }
 
+    /// Multi-page read submit: fetches every page of one extent in a single
+    /// device call, in order.
+    ///
+    /// Each page is charged exactly as an individual [`read`](Self::read)
+    /// (array time to its die, transfer time to its channel bus), so the
+    /// serial [`NandStats::busy_ns`](crate::NandStats) sum is unchanged —
+    /// but because the FTL stripes consecutive extent pages across dies,
+    /// the per-chip/per-bus vectors behind
+    /// [`parallel_busy_ns`](Self::parallel_busy_ns) overlap, which is where
+    /// a grouped submit beats N independent commands on real hardware.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing page and returns its error; reads have no
+    /// side effects beyond stats, so the caller loses nothing.
+    pub fn read_pages(&mut self, ppas: &[Ppa]) -> Result<Vec<Bytes>> {
+        let mut out = Vec::with_capacity(ppas.len());
+        for &ppa in ppas {
+            out.push(self.read(ppa)?);
+        }
+        Ok(out)
+    }
+
+    /// Multi-page program submit: programs every page of one extent in a
+    /// single device call, in order, with per-page accounting identical to
+    /// N individual [`program`](Self::program) calls (see
+    /// [`read_pages`](Self::read_pages) for the serial-vs-parallel split).
+    ///
+    /// Returns how many leading pages were programmed alongside the overall
+    /// result: on a mid-batch failure the count tells the caller exactly
+    /// which prefix landed, so it can finish its mapping bookkeeping for
+    /// those pages before handling the error — a partially applied extent
+    /// must never leave orphaned valid pages.
+    pub fn program_pages(&mut self, pages: Vec<(Ppa, Bytes)>) -> (usize, Result<()>) {
+        let total = pages.len();
+        for (done, (ppa, data)) in pages.into_iter().enumerate() {
+            if let Err(e) = self.program(ppa, data) {
+                return (done, Err(e));
+            }
+        }
+        (total, Ok(()))
+    }
+
     /// Marks a programmed page invalid (superseded). FTL-driven; free pages
     /// or already-invalid pages are left unchanged.
     ///
@@ -574,6 +617,70 @@ mod tests {
         }
         // Four dies overlap (10 ns each) but the bus carried 4 x 100 ns.
         assert_eq!(d.parallel_busy_ns(), 400);
+    }
+
+    #[test]
+    fn batched_submit_matches_scalar_accounting() {
+        let g = Geometry::builder()
+            .channels(1)
+            .chips_per_channel(2)
+            .blocks_per_chip(2)
+            .pages_per_block(4)
+            .page_size(16)
+            .build();
+        let make = || {
+            NandDevice::new(NandConfig::new(g).program_latency_ns(100).bus_transfer_ns(10))
+        };
+        // Extent striped across both dies: pages 0..2 of chip 0's block 0
+        // interleaved with pages 0..2 of chip 1's block 2.
+        let ppas = [0u64, 8, 1, 9];
+        let mut batched = make();
+        let pages: Vec<(Ppa, Bytes)> = ppas
+            .iter()
+            .map(|&p| (Ppa::new(p), Bytes::from_static(b"x")))
+            .collect();
+        let (done, res) = batched.program_pages(pages);
+        res.unwrap();
+        assert_eq!(done, 4);
+        let mut scalar = make();
+        for &p in &ppas {
+            scalar.program(Ppa::new(p), Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(batched.stats().programs, scalar.stats().programs);
+        assert_eq!(batched.stats().busy_ns, scalar.stats().busy_ns);
+        assert_eq!(batched.chip_busy_ns(), scalar.chip_busy_ns());
+        assert_eq!(batched.bus_busy_ns(), scalar.bus_busy_ns());
+        // The striped extent overlaps perfectly across the two dies.
+        assert_eq!(batched.parallel_busy_ns(), 200);
+        assert_eq!(batched.stats().busy_ns, 400);
+        assert_eq!(
+            batched.read_pages(&ppas.map(Ppa::new)).unwrap(),
+            vec![Bytes::from_static(b"x"); 4]
+        );
+    }
+
+    #[test]
+    fn batched_program_reports_failing_prefix() {
+        let mut d = dev();
+        let mut plan = FaultPlan::new();
+        plan.fail_nth(FaultKind::Program, 3);
+        d.set_fault_plan(plan);
+        let pages: Vec<(Ppa, Bytes)> = (0..4)
+            .map(|p| (Ppa::new(p), Bytes::from_static(b"y")))
+            .collect();
+        let (done, res) = d.program_pages(pages);
+        assert_eq!(done, 2, "two pages landed before the injected fault");
+        assert_eq!(res, Err(NandError::InjectedFault("program")));
+        assert_eq!(d.page_state(Ppa::new(1)).unwrap(), PageState::Valid);
+        assert_eq!(d.page_state(Ppa::new(2)).unwrap(), PageState::Free);
+    }
+
+    #[test]
+    fn batched_read_stops_at_first_error() {
+        let mut d = dev();
+        d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
+        let err = d.read_pages(&[Ppa::new(0), Ppa::new(5)]).unwrap_err();
+        assert_eq!(err, NandError::ReadUnwritten(Ppa::new(5)));
     }
 
     #[test]

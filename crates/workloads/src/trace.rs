@@ -106,6 +106,20 @@ impl Trace {
     pub fn iter(&self) -> impl Iterator<Item = &IoReq> {
         self.reqs.iter()
     }
+
+    /// The same trace with every multi-sector request split into adjacent
+    /// single-sector requests at the same timestamp — the pre-extent view
+    /// of the workload. `scalarized()` and the original must produce
+    /// identical detector features and device contents; the differential
+    /// oracle tests rely on that.
+    pub fn scalarized(&self) -> Trace {
+        self.reqs
+            .iter()
+            .flat_map(|r| {
+                (0..r.len as u64).map(|i| IoReq::new(r.time, r.lba.offset(i), r.mode, 1))
+            })
+            .collect()
+    }
 }
 
 impl Extend<IoReq> for Trace {
@@ -160,6 +174,25 @@ mod tests {
             .collect();
         assert_eq!(t.duration(), SimTime::from_secs(4));
         assert_eq!(t.total_blocks(), 10);
+    }
+
+    #[test]
+    fn scalarized_splits_extents_preserving_order_and_blocks() {
+        use insider_detect::IoMode;
+        let t = Trace::from_reqs(vec![
+            IoReq::new(SimTime::from_secs(1), Lba::new(8), IoMode::Write, 3),
+            IoReq::new(SimTime::from_secs(2), Lba::new(0), IoMode::Read, 1),
+            IoReq::new(SimTime::from_secs(3), Lba::new(4), IoMode::Trim, 2),
+        ]);
+        let s = t.scalarized();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.total_blocks(), t.total_blocks());
+        assert!(s.is_sorted());
+        assert!(s.reqs().iter().all(|r| r.len == 1));
+        assert_eq!(s.reqs()[0].lba, Lba::new(8));
+        assert_eq!(s.reqs()[2].lba, Lba::new(10));
+        assert_eq!(s.reqs()[5].lba, Lba::new(5));
+        assert_eq!(s.reqs()[5].mode, IoMode::Trim);
     }
 
     #[test]

@@ -23,14 +23,9 @@ const MEASURE_TARGET: Duration = Duration::from_millis(200);
 const WARMUP_TARGET: Duration = Duration::from_millis(50);
 
 /// Top-level benchmark registry; hands out groups and runs benchmarks.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
