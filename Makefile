@@ -8,10 +8,13 @@
 #                      the interval-vs-naive counting-table comparison).
 #   make bench-json  — regenerate BENCH_detect.json (detector-ingest
 #                      throughput, interval vs legacy table, three traces).
+#   make bench-gc    — regenerate BENCH_gc.json (aged-drive GC victim
+#                      selection, incremental index vs legacy scan, plus the
+#                      trace-replay victim-sequence oracle).
 
 CARGO ?= cargo
 
-.PHONY: tier1 test bench bench-json
+.PHONY: tier1 test bench bench-json bench-gc
 
 tier1:
 	$(CARGO) build --release
@@ -26,3 +29,6 @@ bench:
 
 bench-json:
 	$(CARGO) run --release -p insider-bench --bin bench_json
+
+bench-gc:
+	$(CARGO) run --release -p insider-bench --bin bench_gc

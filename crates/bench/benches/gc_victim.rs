@@ -1,0 +1,49 @@
+//! Criterion microbenchmark: steady-state GC on an aged 90 %-utilized
+//! drive, comparing the incremental victim index against the legacy
+//! full-device scan, with and without delayed-deletion protection.
+//!
+//! Each iteration issues a batch of sequential overwrites on a pre-aged
+//! FTL; every 8 writes turn a block fully invalid, so GC runs constantly
+//! and victim selection dominates its cost. The drive stays in the same
+//! steady state across iterations (the churn cursor carries over), so
+//! batches are comparable.
+//!
+//! Run with: `cargo bench -p insider-bench --bench gc_victim`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use insider_bench::{aged_conventional, aged_insider, churn, gc_bench_geometry};
+use insider_nand::SimTime;
+use std::hint::black_box;
+
+/// Overwrites per iteration: 32 block turnovers, so each sample includes
+/// ~32 victim selections.
+const BATCH: u64 = 256;
+
+fn bench_gc_victim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_victim");
+    group.sample_size(20);
+    let g = gc_bench_geometry();
+
+    for (indexed, name) in [(true, "conventional/indexed"), (false, "conventional/legacy-scan")] {
+        let (mut ftl, mut cursor) = aged_conventional(g, indexed);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                churn(black_box(&mut ftl), &mut cursor, BATCH);
+            })
+        });
+    }
+
+    for (indexed, name) in [(true, "insider/indexed"), (false, "insider/legacy-scan")] {
+        let (mut ftl, mut cursor) = aged_insider(g, indexed, SimTime::from_millis(2));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                churn(black_box(&mut ftl), &mut cursor, BATCH);
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(gc_victim, bench_gc_victim);
+criterion_main!(gc_victim);

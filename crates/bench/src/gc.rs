@@ -1,0 +1,206 @@
+//! Shared helpers for the GC victim-selection benchmarks (`bench_gc`,
+//! `benches/gc_victim.rs`, `tests/gc_victim_oracle.rs`).
+//!
+//! The scenario they all build is a *steady-state aged drive*: many small
+//! erase blocks filled to 90 % with cold data, then sequentially churned so
+//! every GC pass finds a fully invalid victim. On such a drive migration is
+//! free and victim *selection* dominates GC cost — the worst case for the
+//! legacy O(total blocks) scan and the best showcase for the incremental
+//! index, whose pop is O(1) for greedy selection.
+
+use bytes::Bytes;
+use insider_ftl::{ConventionalFtl, Ftl, FtlConfig, GcPolicy, InsiderFtl};
+use insider_nand::{Geometry, Lba, SimTime};
+
+/// Fraction of logical space the aged drive holds as cold data.
+pub const AGED_FILL_NUM: u64 = 9;
+/// Denominator of [`AGED_FILL_NUM`].
+pub const AGED_FILL_DEN: u64 = 10;
+
+/// Geometry of the aged-drive microbenchmark: 8192 tiny blocks, so the
+/// legacy scan walks 8192 candidates per collection while the data set
+/// stays a few MiB. Block count, not capacity, is what the selectors are
+/// sensitive to.
+pub fn gc_bench_geometry() -> Geometry {
+    Geometry::builder()
+        .blocks_per_chip(8192)
+        .pages_per_block(8)
+        .page_size(64)
+        .build()
+}
+
+/// FTL configuration for the aged-drive scenario: greedy policy (the
+/// paper's prototype), victim selection via the incremental index or the
+/// legacy scan.
+pub fn gc_bench_config(g: Geometry, indexed: bool) -> FtlConfig {
+    FtlConfig::new(g)
+        .gc_policy(GcPolicy::Greedy)
+        .gc_victim_index(indexed)
+}
+
+fn payload() -> Bytes {
+    Bytes::from_static(b"churned!")
+}
+
+/// Sequential-overwrite churn position over the aged drive's cold span.
+/// Carrying the cursor across measurement batches keeps the drive in the
+/// same steady state the aging established.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnCursor {
+    span: u64,
+    next: u64,
+    now: SimTime,
+    step: SimTime,
+}
+
+impl ChurnCursor {
+    /// Current simulated time (for follow-up operations on the same FTL).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The LBA span the churn rotates over.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+}
+
+/// Issues `writes` sequential overwrites, wrapping over the aged span and
+/// advancing simulated time by the cursor's step per write.
+///
+/// # Panics
+///
+/// Panics if a write fails — the aged scenarios are sized to be feasible.
+pub fn churn(ftl: &mut dyn Ftl, cursor: &mut ChurnCursor, writes: u64) {
+    for _ in 0..writes {
+        let lba = cursor.next % cursor.span;
+        cursor.next += 1;
+        ftl.write(Lba::new(lba), payload(), cursor.now)
+            .expect("steady-state churn write failed");
+        cursor.now += cursor.step;
+    }
+}
+
+/// Fills 90 % of the FTL sequentially with cold data (stamped long before
+/// the churn epoch, so nothing stays protected), then churns until the
+/// first GC pass has run — the drive is in reclamation steady state when
+/// this returns. `step` is the simulated time between churn writes; give
+/// the insider FTL a step large enough that one 10 s protection window of
+/// pre-images fits its slack.
+///
+/// # Panics
+///
+/// Panics if the scenario never reaches GC (mis-sized geometry).
+pub fn age_to_steady_state(ftl: &mut dyn Ftl, step: SimTime) -> ChurnCursor {
+    let span = ftl.logical_pages() * AGED_FILL_NUM / AGED_FILL_DEN;
+    for lba in 0..span {
+        ftl.write(Lba::new(lba), payload(), SimTime::ZERO)
+            .expect("aging fill write failed");
+    }
+    let mut cursor = ChurnCursor {
+        span,
+        next: 0,
+        now: SimTime::from_secs(60),
+        step,
+    };
+    let mut spent = 0u64;
+    while ftl.stats().gc_invocations == 0 {
+        churn(ftl, &mut cursor, 256);
+        spent += 256;
+        assert!(
+            spent < 16 * span,
+            "aging churn never triggered GC — geometry mis-sized"
+        );
+    }
+    cursor
+}
+
+/// An aged conventional FTL on `g`, plus the cursor to keep churning it.
+pub fn aged_conventional(g: Geometry, indexed: bool) -> (ConventionalFtl, ChurnCursor) {
+    let mut ftl = ConventionalFtl::new(gc_bench_config(g, indexed));
+    let cursor = age_to_steady_state(&mut ftl, SimTime::ZERO);
+    (ftl, cursor)
+}
+
+/// An aged insider FTL on `g`: same scenario with delayed deletion live,
+/// so victim selection also carries the protected-page accounting. `step`
+/// paces the churn (2 ms/write keeps one protection window inside the
+/// default benchmark geometry's slack).
+pub fn aged_insider(g: Geometry, indexed: bool, step: SimTime) -> (InsiderFtl, ChurnCursor) {
+    let mut ftl = InsiderFtl::new(gc_bench_config(g, indexed));
+    let cursor = age_to_steady_state(&mut ftl, step);
+    (ftl, cursor)
+}
+
+/// GC cost observed over one churn batch, from the FTL's own counters.
+#[derive(Debug, Clone, Copy)]
+pub struct GcCost {
+    /// GC invocations that actually collected during the batch.
+    pub invocations: u64,
+    /// Wall-clock nanoseconds those invocations spent inside GC.
+    pub gc_ns: u64,
+    /// Pages they migrated (zero on a sequentially churned aged drive).
+    pub page_copies: u64,
+}
+
+impl GcCost {
+    /// Mean nanoseconds per collecting invocation.
+    pub fn ns_per_invocation(&self) -> f64 {
+        self.gc_ns as f64 / self.invocations.max(1) as f64
+    }
+}
+
+/// Churns `writes` overwrites and returns the GC cost delta the batch
+/// induced.
+pub fn measure_gc_cost(ftl: &mut dyn Ftl, cursor: &mut ChurnCursor, writes: u64) -> GcCost {
+    let before = *ftl.stats();
+    churn(ftl, cursor, writes);
+    let after = ftl.stats();
+    GcCost {
+        invocations: after.gc_invocations - before.gc_invocations,
+        gc_ns: after.gc_ns - before.gc_ns,
+        page_copies: after.gc_page_copies - before.gc_page_copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Geometry {
+        Geometry::builder()
+            .blocks_per_chip(64)
+            .pages_per_block(16)
+            .page_size(64)
+            .build()
+    }
+
+    #[test]
+    fn aging_reaches_steady_state_at_high_utilization() {
+        let (ftl, cursor) = aged_conventional(small(), true);
+        assert!(ftl.stats().gc_invocations > 0);
+        assert!(ftl.utilization() >= 0.85, "aged drive must stay ~90% full");
+        assert_eq!(cursor.span(), ftl.logical_pages() * 9 / 10);
+    }
+
+    #[test]
+    fn steady_state_churn_keeps_collecting() {
+        let (mut ftl, mut cursor) = aged_conventional(small(), true);
+        let cost = measure_gc_cost(&mut ftl, &mut cursor, 2_000);
+        assert!(cost.invocations > 0, "steady churn must keep GC running");
+        assert!(cost.gc_ns > 0);
+    }
+
+    #[test]
+    fn aged_insider_retires_while_churning() {
+        // 400 ms per write: one 10 s window is 25 pre-images, well inside
+        // this 1024-page drive's slack.
+        let (mut ftl, mut cursor) = aged_insider(small(), true, SimTime::from_millis(400));
+        let cost = measure_gc_cost(&mut ftl, &mut cursor, 1_000);
+        assert!(cost.invocations > 0);
+        assert!(
+            ftl.recovery_queue().protected_count() <= 32,
+            "retirement must keep pace with the churn"
+        );
+    }
+}

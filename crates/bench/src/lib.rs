@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gc;
 pub mod harness;
 pub mod outcome;
 pub mod replay;
@@ -22,5 +23,9 @@ pub use replay::{
     prefill_ftl, random_trace, ransomware_mix_trace, replay_detector, replay_device,
     replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry, sequential_trace,
     small_space, ReplayOutcome,
+};
+pub use gc::{
+    age_to_steady_state, aged_conventional, aged_insider, churn, gc_bench_config,
+    gc_bench_geometry, measure_gc_cost, ChurnCursor, GcCost,
 };
 pub use tablefmt::render_table;

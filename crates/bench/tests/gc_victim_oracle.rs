@@ -1,0 +1,95 @@
+//! Tier-1 differential oracle for GC victim selection: the incremental
+//! victim index and the legacy full-device scan must pick **identical**
+//! victim sequences on the three benchmark traces. The optimization is a
+//! data-structure change only; any divergence here is a correctness bug.
+//!
+//! To keep this fast enough for tier 1, the traces are replayed on a small
+//! conventional drive with every LBA folded into the drive's span
+//! (`lba % span`) — the folding massively concentrates overwrites, which
+//! *raises* GC pressure and victim-selection diversity compared to the
+//! full-size replay in `bench_gc`. The full-geometry insider-FTL oracle
+//! (protection live, no folding) runs there.
+
+use bytes::Bytes;
+use insider_bench::{random_trace, ransomware_mix_trace, sequential_trace};
+use insider_detect::IoMode;
+use insider_ftl::{ConventionalFtl, Ftl, FtlConfig, FtlStats, GcPolicy, GcVictim};
+use insider_nand::{Geometry, Lba};
+use insider_workloads::Trace;
+
+fn mini_geometry() -> Geometry {
+    Geometry::builder()
+        .blocks_per_chip(96)
+        .pages_per_block(16)
+        .page_size(64)
+        .build()
+}
+
+/// Replays a trace scalar-wise with every LBA folded into `span`.
+fn replay_folded(trace: &Trace, ftl: &mut ConventionalFtl, span: u64) {
+    for req in trace {
+        for lba in req.blocks() {
+            let lba = Lba::new(lba.index() % span);
+            match req.mode {
+                IoMode::Read => {
+                    ftl.read(lba, req.time).expect("folded read failed");
+                }
+                IoMode::Write => {
+                    ftl.write(lba, Bytes::from_static(b"folded"), req.time)
+                        .expect("folded write failed");
+                }
+                IoMode::Trim => {
+                    ftl.trim(lba, req.time).expect("folded trim failed");
+                }
+            }
+        }
+    }
+}
+
+fn run(trace: &Trace, policy: GcPolicy, indexed: bool) -> (Vec<GcVictim>, FtlStats) {
+    let cfg = FtlConfig::new(mini_geometry())
+        .gc_policy(policy)
+        .gc_victim_index(indexed)
+        .record_gc_victims(true);
+    let mut ftl = ConventionalFtl::new(cfg);
+    let span = ftl.logical_pages() / 2;
+    replay_folded(trace, &mut ftl, span);
+    let mut stats = *ftl.stats();
+    stats.gc_ns = 0;
+    (ftl.gc_victims().to_vec(), stats)
+}
+
+fn assert_selectors_agree(name: &str, trace: &Trace, expect_gc: bool) {
+    for policy in [GcPolicy::Greedy, GcPolicy::Fifo, GcPolicy::CostBenefit] {
+        let (victims_indexed, stats_indexed) = run(trace, policy, true);
+        let (victims_legacy, stats_legacy) = run(trace, policy, false);
+        assert_eq!(
+            victims_indexed, victims_legacy,
+            "{name}/{policy}: victim sequences diverged"
+        );
+        assert_eq!(stats_indexed, stats_legacy, "{name}/{policy}: stats diverged");
+        if expect_gc {
+            assert!(
+                stats_indexed.gc_invocations > 0,
+                "{name}/{policy}: the folded replay must exercise GC"
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_trace_selectors_agree() {
+    // Read-only trace: no GC either way — the oracle still checks that
+    // neither selector invents victims on a read workload.
+    assert_selectors_agree("sequential-read", &sequential_trace(), false);
+}
+
+#[test]
+fn random_trace_selectors_agree() {
+    assert_selectors_agree("random-mixed", &random_trace(), true);
+}
+
+#[test]
+fn ransomware_trace_selectors_agree() {
+    assert_selectors_agree("ransomware-mix", &ransomware_mix_trace(), true);
+}

@@ -7,7 +7,7 @@ use crate::timing::IoTiming;
 use crate::{DeviceError, Result};
 use bytes::Bytes;
 use insider_detect::{DecisionTree, Detector, IoMode, IoReq, Verdict};
-use insider_ftl::{Ftl, FtlStats, InsiderFtl, RollbackReport};
+use insider_ftl::{Ftl, FtlStats, GcVictim, InsiderFtl, RollbackReport};
 use insider_nand::{Lba, NandStats, SimTime};
 
 /// An SSD with SSD-Insider firmware: a delayed-deletion FTL plus the inline
@@ -375,6 +375,10 @@ impl Ftl for SsdInsider {
 
     fn wear_summary(&self) -> (u32, u32, f64) {
         self.ftl.wear_summary()
+    }
+
+    fn gc_victims(&self) -> &[GcVictim] {
+        self.ftl.gc_victims()
     }
 }
 

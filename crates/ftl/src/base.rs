@@ -3,12 +3,203 @@
 
 use crate::config::{FtlConfig, GcPolicy};
 use crate::mapping::MappingTable;
-use crate::recovery_queue::RecoveryQueue;
-use crate::stats::FtlStats;
+use crate::recovery_queue::{BackupEntry, RecoveryQueue};
+use crate::stats::{FtlStats, GcVictim, GcVictimKind};
 use crate::{FtlError, Result};
 use bytes::Bytes;
 use insider_nand::{Lba, NandDevice, NandError, PageState, Pba, Ppa, SimTime};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Instant;
+
+/// Incrementally maintained GC victim candidates, bucketed by reclaimable
+/// page count (`invalid − protected`).
+///
+/// Every closed in-service block with a non-zero reclaimable count sits in
+/// `buckets[reclaimable]`, ordered by a policy-dependent tie-break key: the
+/// raw block index for greedy (reproducing the legacy scan's
+/// first-strict-max order) and the block's open epoch for the age-based
+/// policies. One structure serves all three policies *exactly*:
+///
+/// * **Greedy** — head of the highest non-empty bucket, O(1) amortized via
+///   the lazily lowered `max_r` hint.
+/// * **FIFO** — open epochs are unique, and within a bucket the head holds
+///   the minimum epoch, so the oldest candidate is the minimum over the
+///   ≤ pages-per-block bucket heads.
+/// * **Cost-benefit** — the score `r · age / (ppb − r + 1)` is, for blocks
+///   in the same bucket (same `r`), strictly decreasing in epoch, so each
+///   bucket's head strictly dominates the rest of its bucket; the exact
+///   argmax is found by scoring one head per bucket with the same `f64`
+///   expression the legacy scan evaluates, keeping scores bit-identical.
+///
+/// Updates (re-filing one block) are O(log B); selection is O(1) for
+/// greedy and O(P) for the age-based policies, where P = pages per block —
+/// versus the legacy scan's O(B) with B = total blocks.
+#[derive(Debug)]
+struct VictimIndex {
+    buckets: Vec<BTreeSet<(u64, u32)>>,
+    /// For indexed blocks, the `(reclaimable, key)` they are filed under.
+    slot: Vec<Option<(u32, u64)>>,
+    /// Upper bound on the highest non-empty bucket, lowered lazily.
+    max_r: usize,
+    /// Age-based policies key by epoch; greedy keys by block index.
+    key_by_epoch: bool,
+}
+
+impl VictimIndex {
+    fn new(total_blocks: usize, pages_per_block: usize, policy: GcPolicy) -> Self {
+        VictimIndex {
+            buckets: vec![BTreeSet::new(); pages_per_block + 1],
+            slot: vec![None; total_blocks],
+            max_r: 0,
+            key_by_epoch: !matches!(policy, GcPolicy::Greedy),
+        }
+    }
+
+    /// Files candidate `raw` under `reclaimable`, dropping it when zero.
+    fn update(&mut self, raw: u32, reclaimable: u32, epoch: u64) {
+        let key = if self.key_by_epoch { epoch } else { raw as u64 };
+        if reclaimable > 0 && self.slot[raw as usize] == Some((reclaimable, key)) {
+            return;
+        }
+        self.remove(raw);
+        if reclaimable > 0 {
+            self.buckets[reclaimable as usize].insert((key, raw));
+            self.slot[raw as usize] = Some((reclaimable, key));
+            self.max_r = self.max_r.max(reclaimable as usize);
+        }
+    }
+
+    fn remove(&mut self, raw: u32) {
+        if let Some((r, key)) = self.slot[raw as usize].take() {
+            self.buckets[r as usize].remove(&(key, raw));
+        }
+    }
+
+    /// Lowers the `max_r` hint onto the highest non-empty bucket.
+    fn settle(&mut self) {
+        while self.max_r > 0 && self.buckets[self.max_r].is_empty() {
+            self.max_r -= 1;
+        }
+    }
+
+    /// Most reclaimable pages, lowest block index on ties.
+    fn best_greedy(&mut self) -> Option<u32> {
+        self.settle();
+        self.buckets[self.max_r].first().map(|&(_, raw)| raw)
+    }
+
+    /// Oldest open epoch among candidates (epochs are unique).
+    fn best_fifo(&mut self) -> Option<u32> {
+        self.settle();
+        self.buckets
+            .iter()
+            .skip(1)
+            .take(self.max_r)
+            .filter_map(BTreeSet::first)
+            .min_by_key(|&&(epoch, _)| epoch)
+            .map(|&(_, raw)| raw)
+    }
+
+    /// Exact cost-benefit argmax over the bucket heads, scored with the
+    /// legacy scan's expression and its lowest-block tie-break.
+    fn best_cost_benefit(&mut self, next_epoch: u64, ppb: u32) -> Option<u32> {
+        self.settle();
+        let mut best: Option<(u32, f64)> = None;
+        for (r, bucket) in self.buckets.iter().enumerate().skip(1).take(self.max_r) {
+            let Some(&(epoch, raw)) = bucket.first() else {
+                continue;
+            };
+            let age = (next_epoch - epoch) as f64;
+            let cost = (ppb - r as u32) as f64 + 1.0;
+            let score = r as f64 * age / cost;
+            let better = match best {
+                None => true,
+                Some((best_raw, s)) => score > s || (score == s && raw < best_raw),
+            };
+            if better {
+                best = Some((raw, score));
+            }
+        }
+        best.map(|(raw, _)| raw)
+    }
+}
+
+/// Erase-count extremes maintained incrementally so wear leveling stops
+/// rescanning the device: a histogram over every non-bad block (the hottest
+/// extreme includes free and active blocks, like the legacy scan) and a
+/// sorted set of closed in-service blocks (the coldest migration candidate,
+/// with the scan's lowest-block-index tie-break).
+#[derive(Debug)]
+struct WearTracker {
+    all: BTreeMap<u32, u32>,
+    closed: BTreeMap<u32, BTreeSet<u32>>,
+}
+
+impl WearTracker {
+    fn new(total_blocks: u32) -> Self {
+        let mut all = BTreeMap::new();
+        if total_blocks > 0 {
+            all.insert(0, total_blocks);
+        }
+        WearTracker {
+            all,
+            closed: BTreeMap::new(),
+        }
+    }
+
+    /// A full active block became a closed (coldest-eligible) block.
+    fn close(&mut self, raw: u32, wear: u32) {
+        let fresh = self.closed.entry(wear).or_default().insert(raw);
+        debug_assert!(fresh, "block {raw} closed twice");
+    }
+
+    /// A closed block was erased back into the free pool; erase counts only
+    /// advance on *successful* erases (the device checks endurance and
+    /// injected faults first), so `wear_before + 1` is its new count.
+    fn erase(&mut self, raw: u32, wear_before: u32) {
+        self.remove_closed(raw, wear_before);
+        self.shift_all(wear_before, 1);
+    }
+
+    /// A closed block hit its endurance limit and left service for good.
+    fn retire(&mut self, raw: u32, wear: u32) {
+        self.remove_closed(raw, wear);
+        self.shift_all(wear, 0);
+    }
+
+    fn remove_closed(&mut self, raw: u32, wear: u32) {
+        let set = self.closed.get_mut(&wear).expect("closed block tracked");
+        let removed = set.remove(&raw);
+        debug_assert!(removed, "closed block {raw} missing from wear tracker");
+        if set.is_empty() {
+            self.closed.remove(&wear);
+        }
+    }
+
+    /// Moves one block out of histogram bin `wear`, into `wear + by` when
+    /// `by > 0` (erase) or out of the histogram entirely (retirement).
+    fn shift_all(&mut self, wear: u32, by: u32) {
+        let slot = self.all.get_mut(&wear).expect("wear histogram entry");
+        *slot -= 1;
+        if *slot == 0 {
+            self.all.remove(&wear);
+        }
+        if by > 0 {
+            *self.all.entry(wear + by).or_insert(0) += 1;
+        }
+    }
+
+    /// Highest erase count among non-bad blocks (0 when none remain).
+    fn hottest(&self) -> u32 {
+        self.all.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Coldest closed in-service block `(raw, wear)`.
+    fn coldest(&self) -> Option<(u32, u32)> {
+        let (&wear, set) = self.closed.iter().next()?;
+        set.first().map(|&raw| (raw, wear))
+    }
+}
 
 /// Common FTL state: the device, the forward and reverse maps, the free-block
 /// pool and the statistics. The two public FTLs compose this and differ only
@@ -28,12 +219,23 @@ pub(crate) struct FtlBase {
     free: Vec<VecDeque<Pba>>,
     /// Mirror of `free` membership for O(1) lookups.
     free_flags: Vec<bool>,
+    /// Cached sum of the per-chip free-pool lengths, so the GC thresholds
+    /// on the write hot path cost O(1) instead of O(chips).
+    free_count: usize,
     /// Blocks retired after hitting their endurance limit; never selected
     /// as GC victims and never returned to the free pool.
     bad_flags: Vec<bool>,
-    /// Invalid-page count per block, maintained incrementally so garbage
-    /// collection picks victims in O(blocks).
+    /// Mirror of `active` membership per raw block index, replacing the
+    /// O(chips) `active.contains` probes on the selection paths.
+    active_flags: Vec<bool>,
+    /// Invalid-page count per block, maintained incrementally.
     invalid_per_block: Vec<u32>,
+    /// Per-block count of pages the recovery queue currently protects,
+    /// mirrored here from the queue's push/retire/relocate deltas so victim
+    /// scoring never polls the queue. Debug builds assert the mirror
+    /// reconciles with the queue's own counts.
+    protected_per_block: Vec<u32>,
+    protected_total: u64,
     /// Monotone counter of block openings; `block_epoch[b]` is the epoch at
     /// which block `b` last became the active block (FIFO/cost-benefit age).
     block_epoch: Vec<u64>,
@@ -42,6 +244,13 @@ pub(crate) struct FtlBase {
     active: Vec<Option<Pba>>,
     /// Round-robin chip cursor for page allocation.
     next_chip: usize,
+    /// Incremental victim index; the legacy scan behind
+    /// `FtlConfig::gc_victim_index(false)` is its differential oracle.
+    victims: VictimIndex,
+    /// Incremental erase-count extremes for wear leveling.
+    wear: WearTracker,
+    /// Victim log, populated when `FtlConfig::record_gc_victims` is on.
+    victim_log: Vec<GcVictim>,
     pub stats: FtlStats,
     config: FtlConfig,
 }
@@ -62,12 +271,23 @@ impl FtlBase {
             rmap: vec![None; g.total_pages() as usize],
             free,
             free_flags: vec![true; g.total_blocks() as usize],
+            free_count: g.total_blocks() as usize,
             bad_flags: vec![false; g.total_blocks() as usize],
+            active_flags: vec![false; g.total_blocks() as usize],
             invalid_per_block: vec![0; g.total_blocks() as usize],
+            protected_per_block: vec![0; g.total_blocks() as usize],
+            protected_total: 0,
             block_epoch: vec![0; g.total_blocks() as usize],
             next_epoch: 1,
             active: vec![None; chips],
             next_chip: 0,
+            victims: VictimIndex::new(
+                g.total_blocks() as usize,
+                g.pages_per_block() as usize,
+                config.gc_policy_ref(),
+            ),
+            wear: WearTracker::new(g.total_blocks()),
+            victim_log: Vec::new(),
             stats: FtlStats::new(),
             config,
         }
@@ -101,7 +321,12 @@ impl FtlBase {
 
     /// Number of blocks in the free pools (excluding active blocks).
     pub fn free_blocks(&self) -> usize {
-        self.free.iter().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.free_count,
+            self.free.iter().map(VecDeque::len).sum::<usize>(),
+            "free-count cache diverged from the pools"
+        );
+        self.free_count
     }
 
     pub fn check_lba(&self, lba: Lba) -> Result<()> {
@@ -151,20 +376,121 @@ impl FtlBase {
                         self.next_chip = (chip + 1) % chips;
                         return Ok(pba.page(&g, offset));
                     }
-                    self.active[chip] = None;
+                    let wear = block.erase_count();
+                    self.close_active(chip, pba, wear);
                 }
                 match self.free[chip].pop_front() {
-                    Some(pba) => {
-                        self.free_flags[pba.index() as usize] = false;
-                        self.block_epoch[pba.index() as usize] = self.next_epoch;
-                        self.next_epoch += 1;
-                        self.active[chip] = Some(pba);
-                    }
+                    Some(pba) => self.open_block(chip, pba),
                     None => break, // this chip is dry; try the next
                 }
             }
         }
         Err(FtlError::NoReclaimableSpace)
+    }
+
+    /// Opens a fresh free block as `chip`'s active block.
+    fn open_block(&mut self, chip: usize, pba: Pba) {
+        let raw = pba.index() as usize;
+        self.free_flags[raw] = false;
+        self.free_count -= 1;
+        self.active_flags[raw] = true;
+        self.block_epoch[raw] = self.next_epoch;
+        self.next_epoch += 1;
+        self.active[chip] = Some(pba);
+    }
+
+    /// Closes `chip`'s full active block: it becomes a GC-victim and a
+    /// wear-leveling (coldest) candidate.
+    fn close_active(&mut self, chip: usize, pba: Pba, wear: u32) {
+        let raw = pba.index();
+        self.active[chip] = None;
+        self.active_flags[raw as usize] = false;
+        self.wear.close(raw, wear);
+        self.refresh_victim(raw);
+    }
+
+    /// Re-files a block in the victim index after any state transition
+    /// touching its candidacy or reclaimable count.
+    fn refresh_victim(&mut self, raw: u32) {
+        let i = raw as usize;
+        if self.free_flags[i] || self.bad_flags[i] || self.active_flags[i] {
+            self.victims.remove(raw);
+            return;
+        }
+        let invalid = self.invalid_per_block[i];
+        let protected = self.protected_per_block[i];
+        debug_assert!(
+            protected <= invalid,
+            "protected pages must be invalid (block {raw}: {protected} > {invalid})"
+        );
+        self.victims.update(raw, invalid - protected, self.block_epoch[i]);
+    }
+
+    /// Records that the recovery queue began protecting `ppa`. The FTL
+    /// mirrors the queue's per-block protected counts so victim scoring
+    /// never has to poll it; every protection change must flow through
+    /// these hooks.
+    pub fn note_protected(&mut self, ppa: Ppa) {
+        let raw = ppa.block(self.config.geometry()).index();
+        self.protected_per_block[raw as usize] += 1;
+        self.protected_total += 1;
+        self.refresh_victim(raw);
+    }
+
+    /// Records that the recovery queue released `ppa`.
+    pub fn note_unprotected(&mut self, ppa: Ppa) {
+        let raw = ppa.block(self.config.geometry()).index();
+        self.protected_per_block[raw as usize] -= 1;
+        self.protected_total -= 1;
+        self.refresh_victim(raw);
+    }
+
+    /// Applies the per-block deltas of a retirement batch — the entries
+    /// [`RecoveryQueue::retire_before`] returned.
+    pub fn note_retired(&mut self, retired: &[BackupEntry]) {
+        for entry in retired {
+            if let Some(old) = entry.old {
+                self.note_unprotected(old);
+            }
+        }
+    }
+
+    /// Zeroes the protected-count mirror. Rollback drains the whole queue
+    /// up front (see [`RecoveryQueue::take_all`]) and must release the
+    /// mirror *before* rewinding mappings: revalidating an old version
+    /// decrements its block's invalid count, which may never drop below the
+    /// protected count.
+    pub fn clear_protected(&mut self) {
+        if self.protected_total == 0 {
+            return;
+        }
+        self.protected_total = 0;
+        for raw in 0..self.protected_per_block.len() {
+            if self.protected_per_block[raw] != 0 {
+                self.protected_per_block[raw] = 0;
+                self.refresh_victim(raw as u32);
+            }
+        }
+    }
+
+    /// Total protected pages mirrored from the queue (debug reconciliation).
+    pub fn protected_pages(&self) -> u64 {
+        self.protected_total
+    }
+
+    /// Recorded victim-selection events (empty unless
+    /// `FtlConfig::record_gc_victims` is enabled).
+    pub fn gc_victims(&self) -> &[GcVictim] {
+        &self.victim_log
+    }
+
+    fn log_victim(&mut self, kind: GcVictimKind, pba: Pba) {
+        if self.config.gc_victim_recording() {
+            self.victim_log.push(GcVictim {
+                kind,
+                block: pba.index(),
+            });
+        }
     }
 
     /// Reserves `n` programmable physical pages with the same die-striping
@@ -192,7 +518,8 @@ impl FtlBase {
                 let chip = (self.next_chip + attempt) % chips;
                 loop {
                     if let Some(pba) = self.active[chip] {
-                        let base = self.device.block(pba)?.write_ptr().unwrap_or(ppb);
+                        let block = self.device.block(pba)?;
+                        let base = block.write_ptr().unwrap_or(ppb);
                         let offset = base + reserved[chip];
                         if offset < ppb {
                             reserved[chip] += 1;
@@ -200,16 +527,12 @@ impl FtlBase {
                             out.push(pba.page(&g, offset));
                             continue 'pages;
                         }
-                        self.active[chip] = None;
+                        let wear = block.erase_count();
+                        self.close_active(chip, pba, wear);
                         reserved[chip] = 0;
                     }
                     match self.free[chip].pop_front() {
-                        Some(pba) => {
-                            self.free_flags[pba.index() as usize] = false;
-                            self.block_epoch[pba.index() as usize] = self.next_epoch;
-                            self.next_epoch += 1;
-                            self.active[chip] = Some(pba);
-                        }
+                        Some(pba) => self.open_block(chip, pba),
                         None => break, // this chip is dry; try the next
                     }
                 }
@@ -304,6 +627,9 @@ impl FtlBase {
         }
         if let Some((queue, stamp)) = queue {
             queue.push_extent(lba, &olds, stamp);
+            for old in olds.iter().flatten() {
+                self.note_protected(*old);
+            }
         }
         self.stats.host_writes += done as u64;
         result.map_err(Into::into)
@@ -341,22 +667,60 @@ impl FtlBase {
     /// allocator dry mid-submit the way a per-page GC check would have
     /// caught. Scalar writes go through [`gc_if_needed`](Self::gc_if_needed)
     /// (`pages = 0`), keeping their historical threshold.
-    pub fn gc_for_extent(&mut self, pages: u64, mut queue: Option<&mut RecoveryQueue>) -> Result<()> {
+    pub fn gc_for_extent(&mut self, pages: u64, queue: Option<&mut RecoveryQueue>) -> Result<()> {
         let ppb = self.config.geometry().pages_per_block() as u64;
-        let target = self.config.gc_reserve() as usize + pages.div_ceil(ppb) as usize;
-        let mut collected = false;
-        while self.free_blocks() < target {
-            self.collect_once(queue.as_deref_mut())?;
-            collected = true;
+        let need = pages.div_ceil(ppb) as usize;
+        let target = self.config.gc_reserve() as usize + need;
+        if self.free_count >= target {
+            // The common no-GC case returns before the timer starts, so
+            // `gc_ns` stays exactly zero for workloads that never collect.
+            return Ok(());
         }
-        if collected {
-            self.maybe_wear_level(queue.as_deref_mut())?;
-            // A wear-level victim hitting its endurance limit consumes
-            // migration pages without returning a block; top the reserve
-            // back up so the caller's write cannot starve.
-            while self.free_blocks() < target {
-                self.collect_once(queue.as_deref_mut())?;
+        let started = Instant::now();
+        let copies_before = self.stats.gc_page_copies;
+        let result = self.gc_until(target, need, copies_before, queue);
+        let migrated = self.stats.gc_page_copies - copies_before;
+        self.stats.gc_migrations_max = self.stats.gc_migrations_max.max(migrated);
+        self.stats.gc_ns += started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    /// Collects until `target` free blocks are available, honoring the
+    /// per-invocation migration budget: once the budget is spent, collection
+    /// stops as soon as the *hard* floor — `need` blocks for the triggering
+    /// write plus one so GC keeps compaction headroom — is met, and wear
+    /// leveling is skipped. The budget is checked between victims, so an
+    /// invocation overshoots by at most one block's worth of migrations.
+    fn gc_until(
+        &mut self,
+        target: usize,
+        need: usize,
+        copies_before: u64,
+        mut queue: Option<&mut RecoveryQueue>,
+    ) -> Result<()> {
+        let hard = need + 1;
+        let budget = self.config.gc_migration_budget_pages();
+        while self.free_count < target {
+            let spent = self.stats.gc_page_copies - copies_before;
+            if self.free_count >= hard && budget.is_some_and(|b| spent >= b) {
+                return Ok(());
             }
+            self.collect_once(queue.as_deref_mut())?;
+        }
+        let spent = self.stats.gc_page_copies - copies_before;
+        if budget.is_some_and(|b| spent >= b) {
+            return Ok(());
+        }
+        self.maybe_wear_level(queue.as_deref_mut())?;
+        // A wear-level victim hitting its endurance limit consumes
+        // migration pages without returning a block; top the reserve
+        // back up so the caller's write cannot starve.
+        while self.free_count < target {
+            let spent = self.stats.gc_page_copies - copies_before;
+            if self.free_count >= hard && budget.is_some_and(|b| spent >= b) {
+                return Ok(());
+            }
+            self.collect_once(queue.as_deref_mut())?;
         }
         Ok(())
     }
@@ -369,6 +733,44 @@ impl FtlBase {
         let Some(threshold) = self.config.wear_leveling_threshold() else {
             return Ok(());
         };
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            self.wear_extremes_indexed(),
+            self.wear_extremes_scan()?,
+            "wear trackers diverged from the legacy scan"
+        );
+        let extremes = if self.config.victim_index_enabled() {
+            self.wear_extremes_indexed()
+        } else {
+            self.wear_extremes_scan()?
+        };
+        let Some((victim, wear, hottest)) = extremes else {
+            return Ok(());
+        };
+        if hottest - wear > threshold {
+            self.log_victim(GcVictimKind::WearLevel, victim);
+            match self.migrate_and_erase(victim, queue) {
+                Ok(()) => self.stats.wear_level_swaps += 1,
+                // The coldest block hitting its endurance limit means
+                // leveling has nothing left to do; never surface the
+                // internal retirement marker to the host write path.
+                Err(FtlError::BadBlockRetired) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Wear-leveling extremes from the incremental erase-count trackers:
+    /// the coldest closed in-service block `(pba, wear)` plus the hottest
+    /// non-bad erase count, in O(log W) with W distinct wear values.
+    fn wear_extremes_indexed(&self) -> Option<(Pba, u32, u32)> {
+        let (raw, wear) = self.wear.coldest()?;
+        Some((Pba::new(raw), wear, self.wear.hottest()))
+    }
+
+    /// Legacy wear scan — the differential oracle for the trackers.
+    fn wear_extremes_scan(&self) -> Result<Option<(Pba, u32, u32)>> {
         let g = *self.config.geometry();
         let mut coldest: Option<(Pba, u32)> = None;
         let mut hottest = 0u32;
@@ -382,38 +784,68 @@ impl FtlBase {
             }
             let wear = self.device.block(pba)?.erase_count();
             hottest = hottest.max(wear);
-            if self.active.contains(&Some(pba)) || self.free_flags[raw as usize] {
+            if self.active_flags[raw as usize] || self.free_flags[raw as usize] {
                 continue;
             }
             if coldest.is_none_or(|(_, w)| wear < w) {
                 coldest = Some((pba, wear));
             }
         }
-        if let Some((victim, wear)) = coldest {
-            if hottest - wear > threshold {
-                match self.migrate_and_erase(victim, queue) {
-                    Ok(()) => self.stats.wear_level_swaps += 1,
-                    // The coldest block hitting its endurance limit means
-                    // leveling has nothing left to do; never surface the
-                    // internal retirement marker to the host write path.
-                    Err(FtlError::BadBlockRetired) => {}
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-        Ok(())
+        Ok(coldest.map(|(pba, wear)| (pba, wear, hottest)))
     }
 
     /// Picks the best victim under the configured policy (excluding free,
-    /// active and retired-bad blocks), or `None` when nothing is reclaimable.
-    fn select_victim(&self, queue: Option<&RecoveryQueue>) -> Option<Pba> {
+    /// active and retired-bad blocks), or `None` when nothing is
+    /// reclaimable. Dispatches to the incremental index or the legacy scan
+    /// per `FtlConfig::gc_victim_index`; debug builds run *both* selectors
+    /// on every call and assert they agree — the in-process differential
+    /// oracle — and reconcile the chosen block's mirrored protected count
+    /// against the queue's.
+    fn select_victim(&mut self, queue: Option<&RecoveryQueue>) -> Option<Pba> {
+        #[cfg(debug_assertions)]
+        if queue.is_none_or(RecoveryQueue::tracks_blocks) {
+            let indexed = self.select_victim_indexed();
+            let scanned = self.select_victim_scan(queue);
+            assert_eq!(indexed, scanned, "victim selectors diverged");
+            if let Some(pba) = indexed {
+                assert_eq!(
+                    self.protected_per_block[pba.index() as usize],
+                    queue.map_or(0, |q| q.protected_in_block(pba.index())),
+                    "protected-count mirror diverged for block {}",
+                    pba.index()
+                );
+            }
+        }
+        if self.config.victim_index_enabled() {
+            self.select_victim_indexed()
+        } else {
+            self.select_victim_scan(queue)
+        }
+    }
+
+    /// Index-backed victim selection: O(1) for greedy, O(pages-per-block)
+    /// for the age-based policies.
+    fn select_victim_indexed(&mut self) -> Option<Pba> {
+        let ppb = self.config.geometry().pages_per_block();
+        match self.config.gc_policy_ref() {
+            GcPolicy::Greedy => self.victims.best_greedy(),
+            GcPolicy::Fifo => self.victims.best_fifo(),
+            GcPolicy::CostBenefit => self.victims.best_cost_benefit(self.next_epoch, ppb),
+        }
+        .map(Pba::new)
+    }
+
+    /// Legacy O(total-blocks) scan — the differential oracle for the index.
+    /// Protected counts come from the queue itself (not the FTL's mirror),
+    /// so the two selectors have independent inputs.
+    fn select_victim_scan(&self, queue: Option<&RecoveryQueue>) -> Option<Pba> {
         let g = self.config.geometry();
         let ppb = g.pages_per_block();
         let policy = self.config.gc_policy_ref();
         let mut best: Option<(Pba, f64)> = None;
         for raw in 0..g.total_blocks() {
             let pba = Pba::new(raw);
-            if self.active.contains(&Some(pba))
+            if self.active_flags[raw as usize]
                 || self.free_flags[raw as usize]
                 || self.bad_flags[raw as usize]
             {
@@ -457,6 +889,7 @@ impl FtlBase {
             let victim = self
                 .select_victim(queue.as_deref())
                 .ok_or(FtlError::NoReclaimableSpace)?;
+            self.log_victim(GcVictimKind::Reclaim, victim);
             match self.migrate_and_erase(victim, queue.as_deref_mut()) {
                 Ok(()) => {
                     self.stats.gc_invocations += 1;
@@ -516,6 +949,8 @@ impl FtlBase {
                                 .as_mut()
                                 .expect("protection implies a queue")
                                 .relocate(ppa, new);
+                            self.note_unprotected(ppa);
+                            self.note_protected(new);
                             self.stats.gc_page_copies += 1;
                             self.stats.gc_protected_copies += 1;
                         }
@@ -526,12 +961,23 @@ impl FtlBase {
             }
 
         }
+        // Sampled before the erase: counts only advance on success, so this
+        // is the tracker's current bin either way.
+        let wear_before = self.device.block(victim)?.erase_count();
+        let raw = victim.index();
+        debug_assert_eq!(
+            self.protected_per_block[raw as usize], 0,
+            "migration must have relocated every protected page"
+        );
         match self.device.erase(victim) {
             Ok(()) => {
-                self.invalid_per_block[victim.index() as usize] = 0;
-                self.free_flags[victim.index() as usize] = true;
+                self.invalid_per_block[raw as usize] = 0;
+                self.free_flags[raw as usize] = true;
+                self.free_count += 1;
+                self.wear.erase(raw, wear_before);
+                self.refresh_victim(raw);
                 let g = self.config.geometry();
-                self.free[(victim.index() / g.blocks_per_chip()) as usize].push_back(victim);
+                self.free[(raw / g.blocks_per_chip()) as usize].push_back(victim);
                 self.stats.gc_erases += 1;
                 Ok(())
             }
@@ -539,8 +985,10 @@ impl FtlBase {
                 // Retire the block: its pages are all invalid and
                 // unprotected (migrated above), so nothing is lost —
                 // the capacity just shrinks by one block.
-                self.bad_flags[victim.index() as usize] = true;
-                self.invalid_per_block[victim.index() as usize] = 0;
+                self.bad_flags[raw as usize] = true;
+                self.invalid_per_block[raw as usize] = 0;
+                self.wear.retire(raw, wear_before);
+                self.refresh_victim(raw);
                 self.stats.bad_blocks += 1;
                 Err(FtlError::BadBlockRetired)
             }
@@ -552,8 +1000,9 @@ impl FtlBase {
     pub fn invalidate(&mut self, ppa: Ppa) -> Result<()> {
         if self.device.page_state(ppa)? == PageState::Valid {
             self.device.invalidate(ppa)?;
-            let g = self.config.geometry();
-            self.invalid_per_block[ppa.block(g).index() as usize] += 1;
+            let raw = ppa.block(self.config.geometry()).index();
+            self.invalid_per_block[raw as usize] += 1;
+            self.refresh_victim(raw);
         }
         Ok(())
     }
@@ -562,8 +1011,9 @@ impl FtlBase {
     fn revalidate(&mut self, ppa: Ppa) -> Result<()> {
         if self.device.page_state(ppa)? == PageState::Invalid {
             self.device.revalidate(ppa)?;
-            let g = self.config.geometry();
-            self.invalid_per_block[ppa.block(g).index() as usize] -= 1;
+            let raw = ppa.block(self.config.geometry()).index();
+            self.invalid_per_block[raw as usize] -= 1;
+            self.refresh_victim(raw);
         }
         Ok(())
     }
@@ -774,5 +1224,101 @@ mod tests {
             b.check_lba(Lba::new(max)),
             Err(FtlError::LbaOutOfRange { .. })
         ));
+    }
+
+    /// Mixed hot/cold churn that forces GC with live pages on every victim.
+    fn churn(b: &mut FtlBase, rounds: u64) {
+        for i in 0..rounds {
+            b.gc_if_needed(None).unwrap();
+            let (lba, data) = if i % 16 == 0 {
+                (Lba::new(100 + i / 16), Bytes::from_static(b"cold"))
+            } else {
+                (Lba::new(0), Bytes::from_static(b"hot"))
+            };
+            if let Some(old) = b.program_mapped(lba, data).unwrap() {
+                b.invalidate(old).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn gc_timer_accumulates_only_when_collecting() {
+        let mut b = base();
+        b.program_mapped(Lba::new(0), Bytes::from_static(b"x")).unwrap();
+        b.gc_if_needed(None).unwrap();
+        assert_eq!(b.stats.gc_ns, 0, "no collection, no timing noise");
+        churn(&mut b, 16 * 16 * 2);
+        assert!(b.stats.gc_invocations > 0);
+        assert!(b.stats.gc_ns > 0, "collections must be timed");
+        assert!(b.stats.gc_migrations_max > 0);
+    }
+
+    #[test]
+    fn migration_budget_bounds_per_invocation_copies() {
+        let budget = 4u64;
+        let mut b = FtlBase::new(
+            FtlConfig::new(Geometry::tiny()).gc_migration_budget(budget),
+        );
+        churn(&mut b, 16 * 16 * 4);
+        assert!(b.stats.gc_invocations > 0);
+        assert!(b.stats.gc_page_copies > 0, "victims must carry live pages");
+        // The cap is checked between victims, so a single invocation can
+        // overshoot by at most one block's worth of pages.
+        let ppb = 16u64;
+        assert!(
+            b.stats.gc_migrations_max <= budget + ppb,
+            "max per-invocation migrations {} exceeded budget {budget} + one block",
+            b.stats.gc_migrations_max
+        );
+    }
+
+    #[test]
+    fn unbudgeted_gc_restores_full_reserve() {
+        let mut b = base();
+        churn(&mut b, 16 * 16 * 2);
+        b.gc_if_needed(None).unwrap();
+        assert!(b.free_blocks() >= b.config().gc_reserve() as usize);
+    }
+
+    #[test]
+    fn victim_log_records_reclaims_when_enabled() {
+        let mut b = FtlBase::new(FtlConfig::new(Geometry::tiny()).record_gc_victims(true));
+        churn(&mut b, 16 * 16 * 2);
+        let log = b.gc_victims();
+        assert!(!log.is_empty());
+        assert!(log.iter().all(|v| v.kind == GcVictimKind::Reclaim));
+        assert_eq!(log.len() as u64, b.stats.gc_invocations);
+    }
+
+    #[test]
+    fn victim_log_stays_empty_by_default() {
+        let mut b = base();
+        churn(&mut b, 16 * 16 * 2);
+        assert!(b.stats.gc_invocations > 0);
+        assert!(b.gc_victims().is_empty());
+    }
+
+    #[test]
+    fn legacy_scan_config_produces_identical_victims() {
+        // Belt and braces on top of the debug-build in-process oracle: run
+        // the same churn on an indexed and a scan-configured FTL and compare
+        // the recorded victim sequences in any build profile.
+        let run = |indexed: bool| {
+            let mut b = FtlBase::new(
+                FtlConfig::new(Geometry::tiny())
+                    .gc_victim_index(indexed)
+                    .record_gc_victims(true),
+            );
+            churn(&mut b, 16 * 16 * 3);
+            (b.gc_victims().to_vec(), {
+                let mut s = b.stats;
+                s.gc_ns = 0;
+                s
+            })
+        };
+        let (v_indexed, s_indexed) = run(true);
+        let (v_scan, s_scan) = run(false);
+        assert_eq!(v_indexed, v_scan);
+        assert_eq!(s_indexed, s_scan);
     }
 }

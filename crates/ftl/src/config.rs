@@ -60,6 +60,9 @@ pub struct FtlConfig {
     protection_window: SimTime,
     gc_policy: GcPolicy,
     wear_leveling_threshold: Option<u32>,
+    gc_victim_index: bool,
+    gc_migration_budget: Option<u64>,
+    record_gc_victims: bool,
 }
 
 impl FtlConfig {
@@ -79,6 +82,9 @@ impl FtlConfig {
             protection_window: SimTime::from_secs(10),
             gc_policy: GcPolicy::Greedy,
             wear_leveling_threshold: None,
+            gc_victim_index: true,
+            gc_migration_budget: None,
+            record_gc_victims: false,
         }
     }
 
@@ -144,6 +150,60 @@ impl FtlConfig {
     /// The static wear-leveling threshold, if enabled.
     pub fn wear_leveling_threshold(&self) -> Option<u32> {
         self.wear_leveling_threshold
+    }
+
+    /// Selects between the incrementally maintained victim index (`true`,
+    /// the default) and the legacy full-device scan (`false`) for GC victim
+    /// selection and wear-leveling extremes. The scan is kept as the
+    /// differential oracle: both paths must pick identical victims, which
+    /// debug builds assert on every selection.
+    pub fn gc_victim_index(mut self, enabled: bool) -> Self {
+        self.gc_victim_index = enabled;
+        self
+    }
+
+    /// Whether GC victim selection uses the incremental index.
+    pub fn victim_index_enabled(&self) -> bool {
+        self.gc_victim_index
+    }
+
+    /// Caps the pages a single GC invocation may migrate
+    /// (`max_migrations_per_invocation`). Once the cap is hit, collection
+    /// stops as soon as the *hard* floor — enough free blocks for the
+    /// triggering write — is met, deferring the rest of the reclamation to
+    /// later invocations so one extent write cannot absorb an unbounded
+    /// migration storm. Wear leveling is skipped in invocations that
+    /// exhaust the cap. Unlimited by default.
+    ///
+    /// The cap is checked between victims, so an invocation can overshoot
+    /// by at most one block's worth of pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn gc_migration_budget(mut self, pages: u64) -> Self {
+        assert!(pages >= 1, "gc migration budget must be at least one page");
+        self.gc_migration_budget = Some(pages);
+        self
+    }
+
+    /// The per-invocation GC migration cap, if one is set.
+    pub fn gc_migration_budget_pages(&self) -> Option<u64> {
+        self.gc_migration_budget
+    }
+
+    /// Records every GC and wear-leveling victim in an in-memory log
+    /// (see `gc_victims` on the FTLs). Off by default; the differential
+    /// oracle tests and the GC benchmark turn it on to prove the indexed
+    /// and legacy-scan selectors produce identical victim sequences.
+    pub fn record_gc_victims(mut self, enabled: bool) -> Self {
+        self.record_gc_victims = enabled;
+        self
+    }
+
+    /// Whether GC victim recording is enabled.
+    pub fn gc_victim_recording(&self) -> bool {
+        self.record_gc_victims
     }
 
     /// The NAND configuration.
@@ -241,6 +301,35 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_wear_threshold_panics() {
         FtlConfig::new(Geometry::tiny()).wear_leveling(0);
+    }
+
+    #[test]
+    fn victim_index_defaults_on_and_is_switchable() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert!(cfg.victim_index_enabled());
+        let cfg = cfg.gc_victim_index(false);
+        assert!(!cfg.victim_index_enabled());
+    }
+
+    #[test]
+    fn migration_budget_knob() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert_eq!(cfg.gc_migration_budget_pages(), None);
+        let cfg = cfg.gc_migration_budget(64);
+        assert_eq!(cfg.gc_migration_budget_pages(), Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_migration_budget_panics() {
+        FtlConfig::new(Geometry::tiny()).gc_migration_budget(0);
+    }
+
+    #[test]
+    fn victim_recording_defaults_off() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert!(!cfg.gc_victim_recording());
+        assert!(cfg.record_gc_victims(true).gc_victim_recording());
     }
 
     #[test]

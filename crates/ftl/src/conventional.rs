@@ -3,7 +3,7 @@
 use crate::base::FtlBase;
 use crate::config::FtlConfig;
 use crate::traits::Ftl;
-use crate::{FtlStats, Result};
+use crate::{FtlStats, GcVictim, Result};
 use bytes::Bytes;
 use insider_nand::{Lba, NandStats, SimTime};
 
@@ -141,6 +141,10 @@ impl Ftl for ConventionalFtl {
 
     fn wear_summary(&self) -> (u32, u32, f64) {
         self.base.device.wear_summary()
+    }
+
+    fn gc_victims(&self) -> &[GcVictim] {
+        self.base.gc_victims()
     }
 }
 

@@ -4,7 +4,7 @@ use crate::base::FtlBase;
 use crate::config::FtlConfig;
 use crate::recovery_queue::RecoveryQueue;
 use crate::traits::Ftl;
-use crate::{FtlError, FtlStats, Result};
+use crate::{FtlError, FtlStats, GcVictim, Result};
 use bytes::Bytes;
 use insider_nand::{Lba, NandStats, SimTime};
 use serde::{Deserialize, Serialize};
@@ -111,7 +111,13 @@ impl InsiderFtl {
             return;
         }
         let cutoff = now.saturating_sub(self.base.config().window());
-        self.queue.retire_before(cutoff);
+        let retired = self.queue.retire_before(cutoff);
+        self.base.note_retired(&retired);
+        debug_assert_eq!(
+            self.base.protected_pages(),
+            self.queue.protected_count() as u64,
+            "victim-index protected count diverged from the recovery queue"
+        );
     }
 
     /// Freezes backup-entry retirement as of `at` (the alarm time). The
@@ -163,20 +169,22 @@ impl InsiderFtl {
         };
         let mut touched = std::collections::HashSet::new();
 
-        // `queue` and `base` are disjoint fields, so the iteration can
-        // borrow the queue while the base mutates.
-        let base = &mut self.base;
-        for entry in self.queue.iter_newest_first() {
+        // Drain the queue and release every protection *before* rewinding:
+        // restore_mapping revalidates old pages (decrementing per-block
+        // invalid counts), and the victim index insists protected ≤ invalid
+        // at every step.
+        let entries = self.queue.take_all();
+        self.base.clear_protected();
+        for entry in entries.iter().rev() {
             if entry.stamp < cutoff {
                 report.ignored += 1;
                 continue;
             }
-            base.restore_mapping(entry.lba, entry.old)?;
+            self.base.restore_mapping(entry.lba, entry.old)?;
             touched.insert(entry.lba);
             report.restored += 1;
         }
         report.lbas_touched = touched.len() as u64;
-        self.queue.clear();
         // The incident is over: resume normal retirement for new entries.
         self.frozen_at = None;
         Ok(report)
@@ -198,6 +206,9 @@ impl Ftl for InsiderFtl {
         // Record the pre-image (or its absence) so rollback can undo this
         // write even when it created the logical page.
         self.queue.push(lba, old, now);
+        if let Some(old) = old {
+            self.base.note_protected(old);
+        }
         self.base.stats.host_writes += 1;
         Ok(())
     }
@@ -218,6 +229,7 @@ impl Ftl for InsiderFtl {
         if let Some(old) = self.base.mapping.set(lba, None) {
             self.base.invalidate(old)?;
             self.queue.push(lba, Some(old), now);
+            self.base.note_protected(old);
         }
         self.base.stats.host_trims += 1;
         Ok(())
@@ -262,6 +274,7 @@ impl Ftl for InsiderFtl {
         for (i, old) in olds.into_iter().enumerate() {
             if let Some(old) = old {
                 self.queue.push(lba.offset(i as u64), Some(old), now);
+                self.base.note_protected(old);
             }
         }
         Ok(())
@@ -285,6 +298,10 @@ impl Ftl for InsiderFtl {
 
     fn wear_summary(&self) -> (u32, u32, f64) {
         self.base.device.wear_summary()
+    }
+
+    fn gc_victims(&self) -> &[GcVictim] {
+        self.base.gc_victims()
     }
 }
 

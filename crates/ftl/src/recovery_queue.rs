@@ -42,8 +42,11 @@ pub struct BackupEntry {
 /// assert!(q.is_protected(Ppa::new(21)));
 ///
 /// // 10 s later the entry retires and the old page becomes reclaimable.
+/// // The retired entries come back so the caller can release any
+/// // per-block protected-count bookkeeping it keeps.
 /// let retired = q.retire_before(SimTime::from_secs(13));
-/// assert_eq!(retired, 1);
+/// assert_eq!(retired.len(), 1);
+/// assert_eq!(retired[0].old, Some(Ppa::new(21)));
 /// assert!(!q.is_protected(Ppa::new(21)));
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -100,6 +103,14 @@ impl RecoveryQueue {
     /// unless the queue was built with [`RecoveryQueue::with_block_size`].
     pub fn protected_in_block(&self, block: u32) -> u32 {
         self.per_block.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Whether this queue maintains per-block protected-page counts (built
+    /// with [`RecoveryQueue::with_block_size`]). Consumers that mirror those
+    /// counts — the FTL's incremental victim index — can only reconcile
+    /// against a block-tracking queue.
+    pub fn tracks_blocks(&self) -> bool {
+        self.pages_per_block > 0
     }
 
     /// Number of entries currently queued.
@@ -180,22 +191,42 @@ impl RecoveryQueue {
     }
 
     /// Retires (drops) all entries with `stamp < cutoff`, releasing their
-    /// protected pages. Returns how many entries were retired.
-    pub fn retire_before(&mut self, cutoff: SimTime) -> usize {
-        let mut retired = 0;
+    /// protected pages.
+    ///
+    /// Returns the retired entries in retirement (= time) order. Returning
+    /// the entries — not just a count — is what lets callers that mirror
+    /// protected-page counts (the FTL's incremental victim index) apply the
+    /// exact per-block deltas instead of re-polling; a count alone would
+    /// silently desync them. The common no-retirement case allocates
+    /// nothing.
+    pub fn retire_before(&mut self, cutoff: SimTime) -> Vec<BackupEntry> {
+        let mut retired = Vec::new();
         while let Some(entry) = self.entries.front() {
             if entry.stamp >= cutoff {
                 break;
             }
+            let entry = *entry;
             if let Some(ppa) = entry.old {
                 self.by_old_ppa.remove(&ppa);
                 self.count_block(ppa, -1);
             }
             self.entries.pop_front();
             self.front_seq += 1;
-            retired += 1;
+            retired.push(entry);
         }
         retired
+    }
+
+    /// Drains every entry (oldest first), releasing all protections in one
+    /// step — the bulk form of [`retire_before`](Self::retire_before) used
+    /// by rollback, which must release every protection *before* it starts
+    /// rewinding mappings so protected counts never exceed invalid counts
+    /// mid-rewind.
+    pub fn take_all(&mut self) -> Vec<BackupEntry> {
+        self.front_seq = self.next_seq;
+        self.by_old_ppa.clear();
+        self.per_block.clear();
+        self.entries.drain(..).collect()
     }
 
     /// Iterates entries from newest to oldest — the scan order of the
@@ -264,7 +295,9 @@ mod tests {
         q.push(Lba::new(2), Some(Ppa::new(11)), SimTime::from_secs(5));
         q.push(Lba::new(3), Some(Ppa::new(12)), SimTime::from_secs(9));
         let retired = q.retire_before(SimTime::from_secs(5));
-        assert_eq!(retired, 1);
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].lba, Lba::new(1));
+        assert_eq!(retired[0].old, Some(Ppa::new(10)));
         assert!(!q.is_protected(Ppa::new(10)));
         assert!(q.is_protected(Ppa::new(11)));
         assert_eq!(q.len(), 2);
@@ -274,8 +307,39 @@ mod tests {
     fn retire_with_equal_stamp_keeps_entry() {
         let mut q = RecoveryQueue::new();
         q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::from_secs(5));
-        assert_eq!(q.retire_before(SimTime::from_secs(5)), 0);
+        assert!(q.retire_before(SimTime::from_secs(5)).is_empty());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn retire_reports_released_ppas_in_time_order() {
+        let mut q = RecoveryQueue::with_block_size(4);
+        q.push(Lba::new(1), Some(Ppa::new(0)), SimTime::from_secs(0));
+        q.push(Lba::new(2), None, SimTime::from_secs(1));
+        q.push(Lba::new(3), Some(Ppa::new(5)), SimTime::from_secs(2));
+        let retired = q.retire_before(SimTime::from_secs(10));
+        let olds: Vec<Option<Ppa>> = retired.iter().map(|e| e.old).collect();
+        assert_eq!(olds, vec![Some(Ppa::new(0)), None, Some(Ppa::new(5))]);
+        assert_eq!(q.protected_in_block(0), 0);
+        assert_eq!(q.protected_in_block(1), 0);
+    }
+
+    #[test]
+    fn take_all_drains_and_releases_everything() {
+        let mut q = RecoveryQueue::with_block_size(4);
+        q.push(Lba::new(1), Some(Ppa::new(10)), SimTime::from_secs(1));
+        q.push(Lba::new(2), Some(Ppa::new(3)), SimTime::from_secs(2));
+        let entries = q.take_all();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].lba, Lba::new(1), "oldest first");
+        assert!(q.is_empty());
+        assert_eq!(q.protected_count(), 0);
+        assert_eq!(q.protected_in_block(0), 0);
+        assert_eq!(q.protected_in_block(2), 0);
+        // The queue keeps working after the drain.
+        q.push(Lba::new(5), Some(Ppa::new(10)), SimTime::from_secs(3));
+        q.relocate(Ppa::new(10), Ppa::new(11));
+        assert!(q.is_protected(Ppa::new(11)));
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct FtlStats {
     pub bad_blocks: u64,
     /// Static wear-leveling migrations performed.
     pub wear_level_swaps: u64,
+    /// Wall-clock nanoseconds spent inside garbage collection (victim
+    /// selection, migration and erasure). Only accumulates when a GC pass
+    /// actually collects, so workloads that never trigger GC report zero
+    /// regardless of timer resolution.
+    pub gc_ns: u64,
+    /// Worst-case pages migrated by a single GC invocation — the tail
+    /// latency a host write can absorb. Bounded by the configured
+    /// `gc_migration_budget` (plus at most one block of overshoot).
+    pub gc_migrations_max: u64,
 }
 
 impl FtlStats {
@@ -48,11 +57,32 @@ impl FtlStats {
     }
 }
 
+/// Why garbage collection migrated and erased a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcVictimKind {
+    /// Selected by the victim-selection policy to reclaim space.
+    Reclaim,
+    /// Selected by static wear leveling as the coldest in-service block.
+    WearLevel,
+}
+
+/// One recorded victim-selection event (see
+/// `FtlConfig::record_gc_victims`). The log is the differential oracle's
+/// evidence: an indexed and a legacy-scan FTL fed the same workload must
+/// produce identical victim sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcVictim {
+    /// What triggered the selection.
+    pub kind: GcVictimKind,
+    /// Raw index of the chosen block.
+    pub block: u32,
+}
+
 impl std::fmt::Display for FtlStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={}] WA={:.3}",
+            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={} ns={} max_migr={}] WA={:.3}",
             self.host_reads,
             self.host_writes,
             self.host_trims,
@@ -61,6 +91,8 @@ impl std::fmt::Display for FtlStats {
             self.gc_protected_copies,
             self.gc_erases,
             self.bad_blocks,
+            self.gc_ns,
+            self.gc_migrations_max,
             self.write_amplification()
         )
     }
@@ -83,8 +115,20 @@ mod tests {
     fn display_mentions_all_counters() {
         let s = FtlStats::new();
         let msg = s.to_string();
-        for key in ["reads=", "writes=", "gc[", "WA="] {
+        for key in ["reads=", "writes=", "gc[", "ns=", "max_migr=", "WA="] {
             assert!(msg.contains(key), "missing {key} in {msg}");
         }
+    }
+
+    #[test]
+    fn gc_timing_fields_serialize() {
+        let s = FtlStats {
+            gc_ns: 1234,
+            gc_migrations_max: 7,
+            ..FtlStats::new()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"gc_ns\":1234"));
+        assert!(json.contains("\"gc_migrations_max\":7"));
     }
 }

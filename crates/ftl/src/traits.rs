@@ -1,6 +1,6 @@
 //! The `Ftl` trait: the host-facing block interface both FTLs implement.
 
-use crate::{FtlStats, Result};
+use crate::{FtlStats, GcVictim, Result};
 use bytes::Bytes;
 use insider_nand::{Lba, NandStats, SimTime};
 
@@ -96,4 +96,12 @@ pub trait Ftl {
 
     /// Per-block wear summary: `(min, max, mean)` erase counts.
     fn wear_summary(&self) -> (u32, u32, f64);
+
+    /// The recorded GC victim log, in selection order. Empty unless the FTL
+    /// was configured with `FtlConfig::record_gc_victims(true)`; the
+    /// differential GC tests replay identical workloads on an indexed and a
+    /// legacy-scan FTL and require these logs to match exactly.
+    fn gc_victims(&self) -> &[GcVictim] {
+        &[]
+    }
 }

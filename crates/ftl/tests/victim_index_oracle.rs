@@ -1,0 +1,193 @@
+//! Differential oracle for the incremental GC victim index.
+//!
+//! The legacy full-device scan is kept behind `FtlConfig::gc_victim_index
+//! (false)` precisely so it can serve as ground truth: this suite replays
+//! identical random workloads on an index-configured and a scan-configured
+//! FTL and requires byte-identical behaviour — the same victim sequence
+//! (reclaim *and* wear-level picks), the same statistics, the same surviving
+//! data, and errors at the same operations. Debug builds additionally
+//! cross-check both selectors inside every single `select_victim` call; this
+//! suite proves the equivalence in any build profile and across whole
+//! workloads.
+
+use bytes::Bytes;
+use insider_ftl::{
+    ConventionalFtl, Ftl, FtlConfig, FtlError, FtlStats, GcPolicy, GcVictim, InsiderFtl,
+};
+use insider_nand::{Geometry, Lba, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(u64),
+    Trim(u64),
+}
+
+/// Writes hit a 96-page span of a 192-page drive, so utilization stays
+/// high enough to force GC but leaves slack for delayed deletion.
+const SPAN: u64 = 96;
+
+fn geometry() -> Geometry {
+    Geometry::builder()
+        .blocks_per_chip(24)
+        .pages_per_block(8)
+        .page_size(64)
+        .build()
+}
+
+fn config(policy: GcPolicy, indexed: bool) -> FtlConfig {
+    FtlConfig::new(geometry())
+        .gc_policy(policy)
+        .wear_leveling(3)
+        .gc_victim_index(indexed)
+        .record_gc_victims(true)
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0..SPAN).prop_map(Op::Write),
+            1 => (0..SPAN).prop_map(Op::Trim),
+        ],
+        150..400,
+    )
+}
+
+/// Everything observable about a run, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    victims: Vec<GcVictim>,
+    stats: FtlStats,
+    contents: Vec<Option<Bytes>>,
+    first_error: Option<(usize, String)>,
+}
+
+fn run(ftl: &mut dyn Ftl, ops: &[Op]) -> Outcome {
+    // 200 ms per op keeps one 10 s protection window of pre-images (~50
+    // pages) inside the drive's reclaimable slack, so the insider FTL
+    // stays feasible for any op mix the strategy can draw.
+    let mut now = SimTime::from_secs(1);
+    let mut first_error = None;
+    for (i, op) in ops.iter().enumerate() {
+        let result = match *op {
+            Op::Write(lba) => {
+                let tag = (i as u32).to_le_bytes();
+                ftl.write(Lba::new(lba), Bytes::copy_from_slice(&tag), now)
+            }
+            Op::Trim(lba) => ftl.trim(Lba::new(lba), now),
+        };
+        match result {
+            Ok(()) => {}
+            Err(FtlError::NoReclaimableSpace) => {
+                first_error = Some((i, FtlError::NoReclaimableSpace.to_string()));
+                break;
+            }
+            Err(e) => panic!("unexpected error at op {i}: {e}"),
+        }
+        now += SimTime::from_millis(200);
+    }
+    let contents = ftl.read_extent(Lba::new(0), SPAN as u32, now).unwrap();
+    let mut stats = *ftl.stats();
+    // Wall-clock GC time legitimately differs between instances.
+    stats.gc_ns = 0;
+    Outcome {
+        victims: ftl.gc_victims().to_vec(),
+        stats,
+        contents,
+        first_error,
+    }
+}
+
+fn policy(index: u8) -> GcPolicy {
+    match index % 3 {
+        0 => GcPolicy::Greedy,
+        1 => GcPolicy::Fifo,
+        _ => GcPolicy::CostBenefit,
+    }
+}
+
+/// Deterministic anchor for the random suite: a hot/cold split long enough
+/// to guarantee both reclaim GC *and* wear-leveling selections happen, so
+/// the equivalence below is known to cover both victim kinds.
+#[test]
+fn deterministic_churn_covers_reclaim_and_wear_level() {
+    for p in 0..3u8 {
+        let policy = policy(p);
+        let run_one = |indexed: bool| {
+            let mut f = ConventionalFtl::new(config(policy, indexed));
+            for lba in 0..SPAN / 2 {
+                f.write(Lba::new(lba), Bytes::from_static(b"cold"), SimTime::ZERO)
+                    .unwrap();
+            }
+            for i in 0..6_000u64 {
+                f.write(
+                    Lba::new(SPAN / 2 + i % 8),
+                    Bytes::copy_from_slice(&(i as u32).to_le_bytes()),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            }
+            let mut stats = *f.stats();
+            stats.gc_ns = 0;
+            (f.gc_victims().to_vec(), stats)
+        };
+        let (va, sa) = run_one(true);
+        let (vb, sb) = run_one(false);
+        assert!(sa.gc_invocations > 0, "{policy}: reclaim GC must run");
+        assert!(sa.wear_level_swaps > 0, "{policy}: wear leveling must run");
+        assert_eq!(va, vb, "{policy}: victim sequences diverged");
+        assert_eq!(sa, sb, "{policy}: stats diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conventional FTL: indexed and legacy-scan selection are
+    /// indistinguishable under random write/trim churn, every policy.
+    #[test]
+    fn conventional_index_matches_scan(ops in op_strategy(), p in 0u8..3) {
+        let policy = policy(p);
+        let mut indexed = ConventionalFtl::new(config(policy, true));
+        let mut scanned = ConventionalFtl::new(config(policy, false));
+        let a = run(&mut indexed, &ops);
+        let b = run(&mut scanned, &ops);
+        prop_assert_eq!(a, b, "{} diverged", policy);
+    }
+
+    /// Insider FTL: same equivalence with delayed-deletion protection
+    /// live — protected counts flow through the index incrementally and
+    /// through the recovery queue for the scan.
+    #[test]
+    fn insider_index_matches_scan(ops in op_strategy(), p in 0u8..3) {
+        let policy = policy(p);
+        let mut indexed = InsiderFtl::new(config(policy, true));
+        let mut scanned = InsiderFtl::new(config(policy, false));
+        let a = run(&mut indexed, &ops);
+        let b = run(&mut scanned, &ops);
+        prop_assert_eq!(
+            indexed.recovery_queue().protected_count(),
+            scanned.recovery_queue().protected_count()
+        );
+        prop_assert_eq!(a, b, "{} diverged", policy);
+    }
+
+    /// Rollback after random churn yields identical restored state under
+    /// both selectors: GC migration decisions never leak into recovery.
+    #[test]
+    fn rollback_state_identical_under_both_selectors(ops in op_strategy(), p in 0u8..3) {
+        let policy = policy(p);
+        let mut indexed = InsiderFtl::new(config(policy, true));
+        let mut scanned = InsiderFtl::new(config(policy, false));
+        run(&mut indexed, &ops);
+        run(&mut scanned, &ops);
+        let end = SimTime::from_secs(1) + SimTime::from_millis(200 * ops.len() as u64);
+        let ra = indexed.rollback(end).unwrap();
+        let rb = scanned.rollback(end).unwrap();
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(
+            indexed.read_extent(Lba::new(0), SPAN as u32, end).unwrap(),
+            scanned.read_extent(Lba::new(0), SPAN as u32, end).unwrap()
+        );
+    }
+}
