@@ -11,10 +11,16 @@
 #   make bench-gc    — regenerate BENCH_gc.json (aged-drive GC victim
 #                      selection, incremental index vs legacy scan, plus the
 #                      trace-replay victim-sequence oracle).
+#   make crash-sweep — exhaustive stride-1 power-loss sweep: every
+#                      program/erase boundary of three traces on both FTLs,
+#                      plus the filesystem attack/crash/rollback scenario.
+#                      (Tier 1 runs a strided fast version as a plain test.)
+#   make bench-mount — regenerate BENCH_mount.json (OOB remount scan time
+#                      on an 8192-block drive at rising utilization).
 
 CARGO ?= cargo
 
-.PHONY: tier1 test bench bench-json bench-gc
+.PHONY: tier1 test bench bench-json bench-gc crash-sweep bench-mount
 
 tier1:
 	$(CARGO) build --release
@@ -32,3 +38,9 @@ bench-json:
 
 bench-gc:
 	$(CARGO) run --release -p insider-bench --bin bench_gc
+
+crash-sweep:
+	$(CARGO) run --release -p insider-bench --bin crash_sweep
+
+bench-mount:
+	$(CARGO) run --release -p insider-bench --bin bench_mount

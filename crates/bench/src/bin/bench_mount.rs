@@ -1,0 +1,71 @@
+//! Machine-readable mount-time benchmark: how long the OOB-backed remount
+//! takes on a realistic 8192-block drive at increasing utilization.
+//!
+//! For each utilization a fresh [`InsiderFtl`] is prefilled (seeded-shuffled
+//! cold fill, as in [`insider_bench::prefill_ftl`]), then power is cut and
+//! the wall-clock cost of [`insider_ftl::Ftl::power_cut`] — the full
+//! spare-area scan plus mapping-table, victim-index and recovery-queue
+//! reconstruction — is measured. Results land in `BENCH_mount.json` so CI
+//! can diff mount latency across commits.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin bench_mount [-- out.json]
+
+use insider_bench::prefill_ftl;
+use insider_ftl::{Ftl, FtlConfig, InsiderFtl};
+use insider_nand::{Geometry, SimTime};
+use serde_json::json;
+use std::time::Instant;
+
+/// The paper's full-drive scenario scaled to the simulator: 8 chips of
+/// 1024 blocks (8192 blocks, 512 Ki pages, 2 GiB).
+fn mount_geometry() -> Geometry {
+    Geometry::builder()
+        .channels(2)
+        .chips_per_channel(4)
+        .blocks_per_chip(1024)
+        .pages_per_block(64)
+        .page_size(4096)
+        .build()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_mount.json".into());
+    let geometry = mount_geometry();
+    let mut rows = Vec::new();
+    for utilization in [0.25, 0.50, 0.75, 0.90] {
+        let mut ftl = InsiderFtl::new(FtlConfig::new(geometry));
+        prefill_ftl(&mut ftl, utilization);
+        let live_pages = ftl.stats().host_writes;
+        let started = Instant::now();
+        ftl.power_cut(SimTime::from_secs(3600)).expect("remount failed");
+        let elapsed = started.elapsed();
+        let scanned = ftl.mount_scan_entries();
+        let per_sec = scanned as f64 / elapsed.as_secs_f64();
+        println!(
+            "utilization {utilization:.2}: {live_pages} live pages, \
+             {scanned} OOB records scanned in {elapsed:.2?} ({per_sec:.0}/s)"
+        );
+        rows.push(json!({
+            "utilization": utilization,
+            "live_pages": live_pages,
+            "scanned_oob_records": scanned,
+            "mount_ms": elapsed.as_secs_f64() * 1e3,
+            "records_per_sec": per_sec,
+        }));
+    }
+    let doc = json!({
+        "bench": "mount",
+        "geometry": json!({
+            "total_blocks": geometry.total_blocks(),
+            "total_pages": geometry.total_pages(),
+            "page_size": geometry.page_size(),
+            "capacity_bytes": geometry.capacity_bytes(),
+        }),
+        "logical_pages": FtlConfig::new(geometry).logical_pages(),
+        "rows": rows,
+    });
+    std::fs::write(&out_path, serde_json::to_string(&doc).unwrap() + "\n")
+        .expect("write BENCH_mount.json");
+    println!("wrote {out_path}");
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod gc;
 pub mod harness;
 pub mod outcome;
@@ -27,5 +28,9 @@ pub use replay::{
 pub use gc::{
     age_to_steady_state, aged_conventional, aged_insider, churn, gc_bench_config,
     gc_bench_geometry, measure_gc_cost, ChurnCursor, GcCost,
+};
+pub use crash::{
+    sweep, sweep_ftl_config, sweep_geometry, sweep_matrix, sweep_traces, CrashTarget,
+    SweepConfig, SweepSummary, SWEEP_SPAN,
 };
 pub use tablefmt::render_table;

@@ -1,0 +1,33 @@
+//! Bounded power-loss crash sweep (tier-1 fast configuration).
+//!
+//! Runs the full matrix — three standard traces × both FTL flavours — with
+//! a large stride and a small write budget so the quadratic sweep fits in
+//! the test budget. `make crash-sweep` runs the same matrix at stride 1
+//! via the `crash_sweep` binary; `CRASH_SWEEP_STRIDE` / `CRASH_SWEEP_PAGES`
+//! override both.
+
+use insider_bench::SweepConfig;
+
+#[test]
+fn bounded_crash_sweep_matrix_upholds_durability_contract() {
+    let config = SweepConfig::fast().from_env();
+    let rows = insider_bench::sweep_matrix(&config);
+    assert_eq!(rows.len(), 6, "three traces x two FTL flavours");
+    for (trace, flavour, summary) in rows {
+        // Every trace in the sweep mutates (the sequential trace carries
+        // its own fill phase), so every row must expose crash points and
+        // actually fire cuts at them.
+        assert!(summary.mutation_ops > 0, "{trace}/{flavour}: no crash space");
+        assert!(summary.points_tested > 1, "{trace}/{flavour}: nothing swept");
+        assert!(summary.crashes_fired > 0, "{trace}/{flavour}: no cut ever fired");
+        assert!(summary.pages_verified > 0, "{trace}/{flavour}: nothing verified");
+        if flavour == "insider" {
+            assert_eq!(
+                summary.rollbacks_verified, summary.points_tested,
+                "{trace}: every remount must support rollback"
+            );
+        } else {
+            assert_eq!(summary.rollbacks_verified, 0, "{trace}: baseline has no queue");
+        }
+    }
+}

@@ -304,6 +304,35 @@ impl SsdInsider {
         self.events.push(DeviceEvent::Rebooted);
         Ok(())
     }
+
+    /// Simulates a sudden power loss followed by a power-on mount.
+    ///
+    /// The FTL drops all DRAM state — mapping table, per-block counts, GC
+    /// victim index, recovery queue — and rebuilds it from the per-page OOB
+    /// records (see [`InsiderFtl::power_cut`]); the detector restarts cold
+    /// from its decision tree and configuration, its sliding window of
+    /// request features lost with DRAM. The lifecycle state, last alarm,
+    /// read-only latch and retirement freeze survive: they model the small
+    /// NVRAM flags real firmware keeps so a pending attack alarm cannot be
+    /// cleared by yanking the power cable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL mount failures (internal inconsistencies only).
+    pub fn power_cut(&mut self, now: SimTime) -> Result<()> {
+        self.ftl.power_cut(now)?;
+        let tree = self.detector.tree().clone();
+        self.detector = Detector::new(*self.detector.config(), tree);
+        self.events.push(DeviceEvent::PowerCycled { at: now });
+        Ok(())
+    }
+
+    /// Installs a deterministic NAND fault plan (e.g. a power-cut schedule)
+    /// on the underlying drive; the crash sweeps use this to cut power at
+    /// exact program/erase boundaries.
+    pub fn set_fault_plan(&mut self, plan: insider_nand::FaultPlan) {
+        self.ftl.set_fault_plan(plan);
+    }
 }
 
 /// `SsdInsider` exposes the same host-facing block interface as the raw
@@ -354,6 +383,13 @@ impl Ftl for SsdInsider {
         SsdInsider::trim_extent(self, lba, len, now).map_err(|e| match e {
             DeviceError::Ftl(f) => f,
             DeviceError::WrongState { .. } => unreachable!("trim never gates on state"),
+        })
+    }
+
+    fn power_cut(&mut self, now: SimTime) -> insider_ftl::Result<()> {
+        SsdInsider::power_cut(self, now).map_err(|e| match e {
+            DeviceError::Ftl(f) => f,
+            DeviceError::WrongState { .. } => unreachable!("power cut never gates on state"),
         })
     }
 

@@ -15,6 +15,14 @@ pub const COUNTING_ENTRY_BYTES: usize = 12;
 /// Bytes per recovery-queue entry, from Table III.
 pub const QUEUE_ENTRY_BYTES: usize = RecoveryQueue::ENTRY_BYTES;
 
+/// Bytes per decoded OOB record held during the power-on mount scan: LBA
+/// (4), physical page (4), program sequence (8) and write stamp (8), with
+/// the live/backup bit folded into the sequence word. This buffer is
+/// transient — it exists only while the mount scan rebuilds the mapping
+/// table and recovery queue, then is released — so the paper's steady-state
+/// Table III budget provisions zero such entries.
+pub const OOB_SCAN_ENTRY_BYTES: usize = 24;
+
 /// DRAM footprint of the three SSD-Insider structures, in the units the
 /// paper's Table III uses (entry count × fixed entry size — what a firmware
 /// implementation would statically provision).
@@ -27,6 +35,11 @@ pub struct DramUsage {
     pub counting_entries: usize,
     /// Recovery-queue entries in use.
     pub queue_entries: usize,
+    /// OOB records decoded by the most recent power-on mount scan. This
+    /// peak-transient figure is reported separately and excluded from
+    /// [`total_bytes`](Self::total_bytes): the scan buffer is freed before
+    /// the device services its first host command.
+    pub mount_scan_entries: usize,
 }
 
 impl DramUsage {
@@ -37,6 +50,7 @@ impl DramUsage {
             hash_entries: table.index_nodes(),
             counting_entries: table.len(),
             queue_entries: device.ftl().recovery_queue().len(),
+            mount_scan_entries: device.ftl().mount_scan_entries() as usize,
         }
     }
 
@@ -47,6 +61,7 @@ impl DramUsage {
             hash_entries: 250_000,
             counting_entries: 1_000,
             queue_entries: 2_621_440,
+            mount_scan_entries: 0,
         }
     }
 
@@ -65,7 +80,15 @@ impl DramUsage {
         self.queue_entries * QUEUE_ENTRY_BYTES
     }
 
-    /// Total bytes across all three structures.
+    /// Peak transient bytes of the mount-scan buffer (not part of
+    /// [`total_bytes`](Self::total_bytes); see
+    /// [`mount_scan_entries`](Self::mount_scan_entries)).
+    pub fn mount_scan_bytes(&self) -> usize {
+        self.mount_scan_entries * OOB_SCAN_ENTRY_BYTES
+    }
+
+    /// Total steady-state bytes across the three provisioned structures.
+    /// The transient mount-scan buffer is excluded.
     pub fn total_bytes(&self) -> usize {
         self.hash_bytes() + self.counting_bytes() + self.queue_bytes()
     }
@@ -102,7 +125,16 @@ impl std::fmt::Display for DramUsage {
             self.queue_entries,
             self.queue_bytes()
         )?;
-        write!(f, "total: {} bytes", self.total_bytes())
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>12}",
+            "mount scan*",
+            OOB_SCAN_ENTRY_BYTES,
+            self.mount_scan_entries,
+            self.mount_scan_bytes()
+        )?;
+        writeln!(f, "total: {} bytes", self.total_bytes())?;
+        write!(f, "(* transient: freed before first host command, not in total)")
     }
 }
 
@@ -141,7 +173,21 @@ mod tests {
         assert_eq!(usage.hash_entries, 1);
         assert!(usage.counting_entries >= 1);
         assert_eq!(usage.queue_entries, 8);
+        assert_eq!(usage.mount_scan_entries, 0, "no mount has run yet");
         assert!(usage.total_bytes() > 0);
+
+        ssd.power_cut(t).unwrap();
+        let remounted = DramUsage::measure(&ssd);
+        assert_eq!(
+            remounted.mount_scan_entries, 8,
+            "mount scan decoded one OOB record per programmed page"
+        );
+        assert!(remounted.mount_scan_bytes() > 0);
+        assert_eq!(
+            remounted.total_bytes(),
+            remounted.hash_bytes() + remounted.counting_bytes() + remounted.queue_bytes(),
+            "scan buffer is transient and excluded from the steady-state total"
+        );
     }
 
     #[test]

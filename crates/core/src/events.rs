@@ -31,6 +31,12 @@ pub enum DeviceEvent {
     },
     /// The host rebooted; write service resumed.
     Rebooted,
+    /// Power was lost and restored: the firmware remounted, rebuilding its
+    /// DRAM state (mapping table, recovery queue) from the OOB scan.
+    PowerCycled {
+        /// Power-up time (anchors the rebuilt protection window).
+        at: SimTime,
+    },
 }
 
 /// Bounded FIFO of pending events (a real device would expose a small

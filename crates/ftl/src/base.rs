@@ -7,7 +7,7 @@ use crate::recovery_queue::{BackupEntry, RecoveryQueue};
 use crate::stats::{FtlStats, GcVictim, GcVictimKind};
 use crate::{FtlError, Result};
 use bytes::Bytes;
-use insider_nand::{Lba, NandDevice, NandError, PageState, Pba, Ppa, SimTime};
+use insider_nand::{Lba, NandDevice, NandError, OobTag, PageState, Pba, Ppa, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
 
@@ -251,8 +251,29 @@ pub(crate) struct FtlBase {
     wear: WearTracker,
     /// Victim log, populated when `FtlConfig::record_gc_victims` is on.
     victim_log: Vec<GcVictim>,
+    /// OOB records decoded by the most recent [`remount`](Self::remount)
+    /// scan (zero before any mount) — the size of the structure an on-device
+    /// implementation would stream through during power-on recovery.
+    mount_scan_entries: u64,
     pub stats: FtlStats,
     config: FtlConfig,
+}
+
+/// One OOB record surfaced by the mount-time scan, in the physical page it
+/// was read from. [`FtlBase::remount`] returns these grouped per logical
+/// page and sorted by `(stamp, seq)` — oldest version first — so the
+/// SSD-Insider FTL can rebuild its recovery queue without a second scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ScanPage {
+    /// Physical page the record was read from.
+    pub ppa: Ppa,
+    /// Device-stamped monotone program sequence number.
+    pub seq: u64,
+    /// Host write time carried in the OOB tag (preserved across GC copies).
+    pub stamp: SimTime,
+    /// `true` when the page held the current version at program time;
+    /// `false` for GC backup copies of superseded versions.
+    pub live: bool,
 }
 
 impl FtlBase {
@@ -288,9 +309,16 @@ impl FtlBase {
             ),
             wear: WearTracker::new(g.total_blocks()),
             victim_log: Vec::new(),
+            mount_scan_entries: 0,
             stats: FtlStats::new(),
             config,
         }
+    }
+
+    /// OOB records decoded by the most recent mount scan (zero before any
+    /// power cycle).
+    pub fn mount_scan_entries(&self) -> u64 {
+        self.mount_scan_entries
     }
 
     pub fn config(&self) -> &FtlConfig {
@@ -545,9 +573,13 @@ impl FtlBase {
     /// Programs `data` for `lba` at a fresh physical page, updates both maps,
     /// and returns the superseded physical page, if any. The caller decides
     /// what happens to the old page (immediate invalidation vs. protection).
-    pub fn program_mapped(&mut self, lba: Lba, data: Bytes) -> Result<Option<Ppa>> {
+    ///
+    /// `stamp` is the host write time, programmed into the page's OOB spare
+    /// area together with the data so a post-crash mount can rebuild the
+    /// mapping table — and the recovery queue — from flash alone.
+    pub fn program_mapped(&mut self, lba: Lba, data: Bytes, stamp: SimTime) -> Result<Option<Ppa>> {
         let new = self.allocate()?;
-        self.device.program(new, data)?;
+        self.device.program_tagged(new, data, OobTag::live(lba, stamp))?;
         self.rmap[new.index() as usize] = Some(lba);
         let old = self.mapping.set(lba, Some(new));
         Ok(old)
@@ -591,16 +623,23 @@ impl FtlBase {
     /// (when `queue` is given) recovery-queue appends are applied in a
     /// single vectorized pass. Host write stats are counted here.
     ///
+    /// `stamp` is the host write time, programmed into every page's OOB
+    /// spare area (and stamped on any backup entries) so a post-crash mount
+    /// can rebuild the DRAM state from flash alone.
+    ///
     /// Payload sizes are validated up front, so an oversized buffer fails
     /// the whole extent before anything is programmed. A mid-batch NAND
     /// fault leaves the leading pages fully applied — mapped, pre-images
     /// invalidated, backup entries pushed, exactly the state the scalar
     /// loop leaves when its k-th write fails — before the error returns.
+    /// The programmed prefix is the *acknowledged* part of the extent: its
+    /// length is visible to the host as the `host_writes` delta.
     pub fn program_extent_mapped(
         &mut self,
         lba: Lba,
         data: &[Bytes],
-        queue: Option<(&mut RecoveryQueue, SimTime)>,
+        stamp: SimTime,
+        queue: Option<&mut RecoveryQueue>,
     ) -> Result<()> {
         let page_size = self.config.geometry().page_size();
         for page in data {
@@ -613,8 +652,18 @@ impl FtlBase {
             }
         }
         let ppas = self.allocate_extent(data.len())?;
-        let batch: Vec<(Ppa, Bytes)> = ppas.iter().copied().zip(data.iter().cloned()).collect();
-        let (done, result) = self.device.program_pages(batch);
+        let batch: Vec<(Ppa, Bytes, OobTag)> = ppas
+            .iter()
+            .enumerate()
+            .map(|(i, &ppa)| {
+                (
+                    ppa,
+                    data[i].clone(),
+                    OobTag::live(lba.offset(i as u64), stamp),
+                )
+            })
+            .collect();
+        let (done, result) = self.device.program_pages_tagged(batch);
         let mut olds = Vec::with_capacity(done);
         for (i, &new) in ppas[..done].iter().enumerate() {
             let l = lba.offset(i as u64);
@@ -625,7 +674,7 @@ impl FtlBase {
             }
             olds.push(old);
         }
-        if let Some((queue, stamp)) = queue {
+        if let Some(queue) = queue {
             queue.push_extent(lba, &olds, stamp);
             for old in olds.iter().flatten() {
                 self.note_protected(*old);
@@ -923,8 +972,14 @@ impl FtlBase {
                         let lba = self.rmap[ppa.index() as usize]
                             .expect("valid page must have a reverse mapping");
                         let data = self.device.read(ppa)?;
+                        // Carry the host write stamp across the relocation;
+                        // the fresh sequence number marks the copy as newer
+                        // than its source, which is how a post-crash mount
+                        // resolves a crash between this program and the
+                        // source invalidation (newest sequence wins).
+                        let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
                         let new = self.allocate()?;
-                        self.device.program(new, data)?;
+                        self.device.program_tagged(new, data, OobTag::live(lba, stamp))?;
                         self.rmap[new.index() as usize] = Some(lba);
                         self.mapping.set(lba, Some(new));
                         self.invalidate(ppa)?;
@@ -940,8 +995,14 @@ impl FtlBase {
                             let lba = self.rmap[ppa.index() as usize]
                                 .expect("protected page must have a reverse mapping");
                             let data = self.device.read(ppa)?;
+                            // A backup tag: the copy holds a superseded
+                            // version, so a post-crash mount must never pick
+                            // it as the current mapping — but the preserved
+                            // stamp keeps it eligible for recovery-queue
+                            // reconstruction.
+                            let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
                             let new = self.allocate()?;
-                            self.device.program(new, data)?;
+                            self.device.program_tagged(new, data, OobTag::backup(lba, stamp))?;
                             // The copy holds an *old* version, not live data.
                             self.invalidate(new)?;
                             self.rmap[new.index() as usize] = Some(lba);
@@ -1035,6 +1096,178 @@ impl FtlBase {
         }
         Ok(())
     }
+
+    /// Re-registers a protection that a post-crash mount reconstructed from
+    /// the OOB scan: restores the reverse mapping of the protected old
+    /// version (lost with DRAM) and bumps the per-block protected mirror.
+    pub fn note_mount_protected(&mut self, ppa: Ppa, lba: Lba) {
+        self.rmap[ppa.index() as usize] = Some(lba);
+        self.note_protected(ppa);
+    }
+
+    /// Power-cycles the device and rebuilds every DRAM structure from the
+    /// per-page OOB records — the SSD-Insider power-on mount path.
+    ///
+    /// The NAND keeps page *contents*, OOB records and erase counters across
+    /// a power cut; everything else — the mapping table, the reverse map,
+    /// per-block valid/invalid/protected counts, the free pools, the victim
+    /// index and the wear trackers — is DRAM and is reconstructed here:
+    ///
+    /// 1. Every programmed page's spare area is scanned (charged as reads).
+    /// 2. Per logical page, the **newest live copy wins**: the live-tagged
+    ///    record with the highest device sequence number is revalidated and
+    ///    mapped; every superseded or backup copy stays invalid. A crash
+    ///    between a GC copy and its source invalidation leaves two live
+    ///    copies of one version — the copy's fresher sequence number breaks
+    ///    the tie deterministically.
+    /// 3. Blocks are reclassified: unprogrammed → free pool (index order),
+    ///    at-or-over the endurance limit → retired bad (conservative: a
+    ///    worn block may still have had one program cycle left, but mount
+    ///    cannot tell and a lost block is cheaper than a lost erase), the
+    ///    most recently opened partial block per chip → active, everything
+    ///    else → closed in-service. Block ages (epochs) are re-ranked by
+    ///    each block's minimum sequence number, preserving the relative
+    ///    order the FIFO/cost-benefit GC policies depend on.
+    ///
+    /// Returns the scan grouped per logical page, each chain sorted oldest
+    /// version first by `(stamp, seq)`, so the caller can rebuild
+    /// version-history state (the recovery queue) without re-reading flash.
+    /// Cumulative statistics survive (they model NVRAM-backed counters, as
+    /// firmware keeps wear data); the protected mirror restarts at zero and
+    /// is re-filled by the caller via [`note_mount_protected`].
+    ///
+    /// [`note_mount_protected`]: Self::note_mount_protected
+    pub fn remount(&mut self) -> Result<Vec<(Lba, Vec<ScanPage>)>> {
+        self.device.power_cut();
+        let g = *self.config.geometry();
+        let total_blocks = g.total_blocks();
+        let ppb = g.pages_per_block();
+        let chips = g.total_chips() as usize;
+        let endurance = self.config.nand().endurance_limit();
+
+        // Drop every DRAM structure.
+        self.mapping = MappingTable::new(self.config.logical_pages());
+        self.rmap = vec![None; g.total_pages() as usize];
+        self.free = vec![VecDeque::new(); chips];
+        self.free_flags = vec![false; total_blocks as usize];
+        self.free_count = 0;
+        self.bad_flags = vec![false; total_blocks as usize];
+        self.active_flags = vec![false; total_blocks as usize];
+        self.invalid_per_block = vec![0; total_blocks as usize];
+        self.protected_per_block = vec![0; total_blocks as usize];
+        self.protected_total = 0;
+        self.block_epoch = vec![0; total_blocks as usize];
+        self.active = vec![None; chips];
+        self.next_chip = 0;
+        self.victims = VictimIndex::new(
+            total_blocks as usize,
+            ppb as usize,
+            self.config.gc_policy_ref(),
+        );
+        self.wear = WearTracker {
+            all: BTreeMap::new(),
+            closed: BTreeMap::new(),
+        };
+
+        // Full spare-area scan: every page up to each block's write pointer.
+        let mut chains: BTreeMap<Lba, Vec<ScanPage>> = BTreeMap::new();
+        let mut programmed = vec![0u32; total_blocks as usize];
+        let mut min_seq: Vec<Option<u64>> = vec![None; total_blocks as usize];
+        let mut scanned = 0u64;
+        for raw in 0..total_blocks {
+            let pba = Pba::new(raw);
+            let count = self.device.block(pba)?.write_ptr().unwrap_or(ppb);
+            programmed[raw as usize] = count;
+            for off in 0..count {
+                let ppa = pba.page(&g, off);
+                let Some(rec) = self.device.read_oob(ppa)? else {
+                    continue; // untagged page: invisible to recovery
+                };
+                scanned += 1;
+                let slot = &mut min_seq[raw as usize];
+                *slot = Some(slot.map_or(rec.seq, |m| m.min(rec.seq)));
+                chains.entry(rec.lba).or_default().push(ScanPage {
+                    ppa,
+                    seq: rec.seq,
+                    stamp: rec.stamp,
+                    live: rec.live,
+                });
+            }
+        }
+        self.mount_scan_entries = scanned;
+
+        // Conflict resolution: the newest live copy of each logical page is
+        // the mount-time mapping; everything else stays invalid.
+        for (lba, chain) in chains.iter_mut() {
+            chain.sort_by_key(|p| (p.stamp, p.seq));
+            if lba.index() >= self.mapping.len() {
+                continue; // stale record beyond the exported logical range
+            }
+            if let Some(winner) = chain.iter().filter(|p| p.live).max_by_key(|p| p.seq) {
+                self.device.revalidate(winner.ppa)?;
+                self.rmap[winner.ppa.index() as usize] = Some(*lba);
+                self.mapping.set(*lba, Some(winner.ppa));
+            }
+        }
+
+        // Reclassify every block from its physical state.
+        let mut in_service: Vec<(u64, u32)> = Vec::new();
+        for raw in 0..total_blocks {
+            let i = raw as usize;
+            let block = self.device.block(Pba::new(raw))?;
+            let wear = block.erase_count();
+            let valid = block.valid_pages();
+            self.invalid_per_block[i] = programmed[i] - valid;
+            if wear >= endurance {
+                self.bad_flags[i] = true;
+                continue;
+            }
+            *self.wear.all.entry(wear).or_insert(0) += 1;
+            if programmed[i] == 0 {
+                self.free_flags[i] = true;
+                self.free_count += 1;
+                self.free[(raw / g.blocks_per_chip()) as usize].push_back(Pba::new(raw));
+            } else {
+                in_service.push((min_seq[i].unwrap_or(0), raw));
+            }
+        }
+
+        // The most recently opened partial block of each chip resumes as its
+        // active block; any other partial block is closed, its unprogrammed
+        // tail stranded until GC erases it (same as an aborted extent).
+        let mut pick: Vec<Option<(u64, u32)>> = vec![None; chips];
+        for &(seq, raw) in &in_service {
+            if programmed[raw as usize] < ppb {
+                let chip = (raw / g.blocks_per_chip()) as usize;
+                if pick[chip].is_none_or(|(s, _)| seq > s) {
+                    pick[chip] = Some((seq, raw));
+                }
+            }
+        }
+        for (chip, choice) in pick.iter().enumerate() {
+            if let Some((_, raw)) = *choice {
+                self.active[chip] = Some(Pba::new(raw));
+                self.active_flags[raw as usize] = true;
+            }
+        }
+
+        // Re-rank block ages by first-program order and rebuild the victim
+        // index and the closed-block wear set.
+        in_service.sort_unstable();
+        for (rank, &(_, raw)) in in_service.iter().enumerate() {
+            self.block_epoch[raw as usize] = rank as u64 + 1;
+        }
+        self.next_epoch = in_service.len() as u64 + 1;
+        for &(_, raw) in &in_service {
+            if !self.active_flags[raw as usize] {
+                let wear = self.device.block(Pba::new(raw))?.erase_count();
+                self.wear.close(raw, wear);
+            }
+            self.refresh_victim(raw);
+        }
+        self.stats.mounts += 1;
+        Ok(chains.into_iter().collect())
+    }
 }
 
 #[cfg(test)]
@@ -1072,11 +1305,11 @@ mod tests {
     fn program_mapped_tracks_both_maps() {
         let mut b = base();
         let lba = Lba::new(3);
-        let old = b.program_mapped(lba, Bytes::from_static(b"v1")).unwrap();
+        let old = b.program_mapped(lba, Bytes::from_static(b"v1"), SimTime::ZERO).unwrap();
         assert_eq!(old, None);
         let ppa = b.mapping.get(lba).unwrap();
         assert_eq!(b.rmap_of(ppa), Some(lba));
-        let old = b.program_mapped(lba, Bytes::from_static(b"v2")).unwrap();
+        let old = b.program_mapped(lba, Bytes::from_static(b"v2"), SimTime::ZERO).unwrap();
         assert_eq!(old, Some(ppa));
     }
 
@@ -1087,7 +1320,7 @@ mod tests {
         let lba = Lba::new(0);
         for i in 0..(15 * 16 + 8) {
             if let Some(old) = b
-                .program_mapped(lba, Bytes::copy_from_slice(format!("{i}").as_bytes()))
+                .program_mapped(lba, Bytes::copy_from_slice(format!("{i}").as_bytes()), SimTime::ZERO)
                 .unwrap()
             {
                 b.invalidate(old).unwrap();
@@ -1113,7 +1346,7 @@ mod tests {
             } else {
                 (Lba::new(0), Bytes::from_static(b"hot"))
             };
-            if let Some(old) = b.program_mapped(lba, data).unwrap() {
+            if let Some(old) = b.program_mapped(lba, data, SimTime::ZERO).unwrap() {
                 b.invalidate(old).unwrap();
             }
         }
@@ -1140,7 +1373,7 @@ mod tests {
         }
         let mut batched = base();
         let payloads = vec![Bytes::from_static(b"s"); 20];
-        batched.program_extent_mapped(Lba::new(0), &payloads, None).unwrap();
+        batched.program_extent_mapped(Lba::new(0), &payloads, SimTime::ZERO, None).unwrap();
         let got: Vec<Ppa> = (0..20).map(|i| batched.mapping.get(Lba::new(i)).unwrap()).collect();
         assert_eq!(got, expected);
     }
@@ -1150,7 +1383,7 @@ mod tests {
         let mut b = base();
         let payloads: Vec<Bytes> =
             (0..5).map(|i| Bytes::copy_from_slice(format!("p{i}").as_bytes())).collect();
-        b.program_extent_mapped(Lba::new(10), &payloads, None).unwrap();
+        b.program_extent_mapped(Lba::new(10), &payloads, SimTime::ZERO, None).unwrap();
         assert_eq!(b.stats.host_writes, 5);
         let out = b.read_extent_mapped(Lba::new(9), 7).unwrap();
         assert_eq!(out[0], None, "lba 9 never written");
@@ -1164,11 +1397,11 @@ mod tests {
     fn extent_overwrite_returns_pre_images_to_queue() {
         let mut b = base();
         let v1 = vec![Bytes::from_static(b"v1"); 3];
-        b.program_extent_mapped(Lba::new(0), &v1, None).unwrap();
+        b.program_extent_mapped(Lba::new(0), &v1, SimTime::ZERO, None).unwrap();
         let olds: Vec<Ppa> = (0..3).map(|i| b.mapping.get(Lba::new(i)).unwrap()).collect();
         let mut q = RecoveryQueue::new();
         let v2 = vec![Bytes::from_static(b"v2"); 3];
-        b.program_extent_mapped(Lba::new(0), &v2, Some((&mut q, SimTime::from_secs(1))))
+        b.program_extent_mapped(Lba::new(0), &v2, SimTime::from_secs(1), Some(&mut q))
             .unwrap();
         assert_eq!(q.len(), 3);
         for old in olds {
@@ -1181,7 +1414,7 @@ mod tests {
         let mut b = base();
         let page = b.config().geometry().page_size() as usize;
         let payloads = vec![Bytes::from_static(b"ok"), Bytes::from(vec![0u8; page + 1])];
-        assert!(b.program_extent_mapped(Lba::new(0), &payloads, None).is_err());
+        assert!(b.program_extent_mapped(Lba::new(0), &payloads, SimTime::ZERO, None).is_err());
         assert_eq!(b.device.stats().programs, 0, "whole extent validated up front");
         assert_eq!(b.mapping.get(Lba::new(0)), None);
     }
@@ -1189,7 +1422,7 @@ mod tests {
     #[test]
     fn unmap_extent_invalidates_and_reports() {
         let mut b = base();
-        b.program_extent_mapped(Lba::new(0), &vec![Bytes::from_static(b"x"); 2], None)
+        b.program_extent_mapped(Lba::new(0), &vec![Bytes::from_static(b"x"); 2], SimTime::ZERO, None)
             .unwrap();
         let olds = b.unmap_extent(Lba::new(0), 4).unwrap();
         assert_eq!(olds.len(), 4);
@@ -1235,7 +1468,7 @@ mod tests {
             } else {
                 (Lba::new(0), Bytes::from_static(b"hot"))
             };
-            if let Some(old) = b.program_mapped(lba, data).unwrap() {
+            if let Some(old) = b.program_mapped(lba, data, SimTime::ZERO).unwrap() {
                 b.invalidate(old).unwrap();
             }
         }
@@ -1244,7 +1477,7 @@ mod tests {
     #[test]
     fn gc_timer_accumulates_only_when_collecting() {
         let mut b = base();
-        b.program_mapped(Lba::new(0), Bytes::from_static(b"x")).unwrap();
+        b.program_mapped(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO).unwrap();
         b.gc_if_needed(None).unwrap();
         assert_eq!(b.stats.gc_ns, 0, "no collection, no timing noise");
         churn(&mut b, 16 * 16 * 2);

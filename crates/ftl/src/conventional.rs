@@ -68,13 +68,19 @@ impl ConventionalFtl {
     pub fn nand_busy_detail(&self) -> (Vec<u64>, Vec<u64>) {
         self.base.nand_busy_detail()
     }
+
+    /// OOB records decoded by the most recent mount scan (zero before any
+    /// power cycle).
+    pub fn mount_scan_entries(&self) -> u64 {
+        self.base.mount_scan_entries()
+    }
 }
 
 impl Ftl for ConventionalFtl {
-    fn write(&mut self, lba: Lba, data: Bytes, _now: SimTime) -> Result<()> {
+    fn write(&mut self, lba: Lba, data: Bytes, now: SimTime) -> Result<()> {
         self.base.check_lba(lba)?;
         self.base.gc_if_needed(None)?;
-        let old = self.base.program_mapped(lba, data)?;
+        let old = self.base.program_mapped(lba, data, now)?;
         if let Some(old) = old {
             self.base.invalidate(old)?;
         }
@@ -105,13 +111,18 @@ impl Ftl for ConventionalFtl {
         Ok(out)
     }
 
-    fn write_extent(&mut self, lba: Lba, data: &[Bytes], _now: SimTime) -> Result<()> {
+    fn write_extent(&mut self, lba: Lba, data: &[Bytes], now: SimTime) -> Result<()> {
         if data.is_empty() {
             return Ok(());
         }
         self.base.check_extent(lba, data.len() as u32)?;
         self.base.gc_for_extent(data.len() as u64, None)?;
-        self.base.program_extent_mapped(lba, data, None)
+        self.base.program_extent_mapped(lba, data, now, None)
+    }
+
+    fn power_cut(&mut self, _now: SimTime) -> Result<()> {
+        self.base.remount()?;
+        Ok(())
     }
 
     fn trim_extent(&mut self, lba: Lba, len: u32, _now: SimTime) -> Result<()> {

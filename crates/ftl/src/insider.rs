@@ -1,12 +1,12 @@
 //! The SSD-Insider FTL: delayed deletion and instant rollback.
 
-use crate::base::FtlBase;
+use crate::base::{FtlBase, ScanPage};
 use crate::config::FtlConfig;
 use crate::recovery_queue::RecoveryQueue;
 use crate::traits::Ftl;
 use crate::{FtlError, FtlStats, GcVictim, Result};
 use bytes::Bytes;
-use insider_nand::{Lba, NandStats, SimTime};
+use insider_nand::{Lba, NandStats, Ppa, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of a [`InsiderFtl::rollback`] call.
@@ -189,6 +189,86 @@ impl InsiderFtl {
         self.frozen_at = None;
         Ok(report)
     }
+
+    /// OOB records decoded by the most recent mount scan (zero before any
+    /// power cycle).
+    pub fn mount_scan_entries(&self) -> u64 {
+        self.base.mount_scan_entries()
+    }
+
+    /// Simulates a power loss followed by a power-on mount (paper §III-E:
+    /// the fsck analogy). All DRAM state is rebuilt from the OOB scan —
+    /// including the **recovery queue**, so rollback keeps working across a
+    /// crash:
+    ///
+    /// Each logical page's scan chain, sorted oldest first by
+    /// `(stamp, seq)`, is collapsed to one surviving copy per written
+    /// version (a GC source and its relocated copy share a stamp; the
+    /// fresher copy represents the version). Version `i` then corresponds
+    /// to the host write that created it, and the queue entry for that
+    /// write is `(lba, predecessor of version i, stamp of version i)` —
+    /// `None` when version `i` is the page's first write. Entries older
+    /// than the protection window (anchored at the preserved freeze time,
+    /// or `now`) were already retired before the cut and are not rebuilt;
+    /// for every rebuilt entry the protected predecessor is guaranteed to
+    /// still be on flash, because the pre-crash queue protected it from GC.
+    ///
+    /// Two approximations are inherent to OOB-only reconstruction and are
+    /// part of the crash-consistency contract: same-stamp overwrites of one
+    /// page collapse to the newest version, and trims (which leave no flash
+    /// record) are volatile — a trimmed page whose last content is still on
+    /// flash comes back mapped.
+    ///
+    /// The read-only latch and the retirement freeze are preserved (modeled
+    /// as NVRAM-backed flags, like the alarm state), so a crash between an
+    /// alarm and the user's confirmation still rolls back from the alarm
+    /// anchor.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internal inconsistencies surfaced by the OOB scan.
+    pub fn power_cut(&mut self, now: SimTime) -> Result<()> {
+        let chains = self.base.remount()?;
+        self.queue.clear();
+        let anchor = self.frozen_at.map_or(now, |f| f.min(now));
+        let cutoff = anchor.saturating_sub(self.base.config().window());
+        let mut rebuilt: Vec<(SimTime, u64, Lba, Option<Ppa>)> = Vec::new();
+        for (lba, chain) in chains {
+            if lba.index() >= self.base.logical_pages() {
+                continue;
+            }
+            // One representative (the freshest copy) per written version.
+            let mut versions: Vec<ScanPage> = Vec::new();
+            for page in chain {
+                match versions.last_mut() {
+                    Some(last) if last.stamp == page.stamp => *last = page,
+                    _ => versions.push(page),
+                }
+            }
+            for (i, v) in versions.iter().enumerate() {
+                if v.stamp >= cutoff {
+                    let old = (i > 0).then(|| versions[i - 1].ppa);
+                    rebuilt.push((v.stamp, v.seq, lba, old));
+                }
+            }
+        }
+        // Retirement pops the queue front in stamp order, so the rebuilt
+        // entries must be pushed globally time-sorted; the device sequence
+        // number breaks stamp ties deterministically.
+        rebuilt.sort_unstable();
+        for (stamp, _seq, lba, old) in rebuilt {
+            self.queue.push(lba, old, stamp);
+            if let Some(old) = old {
+                self.base.note_mount_protected(old, lba);
+            }
+        }
+        debug_assert_eq!(
+            self.base.protected_pages(),
+            self.queue.protected_count() as u64,
+            "rebuilt protected mirror diverged from the rebuilt queue"
+        );
+        Ok(())
+    }
 }
 
 impl Ftl for InsiderFtl {
@@ -199,7 +279,7 @@ impl Ftl for InsiderFtl {
         self.base.check_lba(lba)?;
         self.tick(now);
         self.base.gc_if_needed(Some(&mut self.queue))?;
-        let old = self.base.program_mapped(lba, data)?;
+        let old = self.base.program_mapped(lba, data, now)?;
         if let Some(old) = old {
             self.base.invalidate(old)?;
         }
@@ -256,7 +336,11 @@ impl Ftl for InsiderFtl {
         // queue append page by page, so a mid-batch NAND failure leaves the
         // programmed prefix fully recoverable.
         self.base
-            .program_extent_mapped(lba, data, Some((&mut self.queue, now)))
+            .program_extent_mapped(lba, data, now, Some(&mut self.queue))
+    }
+
+    fn power_cut(&mut self, now: SimTime) -> Result<()> {
+        InsiderFtl::power_cut(self, now)
     }
 
     fn trim_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<()> {

@@ -38,6 +38,9 @@ pub struct FtlStats {
     /// latency a host write can absorb. Bounded by the configured
     /// `gc_migration_budget` (plus at most one block of overshoot).
     pub gc_migrations_max: u64,
+    /// Power-on mounts performed (full OOB-scan rebuilds after a power
+    /// cut). Zero for a drive that never lost power.
+    pub mounts: u64,
 }
 
 impl FtlStats {
@@ -82,7 +85,7 @@ impl std::fmt::Display for FtlStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={} ns={} max_migr={}] WA={:.3}",
+            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={} ns={} max_migr={}] mounts={} WA={:.3}",
             self.host_reads,
             self.host_writes,
             self.host_trims,
@@ -93,6 +96,7 @@ impl std::fmt::Display for FtlStats {
             self.bad_blocks,
             self.gc_ns,
             self.gc_migrations_max,
+            self.mounts,
             self.write_amplification()
         )
     }
@@ -115,7 +119,7 @@ mod tests {
     fn display_mentions_all_counters() {
         let s = FtlStats::new();
         let msg = s.to_string();
-        for key in ["reads=", "writes=", "gc[", "ns=", "max_migr=", "WA="] {
+        for key in ["reads=", "writes=", "gc[", "ns=", "max_migr=", "mounts=", "WA="] {
             assert!(msg.contains(key), "missing {key} in {msg}");
         }
     }

@@ -82,6 +82,21 @@ pub trait Ftl {
         Ok(())
     }
 
+    /// Simulates a sudden power loss followed by a power-on mount.
+    ///
+    /// Every DRAM structure — the mapping table, per-block bookkeeping, the
+    /// GC victim index and (for the SSD-Insider FTL) the recovery queue —
+    /// is dropped and rebuilt from the per-page OOB records on flash. `now`
+    /// is the power-up time, which anchors the rebuilt protection window.
+    ///
+    /// Acknowledged writes (those whose program completed before the cut)
+    /// survive; an operation interrupted by the cut is cleanly absent.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internal inconsistencies surfaced by the OOB scan.
+    fn power_cut(&mut self, now: SimTime) -> Result<()>;
+
     /// FTL-level statistics (host ops, GC cost).
     fn stats(&self) -> &FtlStats;
 

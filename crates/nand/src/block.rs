@@ -128,7 +128,7 @@ mod tests {
     fn programmed_block(n: u32, programmed: u32) -> Block {
         let mut b = Block::new(n);
         for i in 0..programmed {
-            b.page_mut(i).program(Bytes::from_static(b"d"));
+            b.page_mut(i).program(Bytes::from_static(b"d"), None);
             b.advance_write_ptr();
         }
         b

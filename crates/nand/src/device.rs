@@ -1,7 +1,8 @@
 //! The simulated NAND device.
 
 use crate::block::Block;
-use crate::fault::{FaultKind, FaultPlan};
+use crate::fault::{FaultCheck, FaultKind, FaultPlan};
+use crate::oob::{OobRecord, OobTag};
 use crate::page::PageState;
 use crate::stats::NandStats;
 use crate::{Geometry, NandError, Pba, Ppa, Result};
@@ -70,6 +71,11 @@ impl NandConfig {
         self
     }
 
+    /// The per-block program/erase endurance limit.
+    pub fn endurance_limit(&self) -> u32 {
+        self.endurance
+    }
+
     /// The device geometry.
     pub fn geometry(&self) -> &Geometry {
         &self.geometry
@@ -112,6 +118,13 @@ pub struct NandDevice {
     /// read-throughput bound on real cards.
     bus_busy: Vec<u64>,
     faults: FaultPlan,
+    /// Next global program sequence number for tagged programs (1-based).
+    ///
+    /// Survives [`power_cut`](Self::power_cut): a real controller recovers
+    /// the same value by scanning for the maximum stored sequence number
+    /// during mount, so keeping the counter is equivalent to (and cheaper
+    /// than) a max-scan-plus-one rebuild.
+    next_seq: u64,
 }
 
 impl NandDevice {
@@ -129,6 +142,7 @@ impl NandDevice {
             chip_busy: vec![0; chips],
             bus_busy: vec![0; channels],
             faults: FaultPlan::new(),
+            next_seq: 1,
         }
     }
 
@@ -194,6 +208,55 @@ impl NandDevice {
         }
     }
 
+    /// Consults the fault plan for one operation attempt of `kind`,
+    /// translating the outcome into stats and an error.
+    fn consult_faults(&mut self, kind: FaultKind) -> Result<()> {
+        match self.faults.check(kind) {
+            FaultCheck::Proceed => Ok(()),
+            FaultCheck::Injected => {
+                self.stats.record_failure();
+                self.stats.record_injected_fault();
+                Err(NandError::InjectedFault(FaultPlan::label(kind)))
+            }
+            FaultCheck::PowerCut => {
+                self.stats.record_failure();
+                self.stats.record_injected_fault();
+                Err(NandError::PowerLoss)
+            }
+            FaultCheck::PoweredOff => {
+                self.stats.record_failure();
+                Err(NandError::PowerLoss)
+            }
+        }
+    }
+
+    /// Whether a scheduled power cut has fired and the device is latched
+    /// off (every operation fails until [`power_cut`](Self::power_cut)
+    /// power-cycles it).
+    pub fn is_powered_off(&self) -> bool {
+        self.faults.is_powered_off()
+    }
+
+    /// Power-cycles the device after a (possibly scheduled) power loss.
+    ///
+    /// DRAM-like state is what a real controller loses: here that is the
+    /// FTL's view of page validity, which the device mirrors in its page
+    /// states. Every `Valid` page therefore degrades to `Invalid` — data,
+    /// OOB records, write pointers, erase counts and stats all persist, and
+    /// it is the FTL's mount scan that re-validates the winning copy of
+    /// each logical page. Also clears the fault plan's powered-off latch so
+    /// the mount scan can read again.
+    pub fn power_cut(&mut self) {
+        for block in &mut self.blocks {
+            for offset in 0..block.len() {
+                if block.page(offset).state() == PageState::Valid {
+                    block.page_mut(offset).invalidate();
+                }
+            }
+        }
+        self.faults.power_restored();
+    }
+
     /// Reads the payload of a programmed page.
     ///
     /// # Errors
@@ -201,15 +264,13 @@ impl NandDevice {
     /// * [`NandError::PpaOutOfRange`] — address beyond geometry.
     /// * [`NandError::ReadUnwritten`] — page not programmed since last erase.
     /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    /// * [`NandError::PowerLoss`] — power is cut or already off.
     pub fn read(&mut self, ppa: Ppa) -> Result<Bytes> {
         if let Err(e) = self.check_ppa(ppa) {
             self.stats.record_failure();
             return Err(e);
         }
-        if self.faults.should_fail(FaultKind::Read) {
-            self.stats.record_failure();
-            return Err(NandError::InjectedFault("read"));
-        }
+        self.consult_faults(FaultKind::Read)?;
         let g = self.config.geometry;
         let block = &self.blocks[ppa.block(&g).index() as usize];
         let page = block.page(ppa.page_offset(&g));
@@ -239,7 +300,27 @@ impl NandDevice {
     /// * [`NandError::ProgramNonFree`] — in-place update attempted.
     /// * [`NandError::ProgramOutOfOrder`] — violates in-order programming.
     /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    /// * [`NandError::PowerLoss`] — power is cut or already off.
     pub fn program(&mut self, ppa: Ppa, data: Bytes) -> Result<()> {
+        self.program_inner(ppa, data, None)
+    }
+
+    /// Programs a free page with `data` plus an out-of-band record.
+    ///
+    /// The OOB record is stored atomically with the data (spare-area
+    /// semantics): if the program fails, neither lands. The device completes
+    /// the FTL-supplied [`OobTag`] with the next global program sequence
+    /// number, which totally orders all tagged programs and survives power
+    /// loss — the basis for mount-time "newest wins" conflict resolution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`program`](Self::program).
+    pub fn program_tagged(&mut self, ppa: Ppa, data: Bytes, tag: OobTag) -> Result<()> {
+        self.program_inner(ppa, data, Some(tag))
+    }
+
+    fn program_inner(&mut self, ppa: Ppa, data: Bytes, tag: Option<OobTag>) -> Result<()> {
         if let Err(e) = self.check_ppa(ppa) {
             self.stats.record_failure();
             return Err(e);
@@ -251,33 +332,38 @@ impl NandDevice {
                 page_size: self.config.geometry.page_size(),
             });
         }
-        if self.faults.should_fail(FaultKind::Program) {
-            self.stats.record_failure();
-            return Err(NandError::InjectedFault("program"));
-        }
+        self.consult_faults(FaultKind::Program)?;
         let g = self.config.geometry;
         let offset = ppa.page_offset(&g);
-        let block = &mut self.blocks[ppa.block(&g).index() as usize];
-        if !block.page(offset).is_free() {
-            self.stats.record_failure();
-            return Err(NandError::ProgramNonFree(ppa));
-        }
-        match block.write_ptr() {
-            Some(expected) if expected == offset => {
-                block.page_mut(offset).program(data);
-                block.advance_write_ptr();
-                self.stats.record_program(self.config.program_latency_ns);
-                self.charge_chip(ppa.block(&g), self.config.program_latency_ns, self.config.bus_transfer_ns);
-                Ok(())
-            }
-            expected => {
+        let raw = ppa.block(&g).index() as usize;
+        {
+            let block = &self.blocks[raw];
+            if !block.page(offset).is_free() {
                 self.stats.record_failure();
-                Err(NandError::ProgramOutOfOrder {
-                    requested: ppa,
-                    expected_offset: expected,
-                })
+                return Err(NandError::ProgramNonFree(ppa));
+            }
+            match block.write_ptr() {
+                Some(expected) if expected == offset => {}
+                expected => {
+                    self.stats.record_failure();
+                    return Err(NandError::ProgramOutOfOrder {
+                        requested: ppa,
+                        expected_offset: expected,
+                    });
+                }
             }
         }
+        let oob = tag.map(|t| {
+            let record = OobRecord::from_tag(t, self.next_seq);
+            self.next_seq += 1;
+            record
+        });
+        let block = &mut self.blocks[raw];
+        block.page_mut(offset).program(data, oob);
+        block.advance_write_ptr();
+        self.stats.record_program(self.config.program_latency_ns);
+        self.charge_chip(ppa.block(&g), self.config.program_latency_ns, self.config.bus_transfer_ns);
+        Ok(())
     }
 
     /// Multi-page read submit: fetches every page of one extent in a single
@@ -321,6 +407,65 @@ impl NandDevice {
             }
         }
         (total, Ok(()))
+    }
+
+    /// Multi-page tagged program submit: [`program_pages`](Self::program_pages)
+    /// with a per-page [`OobTag`]. Each landed page gets its own monotone
+    /// sequence number, so a crash mid-batch leaves a prefix whose OOB
+    /// records exactly describe which pages were acknowledged.
+    pub fn program_pages_tagged(
+        &mut self,
+        pages: Vec<(Ppa, Bytes, OobTag)>,
+    ) -> (usize, Result<()>) {
+        let total = pages.len();
+        for (done, (ppa, data, tag)) in pages.into_iter().enumerate() {
+            if let Err(e) = self.program_tagged(ppa, data, tag) {
+                return (done, Err(e));
+            }
+        }
+        (total, Ok(()))
+    }
+
+    /// The out-of-band record of the page at `ppa`, if the page was
+    /// programmed with one. Metadata peek with no timing or fault checks,
+    /// for audits and tests; mount scans use [`read_oob`](Self::read_oob).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PpaOutOfRange`] for addresses beyond the geometry.
+    pub fn oob(&self, ppa: Ppa) -> Result<Option<OobRecord>> {
+        self.check_ppa(ppa)?;
+        let g = self.config.geometry;
+        Ok(self.blocks[ppa.block(&g).index() as usize]
+            .page(ppa.page_offset(&g))
+            .oob()
+            .copied())
+    }
+
+    /// Reads the out-of-band record of the page at `ppa` as a mount scan
+    /// does: charged as a full page read (array time plus bus transfer) and
+    /// subject to the fault plan. Unprogrammed pages yield `Ok(None)` — the
+    /// spare area of an erased page reads blank.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::PpaOutOfRange`] — address beyond geometry.
+    /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    /// * [`NandError::PowerLoss`] — power is cut or already off.
+    pub fn read_oob(&mut self, ppa: Ppa) -> Result<Option<OobRecord>> {
+        if let Err(e) = self.check_ppa(ppa) {
+            self.stats.record_failure();
+            return Err(e);
+        }
+        self.consult_faults(FaultKind::Read)?;
+        let g = self.config.geometry;
+        let record = self.blocks[ppa.block(&g).index() as usize]
+            .page(ppa.page_offset(&g))
+            .oob()
+            .copied();
+        self.stats.record_read(self.config.read_latency_ns);
+        self.charge_chip(ppa.block(&g), self.config.read_latency_ns, self.config.bus_transfer_ns);
+        Ok(record)
     }
 
     /// Marks a programmed page invalid (superseded). FTL-driven; free pages
@@ -368,15 +513,13 @@ impl NandDevice {
     /// * [`NandError::PbaOutOfRange`] — address beyond geometry.
     /// * [`NandError::BlockWornOut`] — endurance limit reached.
     /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    /// * [`NandError::PowerLoss`] — power is cut or already off.
     pub fn erase(&mut self, pba: Pba) -> Result<()> {
         if !pba.is_valid(&self.config.geometry) {
             self.stats.record_failure();
             return Err(NandError::PbaOutOfRange(pba));
         }
-        if self.faults.should_fail(FaultKind::Erase) {
-            self.stats.record_failure();
-            return Err(NandError::InjectedFault("erase"));
-        }
+        self.consult_faults(FaultKind::Erase)?;
         let block = &mut self.blocks[pba.index() as usize];
         if block.erase_count() >= self.config.endurance {
             self.stats.record_failure();
@@ -681,6 +824,87 @@ mod tests {
         d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
         let err = d.read_pages(&[Ppa::new(0), Ppa::new(5)]).unwrap_err();
         assert_eq!(err, NandError::ReadUnwritten(Ppa::new(5)));
+    }
+
+    #[test]
+    fn tagged_programs_stamp_monotone_sequence_numbers() {
+        use crate::{Lba, SimTime};
+        let mut d = dev();
+        d.program_tagged(
+            Ppa::new(0),
+            Bytes::from_static(b"a"),
+            crate::OobTag::live(Lba::new(7), SimTime::from_secs(1)),
+        )
+        .unwrap();
+        d.program_tagged(
+            Ppa::new(1),
+            Bytes::from_static(b"b"),
+            crate::OobTag::backup(Lba::new(7), SimTime::from_secs(2)),
+        )
+        .unwrap();
+        let first = d.oob(Ppa::new(0)).unwrap().unwrap();
+        let second = d.oob(Ppa::new(1)).unwrap().unwrap();
+        assert_eq!(first.lba, Lba::new(7));
+        assert!(first.live && !second.live);
+        assert!(second.seq > first.seq);
+        // Untagged programs carry no OOB and consume no sequence number.
+        d.program(Ppa::new(2), Bytes::from_static(b"c")).unwrap();
+        assert_eq!(d.oob(Ppa::new(2)).unwrap(), None);
+        d.program_tagged(
+            Ppa::new(3),
+            Bytes::from_static(b"d"),
+            crate::OobTag::live(Lba::new(8), SimTime::ZERO),
+        )
+        .unwrap();
+        assert_eq!(d.oob(Ppa::new(3)).unwrap().unwrap().seq, second.seq + 1);
+    }
+
+    #[test]
+    fn read_oob_is_charged_as_a_read() {
+        use crate::{Lba, SimTime};
+        let mut d = dev();
+        d.program_tagged(
+            Ppa::new(0),
+            Bytes::from_static(b"a"),
+            crate::OobTag::live(Lba::new(1), SimTime::ZERO),
+        )
+        .unwrap();
+        let before = d.stats().reads;
+        assert!(d.read_oob(Ppa::new(0)).unwrap().is_some());
+        assert_eq!(d.read_oob(Ppa::new(1)).unwrap(), None, "erased spare reads blank");
+        assert_eq!(d.stats().reads, before + 2);
+    }
+
+    #[test]
+    fn power_cut_latches_and_power_cycle_recovers() {
+        use crate::{Lba, SimTime};
+        let mut d = dev();
+        let mut plan = FaultPlan::new();
+        plan.power_cut_after(2);
+        d.set_fault_plan(plan);
+        let tag = crate::OobTag::live(Lba::new(0), SimTime::ZERO);
+        d.program_tagged(Ppa::new(0), Bytes::from_static(b"a"), tag).unwrap();
+        // Second mutation triggers the cut without being applied.
+        assert_eq!(
+            d.program_tagged(Ppa::new(1), Bytes::from_static(b"b"), tag),
+            Err(NandError::PowerLoss)
+        );
+        assert!(d.is_powered_off());
+        assert_eq!(d.page_state(Ppa::new(1)).unwrap(), PageState::Free);
+        // Everything fails while latched off, reads included.
+        assert_eq!(d.read(Ppa::new(0)), Err(NandError::PowerLoss));
+        assert_eq!(d.erase(Pba::new(1)), Err(NandError::PowerLoss));
+        assert_eq!(d.stats().injected_faults, 1, "only the cut itself fired");
+        assert!(d.stats().failures >= 3);
+        // Power-cycle: data and OOB persist, validity degrades to Invalid.
+        d.power_cut();
+        assert!(!d.is_powered_off());
+        assert_eq!(d.page_state(Ppa::new(0)).unwrap(), PageState::Invalid);
+        assert_eq!(d.read(Ppa::new(0)).unwrap().as_ref(), b"a");
+        let oob = d.oob(Ppa::new(0)).unwrap().unwrap();
+        // The sequence counter continues past the surviving maximum.
+        d.program_tagged(Ppa::new(1), Bytes::from_static(b"b"), tag).unwrap();
+        assert!(d.oob(Ppa::new(1)).unwrap().unwrap().seq > oob.seq);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub enum NandError {
     BlockWornOut(Pba),
     /// A fault injected by a [`FaultPlan`](crate::FaultPlan).
     InjectedFault(&'static str),
+    /// Power was cut (by a scheduled [`FaultPlan`](crate::FaultPlan) power
+    /// cut): the triggering operation was not applied and the device stays
+    /// offline until power-cycled and remounted.
+    PowerLoss,
 }
 
 impl fmt::Display for NandError {
@@ -64,6 +68,9 @@ impl fmt::Display for NandError {
             }
             NandError::BlockWornOut(pba) => write!(f, "block {pba} exceeded endurance limit"),
             NandError::InjectedFault(what) => write!(f, "injected fault: {what}"),
+            NandError::PowerLoss => {
+                write!(f, "power loss: device is offline until remounted")
+            }
         }
     }
 }
@@ -97,6 +104,7 @@ mod tests {
             .to_string(),
             NandError::BlockWornOut(Pba::new(2)).to_string(),
             NandError::InjectedFault("program").to_string(),
+            NandError::PowerLoss.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -2,7 +2,13 @@
 //!
 //! Failure-injection tests need repeatable faults rather than random ones, so
 //! the plan counts operations of each kind and fails exactly the scheduled
-//! occurrences.
+//! occurrences. Besides one-shot (`fail_nth`) and periodic (`fail_every_nth`)
+//! per-operation faults, a plan can schedule a *power cut*: after `n`
+//! program/erase attempts the device latches off and every subsequent
+//! operation fails with [`NandError::PowerLoss`] until the FTL remounts it —
+//! the mechanism behind the crash-point sweep harness.
+//!
+//! [`NandError::PowerLoss`]: crate::NandError::PowerLoss
 
 use std::collections::BTreeSet;
 
@@ -27,13 +33,35 @@ impl FaultKind {
     }
 }
 
+/// Outcome of consulting the plan for one operation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultCheck {
+    /// No fault: the operation proceeds.
+    Proceed,
+    /// A scheduled or periodic fault fires; the operation fails with
+    /// `InjectedFault` and is not applied.
+    Injected,
+    /// The power-cut schedule fires on this attempt: the operation fails
+    /// with `PowerLoss`, is not applied, and the device latches off.
+    PowerCut,
+    /// The device is latched off by an earlier power cut; the operation
+    /// fails with `PowerLoss`.
+    PoweredOff,
+}
+
 /// A deterministic schedule of operation failures.
 ///
 /// `fail_nth(FaultKind::Program, 3)` makes the third program operation after
 /// the plan is installed return [`NandError::InjectedFault`]. Counting is
 /// 1-based and per-kind. A triggered fault is consumed.
+/// `fail_every_nth(kind, n)` additionally fails every `n`-th attempt of
+/// `kind`, forever. `power_cut_after(n)` cuts power on the `n`-th
+/// program-or-erase attempt (one shared 1-based counter over both mutating
+/// kinds): that attempt and everything after it fails with
+/// [`NandError::PowerLoss`] until the device is power-cycled.
 ///
 /// [`NandError::InjectedFault`]: crate::NandError::InjectedFault
+/// [`NandError::PowerLoss`]: crate::NandError::PowerLoss
 ///
 /// # Example
 ///
@@ -48,7 +76,15 @@ impl FaultKind {
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     scheduled: BTreeSet<(FaultKind, u64)>,
+    /// Fail every n-th attempt, per kind (read / program / erase).
+    every: [Option<u64>; 3],
     counters: [u64; 3],
+    /// Cut power on the n-th program-or-erase attempt (shared counter).
+    power_cut_at: Option<u64>,
+    /// Program + erase attempts seen so far.
+    mutations: u64,
+    /// Latched after a power cut fires; cleared by `power_restored`.
+    powered_off: bool,
 }
 
 impl FaultPlan {
@@ -64,20 +100,84 @@ impl FaultPlan {
         self
     }
 
-    fn counter_mut(&mut self, kind: FaultKind) -> &mut u64 {
+    /// Fails every `n`-th (1-based) operation of `kind`, indefinitely.
+    ///
+    /// Periodic faults are not consumed and do not count toward
+    /// [`is_exhausted`](Self::is_exhausted).
+    pub fn fail_every_nth(&mut self, kind: FaultKind, n: u64) -> &mut Self {
+        assert!(n >= 1, "fault period is 1-based");
+        self.every[Self::slot(kind)] = Some(n);
+        self
+    }
+
+    /// Cuts power on the `n`-th (1-based) program-or-erase attempt.
+    ///
+    /// Programs and erases share one attempt counter, so `n` indexes the
+    /// device's mutation sequence — exactly the crash points a sweep wants
+    /// to enumerate. The triggering operation fails with
+    /// [`NandError::PowerLoss`](crate::NandError::PowerLoss) *without being
+    /// applied*, and the plan latches: every later read, program or erase
+    /// also fails with `PowerLoss` until the device is power-cycled (see
+    /// [`NandDevice::power_cut`](crate::NandDevice::power_cut)).
+    pub fn power_cut_after(&mut self, n: u64) -> &mut Self {
+        assert!(n >= 1, "power-cut mutation index is 1-based");
+        self.power_cut_at = Some(n);
+        self
+    }
+
+    fn slot(kind: FaultKind) -> usize {
         match kind {
-            FaultKind::Read => &mut self.counters[0],
-            FaultKind::Program => &mut self.counters[1],
-            FaultKind::Erase => &mut self.counters[2],
+            FaultKind::Read => 0,
+            FaultKind::Program => 1,
+            FaultKind::Erase => 2,
         }
+    }
+
+    /// Records one operation attempt of `kind` and classifies it.
+    pub(crate) fn check(&mut self, kind: FaultKind) -> FaultCheck {
+        if self.powered_off {
+            return FaultCheck::PoweredOff;
+        }
+        let slot = Self::slot(kind);
+        self.counters[slot] += 1;
+        if matches!(kind, FaultKind::Program | FaultKind::Erase) {
+            self.mutations += 1;
+            if self.power_cut_at == Some(self.mutations) {
+                self.power_cut_at = None;
+                self.powered_off = true;
+                return FaultCheck::PowerCut;
+            }
+        }
+        let count = self.counters[slot];
+        if self.scheduled.remove(&(kind, count)) {
+            return FaultCheck::Injected;
+        }
+        if let Some(n) = self.every[slot] {
+            if count.is_multiple_of(n) {
+                return FaultCheck::Injected;
+            }
+        }
+        FaultCheck::Proceed
     }
 
     /// Records one operation of `kind` and reports whether it must fail.
     pub fn should_fail(&mut self, kind: FaultKind) -> bool {
-        let c = self.counter_mut(kind);
-        *c += 1;
-        let key = (kind, *c);
-        self.scheduled.remove(&key)
+        self.check(kind) != FaultCheck::Proceed
+    }
+
+    /// Whether a power cut has fired and the device is latched off.
+    pub fn is_powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Whether a power cut is scheduled but has not fired yet.
+    pub fn power_cut_pending(&self) -> bool {
+        self.power_cut_at.is_some()
+    }
+
+    /// Clears the powered-off latch (the device was power-cycled).
+    pub(crate) fn power_restored(&mut self) {
+        self.powered_off = false;
     }
 
     /// Human-readable label for the fault, used in error messages.
@@ -85,9 +185,11 @@ impl FaultPlan {
         kind.label()
     }
 
-    /// Whether any faults remain scheduled.
+    /// Whether all one-shot faults (scheduled occurrences and a pending
+    /// power cut) have been consumed. Periodic `fail_every_nth` schedules
+    /// never exhaust and are not considered.
     pub fn is_exhausted(&self) -> bool {
-        self.scheduled.is_empty()
+        self.scheduled.is_empty() && self.power_cut_at.is_none()
     }
 }
 
@@ -126,5 +228,47 @@ mod tests {
         assert!(plan.should_fail(FaultKind::Program));
         assert!(!plan.should_fail(FaultKind::Program));
         assert!(plan.should_fail(FaultKind::Program));
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let mut plan = FaultPlan::new();
+        plan.fail_every_nth(FaultKind::Program, 3);
+        let fired: Vec<bool> = (0..9).map(|_| plan.should_fail(FaultKind::Program)).collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert!(plan.is_exhausted(), "periodic schedules never exhaust the plan");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_period_panics() {
+        FaultPlan::new().fail_every_nth(FaultKind::Program, 0);
+    }
+
+    #[test]
+    fn power_cut_counts_programs_and_erases_jointly() {
+        let mut plan = FaultPlan::new();
+        plan.power_cut_after(3);
+        assert!(!plan.is_exhausted());
+        assert_eq!(plan.check(FaultKind::Program), FaultCheck::Proceed);
+        assert_eq!(plan.check(FaultKind::Read), FaultCheck::Proceed);
+        assert_eq!(plan.check(FaultKind::Erase), FaultCheck::Proceed);
+        assert_eq!(plan.check(FaultKind::Program), FaultCheck::PowerCut);
+        assert!(plan.is_powered_off());
+        // Everything fails while latched off, including reads.
+        assert_eq!(plan.check(FaultKind::Read), FaultCheck::PoweredOff);
+        assert_eq!(plan.check(FaultKind::Erase), FaultCheck::PoweredOff);
+        plan.power_restored();
+        assert_eq!(plan.check(FaultKind::Program), FaultCheck::Proceed);
+        assert!(plan.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_power_cut_index_panics() {
+        FaultPlan::new().power_cut_after(0);
     }
 }

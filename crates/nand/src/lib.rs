@@ -52,6 +52,7 @@ mod device;
 mod error;
 mod fault;
 mod geometry;
+mod oob;
 mod page;
 mod stats;
 mod types;
@@ -62,6 +63,7 @@ pub use device::{NandConfig, NandDevice};
 pub use error::NandError;
 pub use fault::{FaultKind, FaultPlan};
 pub use geometry::{Geometry, GeometryBuilder};
+pub use oob::{OobRecord, OobTag};
 pub use page::{Page, PageState};
 pub use stats::NandStats;
 pub use types::{Lba, SimTime};

@@ -1,0 +1,106 @@
+//! Out-of-band (spare-area) page metadata.
+//!
+//! Real NAND pages carry a few bytes of spare area that the controller
+//! programs atomically with the data; firmware uses it to rebuild the
+//! logical-to-physical mapping after a power loss by scanning every page.
+//! The simulator models the subset SSD-Insider's remount path needs: the
+//! logical address the page was written for, a device-stamped monotone
+//! sequence number that totally orders all programs, the provenance of the
+//! copy (host/GC-live vs GC backup of a protected old version), and the
+//! host-time stamp that drives the recovery queue's protection window.
+
+use crate::{Lba, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The FTL-supplied half of a page's out-of-band record.
+///
+/// The device completes it into an [`OobRecord`] by stamping the global
+/// program sequence number at program time (see
+/// [`NandDevice::program_tagged`](crate::NandDevice::program_tagged)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OobTag {
+    /// The logical page this physical page was programmed for.
+    pub lba: Lba,
+    /// `true` when the payload was the *current* version of `lba` at program
+    /// time (host writes and GC migrations of valid pages); `false` for GC
+    /// backup copies of protected, already-superseded versions. Mount's
+    /// conflict resolution only lets live-tagged pages win a mapping slot.
+    pub live: bool,
+    /// Host time of the write that produced this *content* version. GC
+    /// relocation preserves the original stamp so the recovery queue can be
+    /// rebuilt with the same protection-window arithmetic after a crash.
+    pub stamp: SimTime,
+}
+
+impl OobTag {
+    /// Tag for a page holding the current version of `lba` (host write or
+    /// GC migration of a valid page).
+    pub fn live(lba: Lba, stamp: SimTime) -> Self {
+        OobTag {
+            lba,
+            live: true,
+            stamp,
+        }
+    }
+
+    /// Tag for a GC backup copy of a protected old version of `lba`.
+    pub fn backup(lba: Lba, stamp: SimTime) -> Self {
+        OobTag {
+            lba,
+            live: false,
+            stamp,
+        }
+    }
+}
+
+/// The full out-of-band record stored with a programmed page.
+///
+/// This is the [`OobTag`] plus the device-stamped program sequence number.
+/// `seq` is strictly monotone across the whole device and survives power
+/// loss, so "newest wins" conflict resolution during mount is a simple
+/// max-by-`seq` per logical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OobRecord {
+    /// The logical page this physical page was programmed for.
+    pub lba: Lba,
+    /// Global program sequence number (1-based, strictly monotone).
+    pub seq: u64,
+    /// Whether the payload was the current version of `lba` at program time.
+    pub live: bool,
+    /// Host time of the write that produced this content version.
+    pub stamp: SimTime,
+}
+
+impl OobRecord {
+    pub(crate) fn from_tag(tag: OobTag, seq: u64) -> Self {
+        OobRecord {
+            lba: tag.lba,
+            seq,
+            live: tag.live,
+            stamp: tag.stamp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_constructors_set_provenance() {
+        let t = OobTag::live(Lba::new(7), SimTime::from_secs(1));
+        assert!(t.live);
+        let b = OobTag::backup(Lba::new(7), SimTime::from_secs(1));
+        assert!(!b.live);
+        assert_eq!(t.lba, b.lba);
+    }
+
+    #[test]
+    fn record_completes_tag_with_seq() {
+        let r = OobRecord::from_tag(OobTag::live(Lba::new(3), SimTime::from_millis(10)), 42);
+        assert_eq!(r.lba, Lba::new(3));
+        assert_eq!(r.seq, 42);
+        assert!(r.live);
+        assert_eq!(r.stamp, SimTime::from_millis(10));
+    }
+}

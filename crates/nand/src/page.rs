@@ -1,5 +1,6 @@
 //! Page state and content.
 
+use crate::oob::OobRecord;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -22,11 +23,13 @@ pub enum PageState {
     Invalid,
 }
 
-/// A single NAND page: its state plus the programmed payload, if any.
+/// A single NAND page: its state plus the programmed payload and
+/// out-of-band (spare-area) record, if any.
 #[derive(Debug, Clone, Default)]
 pub struct Page {
     state: PageState,
     data: Option<Bytes>,
+    oob: Option<OobRecord>,
 }
 
 impl Page {
@@ -45,15 +48,23 @@ impl Page {
         self.data.as_ref()
     }
 
+    /// Out-of-band record programmed with the page, if any. Pages written
+    /// through the untagged [`NandDevice::program`](crate::NandDevice::program)
+    /// path carry no record and are skipped by mount scans.
+    pub fn oob(&self) -> Option<&OobRecord> {
+        self.oob.as_ref()
+    }
+
     /// Whether the page can be programmed.
     pub fn is_free(&self) -> bool {
         self.state == PageState::Free
     }
 
-    pub(crate) fn program(&mut self, data: Bytes) {
+    pub(crate) fn program(&mut self, data: Bytes, oob: Option<OobRecord>) {
         debug_assert!(self.is_free(), "programming a non-free page");
         self.state = PageState::Valid;
         self.data = Some(data);
+        self.oob = oob;
     }
 
     pub(crate) fn invalidate(&mut self) {
@@ -69,6 +80,7 @@ impl Page {
     pub(crate) fn erase(&mut self) {
         self.state = PageState::Free;
         self.data = None;
+        self.oob = None;
     }
 }
 
@@ -81,19 +93,27 @@ mod tests {
         let mut p = Page::erased();
         assert!(p.is_free());
         assert!(p.data().is_none());
+        assert!(p.oob().is_none());
 
-        p.program(Bytes::from_static(b"x"));
+        let oob = OobRecord::from_tag(
+            crate::oob::OobTag::live(crate::Lba::new(4), crate::SimTime::ZERO),
+            1,
+        );
+        p.program(Bytes::from_static(b"x"), Some(oob));
         assert_eq!(p.state(), PageState::Valid);
         assert_eq!(p.data().unwrap().as_ref(), b"x");
+        assert_eq!(p.oob().unwrap().lba, crate::Lba::new(4));
 
         p.invalidate();
         assert_eq!(p.state(), PageState::Invalid);
-        // Invalid pages still hold their data (delayed deletion).
+        // Invalid pages still hold their data and OOB (delayed deletion).
         assert_eq!(p.data().unwrap().as_ref(), b"x");
+        assert!(p.oob().is_some());
 
         p.erase();
         assert!(p.is_free());
         assert!(p.data().is_none());
+        assert!(p.oob().is_none());
     }
 
     #[test]

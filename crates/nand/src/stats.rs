@@ -18,6 +18,12 @@ pub struct NandStats {
     pub erases: u64,
     /// Failed operations (constraint violations and injected faults).
     pub failures: u64,
+    /// Faults actually fired by the installed [`FaultPlan`](crate::FaultPlan):
+    /// scheduled/periodic injected faults plus the power-cut trigger itself.
+    /// Operations rejected merely because the device was already latched off
+    /// count as `failures` but not here, so a sweep can assert exactly how
+    /// many planned faults fired.
+    pub injected_faults: u64,
     /// Simulated device busy time in nanoseconds.
     pub busy_ns: u64,
 }
@@ -56,17 +62,22 @@ impl NandStats {
     pub(crate) fn record_failure(&mut self) {
         self.failures += 1;
     }
+
+    pub(crate) fn record_injected_fault(&mut self) {
+        self.injected_faults += 1;
+    }
 }
 
 impl std::fmt::Display for NandStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} programs={} erases={} failures={} busy={:.3}s",
+            "reads={} programs={} erases={} failures={} faulted={} busy={:.3}s",
             self.reads,
             self.programs,
             self.erases,
             self.failures,
+            self.injected_faults,
             self.busy_secs()
         )
     }
@@ -83,8 +94,10 @@ mod tests {
         s.record_program(500_000);
         s.record_erase(3_000_000);
         s.record_failure();
+        s.record_injected_fault();
         assert_eq!(s.total_ops(), 3);
         assert_eq!(s.failures, 1);
+        assert_eq!(s.injected_faults, 1);
         assert_eq!(s.busy_ns, 3_550_000);
         assert!((s.busy_secs() - 0.00355).abs() < 1e-12);
     }
