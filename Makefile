@@ -17,10 +17,14 @@
 #                      (Tier 1 runs a strided fast version as a plain test.)
 #   make bench-mount — regenerate BENCH_mount.json (OOB remount scan time
 #                      on an 8192-block drive at rising utilization).
+#   make bench-multitenant — regenerate BENCH_multitenant.json (1→N-shard
+#                      namespace scaling: wall and modeled-parallel req/s,
+#                      per-shard p50/p99 dispatch latency; MT_SHARDS /
+#                      MT_WORKERS / MT_REPEATS override the sweep).
 
 CARGO ?= cargo
 
-.PHONY: tier1 test bench bench-json bench-gc crash-sweep bench-mount
+.PHONY: tier1 test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant
 
 tier1:
 	$(CARGO) build --release
@@ -44,3 +48,6 @@ crash-sweep:
 
 bench-mount:
 	$(CARGO) run --release -p insider-bench --bin bench_mount
+
+bench-multitenant:
+	$(CARGO) run --release -p insider-bench --bin bench_multitenant

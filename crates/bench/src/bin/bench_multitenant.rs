@@ -1,0 +1,150 @@
+//! Multi-tenant scaling benchmark: replays per-tenant ransomware-mix
+//! traces through a [`MultiTenantSsd`] at increasing shard counts and
+//! writes the scaling curve to `BENCH_multitenant.json`.
+//!
+//! Each shard count `n` gets `n` distinct tenant traces (Mole ransomware
+//! over cloud-storage traffic, per-tenant seeds, tiled `MT_REPEATS` times)
+//! replayed by [`insider_bench::replay_multitenant`]. Two aggregate
+//! figures are reported per point:
+//!
+//! * `wall_rps` — requests/s by wall clock on *this* machine (bounded by
+//!   its core count);
+//! * `parallel_rps` — requests/s under the one-thread-per-shard makespan
+//!   model (total requests / slowest shard's measured busy time), the
+//!   aggregate a host with ≥ n cores achieves. The JSON records both plus
+//!   the machine's core count so readers can tell which regime they are
+//!   looking at.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin bench_multitenant [-- out.json]
+//!
+//! Env overrides: `MT_SHARDS` (comma list, default `1,2,4,8`),
+//! `MT_WORKERS` (default: available parallelism), `MT_REPEATS` (trace
+//! tiling factor, default 16).
+
+use insider_bench::{replay_multitenant, tenant_trace, tile_trace, train_tree, replay_geometry};
+use insider_detect::DetectorConfig;
+use insider_workloads::Trace;
+use serde_json::json;
+use ssd_insider::{InsiderConfig, MultiTenantDram, MultiTenantSsd, NamespaceLayout};
+
+/// Timed passes per shard count; the best (smallest makespan) is reported.
+const TIMED_PASSES: usize = 3;
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn shard_counts() -> Vec<u32> {
+    match std::env::var("MT_SHARDS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("MT_SHARDS must be a comma list of shard counts"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_multitenant.json".into());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = env_u32("MT_WORKERS", cores as u32) as usize;
+    let repeats = env_u32("MT_REPEATS", 16);
+    let counts = shard_counts();
+    let tree = train_tree(&DetectorConfig::default());
+    let config = InsiderConfig::new(replay_geometry());
+
+    eprintln!(
+        "bench_multitenant: shards {counts:?}, workers {workers}, repeats {repeats}, \
+         {cores} core(s)"
+    );
+    println!(
+        "{:>7} {:>10} {:>14} {:>14} {:>10} {:>10} {:>9}",
+        "shards", "requests", "wall req/s", "par req/s", "p50 us", "p99 us", "speedup"
+    );
+
+    let mut curve = Vec::new();
+    let mut baseline_parallel_rps = 0.0f64;
+    let mut baseline_wall_rps = 0.0f64;
+    for &n in &counts {
+        let traces: Vec<Trace> = (0..n as u64)
+            .map(|k| tile_trace(&tenant_trace(k), repeats))
+            .collect();
+        // Best-of-N timed passes, each on a fresh device.
+        let run = (0..TIMED_PASSES)
+            .map(|_| {
+                let device =
+                    MultiTenantSsd::new(&config, &tree, n, NamespaceLayout::Provisioned);
+                replay_multitenant(&device, &traces, workers)
+            })
+            .min_by_key(|r| r.makespan_ns())
+            .expect("at least one pass");
+        // One untimed instrumented pass for the per-namespace DRAM bill.
+        let device = MultiTenantSsd::new(&config, &tree, n, NamespaceLayout::Provisioned);
+        replay_multitenant(&device, &traces, workers);
+        let dram = MultiTenantDram::measure(&device);
+
+        if n == counts[0] {
+            baseline_parallel_rps = run.parallel_rps();
+            baseline_wall_rps = run.wall_rps();
+        }
+        let speedup_parallel = run.parallel_rps() / baseline_parallel_rps;
+        let speedup_wall = run.wall_rps() / baseline_wall_rps;
+        let p50_max = run.shards.iter().map(|s| s.p50_ns).max().unwrap_or(0);
+        let p99_max = run.shards.iter().map(|s| s.p99_ns).max().unwrap_or(0);
+        println!(
+            "{n:>7} {:>10} {:>14.0} {:>14.0} {:>10.1} {:>10.1} {speedup_parallel:>8.2}x",
+            run.total_requests(),
+            run.wall_rps(),
+            run.parallel_rps(),
+            p50_max as f64 / 1e3,
+            p99_max as f64 / 1e3,
+        );
+        curve.push(json!({
+            "shards": n,
+            "requests": run.total_requests(),
+            "blocks": run.total_blocks(),
+            "alarms": run.total_alarms(),
+            "wall_s": run.wall_ns as f64 / 1e9,
+            "wall_rps": run.wall_rps(),
+            "makespan_s": run.makespan_ns() as f64 / 1e9,
+            "parallel_rps": run.parallel_rps(),
+            "speedup_parallel": speedup_parallel,
+            "speedup_wall": speedup_wall,
+            "dram_total_bytes": dram.total_bytes() as u64,
+            "per_shard": run.shards.iter().zip(&dram.per_namespace).map(|(s, (_, d))| json!({
+                "namespace": s.namespace,
+                "requests": s.requests,
+                "blocks_applied": s.blocks_applied,
+                "busy_s": s.busy_ns as f64 / 1e9,
+                "requests_per_sec": s.requests_per_sec(),
+                "p50_ns": s.p50_ns,
+                "p99_ns": s.p99_ns,
+                "alarms": s.alarms,
+                "dram_bytes": d.total_bytes() as u64,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    let doc = json!({
+        "benchmark": "multitenant_scaling",
+        "units": json!({ "throughput": "requests/s", "latency": "ns" }),
+        "trace": "per-tenant Mole ransomware + cloud-storage mix, tiled",
+        "layout": "provisioned (one full drive per namespace)",
+        "timed_passes": TIMED_PASSES as u64,
+        "repeats": repeats,
+        "workers": workers as u64,
+        "cores": cores as u64,
+        "throughput_model": "wall_rps = wall clock on this host; parallel_rps = total \
+            requests / max per-shard busy time (one-thread-per-shard makespan model)",
+        "curve": curve,
+    });
+    std::fs::write(&out, serde_json::to_string(&doc).expect("serializable"))
+        .expect("write benchmark JSON");
+    println!("wrote {out}");
+}

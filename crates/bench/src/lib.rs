@@ -12,6 +12,7 @@
 pub mod crash;
 pub mod gc;
 pub mod harness;
+pub mod multitenant;
 pub mod outcome;
 pub mod replay;
 pub mod stats;
@@ -32,5 +33,8 @@ pub use gc::{
 pub use crash::{
     sweep, sweep_ftl_config, sweep_geometry, sweep_matrix, sweep_traces, CrashTarget,
     SweepConfig, SweepSummary, SWEEP_SPAN,
+};
+pub use multitenant::{
+    replay_multitenant, tenant_trace, tile_trace, MultiTenantRun, ShardMetrics,
 };
 pub use tablefmt::render_table;

@@ -1,0 +1,346 @@
+//! Multi-tenant parallel replay: per-namespace traces dispatched onto a
+//! `std::thread::scope` worker pool, one isolated shard per tenant.
+//!
+//! The driver partitions work by namespace — worker `w` replays namespaces
+//! `w, w+workers, …` — so no two threads ever contend for a shard lock,
+//! and each shard's busy time is a clean measurement of that tenant's
+//! service time. Two throughput figures come out:
+//!
+//! * **wall** — total requests / wall-clock time of the whole run, which
+//!   reflects this machine's core count;
+//! * **modeled-parallel** — total requests / makespan, where the makespan
+//!   is the *largest single shard's* measured busy time. With one thread
+//!   per shard, every shard runs concurrently and the run finishes when
+//!   the slowest tenant does, so this is the aggregate a machine with
+//!   ≥ N cores achieves. It is the same makespan model the NAND layer uses
+//!   for per-die parallelism, applied one level up.
+//!
+//! On a single-core host the two diverge (wall ≈ serial sum); both are
+//! reported, never conflated.
+
+use crate::replay::{clamp_extent, payload, small_space, ReplayOutcome};
+use insider_detect::IoMode;
+use insider_nand::SimTime;
+use insider_workloads::{merge, AppKind, FileSpace, RansomwareKind, Trace};
+use rand::SeedableRng;
+use ssd_insider::{DeviceState, MultiTenantSsd, NamespaceId};
+use std::time::Instant;
+
+/// One tenant's mixed workload: Mole ransomware over cloud-storage
+/// background traffic (the realistic detection mix), generated from a
+/// per-tenant seed so no two namespaces replay byte-identical request
+/// streams.
+pub fn tenant_trace(tenant: u64) -> Trace {
+    let seed = 0x5EED ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let space = FileSpace::generate(&mut rng, &small_space());
+    let duration = SimTime::from_secs(10);
+    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
+    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
+    merge([ransom, cloud])
+}
+
+/// Tiles a trace `repeats` times end to end, shifting each copy by the
+/// trace's duration plus one second of idle gap — the detection windows of
+/// consecutive copies stay disjoint, and the replayed stream grows long
+/// enough for per-shard timing to rise well above clock granularity.
+pub fn tile_trace(trace: &Trace, repeats: u32) -> Trace {
+    let period = trace.duration().saturating_add(SimTime::from_secs(1));
+    let mut out = Trace::new();
+    for r in 0..repeats.max(1) as u64 {
+        let shift = SimTime::from_micros(period.as_micros() * r);
+        for req in trace {
+            out.push(insider_detect::IoReq::new(
+                req.time.saturating_add(shift),
+                req.lba,
+                req.mode,
+                req.len,
+            ));
+        }
+    }
+    out
+}
+
+/// What one shard did during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Namespace id.
+    pub namespace: u32,
+    /// Requests dispatched to this shard.
+    pub requests: u64,
+    /// Blocks applied (after capacity clamping).
+    pub blocks_applied: u64,
+    /// Blocks dropped for exceeding the shard's capacity.
+    pub blocks_skipped: u64,
+    /// This shard's measured service time: wall-clock of its replay loop,
+    /// during which exactly one thread was touching it.
+    pub busy_ns: u64,
+    /// Median per-request dispatch latency.
+    pub p50_ns: u64,
+    /// 99th-percentile per-request dispatch latency.
+    pub p99_ns: u64,
+    /// Alarms this shard raised (auto-dismissed so the replay continues).
+    pub alarms: u64,
+}
+
+impl ShardMetrics {
+    /// This shard's own throughput over its busy time.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.requests as f64 * 1e9 / self.busy_ns as f64
+        }
+    }
+}
+
+/// A whole multi-tenant replay: per-shard metrics plus run-level timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiTenantRun {
+    /// Per-shard metrics, in namespace order.
+    pub shards: Vec<ShardMetrics>,
+    /// Wall-clock time of the whole run on this machine.
+    pub wall_ns: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl MultiTenantRun {
+    /// Requests dispatched across all shards.
+    pub fn total_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Blocks applied across all shards.
+    pub fn total_blocks(&self) -> u64 {
+        self.shards.iter().map(|s| s.blocks_applied).sum()
+    }
+
+    /// Alarms raised across all shards.
+    pub fn total_alarms(&self) -> u64 {
+        self.shards.iter().map(|s| s.alarms).sum()
+    }
+
+    /// The modeled-parallel completion time: the slowest shard's busy time
+    /// (see the [module docs](self)).
+    pub fn makespan_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.busy_ns).max().unwrap_or(0)
+    }
+
+    /// Aggregate requests/s by wall clock on this machine.
+    pub fn wall_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.total_requests() as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Aggregate requests/s under the one-thread-per-shard makespan model.
+    pub fn parallel_rps(&self) -> f64 {
+        let makespan = self.makespan_ns();
+        if makespan == 0 {
+            0.0
+        } else {
+            self.total_requests() as f64 * 1e9 / makespan as f64
+        }
+    }
+}
+
+/// `q`-th percentile of an ascending-sorted sample set (nearest-rank).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replays one trace into one namespace, holding its shard for the whole
+/// trace (the bulk path) and timing every dispatch.
+fn replay_shard(device: &MultiTenantSsd, ns: NamespaceId, trace: &Trace) -> ShardMetrics {
+    device
+        .with_namespace(ns, |dev| {
+            let logical = dev.logical_pages();
+            let mut samples = Vec::with_capacity(trace.len());
+            let mut outcome = ReplayOutcome::default();
+            let mut alarms = 0u64;
+            let busy_start = Instant::now();
+            for req in trace {
+                let Some((lba, fit)) = clamp_extent(req, logical, &mut outcome) else {
+                    continue;
+                };
+                let t0 = Instant::now();
+                match req.mode {
+                    IoMode::Read => {
+                        dev.read_extent(lba, fit, req.time).expect("replay read failed");
+                    }
+                    IoMode::Write => {
+                        let payloads = vec![payload(); fit as usize];
+                        dev.write_extent(lba, &payloads, req.time)
+                            .expect("replay write failed");
+                    }
+                    IoMode::Trim => {
+                        dev.trim_extent(lba, fit, req.time).expect("replay trim failed");
+                    }
+                }
+                samples.push(t0.elapsed().as_nanos() as u64);
+                outcome.applied += fit as u64;
+                if dev.state() == DeviceState::Suspicious {
+                    alarms += 1;
+                    dev.dismiss_alarm().expect("alarm pending");
+                }
+            }
+            let busy_ns = busy_start.elapsed().as_nanos() as u64;
+            let outcome = outcome.warn_if_skipped("replay_multitenant");
+            samples.sort_unstable();
+            ShardMetrics {
+                namespace: ns.raw(),
+                requests: samples.len() as u64,
+                blocks_applied: outcome.applied,
+                blocks_skipped: outcome.skipped,
+                busy_ns,
+                p50_ns: percentile(&samples, 0.50),
+                p99_ns: percentile(&samples, 0.99),
+                alarms,
+            }
+        })
+        .expect("driver iterates the device's own namespaces")
+}
+
+/// Replays `traces[k]` into namespace `k`, partitioned round-robin onto
+/// `workers` threads (`workers` is clamped to `1..=traces.len()`; pass
+/// `std::thread::available_parallelism()` for one-thread-per-core). Each
+/// worker owns a disjoint set of namespaces, so shard locks are never
+/// contended and per-shard busy times measure pure service time.
+///
+/// # Panics
+///
+/// Panics if the trace count does not match the device's namespace count,
+/// or if a worker thread panics.
+pub fn replay_multitenant(
+    device: &MultiTenantSsd,
+    traces: &[Trace],
+    workers: usize,
+) -> MultiTenantRun {
+    assert_eq!(
+        traces.len() as u32,
+        device.namespaces(),
+        "one trace per namespace"
+    );
+    let workers = workers.clamp(1, traces.len().max(1));
+    let start = Instant::now();
+    let mut shards: Vec<ShardMetrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..traces.len())
+                        .step_by(workers)
+                        .map(|k| replay_shard(device, NamespaceId::new(k as u32), &traces[k]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("replay worker panicked"))
+            .collect()
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    shards.sort_by_key(|s| s.namespace);
+    MultiTenantRun {
+        shards,
+        wall_ns,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insider_detect::{DecisionTree, IoReq};
+    use insider_nand::{Geometry, Lba};
+    use ssd_insider::{InsiderConfig, NamespaceLayout};
+
+    fn short_trace(reqs: u64) -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..reqs {
+            let mode = if i % 3 == 0 { IoMode::Read } else { IoMode::Write };
+            trace.push(IoReq::new(
+                SimTime::from_micros(i * 500),
+                Lba::new(i % 32),
+                mode,
+                2,
+            ));
+        }
+        trace
+    }
+
+    #[test]
+    fn tiling_repeats_without_overlapping_time() {
+        let base = short_trace(10);
+        let tiled = tile_trace(&base, 3);
+        assert_eq!(tiled.len(), 30);
+        assert!(tiled.is_sorted());
+        assert!(tiled.duration() > base.duration().saturating_add(SimTime::from_secs(2)));
+        assert_eq!(tile_trace(&base, 0).len(), base.len(), "repeats clamps to 1");
+    }
+
+    #[test]
+    fn tenant_traces_differ_by_seed_but_are_reproducible() {
+        let a = tenant_trace(0);
+        let b = tenant_trace(1);
+        assert_ne!(a.reqs(), b.reqs(), "tenants should not replay identical streams");
+        assert_eq!(a.reqs(), tenant_trace(0).reqs(), "same seed, same trace");
+    }
+
+    #[test]
+    fn replay_covers_every_namespace_and_sums_up() {
+        let device = MultiTenantSsd::new(
+            &InsiderConfig::new(Geometry::tiny()),
+            &DecisionTree::constant(false),
+            3,
+            NamespaceLayout::Provisioned,
+        );
+        let traces: Vec<Trace> = (0..3).map(|_| short_trace(50)).collect();
+        let run = replay_multitenant(&device, &traces, 2);
+        assert_eq!(run.shards.len(), 3);
+        assert_eq!(run.workers, 2);
+        assert_eq!(
+            run.shards.iter().map(|s| s.namespace).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(run.total_requests(), 150);
+        assert_eq!(run.total_blocks(), 300);
+        for shard in &run.shards {
+            assert_eq!(shard.blocks_skipped, 0);
+            assert!(shard.busy_ns > 0);
+            assert!(shard.p99_ns >= shard.p50_ns);
+        }
+        assert!(run.wall_ns >= run.makespan_ns());
+        assert!(run.parallel_rps() >= run.wall_rps());
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let device = MultiTenantSsd::new(
+            &InsiderConfig::new(Geometry::tiny()),
+            &DecisionTree::constant(false),
+            2,
+            NamespaceLayout::Provisioned,
+        );
+        let traces: Vec<Trace> = (0..2).map(|_| short_trace(8)).collect();
+        assert_eq!(replay_multitenant(&device, &traces, 0).workers, 1);
+        assert_eq!(replay_multitenant(&device, &traces, 64).workers, 2);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 0.50), 51);
+        assert_eq!(percentile(&xs, 0.99), 99);
+        assert_eq!(percentile(&xs, 1.0), 100);
+    }
+}

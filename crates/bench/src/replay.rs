@@ -121,7 +121,7 @@ pub fn replay_detector(trace: &Trace, tree: DecisionTree, config: DetectorConfig
 
 /// Payload stamped into replayed writes; content is irrelevant to every
 /// metric, so a tiny constant keeps memory flat.
-fn payload() -> Bytes {
+pub(crate) fn payload() -> Bytes {
     Bytes::from_static(b"replayed")
 }
 
@@ -164,7 +164,11 @@ impl ReplayOutcome {
 /// blocks to `outcome.skipped`. Returns the in-range prefix as
 /// `(lba, len)`, or `None` when the whole request is out of range — the
 /// same per-block clamping the scalar replay loops apply.
-fn clamp_extent(req: &IoReq, logical: u64, outcome: &mut ReplayOutcome) -> Option<(Lba, u32)> {
+pub(crate) fn clamp_extent(
+    req: &IoReq,
+    logical: u64,
+    outcome: &mut ReplayOutcome,
+) -> Option<(Lba, u32)> {
     if req.lba.index() >= logical {
         outcome.skipped += req.len as u64;
         return None;

@@ -1,0 +1,74 @@
+//! Bounded multi-tenant replay smoke test (tier-1 fast configuration).
+//!
+//! Replays truncated per-tenant ransomware-mix traces through a sharded
+//! device on a real worker pool, asserting the run's accounting is sound.
+//! `make bench-multitenant` runs the full scaling curve via the
+//! `bench_multitenant` binary; `MT_SHARDS` / `MT_PAGES` scale this test up
+//! (shard count and requests kept per tenant trace, defaults 2 and 400).
+
+use insider_bench::{replay_multitenant, tenant_trace, train_tree, replay_geometry};
+use insider_detect::DetectorConfig;
+use insider_workloads::Trace;
+use ssd_insider::{InsiderConfig, MultiTenantSsd, NamespaceLayout};
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn bounded_multitenant_replay_accounts_every_shard() {
+    let shards = env_u32("MT_SHARDS", 2);
+    let reqs = env_u32("MT_PAGES", 400) as usize;
+    let tree = train_tree(&DetectorConfig::default());
+    let device = MultiTenantSsd::new(
+        &InsiderConfig::new(replay_geometry()),
+        &tree,
+        shards,
+        NamespaceLayout::Provisioned,
+    );
+    let traces: Vec<Trace> = (0..shards as u64)
+        .map(|k| {
+            let full = tenant_trace(k);
+            Trace::from_reqs(full.reqs()[..reqs.min(full.len())].to_vec())
+        })
+        .collect();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let run = replay_multitenant(&device, &traces, workers);
+
+    assert_eq!(run.shards.len(), shards as usize);
+    assert_eq!(
+        run.shards.iter().map(|s| s.namespace).collect::<Vec<_>>(),
+        (0..shards).collect::<Vec<_>>(),
+        "metrics must come back in namespace order"
+    );
+    for (shard, trace) in run.shards.iter().zip(&traces) {
+        assert_eq!(shard.requests, trace.len() as u64);
+        assert!(shard.blocks_applied > 0, "ns{}: nothing applied", shard.namespace);
+        assert_eq!(
+            shard.blocks_skipped, 0,
+            "ns{}: trace mis-sized for its shard",
+            shard.namespace
+        );
+        assert!(shard.busy_ns > 0, "ns{}: no measured service time", shard.namespace);
+        assert!(
+            shard.p99_ns >= shard.p50_ns,
+            "ns{}: latency percentiles out of order",
+            shard.namespace
+        );
+    }
+    assert_eq!(
+        run.total_requests(),
+        traces.iter().map(|t| t.len() as u64).sum::<u64>()
+    );
+    assert!(run.wall_ns >= run.makespan_ns(), "wall clock below the slowest shard");
+    assert!(run.parallel_rps() > 0.0);
+
+    // The replay left every shard serviceable and correctly attributed.
+    let report = device.status_report();
+    for ns in 0..shards {
+        assert!(report.contains(&format!("[ns{ns}]")), "report:\n{report}");
+    }
+}

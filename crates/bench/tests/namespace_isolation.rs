@@ -1,0 +1,135 @@
+//! Cross-namespace isolation: ransomware in one tenant must never be
+//! visible to another.
+//!
+//! Two tenants share one [`MultiTenantSsd`]. Tenant A is hit by
+//! ransomware (read-then-overwrite of its documents) while tenant B does
+//! benign work *concurrently from another thread*. The regression being
+//! pinned: B never observes an alarm, never has a write rejected, and
+//! never has data rolled back — while A's alarm, read-only freeze and
+//! byte-exact recovery all proceed normally. Detection state (votes,
+//! counting table), the recovery queue and the read-only latch are all
+//! per-shard; any accidental sharing shows up here as cross-tenant bleed.
+
+use bytes::Bytes;
+use insider_detect::DecisionTree;
+use insider_nand::{Geometry, Lba, SimTime};
+use ssd_insider::{
+    DeviceEvent, DeviceState, InsiderConfig, MultiTenantSsd, NamespaceId, NamespaceLayout,
+};
+
+/// Distinct, recognizable per-LBA payload.
+fn doc(lba: u64) -> Bytes {
+    Bytes::from(format!("document-{lba}").into_bytes())
+}
+
+#[test]
+fn ransomware_in_one_namespace_never_touches_its_neighbor() {
+    // A stump on feature 0 (OWIO: overwrites per slice) votes in any slice
+    // with a single overwrite: A's attack pattern alarms fast, while B —
+    // writing only fresh LBAs and reading — can never produce a vote.
+    let geometry = Geometry::builder()
+        .channels(1)
+        .chips_per_channel(1)
+        .blocks_per_chip(64)
+        .pages_per_block(32)
+        .page_size(4096)
+        .build();
+    let ssd = MultiTenantSsd::new(
+        &InsiderConfig::new(geometry),
+        &DecisionTree::stump(0, 0.5),
+        2,
+        NamespaceLayout::Provisioned,
+    );
+    let (a, b) = (NamespaceId::new(0), NamespaceId::new(1));
+    let victim_lbas: Vec<u64> = (0..8).collect();
+
+    // Tenant A saves its documents long before the attack window.
+    let t0 = SimTime::from_secs(1);
+    for &lba in &victim_lbas {
+        ssd.write(a, Lba::new(lba), doc(lba), t0).unwrap();
+    }
+
+    // Attack and benign work run concurrently on separate threads.
+    std::thread::scope(|scope| {
+        let attack = scope.spawn(|| {
+            let mut t = SimTime::from_secs(60);
+            let mut rounds = 0;
+            while ssd.state(a).unwrap() == DeviceState::Normal {
+                for &lba in &victim_lbas {
+                    ssd.read(a, Lba::new(lba), t).unwrap();
+                    ssd.write(a, Lba::new(lba), Bytes::from_static(b"3ncryp7ed"), t)
+                        .unwrap();
+                }
+                t = t + SimTime::from_millis(250);
+                rounds += 1;
+                assert!(rounds < 1000, "attack never tripped the alarm");
+            }
+            t
+        });
+        let benign = scope.spawn(|| {
+            // Fresh-LBA writes and reads: a backup-style workload with no
+            // overwrites, so a correct per-shard detector scores it zero.
+            let mut t = SimTime::from_secs(60);
+            for i in 0..1_000u64 {
+                ssd.write(b, Lba::new(i), doc(i), t).unwrap_or_else(|e| {
+                    panic!("benign tenant write rejected at iteration {i}: {e}")
+                });
+                ssd.read(b, Lba::new(i % 37), t).unwrap();
+                t = t + SimTime::from_millis(40);
+                assert_eq!(
+                    ssd.state(b).unwrap(),
+                    DeviceState::Normal,
+                    "benign tenant alarmed at iteration {i}"
+                );
+            }
+            t
+        });
+        let t_alarm = attack.join().expect("attack thread");
+        let t_b = benign.join().expect("benign thread");
+
+        // A alarmed; B sailed through untouched.
+        assert_eq!(ssd.state(a).unwrap(), DeviceState::Suspicious);
+        assert_eq!(ssd.state(b).unwrap(), DeviceState::Normal);
+        assert_eq!(ssd.score(b).unwrap(), 0, "votes bled across namespaces");
+
+        // A's user confirms: rollback is byte-exact, and the read-only
+        // freeze is A's alone.
+        let report = ssd.confirm_and_recover(a, t_alarm).unwrap();
+        assert!(report.restored > 0);
+        for &lba in &victim_lbas {
+            assert_eq!(
+                ssd.read(a, Lba::new(lba), t_alarm).unwrap().unwrap(),
+                doc(lba),
+                "tenant A's lba {lba} not restored byte-exact"
+            );
+        }
+        assert!(
+            ssd.write(a, Lba::new(0), doc(0), t_alarm).is_err(),
+            "recovered tenant must be read-only until reboot"
+        );
+        ssd.write(b, Lba::new(1_100), doc(1_100), t_b).expect(
+            "tenant B must keep full write service while A is frozen",
+        );
+        assert_eq!(
+            ssd.read(b, Lba::new(0), t_b).unwrap().unwrap(),
+            doc(0),
+            "tenant B's data must not be rolled back by A's recovery"
+        );
+    });
+
+    // Every event the device emitted belongs to tenant A, and B's own
+    // mailbox is empty.
+    let events = ssd.take_all_events();
+    assert!(!events.is_empty());
+    assert!(
+        events.iter().all(|e| e.namespace == a),
+        "tenant B emitted events: {events:?}"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, DeviceEvent::AlarmRaised { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, DeviceEvent::Recovered { .. })));
+    assert!(ssd.take_events(b).unwrap().is_empty());
+}

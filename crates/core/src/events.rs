@@ -5,6 +5,7 @@
 //! [`SsdInsider::take_events`](crate::SsdInsider::take_events) and reacts —
 //! showing the warning dialog, confirming recovery, prompting a reboot.
 
+use crate::namespace::NamespaceId;
 use insider_detect::Verdict;
 use insider_ftl::RollbackReport;
 use insider_nand::SimTime;
@@ -39,12 +40,56 @@ pub enum DeviceEvent {
     },
 }
 
+impl std::fmt::Display for DeviceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceEvent::AlarmRaised { verdict } => write!(
+                f,
+                "alarm-raised slice={} score={}",
+                verdict.slice, verdict.score
+            ),
+            DeviceEvent::AlarmDismissed => write!(f, "alarm-dismissed"),
+            DeviceEvent::Recovered { at, report } => write!(
+                f,
+                "recovered at={}us restored={} lbas={}",
+                at.as_micros(),
+                report.restored,
+                report.lbas_touched
+            ),
+            DeviceEvent::Rebooted => write!(f, "rebooted"),
+            DeviceEvent::PowerCycled { at } => {
+                write!(f, "power-cycled at={}us", at.as_micros())
+            }
+        }
+    }
+}
+
+/// A device event attributed to the namespace that emitted it — what
+/// multi-tenant hosts consume, so an alarm names its tenant instead of
+/// arriving anonymously from "the drive".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaggedEvent {
+    /// Namespace whose shard emitted the event.
+    pub namespace: NamespaceId,
+    /// The event itself.
+    pub event: DeviceEvent,
+}
+
+impl std::fmt::Display for TaggedEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.namespace, self.event)
+    }
+}
+
 /// Bounded FIFO of pending events (a real device would expose a small
-/// mailbox; unconsumed events age out oldest-first).
+/// mailbox; unconsumed events age out oldest-first). Each log belongs to
+/// one namespace (namespace 0 for a single-tenant device) and stamps that
+/// identity on every event it stores.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     events: std::collections::VecDeque<DeviceEvent>,
     dropped: u64,
+    namespace: NamespaceId,
 }
 
 /// Capacity of the event mailbox.
@@ -77,6 +122,27 @@ impl EventLog {
     /// Drains all pending events, oldest first.
     pub fn drain(&mut self) -> Vec<DeviceEvent> {
         self.events.drain(..).collect()
+    }
+
+    /// Drains all pending events tagged with the owning namespace, oldest
+    /// first.
+    pub fn drain_tagged(&mut self) -> Vec<TaggedEvent> {
+        let namespace = self.namespace;
+        self.events
+            .drain(..)
+            .map(|event| TaggedEvent { namespace, event })
+            .collect()
+    }
+
+    /// Attributes this log (and every event subsequently drained from it)
+    /// to `namespace`.
+    pub fn set_namespace(&mut self, namespace: NamespaceId) {
+        self.namespace = namespace;
+    }
+
+    /// The namespace this log belongs to.
+    pub fn namespace(&self) -> NamespaceId {
+        self.namespace
     }
 
     /// Number of pending events.
@@ -116,6 +182,30 @@ mod tests {
         let drained = log.drain();
         assert_eq!(drained.last(), Some(&DeviceEvent::Rebooted));
         assert_eq!(drained.len(), EVENT_CAPACITY);
+    }
+
+    #[test]
+    fn drain_tagged_stamps_the_owning_namespace() {
+        let mut log = EventLog::new();
+        assert_eq!(log.namespace(), NamespaceId::new(0));
+        log.set_namespace(NamespaceId::new(5));
+        log.push(DeviceEvent::AlarmDismissed);
+        log.push(DeviceEvent::Rebooted);
+        let tagged = log.drain_tagged();
+        assert_eq!(tagged.len(), 2);
+        assert!(tagged.iter().all(|e| e.namespace == NamespaceId::new(5)));
+        assert_eq!(tagged[1].to_string(), "[ns5] rebooted");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn event_display_is_compact() {
+        use insider_nand::SimTime;
+        let e = DeviceEvent::PowerCycled {
+            at: SimTime::from_micros(42),
+        };
+        assert_eq!(e.to_string(), "power-cycled at=42us");
+        assert_eq!(DeviceEvent::AlarmDismissed.to_string(), "alarm-dismissed");
     }
 
     #[test]

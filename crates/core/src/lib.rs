@@ -63,15 +63,19 @@ mod device;
 pub mod dram;
 mod error;
 mod events;
+mod multitenant;
+mod namespace;
 mod state;
 mod timing;
 
 pub use bridge::FsBridge;
 pub use config::InsiderConfig;
 pub use device::SsdInsider;
-pub use dram::DramUsage;
+pub use dram::{DramUsage, MultiTenantDram};
 pub use error::DeviceError;
-pub use events::{DeviceEvent, EventLog, EVENT_CAPACITY};
+pub use events::{DeviceEvent, EventLog, TaggedEvent, EVENT_CAPACITY};
+pub use multitenant::MultiTenantSsd;
+pub use namespace::{shard_geometry, NamespaceId, NamespaceLayout};
 pub use state::DeviceState;
 pub use timing::{IoTiming, TimingSummary};
 

@@ -1,0 +1,131 @@
+//! NVMe-style namespaces: the tenant identity and drive-partitioning model
+//! behind [`MultiTenantSsd`](crate::MultiTenantSsd).
+//!
+//! A namespace is a tenant-visible virtual drive with its **own LBA space**
+//! starting at zero (exactly NVMe semantics: LBAs are per-namespace, the
+//! host addresses `(namespace, LBA)` pairs). Everything a tenant can
+//! observe — the detector's counting table, window and alarm, the FTL
+//! mapping, GC victim index and recovery queue, the read-only latch and the
+//! rollback domain — is private to its namespace. What stays global is the
+//! physical substrate: NAND geometry parameters (page size, pages/block,
+//! channel structure), NAND timing characteristics, and the endurance
+//! model; see `DESIGN.md` §10.
+
+use insider_nand::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one namespace (tenant virtual drive). Namespace ids are
+/// dense small integers assigned at device construction, `0..namespaces`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NamespaceId(u32);
+
+impl NamespaceId {
+    /// Wraps a raw namespace index.
+    pub const fn new(id: u32) -> Self {
+        NamespaceId(id)
+    }
+
+    /// The raw namespace index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NamespaceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ns{}", self.0)
+    }
+}
+
+impl From<u32> for NamespaceId {
+    fn from(id: u32) -> Self {
+        NamespaceId(id)
+    }
+}
+
+/// How the physical drive's capacity is divided among namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamespaceLayout {
+    /// One physical drive split into equal slices: every namespace owns
+    /// `blocks_per_chip / n` erase blocks of **every** chip, so channel
+    /// parallelism is shared while wear, GC and mapping domains are
+    /// isolated. Total modeled capacity stays that of the configured drive.
+    Partitioned,
+    /// Every namespace gets a full drive of the configured geometry — the
+    /// virtual-drive model used for weak-scaling benchmarks and for fleets
+    /// where each tenant is provisioned an identical volume.
+    Provisioned,
+}
+
+/// The geometry one namespace owns under `layout` when a drive of
+/// `physical` geometry is split `n` ways.
+///
+/// # Panics
+///
+/// Panics if `n` is zero, or if a partitioned split would leave a shard
+/// fewer than four erase blocks per chip (too small to host an FTL's GC
+/// reserve and over-provisioning).
+pub fn shard_geometry(physical: &Geometry, layout: NamespaceLayout, n: u32) -> Geometry {
+    assert!(n >= 1, "at least one namespace is required");
+    match layout {
+        NamespaceLayout::Provisioned => *physical,
+        NamespaceLayout::Partitioned => {
+            let blocks = physical.blocks_per_chip() / n;
+            assert!(
+                blocks >= 4,
+                "partitioning {} blocks/chip into {n} namespaces leaves {blocks} \
+                 blocks/chip — too few to run an FTL",
+                physical.blocks_per_chip()
+            );
+            Geometry::builder()
+                .channels(physical.channels())
+                .chips_per_channel(physical.chips_per_channel())
+                .blocks_per_chip(blocks)
+                .pages_per_block(physical.pages_per_block())
+                .page_size(physical.page_size())
+                .build()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let ns = NamespaceId::new(7);
+        assert_eq!(ns.raw(), 7);
+        assert_eq!(ns.to_string(), "ns7");
+        assert_eq!(NamespaceId::from(7u32), ns);
+    }
+
+    #[test]
+    fn partitioned_split_divides_blocks_per_chip() {
+        let g = Geometry::builder()
+            .channels(2)
+            .chips_per_channel(4)
+            .blocks_per_chip(512)
+            .pages_per_block(64)
+            .page_size(4096)
+            .build();
+        let shard = shard_geometry(&g, NamespaceLayout::Partitioned, 8);
+        assert_eq!(shard.blocks_per_chip(), 64);
+        assert_eq!(shard.channels(), 2, "channel structure is global");
+        assert_eq!(shard.total_blocks() * 8, g.total_blocks());
+    }
+
+    #[test]
+    fn provisioned_layout_keeps_full_geometry() {
+        let g = Geometry::tiny();
+        assert_eq!(shard_geometry(&g, NamespaceLayout::Provisioned, 16), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few")]
+    fn oversplit_partition_is_rejected() {
+        shard_geometry(&Geometry::tiny(), NamespaceLayout::Partitioned, 8);
+    }
+}

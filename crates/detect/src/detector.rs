@@ -369,6 +369,60 @@ impl Detector {
         let (slice, f) = self.engine.close_slice();
         self.judge(slice, f)
     }
+
+    /// A snapshot of the detector's live state for status lines and
+    /// multi-tenant debugging (see [`DetectorStatus`]).
+    pub fn status(&self) -> DetectorStatus {
+        DetectorStatus {
+            namespace: None,
+            score: self.votes.score(),
+            threshold: self.config.threshold,
+            current_slice: self.engine.current_slice(),
+            window_slices: self.config.window_slices,
+            table_entries: self.engine.counting_table().len(),
+        }
+    }
+}
+
+/// A point-in-time summary of one detector instance, displayable per
+/// namespace so multi-tenant runs can be debugged tenant by tenant instead
+/// of from one aggregated score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorStatus {
+    /// Namespace the detector shard belongs to, if it is sharded (set via
+    /// [`DetectorStatus::tagged`]).
+    pub namespace: Option<u32>,
+    /// Positive votes currently in the window.
+    pub score: u32,
+    /// Votes needed to alarm.
+    pub threshold: u32,
+    /// Slice index currently being accumulated.
+    pub current_slice: u64,
+    /// Window length in slices.
+    pub window_slices: usize,
+    /// Live counting-table entries.
+    pub table_entries: usize,
+}
+
+impl DetectorStatus {
+    /// The same status attributed to `namespace`.
+    pub fn tagged(mut self, namespace: u32) -> Self {
+        self.namespace = Some(namespace);
+        self
+    }
+}
+
+impl std::fmt::Display for DetectorStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(ns) = self.namespace {
+            write!(f, "[ns{ns}] ")?;
+        }
+        write!(
+            f,
+            "det[score={}/{} slice={} window={} entries={}]",
+            self.score, self.threshold, self.current_slice, self.window_slices, self.table_entries
+        )
+    }
 }
 
 #[cfg(test)]
@@ -550,6 +604,23 @@ mod tests {
         // 20 idle slices: all positive votes slide out.
         d.flush_until(t(24, 0));
         assert_eq!(d.score(), 0);
+    }
+
+    #[test]
+    fn status_snapshot_tracks_score_and_tags_namespaces() {
+        let mut d = Detector::new(DetectorConfig::default(), DecisionTree::stump(0, 0.5));
+        d.ingest(IoReq::read(t(0, 0), l(1)));
+        d.ingest(IoReq::write(t(0, 1), l(1)));
+        d.flush_until(t(1, 0));
+        let status = d.status();
+        assert_eq!(status.score, 1);
+        assert_eq!(status.threshold, 3);
+        assert_eq!(status.current_slice, 1);
+        assert!(status.table_entries >= 1);
+        let plain = status.to_string();
+        assert!(plain.starts_with("det[score=1/3"), "got {plain}");
+        let tagged = status.tagged(4).to_string();
+        assert!(tagged.starts_with("[ns4] det[score=1/3"), "got {tagged}");
     }
 
     #[test]

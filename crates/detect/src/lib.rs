@@ -65,7 +65,7 @@ mod training;
 mod window;
 
 pub use counting_table::{CountingBackend, CountingTable, Entry};
-pub use detector::{Detector, DetectorConfig, FeatureEngine, Verdict};
+pub use detector::{Detector, DetectorConfig, DetectorStatus, FeatureEngine, Verdict};
 pub use naive::NaiveCountingTable;
 pub use rangeset::LbaRangeSet;
 pub use features::{FeatureVector, FEATURE_COUNT, FEATURE_NAMES};

@@ -216,6 +216,15 @@ impl FtlConfig {
         self.nand.geometry()
     }
 
+    /// The same configuration (timings, over-provisioning, GC policy,
+    /// protection window, …) over a different geometry. Namespace
+    /// partitioning uses this to hand each shard an equal slice of the
+    /// physical drive without disturbing any other knob.
+    pub fn with_geometry(mut self, geometry: Geometry) -> Self {
+        self.nand = self.nand.with_geometry(geometry);
+        self
+    }
+
     /// The over-provisioning ratio.
     pub fn over_provisioning_ratio(&self) -> f64 {
         self.over_provisioning

@@ -1,0 +1,65 @@
+//! Static thread-safety assertions for the multi-tenant sharding layer.
+//!
+//! [`ssd_insider::MultiTenantSsd`] hands `&self` to a pool of worker
+//! threads, so every type reachable from a shard must be `Send + Sync`.
+//! That holds today because the whole workspace is `Rc`/`RefCell`-free and
+//! `#![forbid(unsafe_code)]`, but nothing short of these assertions keeps
+//! it true: one stray `Rc` deep inside the FTL would silently make the
+//! device single-threaded again. These checks fail at *compile* time, so a
+//! regression can never reach a runtime test, let alone a release.
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn device_layer_is_send_sync() {
+    assert_send_sync::<ssd_insider::MultiTenantSsd>();
+    assert_send_sync::<ssd_insider::SsdInsider>();
+    assert_send_sync::<ssd_insider::InsiderConfig>();
+    assert_send_sync::<ssd_insider::DeviceError>();
+    assert_send_sync::<ssd_insider::DeviceEvent>();
+    assert_send_sync::<ssd_insider::TaggedEvent>();
+    assert_send_sync::<ssd_insider::EventLog>();
+    assert_send_sync::<ssd_insider::DramUsage>();
+    assert_send_sync::<ssd_insider::MultiTenantDram>();
+    assert_send_sync::<ssd_insider::NamespaceId>();
+    assert_send_sync::<ssd_insider::FsBridge>();
+}
+
+#[test]
+fn ftl_layer_is_send_sync() {
+    assert_send_sync::<insider_ftl::InsiderFtl>();
+    assert_send_sync::<insider_ftl::ConventionalFtl>();
+    assert_send_sync::<insider_ftl::FtlConfig>();
+    assert_send_sync::<insider_ftl::MappingTable>();
+    assert_send_sync::<insider_ftl::RecoveryQueue>();
+    assert_send_sync::<insider_ftl::FtlStats>();
+    assert_send_sync::<insider_ftl::RollbackReport>();
+}
+
+#[test]
+fn detector_layer_is_send_sync() {
+    assert_send_sync::<insider_detect::Detector>();
+    assert_send_sync::<insider_detect::FeatureEngine>();
+    assert_send_sync::<insider_detect::FeatureEngine<insider_detect::NaiveCountingTable>>();
+    assert_send_sync::<insider_detect::CountingTable>();
+    assert_send_sync::<insider_detect::NaiveCountingTable>();
+    assert_send_sync::<insider_detect::DecisionTree>();
+    assert_send_sync::<insider_detect::LbaRangeSet>();
+    assert_send_sync::<insider_detect::Verdict>();
+}
+
+#[test]
+fn nand_layer_is_send_sync() {
+    assert_send_sync::<insider_nand::NandDevice>();
+    assert_send_sync::<insider_nand::Geometry>();
+    assert_send_sync::<insider_nand::NandStats>();
+    assert_send_sync::<insider_nand::FaultPlan>();
+}
+
+#[test]
+fn workload_layer_is_send_sync() {
+    // Traces are generated once and shared (`&Trace`) across replay
+    // worker threads.
+    assert_send_sync::<insider_workloads::Trace>();
+    assert_send_sync::<insider_detect::IoReq>();
+}
