@@ -21,10 +21,17 @@
 #                      namespace scaling: wall and modeled-parallel req/s,
 #                      per-shard p50/p99 dispatch latency; MT_SHARDS /
 #                      MT_WORKERS / MT_REPEATS override the sweep).
+#   make bench-latency — regenerate BENCH_latency.json (device replay of the
+#                      three traces under {copy, zero-copy} payloads ×
+#                      {in-order, out-of-order} NAND scheduling: wall-clock
+#                      throughput, simulated p50/p95/p99 command latency,
+#                      die/bus utilization; LAT_PASSES overrides the timed
+#                      passes. Tier 1 runs a bounded latency smoke test with
+#                      LAT_PAGES override instead.)
 
 CARGO ?= cargo
 
-.PHONY: tier1 test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant
+.PHONY: tier1 test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant bench-latency
 
 tier1:
 	$(CARGO) build --release
@@ -51,3 +58,6 @@ bench-mount:
 
 bench-multitenant:
 	$(CARGO) run --release -p insider-bench --bin bench_multitenant
+
+bench-latency:
+	$(CARGO) run --release -p insider-bench --bin bench_latency

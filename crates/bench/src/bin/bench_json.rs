@@ -118,28 +118,32 @@ fn bench_trace(name: &str, reqs: &[IoReq]) -> serde_json::Value {
 /// `SsdInsider` (detector + FTL + NAND model), once per host path. Each
 /// timed pass gets a fresh device; the best of N is reported.
 fn bench_device_replay(trace: &Trace) -> serde_json::Value {
-    fn timed(trace: &Trace, scalar: bool) -> f64 {
-        (0..TIMED_PASSES)
-            .map(|_| {
-                let mut device = SsdInsider::new(
-                    InsiderConfig::new(replay_geometry()),
-                    DecisionTree::constant(false),
-                );
-                let start = Instant::now();
-                let outcome = if scalar {
-                    replay_device_scalar(trace, &mut device)
-                } else {
-                    replay_device(trace, &mut device)
-                };
-                let elapsed = start.elapsed().as_secs_f64();
-                assert_eq!(outcome.skipped, 0, "trace must fit the replay geometry");
-                elapsed
-            })
-            .fold(f64::INFINITY, f64::min)
+    /// Best-of-N elapsed plus the final pass's device, whose scheduler
+    /// latencies and busy integrals feed the utilization report below.
+    fn timed(trace: &Trace, scalar: bool) -> (f64, SsdInsider) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..TIMED_PASSES {
+            let mut device = SsdInsider::new(
+                InsiderConfig::new(replay_geometry()),
+                DecisionTree::constant(false),
+            );
+            let start = Instant::now();
+            let outcome = if scalar {
+                replay_device_scalar(trace, &mut device)
+            } else {
+                replay_device(trace, &mut device)
+            };
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(outcome.skipped, 0, "trace must fit the replay geometry");
+            best = best.min(elapsed);
+            last = Some(device);
+        }
+        (best, last.expect("at least one pass"))
     }
     eprintln!("bench_json: device-replay (sequential) — {} requests", trace.len());
-    let scalar_s = timed(trace, true);
-    let extent_s = timed(trace, false);
+    let (scalar_s, _) = timed(trace, true);
+    let (extent_s, device) = timed(trace, false);
     let reqs = trace.len() as f64;
     let speedup = scalar_s / extent_s;
     println!(
@@ -148,6 +152,7 @@ fn bench_device_replay(trace: &Trace) -> serde_json::Value {
         reqs / extent_s,
         reqs / scalar_s,
     );
+    let stats = device.nand_stats();
     json!({
         "trace": "sequential-read",
         "requests": trace.len() as u64,
@@ -155,6 +160,11 @@ fn bench_device_replay(trace: &Trace) -> serde_json::Value {
         "scalar": json!({ "elapsed_s": scalar_s, "requests_per_sec": reqs / scalar_s }),
         "extent": json!({ "elapsed_s": extent_s, "requests_per_sec": reqs / extent_s }),
         "speedup": speedup,
+        "latency": device.latency_snapshot(),
+        "die_busy_fraction": stats.die_busy_fractions(),
+        "bus_utilization": stats.bus_utilization(),
+        "buffers_shared": stats.buffers_shared,
+        "buffers_copied": stats.buffers_copied,
     })
 }
 

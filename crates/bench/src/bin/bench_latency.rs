@@ -1,0 +1,167 @@
+//! Machine-readable latency benchmark: replays the three standard traces
+//! through a whole [`SsdInsider`] device under every combination of
+//! {copy, zero-copy} payload path × {in-order, out-of-order} NAND command
+//! scheduling, and writes wall-clock throughput plus simulated per-command
+//! completion percentiles (p50/p95/p99), per-die busy fractions, per-channel
+//! bus utilization and read-promotion counts to `BENCH_latency.json`.
+//!
+//! The drive is prefilled to 90 % before the timed replay (the paper's
+//! "SSD filled with user files" worst case), so trace reads hit mapped
+//! pages. Prefill programs are part of the device's lifetime and appear in
+//! the program/total histograms; the read histogram comes purely from the
+//! trace. Writes use a page-sized shared buffer so the copy path pays a
+//! real 4 KiB memcpy per block while the zero-copy path bumps a refcount.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin bench_latency [-- out.json]
+//!
+//! `LAT_PASSES` overrides the timed passes per configuration (default 2).
+
+use bytes::Bytes;
+use insider_bench::{
+    prefill_ftl, random_trace, ransomware_mix_trace, replay_device_payload, replay_geometry,
+    sequential_trace,
+};
+use insider_detect::{DecisionTree, DetectorConfig};
+use insider_ftl::FtlConfig;
+use insider_nand::SchedMode;
+use insider_workloads::Trace;
+use serde_json::json;
+use ssd_insider::{InsiderConfig, SsdInsider};
+use std::time::Instant;
+
+/// Fraction of logical space written before the timed replay.
+const PREFILL: f64 = 0.9;
+
+fn timed_passes() -> usize {
+    std::env::var("LAT_PASSES").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+}
+
+fn make_device(sched: SchedMode, copy: bool) -> SsdInsider {
+    let ftl = FtlConfig::new(replay_geometry()).scheduler(sched).copy_payloads(copy);
+    SsdInsider::new(
+        InsiderConfig::from_parts(ftl, DetectorConfig::default()),
+        DecisionTree::constant(false),
+    )
+}
+
+/// One configuration's measurements on one trace.
+struct ConfigStats {
+    payload: &'static str,
+    scheduler: &'static str,
+    elapsed_s: f64,
+    blocks_per_sec: f64,
+    requests_per_sec: f64,
+    latency: Option<insider_nand::LatencySnapshot>,
+    reads_promoted: u64,
+    die_busy_fraction: Vec<f64>,
+    bus_utilization: Vec<f64>,
+    buffers_shared: u64,
+    buffers_copied: u64,
+}
+
+impl ConfigStats {
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "payload": self.payload,
+            "scheduler": self.scheduler,
+            "elapsed_s": self.elapsed_s,
+            "requests_per_sec": self.requests_per_sec,
+            "blocks_per_sec": self.blocks_per_sec,
+            "latency": self.latency,
+            "reads_promoted": self.reads_promoted,
+            "die_busy_fraction": self.die_busy_fraction,
+            "bus_utilization": self.bus_utilization,
+            "buffers_shared": self.buffers_shared,
+            "buffers_copied": self.buffers_copied,
+        })
+    }
+}
+
+/// One timed configuration on one trace: best-of-N wall-clock throughput
+/// plus the final pass's simulated-latency and utilization report.
+fn run_config(trace: &Trace, sched: SchedMode, copy: bool) -> ConfigStats {
+    let page = Bytes::from(vec![0xA5u8; replay_geometry().page_size() as usize]);
+    let mut best_s = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..timed_passes() {
+        let mut device = make_device(sched, copy);
+        prefill_ftl(&mut device, PREFILL);
+        let start = Instant::now();
+        let outcome = replay_device_payload(trace, &mut device, &page);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(outcome.skipped, 0, "trace must fit the replay geometry");
+        best_s = best_s.min(elapsed);
+        last = Some((outcome, device));
+    }
+    let (outcome, device) = last.expect("at least one timed pass");
+    let stats = device.nand_stats();
+    ConfigStats {
+        payload: if copy { "copy" } else { "zero-copy" },
+        scheduler: match sched {
+            SchedMode::InOrder => "in-order",
+            SchedMode::OutOfOrder => "out-of-order",
+            SchedMode::Legacy => "legacy",
+        },
+        elapsed_s: best_s,
+        requests_per_sec: trace.len() as f64 / best_s,
+        blocks_per_sec: trace.total_blocks() as f64 / best_s,
+        latency: outcome.latency,
+        reads_promoted: device.ftl().reads_promoted(),
+        die_busy_fraction: stats.die_busy_fractions(),
+        bus_utilization: stats.bus_utilization(),
+        buffers_shared: stats.buffers_shared,
+        buffers_copied: stats.buffers_copied,
+    }
+}
+
+fn bench_trace(name: &str, trace: &Trace) -> serde_json::Value {
+    eprintln!("bench_latency: {name} — {} requests", trace.len());
+    let mut configs = Vec::new();
+    for sched in [SchedMode::InOrder, SchedMode::OutOfOrder] {
+        for copy in [true, false] {
+            configs.push(run_config(trace, sched, copy));
+        }
+    }
+    // Headline: zero-copy speedup under the default out-of-order scheduler
+    // (configs[2] is copy × out-of-order, configs[3] zero-copy × same).
+    let speedup = configs[3].blocks_per_sec / configs[2].blocks_per_sec.max(f64::MIN_POSITIVE);
+    for c in &configs {
+        println!(
+            "{name:>16}: {:>9} × {:>12} {:>12.0} blk/s  read p99 {:>9} ns  promoted {}",
+            c.payload,
+            c.scheduler,
+            c.blocks_per_sec,
+            c.latency.map_or(0, |l| l.read.p99_ns),
+            c.reads_promoted,
+        );
+    }
+    json!({
+        "trace": name,
+        "requests": trace.len() as u64,
+        "blocks": trace.total_blocks(),
+        "configs": configs.iter().map(ConfigStats::to_json).collect::<Vec<_>>(),
+        "zero_copy_speedup": speedup,
+    })
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_latency.json".into());
+    let traces = vec![
+        bench_trace("sequential-read", &sequential_trace()),
+        bench_trace("random-mixed", &random_trace()),
+        bench_trace("ransomware-mix", &ransomware_mix_trace()),
+    ];
+    let doc = json!({
+        "benchmark": "device_latency",
+        "units": json!({ "throughput": "blocks/s", "latency": "simulated ns" }),
+        "timed_passes": timed_passes() as u64,
+        "prefill_fraction": PREFILL,
+        "page_bytes": replay_geometry().page_size(),
+        "note": "prefill programs are included in program/total histograms; reads come solely from the trace",
+        "traces": traces,
+    });
+    std::fs::write(&out, serde_json::to_string(&doc).expect("serializable"))
+        .expect("write benchmark JSON");
+    println!("wrote {out}");
+}

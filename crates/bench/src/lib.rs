@@ -23,8 +23,8 @@ pub use replay::feature_series;
 pub use outcome::RunOutcome;
 pub use replay::{
     prefill_ftl, random_trace, ransomware_mix_trace, replay_detector, replay_device,
-    replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry, sequential_trace,
-    small_space, ReplayOutcome,
+    replay_device_payload, replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry,
+    sequential_trace, small_space, ReplayOutcome,
 };
 pub use gc::{
     age_to_steady_state, aged_conventional, aged_insider, churn, gc_bench_config,

@@ -4,7 +4,7 @@ use bytes::Bytes;
 use insider_detect::{DecisionTree, Detector, DetectorConfig, IoMode, IoReq, Verdict};
 use insider_ftl::Ftl;
 use insider_nand::{Lba, SimTime};
-use insider_nand::Geometry;
+use insider_nand::{Geometry, LatencySnapshot};
 use insider_workloads::{merge, AppKind, FileSpace, FileSpaceConfig, RansomwareKind, Trace};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -131,13 +131,31 @@ pub(crate) fn payload() -> Bytes {
 /// models silently shrank — so callers should surface `skipped`, not
 /// ignore it.
 #[must_use = "check `skipped` — a nonzero value means the trace did not fit the drive"]
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ReplayOutcome {
     /// Blocks applied to the device.
     pub applied: u64,
     /// Blocks dropped for exceeding the device's logical capacity.
     pub skipped: u64,
+    /// Per-command completion latencies observed by the NAND scheduler,
+    /// when one was active (`None` under [`SchedMode::Legacy`]). Captured
+    /// after a final sync so every queued command is finalized.
+    ///
+    /// [`SchedMode::Legacy`]: insider_nand::SchedMode::Legacy
+    pub latency: Option<LatencySnapshot>,
 }
+
+/// Equality deliberately ignores `latency`: outcomes are compared by what
+/// the replay *did* (applied/skipped blocks); the scalar and extent paths
+/// batch commands differently, so their queueing latencies legitimately
+/// differ even when their effects are identical.
+impl PartialEq for ReplayOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.applied == other.applied && self.skipped == other.skipped
+    }
+}
+
+impl Eq for ReplayOutcome {}
 
 impl ReplayOutcome {
     /// Total blocks the trace asked for.
@@ -208,6 +226,8 @@ pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
         }
         outcome.applied += fit as u64;
     }
+    ftl.sync();
+    outcome.latency = ftl.latency_snapshot();
     outcome.warn_if_skipped("replay_ftl")
 }
 
@@ -241,6 +261,8 @@ pub fn replay_ftl_scalar(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
             outcome.applied += 1;
         }
     }
+    ftl.sync();
+    outcome.latency = ftl.latency_snapshot();
     outcome.warn_if_skipped("replay_ftl_scalar")
 }
 
@@ -257,6 +279,23 @@ pub fn replay_ftl_scalar(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
 ///
 /// Panics on device errors other than capacity exhaustion.
 pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> ReplayOutcome {
+    replay_device_payload(trace, device, &payload())
+}
+
+/// [`replay_device`] with a caller-chosen write payload. Every written
+/// block shares (refcounts) the same buffer, so the replay itself never
+/// copies — whether the *device* copies is decided by its
+/// `copy_payloads` configuration, which is exactly what the zero-copy
+/// benchmarks measure. Pass a page-sized buffer to make that measurable.
+///
+/// # Panics
+///
+/// Panics on device errors other than capacity exhaustion.
+pub fn replay_device_payload(
+    trace: &Trace,
+    device: &mut SsdInsider,
+    payload: &Bytes,
+) -> ReplayOutcome {
     use ssd_insider::DeviceState;
     let logical = Ftl::logical_pages(device);
     let mut outcome = ReplayOutcome::default();
@@ -269,7 +308,7 @@ pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> ReplayOutcome {
                 device.read_extent(lba, fit, req.time).expect("replay read failed");
             }
             IoMode::Write => {
-                let payloads = vec![payload(); fit as usize];
+                let payloads = vec![payload.clone(); fit as usize];
                 device
                     .write_extent(lba, &payloads, req.time)
                     .expect("replay write failed");
@@ -283,6 +322,8 @@ pub fn replay_device(trace: &Trace, device: &mut SsdInsider) -> ReplayOutcome {
             device.dismiss_alarm().expect("alarm pending");
         }
     }
+    device.sync();
+    outcome.latency = device.latency_snapshot();
     outcome.warn_if_skipped("replay_device")
 }
 
@@ -322,6 +363,8 @@ pub fn replay_device_scalar(trace: &Trace, device: &mut SsdInsider) -> ReplayOut
             device.dismiss_alarm().expect("alarm pending");
         }
     }
+    device.sync();
+    outcome.latency = device.latency_snapshot();
     outcome.warn_if_skipped("replay_device_scalar")
 }
 

@@ -6,7 +6,10 @@
 //! via the `crash_sweep` binary; `CRASH_SWEEP_STRIDE` / `CRASH_SWEEP_PAGES`
 //! override both.
 
-use insider_bench::SweepConfig;
+use bytes::Bytes;
+use insider_bench::{sweep_ftl_config, SweepConfig};
+use insider_ftl::{ConventionalFtl, Ftl, FtlError, InsiderFtl};
+use insider_nand::{FaultPlan, Lba, NandError, SimTime};
 
 #[test]
 fn bounded_crash_sweep_matrix_upholds_durability_contract() {
@@ -30,4 +33,66 @@ fn bounded_crash_sweep_matrix_upholds_durability_contract() {
             assert_eq!(summary.rollbacks_verified, 0, "{trace}: baseline has no queue");
         }
     }
+}
+
+/// In-flight-queue crash point: power drops while an 8-page extent write is
+/// mid-batch inside the NAND command scheduler. `FaultPlan` counts in
+/// *issue* order, so exactly the issued prefix is acked and the
+/// queued-but-unissued tail is lost atomically; the OOB remount must
+/// surface the acked prefix as new data and the lost tail as the old data.
+fn mid_batch_cut_loses_exactly_the_unissued_tail<F: Ftl>(
+    label: &str,
+    make: impl Fn() -> F,
+    set_plan: impl Fn(&mut F, FaultPlan),
+) {
+    const SPAN: u64 = 8;
+    let page = |tag: &str, i: u64| Bytes::from(format!("{tag}{i}").into_bytes());
+    for cut in 1..=SPAN {
+        let mut ftl = make();
+        let old: Vec<Bytes> = (0..SPAN).map(|i| page("old", i)).collect();
+        ftl.write_extent(Lba::new(0), &old, SimTime::from_secs(1)).unwrap();
+
+        let mut plan = FaultPlan::new();
+        plan.power_cut_after(cut);
+        set_plan(&mut ftl, plan);
+
+        let new: Vec<Bytes> = (0..SPAN).map(|i| page("new", i)).collect();
+        let before = ftl.stats().host_writes;
+        let now = SimTime::from_secs(2);
+        let err = ftl.write_extent(Lba::new(0), &new, now).unwrap_err();
+        assert!(
+            matches!(err, FtlError::Nand(NandError::PowerLoss)),
+            "[{label}] cut={cut}: expected a power loss, got {err}"
+        );
+        let acked = ftl.stats().host_writes - before;
+        assert_eq!(acked, cut - 1, "[{label}] cut={cut}: acked prefix diverges from issue order");
+
+        // Power restored: remount from the OOB scan and verify the prefix
+        // committed while the tail atomically kept its pre-cut contents.
+        ftl.power_cut(now).unwrap();
+        for i in 0..SPAN {
+            let got = ftl.read(Lba::new(i), now).unwrap();
+            let want = if i < acked { &new[i as usize] } else { &old[i as usize] };
+            assert_eq!(
+                got.as_deref(),
+                Some(want.as_ref()),
+                "[{label}] cut={cut}: lba {i} diverged after remount"
+            );
+        }
+    }
+}
+
+#[test]
+fn in_flight_queue_crash_points_remount_cleanly() {
+    let window = SweepConfig::fast().window;
+    mid_batch_cut_loses_exactly_the_unissued_tail(
+        "conventional",
+        || ConventionalFtl::new(sweep_ftl_config(window)),
+        ConventionalFtl::set_fault_plan,
+    );
+    mid_batch_cut_loses_exactly_the_unissued_tail(
+        "insider",
+        || InsiderFtl::new(sweep_ftl_config(window)),
+        InsiderFtl::set_fault_plan,
+    );
 }

@@ -1,0 +1,90 @@
+//! Scheduler/makespan differential oracle: the NAND command scheduler is a
+//! timing-only queueing model, so replaying a trace under the legacy
+//! per-die makespan estimate, in-order scheduling and out-of-order
+//! scheduling must leave the *entire physical device state* byte-identical
+//! — every page's state, payload and OOB record — and the scheduler's
+//! makespan must equal the legacy per-die busy maximum exactly (data is
+//! applied synchronously; only completion timestamps are simulated).
+
+use insider_bench::{
+    random_trace, ransomware_mix_trace, replay_ftl, replay_geometry, sequential_trace,
+};
+use insider_ftl::{ConventionalFtl, Ftl, FtlConfig, InsiderFtl};
+use insider_nand::{NandDevice, OobRecord, PageState, Ppa, SchedMode};
+use insider_workloads::Trace;
+
+fn traces() -> [(&'static str, Trace); 3] {
+    [
+        ("sequential-read", sequential_trace()),
+        ("random-mixed", random_trace()),
+        ("ransomware-mix", ransomware_mix_trace()),
+    ]
+}
+
+/// Full physical snapshot: `(state, payload, oob)` for every page.
+type PhysState = Vec<(PageState, Option<Vec<u8>>, Option<OobRecord>)>;
+
+fn physical_state(device: &NandDevice) -> PhysState {
+    let pages = device.geometry().total_pages();
+    (0..pages)
+        .map(|i| {
+            let ppa = Ppa::new(i);
+            (
+                device.page_state(ppa).unwrap(),
+                device.peek_data(ppa).unwrap().map(|b| b.to_vec()),
+                device.oob(ppa).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Replays `trace` under every scheduling mode through one FTL flavour and
+/// cross-checks the physical outcomes. `make` builds the FTL from a config;
+/// `device` exposes its raw NAND.
+fn check_flavour<F: Ftl>(
+    name: &str,
+    flavour: &str,
+    trace: &Trace,
+    make: impl Fn(FtlConfig) -> F,
+    device: impl Fn(&F) -> &NandDevice,
+) {
+    let run = |mode: SchedMode| {
+        let mut ftl = make(FtlConfig::new(replay_geometry()).scheduler(mode));
+        let outcome = replay_ftl(trace, &mut ftl);
+        assert_eq!(outcome.skipped, 0, "trace must fit the replay geometry");
+        ftl
+    };
+    let legacy = run(SchedMode::Legacy);
+    let reference = physical_state(device(&legacy));
+    for mode in [SchedMode::InOrder, SchedMode::OutOfOrder] {
+        let scheduled = run(mode);
+        let dev = device(&scheduled);
+        assert_eq!(
+            physical_state(dev),
+            reference,
+            "{name}/{flavour}/{mode:?}: physical state diverged from legacy"
+        );
+        assert_eq!(
+            scheduled.nand_stats(),
+            legacy.nand_stats(),
+            "{name}/{flavour}/{mode:?}: NAND statistics diverged"
+        );
+        // The scheduler never idles a die that has queued work and charges
+        // pure service time, so its makespan must equal the legacy
+        // per-die/per-bus busy maximum exactly (and thereby can never
+        // exceed it).
+        assert_eq!(
+            dev.sched_makespan_ns(),
+            dev.parallel_busy_ns(),
+            "{name}/{flavour}/{mode:?}: scheduler makespan diverged from legacy model"
+        );
+    }
+}
+
+#[test]
+fn all_sched_modes_leave_identical_physical_state() {
+    for (name, trace) in traces() {
+        check_flavour(name, "conventional", &trace, ConventionalFtl::new, ConventionalFtl::device);
+        check_flavour(name, "insider", &trace, InsiderFtl::new, InsiderFtl::device);
+    }
+}

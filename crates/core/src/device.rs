@@ -114,6 +114,18 @@ impl SsdInsider {
         self.ftl.nand_busy_ns()
     }
 
+    /// Drains the NAND command scheduler so every queued command's latency
+    /// is folded into the histograms (see [`Ftl::sync`]).
+    pub fn sync(&mut self) {
+        self.ftl.sync();
+    }
+
+    /// Per-command completion-latency percentiles from the NAND command
+    /// scheduler, `None` under the legacy makespan model.
+    pub fn latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        self.ftl.latency_snapshot()
+    }
+
     /// Software-path timing accumulators (paper Fig. 8).
     pub fn timing(&self) -> &IoTiming {
         &self.timing
@@ -425,6 +437,14 @@ impl Ftl for SsdInsider {
             DeviceError::Ftl(f) => f,
             _ => unreachable!("power cut never gates on state"),
         })
+    }
+
+    fn sync(&mut self) {
+        SsdInsider::sync(self);
+    }
+
+    fn latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        SsdInsider::latency_snapshot(self)
     }
 
     fn stats(&self) -> &FtlStats {

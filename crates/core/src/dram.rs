@@ -47,17 +47,27 @@ pub struct DramUsage {
     /// [`total_bytes`](Self::total_bytes): the scan buffer is freed before
     /// the device services its first host command.
     pub mount_scan_entries: usize,
+    /// Programs whose payload moved as a refcounted handle (the zero-copy
+    /// data path). Provenance counters, not a byte bill — excluded from
+    /// [`total_bytes`](Self::total_bytes).
+    pub buffers_shared: u64,
+    /// Programs whose payload arrived as a private copy (legacy deep-copy
+    /// hops). Zero on the default data path.
+    pub buffers_copied: u64,
 }
 
 impl DramUsage {
     /// Snapshot of a live device's structure sizes.
     pub fn measure(device: &SsdInsider) -> Self {
         let table = device.detector().engine().counting_table();
+        let nand = device.nand_stats();
         DramUsage {
             hash_entries: table.index_nodes(),
             counting_entries: table.len(),
             queue_entries: device.ftl().recovery_queue().len(),
             mount_scan_entries: device.ftl().mount_scan_entries() as usize,
+            buffers_shared: nand.buffers_shared,
+            buffers_copied: nand.buffers_copied,
         }
     }
 
@@ -69,6 +79,8 @@ impl DramUsage {
             counting_entries: 1_000,
             queue_entries: 2_621_440,
             mount_scan_entries: 0,
+            buffers_shared: 0,
+            buffers_copied: 0,
         }
     }
 
@@ -110,6 +122,8 @@ impl std::ops::Add for DramUsage {
             counting_entries: self.counting_entries + rhs.counting_entries,
             queue_entries: self.queue_entries + rhs.queue_entries,
             mount_scan_entries: self.mount_scan_entries + rhs.mount_scan_entries,
+            buffers_shared: self.buffers_shared + rhs.buffers_shared,
+            buffers_copied: self.buffers_copied + rhs.buffers_copied,
         }
     }
 }
@@ -230,7 +244,12 @@ impl std::fmt::Display for DramUsage {
             self.mount_scan_bytes()
         )?;
         writeln!(f, "total: {} bytes", self.total_bytes())?;
-        write!(f, "(* transient: freed before first host command, not in total)")
+        writeln!(f, "(* transient: freed before first host command, not in total)")?;
+        write!(
+            f,
+            "payload buffers: {} shared / {} copied",
+            self.buffers_shared, self.buffers_copied
+        )
     }
 }
 
@@ -329,21 +348,48 @@ mod tests {
             counting_entries: 2,
             queue_entries: 3,
             mount_scan_entries: 4,
+            buffers_shared: 5,
+            buffers_copied: 6,
         };
         let b = DramUsage {
             hash_entries: 10,
             counting_entries: 20,
             queue_entries: 30,
             mount_scan_entries: 40,
+            buffers_shared: 50,
+            buffers_copied: 60,
         };
         let sum: DramUsage = [a, b].into_iter().sum();
         assert_eq!(sum.hash_entries, 11);
         assert_eq!(sum.counting_entries, 22);
         assert_eq!(sum.queue_entries, 33);
         assert_eq!(sum.mount_scan_entries, 44);
+        assert_eq!(sum.buffers_shared, 55);
+        assert_eq!(sum.buffers_copied, 66);
         let mut acc = a;
         acc += b;
         assert_eq!(acc, sum);
+    }
+
+    #[test]
+    fn buffer_provenance_is_reported_but_not_billed() {
+        let mut ssd = SsdInsider::new(
+            InsiderConfig::new(Geometry::tiny()),
+            DecisionTree::constant(false),
+        );
+        let t = SimTime::from_secs(1);
+        ssd.write(Lba::new(0), Bytes::from_static(b"x"), t).unwrap();
+        let usage = DramUsage::measure(&ssd);
+        assert_eq!(usage.buffers_shared, 1, "host write moves a shared handle");
+        assert_eq!(usage.buffers_copied, 0);
+        let mut zeroed = usage;
+        zeroed.buffers_shared = 0;
+        assert_eq!(
+            usage.total_bytes(),
+            zeroed.total_bytes(),
+            "provenance counters are not a DRAM bill"
+        );
+        assert!(usage.to_string().contains("payload buffers: 1 shared / 0 copied"));
     }
 
     #[test]

@@ -266,6 +266,22 @@ impl MultiTenantSsd {
         Ok(self.shard(ns)?.logical_pages())
     }
 
+    /// Per-command NAND latency percentiles of namespace `ns`'s shard
+    /// (drained first, so queued commands are included), or `None` under
+    /// the legacy scheduling model.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on an unknown namespace.
+    pub fn latency_snapshot(
+        &self,
+        ns: NamespaceId,
+    ) -> Result<Option<insider_nand::LatencySnapshot>> {
+        let mut shard = self.shard(ns)?;
+        shard.sync();
+        Ok(shard.latency_snapshot())
+    }
+
     /// Confirms a pending alarm in namespace `ns`: that shard freezes
     /// writes and rolls back one window. Sibling namespaces keep full
     /// service.

@@ -257,7 +257,11 @@ impl<D: BlockDev> MiniExt<D> {
     /// Rewrites inode `idx`'s content to `data`, reusing existing blocks
     /// in place (so overwriting a file overwrites the same LBAs — the
     /// pattern SSD-Insider watches for).
-    fn write_inode_data(&mut self, idx: u32, data: &[u8]) -> Result<()> {
+    ///
+    /// The payload travels as a refcounted `Bytes`: each block's page is a
+    /// zero-copy [`slice`](Bytes::slice) of the file buffer, so the whole
+    /// host→NAND path moves one allocation by reference.
+    fn write_inode_data(&mut self, idx: u32, data: Bytes) -> Result<()> {
         let bs = self.dev.block_size() as usize;
         let needed = data.len().div_ceil(bs) as u64;
         let max = DIRECT_PTRS as u64 + self.ptrs_per_indirect() as u64;
@@ -284,7 +288,7 @@ impl<D: BlockDev> MiniExt<D> {
                 .map(|i| {
                     let lo = i * bs;
                     let hi = ((i + 1) * bs).min(data.len());
-                    Bytes::copy_from_slice(&data[lo..hi])
+                    data.slice(lo..hi)
                 })
                 .collect();
             self.dev.write_blocks(blocks[pos], &payloads)?;
@@ -408,7 +412,7 @@ impl<D: BlockDev> MiniExt<D> {
             buf.put_u32_le(*inode);
             buf.put_u32_le(1);
         }
-        self.write_inode_data(ROOT_INODE, &buf)
+        self.write_inode_data(ROOT_INODE, buf.freeze())
     }
 
     fn validate_name(name: &str) -> Result<()> {
@@ -453,10 +457,26 @@ impl<D: BlockDev> MiniExt<D> {
     /// Writes `data` as the full content of `name`, creating the file if
     /// needed. Existing blocks are overwritten in place.
     ///
+    /// Copies `data` into one owned buffer up front, then delegates to the
+    /// zero-copy [`write_file_bytes`](Self::write_file_bytes) — callers that
+    /// already hold a [`Bytes`] should use that directly and skip the copy.
+    ///
     /// # Errors
     ///
     /// Fails on invalid names, exhausted inodes/space, or device errors.
     pub fn write_file(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.write_file_bytes(name, Bytes::copy_from_slice(data))
+    }
+
+    /// Zero-copy variant of [`write_file`](Self::write_file): the payload is
+    /// a refcounted [`Bytes`] and every block written is a
+    /// [`slice`](Bytes::slice) of it, so no byte of file content is copied
+    /// between here and the NAND page it lands on.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid names, exhausted inodes/space, or device errors.
+    pub fn write_file_bytes(&mut self, name: &str, data: Bytes) -> Result<()> {
         Self::validate_name(name)?;
         let idx = match self.lookup(name)? {
             Some(idx) => idx,

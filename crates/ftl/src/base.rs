@@ -343,6 +343,44 @@ impl FtlBase {
         )
     }
 
+    /// Advances the device command scheduler's clock to the simulated time
+    /// of the host operation about to run. Every host-facing entry point
+    /// calls this first, so queued commands from earlier operations are
+    /// finalized before new ones are admitted.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.device.set_now(now);
+    }
+
+    /// Drains the device command scheduler (see [`Ftl::sync`]).
+    ///
+    /// [`Ftl::sync`]: crate::Ftl::sync
+    pub fn sync_device(&mut self) {
+        self.device.sync();
+    }
+
+    /// Scheduler latency percentiles, `None` under the legacy makespan
+    /// model (see [`Ftl::latency_snapshot`]).
+    ///
+    /// [`Ftl::latency_snapshot`]: crate::Ftl::latency_snapshot
+    pub fn latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        if self.device.sched_mode() == insider_nand::SchedMode::Legacy {
+            None
+        } else {
+            Some(self.device.latency_snapshot())
+        }
+    }
+
+    /// Passes a payload across an internal hop: a refcount bump on the
+    /// zero-copy path, a deep copy when the FTL was configured with
+    /// `FtlConfig::copy_payloads(true)` (the benchmark's legacy baseline).
+    fn hop(&self, data: &Bytes) -> Bytes {
+        if self.config.copy_payloads_enabled() {
+            Bytes::copy_from_slice(data)
+        } else {
+            data.clone()
+        }
+    }
+
     pub fn logical_pages(&self) -> u64 {
         self.mapping.len()
     }
@@ -579,6 +617,7 @@ impl FtlBase {
     /// mapping table — and the recovery queue — from flash alone.
     pub fn program_mapped(&mut self, lba: Lba, data: Bytes, stamp: SimTime) -> Result<Option<Ppa>> {
         let new = self.allocate()?;
+        let data = self.hop(&data);
         self.device.program_tagged(new, data, OobTag::live(lba, stamp))?;
         self.rmap[new.index() as usize] = Some(lba);
         let old = self.mapping.set(lba, Some(new));
@@ -658,7 +697,7 @@ impl FtlBase {
             .map(|(i, &ppa)| {
                 (
                     ppa,
-                    data[i].clone(),
+                    self.hop(&data[i]),
                     OobTag::live(lba.offset(i as u64), stamp),
                 )
             })
@@ -971,7 +1010,12 @@ impl FtlBase {
                     PageState::Valid => {
                         let lba = self.rmap[ppa.index() as usize]
                             .expect("valid page must have a reverse mapping");
+                        // Relocation moves a buffer handle, not bytes: the
+                        // read clones the stored `Bytes` (refcount bump) and
+                        // the program hands the same backing allocation to
+                        // the destination page.
                         let data = self.device.read(ppa)?;
+                        let data = self.hop(&data);
                         // Carry the host write stamp across the relocation;
                         // the fresh sequence number marks the copy as newer
                         // than its source, which is how a post-crash mount
@@ -994,7 +1038,11 @@ impl FtlBase {
                             // entry.
                             let lba = self.rmap[ppa.index() as usize]
                                 .expect("protected page must have a reverse mapping");
+                            // Same zero-copy relocation as the valid path:
+                            // the protected old version's backing buffer is
+                            // shared into its new home, never duplicated.
                             let data = self.device.read(ppa)?;
+                            let data = self.hop(&data);
                             // A backup tag: the copy holds a superseded
                             // version, so a post-crash mount must never pick
                             // it as the current mapping — but the preserved

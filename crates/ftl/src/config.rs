@@ -1,6 +1,6 @@
 //! FTL configuration.
 
-use insider_nand::{Geometry, NandConfig, SimTime};
+use insider_nand::{Geometry, NandConfig, SchedMode, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Garbage-collection victim-selection policy.
@@ -63,6 +63,7 @@ pub struct FtlConfig {
     gc_victim_index: bool,
     gc_migration_budget: Option<u64>,
     record_gc_victims: bool,
+    copy_payloads: bool,
 }
 
 impl FtlConfig {
@@ -85,6 +86,7 @@ impl FtlConfig {
             gc_victim_index: true,
             gc_migration_budget: None,
             record_gc_victims: false,
+            copy_payloads: false,
         }
     }
 
@@ -204,6 +206,49 @@ impl FtlConfig {
     /// Whether GC victim recording is enabled.
     pub fn gc_victim_recording(&self) -> bool {
         self.record_gc_victims
+    }
+
+    /// Selects the NAND command-scheduling model (see
+    /// [`SchedMode`]): `Legacy` keeps the original per-die makespan
+    /// estimate, `InOrder` queues commands per die in submission order, and
+    /// `OutOfOrder` (the default) additionally lets reads overtake queued
+    /// mutations on the same die when no dependency forbids it.
+    pub fn scheduler(mut self, mode: SchedMode) -> Self {
+        self.nand = self.nand.scheduler(mode);
+        self
+    }
+
+    /// Caps the simulated host queue depth used by the command scheduler's
+    /// closed-loop throttle (default 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.nand = self.nand.queue_depth(depth);
+        self
+    }
+
+    /// Records every scheduled NAND command with its issue/complete
+    /// timestamps (see `take_captured_commands` on the FTLs). Off by
+    /// default; the scheduler-oracle tests turn it on.
+    pub fn capture_commands(mut self, enabled: bool) -> Self {
+        self.nand = self.nand.capture_commands(enabled);
+        self
+    }
+
+    /// Forces the FTL to deep-copy every payload at each internal hop
+    /// instead of passing refcounted buffer handles — the legacy data path,
+    /// kept as the baseline arm of the zero-copy benchmark. Off by default.
+    pub fn copy_payloads(mut self, enabled: bool) -> Self {
+        self.copy_payloads = enabled;
+        self
+    }
+
+    /// Whether payloads are deep-copied at internal hops (benchmark
+    /// baseline) instead of moved by reference.
+    pub fn copy_payloads_enabled(&self) -> bool {
+        self.copy_payloads
     }
 
     /// The NAND configuration.
@@ -339,6 +384,27 @@ mod tests {
         let cfg = FtlConfig::new(Geometry::tiny());
         assert!(!cfg.gc_victim_recording());
         assert!(cfg.record_gc_victims(true).gc_victim_recording());
+    }
+
+    #[test]
+    fn scheduler_and_copy_knobs_pass_through() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert_eq!(cfg.nand().sched_mode(), SchedMode::OutOfOrder);
+        assert!(!cfg.copy_payloads_enabled());
+        let cfg = cfg
+            .scheduler(SchedMode::InOrder)
+            .queue_depth(8)
+            .capture_commands(true)
+            .copy_payloads(true);
+        assert_eq!(cfg.nand().sched_mode(), SchedMode::InOrder);
+        assert_eq!(cfg.nand().queue_depth_limit(), 8);
+        assert!(cfg.copy_payloads_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_panics() {
+        let _ = FtlConfig::new(Geometry::tiny()).queue_depth(0);
     }
 
     #[test]

@@ -74,10 +74,28 @@ impl ConventionalFtl {
     pub fn mount_scan_entries(&self) -> u64 {
         self.base.mount_scan_entries()
     }
+
+    /// Reads promoted past queued mutations by the out-of-order scheduler.
+    pub fn reads_promoted(&self) -> u64 {
+        self.base.device.reads_promoted()
+    }
+
+    /// Drains and returns the captured command log (empty unless configured
+    /// with `FtlConfig::capture_commands(true)`).
+    pub fn take_captured_commands(&mut self) -> Vec<insider_nand::CmdRecord> {
+        self.base.device.take_captured_commands()
+    }
+
+    /// Read-only view of the raw NAND device, for physical-state oracles
+    /// (page states, OOB records, scheduler makespans).
+    pub fn device(&self) -> &insider_nand::NandDevice {
+        &self.base.device
+    }
 }
 
 impl Ftl for ConventionalFtl {
     fn write(&mut self, lba: Lba, data: Bytes, now: SimTime) -> Result<()> {
+        self.base.set_clock(now);
         self.base.check_lba(lba)?;
         self.base.gc_if_needed(None)?;
         let old = self.base.program_mapped(lba, data, now)?;
@@ -88,14 +106,16 @@ impl Ftl for ConventionalFtl {
         Ok(())
     }
 
-    fn read(&mut self, lba: Lba, _now: SimTime) -> Result<Option<Bytes>> {
+    fn read(&mut self, lba: Lba, now: SimTime) -> Result<Option<Bytes>> {
+        self.base.set_clock(now);
         self.base.check_lba(lba)?;
         let data = self.base.read_mapped(lba)?;
         self.base.stats.host_reads += 1;
         Ok(data)
     }
 
-    fn trim(&mut self, lba: Lba, _now: SimTime) -> Result<()> {
+    fn trim(&mut self, lba: Lba, now: SimTime) -> Result<()> {
+        self.base.set_clock(now);
         self.base.check_lba(lba)?;
         if let Some(old) = self.base.mapping.set(lba, None) {
             self.base.invalidate(old)?;
@@ -104,7 +124,8 @@ impl Ftl for ConventionalFtl {
         Ok(())
     }
 
-    fn read_extent(&mut self, lba: Lba, len: u32, _now: SimTime) -> Result<Vec<Option<Bytes>>> {
+    fn read_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<Vec<Option<Bytes>>> {
+        self.base.set_clock(now);
         self.base.check_extent(lba, len)?;
         let out = self.base.read_extent_mapped(lba, len)?;
         self.base.stats.host_reads += len as u64;
@@ -115,23 +136,34 @@ impl Ftl for ConventionalFtl {
         if data.is_empty() {
             return Ok(());
         }
+        self.base.set_clock(now);
         self.base.check_extent(lba, data.len() as u32)?;
         self.base.gc_for_extent(data.len() as u64, None)?;
         self.base.program_extent_mapped(lba, data, now, None)
     }
 
-    fn power_cut(&mut self, _now: SimTime) -> Result<()> {
+    fn power_cut(&mut self, now: SimTime) -> Result<()> {
+        self.base.set_clock(now);
         self.base.remount()?;
         Ok(())
     }
 
-    fn trim_extent(&mut self, lba: Lba, len: u32, _now: SimTime) -> Result<()> {
+    fn trim_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<()> {
         if len == 0 {
             return Ok(());
         }
+        self.base.set_clock(now);
         self.base.check_extent(lba, len)?;
         self.base.unmap_extent(lba, len)?;
         Ok(())
+    }
+
+    fn sync(&mut self) {
+        self.base.sync_device();
+    }
+
+    fn latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        self.base.latency_snapshot()
     }
 
     fn stats(&self) -> &FtlStats {

@@ -92,6 +92,23 @@ impl InsiderFtl {
         self.base.nand_busy_detail()
     }
 
+    /// Reads promoted past queued mutations by the out-of-order scheduler.
+    pub fn reads_promoted(&self) -> u64 {
+        self.base.device.reads_promoted()
+    }
+
+    /// Drains and returns the captured command log (empty unless configured
+    /// with `FtlConfig::capture_commands(true)`).
+    pub fn take_captured_commands(&mut self) -> Vec<insider_nand::CmdRecord> {
+        self.base.device.take_captured_commands()
+    }
+
+    /// Read-only view of the raw NAND device, for physical-state oracles
+    /// (page states, OOB records, scheduler makespans).
+    pub fn device(&self) -> &insider_nand::NandDevice {
+        &self.base.device
+    }
+
     /// Whether the drive is refusing writes pending recovery.
     pub fn is_read_only(&self) -> bool {
         self.read_only
@@ -228,6 +245,7 @@ impl InsiderFtl {
     ///
     /// Fails only on internal inconsistencies surfaced by the OOB scan.
     pub fn power_cut(&mut self, now: SimTime) -> Result<()> {
+        self.base.set_clock(now);
         let chains = self.base.remount()?;
         self.queue.clear();
         let anchor = self.frozen_at.map_or(now, |f| f.min(now));
@@ -276,6 +294,7 @@ impl Ftl for InsiderFtl {
         if self.read_only {
             return Err(FtlError::ReadOnly);
         }
+        self.base.set_clock(now);
         self.base.check_lba(lba)?;
         self.tick(now);
         self.base.gc_if_needed(Some(&mut self.queue))?;
@@ -293,7 +312,8 @@ impl Ftl for InsiderFtl {
         Ok(())
     }
 
-    fn read(&mut self, lba: Lba, _now: SimTime) -> Result<Option<Bytes>> {
+    fn read(&mut self, lba: Lba, now: SimTime) -> Result<Option<Bytes>> {
+        self.base.set_clock(now);
         self.base.check_lba(lba)?;
         let data = self.base.read_mapped(lba)?;
         self.base.stats.host_reads += 1;
@@ -304,6 +324,7 @@ impl Ftl for InsiderFtl {
         if self.read_only {
             return Err(FtlError::ReadOnly);
         }
+        self.base.set_clock(now);
         self.base.check_lba(lba)?;
         self.tick(now);
         if let Some(old) = self.base.mapping.set(lba, None) {
@@ -315,7 +336,8 @@ impl Ftl for InsiderFtl {
         Ok(())
     }
 
-    fn read_extent(&mut self, lba: Lba, len: u32, _now: SimTime) -> Result<Vec<Option<Bytes>>> {
+    fn read_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<Vec<Option<Bytes>>> {
+        self.base.set_clock(now);
         self.base.check_extent(lba, len)?;
         let out = self.base.read_extent_mapped(lba, len)?;
         self.base.stats.host_reads += len as u64;
@@ -329,6 +351,7 @@ impl Ftl for InsiderFtl {
         if self.read_only {
             return Err(FtlError::ReadOnly);
         }
+        self.base.set_clock(now);
         self.base.check_extent(lba, data.len() as u32)?;
         self.tick(now);
         self.base.gc_for_extent(data.len() as u64, Some(&mut self.queue))?;
@@ -350,6 +373,7 @@ impl Ftl for InsiderFtl {
         if self.read_only {
             return Err(FtlError::ReadOnly);
         }
+        self.base.set_clock(now);
         self.base.check_extent(lba, len)?;
         self.tick(now);
         let olds = self.base.unmap_extent(lba, len)?;
@@ -362,6 +386,14 @@ impl Ftl for InsiderFtl {
             }
         }
         Ok(())
+    }
+
+    fn sync(&mut self) {
+        self.base.sync_device();
+    }
+
+    fn latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        self.base.latency_snapshot()
     }
 
     fn stats(&self) -> &FtlStats {

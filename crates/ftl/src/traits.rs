@@ -2,7 +2,7 @@
 
 use crate::{FtlStats, GcVictim, Result};
 use bytes::Bytes;
-use insider_nand::{Lba, NandStats, SimTime};
+use insider_nand::{LatencySnapshot, Lba, NandStats, SimTime};
 
 /// Host-facing interface of a flash translation layer.
 ///
@@ -96,6 +96,20 @@ pub trait Ftl {
     ///
     /// Fails only on internal inconsistencies surfaced by the OOB scan.
     fn power_cut(&mut self, now: SimTime) -> Result<()>;
+
+    /// Drains the device command scheduler: every queued command is
+    /// finalized and folded into the latency histograms. Call before
+    /// reading a [`latency_snapshot`](Ftl::latency_snapshot) so in-flight
+    /// tails are not silently dropped. A no-op for FTLs without a scheduled
+    /// device (the default).
+    fn sync(&mut self) {}
+
+    /// Per-command completion-latency percentiles from the device command
+    /// scheduler, or `None` when the device runs the legacy makespan model
+    /// (the default for implementors without a scheduled device).
+    fn latency_snapshot(&self) -> Option<LatencySnapshot> {
+        None
+    }
 
     /// FTL-level statistics (host ops, GC cost).
     fn stats(&self) -> &FtlStats;

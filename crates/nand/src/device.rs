@@ -2,10 +2,12 @@
 
 use crate::block::Block;
 use crate::fault::{FaultCheck, FaultKind, FaultPlan};
+use crate::latency::LatencySnapshot;
 use crate::oob::{OobRecord, OobTag};
 use crate::page::PageState;
+use crate::sched::{CmdRecord, CmdScheduler, SchedMode};
 use crate::stats::NandStats;
-use crate::{Geometry, NandError, Pba, Ppa, Result};
+use crate::{Geometry, NandError, Pba, Ppa, Result, SimTime};
 use bytes::Bytes;
 
 /// Timing and reliability configuration for a [`NandDevice`].
@@ -23,6 +25,9 @@ pub struct NandConfig {
     /// the chips of one channel).
     bus_transfer_ns: u64,
     endurance: u32,
+    sched_mode: SchedMode,
+    queue_depth: usize,
+    capture_commands: bool,
 }
 
 impl NandConfig {
@@ -38,6 +43,10 @@ impl NandConfig {
             // 1.2 GB/s read throughput across 8 channels.
             bus_transfer_ns: 30_000,
             endurance: 3_000,
+            sched_mode: SchedMode::default(),
+            // NVMe-class default: one submission queue 32 deep.
+            queue_depth: 32,
+            capture_commands: false,
         }
     }
 
@@ -74,6 +83,46 @@ impl NandConfig {
     /// The per-block program/erase endurance limit.
     pub fn endurance_limit(&self) -> u32 {
         self.endurance
+    }
+
+    /// Selects the timing model: the legacy busy-integral estimate, a
+    /// strict in-order command queue, or the out-of-order scheduler
+    /// (the default). All three apply data identically; see
+    /// [`SchedMode`].
+    pub fn scheduler(mut self, mode: SchedMode) -> Self {
+        self.sched_mode = mode;
+        self
+    }
+
+    /// The configured timing model.
+    pub fn sched_mode(&self) -> SchedMode {
+        self.sched_mode
+    }
+
+    /// Sets the closed-loop host queue depth the scheduler models (how
+    /// many commands the host keeps in flight before its next arrival
+    /// waits for a completion). Default 32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth is at least one");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// The configured host queue depth.
+    pub fn queue_depth_limit(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Enables the per-command capture log
+    /// (`NandDevice::take_captured_commands`), used by the ordering
+    /// proptests. Off by default — the log grows with every command.
+    pub fn capture_commands(mut self, enabled: bool) -> Self {
+        self.capture_commands = enabled;
+        self
     }
 
     /// The device geometry.
@@ -116,16 +165,17 @@ impl NandConfig {
 pub struct NandDevice {
     config: NandConfig,
     blocks: Vec<Block>,
+    /// Cumulative counters, including the per-die and per-channel busy
+    /// integrals: programs and erases occupy a die, dies operate in
+    /// parallel on real hardware, and all chips of one channel share its
+    /// bus — the device-level makespan is `max(busiest die, busiest bus)`
+    /// rather than the serial sum.
     stats: NandStats,
-    /// Simulated busy time accumulated per chip (die): programs and erases
-    /// occupy a die, and dies operate in parallel on real hardware — the
-    /// device-level makespan is the maximum over chips rather than the
-    /// serial sum.
-    chip_busy: Vec<u64>,
-    /// Page-transfer time accumulated per channel bus: all chips of a
-    /// channel share it, so it serializes their data transfers and is the
-    /// read-throughput bound on real cards.
-    bus_busy: Vec<u64>,
+    /// The per-channel/per-die command queue: every successful operation
+    /// is also admitted here (unless the legacy mode is selected), which
+    /// yields per-command completion timestamps and latency percentiles.
+    /// Timing only — data application stays synchronous at submit.
+    sched: CmdScheduler,
     faults: FaultPlan,
     /// Next global program sequence number for tagged programs (1-based).
     ///
@@ -144,32 +194,57 @@ impl NandDevice {
             .collect();
         let chips = config.geometry.total_chips() as usize;
         let channels = config.geometry.channels() as usize;
+        let sched = CmdScheduler::new(
+            chips,
+            channels,
+            config.sched_mode,
+            config.queue_depth,
+            config.capture_commands,
+        );
         NandDevice {
-            config,
+            stats: NandStats::with_shape(chips, channels),
+            sched,
             blocks,
-            stats: NandStats::new(),
-            chip_busy: vec![0; chips],
-            bus_busy: vec![0; channels],
+            config,
             faults: FaultPlan::new(),
             next_seq: 1,
         }
     }
 
-    fn charge_chip(&mut self, pba: Pba, ns: u64, bus_ns: u64) {
+    /// Charges one successful command to the busy integrals and, unless
+    /// the legacy timing model is selected, admits it to the command
+    /// scheduler. `page` is the flat physical page index (`u64::MAX` for
+    /// erases). Debug builds run both accountings and assert the
+    /// scheduler's busy integrals match the legacy vectors exactly — the
+    /// scheduler/makespan differential oracle.
+    fn charge(&mut self, kind: FaultKind, page: u64, pba: Pba, ns: u64, bus_ns: u64) {
         let chip = (pba.index() / self.config.geometry.blocks_per_chip()) as usize;
-        self.chip_busy[chip] += ns;
+        self.stats.die_busy_ns[chip] += ns;
         let ch = pba.channel(&self.config.geometry) as usize;
-        self.bus_busy[ch] += bus_ns;
+        self.stats.bus_busy_ns[ch] += bus_ns;
+        if self.config.sched_mode != SchedMode::Legacy {
+            self.sched.admit(kind, chip, ch, page, u64::from(pba.index()), ns, bus_ns);
+            debug_assert_eq!(
+                self.sched.die_busy_ns(),
+                &self.stats.die_busy_ns[..],
+                "scheduler die busy integrals diverged from legacy accounting"
+            );
+            debug_assert_eq!(
+                self.sched.bus_busy_ns(),
+                &self.stats.bus_busy_ns[..],
+                "scheduler bus busy integrals diverged from legacy accounting"
+            );
+        }
     }
 
     /// Simulated busy time per chip (die), in nanoseconds.
     pub fn chip_busy_ns(&self) -> &[u64] {
-        &self.chip_busy
+        &self.stats.die_busy_ns
     }
 
     /// Page-transfer busy time per channel bus, in nanoseconds.
     pub fn bus_busy_ns(&self) -> &[u64] {
-        &self.bus_busy
+        &self.stats.bus_busy_ns
     }
 
     /// Device-level makespan under perfect die parallelism, bounded by the
@@ -178,9 +253,64 @@ impl NandDevice {
     /// serial sum) to see how much parallelism a workload's distribution
     /// can exploit.
     pub fn parallel_busy_ns(&self) -> u64 {
-        let chip = self.chip_busy.iter().copied().max().unwrap_or(0);
-        let bus = self.bus_busy.iter().copied().max().unwrap_or(0);
-        chip.max(bus)
+        self.stats.parallel_busy_ns()
+    }
+
+    /// Advances the device clock to the simulated instant `now`: command
+    /// arrivals are stamped with it, and every queued window whose service
+    /// already started is finalized into the latency histograms. The FTL
+    /// calls this at the top of each host operation. No-op in legacy mode.
+    pub fn set_now(&mut self, now: SimTime) {
+        if self.config.sched_mode != SchedMode::Legacy {
+            self.sched.set_now(now.as_micros().saturating_mul(1000));
+        }
+    }
+
+    /// Flushes the command scheduler: every queued window is finalized so
+    /// [`latency_snapshot`](Self::latency_snapshot) covers all admitted
+    /// commands. Call at end of run or before reading percentiles.
+    pub fn sync(&mut self) {
+        self.sched.flush();
+    }
+
+    /// Per-kind latency percentiles over every finalized command. Covers
+    /// only commands the scheduler has finalized — [`sync`](Self::sync)
+    /// first for end-of-run figures. Empty in legacy mode.
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.sched.snapshot()
+    }
+
+    /// The scheduler's busy-integral makespan. Equal to
+    /// [`parallel_busy_ns`](Self::parallel_busy_ns) by construction (both
+    /// sum pure service time per resource); zero in legacy mode.
+    pub fn sched_makespan_ns(&self) -> u64 {
+        self.sched.makespan_ns()
+    }
+
+    /// Queue-aware completion horizon: when the last known command
+    /// finishes, including idle gaps between arrivals. Zero in legacy mode.
+    pub fn completion_horizon_ns(&self) -> u64 {
+        self.sched.completion_horizon_ns()
+    }
+
+    /// How many reads the out-of-order scheduler promoted past at least
+    /// one queued mutation.
+    pub fn reads_promoted(&self) -> u64 {
+        self.sched.reads_promoted()
+    }
+
+    /// The timing model in effect.
+    pub fn sched_mode(&self) -> SchedMode {
+        self.config.sched_mode
+    }
+
+    /// Drains the per-command capture log (empty unless
+    /// `NandConfig::capture_commands` was enabled). Flushes the scheduler
+    /// first so still-queued commands are finalized into the log — taking
+    /// the log means asking for the complete schedule so far.
+    pub fn take_captured_commands(&mut self) -> Vec<CmdRecord> {
+        self.sched.flush();
+        self.sched.take_captured()
     }
 
     /// The device geometry.
@@ -263,6 +393,10 @@ impl NandDevice {
                 }
             }
         }
+        // Timing windows queued at the instant of the cut are finalized:
+        // their data already landed (application is synchronous at
+        // submit), and the restarted device must not carry stale windows.
+        self.sched.flush();
         self.faults.power_restored();
     }
 
@@ -285,9 +419,17 @@ impl NandDevice {
         let page = block.page(ppa.page_offset(&g));
         match page.data() {
             Some(data) => {
+                // Reference-counted handoff: the host gets a handle to the
+                // stored buffer, not a copy.
                 let data = data.clone();
                 self.stats.record_read(self.config.read_latency_ns);
-                self.charge_chip(ppa.block(&g), self.config.read_latency_ns, self.config.bus_transfer_ns);
+                self.charge(
+                    FaultKind::Read,
+                    ppa.index(),
+                    ppa.block(&g),
+                    self.config.read_latency_ns,
+                    self.config.bus_transfer_ns,
+                );
                 Ok(data)
             }
             None => {
@@ -367,11 +509,21 @@ impl NandDevice {
             self.next_seq += 1;
             record
         });
+        // Provenance: is the payload's backing buffer still aliased by an
+        // upstream holder (zero-copy) or did it arrive uniquely owned (a
+        // private allocation was handed over)?
+        self.stats.record_buffer(data.is_shared());
         let block = &mut self.blocks[raw];
         block.page_mut(offset).program(data, oob);
         block.advance_write_ptr();
         self.stats.record_program(self.config.program_latency_ns);
-        self.charge_chip(ppa.block(&g), self.config.program_latency_ns, self.config.bus_transfer_ns);
+        self.charge(
+            FaultKind::Program,
+            ppa.index(),
+            ppa.block(&g),
+            self.config.program_latency_ns,
+            self.config.bus_transfer_ns,
+        );
         Ok(())
     }
 
@@ -398,16 +550,22 @@ impl NandDevice {
         Ok(out)
     }
 
-    /// Multi-page program submit: programs every page of one extent in a
-    /// single device call, in order, with per-page accounting identical to
-    /// N individual [`program`](Self::program) calls (see
-    /// [`read_pages`](Self::read_pages) for the serial-vs-parallel split).
+    /// Multi-page program submit: the batch is enqueued and drained in
+    /// *issue order* — programs are mutations, which the scheduler never
+    /// reorders, so issue order equals submission order. Each page is
+    /// applied, fault-checked and charged exactly as an individual
+    /// [`program`](Self::program) call (see [`read_pages`](Self::read_pages)
+    /// for the serial-vs-parallel split).
     ///
     /// Returns how many leading pages were programmed alongside the overall
     /// result: on a mid-batch failure the count tells the caller exactly
     /// which prefix landed, so it can finish its mapping bookkeeping for
     /// those pages before handling the error — a partially applied extent
-    /// must never leave orphaned valid pages.
+    /// must never leave orphaned valid pages. Because the fault plan is
+    /// consulted per command at drain, a power cut scheduled by
+    /// [`FaultPlan::power_cut_after`](crate::FaultPlan::power_cut_after)
+    /// counts commands in issue order: the triggering program and the
+    /// entire queued-but-unissued tail of the batch are lost atomically.
     pub fn program_pages(&mut self, pages: Vec<(Ppa, Bytes)>) -> (usize, Result<()>) {
         let total = pages.len();
         for (done, (ppa, data)) in pages.into_iter().enumerate() {
@@ -451,6 +609,21 @@ impl NandDevice {
             .copied())
     }
 
+    /// The stored payload of the page at `ppa`, if programmed. Metadata
+    /// peek with no timing or fault checks, for differential oracles and
+    /// tests; the host data path uses [`read`](Self::read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PpaOutOfRange`] for addresses beyond the geometry.
+    pub fn peek_data(&self, ppa: Ppa) -> Result<Option<&Bytes>> {
+        self.check_ppa(ppa)?;
+        let g = self.config.geometry;
+        Ok(self.blocks[ppa.block(&g).index() as usize]
+            .page(ppa.page_offset(&g))
+            .data())
+    }
+
     /// Reads the out-of-band record of the page at `ppa` as a mount scan
     /// does: charged as a full page read (array time plus bus transfer) and
     /// subject to the fault plan. Unprogrammed pages yield `Ok(None)` — the
@@ -473,7 +646,13 @@ impl NandDevice {
             .oob()
             .copied();
         self.stats.record_read(self.config.read_latency_ns);
-        self.charge_chip(ppa.block(&g), self.config.read_latency_ns, self.config.bus_transfer_ns);
+        self.charge(
+            FaultKind::Read,
+            ppa.index(),
+            ppa.block(&g),
+            self.config.read_latency_ns,
+            self.config.bus_transfer_ns,
+        );
         Ok(record)
     }
 
@@ -536,7 +715,7 @@ impl NandDevice {
         }
         block.erase();
         self.stats.record_erase(self.config.erase_latency_ns);
-        self.charge_chip(pba, self.config.erase_latency_ns, 0);
+        self.charge(FaultKind::Erase, u64::MAX, pba, self.config.erase_latency_ns, 0);
         Ok(())
     }
 
@@ -914,6 +1093,68 @@ mod tests {
         // The sequence counter continues past the surviving maximum.
         d.program_tagged(Ppa::new(1), Bytes::from_static(b"b"), tag).unwrap();
         assert!(d.oob(Ppa::new(1)).unwrap().unwrap().seq > oob.seq);
+    }
+
+    #[test]
+    fn scheduler_records_per_command_latency() {
+        let mut d = dev();
+        assert_eq!(d.sched_mode(), SchedMode::OutOfOrder);
+        d.set_now(SimTime::from_secs(1));
+        d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
+        d.read(Ppa::new(0)).unwrap();
+        d.sync();
+        let snap = d.latency_snapshot();
+        assert_eq!(snap.program.count, 1);
+        assert_eq!(snap.read.count, 1);
+        assert_eq!(snap.total.count, 2);
+        // Same-page read-after-program: the read waited for the program.
+        assert!(snap.read.max_ns >= 500_000 + 50_000);
+        assert_eq!(d.sched_makespan_ns(), d.parallel_busy_ns());
+    }
+
+    #[test]
+    fn legacy_mode_reports_no_percentiles() {
+        let g = Geometry::tiny();
+        let mut d = NandDevice::new(NandConfig::new(g).scheduler(SchedMode::Legacy));
+        d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
+        d.read(Ppa::new(0)).unwrap();
+        d.sync();
+        assert_eq!(d.latency_snapshot().total.count, 0);
+        assert_eq!(d.sched_makespan_ns(), 0);
+        assert!(d.stats().busy_ns > 0, "legacy busy integrals still accumulate");
+    }
+
+    #[test]
+    fn buffer_provenance_is_classified_at_program() {
+        let mut d = dev();
+        // A handle the caller still holds: zero-copy, classified shared.
+        let kept = Bytes::from(vec![1u8; 4]);
+        d.program(Ppa::new(0), kept.clone()).unwrap();
+        // Sole ownership handed over: a private allocation, classified
+        // copied (the hallmark of a deep-copying data path).
+        let private = Bytes::from(vec![2u8; 4]);
+        d.program(Ppa::new(1), private).unwrap();
+        assert_eq!(d.stats().buffers_shared, 1);
+        assert_eq!(d.stats().buffers_copied, 1);
+        // Reading back shares the stored buffer rather than copying it.
+        let read = d.read(Ppa::new(0)).unwrap();
+        assert_eq!(read.as_ref().as_ptr(), kept.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn captured_commands_expose_schedule_order() {
+        let g = Geometry::tiny();
+        let mut d = NandDevice::new(NandConfig::new(g).capture_commands(true));
+        d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
+        d.program(Ppa::new(1), Bytes::from_static(b"b")).unwrap();
+        d.read(Ppa::new(0)).unwrap();
+        d.sync();
+        let mut rec = d.take_captured_commands();
+        rec.sort_by_key(|r| r.submit);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec[2].kind, FaultKind::Read);
+        // Same-page dependency: the read starts at or after its program.
+        assert!(rec[2].start_ns >= rec[0].start_ns);
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! operation fails with [`NandError::PowerLoss`] until the FTL remounts it —
 //! the mechanism behind the crash-point sweep harness.
 //!
+//! The plan is consulted once per command at the instant the command is
+//! *issued* (drained from a batch submit), so counting follows issue order.
+//! Mutations are never reordered by the command scheduler — only reads may
+//! be promoted, and reads do not advance the mutation counter — so issue
+//! order equals submission order for every counted command, and a power cut
+//! that lands mid-batch atomically loses the triggering program plus the
+//! whole queued-but-unissued tail of its batch.
+//!
 //! [`NandError::PowerLoss`]: crate::NandError::PowerLoss
 
 use std::collections::BTreeSet;

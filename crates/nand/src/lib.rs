@@ -52,8 +52,10 @@ mod device;
 mod error;
 mod fault;
 mod geometry;
+mod latency;
 mod oob;
 mod page;
+mod sched;
 mod stats;
 mod types;
 
@@ -63,8 +65,10 @@ pub use device::{NandConfig, NandDevice};
 pub use error::NandError;
 pub use fault::{FaultKind, FaultPlan};
 pub use geometry::{Geometry, GeometryBuilder};
+pub use latency::{KindLatency, LatencyHistogram, LatencySnapshot};
 pub use oob::{OobRecord, OobTag};
 pub use page::{Page, PageState};
+pub use sched::{CmdRecord, CmdScheduler, SchedMode};
 pub use stats::NandStats;
 pub use types::{Lba, SimTime};
 

@@ -1,0 +1,586 @@
+//! Per-channel/per-die NAND command scheduler.
+//!
+//! The legacy timing model charges every successful operation to a per-die
+//! and per-channel *busy integral* and reports the makespan `max(die, bus)` —
+//! an aggregate estimate with no notion of a queue, so it cannot say what
+//! latency any single command observed. This module adds a queueing
+//! simulator on top of the same integrals:
+//!
+//! - every command *arrives* at the device clock (`set_now`, driven by the
+//!   simulated trace time), waits for its die and its channel bus, and
+//!   *completes* at `max(die done, bus done)`;
+//! - dies execute their queue in order, back to back; the channel bus is a
+//!   second, independently seized resource (transfer and array time are not
+//!   serialized against each other, matching the decoupled busy-integral
+//!   accounting — the scheduler's busy makespan therefore equals the legacy
+//!   estimate exactly, which debug builds assert);
+//! - in [`SchedMode::OutOfOrder`] a read may be promoted ahead of *queued*
+//!   (not yet started) programs and erases on its die. Reads never pass
+//!   reads, mutations never pass anything, and a read never passes a
+//!   program to the same page or an erase to the same block — the
+//!   dependencies that would change observable data;
+//! - completed commands feed per-kind latency histograms
+//!   ([`crate::LatencySnapshot`]), the per-request figure a production
+//!   drive lives by.
+//!
+//! A closed-loop queue-depth throttle models a host that keeps at most
+//! `queue_depth` commands in flight: when the ring is full, the next
+//! command's arrival is pushed to the completion of the command issued
+//! `queue_depth` ago. Without it, a trace replayed faster than the device
+//! drains would grow queues (and reported latency) without bound.
+//!
+//! The scheduler is *timing only*: page contents, OOB records and error
+//! results are applied synchronously at submit, in submission order, so
+//! data-path behavior (and the crash sweep's acked-prefix durability
+//! contract) is byte-identical across all three modes.
+
+use crate::fault::FaultKind;
+use crate::latency::{KindLatency, LatencyHistogram, LatencySnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Safety valve: windows force-finalized beyond this per-die queue length.
+/// Bounds scheduler memory under open-loop overload; finalizing early only
+/// freezes a latency sample that could otherwise still grow.
+const MAX_WINDOWS_PER_DIE: usize = 256;
+
+/// Which timing model the device runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedMode {
+    /// Busy-integral estimate only (the pre-scheduler model): no command
+    /// queue, no per-command timestamps, no latency percentiles. Kept as
+    /// the differential baseline.
+    Legacy,
+    /// Full command queue, strict FIFO per die.
+    InOrder,
+    /// Full command queue; reads may overtake queued programs/erases on
+    /// their die (never same-page/same-block dependencies, never other
+    /// reads). The default.
+    #[default]
+    OutOfOrder,
+}
+
+impl SchedMode {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedMode::Legacy => "legacy",
+            SchedMode::InOrder => "in-order",
+            SchedMode::OutOfOrder => "out-of-order",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finalized command, emitted when capture is enabled
+/// (`NandConfig::capture_commands`). The ordering proptests use these to
+/// prove out-of-order issue never reorders a same-page read after its
+/// program or a same-block read after its erase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmdRecord {
+    /// Command kind.
+    pub kind: FaultKind,
+    /// Flat physical page index (`u64::MAX` for erases).
+    pub page: u64,
+    /// Flat physical block index.
+    pub block: u64,
+    /// Die the command executed on.
+    pub die: usize,
+    /// Global submission sequence number (issue order).
+    pub submit: u64,
+    /// Arrival at the device, ns of simulated time.
+    pub arrival_ns: u64,
+    /// Die service start, ns.
+    pub start_ns: u64,
+    /// Completion (`max(die done, bus done)`), ns.
+    pub complete_ns: u64,
+}
+
+/// A queued-but-unfinalized command on one die.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    kind: FaultKind,
+    page: u64,
+    block: u64,
+    submit: u64,
+    arrival_ns: u64,
+    start_ns: u64,
+    service_ns: u64,
+    /// Channel-bus completion, fixed at admission (the bus is seized in
+    /// admission order); zero when the command moves no data on the bus.
+    bus_done_ns: u64,
+}
+
+impl Window {
+    fn end_ns(&self) -> u64 {
+        self.start_ns + self.service_ns
+    }
+
+    fn complete_ns(&self) -> u64 {
+        self.end_ns().max(self.bus_done_ns)
+    }
+}
+
+/// The per-channel/per-die command scheduler. See the [module
+/// docs](self) for the model.
+#[derive(Debug, Clone)]
+pub struct CmdScheduler {
+    mode: SchedMode,
+    /// Device clock: latest host arrival time, ns (monotone).
+    now_ns: u64,
+    submit_seq: u64,
+    /// Queued windows per die, in execution order.
+    dies: Vec<VecDeque<Window>>,
+    /// End of the last *finalized* window per die.
+    die_horizon_ns: Vec<u64>,
+    /// Channel-bus free time (the bus is seized in admission order).
+    bus_free_ns: Vec<u64>,
+    /// Busy integrals, maintained independently of `NandStats` as the
+    /// differential check against the legacy accounting.
+    die_busy_ns: Vec<u64>,
+    bus_busy_ns: Vec<u64>,
+    queue_depth: usize,
+    /// Completion estimates of the last `queue_depth` admissions.
+    recent: VecDeque<u64>,
+    reads_promoted: u64,
+    read_hist: LatencyHistogram,
+    program_hist: LatencyHistogram,
+    erase_hist: LatencyHistogram,
+    total_hist: LatencyHistogram,
+    capture: Option<Vec<CmdRecord>>,
+}
+
+impl CmdScheduler {
+    /// A scheduler over `dies` dies and `channels` channel buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the queue depth is zero.
+    pub fn new(dies: usize, channels: usize, mode: SchedMode, queue_depth: usize, capture: bool) -> Self {
+        assert!(dies >= 1 && channels >= 1, "scheduler needs at least one die and channel");
+        assert!(queue_depth >= 1, "queue depth is at least one");
+        CmdScheduler {
+            mode,
+            now_ns: 0,
+            submit_seq: 0,
+            dies: vec![VecDeque::new(); dies],
+            die_horizon_ns: vec![0; dies],
+            bus_free_ns: vec![0; channels],
+            die_busy_ns: vec![0; dies],
+            bus_busy_ns: vec![0; channels],
+            queue_depth,
+            recent: VecDeque::new(),
+            reads_promoted: 0,
+            read_hist: LatencyHistogram::new(),
+            program_hist: LatencyHistogram::new(),
+            erase_hist: LatencyHistogram::new(),
+            total_hist: LatencyHistogram::new(),
+            capture: capture.then(Vec::new),
+        }
+    }
+
+    /// The timing model in effect.
+    pub fn mode(&self) -> SchedMode {
+        self.mode
+    }
+
+    /// Advances the device clock (monotone; earlier instants are clamped)
+    /// and finalizes every window whose service started strictly before the
+    /// new instant — a started window can no longer be displaced by a
+    /// promoted read. (Strictly: a window starting exactly *now* is still
+    /// fair game for a read arriving now.)
+    pub fn set_now(&mut self, now_ns: u64) {
+        if now_ns > self.now_ns {
+            self.now_ns = now_ns;
+        }
+        for die in 0..self.dies.len() {
+            self.purge_started(die);
+        }
+    }
+
+    fn purge_started(&mut self, die: usize) {
+        while let Some(w) = self.dies[die].front() {
+            if w.start_ns < self.now_ns {
+                let w = self.dies[die].pop_front().expect("front exists");
+                self.finalize(die, w);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn finalize(&mut self, die: usize, w: Window) {
+        let complete = w.complete_ns();
+        let latency = complete - w.arrival_ns;
+        match w.kind {
+            FaultKind::Read => self.read_hist.record(latency),
+            FaultKind::Program => self.program_hist.record(latency),
+            FaultKind::Erase => self.erase_hist.record(latency),
+        }
+        self.total_hist.record(latency);
+        self.die_horizon_ns[die] = self.die_horizon_ns[die].max(w.end_ns());
+        if let Some(log) = self.capture.as_mut() {
+            log.push(CmdRecord {
+                kind: w.kind,
+                page: w.page,
+                block: w.block,
+                die,
+                submit: w.submit,
+                arrival_ns: w.arrival_ns,
+                start_ns: w.start_ns,
+                complete_ns: complete,
+            });
+        }
+    }
+
+    /// Admits one successful command: schedules it on `die`/`channel`,
+    /// charges the busy integrals, and returns its estimated completion
+    /// time (queued mutations may still slip if a later read is promoted
+    /// past them; the finalized latency sample accounts for that).
+    ///
+    /// `page` is the flat physical page index (`u64::MAX` for erases),
+    /// `block` the flat block index — the identities the dependency guard
+    /// keys on. `service_ns` is array time, `bus_ns` channel-transfer time.
+    /// (The argument list mirrors the command descriptor one-to-one; a
+    /// builder would only obscure the single call site in `NandDevice`.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit(
+        &mut self,
+        kind: FaultKind,
+        die: usize,
+        channel: usize,
+        page: u64,
+        block: u64,
+        service_ns: u64,
+        bus_ns: u64,
+    ) -> u64 {
+        self.die_busy_ns[die] += service_ns;
+        self.bus_busy_ns[channel] += bus_ns;
+        let submit = self.submit_seq;
+        self.submit_seq += 1;
+
+        // Closed-loop host: with `queue_depth` commands outstanding, the
+        // next one cannot arrive before the oldest of them completed.
+        let mut arrival_ns = self.now_ns;
+        if self.recent.len() >= self.queue_depth {
+            if let Some(&oldest) = self.recent.front() {
+                arrival_ns = arrival_ns.max(oldest);
+            }
+        }
+        self.purge_started(die);
+
+        // The channel bus is seized in admission order.
+        let bus_done_ns = if bus_ns == 0 {
+            0
+        } else {
+            let done = self.bus_free_ns[channel].max(arrival_ns) + bus_ns;
+            self.bus_free_ns[channel] = done;
+            done
+        };
+
+        let mut w = Window {
+            kind,
+            page,
+            block,
+            submit,
+            arrival_ns,
+            start_ns: 0,
+            service_ns,
+            bus_done_ns,
+        };
+
+        let queue = &mut self.dies[die];
+        let ins = if self.mode == SchedMode::OutOfOrder && kind == FaultKind::Read {
+            // A read may jump queued windows, but never one that already
+            // started by its arrival, never another read, and never a
+            // program to the same page or an erase to its block.
+            let mut ins = 0;
+            for (i, q) in queue.iter().enumerate() {
+                let blocking = q.start_ns < arrival_ns
+                    || match q.kind {
+                        FaultKind::Read => true,
+                        FaultKind::Program => q.page == page,
+                        FaultKind::Erase => q.block == block,
+                    };
+                if blocking {
+                    ins = i + 1;
+                }
+            }
+            ins
+        } else {
+            queue.len()
+        };
+        if ins < queue.len() {
+            self.reads_promoted += 1;
+        }
+
+        let mut prev_end = if ins == 0 {
+            self.die_horizon_ns[die]
+        } else {
+            queue[ins - 1].end_ns()
+        };
+        w.start_ns = w.arrival_ns.max(prev_end);
+        let complete = w.complete_ns();
+        queue.insert(ins, w);
+        // Re-chain everything the insertion displaced.
+        prev_end = queue[ins].end_ns();
+        for q in queue.iter_mut().skip(ins + 1) {
+            q.start_ns = q.arrival_ns.max(prev_end);
+            prev_end = q.end_ns();
+        }
+
+        self.recent.push_back(complete);
+        while self.recent.len() > self.queue_depth {
+            self.recent.pop_front();
+        }
+        while self.dies[die].len() > MAX_WINDOWS_PER_DIE {
+            let w = self.dies[die].pop_front().expect("over-cap queue is non-empty");
+            self.finalize(die, w);
+        }
+        complete
+    }
+
+    /// Finalizes every queued window (end of run / explicit sync). The
+    /// device clock and busy integrals are untouched.
+    pub fn flush(&mut self) {
+        for die in 0..self.dies.len() {
+            while let Some(w) = self.dies[die].pop_front() {
+                self.finalize(die, w);
+            }
+        }
+    }
+
+    /// Per-kind latency percentiles over every *finalized* command. Call
+    /// [`flush`](Self::flush) first to include still-queued windows.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            read: KindLatency::from_histogram(&self.read_hist),
+            program: KindLatency::from_histogram(&self.program_hist),
+            erase: KindLatency::from_histogram(&self.erase_hist),
+            total: KindLatency::from_histogram(&self.total_hist),
+        }
+    }
+
+    /// Per-die busy integrals (pure service time), ns.
+    pub fn die_busy_ns(&self) -> &[u64] {
+        &self.die_busy_ns
+    }
+
+    /// Per-channel bus busy integrals, ns.
+    pub fn bus_busy_ns(&self) -> &[u64] {
+        &self.bus_busy_ns
+    }
+
+    /// Busy-integral makespan: the most loaded die or channel bus. Equal by
+    /// construction to the legacy `parallel_busy_ns` estimate (both sum
+    /// pure service time), which the differential oracle asserts.
+    pub fn makespan_ns(&self) -> u64 {
+        let die = self.die_busy_ns.iter().copied().max().unwrap_or(0);
+        let bus = self.bus_busy_ns.iter().copied().max().unwrap_or(0);
+        die.max(bus)
+    }
+
+    /// Queue-aware completion horizon: when the last currently known
+    /// command finishes. Unlike [`makespan_ns`](Self::makespan_ns) this
+    /// includes idle gaps between arrivals.
+    pub fn completion_horizon_ns(&self) -> u64 {
+        let mut horizon = self.bus_free_ns.iter().copied().max().unwrap_or(0);
+        for (die, queue) in self.dies.iter().enumerate() {
+            let end = queue.back().map_or(self.die_horizon_ns[die], |w| w.end_ns());
+            horizon = horizon.max(end);
+        }
+        horizon
+    }
+
+    /// How many reads were promoted past at least one queued mutation.
+    pub fn reads_promoted(&self) -> u64 {
+        self.reads_promoted
+    }
+
+    /// Commands currently queued (admitted but not finalized).
+    pub fn queued(&self) -> usize {
+        self.dies.iter().map(VecDeque::len).sum()
+    }
+
+    /// Drains the capture log (empty unless capture was enabled at
+    /// construction). Records appear in finalization order; sort by
+    /// `submit` to recover issue order.
+    pub fn take_captured(&mut self) -> Vec<CmdRecord> {
+        self.capture.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const READ_NS: u64 = 50_000;
+    const PROG_NS: u64 = 500_000;
+    const ERASE_NS: u64 = 3_000_000;
+    const BUS_NS: u64 = 30_000;
+
+    fn sched(mode: SchedMode) -> CmdScheduler {
+        CmdScheduler::new(4, 2, mode, 1024, true)
+    }
+
+    #[test]
+    fn in_order_read_waits_behind_program() {
+        let mut s = sched(SchedMode::InOrder);
+        s.admit(FaultKind::Program, 0, 0, 1, 0, PROG_NS, BUS_NS);
+        let done = s.admit(FaultKind::Read, 0, 0, 2, 0, READ_NS, BUS_NS);
+        assert_eq!(done, PROG_NS + READ_NS, "read starts when the program ends");
+        s.flush();
+        let snap = s.snapshot();
+        assert_eq!(snap.read.count, 1);
+        assert_eq!(snap.read.max_ns, PROG_NS + READ_NS);
+        assert_eq!(s.reads_promoted(), 0);
+    }
+
+    #[test]
+    fn out_of_order_read_overtakes_unrelated_program() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Program, 0, 0, 1, 0, PROG_NS, BUS_NS);
+        let done = s.admit(FaultKind::Read, 0, 0, 2, 0, READ_NS, BUS_NS);
+        // Die service finishes at READ_NS; the bus (seized in admission
+        // order) finishes at 2×BUS_NS, well before the program would end.
+        assert_eq!(done, READ_NS.max(2 * BUS_NS));
+        assert!(done < PROG_NS);
+        assert_eq!(s.reads_promoted(), 1);
+        s.flush();
+        let snap = s.snapshot();
+        // The displaced program now ends at READ_NS + PROG_NS.
+        assert_eq!(snap.program.max_ns, READ_NS + PROG_NS);
+    }
+
+    #[test]
+    fn read_never_overtakes_program_to_same_page() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Program, 0, 0, 7, 0, PROG_NS, BUS_NS);
+        let done = s.admit(FaultKind::Read, 0, 0, 7, 0, READ_NS, BUS_NS);
+        assert_eq!(done, PROG_NS + READ_NS, "same-page read must wait");
+        assert_eq!(s.reads_promoted(), 0);
+    }
+
+    #[test]
+    fn read_never_overtakes_erase_of_its_block() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Erase, 0, 0, u64::MAX, 3, ERASE_NS, 0);
+        let same = s.admit(FaultKind::Read, 0, 0, 48, 3, READ_NS, BUS_NS);
+        assert_eq!(same, ERASE_NS + READ_NS, "read of the erased block waits");
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Erase, 0, 0, u64::MAX, 3, ERASE_NS, 0);
+        let other = s.admit(FaultKind::Read, 0, 0, 64, 4, READ_NS, BUS_NS);
+        assert!(other < ERASE_NS, "read of another block overtakes the erase");
+    }
+
+    #[test]
+    fn reads_never_pass_reads() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Program, 0, 0, 1, 0, PROG_NS, BUS_NS);
+        s.admit(FaultKind::Read, 0, 0, 2, 0, READ_NS, BUS_NS);
+        s.admit(FaultKind::Read, 0, 0, 3, 0, READ_NS, BUS_NS);
+        s.flush();
+        let rec = s.take_captured();
+        let r2 = rec.iter().find(|r| r.page == 2).unwrap();
+        let r3 = rec.iter().find(|r| r.page == 3).unwrap();
+        assert!(r3.start_ns >= r2.start_ns, "later read starts after earlier read");
+    }
+
+    #[test]
+    fn busy_integrals_accumulate_service_time_only() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Program, 0, 0, 1, 0, PROG_NS, BUS_NS);
+        s.admit(FaultKind::Read, 1, 1, 100, 6, READ_NS, BUS_NS);
+        s.admit(FaultKind::Erase, 0, 0, u64::MAX, 0, ERASE_NS, 0);
+        assert_eq!(s.die_busy_ns(), &[PROG_NS + ERASE_NS, READ_NS, 0, 0]);
+        assert_eq!(s.bus_busy_ns(), &[BUS_NS, BUS_NS]);
+        assert_eq!(s.makespan_ns(), PROG_NS + ERASE_NS);
+        assert!(s.completion_horizon_ns() >= s.makespan_ns());
+    }
+
+    #[test]
+    fn set_now_finalizes_started_windows() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Read, 0, 0, 1, 0, READ_NS, BUS_NS);
+        assert_eq!(s.queued(), 1);
+        s.set_now(1); // the read started at 0 — it can no longer be displaced
+        assert_eq!(s.queued(), 0);
+        assert_eq!(s.snapshot().read.count, 1);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.set_now(1_000_000);
+        s.set_now(400); // clamped
+        let done = s.admit(FaultKind::Read, 0, 0, 1, 0, READ_NS, 0);
+        assert_eq!(done, 1_000_000 + READ_NS);
+    }
+
+    #[test]
+    fn queue_depth_throttle_bounds_latency() {
+        // Open loop: 64 programs arrive at t=0 on one die; the last one
+        // waits for all predecessors.
+        let mut open = CmdScheduler::new(1, 1, SchedMode::InOrder, 1024, false);
+        for i in 0..64 {
+            open.admit(FaultKind::Program, 0, 0, i, 0, PROG_NS, BUS_NS);
+        }
+        open.flush();
+        let open_p99 = open.snapshot().program.p99_ns;
+        // Closed loop at QD 2: arrival is pushed to completion of the
+        // command two back, so queueing delay stays ~bounded.
+        let mut closed = CmdScheduler::new(1, 1, SchedMode::InOrder, 2, false);
+        for i in 0..64 {
+            closed.admit(FaultKind::Program, 0, 0, i, 0, PROG_NS, BUS_NS);
+        }
+        closed.flush();
+        let closed_p99 = closed.snapshot().program.p99_ns;
+        assert!(
+            closed_p99 < open_p99,
+            "closed-loop p99 {closed_p99} should be below open-loop {open_p99}"
+        );
+        assert!(closed_p99 <= 3 * PROG_NS);
+    }
+
+    #[test]
+    fn per_die_queue_is_bounded() {
+        let mut s = CmdScheduler::new(1, 1, SchedMode::InOrder, 100_000, false);
+        for i in 0..10 * MAX_WINDOWS_PER_DIE as u64 {
+            s.admit(FaultKind::Program, 0, 0, i, 0, PROG_NS, 0);
+        }
+        assert!(s.queued() <= MAX_WINDOWS_PER_DIE);
+        s.flush();
+        assert_eq!(s.snapshot().program.count, 10 * MAX_WINDOWS_PER_DIE as u64);
+    }
+
+    #[test]
+    fn capture_preserves_submit_order_metadata() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Program, 0, 0, 1, 0, PROG_NS, BUS_NS);
+        s.admit(FaultKind::Read, 0, 0, 2, 0, READ_NS, BUS_NS);
+        s.flush();
+        let mut rec = s.take_captured();
+        assert_eq!(rec.len(), 2);
+        rec.sort_by_key(|r| r.submit);
+        assert_eq!(rec[0].kind, FaultKind::Program);
+        assert_eq!(rec[1].kind, FaultKind::Read);
+        // The promoted read starts before the program it overtook.
+        assert!(rec[1].start_ns < rec[0].start_ns);
+        assert!(s.take_captured().is_empty(), "capture log drains");
+    }
+
+    #[test]
+    fn legacy_mode_is_inert_estimation() {
+        // Legacy mode still exists as an enum value the device gates on;
+        // the scheduler itself behaves identically if driven — the device
+        // simply never admits in legacy mode.
+        assert_eq!(SchedMode::default(), SchedMode::OutOfOrder);
+        assert_eq!(SchedMode::Legacy.to_string(), "legacy");
+        assert_eq!(SchedMode::InOrder.name(), "in-order");
+    }
+}

@@ -62,6 +62,19 @@ impl Bytes {
         }
     }
 
+    /// Whether the backing storage is aliased beyond this handle: `true`
+    /// for static slices (never copied at all) and for heap buffers whose
+    /// reference count exceeds one. A `false` answer means this handle
+    /// uniquely owns its allocation — i.e. somewhere upstream a private
+    /// copy was materialized for it. Zero-copy audits use this to classify
+    /// payload provenance at the point a buffer is stored.
+    pub fn is_shared(&self) -> bool {
+        match &self.repr {
+            Repr::Static(_) => true,
+            Repr::Shared { buf, .. } => Arc::strong_count(buf) > 1,
+        }
+    }
+
     /// A sub-view of this slice sharing the same backing storage.
     ///
     /// # Panics
@@ -423,6 +436,20 @@ mod tests {
         assert_eq!(b.slice(..).as_ref(), b.as_ref());
         let st = Bytes::from_static(b"abc").slice(1..);
         assert_eq!(st.as_ref(), b"bc");
+    }
+
+    #[test]
+    fn is_shared_tracks_aliasing() {
+        let unique = Bytes::from(vec![1, 2, 3]);
+        assert!(!unique.is_shared(), "sole owner of a heap allocation");
+        let alias = unique.clone();
+        assert!(unique.is_shared() && alias.is_shared());
+        let sub = unique.slice(1..2);
+        drop(alias);
+        assert!(sub.is_shared(), "slice still aliases the parent");
+        drop(unique);
+        assert!(!sub.is_shared(), "last handle standing owns the buffer");
+        assert!(Bytes::from_static(b"s").is_shared(), "statics are never copied");
     }
 
     #[test]
