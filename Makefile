@@ -2,6 +2,13 @@
 #
 #   make tier1       — the gating check: release build, quick tests, and a
 #                      zero-warning clippy pass over the whole workspace.
+#   make ci          — the full offline CI gate (what .github/workflows/ci.yml
+#                      runs): tier1, rustfmt check, clippy over all targets,
+#                      bounded crash-sweep / latency / multitenant smoke runs
+#                      (env bounds below; smoke JSON goes to target/ci/, never
+#                      touching the committed artifacts), then bench_check
+#                      validating every committed BENCH_*.json schema and
+#                      headline ratio. No network needed: deps are vendored.
 #   make test        — full workspace test suite, including the differential
 #                      interval-vs-naive counting-table tests.
 #   make bench       — criterion micro-benchmarks (detector group includes
@@ -28,15 +35,43 @@
 #                      die/bus utilization; LAT_PASSES overrides the timed
 #                      passes. Tier 1 runs a bounded latency smoke test with
 #                      LAT_PAGES override instead.)
+#
+# Env knobs (all optional):
+#   CKPT_INTERVAL      — host-write pages between mapping-table checkpoints
+#                        (bench_mount default 65536; crash_sweep arms a small
+#                        interval for its checkpointed pass; 0 disables).
+#   MOUNT_THREADS      — remount scan shards (0 = one per available core,
+#                        1 = the serial legacy path; bench_mount measures both).
+#   CRASH_SWEEP_STRIDE / CRASH_SWEEP_PAGES / CRASH_SWEEP_FS_POINTS
+#                      — crash-sweep density: cut-point stride, per-trace
+#                        write budget, filesystem-scenario cut points.
+#   (Block buffer cache capacity is an API knob, not env:
+#    FsBridge::cached(capacity) / BlockCache::new(dev, capacity).)
+#   MT_SHARDS / MT_WORKERS / MT_REPEATS, LAT_PASSES — bench sweep bounds.
 
 CARGO ?= cargo
 
-.PHONY: tier1 test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant bench-latency
+# Bounds for the CI smoke runs: dense enough to cross several checkpoint
+# writes and every code path, small enough to finish in seconds.
+CI_SWEEP_ENV = CRASH_SWEEP_STRIDE=41 CRASH_SWEEP_PAGES=160 CRASH_SWEEP_FS_POINTS=6
+CI_LAT_ENV = LAT_PASSES=1
+CI_MT_ENV = MT_SHARDS=1,2 MT_WORKERS=2 MT_REPEATS=2
+
+.PHONY: tier1 ci test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant bench-latency
 
 tier1:
 	$(CARGO) build --release
 	$(CARGO) test -q
 	$(CARGO) clippy --release --workspace -- -D warnings
+
+ci: tier1
+	$(CARGO) fmt --all -- --check
+	$(CARGO) clippy --release --workspace --all-targets -- -D warnings
+	mkdir -p target/ci
+	$(CI_SWEEP_ENV) $(CARGO) run --release -p insider-bench --bin crash_sweep
+	$(CI_LAT_ENV) $(CARGO) run --release -p insider-bench --bin bench_latency target/ci/BENCH_latency.json
+	$(CI_MT_ENV) $(CARGO) run --release -p insider-bench --bin bench_multitenant target/ci/BENCH_multitenant.json
+	$(CARGO) run --release -p insider-bench --bin bench_check
 
 test:
 	$(CARGO) test --workspace -q

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use insider_detect::{
-    CountingBackend, CountingTable, DecisionTree, Detector, DetectorConfig, FeatureVector,
-    IoMode, IoReq, NaiveCountingTable,
+    CountingBackend, CountingTable, DecisionTree, Detector, DetectorConfig, FeatureVector, IoMode,
+    IoReq, NaiveCountingTable,
 };
 use insider_nand::{Lba, SimTime};
 use std::hint::black_box;
@@ -53,7 +53,7 @@ fn bench_table_layouts(c: &mut Criterion) {
         let slice = *i / 1_000;
         table.record_read_range(black_box(lba), black_box(256), slice);
         black_box(table.record_write_range(black_box(lba), black_box(256), slice));
-        if *i % 1_000 == 0 {
+        if (*i).is_multiple_of(1_000) {
             black_box(table.evict_older_than(slice.saturating_sub(10)));
         }
     }
@@ -92,5 +92,10 @@ fn bench_tree_predict(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ingest, bench_table_layouts, bench_tree_predict);
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_table_layouts,
+    bench_tree_predict
+);
 criterion_main!(benches);

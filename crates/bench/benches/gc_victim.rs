@@ -24,7 +24,10 @@ fn bench_gc_victim(c: &mut Criterion) {
     group.sample_size(20);
     let g = gc_bench_geometry();
 
-    for (indexed, name) in [(true, "conventional/indexed"), (false, "conventional/legacy-scan")] {
+    for (indexed, name) in [
+        (true, "conventional/indexed"),
+        (false, "conventional/legacy-scan"),
+    ] {
         let (mut ftl, mut cursor) = aged_conventional(g, indexed);
         group.bench_function(name, |b| {
             b.iter(|| {

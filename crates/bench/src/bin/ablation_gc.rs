@@ -61,7 +61,10 @@ fn main() {
                 };
                 prefill_ftl(ftl, 0.9);
                 let outcome = replay_ftl(&run.trace, ftl);
-                assert_eq!(outcome.skipped, 0, "ablation traces must fit the replay drive");
+                assert_eq!(
+                    outcome.skipped, 0,
+                    "ablation traces must fit the replay drive"
+                );
                 let s = ftl.stats();
                 let (wmin, wmax, wmean) = ftl.wear_summary();
                 let label = if leveling.is_some() {

@@ -21,11 +21,17 @@ const EXPERIMENTS: &[(&str, &[&str], &str)] = &[
     ("fig9", &["120"], "Fig. 9 — GC cost of delayed deletion"),
     ("table2", &["100"], "Table II — consistency after rollback"),
     ("table3", &["30"], "Table III — DRAM requirements"),
-    ("ablation", &["5", "60"], "Ablations — features, window, slice"),
+    (
+        "ablation",
+        &["5", "60"],
+        "Ablations — features, window, slice",
+    ),
 ];
 
 fn main() -> ExitCode {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "evaluation.md".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "evaluation.md".to_string());
     let exe_dir = std::env::current_exe()
         .expect("current exe path")
         .parent()

@@ -15,12 +15,20 @@ use insider_detect::{DecisionTree, DetectorConfig};
 use insider_nand::SimTime;
 use insider_workloads::table1;
 
-fn evaluate(tree: DecisionTree, runs: &[(insider_workloads::Scenario, u64)], config: DetectorConfig, duration: SimTime) -> (f64, f64) {
+fn evaluate(
+    tree: DecisionTree,
+    runs: &[(insider_workloads::Scenario, u64)],
+    config: DetectorConfig,
+    duration: SimTime,
+) -> (f64, f64) {
     let mut acc = RateAccumulator::new();
     for (scenario, seed) in runs {
         let run = scenario.build(*seed, duration);
         let verdicts = replay_detector(&run.trace, tree.clone(), config);
-        acc.add(&RunOutcome::new(verdicts, run.active, config.slice), config.threshold);
+        acc.add(
+            &RunOutcome::new(verdicts, run.active, config.slice),
+            config.threshold,
+        );
     }
     (acc.frr_pct(), acc.far_pct())
 }
@@ -62,10 +70,7 @@ fn main() {
         format!("{frr:.1}"),
         format!("{far:.1}"),
     ]);
-    println!(
-        "{}",
-        render_table(&["detector", "FRR %", "FAR %"], &rows)
-    );
+    println!("{}", render_table(&["detector", "FRR %", "FAR %"], &rows));
     println!();
     println!("Expected shape: every single-threshold detector trades FRR against");
     println!("FAR (low k flags wipers/DB; high k misses slow families); the tree");

@@ -1,0 +1,325 @@
+//! CI gate over the committed benchmark artifacts: validates the schema of
+//! every `BENCH_*.json` in the repo and fails when a headline ratio
+//! regresses below its floor.
+//!
+//! The floors are deliberately far below the currently measured values —
+//! they catch "the optimization silently fell off" (a 96x GC speedup
+//! collapsing to 1x, the checkpoint mount path degenerating to a full
+//! scan), not run-to-run noise on a shared CI host:
+//!
+//! * detect: interval table at least as fast as the naive layout on every
+//!   trace, and >= [`DETECT_HEADLINE_MIN`]x on the best one.
+//! * gc: indexed victim selection >= [`GC_SPEEDUP_MIN`]x the legacy scan on
+//!   both FTLs, and the trace-replay victim sequences byte-identical.
+//! * latency: zero-copy never slower than the copying payload path.
+//! * mount: checkpoint+tail remount >= [`MOUNT_SPEEDUP_MIN`]x the serial
+//!   full scan at 90 % utilization (both arms measured on the same host in
+//!   the same run, so the ratio is noise-resistant).
+//! * multitenant: the shard curve is present and strictly increasing.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin bench_check [-- repo_dir]
+//!
+//! Exits nonzero listing every violated check; prints one line per file on
+//! success.
+
+use serde_json::Value;
+use std::path::Path;
+
+const DETECT_HEADLINE_MIN: f64 = 10.0;
+const GC_SPEEDUP_MIN: f64 = 5.0;
+const MOUNT_SPEEDUP_MIN: f64 = 5.0;
+
+/// A check failure: file + human-readable violation.
+struct Violation(String, String);
+
+/// One schema/headline check over a parsed artifact.
+type Check = fn(&Value, &mut Vec<Violation>);
+
+fn load(dir: &Path, name: &str, errors: &mut Vec<Violation>) -> Option<Value> {
+    let path = dir.join(name);
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            errors.push(Violation(name.into(), format!("unreadable: {e}")));
+            return None;
+        }
+    };
+    match serde_json::from_str(&raw) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            errors.push(Violation(name.into(), format!("invalid JSON: {e}")));
+            None
+        }
+    }
+}
+
+/// Fetches a dotted path (`rows.3.mount_ms`); records a violation when the
+/// path is missing.
+fn get<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = doc;
+    for part in path.split('.') {
+        cur = match part.parse::<usize>() {
+            Ok(i) => match cur {
+                Value::Seq(items) => items.get(i)?,
+                _ => return None,
+            },
+            Err(_) => cur.get(part)?,
+        };
+    }
+    Some(cur)
+}
+
+// The vendored `serde_json::Value` is a bare content tree without the real
+// crate's `as_*` accessors; these free functions fill that gap locally.
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::F64(f) => Some(f),
+        Value::U64(n) => Some(n as f64),
+        Value::I64(n) => Some(n as f64),
+        _ => None,
+    }
+}
+
+fn as_i64(v: &Value) -> Option<i64> {
+    match *v {
+        Value::U64(n) => i64::try_from(n).ok(),
+        Value::I64(n) => Some(n),
+        _ => None,
+    }
+}
+
+fn as_bool(v: &Value) -> Option<bool> {
+    match *v {
+        Value::Bool(b) => Some(b),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_array(v: &Value) -> Option<&Vec<Value>> {
+    match v {
+        Value::Seq(items) => Some(items),
+        _ => None,
+    }
+}
+
+fn need_f64(doc: &Value, path: &str, name: &str, errors: &mut Vec<Violation>) -> Option<f64> {
+    match get(doc, path).and_then(as_f64) {
+        Some(v) if v.is_finite() => Some(v),
+        _ => {
+            errors.push(Violation(
+                name.into(),
+                format!("missing or non-numeric `{path}`"),
+            ));
+            None
+        }
+    }
+}
+
+fn need_array<'a>(
+    doc: &'a Value,
+    path: &str,
+    name: &str,
+    errors: &mut Vec<Violation>,
+) -> Option<&'a Vec<Value>> {
+    match get(doc, path).and_then(as_array) {
+        Some(a) if !a.is_empty() => Some(a),
+        _ => {
+            errors.push(Violation(
+                name.into(),
+                format!("missing or empty array `{path}`"),
+            ));
+            None
+        }
+    }
+}
+
+fn check_detect(doc: &Value, errors: &mut Vec<Violation>) {
+    let name = "BENCH_detect.json";
+    let Some(traces) = need_array(doc, "traces", name, errors) else {
+        return;
+    };
+    let mut best = 0.0f64;
+    for (i, t) in traces.iter().enumerate() {
+        for field in [
+            "interval.requests_per_sec",
+            "naive.requests_per_sec",
+            "speedup",
+        ] {
+            need_f64(t, field, name, errors);
+        }
+        let Some(speedup) = get(t, "speedup").and_then(as_f64) else {
+            continue;
+        };
+        if speedup < 1.0 {
+            errors.push(Violation(
+                name.into(),
+                format!("traces.{i}: interval table slower than naive (speedup {speedup:.2})"),
+            ));
+        }
+        best = best.max(speedup);
+    }
+    if best < DETECT_HEADLINE_MIN {
+        errors.push(Violation(
+            name.into(),
+            format!("best detector speedup {best:.1}x below the {DETECT_HEADLINE_MIN}x floor"),
+        ));
+    }
+    need_f64(doc, "device_replay.speedup", name, errors);
+}
+
+fn check_gc(doc: &Value, errors: &mut Vec<Violation>) {
+    let name = "BENCH_gc.json";
+    for ftl in ["conventional", "insider"] {
+        if let Some(speedup) = need_f64(doc, &format!("aged.{ftl}.speedup"), name, errors) {
+            if speedup < GC_SPEEDUP_MIN {
+                errors.push(Violation(
+                    name.into(),
+                    format!(
+                        "aged.{ftl}: GC speedup {speedup:.1}x below the {GC_SPEEDUP_MIN}x floor"
+                    ),
+                ));
+            }
+        }
+    }
+    let Some(oracle) = need_array(doc, "trace_oracle", name, errors) else {
+        return;
+    };
+    for (i, t) in oracle.iter().enumerate() {
+        if get(t, "victims_identical").and_then(as_bool) != Some(true) {
+            errors.push(Violation(
+                name.into(),
+                format!("trace_oracle.{i}: victim sequences diverged between selectors"),
+            ));
+        }
+    }
+}
+
+fn check_latency(doc: &Value, errors: &mut Vec<Violation>) {
+    let name = "BENCH_latency.json";
+    let Some(traces) = need_array(doc, "traces", name, errors) else {
+        return;
+    };
+    for (i, t) in traces.iter().enumerate() {
+        let Some(configs) = need_array(t, "configs", name, errors) else {
+            continue;
+        };
+        for (j, c) in configs.iter().enumerate() {
+            for field in ["requests_per_sec", "latency.total.p99_ns"] {
+                need_f64(c, field, &format!("{name} traces.{i}.configs.{j}"), errors);
+            }
+        }
+        if let Some(zc) = need_f64(t, "zero_copy_speedup", name, errors) {
+            if zc < 1.0 {
+                errors.push(Violation(
+                    name.into(),
+                    format!("traces.{i}: zero-copy slower than the copying path ({zc:.2}x)"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_mount(doc: &Value, errors: &mut Vec<Violation>) {
+    let name = "BENCH_mount.json";
+    let Some(rows) = need_array(doc, "rows", name, errors) else {
+        return;
+    };
+    let ms_at = |arm: &str, util: f64| -> Option<f64> {
+        rows.iter()
+            .find(|r| {
+                get(r, "arm").and_then(as_str) == Some(arm)
+                    && get(r, "utilization").and_then(as_f64) == Some(util)
+            })
+            .and_then(|r| get(r, "mount_ms"))
+            .and_then(as_f64)
+    };
+    for (i, r) in rows.iter().enumerate() {
+        for field in ["utilization", "mount_ms", "records_per_sec"] {
+            need_f64(r, field, &format!("{name} rows.{i}"), errors);
+        }
+        if get(r, "arm").and_then(as_str).is_none() {
+            errors.push(Violation(name.into(), format!("rows.{i}: missing `arm`")));
+        }
+    }
+    match (ms_at("serial", 0.9), ms_at("ckpt_tail", 0.9)) {
+        (Some(serial), Some(ckpt)) if ckpt > 0.0 => {
+            let ratio = serial / ckpt;
+            if ratio < MOUNT_SPEEDUP_MIN {
+                errors.push(Violation(
+                    name.into(),
+                    format!(
+                        "checkpoint+tail remount only {ratio:.1}x the serial scan at 0.9 \
+                         utilization ({ckpt:.1} ms vs {serial:.1} ms) — floor is \
+                         {MOUNT_SPEEDUP_MIN}x"
+                    ),
+                ));
+            }
+        }
+        _ => errors.push(Violation(
+            name.into(),
+            "missing serial and/or ckpt_tail rows at 0.9 utilization".into(),
+        )),
+    }
+}
+
+fn check_multitenant(doc: &Value, errors: &mut Vec<Violation>) {
+    let name = "BENCH_multitenant.json";
+    let Some(curve) = need_array(doc, "curve", name, errors) else {
+        return;
+    };
+    let mut prev_shards = 0i64;
+    for (i, point) in curve.iter().enumerate() {
+        let shards = get(point, "shards").and_then(as_i64).unwrap_or(0);
+        if shards <= prev_shards {
+            errors.push(Violation(
+                name.into(),
+                format!("curve.{i}: shard counts not strictly increasing"),
+            ));
+        }
+        prev_shards = shards;
+        for field in ["wall_rps", "parallel_rps"] {
+            need_f64(point, field, &format!("{name} curve.{i}"), errors);
+        }
+    }
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let dir = Path::new(&dir);
+    let mut errors = Vec::new();
+
+    let checks: [(&str, Check); 5] = [
+        ("BENCH_detect.json", check_detect),
+        ("BENCH_gc.json", check_gc),
+        ("BENCH_latency.json", check_latency),
+        ("BENCH_mount.json", check_mount),
+        ("BENCH_multitenant.json", check_multitenant),
+    ];
+    for (name, check) in checks {
+        let before = errors.len();
+        if let Some(doc) = load(dir, name, &mut errors) {
+            check(&doc, &mut errors);
+        }
+        if errors.len() == before {
+            println!("ok   {name}");
+        }
+    }
+
+    if !errors.is_empty() {
+        eprintln!("\n{} benchmark check(s) failed:", errors.len());
+        for Violation(file, what) in &errors {
+            eprintln!("  {file}: {what}");
+        }
+        std::process::exit(1);
+    }
+    println!("all benchmark artifacts pass schema and headline-ratio checks");
+}

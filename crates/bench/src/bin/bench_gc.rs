@@ -9,8 +9,8 @@
 //!   cargo run --release -p insider-bench --bin bench_gc [-- out.json]
 
 use insider_bench::{
-    aged_conventional, aged_insider, gc_bench_geometry, measure_gc_cost, prefill_ftl,
-    random_trace, ransomware_mix_trace, replay_ftl, replay_geometry, sequential_trace, GcCost,
+    aged_conventional, aged_insider, gc_bench_geometry, measure_gc_cost, prefill_ftl, random_trace,
+    ransomware_mix_trace, replay_ftl, replay_geometry, sequential_trace, GcCost,
 };
 use insider_ftl::{Ftl, FtlConfig, FtlStats, GcPolicy, GcVictim, InsiderFtl};
 use insider_nand::SimTime;
@@ -115,7 +115,9 @@ fn trace_oracle(name: &str, trace: &Trace) -> serde_json::Value {
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gc.json".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gc.json".into());
     let g = gc_bench_geometry();
 
     let (conventional, greedy_speedup) = bench_aged(false);

@@ -10,7 +10,7 @@
 //!   cargo run --release -p insider-bench --bin bench_json [-- out.json]
 
 use insider_bench::{
-    ransomware_mix_trace, random_trace, replay_device, replay_device_scalar, replay_geometry,
+    random_trace, ransomware_mix_trace, replay_device, replay_device_scalar, replay_geometry,
     sequential_trace,
 };
 use insider_detect::{
@@ -55,7 +55,9 @@ fn timed_pass<T: CountingBackend>(reqs: &[IoReq], backend: T) -> f64 {
         slices += engine.ingest(*req).len();
     }
     let end = reqs.last().map_or(SimTime::ZERO, |r| r.time);
-    slices += engine.flush_until(end.saturating_add(SimTime::from_secs(5))).len();
+    slices += engine
+        .flush_until(end.saturating_add(SimTime::from_secs(5)))
+        .len();
     let elapsed = start.elapsed().as_secs_f64();
     assert!(slices > 0, "trace must produce slices");
     elapsed
@@ -141,7 +143,10 @@ fn bench_device_replay(trace: &Trace) -> serde_json::Value {
         }
         (best, last.expect("at least one pass"))
     }
-    eprintln!("bench_json: device-replay (sequential) — {} requests", trace.len());
+    eprintln!(
+        "bench_json: device-replay (sequential) — {} requests",
+        trace.len()
+    );
     let (scalar_s, _) = timed(trace, true);
     let (extent_s, device) = timed(trace, false);
     let reqs = trace.len() as f64;
@@ -169,7 +174,9 @@ fn bench_device_replay(trace: &Trace) -> serde_json::Value {
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_detect.json".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_detect.json".into());
     let sequential = sequential_trace();
     let traces = vec![
         bench_trace("sequential-read", sequential.reqs()),

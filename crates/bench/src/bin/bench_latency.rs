@@ -34,11 +34,16 @@ use std::time::Instant;
 const PREFILL: f64 = 0.9;
 
 fn timed_passes() -> usize {
-    std::env::var("LAT_PASSES").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+    std::env::var("LAT_PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
 }
 
 fn make_device(sched: SchedMode, copy: bool) -> SsdInsider {
-    let ftl = FtlConfig::new(replay_geometry()).scheduler(sched).copy_payloads(copy);
+    let ftl = FtlConfig::new(replay_geometry())
+        .scheduler(sched)
+        .copy_payloads(copy);
     SsdInsider::new(
         InsiderConfig::from_parts(ftl, DetectorConfig::default()),
         DecisionTree::constant(false),
@@ -146,7 +151,9 @@ fn bench_trace(name: &str, trace: &Trace) -> serde_json::Value {
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_latency.json".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_latency.json".into());
     let traces = vec![
         bench_trace("sequential-read", &sequential_trace()),
         bench_trace("random-mixed", &random_trace()),

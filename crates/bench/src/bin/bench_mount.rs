@@ -1,12 +1,28 @@
-//! Machine-readable mount-time benchmark: how long the OOB-backed remount
-//! takes on a realistic 8192-block drive at increasing utilization.
+//! Machine-readable mount-time benchmark: serial full scan vs parallel
+//! sharded scan vs checkpoint+tail remount on a realistic 8192-block drive
+//! at increasing utilization.
 //!
-//! For each utilization a fresh [`InsiderFtl`] is prefilled (seeded-shuffled
-//! cold fill, as in [`insider_bench::prefill_ftl`]), then power is cut and
-//! the wall-clock cost of [`insider_ftl::Ftl::power_cut`] — the full
-//! spare-area scan plus mapping-table, victim-index and recovery-queue
-//! reconstruction — is measured. Results land in `BENCH_mount.json` so CI
-//! can diff mount latency across commits.
+//! For each (arm, utilization) pair a fresh [`InsiderFtl`] is prefilled
+//! (seeded-shuffled cold fill, as in [`insider_bench::prefill_ftl`]), then
+//! power is cut repeatedly: one unmeasured warmup mount charges the
+//! allocator and page cache, and the *minimum* of the following measured
+//! mounts becomes the row — remounting is idempotent and deterministic, so
+//! the minimum is the least-noise estimator of the algorithmic cost (the
+//! host shows multi-x scheduling/page-fault spikes, and earlier
+//! single-shot numbers were non-monotonic across utilizations purely from
+//! that noise). Results land in
+//! `BENCH_mount.json`; `bench_check` diffs the headline ratios across
+//! commits.
+//!
+//! Arms:
+//! * `serial` — the paper's baseline: one thread walks every page's OOB.
+//! * `parallel` — the scan sharded across `MOUNT_THREADS` workers
+//!   (default: available parallelism). On a single-core host this mostly
+//!   measures the bulk-scan path, not real concurrency.
+//! * `ckpt_tail` — load the newest checkpoint and scan only the OOB tail
+//!   written since (`CKPT_INTERVAL` pages between checkpoints, default
+//!   65536). The win here is algorithmic — pages *not* scanned — so it
+//!   holds on any core count.
 //!
 //! Usage:
 //!   cargo run --release -p insider-bench --bin bench_mount [-- out.json]
@@ -29,31 +45,79 @@ fn mount_geometry() -> Geometry {
         .build()
 }
 
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+const MEASURED_MOUNTS: usize = 5;
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_mount.json".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_mount.json".into());
     let geometry = mount_geometry();
+    let threads = env_u64("MOUNT_THREADS", 0) as usize;
+    let ckpt_interval = env_u64("CKPT_INTERVAL", 65_536).max(1);
+    let arms: [(&str, FtlConfig); 3] = [
+        ("serial", FtlConfig::new(geometry).mount_threads(1)),
+        ("parallel", FtlConfig::new(geometry).mount_threads(threads)),
+        (
+            "ckpt_tail",
+            FtlConfig::new(geometry)
+                .mount_threads(threads)
+                .checkpoint_interval(ckpt_interval),
+        ),
+    ];
+
     let mut rows = Vec::new();
-    for utilization in [0.25, 0.50, 0.75, 0.90] {
-        let mut ftl = InsiderFtl::new(FtlConfig::new(geometry));
-        prefill_ftl(&mut ftl, utilization);
-        let live_pages = ftl.stats().host_writes;
-        let started = Instant::now();
-        ftl.power_cut(SimTime::from_secs(3600)).expect("remount failed");
-        let elapsed = started.elapsed();
-        let scanned = ftl.mount_scan_entries();
-        let per_sec = scanned as f64 / elapsed.as_secs_f64();
-        println!(
-            "utilization {utilization:.2}: {live_pages} live pages, \
-             {scanned} OOB records scanned in {elapsed:.2?} ({per_sec:.0}/s)"
-        );
-        rows.push(json!({
-            "utilization": utilization,
-            "live_pages": live_pages,
-            "scanned_oob_records": scanned,
-            "mount_ms": elapsed.as_secs_f64() * 1e3,
-            "records_per_sec": per_sec,
-        }));
+    for (arm, config) in &arms {
+        for utilization in [0.25, 0.50, 0.75, 0.90] {
+            let mut ftl = InsiderFtl::new(config.clone());
+            prefill_ftl(&mut ftl, utilization);
+            let live_pages = ftl.stats().host_writes;
+
+            // Warmup mount (unmeasured), then the minimum of repeated
+            // mounts: remounting is idempotent, so the same reconstruction
+            // runs every time.
+            ftl.power_cut(SimTime::from_secs(3600))
+                .expect("warmup remount failed");
+            let mut runs_ms = Vec::with_capacity(MEASURED_MOUNTS);
+            for _ in 0..MEASURED_MOUNTS {
+                let started = Instant::now();
+                ftl.power_cut(SimTime::from_secs(3600))
+                    .expect("remount failed");
+                runs_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            }
+            let best_ms = runs_ms.iter().copied().fold(f64::INFINITY, f64::min);
+
+            let scanned = ftl.mount_scan_entries();
+            let per_sec = scanned as f64 / (best_ms / 1e3);
+            println!(
+                "{arm:>9} @ {utilization:.2}: {live_pages} live pages, \
+                 {scanned} OOB records, best {best_ms:.1} ms ({per_sec:.0}/s)"
+            );
+            rows.push(json!({
+                "arm": arm,
+                "utilization": utilization,
+                "live_pages": live_pages,
+                "scanned_oob_records": scanned,
+                "mount_ms": best_ms,
+                "mount_ms_runs": runs_ms,
+                "records_per_sec": per_sec,
+                "threads": if *arm == "serial" { 1 } else { threads },
+                "checkpoint_interval": if *arm == "ckpt_tail" {
+                    Some(ckpt_interval)
+                } else {
+                    None
+                },
+            }));
+        }
     }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let doc = json!({
         "bench": "mount",
         "geometry": json!({
@@ -63,9 +127,11 @@ fn main() {
             "capacity_bytes": geometry.capacity_bytes(),
         }),
         "logical_pages": FtlConfig::new(geometry).logical_pages(),
+        "cores": cores,
+        "measured_mounts": MEASURED_MOUNTS,
         "rows": rows,
     });
     std::fs::write(&out_path, serde_json::to_string(&doc).unwrap() + "\n")
         .expect("write BENCH_mount.json");
-    println!("wrote {out_path}");
+    println!("wrote {out_path} (cores={cores})");
 }

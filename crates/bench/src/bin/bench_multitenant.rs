@@ -22,7 +22,7 @@
 //! `MT_WORKERS` (default: available parallelism), `MT_REPEATS` (trace
 //! tiling factor, default 16).
 
-use insider_bench::{replay_multitenant, tenant_trace, tile_trace, train_tree, replay_geometry};
+use insider_bench::{replay_geometry, replay_multitenant, tenant_trace, tile_trace, train_tree};
 use insider_detect::DetectorConfig;
 use insider_workloads::Trace;
 use serde_json::json;
@@ -42,7 +42,11 @@ fn shard_counts() -> Vec<u32> {
     match std::env::var("MT_SHARDS") {
         Ok(v) => v
             .split(',')
-            .map(|s| s.trim().parse().expect("MT_SHARDS must be a comma list of shard counts"))
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("MT_SHARDS must be a comma list of shard counts")
+            })
             .collect(),
         Err(_) => vec![1, 2, 4, 8],
     }
@@ -78,8 +82,7 @@ fn main() {
         // Best-of-N timed passes, each on a fresh device.
         let run = (0..TIMED_PASSES)
             .map(|_| {
-                let device =
-                    MultiTenantSsd::new(&config, &tree, n, NamespaceLayout::Provisioned);
+                let device = MultiTenantSsd::new(&config, &tree, n, NamespaceLayout::Provisioned);
                 replay_multitenant(&device, &traces, workers)
             })
             .min_by_key(|r| r.makespan_ns())

@@ -22,11 +22,10 @@ use insider_bench::crash::fs_attack_crash;
 use insider_bench::{sweep_matrix, SweepConfig};
 use std::time::Instant;
 
-fn main() {
-    let config = SweepConfig::full().from_env();
+fn run_matrix(label: &str, config: &SweepConfig) {
     println!(
-        "crash sweep: stride={} write_budget={} window={:?}",
-        config.stride, config.write_budget, config.window
+        "crash sweep ({label}): stride={} write_budget={} window={:?} ckpt_interval={:?}",
+        config.stride, config.write_budget, config.window, config.checkpoint_interval
     );
     println!();
     println!(
@@ -34,7 +33,7 @@ fn main() {
         "trace", "ftl", "mutations", "points", "crashes", "pages", "rollbacks"
     );
     let started = Instant::now();
-    for (trace, flavour, s) in sweep_matrix(&config) {
+    for (trace, flavour, s) in sweep_matrix(config) {
         println!(
             "{:<12} {:<14} {:>10} {:>8} {:>8} {:>10} {:>10}",
             trace,
@@ -46,8 +45,23 @@ fn main() {
             s.rollbacks_verified
         );
     }
-    println!("ftl matrix clean in {:.2?}: zero acked losses, zero phantoms", started.elapsed());
+    println!(
+        "ftl matrix ({label}) clean in {:.2?}: zero acked losses, zero phantoms",
+        started.elapsed()
+    );
     println!();
+}
+
+fn main() {
+    let config = SweepConfig::full().from_env();
+    run_matrix("default", &config);
+    // Second pass with periodic checkpointing armed: checkpoint slot
+    // erases/programs join the mutation space, so the stride-1 sweep now
+    // also cuts power *inside* checkpoint writes — torn checkpoints must
+    // fall back to the previous slot or a full scan with nothing lost.
+    if config.checkpoint_interval.is_none() {
+        run_matrix("checkpointed", &config.checkpointed(48));
+    }
 
     // Filesystem scenario: probe the clean run for the crash-space size,
     // then cut at an even spread of mutation boundaries across the attack.
@@ -70,8 +84,14 @@ fn main() {
             out.files_recovered, out.files_total,
             "cut {cut}: a victim file failed to byte-compare after rollback"
         );
-        assert!(out.fsck_second_pass_clean, "cut {cut}: fsck left damage behind");
-        assert!(out.restored_entries > 0, "cut {cut}: rollback restored nothing");
+        assert!(
+            out.fsck_second_pass_clean,
+            "cut {cut}: fsck left damage behind"
+        );
+        assert!(
+            out.restored_entries > 0,
+            "cut {cut}: rollback restored nothing"
+        );
         cuts += 1;
         cut += stride;
     }

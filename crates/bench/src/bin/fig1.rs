@@ -85,7 +85,10 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
     }
-    println!("{}", render_table(&["ransomware", "corr(OWIO, active)"], &rows_a));
+    println!(
+        "{}",
+        render_table(&["ransomware", "corr(OWIO, active)"], &rows_a)
+    );
 
     println!("== Fig 1(b): cumulative overwrite counts over time ==\n");
     let apps = [

@@ -12,8 +12,8 @@
 //!
 //! Usage: `cargo run --release -p insider-bench --bin fig2 [duration_secs]`
 
-use insider_bench::stats::{mean, pearson};
 use insider_bench::render_table;
+use insider_bench::stats::{mean, pearson};
 use insider_detect::{FeatureVector, FEATURE_COUNT, FEATURE_NAMES};
 use insider_nand::SimTime;
 use insider_workloads::{

@@ -34,7 +34,11 @@ fn main() {
 
     eprintln!("training ID3 tree on the Table I training split...");
     let tree = train_tree(&config);
-    eprintln!("trained tree ({} nodes, depth {}):", tree.node_count(), tree.depth());
+    eprintln!(
+        "trained tree ({} nodes, depth {}):",
+        tree.node_count(),
+        tree.depth()
+    );
     eprintln!("{}", tree.render());
     let usage = tree.feature_usage();
     eprintln!(
@@ -100,7 +104,10 @@ fn main() {
     let mut by_scenario: BTreeMap<String, (RateAccumulator, Vec<f64>)> = BTreeMap::new();
     for (class, name, run) in &runs {
         overall.add(run, threshold);
-        by_class.entry(class.name()).or_default().add(run, threshold);
+        by_class
+            .entry(class.name())
+            .or_default()
+            .add(run, threshold);
         let slot = by_scenario.entry(name.clone()).or_default();
         slot.0.add(run, threshold);
         if let Some(lat) = run.detection_latency(threshold) {

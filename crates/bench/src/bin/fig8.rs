@@ -15,10 +15,10 @@
 //!
 //! Usage: `cargo run --release -p insider-bench --bin fig8 [duration_secs]`
 
+use insider_bench::replay_geometry;
 use insider_bench::{render_table, replay_device, small_space, train_tree};
 use insider_detect::DetectorConfig;
 use insider_ftl::FtlConfig;
-use insider_bench::replay_geometry;
 use insider_nand::SimTime;
 use insider_workloads::table1;
 use ssd_insider::{InsiderConfig, SsdInsider};

@@ -9,9 +9,9 @@
 //!
 //! Usage: `cargo run --release -p insider-bench --bin fig9 [duration_secs]`
 
+use insider_bench::replay_geometry;
 use insider_bench::{prefill_ftl, render_table, replay_ftl, small_space};
 use insider_ftl::{ConventionalFtl, Ftl, FtlConfig, InsiderFtl};
-use insider_bench::replay_geometry;
 use insider_nand::SimTime;
 use insider_workloads::table1;
 
@@ -55,7 +55,11 @@ fn main() {
             let (conv_copies, _) = run_one(&run.trace, utilization, false);
             let (ins_copies, _) = run_one(&run.trace, utilization, true);
             let extra = if conv_copies == 0 {
-                if ins_copies == 0 { 0.0 } else { 100.0 }
+                if ins_copies == 0 {
+                    0.0
+                } else {
+                    100.0
+                }
             } else {
                 (ins_copies as f64 - conv_copies as f64) / conv_copies as f64 * 100.0
             };

@@ -13,8 +13,8 @@
 
 use insider_bench::{render_table, train_tree};
 use insider_detect::DetectorConfig;
-use insider_ftl::FtlConfig;
 use insider_fs::{fsck, FsConfig, MiniExt};
+use insider_ftl::FtlConfig;
 use insider_nand::{Geometry, SimTime};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -42,10 +42,8 @@ struct IterationOutcome {
 
 fn run_iteration(tree: &insider_detect::DecisionTree, seed: u64) -> IterationOutcome {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let config = InsiderConfig::from_parts(
-        FtlConfig::new(device_geometry()),
-        DetectorConfig::default(),
-    );
+    let config =
+        InsiderConfig::from_parts(FtlConfig::new(device_geometry()), DetectorConfig::default());
     let device = SsdInsider::new(config, tree.clone());
     let bridge = FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(500));
     let mut fs = MiniExt::format(bridge, &FsConfig { inode_count: 128 }).unwrap();
@@ -201,7 +199,9 @@ fn main() {
         restored_total += out.restored_entries;
     }
 
-    println!("== Table II: file-system consistency checks over {iterations} attack/rollback cycles ==\n");
+    println!(
+        "== Table II: file-system consistency checks over {iterations} attack/rollback cycles ==\n"
+    );
     let rows = vec![
         vec!["No corruption".to_string(), corrupted_runs[3].to_string()],
         vec![
@@ -223,9 +223,7 @@ fn main() {
     );
     println!("corruptions not resolved by fsck:        {unresolved} / {iterations} runs");
     println!("runs with files left encrypted:          {encrypted_left_runs} / {iterations} runs");
-    println!(
-        "runs with any unrecovered file content:  {not_recovered_runs} / {iterations} runs"
-    );
+    println!("runs with any unrecovered file content:  {not_recovered_runs} / {iterations} runs");
     let mean_rec = insider_bench::stats::mean(&recovery_times);
     let max_rec = insider_bench::stats::max(&recovery_times);
     println!(

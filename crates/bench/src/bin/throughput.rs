@@ -50,7 +50,8 @@ fn run(channels: u32, ways: u32, pages: u64) -> (f64, f64) {
 
     let write_ns = phase(&mut ftl, &mut |ftl| {
         for i in 0..pages {
-            ftl.write(Lba::new(i), payload.clone(), SimTime::ZERO).unwrap();
+            ftl.write(Lba::new(i), payload.clone(), SimTime::ZERO)
+                .unwrap();
         }
     });
     let write_mb_s = (pages * 4096) as f64 / (write_ns as f64 / 1e9) / 1e6;

@@ -23,9 +23,7 @@
 use crate::replay::{random_trace, ransomware_mix_trace, sequential_trace};
 use bytes::Bytes;
 use insider_detect::{IoMode, IoReq};
-use insider_ftl::{
-    ConventionalFtl, Ftl, FtlConfig, FtlError, InsiderFtl, RollbackReport,
-};
+use insider_ftl::{ConventionalFtl, Ftl, FtlConfig, FtlError, InsiderFtl, RollbackReport};
 use insider_nand::{FaultPlan, Geometry, Lba, NandError, SimTime};
 use insider_workloads::Trace;
 use std::collections::{HashMap, HashSet};
@@ -62,6 +60,13 @@ pub struct SweepConfig {
     /// the paper's 10 s so the compact traces straddle the cutoff and the
     /// post-remount rollback check rewinds to a *non-trivial* state.
     pub window: SimTime,
+    /// Periodic mapping-checkpoint interval (in host page writes) for the
+    /// FTLs under test; `None` sweeps the default non-checkpointed
+    /// configuration. With an interval set, checkpoint slot erases and
+    /// page programs join the mutation space, so a stride-1 sweep cuts
+    /// power *inside* checkpoint writes — and every remount must fall back
+    /// (torn slot) or fast-mount (valid slot) to the same contract.
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl SweepConfig {
@@ -71,6 +76,7 @@ impl SweepConfig {
             stride: 1,
             write_budget: 600,
             window: SimTime::from_millis(100),
+            checkpoint_interval: None,
         }
     }
 
@@ -80,10 +86,22 @@ impl SweepConfig {
             stride: 23,
             write_budget: 160,
             window: SimTime::from_millis(100),
+            checkpoint_interval: None,
         }
     }
 
-    /// Applies `CRASH_SWEEP_STRIDE` / `CRASH_SWEEP_PAGES` env overrides.
+    /// The same sweep with periodic checkpointing armed. The interval is
+    /// deliberately small relative to the write budget so several
+    /// checkpoints land inside each trace and cuts hit their writes.
+    pub fn checkpointed(self, interval: u64) -> Self {
+        SweepConfig {
+            checkpoint_interval: Some(interval.max(1)),
+            ..self
+        }
+    }
+
+    /// Applies `CRASH_SWEEP_STRIDE` / `CRASH_SWEEP_PAGES` / `CKPT_INTERVAL`
+    /// env overrides (`CKPT_INTERVAL=0` disables checkpointing).
     pub fn from_env(self) -> Self {
         fn env(name: &str) -> Option<u64> {
             std::env::var(name).ok()?.parse().ok()
@@ -92,6 +110,21 @@ impl SweepConfig {
             stride: env("CRASH_SWEEP_STRIDE").unwrap_or(self.stride).max(1),
             write_budget: env("CRASH_SWEEP_PAGES").unwrap_or(self.write_budget),
             window: self.window,
+            checkpoint_interval: match env("CKPT_INTERVAL") {
+                Some(0) => None,
+                Some(n) => Some(n),
+                None => self.checkpoint_interval,
+            },
+        }
+    }
+
+    /// The FTL configuration this sweep tests: the standard sweep config
+    /// plus this sweep's checkpoint interval (if any).
+    pub fn ftl_config(&self) -> FtlConfig {
+        let cfg = sweep_ftl_config(self.window);
+        match self.checkpoint_interval {
+            Some(interval) => cfg.checkpoint_interval(interval),
+            None => cfg,
         }
     }
 }
@@ -132,7 +165,12 @@ pub fn sweep_traces(write_budget: u64) -> Vec<(&'static str, Trace)> {
     let mut seq = Trace::new();
     let fill = SWEEP_SPAN.min(write_budget);
     for i in 0..fill {
-        seq.push(IoReq::new(SimTime::from_micros(i * 50), Lba::new(i), IoMode::Write, 1));
+        seq.push(IoReq::new(
+            SimTime::from_micros(i * 50),
+            Lba::new(i),
+            IoMode::Write,
+            1,
+        ));
     }
     for req in &sequential_trace() {
         if seq.len() >= fill as usize + 400 {
@@ -145,7 +183,10 @@ pub fn sweep_traces(write_budget: u64) -> Vec<(&'static str, Trace)> {
     vec![
         ("sequential", seq),
         ("random", compact_trace(&random_trace(), write_budget, 16)),
-        ("ransomware", compact_trace(&ransomware_mix_trace(), write_budget, 16)),
+        (
+            "ransomware",
+            compact_trace(&ransomware_mix_trace(), write_budget, 16),
+        ),
     ]
 }
 
@@ -218,7 +259,10 @@ impl Shadow {
     fn apply_write(&mut self, lba: Lba, acked: &[Bytes], stamp: SimTime) {
         for (i, payload) in acked.iter().enumerate() {
             let idx = lba.index() + i as u64;
-            self.hist.entry(idx).or_default().push((stamp, payload.clone()));
+            self.hist
+                .entry(idx)
+                .or_default()
+                .push((stamp, payload.clone()));
             self.trimmed_now.remove(&idx);
         }
     }
@@ -246,7 +290,8 @@ impl Shadow {
             // Trims are volatile: the page may resurrect as any acked
             // version still on flash (GC decides which survive).
             return Expect::AnyOf(
-                hist.map(|h| h.iter().map(|(_, p)| p.clone()).collect()).unwrap_or_default(),
+                hist.map(|h| h.iter().map(|(_, p)| p.clone()).collect())
+                    .unwrap_or_default(),
             );
         }
         Expect::Exact(hist.and_then(|h| h.last()).map(|(_, p)| p.clone()))
@@ -261,11 +306,13 @@ impl Shadow {
             // versions *across* them; rollback may land on any acked
             // version (or unmap). Torn or foreign data is still forbidden.
             return Expect::AnyOf(
-                hist.map(|h| h.iter().map(|(_, p)| p.clone()).collect()).unwrap_or_default(),
+                hist.map(|h| h.iter().map(|(_, p)| p.clone()).collect())
+                    .unwrap_or_default(),
             );
         }
         Expect::Exact(
-            hist.and_then(|h| h.iter().rev().find(|(s, _)| *s < cutoff)).map(|(_, p)| p.clone()),
+            hist.and_then(|h| h.iter().rev().find(|(s, _)| *s < cutoff))
+                .map(|(_, p)| p.clone()),
         )
     }
 }
@@ -388,10 +435,13 @@ fn run_crash_point<T: CrashTarget>(
     ftl.power_cut(now).expect("remount failed");
 
     let check = |ftl: &mut T, lba: u64, want: Expect, phase: &str| {
-        let got = ftl.read(Lba::new(lba), now).expect("post-remount read failed");
+        let got = ftl
+            .read(Lba::new(lba), now)
+            .expect("post-remount read failed");
         match want {
             Expect::Exact(want) => assert_eq!(
-                got, want,
+                got,
+                want,
                 "[{} {phase}] lba {lba} diverged (cut={cut:?})",
                 T::LABEL
             ),
@@ -413,7 +463,12 @@ fn run_crash_point<T: CrashTarget>(
         let cutoff = now.saturating_sub(window);
         assert_eq!(report.restored_to, cutoff);
         for lba in 0..logical {
-            check(&mut ftl, lba, shadow.expected_rolled_back(lba, cutoff), "rollback");
+            check(
+                &mut ftl,
+                lba,
+                shadow.expected_rolled_back(lba, cutoff),
+                "rollback",
+            );
             pages += 1;
         }
         true
@@ -431,7 +486,11 @@ fn run_crash_point<T: CrashTarget>(
 /// # Panics
 ///
 /// Panics on any violation of the crash-consistency contract.
-pub fn sweep<T: CrashTarget>(make: impl Fn() -> T, trace: &Trace, config: &SweepConfig) -> SweepSummary {
+pub fn sweep<T: CrashTarget>(
+    make: impl Fn() -> T,
+    trace: &Trace,
+    config: &SweepConfig,
+) -> SweepSummary {
     let mut summary = SweepSummary::default();
 
     // Clean run: no fault plan, remount at trace end, and measure the
@@ -467,12 +526,16 @@ pub fn sweep<T: CrashTarget>(make: impl Fn() -> T, trace: &Trace, config: &Sweep
 pub fn sweep_matrix(config: &SweepConfig) -> Vec<(&'static str, &'static str, SweepSummary)> {
     let mut rows = Vec::new();
     for (name, trace) in sweep_traces(config.write_budget) {
-        let cfg = sweep_ftl_config(config.window);
+        let cfg = config.ftl_config();
         let conv_cfg = cfg.clone();
         rows.push((
             name,
             ConventionalFtl::LABEL,
-            sweep(move || ConventionalFtl::new(conv_cfg.clone()), &trace, config),
+            sweep(
+                move || ConventionalFtl::new(conv_cfg.clone()),
+                &trace,
+                config,
+            ),
         ));
         let ins_cfg = cfg;
         rows.push((
@@ -691,7 +754,9 @@ mod tests {
             assert_eq!(ta.reqs(), tb.reqs(), "{name_a} not deterministic");
             assert!(ta.is_sorted(), "{name_a} not time-sorted");
             assert!(
-                ta.reqs().iter().all(|r| r.lba.index() + r.len as u64 <= SWEEP_SPAN + 32),
+                ta.reqs()
+                    .iter()
+                    .all(|r| r.lba.index() + r.len as u64 <= SWEEP_SPAN + 32),
                 "{name_a} escapes the sweep span"
             );
         }
@@ -714,7 +779,10 @@ mod tests {
 
     #[test]
     fn clean_run_and_one_crash_point_pass() {
-        let config = SweepConfig { stride: 1, write_budget: 48, window: SimTime::from_millis(100) };
+        let config = SweepConfig {
+            write_budget: 48,
+            ..SweepConfig::full()
+        };
         let traces = sweep_traces(config.write_budget);
         let (_, trace) = &traces[1];
         let cfg = sweep_ftl_config(config.window);

@@ -56,7 +56,11 @@ fn cache_path(config: &DetectorConfig) -> PathBuf {
         TRAINING_RECIPE_VERSION,
         config.slice.as_micros(),
         config.window_slices,
-        if config.owst_over_window { "-owstw" } else { "" }
+        if config.owst_over_window {
+            "-owstw"
+        } else {
+            ""
+        }
     ))
 }
 
@@ -80,7 +84,12 @@ pub fn train_tree_uncached(config: &DetectorConfig) -> DecisionTree {
 /// Labels one training run: a slice is positive iff the ransomware issued
 /// destructive I/O in it (see
 /// [`ScenarioTrace::ransom_activity_slices`](insider_workloads::ScenarioTrace)).
-fn add_run(set: &mut TrainingSet, run: &insider_workloads::ScenarioTrace, config: &DetectorConfig, duration: SimTime) {
+fn add_run(
+    set: &mut TrainingSet,
+    run: &insider_workloads::ScenarioTrace,
+    config: &DetectorConfig,
+    duration: SimTime,
+) {
     let active = run.ransom_activity_slices(config.slice);
     set.add_trace(run.trace.reqs(), duration, |slice_idx| {
         active.contains(&slice_idx)
@@ -109,7 +118,11 @@ mod tests {
     #[test]
     fn training_produces_a_nontrivial_tree() {
         let tree = train_tree(&DetectorConfig::default());
-        assert!(tree.depth() >= 1, "tree must actually split:\n{}", tree.render());
+        assert!(
+            tree.depth() >= 1,
+            "tree must actually split:\n{}",
+            tree.render()
+        );
         assert!(tree.node_count() >= 3);
     }
 }

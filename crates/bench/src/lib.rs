@@ -18,23 +18,23 @@ pub mod replay;
 pub mod stats;
 pub mod tablefmt;
 
-pub use harness::{train_tree, train_tree_uncached, training_duration, training_samples, TRAIN_SEEDS};
-pub use replay::feature_series;
-pub use outcome::RunOutcome;
-pub use replay::{
-    prefill_ftl, random_trace, ransomware_mix_trace, replay_detector, replay_device,
-    replay_device_payload, replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry,
-    sequential_trace, small_space, ReplayOutcome,
+pub use crash::{
+    sweep, sweep_ftl_config, sweep_geometry, sweep_matrix, sweep_traces, CrashTarget, SweepConfig,
+    SweepSummary, SWEEP_SPAN,
 };
 pub use gc::{
     age_to_steady_state, aged_conventional, aged_insider, churn, gc_bench_config,
     gc_bench_geometry, measure_gc_cost, ChurnCursor, GcCost,
 };
-pub use crash::{
-    sweep, sweep_ftl_config, sweep_geometry, sweep_matrix, sweep_traces, CrashTarget,
-    SweepConfig, SweepSummary, SWEEP_SPAN,
+pub use harness::{
+    train_tree, train_tree_uncached, training_duration, training_samples, TRAIN_SEEDS,
 };
-pub use multitenant::{
-    replay_multitenant, tenant_trace, tile_trace, MultiTenantRun, ShardMetrics,
+pub use multitenant::{replay_multitenant, tenant_trace, tile_trace, MultiTenantRun, ShardMetrics};
+pub use outcome::RunOutcome;
+pub use replay::feature_series;
+pub use replay::{
+    prefill_ftl, random_trace, ransomware_mix_trace, replay_detector, replay_device,
+    replay_device_payload, replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry,
+    sequential_trace, small_space, ReplayOutcome,
 };
 pub use tablefmt::render_table;

@@ -35,8 +35,12 @@ pub fn tenant_trace(tenant: u64) -> Trace {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let space = FileSpace::generate(&mut rng, &small_space());
     let duration = SimTime::from_secs(10);
-    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
-    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
+    let ransom = RansomwareKind::Mole
+        .model()
+        .generate(&mut rng, &space, duration);
+    let cloud = AppKind::CloudStorage
+        .model()
+        .generate(&mut rng, &space, duration);
     merge([ransom, cloud])
 }
 
@@ -173,7 +177,8 @@ fn replay_shard(device: &MultiTenantSsd, ns: NamespaceId, trace: &Trace) -> Shar
                 let t0 = Instant::now();
                 match req.mode {
                     IoMode::Read => {
-                        dev.read_extent(lba, fit, req.time).expect("replay read failed");
+                        dev.read_extent(lba, fit, req.time)
+                            .expect("replay read failed");
                     }
                     IoMode::Write => {
                         let payloads = vec![payload(); fit as usize];
@@ -181,7 +186,8 @@ fn replay_shard(device: &MultiTenantSsd, ns: NamespaceId, trace: &Trace) -> Shar
                             .expect("replay write failed");
                     }
                     IoMode::Trim => {
-                        dev.trim_extent(lba, fit, req.time).expect("replay trim failed");
+                        dev.trim_extent(lba, fit, req.time)
+                            .expect("replay trim failed");
                     }
                 }
                 samples.push(t0.elapsed().as_nanos() as u64);
@@ -265,7 +271,11 @@ mod tests {
     fn short_trace(reqs: u64) -> Trace {
         let mut trace = Trace::new();
         for i in 0..reqs {
-            let mode = if i % 3 == 0 { IoMode::Read } else { IoMode::Write };
+            let mode = if i % 3 == 0 {
+                IoMode::Read
+            } else {
+                IoMode::Write
+            };
             trace.push(IoReq::new(
                 SimTime::from_micros(i * 500),
                 Lba::new(i % 32),
@@ -283,14 +293,22 @@ mod tests {
         assert_eq!(tiled.len(), 30);
         assert!(tiled.is_sorted());
         assert!(tiled.duration() > base.duration().saturating_add(SimTime::from_secs(2)));
-        assert_eq!(tile_trace(&base, 0).len(), base.len(), "repeats clamps to 1");
+        assert_eq!(
+            tile_trace(&base, 0).len(),
+            base.len(),
+            "repeats clamps to 1"
+        );
     }
 
     #[test]
     fn tenant_traces_differ_by_seed_but_are_reproducible() {
         let a = tenant_trace(0);
         let b = tenant_trace(1);
-        assert_ne!(a.reqs(), b.reqs(), "tenants should not replay identical streams");
+        assert_ne!(
+            a.reqs(),
+            b.reqs(),
+            "tenants should not replay identical streams"
+        );
         assert_eq!(a.reqs(), tenant_trace(0).reqs(), "same seed, same trace");
     }
 

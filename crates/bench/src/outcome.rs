@@ -71,10 +71,9 @@ impl RunOutcome {
     /// before the attack in infected runs, or at any time in benign runs.
     pub fn is_false_alarm(&self, threshold: u32) -> bool {
         let limit = self.active.map(|p| p.start);
-        self.verdicts.iter().any(|v| {
-            v.score >= threshold
-                && limit.is_none_or(|start| self.checkpoint(v) < start)
-        })
+        self.verdicts
+            .iter()
+            .any(|v| v.score >= threshold && limit.is_none_or(|start| self.checkpoint(v) < start))
     }
 }
 
@@ -157,12 +156,7 @@ mod tests {
     #[test]
     fn detection_time_and_latency() {
         // Attack starts at t=5; score ramps 1,2,3 at slices 5,6,7.
-        let verdicts = vec![
-            verdict(4, 0),
-            verdict(5, 1),
-            verdict(6, 2),
-            verdict(7, 3),
-        ];
+        let verdicts = vec![verdict(4, 0), verdict(5, 1), verdict(6, 2), verdict(7, 3)];
         let run = RunOutcome::new(verdicts, active(5, 20), one_second());
         assert_eq!(run.detected_at(3), Some(SimTime::from_secs(8)));
         assert_eq!(run.detection_latency(3), Some(SimTime::from_secs(3)));

@@ -3,8 +3,8 @@
 use bytes::Bytes;
 use insider_detect::{DecisionTree, Detector, DetectorConfig, IoMode, IoReq, Verdict};
 use insider_ftl::Ftl;
-use insider_nand::{Lba, SimTime};
 use insider_nand::{Geometry, LatencySnapshot};
+use insider_nand::{Lba, SimTime};
 use insider_workloads::{merge, AppKind, FileSpace, FileSpaceConfig, RansomwareKind, Trace};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -86,8 +86,12 @@ pub fn ransomware_mix_trace() -> Trace {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
     let space = FileSpace::generate(&mut rng, &small_space());
     let duration = SimTime::from_secs(10);
-    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
-    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
+    let ransom = RansomwareKind::Mole
+        .model()
+        .generate(&mut rng, &space, duration);
+    let cloud = AppKind::CloudStorage
+        .model()
+        .generate(&mut rng, &space, duration);
     merge([ransom, cloud])
 }
 
@@ -214,14 +218,17 @@ pub fn replay_ftl(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
         };
         match req.mode {
             IoMode::Read => {
-                ftl.read_extent(lba, fit, req.time).expect("replay read failed");
+                ftl.read_extent(lba, fit, req.time)
+                    .expect("replay read failed");
             }
             IoMode::Write => {
                 let payloads = vec![payload(); fit as usize];
-                ftl.write_extent(lba, &payloads, req.time).expect("replay write failed");
+                ftl.write_extent(lba, &payloads, req.time)
+                    .expect("replay write failed");
             }
             IoMode::Trim => {
-                ftl.trim_extent(lba, fit, req.time).expect("replay trim failed");
+                ftl.trim_extent(lba, fit, req.time)
+                    .expect("replay trim failed");
             }
         }
         outcome.applied += fit as u64;
@@ -252,7 +259,8 @@ pub fn replay_ftl_scalar(trace: &Trace, ftl: &mut dyn Ftl) -> ReplayOutcome {
                     ftl.read(lba, req.time).expect("replay read failed");
                 }
                 IoMode::Write => {
-                    ftl.write(lba, payload(), req.time).expect("replay write failed");
+                    ftl.write(lba, payload(), req.time)
+                        .expect("replay write failed");
                 }
                 IoMode::Trim => {
                     ftl.trim(lba, req.time).expect("replay trim failed");
@@ -305,7 +313,9 @@ pub fn replay_device_payload(
         };
         match req.mode {
             IoMode::Read => {
-                device.read_extent(lba, fit, req.time).expect("replay read failed");
+                device
+                    .read_extent(lba, fit, req.time)
+                    .expect("replay read failed");
             }
             IoMode::Write => {
                 let payloads = vec![payload.clone(); fit as usize];
@@ -314,7 +324,9 @@ pub fn replay_device_payload(
                     .expect("replay write failed");
             }
             IoMode::Trim => {
-                device.trim_extent(lba, fit, req.time).expect("replay trim failed");
+                device
+                    .trim_extent(lba, fit, req.time)
+                    .expect("replay trim failed");
             }
         }
         outcome.applied += fit as u64;
@@ -425,9 +437,10 @@ mod tests {
     fn ftl_replay_applies_all_in_range_requests() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let space = FileSpace::generate(&mut rng, &small_space());
-        let trace = RansomwareKind::LockyBbs
-            .model()
-            .generate(&mut rng, &space, SimTime::from_secs(5));
+        let trace =
+            RansomwareKind::LockyBbs
+                .model()
+                .generate(&mut rng, &space, SimTime::from_secs(5));
         let mut ftl = ConventionalFtl::new(FtlConfig::new(replay_geometry()));
         let outcome = replay_ftl(&trace, &mut ftl);
         assert_eq!(outcome.applied, trace.total_blocks());
@@ -469,7 +482,12 @@ mod tests {
             IoMode::Write,
             4,
         ));
-        trace.push(IoReq::new(SimTime::from_micros(2), Lba::new(logical), IoMode::Read, 3));
+        trace.push(IoReq::new(
+            SimTime::from_micros(2),
+            Lba::new(logical),
+            IoMode::Read,
+            3,
+        ));
         let extent = replay_ftl(&trace, &mut ftl);
         let mut ftl2 = ConventionalFtl::new(FtlConfig::new(Geometry::tiny()));
         let scalar = replay_ftl_scalar(&trace, &mut ftl2);

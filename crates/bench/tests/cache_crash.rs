@@ -1,0 +1,113 @@
+//! Buffer-cache crash consistency: flush is the acknowledgement boundary.
+//!
+//! The write-back [`BlockCache`] between MiniExt and the device means host
+//! writes are DRAM-resident until flushed or evicted. A power cut vaporises
+//! the cache, so the durable image is exactly "last flush + evictions since".
+//! These tests drive that contract end to end: filesystem on a cached
+//! bridge, power cut modelled as discarding the cache and remounting the
+//! raw device from its OOB scan.
+//!
+//! [`BlockCache`]: insider_fs::BlockCache
+
+use insider_detect::DecisionTree;
+use insider_fs::{fsck, FsConfig, MiniExt};
+use insider_nand::{Geometry, SimTime};
+use ssd_insider::{CachedFsBridge, FsBridge, InsiderConfig, SsdInsider};
+
+fn cached_bridge(capacity: usize) -> CachedFsBridge {
+    let geometry = Geometry::builder()
+        .blocks_per_chip(64)
+        .pages_per_block(16)
+        .page_size(4096)
+        .build();
+    let device = SsdInsider::new(InsiderConfig::new(geometry), DecisionTree::constant(false));
+    FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(50)).cached(capacity)
+}
+
+/// Power cut: the cache's dirty blocks vanish with DRAM, the device
+/// remounts from flash alone.
+fn crash(cache: CachedFsBridge) -> FsBridge {
+    let mut raw = cache.into_inner_discarding();
+    let t = raw.now();
+    raw.device_mut()
+        .power_cut(t)
+        .expect("remount after cut failed");
+    raw
+}
+
+/// Everything flushed survives the cut byte-for-byte; everything written
+/// after the last flush is gone without a trace — the on-flash image is
+/// exactly the post-flush snapshot, so the first fsck pass is already
+/// clean.
+#[test]
+fn flush_is_the_ack_boundary() {
+    // Capacity above the filesystem's block count: no eviction ever fires,
+    // so the *only* path to flash is the explicit flush.
+    let cache = cached_bridge(4096);
+    let mut fs = MiniExt::format(cache, &FsConfig { inode_count: 64 }).unwrap();
+    fs.write_file("durable.txt", b"synced before the cut")
+        .unwrap();
+    fs.dev_mut().flush().unwrap();
+
+    fs.write_file("volatile.txt", b"never synced").unwrap();
+    assert!(
+        fs.dev_mut().dirty_blocks() > 0,
+        "unflushed write left no dirty blocks"
+    );
+
+    let raw = crash(fs.into_dev());
+    let (report, raw) = fsck(raw).unwrap();
+    assert!(
+        report.is_clean(),
+        "post-flush image must need no repair: {report:?}"
+    );
+    let mut fs = MiniExt::mount(raw).unwrap();
+    assert_eq!(
+        fs.read_file("durable.txt").unwrap(),
+        b"synced before the cut"
+    );
+    assert!(
+        fs.read_file("volatile.txt").is_err(),
+        "unacknowledged file resurrected after the cut"
+    );
+}
+
+/// Under capacity pressure, evictions write back an arbitrary subset of the
+/// unflushed working set, so the crash image may be torn mid-update. The
+/// contract: fsck repairs it to a mountable filesystem and nothing that was
+/// flushed is harmed — only the unacknowledged tail is at risk.
+#[test]
+fn torn_eviction_image_is_repairable_and_flushed_data_survives() {
+    let cache = cached_bridge(8);
+    let mut fs = MiniExt::format(cache, &FsConfig { inode_count: 64 }).unwrap();
+    fs.write_file("durable.txt", b"synced before the cut")
+        .unwrap();
+    fs.dev_mut().flush().unwrap();
+    let flushed_writebacks = fs.dev_mut().stats().writebacks;
+
+    // A burst of unflushed files through an 8-block cache: evictions land
+    // some metadata and data blocks on flash while others stay in DRAM.
+    for i in 0..6 {
+        fs.write_file(&format!("tail{i}"), format!("unsynced {i}").as_bytes())
+            .unwrap();
+    }
+    let stats = fs.dev_mut().stats();
+    assert!(
+        stats.writebacks > flushed_writebacks,
+        "burst never overflowed the cache — the test exercises nothing"
+    );
+
+    let raw = crash(fs.into_dev());
+    let (_first, raw) = fsck(raw).unwrap();
+    let (second, raw) = fsck(raw).unwrap();
+    assert!(
+        second.is_clean(),
+        "fsck must converge on a torn cache image: {second:?}"
+    );
+    let mut fs = MiniExt::mount(raw).unwrap();
+    assert_eq!(
+        fs.read_file("durable.txt").unwrap(),
+        b"synced before the cut",
+        "flushed data lost to an unrelated torn write"
+    );
+}

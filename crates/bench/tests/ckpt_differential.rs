@@ -1,0 +1,164 @@
+//! Checkpointed-remount differential oracle (ISSUE 8 acceptance check).
+//!
+//! Two identically configured FTLs replay the same trace with periodic
+//! checkpointing armed; at power-on one mounts from the newest checkpoint
+//! plus the OOB tail, the other ignores checkpoints and full-scans. The two
+//! mounted states must be indistinguishable: identical logical contents,
+//! identical FTL counters, identical rollback results (insider), and
+//! identical behaviour under continued GC-forcing service. Runs the three
+//! standard sweep traces on both FTL flavours.
+
+use bytes::Bytes;
+use insider_bench::{replay_ftl, sweep_traces, SweepConfig};
+use insider_ftl::{ConventionalFtl, Ftl, FtlConfig, InsiderFtl};
+use insider_nand::{Lba, SimTime};
+
+const INTERVAL: u64 = 32;
+
+fn configs() -> (FtlConfig, FtlConfig) {
+    let base = SweepConfig::fast().checkpointed(INTERVAL).ftl_config();
+    (base.clone(), base.mount_from_checkpoint(false))
+}
+
+fn assert_state_equal<F: Ftl>(ckpt: &mut F, full: &mut F, now: SimTime, what: &str) {
+    assert_eq!(
+        ckpt.stats(),
+        full.stats(),
+        "{what}: FTL counters diverged between checkpointed and full-scan mounts"
+    );
+    assert_eq!(ckpt.logical_pages(), full.logical_pages());
+    for lba in 0..ckpt.logical_pages() {
+        let c = ckpt.read(Lba::new(lba), now).expect("ckpt-arm read failed");
+        let f = full.read(Lba::new(lba), now).expect("full-arm read failed");
+        assert_eq!(c, f, "{what}: lba {lba} diverged");
+    }
+}
+
+fn check_trace<F, M>(
+    name: &str,
+    trace: &insider_workloads::Trace,
+    make: M,
+    scan_entries: fn(&F) -> u64,
+) -> (u64, u64)
+where
+    F: Ftl,
+    M: Fn(FtlConfig) -> F,
+{
+    let (ckpt_cfg, full_cfg) = configs();
+    let mut ckpt = make(ckpt_cfg);
+    let mut full = make(full_cfg);
+    let a = replay_ftl(trace, &mut ckpt);
+    let b = replay_ftl(trace, &mut full);
+    assert_eq!(
+        a.skipped, b.skipped,
+        "{name}: replays diverged before the mount"
+    );
+    assert!(
+        ckpt.stats().checkpoints > 0,
+        "{name}: trace too small to trigger a checkpoint — differential is vacuous"
+    );
+    let now = trace.reqs().last().expect("non-empty trace").time;
+
+    ckpt.power_cut(now).expect("checkpointed remount failed");
+    full.power_cut(now).expect("full-scan remount failed");
+    // The merged chain set can equal the full scan's (a short trace where
+    // nothing ages past the horizon or gets GC-erased) but never exceed it.
+    assert!(
+        scan_entries(&ckpt) <= scan_entries(&full),
+        "{name}: checkpoint+tail reconstructed more records than exist on \
+         flash ({} vs {})",
+        scan_entries(&ckpt),
+        scan_entries(&full)
+    );
+    assert_state_equal(&mut ckpt, &mut full, now, &format!("{name}/post-remount"));
+
+    // Post-mount service must also agree — the rebuilt free pools, victim
+    // index and chain state feed GC identically on both arms.
+    let mut t = now + SimTime::from_secs(1);
+    for round in 0..40u64 {
+        for lba in 0..8u64 {
+            let payload = Bytes::from(format!("svc{round}:{lba}"));
+            ckpt.write(Lba::new(lba), payload.clone(), t)
+                .expect("ckpt-arm write");
+            full.write(Lba::new(lba), payload, t)
+                .expect("full-arm write");
+            t += SimTime::from_millis(5);
+        }
+    }
+    assert_state_equal(&mut ckpt, &mut full, t, &format!("{name}/post-service"));
+
+    // Second power cycle, now from a checkpoint written mid-service. The
+    // 1.6 s overwrite burst has aged most superseded records past the
+    // 100 ms horizon, so here the filtered chain set must be *strictly*
+    // smaller than the raw on-flash record set.
+    ckpt.power_cut(t).expect("second ckpt remount failed");
+    full.power_cut(t).expect("second full remount failed");
+    assert_state_equal(&mut ckpt, &mut full, t, &format!("{name}/second remount"));
+    let entries = (scan_entries(&ckpt), scan_entries(&full));
+    assert!(
+        entries.0 <= entries.1,
+        "{name}: checkpoint+tail reconstructed more records than exist on \
+         flash ({} vs {})",
+        entries.0,
+        entries.1
+    );
+    entries
+}
+
+#[test]
+fn conventional_ckpt_and_full_scan_mounts_are_equal() {
+    let mut pairs = Vec::new();
+    for (name, trace) in sweep_traces(SweepConfig::fast().write_budget) {
+        pairs.push(check_trace(
+            name,
+            &trace,
+            ConventionalFtl::new,
+            ConventionalFtl::mount_scan_entries,
+        ));
+    }
+    assert!(
+        pairs.iter().any(|(c, f)| c < f),
+        "no trace exercised horizon filtering or GC pruning ({pairs:?}) — \
+         the checkpoint path degenerated to a full-scan replica"
+    );
+}
+
+#[test]
+fn insider_ckpt_and_full_scan_mounts_are_equal() {
+    let mut pairs = Vec::new();
+    for (name, trace) in sweep_traces(SweepConfig::fast().write_budget) {
+        pairs.push(check_trace(
+            name,
+            &trace,
+            InsiderFtl::new,
+            InsiderFtl::mount_scan_entries,
+        ));
+    }
+    assert!(
+        pairs.iter().any(|(c, f)| c < f),
+        "no trace exercised horizon filtering or GC pruning ({pairs:?}) — \
+         the checkpoint path degenerated to a full-scan replica"
+    );
+}
+
+/// Rollback from the two mounted states must restore identical pre-window
+/// images — the recovery queue rebuilt from checkpoint + tail chains equals
+/// the one rebuilt from a full scan.
+#[test]
+fn rollback_agrees_across_mount_paths() {
+    let (ckpt_cfg, full_cfg) = configs();
+    for (name, trace) in sweep_traces(SweepConfig::fast().write_budget) {
+        let mut ckpt = InsiderFtl::new(ckpt_cfg.clone());
+        let mut full = InsiderFtl::new(full_cfg.clone());
+        let _ = replay_ftl(&trace, &mut ckpt);
+        let _ = replay_ftl(&trace, &mut full);
+        let now = trace.reqs().last().expect("non-empty trace").time;
+        ckpt.power_cut(now).expect("ckpt remount failed");
+        full.power_cut(now).expect("full remount failed");
+        let ra = ckpt.rollback(now).expect("ckpt-arm rollback failed");
+        let rb = full.rollback(now).expect("full-arm rollback failed");
+        assert_eq!(ra.restored, rb.restored, "{name}: rollback size diverged");
+        assert_eq!(ra.restored_to, rb.restored_to);
+        assert_state_equal(&mut ckpt, &mut full, now, &format!("{name}/post-rollback"));
+    }
+}

@@ -19,8 +19,14 @@ fn crash_after_alarm_then_rollback_recovers_every_file() {
         out.files_recovered, out.files_total,
         "every victim must byte-compare to its pre-attack plaintext"
     );
-    assert!(out.fsck_second_pass_clean, "fsck must repair all rollback corruption");
-    assert!(out.restored_entries > 0, "the rebuilt queue must drive the rollback");
+    assert!(
+        out.fsck_second_pass_clean,
+        "fsck must repair all rollback corruption"
+    );
+    assert!(
+        out.restored_entries > 0,
+        "the rebuilt queue must drive the rollback"
+    );
 }
 
 #[test]
@@ -37,6 +43,9 @@ fn crash_mid_attack_then_realarm_and_rollback_recovers_every_file() {
         out.files_recovered, out.files_total,
         "every victim must byte-compare to its pre-attack plaintext"
     );
-    assert!(out.fsck_second_pass_clean, "fsck must repair all rollback corruption");
+    assert!(
+        out.fsck_second_pass_clean,
+        "fsck must repair all rollback corruption"
+    );
     assert!(out.restored_entries > 0);
 }

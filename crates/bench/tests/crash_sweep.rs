@@ -11,28 +11,55 @@ use insider_bench::{sweep_ftl_config, SweepConfig};
 use insider_ftl::{ConventionalFtl, Ftl, FtlError, InsiderFtl};
 use insider_nand::{FaultPlan, Lba, NandError, SimTime};
 
-#[test]
-fn bounded_crash_sweep_matrix_upholds_durability_contract() {
-    let config = SweepConfig::fast().from_env();
-    let rows = insider_bench::sweep_matrix(&config);
+fn check_matrix(config: &SweepConfig) {
+    let rows = insider_bench::sweep_matrix(config);
     assert_eq!(rows.len(), 6, "three traces x two FTL flavours");
     for (trace, flavour, summary) in rows {
         // Every trace in the sweep mutates (the sequential trace carries
         // its own fill phase), so every row must expose crash points and
         // actually fire cuts at them.
-        assert!(summary.mutation_ops > 0, "{trace}/{flavour}: no crash space");
-        assert!(summary.points_tested > 1, "{trace}/{flavour}: nothing swept");
-        assert!(summary.crashes_fired > 0, "{trace}/{flavour}: no cut ever fired");
-        assert!(summary.pages_verified > 0, "{trace}/{flavour}: nothing verified");
+        assert!(
+            summary.mutation_ops > 0,
+            "{trace}/{flavour}: no crash space"
+        );
+        assert!(
+            summary.points_tested > 1,
+            "{trace}/{flavour}: nothing swept"
+        );
+        assert!(
+            summary.crashes_fired > 0,
+            "{trace}/{flavour}: no cut ever fired"
+        );
+        assert!(
+            summary.pages_verified > 0,
+            "{trace}/{flavour}: nothing verified"
+        );
         if flavour == "insider" {
             assert_eq!(
                 summary.rollbacks_verified, summary.points_tested,
                 "{trace}: every remount must support rollback"
             );
         } else {
-            assert_eq!(summary.rollbacks_verified, 0, "{trace}: baseline has no queue");
+            assert_eq!(
+                summary.rollbacks_verified, 0,
+                "{trace}: baseline has no queue"
+            );
         }
     }
+}
+
+#[test]
+fn bounded_crash_sweep_matrix_upholds_durability_contract() {
+    check_matrix(&SweepConfig::fast().from_env());
+}
+
+/// The same bounded matrix with periodic checkpointing armed: checkpoint
+/// writes join the mutation space, so strided cuts land inside them, and
+/// every remount goes through the checkpoint-load (or torn-slot fallback)
+/// path instead of the full scan.
+#[test]
+fn bounded_crash_sweep_matrix_with_checkpointing() {
+    check_matrix(&SweepConfig::fast().from_env().checkpointed(24));
 }
 
 /// In-flight-queue crash point: power drops while an 8-page extent write is
@@ -50,7 +77,8 @@ fn mid_batch_cut_loses_exactly_the_unissued_tail<F: Ftl>(
     for cut in 1..=SPAN {
         let mut ftl = make();
         let old: Vec<Bytes> = (0..SPAN).map(|i| page("old", i)).collect();
-        ftl.write_extent(Lba::new(0), &old, SimTime::from_secs(1)).unwrap();
+        ftl.write_extent(Lba::new(0), &old, SimTime::from_secs(1))
+            .unwrap();
 
         let mut plan = FaultPlan::new();
         plan.power_cut_after(cut);
@@ -65,14 +93,22 @@ fn mid_batch_cut_loses_exactly_the_unissued_tail<F: Ftl>(
             "[{label}] cut={cut}: expected a power loss, got {err}"
         );
         let acked = ftl.stats().host_writes - before;
-        assert_eq!(acked, cut - 1, "[{label}] cut={cut}: acked prefix diverges from issue order");
+        assert_eq!(
+            acked,
+            cut - 1,
+            "[{label}] cut={cut}: acked prefix diverges from issue order"
+        );
 
         // Power restored: remount from the OOB scan and verify the prefix
         // committed while the tail atomically kept its pre-cut contents.
         ftl.power_cut(now).unwrap();
         for i in 0..SPAN {
             let got = ftl.read(Lba::new(i), now).unwrap();
-            let want = if i < acked { &new[i as usize] } else { &old[i as usize] };
+            let want = if i < acked {
+                &new[i as usize]
+            } else {
+                &old[i as usize]
+            };
             assert_eq!(
                 got.as_deref(),
                 Some(want.as_ref()),

@@ -108,8 +108,12 @@ fn differential_ransomware_mix_trace() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
     let space = FileSpace::generate(&mut rng, &small_space());
     let duration = SimTime::from_secs(10);
-    let ransom = RansomwareKind::Mole.model().generate(&mut rng, &space, duration);
-    let cloud = AppKind::CloudStorage.model().generate(&mut rng, &space, duration);
+    let ransom = RansomwareKind::Mole
+        .model()
+        .generate(&mut rng, &space, duration);
+    let cloud = AppKind::CloudStorage
+        .model()
+        .generate(&mut rng, &space, duration);
     let mixed: Trace = merge([ransom, cloud]);
     assert!(mixed.is_sorted());
     assert_identical("ransomware-mix", mixed.reqs());

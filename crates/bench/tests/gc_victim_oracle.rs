@@ -67,7 +67,10 @@ fn assert_selectors_agree(name: &str, trace: &Trace, expect_gc: bool) {
             victims_indexed, victims_legacy,
             "{name}/{policy}: victim sequences diverged"
         );
-        assert_eq!(stats_indexed, stats_legacy, "{name}/{policy}: stats diverged");
+        assert_eq!(
+            stats_indexed, stats_legacy,
+            "{name}/{policy}: stats diverged"
+        );
         if expect_gc {
             assert!(
                 stats_indexed.gc_invocations > 0,

@@ -10,15 +10,33 @@ use insider_nand::{Geometry, KindLatency, Lba, SimTime};
 use ssd_insider::{InsiderConfig, SsdInsider};
 
 fn pages() -> u64 {
-    std::env::var("LAT_PAGES").ok().and_then(|v| v.parse().ok()).unwrap_or(512)
+    std::env::var("LAT_PAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512)
 }
 
 fn assert_ordered(kind: &str, l: &KindLatency) {
     assert!(l.count > 0, "{kind}: no commands recorded");
     assert!(l.p50_ns > 0, "{kind}: zero median");
-    assert!(l.p50_ns <= l.p95_ns, "{kind}: p50 {} > p95 {}", l.p50_ns, l.p95_ns);
-    assert!(l.p95_ns <= l.p99_ns, "{kind}: p95 {} > p99 {}", l.p95_ns, l.p99_ns);
-    assert!(l.p99_ns <= l.max_ns, "{kind}: p99 {} > max {}", l.p99_ns, l.max_ns);
+    assert!(
+        l.p50_ns <= l.p95_ns,
+        "{kind}: p50 {} > p95 {}",
+        l.p50_ns,
+        l.p95_ns
+    );
+    assert!(
+        l.p95_ns <= l.p99_ns,
+        "{kind}: p95 {} > p99 {}",
+        l.p95_ns,
+        l.p99_ns
+    );
+    assert!(
+        l.p99_ns <= l.max_ns,
+        "{kind}: p99 {} > max {}",
+        l.p99_ns,
+        l.max_ns
+    );
 }
 
 #[test]
@@ -43,7 +61,9 @@ fn scheduled_device_reports_consistent_percentiles() {
         }
     }
     device.sync();
-    let snap = device.latency_snapshot().expect("scheduler active by default");
+    let snap = device
+        .latency_snapshot()
+        .expect("scheduler active by default");
     assert_ordered("read", &snap.read);
     assert_ordered("program", &snap.program);
     assert_ordered("total", &snap.total);
@@ -53,7 +73,12 @@ fn scheduled_device_reports_consistent_percentiles() {
         "total must aggregate every kind"
     );
     assert!(
-        snap.total.max_ns >= snap.read.max_ns.max(snap.program.max_ns).max(snap.erase.max_ns),
+        snap.total.max_ns
+            >= snap
+                .read
+                .max_ns
+                .max(snap.program.max_ns)
+                .max(snap.erase.max_ns),
         "total max must dominate per-kind maxima"
     );
 }

@@ -6,7 +6,7 @@
 //! `bench_multitenant` binary; `MT_SHARDS` / `MT_PAGES` scale this test up
 //! (shard count and requests kept per tenant trace, defaults 2 and 400).
 
-use insider_bench::{replay_multitenant, tenant_trace, train_tree, replay_geometry};
+use insider_bench::{replay_geometry, replay_multitenant, tenant_trace, train_tree};
 use insider_detect::DetectorConfig;
 use insider_workloads::Trace;
 use ssd_insider::{InsiderConfig, MultiTenantSsd, NamespaceLayout};
@@ -46,13 +46,21 @@ fn bounded_multitenant_replay_accounts_every_shard() {
     );
     for (shard, trace) in run.shards.iter().zip(&traces) {
         assert_eq!(shard.requests, trace.len() as u64);
-        assert!(shard.blocks_applied > 0, "ns{}: nothing applied", shard.namespace);
+        assert!(
+            shard.blocks_applied > 0,
+            "ns{}: nothing applied",
+            shard.namespace
+        );
         assert_eq!(
             shard.blocks_skipped, 0,
             "ns{}: trace mis-sized for its shard",
             shard.namespace
         );
-        assert!(shard.busy_ns > 0, "ns{}: no measured service time", shard.namespace);
+        assert!(
+            shard.busy_ns > 0,
+            "ns{}: no measured service time",
+            shard.namespace
+        );
         assert!(
             shard.p99_ns >= shard.p50_ns,
             "ns{}: latency percentiles out of order",
@@ -63,7 +71,10 @@ fn bounded_multitenant_replay_accounts_every_shard() {
         run.total_requests(),
         traces.iter().map(|t| t.len() as u64).sum::<u64>()
     );
-    assert!(run.wall_ns >= run.makespan_ns(), "wall clock below the slowest shard");
+    assert!(
+        run.wall_ns >= run.makespan_ns(),
+        "wall clock below the slowest shard"
+    );
     assert!(run.parallel_rps() > 0.0);
 
     // The replay left every shard serviceable and correctly attributed.

@@ -60,7 +60,7 @@ fn ransomware_in_one_namespace_never_touches_its_neighbor() {
                     ssd.write(a, Lba::new(lba), Bytes::from_static(b"3ncryp7ed"), t)
                         .unwrap();
                 }
-                t = t + SimTime::from_millis(250);
+                t += SimTime::from_millis(250);
                 rounds += 1;
                 assert!(rounds < 1000, "attack never tripped the alarm");
             }
@@ -75,7 +75,7 @@ fn ransomware_in_one_namespace_never_touches_its_neighbor() {
                     panic!("benign tenant write rejected at iteration {i}: {e}")
                 });
                 ssd.read(b, Lba::new(i % 37), t).unwrap();
-                t = t + SimTime::from_millis(40);
+                t += SimTime::from_millis(40);
                 assert_eq!(
                     ssd.state(b).unwrap(),
                     DeviceState::Normal,
@@ -107,9 +107,8 @@ fn ransomware_in_one_namespace_never_touches_its_neighbor() {
             ssd.write(a, Lba::new(0), doc(0), t_alarm).is_err(),
             "recovered tenant must be read-only until reboot"
         );
-        ssd.write(b, Lba::new(1_100), doc(1_100), t_b).expect(
-            "tenant B must keep full write service while A is frozen",
-        );
+        ssd.write(b, Lba::new(1_100), doc(1_100), t_b)
+            .expect("tenant B must keep full write service while A is frozen");
         assert_eq!(
             ssd.read(b, Lba::new(0), t_b).unwrap().unwrap(),
             doc(0),

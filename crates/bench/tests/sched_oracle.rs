@@ -84,7 +84,13 @@ fn check_flavour<F: Ftl>(
 #[test]
 fn all_sched_modes_leave_identical_physical_state() {
     for (name, trace) in traces() {
-        check_flavour(name, "conventional", &trace, ConventionalFtl::new, ConventionalFtl::device);
+        check_flavour(
+            name,
+            "conventional",
+            &trace,
+            ConventionalFtl::new,
+            ConventionalFtl::device,
+        );
         check_flavour(name, "insider", &trace, InsiderFtl::new, InsiderFtl::device);
     }
 }

@@ -51,10 +51,7 @@ impl Console {
             .page_size(4096)
             .build();
         Console {
-            device: SsdInsider::new(
-                InsiderConfig::new(geometry),
-                DecisionTree::stump(0, 0.5),
-            ),
+            device: SsdInsider::new(InsiderConfig::new(geometry), DecisionTree::stump(0, 0.5)),
             now: SimTime::ZERO,
         }
     }
@@ -153,7 +150,11 @@ impl Console {
         self.device
             .write(lba, Bytes::from(text.clone().into_bytes()), self.now)
             .map_err(|e| err(e.to_string()))?;
-        Ok(format!("ok: wrote {} bytes at {lba} (t={})", text.len(), self.now))
+        Ok(format!(
+            "ok: wrote {} bytes at {lba} (t={})",
+            text.len(),
+            self.now
+        ))
     }
 
     fn read(&mut self, args: &[&str]) -> Result<String, ConsoleError> {
@@ -210,7 +211,9 @@ impl Console {
                 self.device.score()
             ));
             if self.device.state() == DeviceState::Suspicious {
-                lines.push("*** ALARM: drive suspects ransomware — 'recover' or 'dismiss' ***".into());
+                lines.push(
+                    "*** ALARM: drive suspects ransomware — 'recover' or 'dismiss' ***".into(),
+                );
                 break;
             }
         }
@@ -273,7 +276,9 @@ mod tests {
     use super::*;
 
     fn run(console: &mut Console, line: &str) -> String {
-        console.execute(line).unwrap_or_else(|e| panic!("{line}: {e}"))
+        console
+            .execute(line)
+            .unwrap_or_else(|e| panic!("{line}: {e}"))
     }
 
     #[test]
@@ -362,8 +367,10 @@ mod tests {
     fn help_lists_every_command() {
         let mut c = Console::new();
         let help = run(&mut c, "help");
-        for cmd in ["write", "read", "trim", "attack", "tick", "status", "events",
-                    "recover", "dismiss", "reboot"] {
+        for cmd in [
+            "write", "read", "trim", "attack", "tick", "status", "events", "recover", "dismiss",
+            "reboot",
+        ] {
             assert!(help.contains(cmd), "help missing {cmd}");
         }
     }

@@ -3,8 +3,14 @@
 use crate::device::SsdInsider;
 use crate::DeviceError;
 use bytes::Bytes;
-use insider_fs::{BlockDev, FsError};
+use insider_fs::{BlockCache, BlockDev, FsError};
 use insider_nand::{Lba, SimTime};
+
+/// An [`FsBridge`] behind the write-back block buffer cache — what a host
+/// with a page cache looks like to the device. Reads served from DRAM never
+/// reach the SSD; writes reach it on eviction or [`BlockCache::flush`]
+/// (the `sync` boundary).
+pub type CachedFsBridge = BlockCache<FsBridge>;
 
 /// Bridges [`SsdInsider`] to the [`BlockDev`] trait so MiniExt can mount on
 /// it (the Table II consistency experiment).
@@ -56,6 +62,13 @@ impl FsBridge {
     /// Unwraps the device.
     pub fn into_device(self) -> SsdInsider {
         self.device
+    }
+
+    /// Wraps the bridge in a write-back buffer cache of `capacity` blocks.
+    /// Remember to [`flush`](BlockCache::flush) before durability points —
+    /// unflushed writes are DRAM-only and will not survive a power cut.
+    pub fn cached(self, capacity: usize) -> CachedFsBridge {
+        BlockCache::new(self, capacity)
     }
 
     fn tick(&mut self) {
@@ -152,7 +165,8 @@ mod tests {
     fn filesystem_mounts_and_works_on_the_device() {
         let b = bridge(DecisionTree::constant(false));
         let mut fs = MiniExt::format(b, &FsConfig { inode_count: 64 }).unwrap();
-        fs.write_file("hello.txt", b"from miniext on ssd-insider").unwrap();
+        fs.write_file("hello.txt", b"from miniext on ssd-insider")
+            .unwrap();
         assert_eq!(
             fs.read_file("hello.txt").unwrap(),
             b"from miniext on ssd-insider"
@@ -185,6 +199,34 @@ mod tests {
     }
 
     #[test]
+    fn cached_bridge_absorbs_rereads_and_flushes_to_flash() {
+        let cached = bridge(DecisionTree::constant(false)).cached(128);
+        let mut fs = MiniExt::format(cached, &FsConfig { inode_count: 64 }).unwrap();
+        fs.write_file("doc", b"buffer me").unwrap();
+        // Re-reads of a resident file are cache hits — the device sees no
+        // new read traffic.
+        use insider_ftl::Ftl as _;
+        let reads_before = fs.dev_mut().inner().device().ftl().stats().host_reads;
+        for _ in 0..5 {
+            assert_eq!(fs.read_file("doc").unwrap(), b"buffer me");
+        }
+        let reads_after = fs.dev_mut().inner().device().ftl().stats().host_reads;
+        assert_eq!(
+            reads_after, reads_before,
+            "re-reads must not reach the device"
+        );
+        assert!(fs.dev_mut().stats().hits > 0);
+        // Flush is the durability boundary: after it, the file survives a
+        // power cut on the raw device.
+        fs.dev_mut().flush().unwrap();
+        let mut raw = fs.into_dev().into_inner().unwrap();
+        let t = raw.now();
+        raw.device_mut().power_cut(t).unwrap();
+        let mut fs = MiniExt::mount(raw).unwrap();
+        assert_eq!(fs.read_file("doc").unwrap(), b"buffer me");
+    }
+
+    #[test]
     fn clock_advances_per_operation() {
         let mut b = bridge(DecisionTree::constant(false));
         let t0 = b.now();
@@ -198,7 +240,11 @@ mod tests {
         let t0 = b.now();
         let data = vec![Bytes::from_static(b"e"); 4];
         b.write_blocks(2, &data).unwrap();
-        assert_eq!(b.now(), t0 + SimTime::from_micros(200), "4 blocks = 4 scalar ticks");
+        assert_eq!(
+            b.now(),
+            t0 + SimTime::from_micros(200),
+            "4 blocks = 4 scalar ticks"
+        );
         let got = b.read_blocks(2, 4).unwrap();
         assert!(got.iter().all(|g| g.is_some()));
         // One timing sample per extent, but per-block op counts.

@@ -26,9 +26,8 @@ impl InsiderConfig {
     /// protection window is raised to cover the detection window if it was
     /// configured shorter; an explicitly longer retention is kept.
     pub fn from_parts(ftl: FtlConfig, detector: DetectorConfig) -> Self {
-        let detection_window = SimTime::from_micros(
-            detector.slice.as_micros() * detector.window_slices as u64,
-        );
+        let detection_window =
+            SimTime::from_micros(detector.slice.as_micros() * detector.window_slices as u64);
         let window = ftl.window().max(detection_window);
         InsiderConfig {
             ftl: ftl.protection_window(window),

@@ -171,9 +171,8 @@ impl SsdInsider {
                 // slow confirmation must not let pre-attack data age out of
                 // the recovery queue, and rollback stays anchored to the
                 // alarm instant (end of the alarming slice).
-                let alarm_time = SimTime::from_micros(
-                    (v.slice + 1) * self.detector.config().slice.as_micros(),
-                );
+                let alarm_time =
+                    SimTime::from_micros((v.slice + 1) * self.detector.config().slice.as_micros());
                 self.ftl.freeze_retirement(alarm_time);
                 self.events.push(DeviceEvent::AlarmRaised { verdict: v });
             }
@@ -244,8 +243,7 @@ impl SsdInsider {
         if data.is_empty() {
             return Ok(());
         }
-        let insider_ns =
-            self.feed_detector(IoReq::new(now, lba, IoMode::Write, data.len() as u32));
+        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Write, data.len() as u32));
         let (out, ftl_ns) = IoTiming::time(|| self.ftl.write_extent(lba, data, now));
         self.timing.write_ops += data.len() as u64;
         self.timing.ftl_write_ns += ftl_ns;
@@ -490,7 +488,7 @@ mod tests {
         while ssd.state() == DeviceState::Normal {
             ssd.read(lba, t).unwrap();
             ssd.write(lba, Bytes::from_static(b"3ncryp7ed"), t).unwrap();
-            t = t + SimTime::from_millis(200);
+            t += SimTime::from_millis(200);
             guard += 1;
             assert!(guard < 1000, "alarm never fired");
         }
@@ -503,7 +501,10 @@ mod tests {
         ssd.write(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO)
             .unwrap();
         assert_eq!(
-            ssd.read(Lba::new(0), SimTime::ZERO).unwrap().unwrap().as_ref(),
+            ssd.read(Lba::new(0), SimTime::ZERO)
+                .unwrap()
+                .unwrap()
+                .as_ref(),
             b"x"
         );
         assert_eq!(ssd.state(), DeviceState::Normal);
@@ -525,8 +526,12 @@ mod tests {
     #[test]
     fn recovery_restores_pre_attack_data() {
         let mut ssd = device();
-        ssd.write(Lba::new(7), Bytes::from_static(b"original"), SimTime::from_secs(1))
-            .unwrap();
+        ssd.write(
+            Lba::new(7),
+            Bytes::from_static(b"original"),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
         let t = attack(&mut ssd, Lba::new(7), SimTime::from_secs(60));
         let report = ssd.confirm_and_recover(t).unwrap();
         assert!(report.restored > 0);
@@ -573,7 +578,10 @@ mod tests {
             ssd.confirm_and_recover(SimTime::ZERO),
             Err(DeviceError::WrongState { .. })
         ));
-        assert!(matches!(ssd.dismiss_alarm(), Err(DeviceError::WrongState { .. })));
+        assert!(matches!(
+            ssd.dismiss_alarm(),
+            Err(DeviceError::WrongState { .. })
+        ));
         assert!(matches!(ssd.reboot(), Err(DeviceError::WrongState { .. })));
     }
 
@@ -594,8 +602,9 @@ mod tests {
         let mut t = SimTime::from_secs(10);
         for _ in 0..100 {
             ssd.read(Lba::new(2), t).unwrap();
-            ssd.write(Lba::new(2), Bytes::from_static(b"junk"), t).unwrap();
-            t = t + SimTime::from_millis(100);
+            ssd.write(Lba::new(2), Bytes::from_static(b"junk"), t)
+                .unwrap();
+            t += SimTime::from_millis(100);
         }
         assert_eq!(ssd.state(), DeviceState::Normal);
         assert_eq!(ssd.timing().summary().insider_write_ns, 0.0);
@@ -630,16 +639,22 @@ mod tests {
     #[test]
     fn extent_ops_flow_through_whole_stack() {
         let mut ssd = device();
-        let data: Vec<Bytes> =
-            (0..8).map(|i| Bytes::copy_from_slice(format!("blk{i}").as_bytes())).collect();
-        ssd.write_extent(Lba::new(4), &data, SimTime::from_secs(1)).unwrap();
-        let back = ssd.read_extent(Lba::new(4), 8, SimTime::from_secs(1)).unwrap();
+        let data: Vec<Bytes> = (0..8)
+            .map(|i| Bytes::copy_from_slice(format!("blk{i}").as_bytes()))
+            .collect();
+        ssd.write_extent(Lba::new(4), &data, SimTime::from_secs(1))
+            .unwrap();
+        let back = ssd
+            .read_extent(Lba::new(4), 8, SimTime::from_secs(1))
+            .unwrap();
         for (i, page) in back.into_iter().enumerate() {
             assert_eq!(page.unwrap().as_ref(), format!("blk{i}").as_bytes());
         }
-        ssd.trim_extent(Lba::new(4), 8, SimTime::from_secs(1)).unwrap();
+        ssd.trim_extent(Lba::new(4), 8, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(
-            ssd.read_extent(Lba::new(4), 8, SimTime::from_secs(1)).unwrap(),
+            ssd.read_extent(Lba::new(4), 8, SimTime::from_secs(1))
+                .unwrap(),
             vec![None; 8]
         );
         let t = ssd.timing();
@@ -656,7 +671,7 @@ mod tests {
         while ssd.state() == DeviceState::Normal {
             ssd.read_extent(Lba::new(16), 4, t).unwrap();
             ssd.write_extent(Lba::new(16), &data, t).unwrap();
-            t = t + SimTime::from_millis(200);
+            t += SimTime::from_millis(200);
             guard += 1;
             assert!(guard < 1000, "alarm never fired via extent path");
         }
@@ -670,7 +685,10 @@ mod tests {
         let mut ssd = device();
         ssd.write_extent(Lba::new(0), &[], SimTime::ZERO).unwrap();
         ssd.trim_extent(Lba::new(0), 0, SimTime::ZERO).unwrap();
-        assert!(ssd.read_extent(Lba::new(0), 0, SimTime::ZERO).unwrap().is_empty());
+        assert!(ssd
+            .read_extent(Lba::new(0), 0, SimTime::ZERO)
+            .unwrap()
+            .is_empty());
         let t = ssd.timing();
         assert_eq!((t.read_ops, t.write_ops, t.trim_ops), (0, 0, 0));
         assert_eq!(ssd.score(), 0);
@@ -710,8 +728,12 @@ mod tests {
     #[test]
     fn slow_confirmation_does_not_lose_recoverable_data() {
         let mut ssd = device();
-        ssd.write(Lba::new(7), Bytes::from_static(b"original"), SimTime::from_secs(1))
-            .unwrap();
+        ssd.write(
+            Lba::new(7),
+            Bytes::from_static(b"original"),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
         let t = attack(&mut ssd, Lba::new(7), SimTime::from_secs(60));
         // The user stares at the warning dialog for five minutes, while the
         // clock keeps advancing (polls and stray reads).
@@ -730,24 +752,26 @@ mod tests {
     #[test]
     fn trim_is_monitored_and_recoverable() {
         let mut ssd = device();
-        ssd.write(Lba::new(9), Bytes::from_static(b"keep"), SimTime::from_secs(1))
-            .unwrap();
+        ssd.write(
+            Lba::new(9),
+            Bytes::from_static(b"keep"),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
         // Read-then-trim pattern at scale also raises the alarm (class C).
         let mut t = SimTime::from_secs(60);
         let mut guard = 0;
         while ssd.state() == DeviceState::Normal {
             ssd.read(Lba::new(9), t).unwrap();
             ssd.trim(Lba::new(9), t).unwrap();
-            ssd.write(Lba::new(9), Bytes::from_static(b"keep"), t).unwrap();
-            t = t + SimTime::from_millis(200);
+            ssd.write(Lba::new(9), Bytes::from_static(b"keep"), t)
+                .unwrap();
+            t += SimTime::from_millis(200);
             guard += 1;
             assert!(guard < 1000, "alarm never fired");
         }
         let report = ssd.confirm_and_recover(t).unwrap();
         assert!(report.restored > 0);
-        assert_eq!(
-            ssd.read(Lba::new(9), t).unwrap().unwrap().as_ref(),
-            b"keep"
-        );
+        assert_eq!(ssd.read(Lba::new(9), t).unwrap().unwrap().as_ref(), b"keep");
     }
 }

@@ -30,6 +30,12 @@ pub const QUEUE_ENTRY_BYTES: usize = RecoveryQueue::ENTRY_BYTES;
 /// Table III budget provisions zero such entries.
 pub const OOB_SCAN_ENTRY_BYTES: usize = 24;
 
+/// Bytes per chain-index record mirrored in DRAM for periodic mapping
+/// checkpoints, matching the on-flash checkpoint record: LBA (8), physical
+/// page (8), program sequence (8), write stamp (8) and the live/backup tag
+/// (1). Zero entries unless `checkpoint_interval` is configured.
+pub const CHAIN_ENTRY_BYTES: usize = 33;
+
 /// DRAM footprint of the three SSD-Insider structures, in the units the
 /// paper's Table III uses (entry count × fixed entry size — what a firmware
 /// implementation would statically provision).
@@ -47,6 +53,10 @@ pub struct DramUsage {
     /// [`total_bytes`](Self::total_bytes): the scan buffer is freed before
     /// the device services its first host command.
     pub mount_scan_entries: usize,
+    /// Records in the checkpoint chain index — the steady-state DRAM the
+    /// FTL pays for fast (checkpoint + OOB tail) remounts. Zero when
+    /// checkpointing is off, so the default configuration bills nothing.
+    pub chain_index_entries: usize,
     /// Programs whose payload moved as a refcounted handle (the zero-copy
     /// data path). Provenance counters, not a byte bill — excluded from
     /// [`total_bytes`](Self::total_bytes).
@@ -66,6 +76,7 @@ impl DramUsage {
             counting_entries: table.len(),
             queue_entries: device.ftl().recovery_queue().len(),
             mount_scan_entries: device.ftl().mount_scan_entries() as usize,
+            chain_index_entries: device.ftl().chain_index_entries() as usize,
             buffers_shared: nand.buffers_shared,
             buffers_copied: nand.buffers_copied,
         }
@@ -79,6 +90,7 @@ impl DramUsage {
             counting_entries: 1_000,
             queue_entries: 2_621_440,
             mount_scan_entries: 0,
+            chain_index_entries: 0,
             buffers_shared: 0,
             buffers_copied: 0,
         }
@@ -106,10 +118,16 @@ impl DramUsage {
         self.mount_scan_entries * OOB_SCAN_ENTRY_BYTES
     }
 
-    /// Total steady-state bytes across the three provisioned structures.
+    /// Checkpoint chain-index bytes (zero unless checkpointing is on).
+    pub fn chain_index_bytes(&self) -> usize {
+        self.chain_index_entries * CHAIN_ENTRY_BYTES
+    }
+
+    /// Total steady-state bytes: the three paper-provisioned structures
+    /// plus the checkpoint chain index (which only bills when enabled).
     /// The transient mount-scan buffer is excluded.
     pub fn total_bytes(&self) -> usize {
-        self.hash_bytes() + self.counting_bytes() + self.queue_bytes()
+        self.hash_bytes() + self.counting_bytes() + self.queue_bytes() + self.chain_index_bytes()
     }
 }
 
@@ -122,6 +140,7 @@ impl std::ops::Add for DramUsage {
             counting_entries: self.counting_entries + rhs.counting_entries,
             queue_entries: self.queue_entries + rhs.queue_entries,
             mount_scan_entries: self.mount_scan_entries + rhs.mount_scan_entries,
+            chain_index_entries: self.chain_index_entries + rhs.chain_index_entries,
             buffers_shared: self.buffers_shared + rhs.buffers_shared,
             buffers_copied: self.buffers_copied + rhs.buffers_copied,
         }
@@ -238,13 +257,24 @@ impl std::fmt::Display for DramUsage {
         writeln!(
             f,
             "{:<16} {:>10} {:>10} {:>12}",
+            "chain index",
+            CHAIN_ENTRY_BYTES,
+            self.chain_index_entries,
+            self.chain_index_bytes()
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>12}",
             "mount scan*",
             OOB_SCAN_ENTRY_BYTES,
             self.mount_scan_entries,
             self.mount_scan_bytes()
         )?;
         writeln!(f, "total: {} bytes", self.total_bytes())?;
-        writeln!(f, "(* transient: freed before first host command, not in total)")?;
+        writeln!(
+            f,
+            "(* transient: freed before first host command, not in total)"
+        )?;
         write!(
             f,
             "payload buffers: {} shared / {} copied",
@@ -319,12 +349,22 @@ mod tests {
         // ns0 writes 3 pages, ns1 writes 5 — each shard's queue bills its
         // own tenant.
         for i in 0..3u64 {
-            ssd.write(NamespaceId::new(0), Lba::new(i), Bytes::from_static(b"a"), t)
-                .unwrap();
+            ssd.write(
+                NamespaceId::new(0),
+                Lba::new(i),
+                Bytes::from_static(b"a"),
+                t,
+            )
+            .unwrap();
         }
         for i in 0..5u64 {
-            ssd.write(NamespaceId::new(1), Lba::new(i), Bytes::from_static(b"b"), t)
-                .unwrap();
+            ssd.write(
+                NamespaceId::new(1),
+                Lba::new(i),
+                Bytes::from_static(b"b"),
+                t,
+            )
+            .unwrap();
         }
         let dram = MultiTenantDram::measure(&ssd);
         assert_eq!(dram.per_namespace.len(), 2);
@@ -348,6 +388,7 @@ mod tests {
             counting_entries: 2,
             queue_entries: 3,
             mount_scan_entries: 4,
+            chain_index_entries: 7,
             buffers_shared: 5,
             buffers_copied: 6,
         };
@@ -356,6 +397,7 @@ mod tests {
             counting_entries: 20,
             queue_entries: 30,
             mount_scan_entries: 40,
+            chain_index_entries: 70,
             buffers_shared: 50,
             buffers_copied: 60,
         };
@@ -364,6 +406,7 @@ mod tests {
         assert_eq!(sum.counting_entries, 22);
         assert_eq!(sum.queue_entries, 33);
         assert_eq!(sum.mount_scan_entries, 44);
+        assert_eq!(sum.chain_index_entries, 77);
         assert_eq!(sum.buffers_shared, 55);
         assert_eq!(sum.buffers_copied, 66);
         let mut acc = a;
@@ -389,7 +432,9 @@ mod tests {
             zeroed.total_bytes(),
             "provenance counters are not a DRAM bill"
         );
-        assert!(usage.to_string().contains("payload buffers: 1 shared / 0 copied"));
+        assert!(usage
+            .to_string()
+            .contains("payload buffers: 1 shared / 0 copied"));
     }
 
     #[test]

@@ -167,7 +167,10 @@ mod tests {
         log.push(DeviceEvent::Rebooted);
         assert_eq!(log.len(), 2);
         let drained = log.drain();
-        assert_eq!(drained, vec![DeviceEvent::AlarmDismissed, DeviceEvent::Rebooted]);
+        assert_eq!(
+            drained,
+            vec![DeviceEvent::AlarmDismissed, DeviceEvent::Rebooted]
+        );
         assert!(log.is_empty());
     }
 

@@ -43,7 +43,7 @@
 //! while ssd.state() == DeviceState::Normal {
 //!     ssd.read(Lba::new(10), t)?;
 //!     ssd.write(Lba::new(10), Bytes::from_static(b"3ncryp7ed"), t)?;
-//!     t = t + SimTime::from_millis(250);
+//!     t += SimTime::from_millis(250);
 //! }
 //!
 //! // The alarm fired; the user confirms, and the drive rolls back.
@@ -68,7 +68,7 @@ mod namespace;
 mod state;
 mod timing;
 
-pub use bridge::FsBridge;
+pub use bridge::{CachedFsBridge, FsBridge};
 pub use config::InsiderConfig;
 pub use device::SsdInsider;
 pub use dram::{DramUsage, MultiTenantDram};

@@ -43,7 +43,7 @@
 //! while ssd.state(a)? == DeviceState::Normal {
 //!     ssd.read(a, Lba::new(3), t)?;
 //!     ssd.write(a, Lba::new(3), Bytes::from_static(b"3ncryp7ed"), t)?;
-//!     t = t + SimTime::from_millis(250);
+//!     t += SimTime::from_millis(250);
 //! }
 //!
 //! // A rolls back alone; B never noticed.
@@ -124,14 +124,16 @@ impl MultiTenantSsd {
     /// shard's state machine is panic-consistent — every mutation happens
     /// through `&mut` methods that restore invariants before returning).
     fn shard(&self, ns: NamespaceId) -> Result<MutexGuard<'_, SsdInsider>> {
-        let slot =
-            self.shards
-                .get(ns.raw() as usize)
-                .ok_or(DeviceError::UnknownNamespace {
-                    requested: ns.raw(),
-                    namespaces: self.namespaces(),
-                })?;
-        Ok(slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+        let slot = self
+            .shards
+            .get(ns.raw() as usize)
+            .ok_or(DeviceError::UnknownNamespace {
+                requested: ns.raw(),
+                namespaces: self.namespaces(),
+            })?;
+        Ok(slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// Runs `f` with exclusive access to the shard serving `ns` — the bulk
@@ -381,8 +383,9 @@ mod tests {
         let mut guard = 0;
         while ssd.state(ns).unwrap() == DeviceState::Normal {
             ssd.read(ns, lba, t).unwrap();
-            ssd.write(ns, lba, Bytes::from_static(b"3ncryp7ed"), t).unwrap();
-            t = t + SimTime::from_millis(200);
+            ssd.write(ns, lba, Bytes::from_static(b"3ncryp7ed"), t)
+                .unwrap();
+            t += SimTime::from_millis(200);
             guard += 1;
             assert!(guard < 1000, "alarm never fired");
         }
@@ -394,13 +397,24 @@ mod tests {
         let ssd = device(2, NamespaceLayout::Provisioned);
         let (a, b) = (NamespaceId::new(0), NamespaceId::new(1));
         let t = SimTime::from_secs(1);
-        ssd.write(a, Lba::new(0), Bytes::from_static(b"from-a"), t).unwrap();
-        ssd.write(b, Lba::new(0), Bytes::from_static(b"from-b"), t).unwrap();
-        assert_eq!(ssd.read(a, Lba::new(0), t).unwrap().unwrap().as_ref(), b"from-a");
-        assert_eq!(ssd.read(b, Lba::new(0), t).unwrap().unwrap().as_ref(), b"from-b");
+        ssd.write(a, Lba::new(0), Bytes::from_static(b"from-a"), t)
+            .unwrap();
+        ssd.write(b, Lba::new(0), Bytes::from_static(b"from-b"), t)
+            .unwrap();
+        assert_eq!(
+            ssd.read(a, Lba::new(0), t).unwrap().unwrap().as_ref(),
+            b"from-a"
+        );
+        assert_eq!(
+            ssd.read(b, Lba::new(0), t).unwrap().unwrap().as_ref(),
+            b"from-b"
+        );
         ssd.trim(a, Lba::new(0), t).unwrap();
         assert!(ssd.read(a, Lba::new(0), t).unwrap().is_none());
-        assert!(ssd.read(b, Lba::new(0), t).unwrap().is_some(), "trim stays in its namespace");
+        assert!(
+            ssd.read(b, Lba::new(0), t).unwrap().is_some(),
+            "trim stays in its namespace"
+        );
     }
 
     #[test]
@@ -415,8 +429,12 @@ mod tests {
         // Shards are usable drives: a round trip works on the last one.
         let last = NamespaceId::new(3);
         let t = SimTime::from_secs(1);
-        quad.write(last, Lba::new(0), Bytes::from_static(b"x"), t).unwrap();
-        assert_eq!(quad.read(last, Lba::new(0), t).unwrap().unwrap().as_ref(), b"x");
+        quad.write(last, Lba::new(0), Bytes::from_static(b"x"), t)
+            .unwrap();
+        assert_eq!(
+            quad.read(last, Lba::new(0), t).unwrap().unwrap().as_ref(),
+            b"x"
+        );
     }
 
     #[test]
@@ -426,7 +444,10 @@ mod tests {
         let err = ssd.read(bogus, Lba::new(0), SimTime::ZERO).unwrap_err();
         assert!(matches!(
             err,
-            DeviceError::UnknownNamespace { requested: 9, namespaces: 2 }
+            DeviceError::UnknownNamespace {
+                requested: 9,
+                namespaces: 2
+            }
         ));
         assert!(err.to_string().contains("ns9"));
     }
@@ -434,10 +455,16 @@ mod tests {
     #[test]
     fn alarm_freezes_only_the_attacked_namespace() {
         let ssd = device(3, NamespaceLayout::Provisioned);
-        let (a, b, c) = (NamespaceId::new(0), NamespaceId::new(1), NamespaceId::new(2));
+        let (a, b, c) = (
+            NamespaceId::new(0),
+            NamespaceId::new(1),
+            NamespaceId::new(2),
+        );
         let t0 = SimTime::from_secs(1);
-        ssd.write(a, Lba::new(7), Bytes::from_static(b"precious"), t0).unwrap();
-        ssd.write(b, Lba::new(7), Bytes::from_static(b"bystander"), t0).unwrap();
+        ssd.write(a, Lba::new(7), Bytes::from_static(b"precious"), t0)
+            .unwrap();
+        ssd.write(b, Lba::new(7), Bytes::from_static(b"bystander"), t0)
+            .unwrap();
 
         let t = attack(&ssd, a, Lba::new(7), SimTime::from_secs(60));
         assert_eq!(ssd.state(a).unwrap(), DeviceState::Suspicious);
@@ -457,8 +484,10 @@ mod tests {
             Err(DeviceError::Ftl(insider_ftl::FtlError::ReadOnly))
         ));
         // Siblings keep writing at full speed.
-        ssd.write(b, Lba::new(8), Bytes::from_static(b"still-live"), t).unwrap();
-        ssd.write(c, Lba::new(8), Bytes::from_static(b"also-live"), t).unwrap();
+        ssd.write(b, Lba::new(8), Bytes::from_static(b"still-live"), t)
+            .unwrap();
+        ssd.write(c, Lba::new(8), Bytes::from_static(b"also-live"), t)
+            .unwrap();
         assert_eq!(
             ssd.read(b, Lba::new(7), t).unwrap().unwrap().as_ref(),
             b"bystander",
@@ -468,20 +497,29 @@ mod tests {
         // Only A needs (and accepts) a reboot.
         assert!(ssd.reboot(b).is_err());
         ssd.reboot(a).unwrap();
-        ssd.write(a, Lba::new(7), Bytes::from_static(b"post"), t).unwrap();
+        ssd.write(a, Lba::new(7), Bytes::from_static(b"post"), t)
+            .unwrap();
     }
 
     #[test]
     fn events_arrive_tagged_per_namespace() {
         let ssd = device(2, NamespaceLayout::Provisioned);
         let (a, b) = (NamespaceId::new(0), NamespaceId::new(1));
-        ssd.write(b, Lba::new(1), Bytes::from_static(b"quiet"), SimTime::from_secs(1))
-            .unwrap();
+        ssd.write(
+            b,
+            Lba::new(1),
+            Bytes::from_static(b"quiet"),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
         let t = attack(&ssd, a, Lba::new(1), SimTime::from_secs(60));
         ssd.confirm_and_recover(a, t).unwrap();
         let events = ssd.take_all_events();
         assert!(events.len() >= 2);
-        assert!(events.iter().all(|e| e.namespace == a), "only A emitted events");
+        assert!(
+            events.iter().all(|e| e.namespace == a),
+            "only A emitted events"
+        );
         assert!(matches!(events[0].event, DeviceEvent::AlarmRaised { .. }));
         assert!(events[0].to_string().starts_with("[ns0] alarm-raised"));
         assert!(ssd.take_events(b).unwrap().is_empty());
@@ -490,13 +528,21 @@ mod tests {
     #[test]
     fn status_report_lists_every_namespace() {
         let ssd = device(2, NamespaceLayout::Provisioned);
-        ssd.write(NamespaceId::new(1), Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO)
-            .unwrap();
+        ssd.write(
+            NamespaceId::new(1),
+            Lba::new(0),
+            Bytes::from_static(b"x"),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let report = ssd.status_report();
         assert!(report.contains("[ns0]"), "report:\n{report}");
         assert!(report.contains("[ns1]"));
         assert!(report.lines().count() == 2);
-        assert!(report.contains("writes=1"), "ns1's write shows in its own line");
+        assert!(
+            report.contains("writes=1"),
+            "ns1's write shows in its own line"
+        );
     }
 
     #[test]
@@ -506,7 +552,8 @@ mod tests {
         let written = ssd
             .with_namespace(ns, |dev| {
                 for i in 0..4u64 {
-                    dev.write(Lba::new(i), Bytes::from_static(b"bulk"), SimTime::ZERO).unwrap();
+                    dev.write(Lba::new(i), Bytes::from_static(b"bulk"), SimTime::ZERO)
+                        .unwrap();
                 }
                 dev.ftl_stats().host_writes
             })

@@ -176,17 +176,16 @@ impl<T: CountingBackend> FeatureEngine<T> {
         let closed = self.advance_to(target);
         match req.mode {
             IoMode::Read => {
-                self.table.record_read_range(req.lba, req.len, self.cur_slice);
+                self.table
+                    .record_read_range(req.lba, req.len, self.cur_slice);
                 self.accum.rio += req.len as u64;
             }
             IoMode::Write | IoMode::Trim => {
                 let (table, accum) = (&mut self.table, &mut self.accum);
-                let overwritten = table.record_write_extent(
-                    req.lba,
-                    req.len,
-                    self.cur_slice,
-                    &mut |start, n| accum.distinct_ow.insert_run(start, n),
-                );
+                let overwritten =
+                    table.record_write_extent(req.lba, req.len, self.cur_slice, &mut |start, n| {
+                        accum.distinct_ow.insert_run(start, n)
+                    });
                 accum.owio += overwritten as u64;
                 accum.wio += req.len as u64;
             }
@@ -230,7 +229,11 @@ impl<T: CountingBackend> FeatureEngine<T> {
         let pwio = self.owio_history.sum() as f64;
         let avgwio = self.table.avg_wl();
         let prev_avg = self.owio_history.mean();
-        let owslope = if prev_avg > 0.0 { owio / prev_avg } else { owio };
+        let owslope = if prev_avg > 0.0 {
+            owio / prev_avg
+        } else {
+            owio
+        };
         let io = (a.rio + a.wio) as f64;
 
         let features = FeatureVector {
@@ -650,7 +653,7 @@ mod owst_window_tests {
     /// OWST stays near 1.0 (each slice rewrites each block ~once), while the
     /// window-level OWST converges to 1/7.
     #[test]
-    fn window_owst_separates_multi_pass_wiping()  {
+    fn window_owst_separates_multi_pass_wiping() {
         let run = |over_window: bool| -> f64 {
             let mut e = FeatureEngine::with_options(SimTime::from_secs(1), 10, over_window);
             // Read 8 blocks, then one overwrite pass per slice for 7 slices.
@@ -686,7 +689,11 @@ mod owst_window_tests {
                 e.ingest(IoReq::write(t(0, 1000 + i), l(i)));
             }
             let (_, f) = e.close_slice();
-            assert!((f.owst - 1.0).abs() < 1e-9, "owst {} (window={over_window})", f.owst);
+            assert!(
+                (f.owst - 1.0).abs() < 1e-9,
+                "owst {} (window={over_window})",
+                f.owst
+            );
         }
     }
 
@@ -754,7 +761,11 @@ mod gap_tests {
         e.ingest(IoReq::read(SimTime::ZERO, l(0)));
         // Nearly 600 000 years of idle time in one step.
         let closed = e.ingest(IoReq::read(SimTime::from_micros(u64::MAX - 1), l(1)));
-        assert!(closed.len() <= 21, "gap handling must stay bounded: {}", closed.len());
+        assert!(
+            closed.len() <= 21,
+            "gap handling must stay bounded: {}",
+            closed.len()
+        );
         assert_eq!(
             e.current_slice(),
             (u64::MAX - 1) / 1_000_000,
@@ -786,8 +797,7 @@ mod gap_tests {
     #[test]
     fn gap_paths_agree_on_pwio_tail_votes() {
         let run = |flush_secs: u64| -> Vec<(u64, bool)> {
-            let mut d =
-                Detector::new(DetectorConfig::default(), DecisionTree::stump(2, 0.5));
+            let mut d = Detector::new(DetectorConfig::default(), DecisionTree::stump(2, 0.5));
             for i in 0..5u64 {
                 d.ingest(IoReq::read(SimTime::from_millis(i * 10), l(i)));
                 d.ingest(IoReq::write(SimTime::from_millis(i * 10 + 1), l(i)));
@@ -804,7 +814,11 @@ mod gap_tests {
         let dense_v10 = dense.iter().find(|(s, _)| *s == 10).copied();
         let fast_v10 = fast.iter().find(|(s, _)| *s == 10).copied();
         assert_eq!(dense_v10, Some((10, true)));
-        assert_eq!(fast_v10, Some((10, true)), "fast path dropped the tail vote");
+        assert_eq!(
+            fast_v10,
+            Some((10, true)),
+            "fast path dropped the tail vote"
+        );
     }
 
     #[test]

@@ -60,7 +60,12 @@ impl IoReq {
     /// Panics if `len` is zero.
     pub fn new(time: SimTime, lba: Lba, mode: IoMode, len: u32) -> Self {
         assert!(len >= 1, "an I/O request covers at least one block");
-        IoReq { time, lba, mode, len }
+        IoReq {
+            time,
+            lba,
+            mode,
+            len,
+        }
     }
 
     /// Convenience constructor for a single-block read.
@@ -87,7 +92,11 @@ impl IoReq {
 
 impl fmt::Display for IoReq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {} x{}]", self.time, self.mode, self.lba, self.len)
+        write!(
+            f,
+            "[{} {} {} x{}]",
+            self.time, self.mode, self.lba, self.len
+        )
     }
 }
 

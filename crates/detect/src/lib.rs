@@ -66,10 +66,10 @@ mod window;
 
 pub use counting_table::{CountingBackend, CountingTable, Entry};
 pub use detector::{Detector, DetectorConfig, DetectorStatus, FeatureEngine, Verdict};
-pub use naive::NaiveCountingTable;
-pub use rangeset::LbaRangeSet;
 pub use features::{FeatureVector, FEATURE_COUNT, FEATURE_NAMES};
 pub use id3::{DecisionTree, Id3Params, Sample};
 pub use ioreq::{IoMode, IoReq};
+pub use naive::NaiveCountingTable;
+pub use rangeset::LbaRangeSet;
 pub use training::{Confusion, TrainingSet};
 pub use window::{SliceWindow, VoteWindow};

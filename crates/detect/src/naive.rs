@@ -46,7 +46,10 @@ impl NaiveCountingTable {
     pub fn record_read(&mut self, lba: Lba, slice: u64) {
         // Already covered: refresh the run's timestamp.
         if let Some(&id) = self.index.get(&lba) {
-            self.entries.get_mut(&id).expect("index is consistent").slice = slice;
+            self.entries
+                .get_mut(&id)
+                .expect("index is consistent")
+                .slice = slice;
             return;
         }
 

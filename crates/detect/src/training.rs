@@ -70,12 +70,7 @@ impl TrainingSet {
     /// Replays `reqs` (time-ordered) through a fresh feature engine, labels
     /// each closed slice with `label(slice_index)`, and appends the samples.
     /// `end` closes trailing slices so the tail of the trace is captured.
-    pub fn add_trace(
-        &mut self,
-        reqs: &[IoReq],
-        end: SimTime,
-        label: impl Fn(u64) -> bool,
-    ) {
+    pub fn add_trace(&mut self, reqs: &[IoReq], end: SimTime, label: impl Fn(u64) -> bool) {
         let mut engine =
             FeatureEngine::with_options(self.slice, self.window_slices, self.owst_over_window);
         let mut closed = Vec::new();
@@ -155,7 +150,12 @@ impl TrainingSet {
                 .map(|(_, s)| *s)
                 .collect();
             let tree = DecisionTree::train(&train, params);
-            for (_, s) in self.samples.iter().enumerate().filter(|(i, _)| i % k == fold) {
+            for (_, s) in self
+                .samples
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k == fold)
+            {
                 total.record(s.label, tree.predict(&s.features));
             }
         }

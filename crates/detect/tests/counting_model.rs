@@ -11,8 +11,12 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Read { slot: u8 },
-    Write { slot: u8 },
+    Read {
+        slot: u8,
+    },
+    Write {
+        slot: u8,
+    },
     /// Close the current slice (advancing the window).
     NextSlice,
 }

@@ -3,7 +3,7 @@
 //! run-boundary coverage, and the ignored-by-default perf smoke test
 //! asserting O(runs) memory on a large sequential trace.
 
-use insider_detect::{CountingBackend, CountingTable, FeatureEngine, IoMode, IoReq};
+use insider_detect::{CountingTable, FeatureEngine, IoMode, IoReq};
 use insider_nand::{Lba, SimTime};
 
 fn l(i: u64) -> Lba {

@@ -58,7 +58,10 @@ impl fmt::Display for FsError {
             }
             FsError::NotAMiniExt => write!(f, "device does not hold a miniext filesystem"),
             FsError::DeviceTooSmall { needed, available } => {
-                write!(f, "device too small: need {needed} blocks, have {available}")
+                write!(
+                    f,
+                    "device too small: need {needed} blocks, have {available}"
+                )
             }
             FsError::NotFound(name) => write!(f, "file not found: {name}"),
             FsError::AlreadyExists(name) => write!(f, "file already exists: {name}"),
@@ -66,7 +69,10 @@ impl fmt::Display for FsError {
             FsError::NoFreeInodes => write!(f, "no free inodes"),
             FsError::NoSpace => write!(f, "no free data blocks"),
             FsError::FileTooLarge { needed, max } => {
-                write!(f, "file needs {needed} blocks but inodes address at most {max}")
+                write!(
+                    f,
+                    "file needs {needed} blocks but inodes address at most {max}"
+                )
             }
             FsError::Corrupt(what) => write!(f, "corrupt metadata: {what}"),
             FsError::Device(msg) => write!(f, "device error: {msg}"),
@@ -90,7 +96,10 @@ mod tests {
             FsError::InvalidName(String::new()),
             FsError::NoFreeInodes,
             FsError::NoSpace,
-            FsError::FileTooLarge { needed: 99, max: 10 },
+            FsError::FileTooLarge {
+                needed: 99,
+                max: 10,
+            },
             FsError::Corrupt("bitmap"),
             FsError::Device("nand: worn out".into()),
         ];

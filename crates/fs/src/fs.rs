@@ -54,12 +54,13 @@ impl<D: BlockDev> MiniExt<D> {
         let meta = 1 + inode_table_blocks as u64;
         let mut bitmap_blocks = 1u64;
         loop {
-            let data_blocks = total
-                .checked_sub(meta + bitmap_blocks)
-                .ok_or(FsError::DeviceTooSmall {
-                    needed: meta + bitmap_blocks + 1,
-                    available: total,
-                })?;
+            let data_blocks =
+                total
+                    .checked_sub(meta + bitmap_blocks)
+                    .ok_or(FsError::DeviceTooSmall {
+                        needed: meta + bitmap_blocks + 1,
+                        available: total,
+                    })?;
             let needed = data_blocks.div_ceil(8).div_ceil(bs).max(1);
             if needed <= bitmap_blocks {
                 break;
@@ -381,8 +382,7 @@ impl<D: BlockDev> MiniExt<D> {
             // the (unique) inode number so every in-memory name is valid,
             // persistable and distinct — ordinary names pass unchanged.
             let lossy = String::from_utf8_lossy(&name[..end]);
-            let mut clean =
-                String::from_utf8_lossy(clamp_name(&lossy)).into_owned();
+            let mut clean = String::from_utf8_lossy(clamp_name(&lossy)).into_owned();
             if !seen.insert(clean.clone()) {
                 let suffix = format!("~{inode}");
                 let keep = NAME_MAX - suffix.len();
@@ -830,12 +830,21 @@ mod tests {
         let mut fs = fresh();
         fs.write_file("a", b"1").unwrap();
         fs.write_file("b", b"2").unwrap();
-        assert!(matches!(fs.rename("missing", "c"), Err(FsError::NotFound(_))));
-        assert!(matches!(fs.rename("a", "b"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.rename("missing", "c"),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.rename("a", "b"),
+            Err(FsError::AlreadyExists(_))
+        ));
         assert!(matches!(fs.rename("a", ""), Err(FsError::InvalidName(_))));
         // Self-rename is a POSIX no-op.
         fs.rename("a", "a").unwrap();
-        assert!(matches!(fs.rename("ghost", "ghost"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.rename("ghost", "ghost"),
+            Err(FsError::NotFound(_))
+        ));
         // Original still intact after failed renames.
         assert_eq!(fs.read_file("a").unwrap(), b"1");
     }
@@ -861,8 +870,7 @@ mod tests {
 
     #[test]
     fn space_exhaustion_reported() {
-        let mut fs =
-            MiniExt::format(MemDev::new(16, 4096), &FsConfig { inode_count: 64 }).unwrap();
+        let mut fs = MiniExt::format(MemDev::new(16, 4096), &FsConfig { inode_count: 64 }).unwrap();
         let mut wrote = 0;
         let err = loop {
             match fs.write_file(&format!("f{wrote}"), &[0u8; 4096]) {
@@ -874,7 +882,6 @@ mod tests {
         assert_eq!(err, FsError::NoSpace);
     }
 }
-
 
 #[cfg(test)]
 mod corrupt_name_tests {
@@ -902,7 +909,10 @@ mod corrupt_name_tests {
 
         let names = fs.list().unwrap();
         assert_eq!(names.len(), 2);
-        assert_ne!(names[0], names[1], "collision must be uniquified: {names:?}");
+        assert_ne!(
+            names[0], names[1],
+            "collision must be uniquified: {names:?}"
+        );
         for name in &names {
             assert!(name.len() <= NAME_MAX);
         }

@@ -245,8 +245,7 @@ pub fn fsck<D: BlockDev>(mut dev: D) -> Result<(FsckReport, D)> {
         let original = inode.direct;
         compact_direct(&mut inode.direct, |p| pointer_in_data_region(&fs.sb, p));
         if inode.direct != original {
-            report.invalid_pointers +=
-                (bad_direct as u64).max(1); // bad pointers, or 1 for a hole
+            report.invalid_pointers += (bad_direct as u64).max(1); // bad pointers, or 1 for a hole
             dirty = true;
         }
         if inode.indirect != 0 && !pointer_in_data_region(&fs.sb, inode.indirect) {
@@ -460,8 +459,7 @@ mod tests {
     use bytes::Bytes;
 
     fn populated() -> MemDev {
-        let mut fs =
-            MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
+        let mut fs = MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
         fs.write_file("a.txt", &[1u8; 9000]).unwrap();
         fs.write_file("b.txt", &[2u8; 100]).unwrap();
         fs.write_file("big.bin", &[3u8; 50_000]).unwrap();
@@ -588,11 +586,8 @@ mod tests {
         let mut dev = populated();
         // Smash one inode-table block with random-looking bytes.
         let sb = Superblock::decode(dev.read_block(0).unwrap().as_ref()).unwrap();
-        dev.write_block(
-            sb.inode_table_start + 1,
-            Bytes::from(vec![0xA5u8; 4096]),
-        )
-        .unwrap();
+        dev.write_block(sb.inode_table_start + 1, Bytes::from(vec![0xA5u8; 4096]))
+            .unwrap();
         // fsck must not panic and must converge.
         let (_, dev) = fsck(dev).unwrap();
         let (report2, _) = fsck(dev).unwrap();
@@ -636,8 +631,7 @@ mod duplicate_block_tests {
     use crate::fs::FsConfig;
 
     fn populated() -> MemDev {
-        let mut fs =
-            MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
+        let mut fs = MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
         fs.write_file("a", &[1u8; 9000]).unwrap();
         fs.write_file("b", &[2u8; 9000]).unwrap();
         fs.write_file("big", &[3u8; 4096 * 14]).unwrap(); // uses an indirect block
@@ -704,11 +698,16 @@ mod duplicate_block_tests {
 
     #[test]
     fn duplicate_kind_is_reported() {
-        let mut r = FsckReport::default();
-        r.duplicate_blocks = 2;
+        let r = FsckReport {
+            duplicate_blocks: 2,
+            ..Default::default()
+        };
         assert_eq!(r.count(CorruptionKind::DuplicateBlock), 2);
         assert!(r.to_string().contains("dup-blocks=2"));
-        assert_eq!(CorruptionKind::DuplicateBlock.name(), "Duplicate block reference");
+        assert_eq!(
+            CorruptionKind::DuplicateBlock.name(),
+            "Duplicate block reference"
+        );
     }
 }
 
@@ -720,8 +719,7 @@ mod hardening_tests {
     use bytes::Bytes;
 
     fn populated() -> MemDev {
-        let mut fs =
-            MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
+        let mut fs = MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
         fs.write_file("a", &[1u8; 9000]).unwrap();
         fs.write_file("b", &[2u8; 4096 * 3]).unwrap();
         fs.write_file("big", &[3u8; 4096 * 14]).unwrap();
@@ -747,7 +745,7 @@ mod hardening_tests {
 
         let (report, dev) = fsck(dev).unwrap();
         assert!(report.invalid_pointers >= 1);
-        let mut fs = MiniExt::mount(dev).unwrap();
+        let fs = MiniExt::mount(dev).unwrap();
         // The tail block is still referenced by the (compacted) inode.
         assert!(fs.inodes[idx].direct.contains(&tail));
         let (second, _) = fsck(fs.into_dev()).unwrap();
@@ -827,8 +825,7 @@ mod hardening_tests {
     fn short_superblock_is_not_a_miniext() {
         let mut dev = MemDev::new(16, 4096);
         let full = {
-            let fs = MiniExt::format(MemDev::new(16, 4096), &FsConfig { inode_count: 8 })
-                .unwrap();
+            let fs = MiniExt::format(MemDev::new(16, 4096), &FsConfig { inode_count: 8 }).unwrap();
             let mut d = fs.into_dev();
             d.read_block(0).unwrap().unwrap()
         };
@@ -847,8 +844,7 @@ mod second_round_tests {
     use crate::fs::FsConfig;
 
     fn populated() -> MemDev {
-        let mut fs =
-            MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
+        let mut fs = MiniExt::format(MemDev::new(1024, 4096), &FsConfig::default()).unwrap();
         fs.write_file("a", &[1u8; 4096 * 3]).unwrap();
         fs.write_file("b", &[2u8; 4096 * 2]).unwrap();
         fs.into_dev()
@@ -873,7 +869,7 @@ mod second_round_tests {
 
         let (report, dev) = fsck(dev).unwrap();
         assert!(report.invalid_pointers >= 1, "{report}");
-        let mut fs = MiniExt::mount(dev).unwrap();
+        let fs = MiniExt::mount(dev).unwrap();
         assert!(
             fs.inodes[idx].direct[..2].contains(&tail),
             "tail block must remain reachable after normalization"

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod blockdev;
+mod cache;
 mod error;
 mod fs;
 mod fsck;
@@ -47,6 +48,7 @@ mod inode;
 mod layout;
 
 pub use blockdev::{BlockDev, MemDev};
+pub use cache::{BlockCache, CacheStats};
 pub use error::FsError;
 pub use fs::{FsConfig, MiniExt};
 pub use fsck::{fsck, CorruptionKind, FsckReport};

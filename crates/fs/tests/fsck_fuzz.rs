@@ -10,8 +10,7 @@ use proptest::prelude::*;
 /// Builds a filesystem with a known corpus; returns the device and the
 /// corpus contents.
 fn populated() -> (MemDev, Vec<(String, Vec<u8>)>) {
-    let mut fs = MiniExt::format(MemDev::new(512, 4096), &FsConfig { inode_count: 64 })
-        .unwrap();
+    let mut fs = MiniExt::format(MemDev::new(512, 4096), &FsConfig { inode_count: 64 }).unwrap();
     let mut corpus = Vec::new();
     for i in 0..10 {
         let content: Vec<u8> = (0..(i + 1) * 3000).map(|k| (k % 251) as u8).collect();

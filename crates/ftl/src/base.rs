@@ -1,13 +1,16 @@
 //! Machinery shared by the conventional and SSD-Insider FTLs: page
 //! allocation, the reverse map, and greedy garbage collection.
 
+use crate::checkpoint::{self, BlockMeta, Checkpoint};
 use crate::config::{FtlConfig, GcPolicy};
 use crate::mapping::MappingTable;
 use crate::recovery_queue::{BackupEntry, RecoveryQueue};
 use crate::stats::{FtlStats, GcVictim, GcVictimKind};
 use crate::{FtlError, Result};
 use bytes::Bytes;
-use insider_nand::{Lba, NandDevice, NandError, OobTag, PageState, Pba, Ppa, SimTime};
+use insider_nand::{
+    Lba, NandDevice, NandError, OobTag, PageState, Pba, Ppa, ScanBaseline, SimTime, CKPT_SLOTS,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
 
@@ -255,14 +258,45 @@ pub(crate) struct FtlBase {
     /// scan (zero before any mount) — the size of the structure an on-device
     /// implementation would stream through during power-on recovery.
     mount_scan_entries: u64,
+    /// DRAM mirror of the per-LBA OOB record chains, maintained at every
+    /// tagged program and pruned at every erase — `Some` only when periodic
+    /// checkpointing is enabled (`FtlConfig::checkpoint_interval`), `None`
+    /// otherwise so the default configuration pays nothing. This is what a
+    /// checkpoint snapshots: the *inputs* of the mount algorithm, not its
+    /// outputs, so the checkpointed mount path reuses the full-scan
+    /// reconstruction code unchanged.
+    chain_index: Option<BTreeMap<Lba, Vec<ScanPage>>>,
+    /// Flat mount-scan snapshot deferred for lazy chain-index rebuilding:
+    /// cloning the flat vector at mount is a single memcpy, while grouping
+    /// it into `chain_index` costs tens of milliseconds on a full drive —
+    /// work the first post-mount chain mutation (a host write, a GC erase
+    /// or a due checkpoint) absorbs instead of the latency-critical mount.
+    chain_seed: Option<Vec<(Lba, ScanPage)>>,
+    /// Logical pages with chain records in each block (duplicates allowed):
+    /// the pruning index an erase walks so it touches only the erased
+    /// block's chains instead of the whole index. Empty when checkpointing
+    /// is off.
+    block_lbas: Vec<Vec<Lba>>,
+    /// Minimum OOB sequence number per block, `None` after an erase —
+    /// checkpointed in full fidelity because the horizon filter may drop
+    /// the chain record that held the minimum. Empty when checkpointing is
+    /// off.
+    block_min_seq: Vec<Option<u64>>,
+    /// `host_writes` watermark at the last persisted checkpoint.
+    last_ckpt_writes: u64,
+    /// Which device checkpoint slot holds the newest valid checkpoint;
+    /// writes ping-pong to the other slot so a mid-write power cut can
+    /// never destroy the fallback.
+    ckpt_newest: Option<usize>,
     pub stats: FtlStats,
     config: FtlConfig,
 }
 
 /// One OOB record surfaced by the mount-time scan, in the physical page it
-/// was read from. [`FtlBase::remount`] returns these grouped per logical
-/// page and sorted by `(stamp, seq)` — oldest version first — so the
-/// SSD-Insider FTL can rebuild its recovery queue without a second scan.
+/// was read from. [`FtlBase::remount`] returns these flat, sorted by
+/// logical page and by `(stamp, seq)` — oldest version first — within each
+/// page's adjacent run, so the SSD-Insider FTL can rebuild its recovery
+/// queue without a second scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct ScanPage {
     /// Physical page the record was read from.
@@ -275,6 +309,11 @@ pub(crate) struct ScanPage {
     /// `false` for GC backup copies of superseded versions.
     pub live: bool,
 }
+
+/// A completed mount scan: the flat record set in canonical
+/// `(logical page, stamp, seq)` order, plus the per-block programmed-page
+/// watermarks and minimum OOB sequence numbers.
+type MountScan = (Vec<(Lba, ScanPage)>, Vec<u32>, Vec<Option<u64>>);
 
 impl FtlBase {
     pub fn new(config: FtlConfig) -> Self {
@@ -310,6 +349,20 @@ impl FtlBase {
             wear: WearTracker::new(g.total_blocks()),
             victim_log: Vec::new(),
             mount_scan_entries: 0,
+            chain_index: config.checkpoint_interval_pages().map(|_| BTreeMap::new()),
+            chain_seed: None,
+            block_lbas: if config.checkpoint_interval_pages().is_some() {
+                vec![Vec::new(); g.total_blocks() as usize]
+            } else {
+                Vec::new()
+            },
+            block_min_seq: if config.checkpoint_interval_pages().is_some() {
+                vec![None; g.total_blocks() as usize]
+            } else {
+                Vec::new()
+            },
+            last_ckpt_writes: 0,
+            ckpt_newest: None,
             stats: FtlStats::new(),
             config,
         }
@@ -319,6 +372,18 @@ impl FtlBase {
     /// power cycle).
     pub fn mount_scan_entries(&self) -> u64 {
         self.mount_scan_entries
+    }
+
+    /// Records currently held in the DRAM chain index that periodic
+    /// checkpointing snapshots — zero when checkpointing is disabled. A
+    /// not-yet-materialized mount seed counts: it is the same records,
+    /// still in flat form.
+    pub fn chain_index_entries(&self) -> u64 {
+        let seeded = self.chain_seed.as_ref().map_or(0, |s| s.len() as u64);
+        self.chain_index
+            .as_ref()
+            .map_or(0, |index| index.values().map(|c| c.len() as u64).sum())
+            + seeded
     }
 
     pub fn config(&self) -> &FtlConfig {
@@ -489,7 +554,8 @@ impl FtlBase {
             protected <= invalid,
             "protected pages must be invalid (block {raw}: {protected} > {invalid})"
         );
-        self.victims.update(raw, invalid - protected, self.block_epoch[i]);
+        self.victims
+            .update(raw, invalid - protected, self.block_epoch[i]);
     }
 
     /// Records that the recovery queue began protecting `ppa`. The FTL
@@ -608,6 +674,141 @@ impl FtlBase {
         Ok(out)
     }
 
+    /// Folds a pending mount seed into the live chain index. Deferred out
+    /// of [`remount`] so the reconstruction's grouping cost lands on the
+    /// first post-mount chain mutation instead of the mount itself; until
+    /// then the seed *is* the chain state (flat, per-LBA runs adjacent).
+    ///
+    /// [`remount`]: Self::remount
+    fn materialize_chains(&mut self) {
+        let Some(seed) = self.chain_seed.take() else {
+            return;
+        };
+        let g = *self.config.geometry();
+        let mut block_lbas = vec![Vec::new(); g.total_blocks() as usize];
+        for (lba, p) in &seed {
+            block_lbas[p.ppa.block(&g).index() as usize].push(*lba);
+        }
+        self.block_lbas = block_lbas;
+        // The seed's runs are adjacent and lba-sorted, so grouping is one
+        // linear pass and the map is bulk-built from sorted keys.
+        let mut groups: Vec<(Lba, Vec<ScanPage>)> = Vec::new();
+        for (lba, p) in seed {
+            match groups.last_mut() {
+                Some((last, chain)) if *last == lba => chain.push(p),
+                _ => groups.push((lba, vec![p])),
+            }
+        }
+        self.chain_index = Some(groups.into_iter().collect());
+    }
+
+    /// Mirrors one just-programmed OOB record into the DRAM chain index —
+    /// a no-op unless checkpointing is enabled. `seq` is the device
+    /// sequence number the program was stamped with
+    /// ([`NandDevice::last_seq`] right after a single tagged program).
+    fn chain_note(&mut self, lba: Lba, ppa: Ppa, seq: u64, stamp: SimTime, live: bool) {
+        if self.chain_index.is_none() {
+            return;
+        }
+        self.materialize_chains();
+        let raw = ppa.block(self.config.geometry()).index() as usize;
+        self.chain_index
+            .as_mut()
+            .expect("checked above")
+            .entry(lba)
+            .or_default()
+            .push(ScanPage {
+                ppa,
+                seq,
+                stamp,
+                live,
+            });
+        self.block_lbas[raw].push(lba);
+        let slot = &mut self.block_min_seq[raw];
+        *slot = Some(slot.map_or(seq, |m| m.min(seq)));
+    }
+
+    /// Drops every chain record living in just-erased block `pba` — a
+    /// no-op unless checkpointing is enabled. Walks only the logical pages
+    /// the pruning index recorded for the block, so the cost is
+    /// proportional to the block's chain content, not the index size.
+    fn chain_prune(&mut self, pba: Pba) {
+        if self.chain_index.is_none() {
+            return;
+        }
+        self.materialize_chains();
+        let raw = pba.index() as usize;
+        let g = *self.config.geometry();
+        let lbas = std::mem::take(&mut self.block_lbas[raw]);
+        let index = self.chain_index.as_mut().expect("checked above");
+        for lba in lbas {
+            if let Some(chain) = index.get_mut(&lba) {
+                chain.retain(|p| p.ppa.block(&g) != pba);
+                if chain.is_empty() {
+                    index.remove(&lba);
+                }
+            }
+        }
+        self.block_min_seq[raw] = None;
+    }
+
+    /// Writes a checkpoint if one is due: called by the host write paths
+    /// after `host_writes` is counted, so the interval is measured in
+    /// acknowledged host pages. `anchor` is the instant the retention
+    /// horizon is measured from — the caller's `now`, or the freeze time
+    /// when SSD-Insider has an alarm pending (whichever is older).
+    ///
+    /// A NAND fault (including an injected power cut) propagates to the
+    /// caller with the watermark unchanged, so the next write retries; the
+    /// torn slot is the one *not* holding the newest valid checkpoint and
+    /// will be erased again before reuse.
+    pub fn maybe_checkpoint(&mut self, anchor: SimTime) -> Result<()> {
+        let Some(interval) = self.config.checkpoint_interval_pages() else {
+            return Ok(());
+        };
+        if self.stats.host_writes.saturating_sub(self.last_ckpt_writes) < interval {
+            return Ok(());
+        }
+        self.write_checkpoint(anchor)
+    }
+
+    /// Serializes the chain index (horizon-filtered) plus the per-block
+    /// scan baselines into the ping-pong checkpoint slot.
+    fn write_checkpoint(&mut self, anchor: SimTime) -> Result<()> {
+        let g = *self.config.geometry();
+        let horizon = anchor.saturating_sub(self.config.window());
+        let mut blocks = Vec::with_capacity(g.total_blocks() as usize);
+        for raw in 0..g.total_blocks() {
+            let block = self.device.block(Pba::new(raw))?;
+            blocks.push(BlockMeta {
+                erase_count: block.erase_count(),
+                programmed: block.write_ptr().unwrap_or(g.pages_per_block()),
+                min_seq: self.block_min_seq[raw as usize],
+            });
+        }
+        self.materialize_chains();
+        let index = self.chain_index.as_ref().expect("checkpointing enabled");
+        let ckpt = Checkpoint {
+            seq: self.device.last_seq(),
+            stamp: anchor,
+            horizon,
+            blocks,
+            records: checkpoint::filter_chains(index, horizon),
+        };
+        let pages = ckpt.encode(g.page_size() as usize);
+        let slot = self.ckpt_newest.map_or(0, |newest| 1 - newest);
+        self.device.ckpt_erase(slot)?;
+        let count = pages.len() as u64;
+        for page in pages {
+            self.device.ckpt_append(slot, page)?;
+        }
+        self.ckpt_newest = Some(slot);
+        self.last_ckpt_writes = self.stats.host_writes;
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_pages += count;
+        Ok(())
+    }
+
     /// Programs `data` for `lba` at a fresh physical page, updates both maps,
     /// and returns the superseded physical page, if any. The caller decides
     /// what happens to the old page (immediate invalidation vs. protection).
@@ -618,7 +819,9 @@ impl FtlBase {
     pub fn program_mapped(&mut self, lba: Lba, data: Bytes, stamp: SimTime) -> Result<Option<Ppa>> {
         let new = self.allocate()?;
         let data = self.hop(&data);
-        self.device.program_tagged(new, data, OobTag::live(lba, stamp))?;
+        self.device
+            .program_tagged(new, data, OobTag::live(lba, stamp))?;
+        self.chain_note(lba, new, self.device.last_seq(), stamp, true);
         self.rmap[new.index() as usize] = Some(lba);
         let old = self.mapping.set(lba, Some(new));
         Ok(old)
@@ -703,9 +906,13 @@ impl FtlBase {
             })
             .collect();
         let (done, result) = self.device.program_pages_tagged(batch);
+        // The device stamps the batch's programmed prefix with consecutive
+        // sequence numbers ending at its current watermark.
+        let first_seq = self.device.last_seq() + 1 - done as u64;
         let mut olds = Vec::with_capacity(done);
         for (i, &new) in ppas[..done].iter().enumerate() {
             let l = lba.offset(i as u64);
+            self.chain_note(l, new, first_seq + i as u64, stamp, true);
             self.rmap[new.index() as usize] = Some(l);
             let old = self.mapping.set(l, Some(new));
             if let Some(old) = old {
@@ -1023,7 +1230,9 @@ impl FtlBase {
                         // source invalidation (newest sequence wins).
                         let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
                         let new = self.allocate()?;
-                        self.device.program_tagged(new, data, OobTag::live(lba, stamp))?;
+                        self.device
+                            .program_tagged(new, data, OobTag::live(lba, stamp))?;
+                        self.chain_note(lba, new, self.device.last_seq(), stamp, true);
                         self.rmap[new.index() as usize] = Some(lba);
                         self.mapping.set(lba, Some(new));
                         self.invalidate(ppa)?;
@@ -1050,7 +1259,9 @@ impl FtlBase {
                             // reconstruction.
                             let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
                             let new = self.allocate()?;
-                            self.device.program_tagged(new, data, OobTag::backup(lba, stamp))?;
+                            self.device
+                                .program_tagged(new, data, OobTag::backup(lba, stamp))?;
+                            self.chain_note(lba, new, self.device.last_seq(), stamp, false);
                             // The copy holds an *old* version, not live data.
                             self.invalidate(new)?;
                             self.rmap[new.index() as usize] = Some(lba);
@@ -1068,7 +1279,6 @@ impl FtlBase {
                     PageState::Free => {}
                 }
             }
-
         }
         // Sampled before the erase: counts only advance on success, so this
         // is the tracker's current bin either way.
@@ -1080,6 +1290,7 @@ impl FtlBase {
         );
         match self.device.erase(victim) {
             Ok(()) => {
+                self.chain_prune(victim);
                 self.invalid_per_block[raw as usize] = 0;
                 self.free_flags[raw as usize] = true;
                 self.free_count += 1;
@@ -1153,6 +1364,319 @@ impl FtlBase {
         self.note_protected(ppa);
     }
 
+    /// Rebuilds the mount-scan inputs — per-LBA record chains, per-block
+    /// programmed watermarks and per-block minimum sequence numbers — by
+    /// the cheapest means available:
+    ///
+    /// 1. **Checkpoint + tail**: when checkpointing is configured and a
+    ///    slot holds a valid (CRC-checked) checkpoint, only the OOB records
+    ///    programmed *after* the checkpoint are scanned; blocks erased
+    ///    since (erase-count mismatch) are rescanned in full and their
+    ///    checkpointed records dropped. The merge is order-independent —
+    ///    chains are sets keyed by unique sequence numbers — so shard
+    ///    results and checkpointed records combine with a plain fold.
+    /// 2. **Sharded bulk scan** (`mount_threads != 1`): the device walks
+    ///    every spare area across one `std::thread::scope` shard per
+    ///    contiguous block range and the results are folded in block order.
+    /// 3. **Legacy serial scan** (`mount_threads == 1`, the default): one
+    ///    charged `read_oob` per programmed page — byte-identical in cost
+    ///    accounting to the historical mount path.
+    ///
+    /// Debug builds verify path 1 against a free full-device scan: merged
+    /// records must all exist on flash, per-LBA mount winners and the
+    /// per-block watermark/min-seq vectors must match exactly.
+    #[allow(clippy::type_complexity)]
+    /// Flattens per-LBA chain groups into the canonical mount order:
+    /// sorted by logical page, then `(stamp, seq)` — oldest version first —
+    /// within each page's run.
+    fn flatten_chains(chains: BTreeMap<Lba, Vec<ScanPage>>) -> Vec<(Lba, ScanPage)> {
+        let total: usize = chains.values().map(Vec::len).sum();
+        let mut flat = Vec::with_capacity(total);
+        for (lba, mut chain) in chains {
+            chain.sort_by_key(|p| (p.stamp, p.seq));
+            flat.extend(chain.into_iter().map(|p| (lba, p)));
+        }
+        flat
+    }
+
+    fn mount_scan(&mut self) -> Result<MountScan> {
+        let g = *self.config.geometry();
+        let total_blocks = g.total_blocks() as usize;
+        let ppb = g.pages_per_block();
+        let threads = match self.config.mount_threads_count() {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+
+        // Path 1: checkpoint + OOB tail. The merge stays flat — one
+        // near-sorted global sort instead of hundreds of thousands of
+        // per-LBA container insertions; this is where the <50 ms remount
+        // target is won or lost.
+        if self.config.checkpoint_interval_pages().is_some()
+            && self.config.mount_from_checkpoint_enabled()
+        {
+            if let Some(ckpt) = self.load_checkpoint(total_blocks) {
+                let baseline: Vec<ScanBaseline> = ckpt
+                    .blocks
+                    .iter()
+                    .map(|b| ScanBaseline {
+                        erase_count: b.erase_count,
+                        programmed: b.programmed,
+                    })
+                    .collect();
+                let report = self.device.scan_oob(Some(&baseline), threads)?;
+                let rescanned: Vec<bool> = report.blocks.iter().map(|b| b.rescanned).collect();
+                let tail: usize = report.blocks.iter().map(|b| b.records.len()).sum();
+                // Checkpointed records survive unless their block was
+                // recycled — flash is the truth for rescanned blocks. The
+                // filter preserves the checkpoint's canonical order.
+                let mut kept = ckpt.records;
+                kept.retain(|(_, p)| !rescanned[p.ppa.block(&g).index() as usize]);
+                let mut programmed = vec![0u32; total_blocks];
+                let mut min_seq: Vec<Option<u64>> = (0..total_blocks)
+                    .map(|i| {
+                        if rescanned[i] {
+                            None
+                        } else {
+                            ckpt.blocks[i].min_seq
+                        }
+                    })
+                    .collect();
+                let mut tail_recs = Vec::with_capacity(tail);
+                for (i, block) in report.blocks.iter().enumerate() {
+                    programmed[i] = block.scanned_to;
+                    for &(offset, rec) in &block.records {
+                        let slot = &mut min_seq[i];
+                        *slot = Some(slot.map_or(rec.seq, |m| m.min(rec.seq)));
+                        tail_recs.push((
+                            rec.lba,
+                            ScanPage {
+                                ppa: Pba::new(i as u32).page(&g, offset),
+                                seq: rec.seq,
+                                stamp: rec.stamp,
+                                live: rec.live,
+                            },
+                        ));
+                    }
+                }
+                // The checkpoint is already in canonical order (the encoder
+                // writes filter_chains output), so only the tail needs
+                // sorting; the result is a linear two-way merge instead of
+                // a global re-sort of the whole record set.
+                let key = |e: &(Lba, ScanPage)| (e.0.index(), e.1.stamp, e.1.seq);
+                debug_assert!(kept.windows(2).all(|w| key(&w[0]) <= key(&w[1])));
+                tail_recs.sort_unstable_by_key(key);
+                let mut flat = Vec::with_capacity(kept.len() + tail_recs.len());
+                let (mut a, mut b) = (0, 0);
+                while a < kept.len() && b < tail_recs.len() {
+                    if key(&kept[a]) <= key(&tail_recs[b]) {
+                        flat.push(kept[a]);
+                        a += 1;
+                    } else {
+                        flat.push(tail_recs[b]);
+                        b += 1;
+                    }
+                }
+                flat.extend_from_slice(&kept[a..]);
+                flat.extend_from_slice(&tail_recs[b..]);
+                #[cfg(debug_assertions)]
+                self.verify_checkpoint_merge(&flat, &programmed, &min_seq);
+                return Ok((flat, programmed, min_seq));
+            }
+        }
+
+        // Path 3: the legacy serial scan, one charged spare-area read per
+        // programmed page — the reference cost model, container and all.
+        if threads == 1 {
+            let mut chains: BTreeMap<Lba, Vec<ScanPage>> = BTreeMap::new();
+            let mut programmed = vec![0u32; total_blocks];
+            let mut min_seq: Vec<Option<u64>> = vec![None; total_blocks];
+            for raw in 0..total_blocks as u32 {
+                let pba = Pba::new(raw);
+                let count = self.device.block(pba)?.write_ptr().unwrap_or(ppb);
+                programmed[raw as usize] = count;
+                for off in 0..count {
+                    let ppa = pba.page(&g, off);
+                    let Some(rec) = self.device.read_oob(ppa)? else {
+                        continue; // untagged page: invisible to recovery
+                    };
+                    let slot = &mut min_seq[raw as usize];
+                    *slot = Some(slot.map_or(rec.seq, |m| m.min(rec.seq)));
+                    chains.entry(rec.lba).or_default().push(ScanPage {
+                        ppa,
+                        seq: rec.seq,
+                        stamp: rec.stamp,
+                        live: rec.live,
+                    });
+                }
+            }
+            return Ok((Self::flatten_chains(chains), programmed, min_seq));
+        }
+
+        // Path 2: sharded bulk scan, bulk-charged by the device; flat
+        // collect plus one global sort.
+        let report = self.device.scan_oob(None, threads)?;
+        let total: usize = report.blocks.iter().map(|b| b.records.len()).sum();
+        let mut flat = Vec::with_capacity(total);
+        let mut programmed = vec![0u32; total_blocks];
+        let mut min_seq: Vec<Option<u64>> = vec![None; total_blocks];
+        for (i, block) in report.blocks.iter().enumerate() {
+            programmed[i] = block.scanned_to;
+            for &(offset, rec) in &block.records {
+                let slot = &mut min_seq[i];
+                *slot = Some(slot.map_or(rec.seq, |m| m.min(rec.seq)));
+                flat.push((
+                    rec.lba,
+                    ScanPage {
+                        ppa: Pba::new(i as u32).page(&g, offset),
+                        seq: rec.seq,
+                        stamp: rec.stamp,
+                        live: rec.live,
+                    },
+                ));
+            }
+        }
+        flat.sort_unstable_by_key(|(lba, p)| (lba.index(), p.stamp, p.seq));
+        Ok((flat, programmed, min_seq))
+    }
+
+    /// Reads both checkpoint slots and returns the newest valid checkpoint
+    /// (highest sequence watermark), or `None` when neither slot decodes —
+    /// an unreadable, torn, foreign or wrong-geometry slot simply loses,
+    /// which is the crash-fallback contract: a cut mid-checkpoint falls
+    /// back to the surviving slot, or to a full scan.
+    fn load_checkpoint(&mut self, total_blocks: usize) -> Option<Checkpoint> {
+        // Order the decode attempts by each slot's *claimed* header
+        // watermark so the expensive CRC-guarded decode typically runs
+        // once. A torn slot can claim any sequence number, so a failed
+        // decode falls through to the other slot — the claim is only an
+        // ordering hint, never trusted.
+        let mut slots: Vec<(usize, Vec<Bytes>, u64)> = Vec::new();
+        for slot in 0..CKPT_SLOTS {
+            let Ok(pages) = self.device.ckpt_read(slot) else {
+                continue;
+            };
+            let Some(seq) = Checkpoint::peek_seq(&pages) else {
+                continue;
+            };
+            slots.push((slot, pages, seq));
+        }
+        slots.sort_by_key(|&(_, _, seq)| std::cmp::Reverse(seq));
+        for (slot, pages, _) in slots {
+            let Some(ckpt) = Checkpoint::decode(&pages) else {
+                continue;
+            };
+            if ckpt.blocks.len() != total_blocks {
+                continue;
+            }
+            // Remember which slot won so the next write targets the other.
+            self.ckpt_newest = Some(slot);
+            return Some(ckpt);
+        }
+        None
+    }
+
+    /// Differential oracle for the checkpoint+tail merge, debug builds
+    /// only: every merged record must exist on flash with identical
+    /// fields, the per-LBA mount winner (newest live record) must be the
+    /// one a full scan would pick, and the per-block programmed/min-seq
+    /// vectors must match flash exactly. Full chain-set equality is *not*
+    /// asserted — the horizon filter legitimately drops records that can no
+    /// longer influence reconstruction.
+    #[cfg(debug_assertions)]
+    fn verify_checkpoint_merge(
+        &self,
+        merged: &[(Lba, ScanPage)],
+        programmed: &[u32],
+        min_seq: &[Option<u64>],
+    ) {
+        let mut grouped: BTreeMap<Lba, Vec<ScanPage>> = BTreeMap::new();
+        for (lba, p) in merged {
+            grouped.entry(*lba).or_default().push(*p);
+        }
+        let merged = &grouped;
+        let g = *self.config.geometry();
+        let ppb = g.pages_per_block();
+        let mut full: BTreeMap<Lba, Vec<ScanPage>> = BTreeMap::new();
+        let mut full_prog = vec![0u32; g.total_blocks() as usize];
+        let mut full_min: Vec<Option<u64>> = vec![None; g.total_blocks() as usize];
+        for raw in 0..g.total_blocks() {
+            let block = self.device.block(Pba::new(raw)).expect("block in range");
+            let count = block.write_ptr().unwrap_or(ppb);
+            full_prog[raw as usize] = count;
+            for off in 0..count {
+                let Some(rec) = block.page(off).oob() else {
+                    continue;
+                };
+                let slot = &mut full_min[raw as usize];
+                *slot = Some(slot.map_or(rec.seq, |m| m.min(rec.seq)));
+                full.entry(rec.lba).or_default().push(ScanPage {
+                    ppa: Pba::new(raw).page(&g, off),
+                    seq: rec.seq,
+                    stamp: rec.stamp,
+                    live: rec.live,
+                });
+            }
+        }
+        assert_eq!(
+            programmed,
+            &full_prog[..],
+            "checkpoint+tail programmed watermarks diverged from flash"
+        );
+        assert_eq!(
+            min_seq,
+            &full_min[..],
+            "checkpoint+tail per-block min-seq diverged from flash"
+        );
+        for (lba, chain) in merged {
+            let flash = full
+                .get(lba)
+                .expect("merged chain for an lba with no flash records");
+            for p in chain {
+                assert!(flash.contains(p), "merged record not on flash: {lba} {p:?}");
+            }
+        }
+        for (lba, flash_chain) in &full {
+            let flash_winner = flash_chain.iter().filter(|p| p.live).max_by_key(|p| p.seq);
+            let merged_winner = merged
+                .get(lba)
+                .and_then(|c| c.iter().filter(|p| p.live).max_by_key(|p| p.seq));
+            assert_eq!(
+                merged_winner.map(|p| p.ppa),
+                flash_winner.map(|p| p.ppa),
+                "mount winner diverged for {lba}"
+            );
+        }
+    }
+
+    /// Reseeds the incremental checkpoint state from a completed mount's
+    /// merged chains — a no-op unless checkpointing is enabled. The chain
+    /// index restarts from exactly what the mount reconstructed (the
+    /// horizon filter is idempotent for forward-moving horizons, so
+    /// re-filtering previously filtered chains loses nothing), and the
+    /// write watermark restarts so the next checkpoint comes one full
+    /// interval after the mount.
+    ///
+    /// The flat scan is stashed as a *seed* and the per-LBA index plus the
+    /// per-block LBA lists are rebuilt lazily by [`materialize_chains`] on
+    /// the first post-mount chain mutation — the index is only consulted by
+    /// the *next* checkpoint write, so deferring the grouping keeps ~50 ms
+    /// of container churn out of the measured mount wall-clock.
+    ///
+    /// [`materialize_chains`]: Self::materialize_chains
+    fn rebuild_chain_state(&mut self, chains: &[(Lba, ScanPage)], min_seq: &[Option<u64>]) {
+        if self.chain_index.is_none() {
+            return;
+        }
+        self.block_min_seq = min_seq.to_vec();
+        // An empty map marks checkpointing as enabled; the real contents
+        // come from the seed when first needed. block_lbas is stale until
+        // then, but materialize_chains overwrites it wholesale.
+        self.chain_index = Some(BTreeMap::new());
+        self.chain_seed = Some(chains.to_vec());
+        self.last_ckpt_writes = self.stats.host_writes;
+    }
+
     /// Power-cycles the device and rebuilds every DRAM structure from the
     /// per-page OOB records — the SSD-Insider power-on mount path.
     ///
@@ -1177,15 +1701,16 @@ impl FtlBase {
     ///    each block's minimum sequence number, preserving the relative
     ///    order the FIFO/cost-benefit GC policies depend on.
     ///
-    /// Returns the scan grouped per logical page, each chain sorted oldest
-    /// version first by `(stamp, seq)`, so the caller can rebuild
-    /// version-history state (the recovery queue) without re-reading flash.
-    /// Cumulative statistics survive (they model NVRAM-backed counters, as
-    /// firmware keeps wear data); the protected mirror restarts at zero and
-    /// is re-filled by the caller via [`note_mount_protected`].
+    /// Returns the scan as a flat vector sorted by logical page, each
+    /// page's run ordered oldest version first by `(stamp, seq)`, so the
+    /// caller can rebuild version-history state (the recovery queue)
+    /// without re-reading flash. Cumulative statistics survive (they model
+    /// NVRAM-backed counters, as firmware keeps wear data); the protected
+    /// mirror restarts at zero and is re-filled by the caller via
+    /// [`note_mount_protected`].
     ///
     /// [`note_mount_protected`]: Self::note_mount_protected
-    pub fn remount(&mut self) -> Result<Vec<(Lba, Vec<ScanPage>)>> {
+    pub fn remount(&mut self) -> Result<Vec<(Lba, ScanPage)>> {
         self.device.power_cut();
         let g = *self.config.geometry();
         let total_blocks = g.total_blocks();
@@ -1217,46 +1742,43 @@ impl FtlBase {
             closed: BTreeMap::new(),
         };
 
-        // Full spare-area scan: every page up to each block's write pointer.
-        let mut chains: BTreeMap<Lba, Vec<ScanPage>> = BTreeMap::new();
-        let mut programmed = vec![0u32; total_blocks as usize];
-        let mut min_seq: Vec<Option<u64>> = vec![None; total_blocks as usize];
-        let mut scanned = 0u64;
-        for raw in 0..total_blocks {
-            let pba = Pba::new(raw);
-            let count = self.device.block(pba)?.write_ptr().unwrap_or(ppb);
-            programmed[raw as usize] = count;
-            for off in 0..count {
-                let ppa = pba.page(&g, off);
-                let Some(rec) = self.device.read_oob(ppa)? else {
-                    continue; // untagged page: invisible to recovery
-                };
-                scanned += 1;
-                let slot = &mut min_seq[raw as usize];
-                *slot = Some(slot.map_or(rec.seq, |m| m.min(rec.seq)));
-                chains.entry(rec.lba).or_default().push(ScanPage {
-                    ppa,
-                    seq: rec.seq,
-                    stamp: rec.stamp,
-                    live: rec.live,
-                });
-            }
-        }
-        self.mount_scan_entries = scanned;
+        // Rebuild the scan inputs — checkpoint + OOB tail when a valid
+        // checkpoint exists, a full (serial or sharded) scan otherwise.
+        let (chains, programmed, min_seq) = self.mount_scan()?;
+        self.mount_scan_entries = chains.len() as u64;
 
         // Conflict resolution: the newest live copy of each logical page is
-        // the mount-time mapping; everything else stays invalid.
-        for (lba, chain) in chains.iter_mut() {
-            chain.sort_by_key(|p| (p.stamp, p.seq));
+        // the mount-time mapping; everything else stays invalid. The scan
+        // is sorted by logical page, so each page is one adjacent run.
+        let mut winners: Vec<Ppa> = Vec::new();
+        let mut i = 0;
+        while i < chains.len() {
+            let lba = chains[i].0;
+            let mut j = i + 1;
+            while j < chains.len() && chains[j].0 == lba {
+                j += 1;
+            }
+            let run = &chains[i..j];
+            i = j;
             if lba.index() >= self.mapping.len() {
                 continue; // stale record beyond the exported logical range
             }
-            if let Some(winner) = chain.iter().filter(|p| p.live).max_by_key(|p| p.seq) {
-                self.device.revalidate(winner.ppa)?;
-                self.rmap[winner.ppa.index() as usize] = Some(*lba);
-                self.mapping.set(*lba, Some(winner.ppa));
+            if let Some(winner) = run
+                .iter()
+                .map(|(_, p)| p)
+                .filter(|p| p.live)
+                .max_by_key(|p| p.seq)
+            {
+                winners.push(winner.ppa);
+                self.rmap[winner.ppa.index() as usize] = Some(lba);
+                self.mapping.set(lba, Some(winner.ppa));
             }
         }
+        // Revalidate in physical order — the winners arrive in logical
+        // order, and hundreds of thousands of scattered page-state writes
+        // are cache-miss-bound.
+        winners.sort_unstable_by_key(|p| p.index());
+        self.device.revalidate_many(&winners)?;
 
         // Reclassify every block from its physical state.
         let mut in_service: Vec<(u64, u32)> = Vec::new();
@@ -1313,8 +1835,9 @@ impl FtlBase {
             }
             self.refresh_victim(raw);
         }
+        self.rebuild_chain_state(&chains, &min_seq);
         self.stats.mounts += 1;
-        Ok(chains.into_iter().collect())
+        Ok(chains)
     }
 }
 
@@ -1353,11 +1876,15 @@ mod tests {
     fn program_mapped_tracks_both_maps() {
         let mut b = base();
         let lba = Lba::new(3);
-        let old = b.program_mapped(lba, Bytes::from_static(b"v1"), SimTime::ZERO).unwrap();
+        let old = b
+            .program_mapped(lba, Bytes::from_static(b"v1"), SimTime::ZERO)
+            .unwrap();
         assert_eq!(old, None);
         let ppa = b.mapping.get(lba).unwrap();
         assert_eq!(b.rmap_of(ppa), Some(lba));
-        let old = b.program_mapped(lba, Bytes::from_static(b"v2"), SimTime::ZERO).unwrap();
+        let old = b
+            .program_mapped(lba, Bytes::from_static(b"v2"), SimTime::ZERO)
+            .unwrap();
         assert_eq!(old, Some(ppa));
     }
 
@@ -1368,7 +1895,11 @@ mod tests {
         let lba = Lba::new(0);
         for i in 0..(15 * 16 + 8) {
             if let Some(old) = b
-                .program_mapped(lba, Bytes::copy_from_slice(format!("{i}").as_bytes()), SimTime::ZERO)
+                .program_mapped(
+                    lba,
+                    Bytes::copy_from_slice(format!("{i}").as_bytes()),
+                    SimTime::ZERO,
+                )
                 .unwrap()
             {
                 b.invalidate(old).unwrap();
@@ -1421,17 +1952,23 @@ mod tests {
         }
         let mut batched = base();
         let payloads = vec![Bytes::from_static(b"s"); 20];
-        batched.program_extent_mapped(Lba::new(0), &payloads, SimTime::ZERO, None).unwrap();
-        let got: Vec<Ppa> = (0..20).map(|i| batched.mapping.get(Lba::new(i)).unwrap()).collect();
+        batched
+            .program_extent_mapped(Lba::new(0), &payloads, SimTime::ZERO, None)
+            .unwrap();
+        let got: Vec<Ppa> = (0..20)
+            .map(|i| batched.mapping.get(Lba::new(i)).unwrap())
+            .collect();
         assert_eq!(got, expected);
     }
 
     #[test]
     fn extent_program_and_read_round_trip() {
         let mut b = base();
-        let payloads: Vec<Bytes> =
-            (0..5).map(|i| Bytes::copy_from_slice(format!("p{i}").as_bytes())).collect();
-        b.program_extent_mapped(Lba::new(10), &payloads, SimTime::ZERO, None).unwrap();
+        let payloads: Vec<Bytes> = (0..5)
+            .map(|i| Bytes::copy_from_slice(format!("p{i}").as_bytes()))
+            .collect();
+        b.program_extent_mapped(Lba::new(10), &payloads, SimTime::ZERO, None)
+            .unwrap();
         assert_eq!(b.stats.host_writes, 5);
         let out = b.read_extent_mapped(Lba::new(9), 7).unwrap();
         assert_eq!(out[0], None, "lba 9 never written");
@@ -1445,8 +1982,11 @@ mod tests {
     fn extent_overwrite_returns_pre_images_to_queue() {
         let mut b = base();
         let v1 = vec![Bytes::from_static(b"v1"); 3];
-        b.program_extent_mapped(Lba::new(0), &v1, SimTime::ZERO, None).unwrap();
-        let olds: Vec<Ppa> = (0..3).map(|i| b.mapping.get(Lba::new(i)).unwrap()).collect();
+        b.program_extent_mapped(Lba::new(0), &v1, SimTime::ZERO, None)
+            .unwrap();
+        let olds: Vec<Ppa> = (0..3)
+            .map(|i| b.mapping.get(Lba::new(i)).unwrap())
+            .collect();
         let mut q = RecoveryQueue::new();
         let v2 = vec![Bytes::from_static(b"v2"); 3];
         b.program_extent_mapped(Lba::new(0), &v2, SimTime::from_secs(1), Some(&mut q))
@@ -1462,22 +2002,36 @@ mod tests {
         let mut b = base();
         let page = b.config().geometry().page_size() as usize;
         let payloads = vec![Bytes::from_static(b"ok"), Bytes::from(vec![0u8; page + 1])];
-        assert!(b.program_extent_mapped(Lba::new(0), &payloads, SimTime::ZERO, None).is_err());
-        assert_eq!(b.device.stats().programs, 0, "whole extent validated up front");
+        assert!(b
+            .program_extent_mapped(Lba::new(0), &payloads, SimTime::ZERO, None)
+            .is_err());
+        assert_eq!(
+            b.device.stats().programs,
+            0,
+            "whole extent validated up front"
+        );
         assert_eq!(b.mapping.get(Lba::new(0)), None);
     }
 
     #[test]
     fn unmap_extent_invalidates_and_reports() {
         let mut b = base();
-        b.program_extent_mapped(Lba::new(0), &vec![Bytes::from_static(b"x"); 2], SimTime::ZERO, None)
-            .unwrap();
+        b.program_extent_mapped(
+            Lba::new(0),
+            &vec![Bytes::from_static(b"x"); 2],
+            SimTime::ZERO,
+            None,
+        )
+        .unwrap();
         let olds = b.unmap_extent(Lba::new(0), 4).unwrap();
         assert_eq!(olds.len(), 4);
         assert!(olds[0].is_some() && olds[1].is_some());
         assert_eq!(olds[2], None);
         assert_eq!(b.stats.host_trims, 4);
-        assert_eq!(b.read_extent_mapped(Lba::new(0), 2).unwrap(), vec![None, None]);
+        assert_eq!(
+            b.read_extent_mapped(Lba::new(0), 2).unwrap(),
+            vec![None, None]
+        );
     }
 
     #[test]
@@ -1485,7 +2039,10 @@ mod tests {
         let b = base();
         let max = b.logical_pages();
         assert!(b.check_extent(Lba::new(0), max as u32).is_ok());
-        assert!(b.check_extent(Lba::new(max), 0).is_ok(), "empty extent is a no-op");
+        assert!(
+            b.check_extent(Lba::new(max), 0).is_ok(),
+            "empty extent is a no-op"
+        );
         assert!(matches!(
             b.check_extent(Lba::new(max - 2), 4),
             Err(FtlError::LbaOutOfRange { lba, .. }) if lba == Lba::new(max)
@@ -1525,7 +2082,8 @@ mod tests {
     #[test]
     fn gc_timer_accumulates_only_when_collecting() {
         let mut b = base();
-        b.program_mapped(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO).unwrap();
+        b.program_mapped(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO)
+            .unwrap();
         b.gc_if_needed(None).unwrap();
         assert_eq!(b.stats.gc_ns, 0, "no collection, no timing noise");
         churn(&mut b, 16 * 16 * 2);
@@ -1537,9 +2095,7 @@ mod tests {
     #[test]
     fn migration_budget_bounds_per_invocation_copies() {
         let budget = 4u64;
-        let mut b = FtlBase::new(
-            FtlConfig::new(Geometry::tiny()).gc_migration_budget(budget),
-        );
+        let mut b = FtlBase::new(FtlConfig::new(Geometry::tiny()).gc_migration_budget(budget));
         churn(&mut b, 16 * 16 * 4);
         assert!(b.stats.gc_invocations > 0);
         assert!(b.stats.gc_page_copies > 0, "victims must carry live pages");

@@ -64,6 +64,9 @@ pub struct FtlConfig {
     gc_migration_budget: Option<u64>,
     record_gc_victims: bool,
     copy_payloads: bool,
+    checkpoint_interval: Option<u64>,
+    mount_threads: usize,
+    mount_from_checkpoint: bool,
 }
 
 impl FtlConfig {
@@ -87,6 +90,9 @@ impl FtlConfig {
             gc_migration_budget: None,
             record_gc_victims: false,
             copy_payloads: false,
+            checkpoint_interval: None,
+            mount_threads: 1,
+            mount_from_checkpoint: true,
         }
     }
 
@@ -251,6 +257,59 @@ impl FtlConfig {
         self.copy_payloads
     }
 
+    /// Enables periodic mapping-table checkpoints: after every `pages`
+    /// host page writes the FTL persists a sequence-stamped, CRC-guarded
+    /// snapshot of its OOB history to one of the device's two checkpoint
+    /// slots, and a later mount replays only the OOB *tail* written since
+    /// (falling back to a full scan when no valid checkpoint exists).
+    /// Disabled by default — without it mount behavior is byte-identical
+    /// to the pre-checkpoint implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn checkpoint_interval(mut self, pages: u64) -> Self {
+        assert!(pages >= 1, "checkpoint interval must be at least one page");
+        self.checkpoint_interval = Some(pages);
+        self
+    }
+
+    /// The checkpoint trigger interval in host page writes, if enabled.
+    pub fn checkpoint_interval_pages(&self) -> Option<u64> {
+        self.checkpoint_interval
+    }
+
+    /// Sets how many threads the mount-time OOB scan shards across.
+    /// `1` (the default) keeps the legacy serial scan — every spare-area
+    /// read individually charged through the command path; `0` picks the
+    /// host's available parallelism; any other value shards the scan into
+    /// that many contiguous block ranges with bulk charging. All settings
+    /// produce identical mounted state.
+    pub fn mount_threads(mut self, threads: usize) -> Self {
+        self.mount_threads = threads;
+        self
+    }
+
+    /// The configured mount scan thread count (`1` = legacy serial).
+    pub fn mount_threads_count(&self) -> usize {
+        self.mount_threads
+    }
+
+    /// When checkpointing is enabled, controls whether mount actually
+    /// *loads* the newest valid checkpoint (`true`, the default) or
+    /// ignores it and rebuilds from a full OOB scan (`false`). The `false`
+    /// arm exists as the differential oracle: both settings must produce
+    /// identical mounted state.
+    pub fn mount_from_checkpoint(mut self, enabled: bool) -> Self {
+        self.mount_from_checkpoint = enabled;
+        self
+    }
+
+    /// Whether mount loads checkpoints (vs the full-scan oracle arm).
+    pub fn mount_from_checkpoint_enabled(&self) -> bool {
+        self.mount_from_checkpoint
+    }
+
     /// The NAND configuration.
     pub fn nand(&self) -> &NandConfig {
         &self.nand
@@ -293,8 +352,7 @@ impl FtlConfig {
         let g = self.geometry();
         let total = g.total_pages();
         let op_pages = (total as f64 * self.over_provisioning).ceil() as u64;
-        let reserve_pages =
-            (self.gc_reserve_blocks as u64 + 1) * g.pages_per_block() as u64;
+        let reserve_pages = (self.gc_reserve_blocks as u64 + 1) * g.pages_per_block() as u64;
         total.saturating_sub(op_pages.max(reserve_pages))
     }
 }
@@ -309,7 +367,9 @@ mod tests {
             .blocks_per_chip(100)
             .pages_per_block(10)
             .build(); // 1000 pages
-        let cfg = FtlConfig::new(g).over_provisioning(0.10).gc_reserve_blocks(2);
+        let cfg = FtlConfig::new(g)
+            .over_provisioning(0.10)
+            .gc_reserve_blocks(2);
         // 10% of 1000 = 100 held back > 3 blocks * 10 pages reserve.
         assert_eq!(cfg.logical_pages(), 900);
     }
@@ -320,7 +380,9 @@ mod tests {
             .blocks_per_chip(100)
             .pages_per_block(10)
             .build();
-        let cfg = FtlConfig::new(g).over_provisioning(0.0).gc_reserve_blocks(2);
+        let cfg = FtlConfig::new(g)
+            .over_provisioning(0.0)
+            .gc_reserve_blocks(2);
         // (2 + 1) blocks * 10 pages held back.
         assert_eq!(cfg.logical_pages(), 970);
     }
@@ -405,6 +467,27 @@ mod tests {
     #[should_panic(expected = "queue depth")]
     fn zero_queue_depth_panics() {
         let _ = FtlConfig::new(Geometry::tiny()).queue_depth(0);
+    }
+
+    #[test]
+    fn checkpoint_knobs_default_off_and_are_settable() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert_eq!(cfg.checkpoint_interval_pages(), None);
+        assert_eq!(cfg.mount_threads_count(), 1);
+        assert!(cfg.mount_from_checkpoint_enabled());
+        let cfg = cfg
+            .checkpoint_interval(64)
+            .mount_threads(0)
+            .mount_from_checkpoint(false);
+        assert_eq!(cfg.checkpoint_interval_pages(), Some(64));
+        assert_eq!(cfg.mount_threads_count(), 0);
+        assert!(!cfg.mount_from_checkpoint_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_checkpoint_interval_panics() {
+        FtlConfig::new(Geometry::tiny()).checkpoint_interval(0);
     }
 
     #[test]

@@ -75,6 +75,12 @@ impl ConventionalFtl {
         self.base.mount_scan_entries()
     }
 
+    /// Records held by the checkpoint chain index (zero unless periodic
+    /// checkpointing is enabled) — the DRAM cost of fast remounts.
+    pub fn chain_index_entries(&self) -> u64 {
+        self.base.chain_index_entries()
+    }
+
     /// Reads promoted past queued mutations by the out-of-order scheduler.
     pub fn reads_promoted(&self) -> u64 {
         self.base.device.reads_promoted()
@@ -103,6 +109,7 @@ impl Ftl for ConventionalFtl {
             self.base.invalidate(old)?;
         }
         self.base.stats.host_writes += 1;
+        self.base.maybe_checkpoint(now)?;
         Ok(())
     }
 
@@ -139,7 +146,8 @@ impl Ftl for ConventionalFtl {
         self.base.set_clock(now);
         self.base.check_extent(lba, data.len() as u32)?;
         self.base.gc_for_extent(data.len() as u64, None)?;
-        self.base.program_extent_mapped(lba, data, now, None)
+        self.base.program_extent_mapped(lba, data, now, None)?;
+        self.base.maybe_checkpoint(now)
     }
 
     fn power_cut(&mut self, now: SimTime) -> Result<()> {
@@ -206,7 +214,10 @@ mod tests {
         f.write(Lba::new(1), Bytes::from_static(b"data"), SimTime::ZERO)
             .unwrap();
         assert_eq!(
-            f.read(Lba::new(1), SimTime::ZERO).unwrap().unwrap().as_ref(),
+            f.read(Lba::new(1), SimTime::ZERO)
+                .unwrap()
+                .unwrap()
+                .as_ref(),
             b"data"
         );
         assert_eq!(f.stats().host_writes, 1);
@@ -223,19 +234,19 @@ mod tests {
     fn overwrite_replaces_data() {
         let mut f = ftl();
         let lba = Lba::new(2);
-        f.write(lba, Bytes::from_static(b"v1"), SimTime::ZERO).unwrap();
-        f.write(lba, Bytes::from_static(b"v2"), SimTime::ZERO).unwrap();
-        assert_eq!(
-            f.read(lba, SimTime::ZERO).unwrap().unwrap().as_ref(),
-            b"v2"
-        );
+        f.write(lba, Bytes::from_static(b"v1"), SimTime::ZERO)
+            .unwrap();
+        f.write(lba, Bytes::from_static(b"v2"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(f.read(lba, SimTime::ZERO).unwrap().unwrap().as_ref(), b"v2");
     }
 
     #[test]
     fn trim_unmaps() {
         let mut f = ftl();
         let lba = Lba::new(2);
-        f.write(lba, Bytes::from_static(b"v1"), SimTime::ZERO).unwrap();
+        f.write(lba, Bytes::from_static(b"v1"), SimTime::ZERO)
+            .unwrap();
         f.trim(lba, SimTime::ZERO).unwrap();
         assert_eq!(f.read(lba, SimTime::ZERO).unwrap(), None);
         assert_eq!(f.stats().host_trims, 1);
@@ -255,7 +266,10 @@ mod tests {
         assert_eq!(f.stats().gc_protected_copies, 0, "baseline never protects");
         for i in 0..8u64 {
             assert_eq!(
-                f.read(Lba::new(i), SimTime::ZERO).unwrap().unwrap().as_ref(),
+                f.read(Lba::new(i), SimTime::ZERO)
+                    .unwrap()
+                    .unwrap()
+                    .as_ref(),
                 format!("199:{i}").as_bytes()
             );
         }
@@ -276,14 +290,20 @@ mod tests {
     fn extent_ops_match_scalar_decomposition() {
         let mut scalar = ftl();
         let mut extent = ftl();
-        let payloads: Vec<Bytes> =
-            (0..6).map(|i| Bytes::copy_from_slice(format!("pg{i}").as_bytes())).collect();
+        let payloads: Vec<Bytes> = (0..6)
+            .map(|i| Bytes::copy_from_slice(format!("pg{i}").as_bytes()))
+            .collect();
         for (i, p) in payloads.iter().enumerate() {
-            scalar.write(Lba::new(3 + i as u64), p.clone(), SimTime::ZERO).unwrap();
+            scalar
+                .write(Lba::new(3 + i as u64), p.clone(), SimTime::ZERO)
+                .unwrap();
         }
-        extent.write_extent(Lba::new(3), &payloads, SimTime::ZERO).unwrap();
-        let scalar_read: Vec<Option<Bytes>> =
-            (0..8).map(|i| scalar.read(Lba::new(2 + i), SimTime::ZERO).unwrap()).collect();
+        extent
+            .write_extent(Lba::new(3), &payloads, SimTime::ZERO)
+            .unwrap();
+        let scalar_read: Vec<Option<Bytes>> = (0..8)
+            .map(|i| scalar.read(Lba::new(2 + i), SimTime::ZERO).unwrap())
+            .collect();
         let extent_read = extent.read_extent(Lba::new(2), 8, SimTime::ZERO).unwrap();
         assert_eq!(scalar_read, extent_read);
         assert_eq!(scalar.stats(), extent.stats());
@@ -310,7 +330,11 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(err.is_err());
-        assert_eq!(f.stats().host_writes, 0, "nothing applied on a straddling extent");
+        assert_eq!(
+            f.stats().host_writes,
+            0,
+            "nothing applied on a straddling extent"
+        );
         assert_eq!(
             f.read(Lba::new(max - 1), SimTime::ZERO).unwrap(),
             None,
@@ -325,8 +349,14 @@ mod tests {
         let mut f = ftl();
         f.write_extent(Lba::new(0), &[], SimTime::ZERO).unwrap();
         f.trim_extent(Lba::new(0), 0, SimTime::ZERO).unwrap();
-        assert!(f.read_extent(Lba::new(0), 0, SimTime::ZERO).unwrap().is_empty());
-        assert_eq!(f.stats().host_writes + f.stats().host_trims + f.stats().host_reads, 0);
+        assert!(f
+            .read_extent(Lba::new(0), 0, SimTime::ZERO)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            f.stats().host_writes + f.stats().host_trims + f.stats().host_reads,
+            0
+        );
     }
 
     #[test]

@@ -213,6 +213,12 @@ impl InsiderFtl {
         self.base.mount_scan_entries()
     }
 
+    /// Records held by the checkpoint chain index (zero unless periodic
+    /// checkpointing is enabled) — the DRAM cost of fast remounts.
+    pub fn chain_index_entries(&self) -> u64 {
+        self.base.chain_index_entries()
+    }
+
     /// Simulates a power loss followed by a power-on mount (paper §III-E:
     /// the fsck analogy). All DRAM state is rebuilt from the OOB scan —
     /// including the **recovery queue**, so rollback keeps working across a
@@ -251,13 +257,23 @@ impl InsiderFtl {
         let anchor = self.frozen_at.map_or(now, |f| f.min(now));
         let cutoff = anchor.saturating_sub(self.base.config().window());
         let mut rebuilt: Vec<(SimTime, u64, Lba, Option<Ppa>)> = Vec::new();
-        for (lba, chain) in chains {
+        // The scan is flat and sorted by logical page, oldest version
+        // first — walk each page's adjacent run in place.
+        let mut at = 0;
+        while at < chains.len() {
+            let lba = chains[at].0;
+            let mut end = at + 1;
+            while end < chains.len() && chains[end].0 == lba {
+                end += 1;
+            }
+            let run = &chains[at..end];
+            at = end;
             if lba.index() >= self.base.logical_pages() {
                 continue;
             }
             // One representative (the freshest copy) per written version.
             let mut versions: Vec<ScanPage> = Vec::new();
-            for page in chain {
+            for &(_, page) in run {
                 match versions.last_mut() {
                     Some(last) if last.stamp == page.stamp => *last = page,
                     _ => versions.push(page),
@@ -309,6 +325,11 @@ impl Ftl for InsiderFtl {
             self.base.note_protected(old);
         }
         self.base.stats.host_writes += 1;
+        // Checkpoints anchor their horizon at the same frozen-aware time
+        // the rollback path uses, so a checkpointed mount never forgets a
+        // version rollback could still need.
+        self.base
+            .maybe_checkpoint(self.frozen_at.map_or(now, |f| f.min(now)))?;
         Ok(())
     }
 
@@ -354,12 +375,15 @@ impl Ftl for InsiderFtl {
         self.base.set_clock(now);
         self.base.check_extent(lba, data.len() as u32)?;
         self.tick(now);
-        self.base.gc_for_extent(data.len() as u64, Some(&mut self.queue))?;
+        self.base
+            .gc_for_extent(data.len() as u64, Some(&mut self.queue))?;
         // The base layer finalizes mapping, invalidation and the vectorized
         // queue append page by page, so a mid-batch NAND failure leaves the
         // programmed prefix fully recoverable.
         self.base
-            .program_extent_mapped(lba, data, now, Some(&mut self.queue))
+            .program_extent_mapped(lba, data, now, Some(&mut self.queue))?;
+        self.base
+            .maybe_checkpoint(self.frozen_at.map_or(now, |f| f.min(now)))
     }
 
     fn power_cut(&mut self, now: SimTime) -> Result<()> {
@@ -437,8 +461,10 @@ mod tests {
     #[test]
     fn overwrite_pushes_backup_entry() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"v1"), secs(0)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"v2"), secs(1)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v1"), secs(0))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v2"), secs(1))
+            .unwrap();
         assert_eq!(f.recovery_queue().len(), 2); // first write + overwrite
         assert_eq!(f.recovery_queue().protected_count(), 1);
     }
@@ -447,8 +473,10 @@ mod tests {
     fn rollback_restores_overwritten_data() {
         let mut f = ftl();
         // The file exists before the window; the attack happens inside it.
-        f.write(Lba::new(0), Bytes::from_static(b"plain"), secs(0)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"cipher"), secs(15)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"plain"), secs(0))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"cipher"), secs(15))
+            .unwrap();
         let report = f.rollback(secs(16)).unwrap();
         assert_eq!(report.restored, 1);
         // The creation entry was already retired by the write at t=15.
@@ -462,10 +490,14 @@ mod tests {
     #[test]
     fn rollback_restores_oldest_version_within_window() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"v0"), secs(0)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"v1"), secs(12)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"v2"), secs(14)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"v3"), secs(15)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v0"), secs(0))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v1"), secs(12))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v2"), secs(14))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v3"), secs(15))
+            .unwrap();
         // Window is 10 s; detection at t=16 → roll back to state at t=6: "v0".
         f.rollback(secs(16)).unwrap();
         assert_eq!(
@@ -477,7 +509,8 @@ mod tests {
     #[test]
     fn rollback_unmaps_pages_created_within_window() {
         let mut f = ftl();
-        f.write(Lba::new(7), Bytes::from_static(b"dropped"), secs(5)).unwrap();
+        f.write(Lba::new(7), Bytes::from_static(b"dropped"), secs(5))
+            .unwrap();
         f.rollback(secs(6)).unwrap();
         assert_eq!(f.read(Lba::new(7), secs(6)).unwrap(), None);
     }
@@ -485,8 +518,10 @@ mod tests {
     #[test]
     fn rollback_ignores_entries_older_than_window() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"old"), secs(0)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"newer"), secs(1)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"old"), secs(0))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"newer"), secs(1))
+            .unwrap();
         // Detection at t=20: both entries are older than t-10 and stay.
         let report = f.rollback(secs(20)).unwrap();
         assert_eq!(report.restored, 0);
@@ -500,7 +535,8 @@ mod tests {
     #[test]
     fn rollback_restores_trimmed_pages() {
         let mut f = ftl();
-        f.write(Lba::new(3), Bytes::from_static(b"doc"), secs(0)).unwrap();
+        f.write(Lba::new(3), Bytes::from_static(b"doc"), secs(0))
+            .unwrap();
         f.tick(secs(20)); // retire the creation entry
         f.trim(Lba::new(3), secs(21)).unwrap();
         assert_eq!(f.read(Lba::new(3), secs(21)).unwrap(), None);
@@ -514,7 +550,8 @@ mod tests {
     #[test]
     fn read_only_blocks_writes_and_trims() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"x"), secs(0)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"x"), secs(0))
+            .unwrap();
         f.set_read_only(true);
         assert_eq!(
             f.write(Lba::new(0), Bytes::from_static(b"y"), secs(1)),
@@ -524,14 +561,17 @@ mod tests {
         // Reads still work.
         assert!(f.read(Lba::new(0), secs(1)).unwrap().is_some());
         f.set_read_only(false);
-        f.write(Lba::new(0), Bytes::from_static(b"y"), secs(2)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"y"), secs(2))
+            .unwrap();
     }
 
     #[test]
     fn tick_retires_expired_entries() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"a"), secs(0)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"b"), secs(1)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"a"), secs(0))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"b"), secs(1))
+            .unwrap();
         assert_eq!(f.recovery_queue().len(), 2);
         f.tick(secs(30));
         assert_eq!(f.recovery_queue().len(), 0);
@@ -546,7 +586,8 @@ mod tests {
         //   pages 1..=6   invalid    pre-images from t=0, retired by t=50
         //   pages 7..=14  invalid    pre-images from t=50, still protected
         //   page 15       valid      current version of lba 1
-        f.write(Lba::new(0), Bytes::from_static(b"precious"), secs(0)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"precious"), secs(0))
+            .unwrap();
         for i in 0..7 {
             let data = Bytes::copy_from_slice(format!("early{i}").as_bytes());
             f.write(Lba::new(1), data, secs(0)).unwrap();
@@ -600,8 +641,12 @@ mod tests {
             // plus 12 cold pages, so victims carry a mix of live, retired
             // and protected pages.
             for i in 0..12u64 {
-                f.write(Lba::new(100 + i), Bytes::from_static(b"cold"), SimTime::ZERO)
-                    .unwrap();
+                f.write(
+                    Lba::new(100 + i),
+                    Bytes::from_static(b"cold"),
+                    SimTime::ZERO,
+                )
+                .unwrap();
             }
             for i in 0..600u64 {
                 let data = Bytes::copy_from_slice(format!("{i}").as_bytes());
@@ -621,9 +666,12 @@ mod tests {
     #[test]
     fn rollback_report_counts_touched_lbas() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"a"), secs(0)).unwrap();
-        f.write(Lba::new(0), Bytes::from_static(b"b"), secs(1)).unwrap();
-        f.write(Lba::new(1), Bytes::from_static(b"c"), secs(2)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"a"), secs(0))
+            .unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"b"), secs(1))
+            .unwrap();
+        f.write(Lba::new(1), Bytes::from_static(b"c"), secs(2))
+            .unwrap();
         let report = f.rollback(secs(3)).unwrap();
         assert_eq!(report.restored, 3);
         assert_eq!(report.lbas_touched, 2);
@@ -632,9 +680,11 @@ mod tests {
     #[test]
     fn frozen_retirement_preserves_rollback_window() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"plain"), secs(0)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"plain"), secs(0))
+            .unwrap();
         // Attack at t=20; alarm freezes the queue at t=21.
-        f.write(Lba::new(0), Bytes::from_static(b"cipher"), secs(20)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"cipher"), secs(20))
+            .unwrap();
         f.freeze_retirement(secs(21));
         // The user dithers: ticks and reads at t=300 must not retire the
         // pre-image, and rollback at t=300 anchors to the alarm.
@@ -648,7 +698,8 @@ mod tests {
         );
         // Rollback thaws: new entries retire normally again.
         assert_eq!(f.retirement_frozen_at(), None);
-        f.write(Lba::new(1), Bytes::from_static(b"x"), secs(301)).unwrap();
+        f.write(Lba::new(1), Bytes::from_static(b"x"), secs(301))
+            .unwrap();
         f.tick(secs(400));
         assert!(f.recovery_queue().is_empty());
     }
@@ -656,7 +707,8 @@ mod tests {
     #[test]
     fn thaw_resumes_retirement() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"a"), secs(0)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"a"), secs(0))
+            .unwrap();
         f.freeze_retirement(secs(1));
         f.tick(secs(100));
         assert_eq!(f.recovery_queue().len(), 1, "frozen queue must not drain");
@@ -669,11 +721,17 @@ mod tests {
     fn extent_write_matches_scalar_queue_and_contents() {
         let mut scalar = ftl();
         let mut extent = ftl();
-        let v1: Vec<Bytes> = (0..5).map(|i| Bytes::copy_from_slice(format!("a{i}").as_bytes())).collect();
-        let v2: Vec<Bytes> = (0..5).map(|i| Bytes::copy_from_slice(format!("b{i}").as_bytes())).collect();
+        let v1: Vec<Bytes> = (0..5)
+            .map(|i| Bytes::copy_from_slice(format!("a{i}").as_bytes()))
+            .collect();
+        let v2: Vec<Bytes> = (0..5)
+            .map(|i| Bytes::copy_from_slice(format!("b{i}").as_bytes()))
+            .collect();
         for round in [&v1, &v2] {
             for (i, p) in round.iter().enumerate() {
-                scalar.write(Lba::new(i as u64), p.clone(), secs(1)).unwrap();
+                scalar
+                    .write(Lba::new(i as u64), p.clone(), secs(1))
+                    .unwrap();
             }
             extent.write_extent(Lba::new(0), round, secs(1)).unwrap();
         }
@@ -692,10 +750,12 @@ mod tests {
     #[test]
     fn extent_write_rolls_back_like_scalar_writes() {
         let mut f = ftl();
-        let plain: Vec<Bytes> =
-            (0..4).map(|i| Bytes::copy_from_slice(format!("plain{i}").as_bytes())).collect();
-        let cipher: Vec<Bytes> =
-            (0..4).map(|i| Bytes::copy_from_slice(format!("cipher{i}").as_bytes())).collect();
+        let plain: Vec<Bytes> = (0..4)
+            .map(|i| Bytes::copy_from_slice(format!("plain{i}").as_bytes()))
+            .collect();
+        let cipher: Vec<Bytes> = (0..4)
+            .map(|i| Bytes::copy_from_slice(format!("cipher{i}").as_bytes()))
+            .collect();
         f.write_extent(Lba::new(0), &plain, secs(0)).unwrap();
         f.write_extent(Lba::new(0), &cipher, secs(15)).unwrap();
         let report = f.rollback(secs(16)).unwrap();
@@ -710,27 +770,35 @@ mod tests {
     #[test]
     fn extent_trim_records_only_mapped_pages() {
         let mut f = ftl();
-        f.write(Lba::new(1), Bytes::from_static(b"doc"), secs(0)).unwrap();
+        f.write(Lba::new(1), Bytes::from_static(b"doc"), secs(0))
+            .unwrap();
         f.tick(secs(20)); // retire the creation entry
-        // Trim lbas 0..4; only lba 1 was mapped.
+                          // Trim lbas 0..4; only lba 1 was mapped.
         f.trim_extent(Lba::new(0), 4, secs(21)).unwrap();
         assert_eq!(f.recovery_queue().len(), 1);
         assert_eq!(f.stats().host_trims, 4);
         f.rollback(secs(22)).unwrap();
-        assert_eq!(f.read(Lba::new(1), secs(22)).unwrap().unwrap().as_ref(), b"doc");
+        assert_eq!(
+            f.read(Lba::new(1), secs(22)).unwrap().unwrap().as_ref(),
+            b"doc"
+        );
         assert_eq!(f.read(Lba::new(0), secs(22)).unwrap(), None);
     }
 
     #[test]
     fn read_only_blocks_extent_ops() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"x"), secs(0)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"x"), secs(0))
+            .unwrap();
         f.set_read_only(true);
         assert_eq!(
             f.write_extent(Lba::new(0), &[Bytes::from_static(b"y")], secs(1)),
             Err(FtlError::ReadOnly)
         );
-        assert_eq!(f.trim_extent(Lba::new(0), 1, secs(1)), Err(FtlError::ReadOnly));
+        assert_eq!(
+            f.trim_extent(Lba::new(0), 1, secs(1)),
+            Err(FtlError::ReadOnly)
+        );
         // Empty extents stay no-ops even when read-only.
         assert_eq!(f.write_extent(Lba::new(0), &[], secs(1)), Ok(()));
         assert!(f.read_extent(Lba::new(0), 1, secs(1)).unwrap()[0].is_some());
@@ -739,10 +807,12 @@ mod tests {
     #[test]
     fn write_after_rollback_starts_fresh_history() {
         let mut f = ftl();
-        f.write(Lba::new(0), Bytes::from_static(b"v1"), secs(0)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v1"), secs(0))
+            .unwrap();
         f.rollback(secs(1)).unwrap();
         assert!(f.recovery_queue().is_empty());
-        f.write(Lba::new(0), Bytes::from_static(b"v2"), secs(2)).unwrap();
+        f.write(Lba::new(0), Bytes::from_static(b"v2"), secs(2))
+            .unwrap();
         assert_eq!(
             f.read(Lba::new(0), secs(2)).unwrap().unwrap().as_ref(),
             b"v2"

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod base;
+mod checkpoint;
 mod config;
 mod conventional;
 mod error;

@@ -182,7 +182,10 @@ impl RecoveryQueue {
             .remove(&from)
             .unwrap_or_else(|| panic!("relocating unprotected page {from}"));
         let idx = (seq - self.front_seq) as usize;
-        let entry = self.entries.get_mut(idx).expect("index points at live entry");
+        let entry = self
+            .entries
+            .get_mut(idx)
+            .expect("index points at live entry");
         entry.old = Some(to);
         let prev = self.by_old_ppa.insert(to, seq);
         assert!(prev.is_none(), "relocation target {to} already protected");

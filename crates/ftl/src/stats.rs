@@ -41,6 +41,14 @@ pub struct FtlStats {
     /// Power-on mounts performed (full OOB-scan rebuilds after a power
     /// cut). Zero for a drive that never lost power.
     pub mounts: u64,
+    /// Mapping-table checkpoints persisted to the NAND checkpoint slots.
+    /// Zero unless `FtlConfig::checkpoint_interval` is set.
+    #[serde(default)]
+    pub checkpoints: u64,
+    /// Total checkpoint pages programmed across all checkpoints — the
+    /// flash-write overhead of checkpointing.
+    #[serde(default)]
+    pub checkpoint_pages: u64,
 }
 
 impl FtlStats {
@@ -63,7 +71,10 @@ impl FtlStats {
     /// the owning namespace, so multi-tenant stat dumps attribute counters
     /// to a tenant instead of aggregating them anonymously.
     pub fn tagged(&self, namespace: u32) -> TaggedFtlStats<'_> {
-        TaggedFtlStats { namespace, stats: self }
+        TaggedFtlStats {
+            namespace,
+            stats: self,
+        }
     }
 }
 
@@ -106,7 +117,7 @@ impl std::fmt::Display for FtlStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={} ns={} max_migr={}] mounts={} WA={:.3}",
+            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={} ns={} max_migr={}] mounts={} ckpts={}/{}p WA={:.3}",
             self.host_reads,
             self.host_writes,
             self.host_trims,
@@ -118,6 +129,8 @@ impl std::fmt::Display for FtlStats {
             self.gc_ns,
             self.gc_migrations_max,
             self.mounts,
+            self.checkpoints,
+            self.checkpoint_pages,
             self.write_amplification()
         )
     }
@@ -140,7 +153,15 @@ mod tests {
     fn display_mentions_all_counters() {
         let s = FtlStats::new();
         let msg = s.to_string();
-        for key in ["reads=", "writes=", "gc[", "ns=", "max_migr=", "mounts=", "WA="] {
+        for key in [
+            "reads=",
+            "writes=",
+            "gc[",
+            "ns=",
+            "max_migr=",
+            "mounts=",
+            "WA=",
+        ] {
             assert!(msg.contains(key), "missing {key} in {msg}");
         }
     }

@@ -47,7 +47,9 @@ pub trait Ftl {
     ///
     /// Fails if any page of the extent is out of range or a NAND read fails.
     fn read_extent(&mut self, lba: Lba, len: u32, now: SimTime) -> Result<Vec<Option<Bytes>>> {
-        (0..len as u64).map(|i| self.read(lba.offset(i), now)).collect()
+        (0..len as u64)
+            .map(|i| self.read(lba.offset(i), now))
+            .collect()
     }
 
     /// Writes `data.len()` consecutive logical pages starting at `lba`,

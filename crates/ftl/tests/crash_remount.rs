@@ -90,19 +90,27 @@ fn replay_until_crash<T: Target>(ftl: &mut T, ops: &[Op], cut: u64) -> Acked {
         acked.now = now;
         match *op {
             Op::Write { lba, len } => {
-                let payloads: Vec<Bytes> =
-                    (0..len as u64).map(|j| unique_payload(lba + j, i)).collect();
+                let payloads: Vec<Bytes> = (0..len as u64)
+                    .map(|j| unique_payload(lba + j, i))
+                    .collect();
                 let before = ftl.stats().host_writes;
                 let result = ftl.write_extent(Lba::new(lba), &payloads, now);
                 let done = (ftl.stats().host_writes - before) as usize;
                 if done > 0 {
                     for (j, p) in payloads[..done].iter().enumerate() {
-                        acked.hist.entry(lba + j as u64).or_default().push(p.clone());
+                        acked
+                            .hist
+                            .entry(lba + j as u64)
+                            .or_default()
+                            .push(p.clone());
                         acked.trimmed.remove(&(lba + j as u64));
                     }
                     acked.ops.push((
                         now,
-                        Op::Write { lba, len: done as u32 },
+                        Op::Write {
+                            lba,
+                            len: done as u32,
+                        },
                         payloads[..done].to_vec(),
                     ));
                 }
@@ -138,10 +146,12 @@ fn replay_acked<T: Target>(ftl: &mut T, acked: &Acked) {
     for (now, op, payloads) in &acked.ops {
         match *op {
             Op::Write { lba, .. } => {
-                ftl.write_extent(Lba::new(lba), payloads, *now).expect("oracle write failed");
+                ftl.write_extent(Lba::new(lba), payloads, *now)
+                    .expect("oracle write failed");
             }
             Op::Trim { lba, len } => {
-                ftl.trim_extent(Lba::new(lba), len, *now).expect("oracle trim failed");
+                ftl.trim_extent(Lba::new(lba), len, *now)
+                    .expect("oracle trim failed");
             }
         }
     }
@@ -166,21 +176,30 @@ fn check_crash_matches_oracle<T: Target>(ops: &[Op], cut: u64) {
     assert_eq!(crashed.logical_pages(), oracle.logical_pages());
     for lba in 0..crashed.logical_pages() {
         let c = crashed.read(Lba::new(lba), acked.now).expect("read failed");
-        let o = oracle.read(Lba::new(lba), acked.now).expect("oracle read failed");
+        let o = oracle
+            .read(Lba::new(lba), acked.now)
+            .expect("oracle read failed");
         if acked.trimmed.contains(&lba) {
             // Trims are volatile across power loss; both sides must still
             // hold either nothing or an acknowledged version of this page.
             for (side, v) in [("crashed", &c), ("oracle", &o)] {
                 assert!(
                     v.is_none()
-                        || acked.hist.get(&lba).is_some_and(|h| h.contains(v.as_ref().unwrap())),
+                        || acked
+                            .hist
+                            .get(&lba)
+                            .is_some_and(|h| h.contains(v.as_ref().unwrap())),
                     "{side} resurrected foreign data at lba {lba} (cut={cut})"
                 );
             }
         } else {
             assert_eq!(c, o, "lba {lba} diverged from the oracle (cut={cut})");
             let want = acked.hist.get(&lba).and_then(|h| h.last());
-            assert_eq!(c.as_ref(), want, "lba {lba} lost an acked write (cut={cut})");
+            assert_eq!(
+                c.as_ref(),
+                want,
+                "lba {lba} lost an acked write (cut={cut})"
+            );
         }
     }
 
@@ -190,9 +209,13 @@ fn check_crash_matches_oracle<T: Target>(ops: &[Op], cut: u64) {
     for round in 0..40u64 {
         for lba in 0..8u64 {
             let payload = Bytes::from(format!("post{round}:{lba}"));
-            crashed.write(Lba::new(lba), payload.clone(), t).expect("post-remount write");
-            oracle.write(Lba::new(lba), payload, t).expect("post-oracle write");
-            t = t + SimTime::from_millis(5);
+            crashed
+                .write(Lba::new(lba), payload.clone(), t)
+                .expect("post-remount write");
+            oracle
+                .write(Lba::new(lba), payload, t)
+                .expect("post-oracle write");
+            t += SimTime::from_millis(5);
         }
     }
 }
@@ -229,10 +252,10 @@ fn gc_workload() -> Vec<(u64, SimTime)> {
     for round in 0..120u64 {
         for lba in 0..7u64 {
             out.push((lba, t));
-            t = t + SimTime::from_millis(5);
+            t += SimTime::from_millis(5);
         }
         out.push((8 + round, t));
-        t = t + SimTime::from_millis(5);
+        t += SimTime::from_millis(5);
     }
     out
 }
@@ -240,7 +263,11 @@ fn gc_workload() -> Vec<(u64, SimTime)> {
 /// Runs the GC workload with a cut after `cut` mutations. Returns the
 /// remounted FTL, the NAND (programs, erases) it had applied before the
 /// cut, and the expected surviving contents.
-fn run_gc_crash(cut: u64) -> (InsiderFtl, (u64, u64), HashMap<u64, Bytes>) {
+/// A crashed-and-remounted FTL, the `(programs, erases)` that actually
+/// applied before the cut, and the payloads that must survive.
+type GcCrashRun = (InsiderFtl, (u64, u64), HashMap<u64, Bytes>);
+
+fn run_gc_crash(cut: u64) -> GcCrashRun {
     let mut ftl = InsiderFtl::new(config());
     let mut plan = FaultPlan::new();
     plan.power_cut_after(cut);
@@ -270,7 +297,7 @@ fn crash_between_gc_migration_and_victim_erase_loses_nothing() {
     // programs for that victim completed, the erase itself failed. The op
     // at boundary k is an erase iff allowing one more op (cut k+1) bumps
     // the applied erase count.
-    let mut prev: Option<(InsiderFtl, (u64, u64), HashMap<u64, Bytes>)> = None;
+    let mut prev: Option<GcCrashRun> = None;
     let mut mid_gc_points = 0;
     let mut k = 1;
     while mid_gc_points < 3 && k < 4000 {
@@ -300,7 +327,7 @@ fn crash_between_gc_migration_and_victim_erase_loses_nothing() {
                     for lba in 0..8u64 {
                         ftl.write(Lba::new(lba), Bytes::from(format!("p{round}:{lba}")), t)
                             .expect("post-remount GC write failed");
-                        t = t + SimTime::from_millis(5);
+                        t += SimTime::from_millis(5);
                     }
                 }
                 assert!(ftl.stats().gc_invocations > 0);
@@ -309,5 +336,8 @@ fn crash_between_gc_migration_and_victim_erase_loses_nothing() {
         prev = Some(run);
         k += 1;
     }
-    assert_eq!(mid_gc_points, 3, "workload never produced a mid-GC crash point");
+    assert_eq!(
+        mid_gc_points, 3,
+        "workload never produced a mid-GC crash point"
+    );
 }

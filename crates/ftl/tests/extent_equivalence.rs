@@ -74,7 +74,9 @@ fn assert_equivalent<F: Ftl>(
                 let data: Vec<Bytes> = (0..len).map(|i| payload(idx, i)).collect();
                 native.write_extent(Lba::new(lba), &data, now).unwrap();
                 for (i, page) in data.iter().enumerate() {
-                    scalar.write(Lba::new(lba + i as u64), page.clone(), now).unwrap();
+                    scalar
+                        .write(Lba::new(lba + i as u64), page.clone(), now)
+                        .unwrap();
                 }
             }
             Op::Trim { lba, len } => {

@@ -76,7 +76,8 @@ fn insider_reports_infeasible_protection_load_cleanly() {
     let mut ftl = InsiderFtl::new(FtlConfig::new(g));
     let logical = ftl.logical_pages();
     for lba in 0..(logical * 9) / 10 {
-        ftl.write(Lba::new(lba), payload(lba as u32), SimTime::ZERO).unwrap();
+        ftl.write(Lba::new(lba), payload(lba as u32), SimTime::ZERO)
+            .unwrap();
     }
     // 200 writes/s: a 10 s window would pin ~2000 pages, far beyond the
     // ~180 pages of slack — must surface as an error, not data loss.
@@ -273,7 +274,8 @@ mod gc_policies {
             // Churn to force GC with the pre-image protected part of the time.
             let mut now = SimTime::from_secs(30);
             for i in 0..1_500u64 {
-                ftl.write(Lba::new(1 + i % 8), payload(i as u32), now).unwrap();
+                ftl.write(Lba::new(1 + i % 8), payload(i as u32), now)
+                    .unwrap();
                 now += SimTime::from_millis(60);
             }
             // Attack within the window, then roll back.
@@ -316,7 +318,8 @@ mod fault_injection {
         ));
         // …and the drive still serves existing data and accepts new writes.
         assert_eq!(read_tag(&mut ftl, 0, SimTime::from_millis(2)), Some(1));
-        ftl.write(Lba::new(1), payload(3), SimTime::from_millis(3)).unwrap();
+        ftl.write(Lba::new(1), payload(3), SimTime::from_millis(3))
+            .unwrap();
         assert_eq!(read_tag(&mut ftl, 1, SimTime::from_millis(4)), Some(3));
     }
 
@@ -361,7 +364,8 @@ mod bad_blocks {
         // Endurance 2: blocks wear out quickly under churn.
         let cfg = FtlConfig::with_nand(NandConfig::new(g).endurance(2));
         let mut ftl = ConventionalFtl::new(cfg);
-        ftl.write(Lba::new(100), payload(777), SimTime::ZERO).unwrap();
+        ftl.write(Lba::new(100), payload(777), SimTime::ZERO)
+            .unwrap();
         let mut i = 0u64;
         // Churn until blocks start wearing out; stop at the capacity wall.
         loop {
@@ -387,7 +391,8 @@ mod bad_blocks {
             .page_size(64)
             .build();
         let mut ftl = InsiderFtl::new(FtlConfig::new(g));
-        ftl.write(Lba::new(100), payload(777), SimTime::ZERO).unwrap();
+        ftl.write(Lba::new(100), payload(777), SimTime::ZERO)
+            .unwrap();
         let mut plan = FaultPlan::new();
         plan.fail_nth(FaultKind::Erase, 1);
         ftl.set_fault_plan(plan);
@@ -440,7 +445,8 @@ mod wear_leveling {
             let logical = ftl.logical_pages();
             let cold = (logical * 6) / 10;
             for lba in 0..cold {
-                ftl.write(Lba::new(lba), payload(lba as u32), SimTime::ZERO).unwrap();
+                ftl.write(Lba::new(lba), payload(lba as u32), SimTime::ZERO)
+                    .unwrap();
             }
             // Hot churn on 8 pages.
             for i in 0..30_000u64 {
@@ -481,13 +487,15 @@ mod wear_leveling {
         let logical = ftl.logical_pages();
         let cold = (logical * 6) / 10;
         for lba in 0..cold {
-            ftl.write(Lba::new(lba), payload(lba as u32), SimTime::ZERO).unwrap();
+            ftl.write(Lba::new(lba), payload(lba as u32), SimTime::ZERO)
+                .unwrap();
         }
         // Long churn with time advancing: retirement keeps GC feasible and
         // wear leveling cycles the cold blocks.
         let mut now = SimTime::from_secs(60);
         for i in 0..20_000u64 {
-            ftl.write(Lba::new(cold + i % 8), payload(i as u32), now).unwrap();
+            ftl.write(Lba::new(cold + i % 8), payload(i as u32), now)
+                .unwrap();
             // 100 ms per write keeps one window of pre-images (~100 pages)
             // inside this 512-page drive's slack.
             now += SimTime::from_millis(100);
@@ -498,7 +506,8 @@ mod wear_leveling {
         // pre-image is protected.
         ftl.write(Lba::new(5), payload(0xDEAD), now).unwrap();
         for i in 0..60u64 {
-            ftl.write(Lba::new(cold + i % 8), payload(i as u32), now).unwrap();
+            ftl.write(Lba::new(cold + i % 8), payload(i as u32), now)
+                .unwrap();
         }
         ftl.rollback(now + SimTime::from_secs(1)).unwrap();
         assert_eq!(read_tag(&mut ftl, 5, now), Some(5));
@@ -515,8 +524,7 @@ fn wear_leveling_with_bad_blocks_does_not_thrash() {
         .pages_per_block(8)
         .page_size(64)
         .build();
-    let cfg = FtlConfig::with_nand(insider_nand::NandConfig::new(g).endurance(6))
-        .wear_leveling(2);
+    let cfg = FtlConfig::with_nand(insider_nand::NandConfig::new(g).endurance(6)).wear_leveling(2);
     let mut ftl = ConventionalFtl::new(cfg);
     ftl.write(Lba::new(100), payload(7), SimTime::ZERO).unwrap();
     let mut i = 0u64;
@@ -551,7 +559,8 @@ fn allocation_stripes_across_channels() {
         .build();
     let mut ftl = ConventionalFtl::new(FtlConfig::new(g));
     for i in 0..256u64 {
-        ftl.write(Lba::new(i), payload(i as u32), SimTime::ZERO).unwrap();
+        ftl.write(Lba::new(i), payload(i as u32), SimTime::ZERO)
+            .unwrap();
     }
     let (serial, parallel) = ftl.nand_busy_ns();
     assert!(

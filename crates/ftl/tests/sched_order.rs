@@ -52,7 +52,10 @@ fn assert_no_same_page_overtake(log: &[CmdRecord]) {
             continue;
         }
         for earlier in &log[..i] {
-            assert!(earlier.submit < later.submit, "log must be submission-ordered");
+            assert!(
+                earlier.submit < later.submit,
+                "log must be submission-ordered"
+            );
             let conflict = match earlier.kind {
                 FaultKind::Program => earlier.page == later.page,
                 FaultKind::Erase => earlier.block == later.block,

@@ -24,7 +24,7 @@ fn churn_until_gc_copies(f: &mut dyn Ftl) -> Bytes {
     f.write(Lba::new(40), precious.clone(), secs(0)).unwrap();
     let mut i = 0u64;
     while f.stats().gc_page_copies == 0 {
-        let lba = if i % 2 == 0 {
+        let lba = if i.is_multiple_of(2) {
             Lba::new((i / 2) % 4)
         } else {
             Lba::new(50 + (i / 2) % 100)
@@ -70,8 +70,7 @@ fn insider_relocation_never_copies_buffers() {
 
 #[test]
 fn copy_payloads_mode_classifies_every_program_as_a_copy() {
-    let mut f =
-        ConventionalFtl::new(FtlConfig::new(Geometry::tiny()).copy_payloads(true));
+    let mut f = ConventionalFtl::new(FtlConfig::new(Geometry::tiny()).copy_payloads(true));
     let _ = churn_until_gc_copies(&mut f);
     let stats = f.nand_stats();
     assert_eq!(

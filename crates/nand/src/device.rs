@@ -140,6 +140,55 @@ impl NandConfig {
     }
 }
 
+/// Number of controller checkpoint slots a [`NandDevice`] reserves.
+///
+/// Two slots are ping-ponged by the FTL: the newest valid checkpoint is
+/// always kept intact while the other slot is erased and rewritten, so a
+/// power cut mid-checkpoint can never destroy the last good one.
+pub const CKPT_SLOTS: usize = 2;
+
+/// Per-block baseline a tail scan starts from (see
+/// [`NandDevice::scan_oob`]): the block's erase count and programmed page
+/// count at the time a checkpoint was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanBaseline {
+    /// Erase count recorded for the block when the baseline was captured.
+    pub erase_count: u32,
+    /// Pages programmed (in order, from offset 0) at capture time.
+    pub programmed: u32,
+}
+
+/// One block's result from a [`NandDevice::scan_oob`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockScan {
+    /// The block's current erase count.
+    pub erase_count: u32,
+    /// First page offset this pass actually read (nonzero only when a
+    /// matching [`ScanBaseline`] let the scan skip a prefix).
+    pub start: u32,
+    /// Exclusive end of the scan: the block's write pointer (or the full
+    /// block when it is completely programmed).
+    pub scanned_to: u32,
+    /// Whether a baseline existed for this block but its erase count no
+    /// longer matched, forcing a full rescan — the caller must drop any
+    /// checkpointed records it held for this block.
+    pub rescanned: bool,
+    /// `(page offset, record)` for every scanned page carrying an OOB
+    /// record, in page order.
+    pub records: Vec<(u32, OobRecord)>,
+}
+
+/// The merged result of a [`NandDevice::scan_oob`] pass: one entry per
+/// block, in block-index order, plus the number of spare-area reads the
+/// pass was charged for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Per-block scan results, indexed by raw block number.
+    pub blocks: Vec<BlockScan>,
+    /// Spare-area page reads performed (and charged to stats).
+    pub pages_scanned: u64,
+}
+
 /// A simulated NAND flash device.
 ///
 /// Enforces the physical constraints of NAND (no in-place updates, in-order
@@ -184,6 +233,16 @@ pub struct NandDevice {
     /// during mount, so keeping the counter is equivalent to (and cheaper
     /// than) a max-scan-plus-one rebuild.
     next_seq: u64,
+    /// Controller checkpoint region: [`CKPT_SLOTS`] page lists modeling a
+    /// reserved NAND area. Contents persist across [`power_cut`]
+    /// (checkpoints exist precisely to survive it); writes and erases go
+    /// through [`ckpt_append`]/[`ckpt_erase`], which consult the fault
+    /// plan like any other mutation.
+    ///
+    /// [`power_cut`]: Self::power_cut
+    /// [`ckpt_append`]: Self::ckpt_append
+    /// [`ckpt_erase`]: Self::ckpt_erase
+    ckpt_slots: [Vec<Bytes>; 2],
 }
 
 impl NandDevice {
@@ -208,7 +267,15 @@ impl NandDevice {
             config,
             faults: FaultPlan::new(),
             next_seq: 1,
+            ckpt_slots: [Vec::new(), Vec::new()],
         }
+    }
+
+    /// The sequence number assigned to the most recent tagged program
+    /// (zero before any). Lets the FTL mirror the OOB records it just
+    /// wrote without re-reading them.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
     }
 
     /// Charges one successful command to the busy integrals and, unless
@@ -223,7 +290,8 @@ impl NandDevice {
         let ch = pba.channel(&self.config.geometry) as usize;
         self.stats.bus_busy_ns[ch] += bus_ns;
         if self.config.sched_mode != SchedMode::Legacy {
-            self.sched.admit(kind, chip, ch, page, u64::from(pba.index()), ns, bus_ns);
+            self.sched
+                .admit(kind, chip, ch, page, u64::from(pba.index()), ns, bus_ns);
             debug_assert_eq!(
                 self.sched.die_busy_ns(),
                 &self.stats.die_busy_ns[..],
@@ -656,6 +724,195 @@ impl NandDevice {
         Ok(record)
     }
 
+    /// Bulk spare-area scan of every block, sharded across `threads` OS
+    /// threads (clamped to the block count; `0` and `1` both mean a single
+    /// thread). Blocks are split into contiguous ranges — the simulator's
+    /// stand-in for per-channel/per-die scan parallelism — and the merged
+    /// report is always in block-index order, so the result is
+    /// deterministic regardless of thread count.
+    ///
+    /// With a `baseline`, a block whose erase count still matches its
+    /// [`ScanBaseline`] is scanned only from the baseline's programmed
+    /// count to its write pointer (the OOB *tail*); a mismatched block is
+    /// rescanned in full and flagged [`rescanned`](BlockScan::rescanned).
+    ///
+    /// Each scanned page is charged as one spare-area read (array time
+    /// plus bus transfer) in bulk: counts and the serial busy integral
+    /// move, but the per-die vectors and the command scheduler do not — a
+    /// mount scan runs before the host queue exists. Unlike
+    /// [`read_oob`](Self::read_oob), per-page faults are not consulted
+    /// (the caller power-cycled the device; a scan is all-or-nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::PowerLoss`] if the device is latched off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is present but not sized to the block count.
+    pub fn scan_oob(
+        &mut self,
+        baseline: Option<&[ScanBaseline]>,
+        threads: usize,
+    ) -> Result<ScanReport> {
+        if self.faults.is_powered_off() {
+            self.stats.record_failure();
+            return Err(NandError::PowerLoss);
+        }
+        let ppb = self.config.geometry.pages_per_block();
+        let nblocks = self.blocks.len();
+        if let Some(base) = baseline {
+            assert_eq!(base.len(), nblocks, "scan baseline must cover every block");
+        }
+        let shard_count = threads.max(1).min(nblocks.max(1));
+        let chunk = nblocks.div_ceil(shard_count);
+        let blocks = &self.blocks;
+        let scan_range = |lo: usize, hi: usize| -> Vec<BlockScan> {
+            let mut out = Vec::with_capacity(hi - lo);
+            for b in lo..hi {
+                let block = &blocks[b];
+                let scanned_to = block.write_ptr().unwrap_or(ppb);
+                let (start, rescanned) = match baseline {
+                    Some(base) if base[b].erase_count == block.erase_count() => {
+                        (base[b].programmed.min(scanned_to), false)
+                    }
+                    Some(_) => (0, true),
+                    None => (0, false),
+                };
+                let mut records = Vec::with_capacity((scanned_to - start) as usize);
+                for offset in start..scanned_to {
+                    if let Some(record) = block.page(offset).oob() {
+                        records.push((offset, *record));
+                    }
+                }
+                out.push(BlockScan {
+                    erase_count: block.erase_count(),
+                    start,
+                    scanned_to,
+                    rescanned,
+                    records,
+                });
+            }
+            out
+        };
+        let merged: Vec<BlockScan> = if shard_count <= 1 {
+            scan_range(0, nblocks)
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..shard_count)
+                    .map(|i| {
+                        let lo = (i * chunk).min(nblocks);
+                        let hi = ((i + 1) * chunk).min(nblocks);
+                        s.spawn(move || scan_range(lo, hi))
+                    })
+                    .collect();
+                // Shards are contiguous block ranges joined in spawn
+                // order, so the fold is a plain order-preserving concat.
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scan shard panicked"))
+                    .collect()
+            })
+        };
+        let pages_scanned: u64 = merged
+            .iter()
+            .map(|b| u64::from(b.scanned_to - b.start))
+            .sum();
+        self.stats.record_scan(
+            pages_scanned,
+            self.config.read_latency_ns + self.config.bus_transfer_ns,
+        );
+        Ok(ScanReport {
+            blocks: merged,
+            pages_scanned,
+        })
+    }
+
+    /// Erases checkpoint slot `slot`, preparing it for a new checkpoint.
+    /// Counts as one erase mutation: it is fault-checked and charged like
+    /// a block erase, so crash sweeps enumerate cut points on it.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    /// * [`NandError::PowerLoss`] — power is cut or already off (the slot
+    ///   is left untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= CKPT_SLOTS`.
+    pub fn ckpt_erase(&mut self, slot: usize) -> Result<()> {
+        assert!(slot < CKPT_SLOTS, "checkpoint slot out of range");
+        self.consult_faults(FaultKind::Erase)?;
+        self.ckpt_slots[slot].clear();
+        self.stats.record_erase(self.config.erase_latency_ns);
+        Ok(())
+    }
+
+    /// Appends one page to checkpoint slot `slot`. Counts as one program
+    /// mutation: fault-checked and charged like a page program, so a
+    /// power cut can land between any two checkpoint pages and leave a
+    /// torn (CRC-invalid) checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::PayloadTooLarge`] — page exceeds the geometry's page
+    ///   size.
+    /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    /// * [`NandError::PowerLoss`] — power is cut or already off (the page
+    ///   is not appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= CKPT_SLOTS`.
+    pub fn ckpt_append(&mut self, slot: usize, page: Bytes) -> Result<()> {
+        assert!(slot < CKPT_SLOTS, "checkpoint slot out of range");
+        if page.len() > self.config.geometry.page_size() as usize {
+            self.stats.record_failure();
+            return Err(NandError::PayloadTooLarge {
+                len: page.len(),
+                page_size: self.config.geometry.page_size(),
+            });
+        }
+        self.consult_faults(FaultKind::Program)?;
+        self.ckpt_slots[slot].push(page);
+        self.stats.record_program(self.config.program_latency_ns);
+        Ok(())
+    }
+
+    /// Reads back checkpoint slot `slot`, charging one page read per
+    /// stored page. An empty slot yields an empty list.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::InjectedFault`] — scheduled by the fault plan.
+    /// * [`NandError::PowerLoss`] — power is cut or already off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= CKPT_SLOTS`.
+    pub fn ckpt_read(&mut self, slot: usize) -> Result<Vec<Bytes>> {
+        assert!(slot < CKPT_SLOTS, "checkpoint slot out of range");
+        for _ in 0..self.ckpt_slots[slot].len() {
+            self.consult_faults(FaultKind::Read)?;
+        }
+        let pages = self.ckpt_slots[slot].clone();
+        self.stats
+            .record_scan(pages.len() as u64, self.config.read_latency_ns);
+        Ok(pages)
+    }
+
+    /// Free peek at checkpoint slot `slot` (no timing, no faults), for
+    /// differential oracles and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= CKPT_SLOTS`.
+    pub fn ckpt_peek(&self, slot: usize) -> &[Bytes] {
+        assert!(slot < CKPT_SLOTS, "checkpoint slot out of range");
+        &self.ckpt_slots[slot]
+    }
+
     /// Marks a programmed page invalid (superseded). FTL-driven; free pages
     /// or already-invalid pages are left unchanged.
     ///
@@ -694,6 +951,37 @@ impl NandDevice {
         Ok(())
     }
 
+    /// Bulk [`revalidate`](Self::revalidate): the mount's conflict
+    /// resolution flips hundreds of thousands of page states in one go, so
+    /// the per-call address check and block lookup are amortized over runs
+    /// of same-block addresses. Pass physically sorted addresses for cache
+    /// locality and maximal run length; correctness does not depend on the
+    /// order. All-or-nothing on the address check: no state changes unless
+    /// every address is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PpaOutOfRange`] for addresses beyond the geometry.
+    pub fn revalidate_many(&mut self, ppas: &[Ppa]) -> Result<()> {
+        for &ppa in ppas {
+            self.check_ppa(ppa)?;
+        }
+        let g = self.config.geometry;
+        let mut i = 0;
+        while i < ppas.len() {
+            let pba = ppas[i].block(&g);
+            let block = &mut self.blocks[pba.index() as usize];
+            while i < ppas.len() && ppas[i].block(&g) == pba {
+                let offset = ppas[i].page_offset(&g);
+                if block.page(offset).state() == PageState::Invalid {
+                    block.page_mut(offset).revalidate();
+                }
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Erases a block, freeing all of its pages.
     ///
     /// # Errors
@@ -715,7 +1003,13 @@ impl NandDevice {
         }
         block.erase();
         self.stats.record_erase(self.config.erase_latency_ns);
-        self.charge(FaultKind::Erase, u64::MAX, pba, self.config.erase_latency_ns, 0);
+        self.charge(
+            FaultKind::Erase,
+            u64::MAX,
+            pba,
+            self.config.erase_latency_ns,
+            0,
+        );
         Ok(())
     }
 
@@ -734,13 +1028,22 @@ impl NandDevice {
 
     /// Maximum erase count across all blocks (wear ceiling).
     pub fn max_erase_count(&self) -> u32 {
-        self.blocks.iter().map(Block::erase_count).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(Block::erase_count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-block wear summary: `(min, max, mean)` erase counts. The spread
     /// between min and max is what wear-leveling tries to keep small.
     pub fn wear_summary(&self) -> (u32, u32, f64) {
-        let min = self.blocks.iter().map(Block::erase_count).min().unwrap_or(0);
+        let min = self
+            .blocks
+            .iter()
+            .map(Block::erase_count)
+            .min()
+            .unwrap_or(0);
         let max = self.max_erase_count();
         let mean = if self.blocks.is_empty() {
             0.0
@@ -774,7 +1077,10 @@ mod tests {
     #[test]
     fn read_unwritten_page_fails() {
         let mut d = dev();
-        assert_eq!(d.read(Ppa::new(5)), Err(NandError::ReadUnwritten(Ppa::new(5))));
+        assert_eq!(
+            d.read(Ppa::new(5)),
+            Err(NandError::ReadUnwritten(Ppa::new(5)))
+        );
     }
 
     #[test]
@@ -792,7 +1098,9 @@ mod tests {
     #[test]
     fn out_of_order_program_is_rejected() {
         let mut d = dev();
-        let err = d.program(Ppa::new(2), Bytes::from_static(b"x")).unwrap_err();
+        let err = d
+            .program(Ppa::new(2), Bytes::from_static(b"x"))
+            .unwrap_err();
         assert_eq!(
             err,
             NandError::ProgramOutOfOrder {
@@ -839,7 +1147,9 @@ mod tests {
     fn payload_too_large_is_rejected() {
         let g = Geometry::builder().page_size(4).build();
         let mut d = NandDevice::new(NandConfig::new(g));
-        let err = d.program(Ppa::new(0), Bytes::from_static(b"12345")).unwrap_err();
+        let err = d
+            .program(Ppa::new(0), Bytes::from_static(b"12345"))
+            .unwrap_err();
         assert_eq!(
             err,
             NandError::PayloadTooLarge {
@@ -868,7 +1178,10 @@ mod tests {
         let mut d = NandDevice::new(NandConfig::new(g).endurance(2));
         d.erase(Pba::new(0)).unwrap();
         d.erase(Pba::new(0)).unwrap();
-        assert_eq!(d.erase(Pba::new(0)), Err(NandError::BlockWornOut(Pba::new(0))));
+        assert_eq!(
+            d.erase(Pba::new(0)),
+            Err(NandError::BlockWornOut(Pba::new(0)))
+        );
         assert_eq!(d.max_erase_count(), 2);
         assert_eq!(d.total_erases(), 2);
     }
@@ -916,7 +1229,9 @@ mod tests {
             .page_size(16)
             .build();
         let mut d = NandDevice::new(
-            NandConfig::new(g).program_latency_ns(100).bus_transfer_ns(10),
+            NandConfig::new(g)
+                .program_latency_ns(100)
+                .bus_transfer_ns(10),
         );
         // Blocks 0..1 live on chip 0; blocks 2..3 on chip 1 (same channel).
         d.program(Ppa::new(0), Bytes::from_static(b"a")).unwrap();
@@ -941,10 +1256,13 @@ mod tests {
             .build();
         // Fast dies, slow bus: the shared channel becomes the bottleneck.
         let mut d = NandDevice::new(
-            NandConfig::new(g).program_latency_ns(10).bus_transfer_ns(100),
+            NandConfig::new(g)
+                .program_latency_ns(10)
+                .bus_transfer_ns(100),
         );
         for chip in 0..4u64 {
-            d.program(Ppa::new(chip * 8), Bytes::from_static(b"x")).unwrap();
+            d.program(Ppa::new(chip * 8), Bytes::from_static(b"x"))
+                .unwrap();
         }
         // Four dies overlap (10 ns each) but the bus carried 4 x 100 ns.
         assert_eq!(d.parallel_busy_ns(), 400);
@@ -960,7 +1278,11 @@ mod tests {
             .page_size(16)
             .build();
         let make = || {
-            NandDevice::new(NandConfig::new(g).program_latency_ns(100).bus_transfer_ns(10))
+            NandDevice::new(
+                NandConfig::new(g)
+                    .program_latency_ns(100)
+                    .bus_transfer_ns(10),
+            )
         };
         // Extent striped across both dies: pages 0..2 of chip 0's block 0
         // interleaved with pages 0..2 of chip 1's block 2.
@@ -975,7 +1297,9 @@ mod tests {
         assert_eq!(done, 4);
         let mut scalar = make();
         for &p in &ppas {
-            scalar.program(Ppa::new(p), Bytes::from_static(b"x")).unwrap();
+            scalar
+                .program(Ppa::new(p), Bytes::from_static(b"x"))
+                .unwrap();
         }
         assert_eq!(batched.stats().programs, scalar.stats().programs);
         assert_eq!(batched.stats().busy_ns, scalar.stats().busy_ns);
@@ -1059,7 +1383,11 @@ mod tests {
         .unwrap();
         let before = d.stats().reads;
         assert!(d.read_oob(Ppa::new(0)).unwrap().is_some());
-        assert_eq!(d.read_oob(Ppa::new(1)).unwrap(), None, "erased spare reads blank");
+        assert_eq!(
+            d.read_oob(Ppa::new(1)).unwrap(),
+            None,
+            "erased spare reads blank"
+        );
         assert_eq!(d.stats().reads, before + 2);
     }
 
@@ -1071,7 +1399,8 @@ mod tests {
         plan.power_cut_after(2);
         d.set_fault_plan(plan);
         let tag = crate::OobTag::live(Lba::new(0), SimTime::ZERO);
-        d.program_tagged(Ppa::new(0), Bytes::from_static(b"a"), tag).unwrap();
+        d.program_tagged(Ppa::new(0), Bytes::from_static(b"a"), tag)
+            .unwrap();
         // Second mutation triggers the cut without being applied.
         assert_eq!(
             d.program_tagged(Ppa::new(1), Bytes::from_static(b"b"), tag),
@@ -1091,7 +1420,8 @@ mod tests {
         assert_eq!(d.read(Ppa::new(0)).unwrap().as_ref(), b"a");
         let oob = d.oob(Ppa::new(0)).unwrap().unwrap();
         // The sequence counter continues past the surviving maximum.
-        d.program_tagged(Ppa::new(1), Bytes::from_static(b"b"), tag).unwrap();
+        d.program_tagged(Ppa::new(1), Bytes::from_static(b"b"), tag)
+            .unwrap();
         assert!(d.oob(Ppa::new(1)).unwrap().unwrap().seq > oob.seq);
     }
 
@@ -1121,7 +1451,10 @@ mod tests {
         d.sync();
         assert_eq!(d.latency_snapshot().total.count, 0);
         assert_eq!(d.sched_makespan_ns(), 0);
-        assert!(d.stats().busy_ns > 0, "legacy busy integrals still accumulate");
+        assert!(
+            d.stats().busy_ns > 0,
+            "legacy busy integrals still accumulate"
+        );
     }
 
     #[test]
@@ -1155,6 +1488,129 @@ mod tests {
         assert_eq!(rec[2].kind, FaultKind::Read);
         // Same-page dependency: the read starts at or after its program.
         assert!(rec[2].start_ns >= rec[0].start_ns);
+    }
+
+    #[test]
+    fn scan_oob_matches_per_page_reads_and_is_thread_invariant() {
+        use crate::{Lba, SimTime};
+        let mut d = dev();
+        for p in 0..5u64 {
+            d.program_tagged(
+                Ppa::new(p),
+                Bytes::from_static(b"x"),
+                crate::OobTag::live(Lba::new(p), SimTime::from_secs(p)),
+            )
+            .unwrap();
+        }
+        let die_before = d.stats().die_busy_ns.clone();
+        let serial = d.scan_oob(None, 1).unwrap();
+        let sharded = d.scan_oob(None, 7).unwrap();
+        assert_eq!(serial, sharded, "shard merge must be order-independent");
+        assert_eq!(serial.pages_scanned, 5);
+        let records: Vec<_> = serial
+            .blocks
+            .iter()
+            .flat_map(|b| b.records.iter().map(|(_, r)| *r))
+            .collect();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[4].lba, Lba::new(4));
+        // Charged as 5 + 5 spare reads in bulk (serial busy only; the
+        // per-die vectors and scheduler never see a mount scan).
+        assert_eq!(d.stats().reads, 10);
+        assert_eq!(d.stats().die_busy_ns, die_before);
+    }
+
+    #[test]
+    fn scan_oob_baseline_skips_unchanged_prefix_and_flags_erased_blocks() {
+        use crate::{Lba, SimTime};
+        let mut d = dev();
+        let tag = |l: u64| crate::OobTag::live(Lba::new(l), SimTime::ZERO);
+        d.program_tagged(Ppa::new(0), Bytes::from_static(b"a"), tag(0))
+            .unwrap();
+        d.program_tagged(Ppa::new(1), Bytes::from_static(b"b"), tag(1))
+            .unwrap();
+        let full = d.scan_oob(None, 1).unwrap();
+        let baseline: Vec<ScanBaseline> = full
+            .blocks
+            .iter()
+            .map(|b| ScanBaseline {
+                erase_count: b.erase_count,
+                programmed: b.scanned_to,
+            })
+            .collect();
+        // Tail write in block 0, and block 1 erased+rewritten.
+        d.program_tagged(Ppa::new(2), Bytes::from_static(b"c"), tag(2))
+            .unwrap();
+        let ppb = u64::from(d.geometry().pages_per_block());
+        d.program_tagged(Ppa::new(ppb), Bytes::from_static(b"d"), tag(3))
+            .unwrap();
+        d.erase(Pba::new(1)).unwrap();
+        d.program_tagged(Ppa::new(ppb), Bytes::from_static(b"e"), tag(4))
+            .unwrap();
+        let tail = d.scan_oob(Some(&baseline), 1).unwrap();
+        assert_eq!(tail.blocks[0].start, 2, "block 0 scans only its tail");
+        assert!(!tail.blocks[0].rescanned);
+        assert_eq!(tail.blocks[0].records.len(), 1);
+        assert_eq!(tail.blocks[0].records[0].1.lba, Lba::new(2));
+        assert!(
+            tail.blocks[1].rescanned,
+            "erased block forces a full rescan"
+        );
+        assert_eq!(tail.blocks[1].start, 0);
+        assert_eq!(tail.blocks[1].records[0].1.lba, Lba::new(4));
+        assert_eq!(tail.pages_scanned, 2);
+    }
+
+    #[test]
+    fn ckpt_slots_survive_power_cut_and_tear_on_mid_write_cut() {
+        let mut d = dev();
+        d.ckpt_erase(0).unwrap();
+        d.ckpt_append(0, Bytes::from_static(b"page0")).unwrap();
+        d.ckpt_append(0, Bytes::from_static(b"page1")).unwrap();
+        // Cut power in the middle of writing slot 1: erase lands, only one
+        // of two pages does.
+        let mut plan = FaultPlan::new();
+        plan.power_cut_after(3);
+        d.set_fault_plan(plan);
+        d.ckpt_erase(1).unwrap();
+        d.ckpt_append(1, Bytes::from_static(b"new0")).unwrap();
+        assert_eq!(
+            d.ckpt_append(1, Bytes::from_static(b"new1")),
+            Err(NandError::PowerLoss)
+        );
+        assert!(d.is_powered_off());
+        assert_eq!(d.ckpt_read(0), Err(NandError::PowerLoss));
+        assert_eq!(d.scan_oob(None, 1), Err(NandError::PowerLoss));
+        d.power_cut();
+        // The old checkpoint survived intact; the torn one holds a prefix.
+        assert_eq!(d.ckpt_read(0).unwrap().len(), 2);
+        assert_eq!(d.ckpt_peek(1), &[Bytes::from_static(b"new0")]);
+        assert_eq!(d.stats().injected_faults, 1);
+    }
+
+    #[test]
+    fn ckpt_pages_are_bounded_by_page_size() {
+        let g = Geometry::builder().page_size(4).build();
+        let mut d = NandDevice::new(NandConfig::new(g));
+        assert!(matches!(
+            d.ckpt_append(0, Bytes::from_static(b"12345")),
+            Err(NandError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn last_seq_tracks_tagged_programs() {
+        use crate::{Lba, SimTime};
+        let mut d = dev();
+        assert_eq!(d.last_seq(), 0);
+        d.program_tagged(
+            Ppa::new(0),
+            Bytes::from_static(b"a"),
+            crate::OobTag::live(Lba::new(0), SimTime::ZERO),
+        )
+        .unwrap();
+        let seq = d.oob(Ppa::new(0)).unwrap().unwrap().seq;
+        assert_eq!(d.last_seq(), seq);
     }
 
     #[test]

@@ -232,7 +232,8 @@ mod tests {
     #[test]
     fn multiple_faults_same_kind() {
         let mut plan = FaultPlan::new();
-        plan.fail_nth(FaultKind::Program, 1).fail_nth(FaultKind::Program, 3);
+        plan.fail_nth(FaultKind::Program, 1)
+            .fail_nth(FaultKind::Program, 3);
         assert!(plan.should_fail(FaultKind::Program));
         assert!(!plan.should_fail(FaultKind::Program));
         assert!(plan.should_fail(FaultKind::Program));
@@ -242,12 +243,17 @@ mod tests {
     fn every_nth_fires_periodically() {
         let mut plan = FaultPlan::new();
         plan.fail_every_nth(FaultKind::Program, 3);
-        let fired: Vec<bool> = (0..9).map(|_| plan.should_fail(FaultKind::Program)).collect();
+        let fired: Vec<bool> = (0..9)
+            .map(|_| plan.should_fail(FaultKind::Program))
+            .collect();
         assert_eq!(
             fired,
             [false, false, true, false, false, true, false, false, true]
         );
-        assert!(plan.is_exhausted(), "periodic schedules never exhaust the plan");
+        assert!(
+            plan.is_exhausted(),
+            "periodic schedules never exhaust the plan"
+        );
     }
 
     #[test]

@@ -238,7 +238,10 @@ mod tests {
             let floor = bucket_floor(bucket_index(v));
             assert!(floor <= v);
             // Lower bound is within one sub-bucket: < 1/16 relative error.
-            assert!((v - floor) as f64 <= v as f64 / 16.0 + 1.0, "error too large at {v}");
+            assert!(
+                (v - floor) as f64 <= v as f64 / 16.0 + 1.0,
+                "error too large at {v}"
+            );
         }
     }
 

@@ -68,12 +68,20 @@ impl Page {
     }
 
     pub(crate) fn invalidate(&mut self) {
-        debug_assert_eq!(self.state, PageState::Valid, "invalidating a non-valid page");
+        debug_assert_eq!(
+            self.state,
+            PageState::Valid,
+            "invalidating a non-valid page"
+        );
         self.state = PageState::Invalid;
     }
 
     pub(crate) fn revalidate(&mut self) {
-        debug_assert_eq!(self.state, PageState::Invalid, "revalidating a non-invalid page");
+        debug_assert_eq!(
+            self.state,
+            PageState::Invalid,
+            "revalidating a non-invalid page"
+        );
         self.state = PageState::Valid;
     }
 

@@ -161,8 +161,17 @@ impl CmdScheduler {
     /// # Panics
     ///
     /// Panics if any dimension or the queue depth is zero.
-    pub fn new(dies: usize, channels: usize, mode: SchedMode, queue_depth: usize, capture: bool) -> Self {
-        assert!(dies >= 1 && channels >= 1, "scheduler needs at least one die and channel");
+    pub fn new(
+        dies: usize,
+        channels: usize,
+        mode: SchedMode,
+        queue_depth: usize,
+        capture: bool,
+    ) -> Self {
+        assert!(
+            dies >= 1 && channels >= 1,
+            "scheduler needs at least one die and channel"
+        );
         assert!(queue_depth >= 1, "queue depth is at least one");
         CmdScheduler {
             mode,
@@ -339,7 +348,9 @@ impl CmdScheduler {
             self.recent.pop_front();
         }
         while self.dies[die].len() > MAX_WINDOWS_PER_DIE {
-            let w = self.dies[die].pop_front().expect("over-cap queue is non-empty");
+            let w = self.dies[die]
+                .pop_front()
+                .expect("over-cap queue is non-empty");
             self.finalize(die, w);
         }
         complete
@@ -391,7 +402,9 @@ impl CmdScheduler {
     pub fn completion_horizon_ns(&self) -> u64 {
         let mut horizon = self.bus_free_ns.iter().copied().max().unwrap_or(0);
         for (die, queue) in self.dies.iter().enumerate() {
-            let end = queue.back().map_or(self.die_horizon_ns[die], |w| w.end_ns());
+            let end = queue
+                .back()
+                .map_or(self.die_horizon_ns[die], |w| w.end_ns());
             horizon = horizon.max(end);
         }
         horizon
@@ -411,7 +424,10 @@ impl CmdScheduler {
     /// construction). Records appear in finalization order; sort by
     /// `submit` to recover issue order.
     pub fn take_captured(&mut self) -> Vec<CmdRecord> {
-        self.capture.as_mut().map(std::mem::take).unwrap_or_default()
+        self.capture
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 }
 
@@ -475,7 +491,10 @@ mod tests {
         let mut s = sched(SchedMode::OutOfOrder);
         s.admit(FaultKind::Erase, 0, 0, u64::MAX, 3, ERASE_NS, 0);
         let other = s.admit(FaultKind::Read, 0, 0, 64, 4, READ_NS, BUS_NS);
-        assert!(other < ERASE_NS, "read of another block overtakes the erase");
+        assert!(
+            other < ERASE_NS,
+            "read of another block overtakes the erase"
+        );
     }
 
     #[test]
@@ -488,7 +507,10 @@ mod tests {
         let rec = s.take_captured();
         let r2 = rec.iter().find(|r| r.page == 2).unwrap();
         let r3 = rec.iter().find(|r| r.page == 3).unwrap();
-        assert!(r3.start_ns >= r2.start_ns, "later read starts after earlier read");
+        assert!(
+            r3.start_ns >= r2.start_ns,
+            "later read starts after earlier read"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl NandStats {
         if span == 0 {
             return vec![0.0; self.die_busy_ns.len()];
         }
-        self.die_busy_ns.iter().map(|&ns| ns as f64 / span as f64).collect()
+        self.die_busy_ns
+            .iter()
+            .map(|&ns| ns as f64 / span as f64)
+            .collect()
     }
 
     /// Per-channel bus utilization: each channel's bus busy integral as a
@@ -96,7 +99,10 @@ impl NandStats {
         if span == 0 {
             return vec![0.0; self.bus_busy_ns.len()];
         }
-        self.bus_busy_ns.iter().map(|&ns| ns as f64 / span as f64).collect()
+        self.bus_busy_ns
+            .iter()
+            .map(|&ns| ns as f64 / span as f64)
+            .collect()
     }
 
     pub(crate) fn record_read(&mut self, latency_ns: u64) {
@@ -112,6 +118,15 @@ impl NandStats {
     pub(crate) fn record_erase(&mut self, latency_ns: u64) {
         self.erases += 1;
         self.busy_ns += latency_ns;
+    }
+
+    /// Bulk accounting for a mount scan: `pages` spare-area reads charged
+    /// at `per_page_ns` each. Counts and the serial busy integral move;
+    /// the per-die/per-bus vectors and the command scheduler are left
+    /// untouched — a mount scan happens before the host queue exists.
+    pub(crate) fn record_scan(&mut self, pages: u64, per_page_ns: u64) {
+        self.reads += pages;
+        self.busy_ns += pages.saturating_mul(per_page_ns);
     }
 
     pub(crate) fn record_failure(&mut self) {

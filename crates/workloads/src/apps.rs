@@ -362,7 +362,9 @@ fn outlook<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
                 return;
             }
             let run = g.rng.random_range(2..6u32);
-            let at = db.start.offset(g.rng.random_range(0..(db.blocks / 2 - run) as u64));
+            let at = db
+                .start
+                .offset(g.rng.random_range(0..(db.blocks / 2 - run) as u64));
             g.seq(at, run, 4, IoMode::Read, 250);
             g.seq(at, run, 4, IoMode::Write, 250);
             // New message appended.
@@ -514,8 +516,6 @@ mod tests {
             let s = kind.ransomware_slowdown();
             assert!((1.0..=5.0).contains(&s), "{kind} slowdown {s}");
         }
-        assert!(
-            AppKind::IoMeter.ransomware_slowdown() > AppKind::WebSurfing.ransomware_slowdown()
-        );
+        assert!(AppKind::IoMeter.ransomware_slowdown() > AppKind::WebSurfing.ransomware_slowdown());
     }
 }

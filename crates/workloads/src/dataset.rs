@@ -97,7 +97,11 @@ impl Scenario {
         let mut ransom_trace = None;
         let active = self.ransomware.map(|kind| {
             let third = duration.as_micros() / 3;
-            let start_us = if third > 0 { rng.random_range(0..third) } else { 0 };
+            let start_us = if third > 0 {
+                rng.random_range(0..third)
+            } else {
+                0
+            };
             let start = SimTime::from_micros(start_us);
             let slowdown = self.app.map_or(1.0, AppKind::ransomware_slowdown);
             let model = kind.model().starting_at(start).slowed_by(slowdown);
@@ -193,22 +197,57 @@ pub fn table1() -> Vec<Scenario> {
         row(C::NormalApp, Some(A::Install), Some(R::LockyBdf), true),
         row(C::NormalApp, Some(A::WebSurfing), Some(R::LockyBbs), true),
         row(C::NormalApp, Some(A::OutlookSync), Some(R::LockyBdf), true),
-        row(C::NormalApp, Some(A::WindowsUpdate), Some(R::LockyBdf), true),
+        row(
+            C::NormalApp,
+            Some(A::WindowsUpdate),
+            Some(R::LockyBdf),
+            true,
+        ),
         row(C::NormalApp, Some(A::P2pDownload), None, true),
         row(C::NormalApp, Some(A::SqliteApp), None, true),
         // ---- testing ----
         row(C::RansomOnly, None, Some(R::WannaCry), false),
-        row(C::HeavyOverwriting, Some(A::CloudStorage), Some(R::InHouseOutPlace), false),
-        row(C::HeavyOverwriting, Some(A::DataWiping), Some(R::GlobeImposter), false),
-        row(C::HeavyOverwriting, Some(A::Database), Some(R::InHouseInPlace), false),
-        row(C::IoIntensive, Some(A::IoMeter), Some(R::CryptoShield), false),
+        row(
+            C::HeavyOverwriting,
+            Some(A::CloudStorage),
+            Some(R::InHouseOutPlace),
+            false,
+        ),
+        row(
+            C::HeavyOverwriting,
+            Some(A::DataWiping),
+            Some(R::GlobeImposter),
+            false,
+        ),
+        row(
+            C::HeavyOverwriting,
+            Some(A::Database),
+            Some(R::InHouseInPlace),
+            false,
+        ),
+        row(
+            C::IoIntensive,
+            Some(A::IoMeter),
+            Some(R::CryptoShield),
+            false,
+        ),
         row(C::CpuIntensive, Some(A::Compression), Some(R::Mole), false),
         row(C::CpuIntensive, Some(A::VideoEncode), Some(R::Jaff), false),
-        row(C::NormalApp, Some(A::Install), Some(R::GlobeImposter), false),
+        row(
+            C::NormalApp,
+            Some(A::Install),
+            Some(R::GlobeImposter),
+            false,
+        ),
         row(C::NormalApp, Some(A::VideoDecode), Some(R::WannaCry), false),
         row(C::NormalApp, Some(A::OutlookSync), Some(R::Mole), false),
         row(C::NormalApp, Some(A::P2pDownload), Some(R::WannaCry), false),
-        row(C::NormalApp, Some(A::WebSurfing), Some(R::GlobeImposter), false),
+        row(
+            C::NormalApp,
+            Some(A::WebSurfing),
+            Some(R::GlobeImposter),
+            false,
+        ),
     ]
 }
 

@@ -73,7 +73,7 @@ impl Default for FileSpaceConfig {
         FileSpaceConfig {
             total_blocks: 125_000_000,
             documents: 120,
-            doc_blocks: (4, 128),    // 16 KiB – 512 KiB
+            doc_blocks: (4, 128), // 16 KiB – 512 KiB
             media: 4,
             media_blocks: (512, 2048), // 2 MiB – 8 MiB
             system: 40,
@@ -144,9 +144,30 @@ impl FileSpace {
             }
         }
 
-        place(rng, &mut cursor, config.documents, config.doc_blocks, FileKind::Document, &mut files);
-        place(rng, &mut cursor, config.media, config.media_blocks, FileKind::Media, &mut files);
-        place(rng, &mut cursor, config.system, config.system_blocks, FileKind::System, &mut files);
+        place(
+            rng,
+            &mut cursor,
+            config.documents,
+            config.doc_blocks,
+            FileKind::Document,
+            &mut files,
+        );
+        place(
+            rng,
+            &mut cursor,
+            config.media,
+            config.media_blocks,
+            FileKind::Media,
+            &mut files,
+        );
+        place(
+            rng,
+            &mut cursor,
+            config.system,
+            config.system_blocks,
+            FileKind::System,
+            &mut files,
+        );
         files.push(FileExtent {
             start: Lba::new(cursor),
             blocks: config.database_blocks,
@@ -278,7 +299,10 @@ mod tests {
         let s = space();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..20 {
-            assert_eq!(s.pick(&mut rng, FileKind::Document).kind, FileKind::Document);
+            assert_eq!(
+                s.pick(&mut rng, FileKind::Document).kind,
+                FileKind::Document
+            );
         }
     }
 

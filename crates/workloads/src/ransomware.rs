@@ -171,35 +171,69 @@ impl RansomwareModel {
                 break;
             }
             // Jitter the inter-file gap ±25 %.
-            let gap = file_gap_us + rng.random_range(0..=file_gap_us / 2)
-                - file_gap_us / 4;
+            let gap = file_gap_us + rng.random_range(0..=file_gap_us / 2) - file_gap_us / 4;
             // Spread the file's requests over a fraction of the gap.
             let reqs_for_file = 2 * file.blocks.div_ceil(self.read_chunk) as u64 + 2;
             let step = (gap / 2 / reqs_for_file).max(1);
 
             // Read the whole file in chunks (the "encrypt" phase).
-            now = emit_chunks(&mut trace, now, step, file.start, file.blocks,
-                              self.read_chunk, IoMode::Read);
+            now = emit_chunks(
+                &mut trace,
+                now,
+                step,
+                file.start,
+                file.blocks,
+                self.read_chunk,
+                IoMode::Read,
+            );
 
             // Destroy the plaintext according to class.
             match self.class {
                 OverwriteClass::InPlace => {
-                    now = emit_chunks(&mut trace, now, step, file.start, file.blocks,
-                                      self.read_chunk, IoMode::Write);
+                    now = emit_chunks(
+                        &mut trace,
+                        now,
+                        step,
+                        file.start,
+                        file.blocks,
+                        self.read_chunk,
+                        IoMode::Write,
+                    );
                 }
                 OverwriteClass::OutOfPlace => {
                     // Ciphertext copy to the free region…
-                    now = emit_chunks(&mut trace, now, step, out_cursor, file.blocks,
-                                      self.read_chunk, IoMode::Write);
+                    now = emit_chunks(
+                        &mut trace,
+                        now,
+                        step,
+                        out_cursor,
+                        file.blocks,
+                        self.read_chunk,
+                        IoMode::Write,
+                    );
                     out_cursor = out_cursor.offset(file.blocks as u64);
                     // …then a single junk overwrite pass over the original.
-                    now = emit_chunks(&mut trace, now, step, file.start, file.blocks,
-                                      self.read_chunk, IoMode::Write);
+                    now = emit_chunks(
+                        &mut trace,
+                        now,
+                        step,
+                        file.start,
+                        file.blocks,
+                        self.read_chunk,
+                        IoMode::Write,
+                    );
                 }
                 OverwriteClass::DeleteThenWrite => {
                     // Ciphertext copy to the free region…
-                    now = emit_chunks(&mut trace, now, step, out_cursor, file.blocks,
-                                      self.read_chunk, IoMode::Write);
+                    now = emit_chunks(
+                        &mut trace,
+                        now,
+                        step,
+                        out_cursor,
+                        file.blocks,
+                        self.read_chunk,
+                        IoMode::Write,
+                    );
                     out_cursor = out_cursor.offset(file.blocks as u64);
                     // …then trim the original away.
                     trace.push(IoReq::new(now, file.start, IoMode::Trim, file.blocks));
@@ -251,7 +285,9 @@ mod tests {
     fn every_kind_generates_nonempty_sorted_traces() {
         let (mut rng, space) = setup();
         for kind in RansomwareKind::ALL {
-            let trace = kind.model().generate(&mut rng, &space, SimTime::from_secs(20));
+            let trace = kind
+                .model()
+                .generate(&mut rng, &space, SimTime::from_secs(20));
             assert!(!trace.is_empty(), "{kind} produced an empty trace");
             assert!(trace.is_sorted(), "{kind} trace out of order");
         }
@@ -289,9 +325,10 @@ mod tests {
     #[test]
     fn out_of_place_writes_to_free_region_and_original() {
         let (mut rng, space) = setup();
-        let trace = RansomwareKind::WannaCry
-            .model()
-            .generate(&mut rng, &space, SimTime::from_secs(5));
+        let trace =
+            RansomwareKind::WannaCry
+                .model()
+                .generate(&mut rng, &space, SimTime::from_secs(5));
         let free = space.free_start().index();
         let wrote_free = trace
             .iter()
@@ -306,9 +343,11 @@ mod tests {
     #[test]
     fn delete_class_trims_originals() {
         let (mut rng, space) = setup();
-        let trace = RansomwareKind::InHouseOutPlace
-            .model()
-            .generate(&mut rng, &space, SimTime::from_secs(5));
+        let trace = RansomwareKind::InHouseOutPlace.model().generate(
+            &mut rng,
+            &space,
+            SimTime::from_secs(5),
+        );
         assert!(trace.iter().any(|r| r.mode == IoMode::Trim));
     }
 
@@ -316,7 +355,9 @@ mod tests {
     fn fast_families_touch_more_blocks_than_slow_ones() {
         let (mut rng, space) = setup();
         let dur = SimTime::from_secs(15);
-        let fast = RansomwareKind::WannaCry.model().generate(&mut rng, &space, dur);
+        let fast = RansomwareKind::WannaCry
+            .model()
+            .generate(&mut rng, &space, dur);
         let slow = RansomwareKind::Jaff.model().generate(&mut rng, &space, dur);
         assert!(
             fast.total_blocks() > 3 * slow.total_blocks(),

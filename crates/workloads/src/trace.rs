@@ -115,9 +115,7 @@ impl Trace {
     pub fn scalarized(&self) -> Trace {
         self.reqs
             .iter()
-            .flat_map(|r| {
-                (0..r.len as u64).map(|i| IoReq::new(r.time, r.lba.offset(i), r.mode, 1))
-            })
+            .flat_map(|r| (0..r.len as u64).map(|i| IoReq::new(r.time, r.lba.offset(i), r.mode, 1)))
             .collect()
     }
 }
@@ -170,7 +168,14 @@ mod tests {
     #[test]
     fn duration_and_blocks() {
         let t: Trace = (0..5u64)
-            .map(|i| IoReq::new(SimTime::from_secs(i), Lba::new(i), insider_detect::IoMode::Write, 2))
+            .map(|i| {
+                IoReq::new(
+                    SimTime::from_secs(i),
+                    Lba::new(i),
+                    insider_detect::IoMode::Write,
+                    2,
+                )
+            })
             .collect();
         assert_eq!(t.duration(), SimTime::from_secs(4));
         assert_eq!(t.total_blocks(), 10);

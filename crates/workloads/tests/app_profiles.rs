@@ -35,14 +35,18 @@ fn mean(xs: impl Iterator<Item = f64>) -> f64 {
 fn app_series(kind: AppKind, seed: u64) -> Vec<FeatureVector> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
-    let trace = kind.model().generate(&mut rng, &space, SimTime::from_secs(40));
+    let trace = kind
+        .model()
+        .generate(&mut rng, &space, SimTime::from_secs(40));
     series(&trace)
 }
 
 fn ransom_series(kind: RansomwareKind, seed: u64) -> Vec<FeatureVector> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let space = FileSpace::generate(&mut rng, &FileSpaceConfig::default());
-    let trace = kind.model().generate(&mut rng, &space, SimTime::from_secs(40));
+    let trace = kind
+        .model()
+        .generate(&mut rng, &space, SimTime::from_secs(40));
     series(&trace)
 }
 
@@ -50,10 +54,17 @@ fn ransom_series(kind: RansomwareKind, seed: u64) -> Vec<FeatureVector> {
 fn zero_overwrite_apps_stay_at_zero() {
     // These apps are modeled with no read-modify-write at all; a single
     // overwrite means a generator regression.
-    for kind in [AppKind::P2pDownload, AppKind::VideoDecode, AppKind::Compression] {
+    for kind in [
+        AppKind::P2pDownload,
+        AppKind::VideoDecode,
+        AppKind::Compression,
+    ] {
         let s = app_series(kind, 1);
         let owio = mean(s.iter().map(|f| f.owio));
-        assert_eq!(owio, 0.0, "{kind} must not overwrite (got mean OWIO {owio})");
+        assert_eq!(
+            owio, 0.0,
+            "{kind} must not overwrite (got mean OWIO {owio})"
+        );
     }
 }
 
@@ -131,14 +142,21 @@ fn ransomware_bands() {
 #[test]
 fn speed_ordering_matches_the_paper() {
     // Fig. 1(b)'s ordering: WannaCry/Mole fastest, CryptoShield slowest.
-    let total = |k: RansomwareKind| -> f64 {
-        ransom_series(k, 6).iter().map(|f| f.owio).sum()
-    };
+    let total = |k: RansomwareKind| -> f64 { ransom_series(k, 6).iter().map(|f| f.owio).sum() };
     let wannacry = total(RansomwareKind::WannaCry);
     let mole = total(RansomwareKind::Mole);
     let jaff = total(RansomwareKind::Jaff);
     let cryptoshield = total(RansomwareKind::CryptoShield);
-    assert!(wannacry > jaff, "WannaCry ({wannacry}) must outpace Jaff ({jaff})");
-    assert!(mole > cryptoshield, "Mole ({mole}) must outpace CryptoShield ({cryptoshield})");
-    assert!(jaff > cryptoshield, "Jaff ({jaff}) must outpace CryptoShield ({cryptoshield})");
+    assert!(
+        wannacry > jaff,
+        "WannaCry ({wannacry}) must outpace Jaff ({jaff})"
+    );
+    assert!(
+        mole > cryptoshield,
+        "Mole ({mole}) must outpace CryptoShield ({cryptoshield})"
+    );
+    assert!(
+        jaff > cryptoshield,
+        "Jaff ({jaff}) must outpace CryptoShield ({cryptoshield})"
+    );
 }

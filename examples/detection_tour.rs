@@ -35,7 +35,11 @@ fn main() {
     // 2. Train the tree and show it — small enough to read, as firmware
     //    needs it to be.
     let tree = set.train(&Id3Params::default());
-    println!("\ntrained ID3 tree ({} nodes):\n{}", tree.node_count(), tree.render());
+    println!(
+        "\ntrained ID3 tree ({} nodes):\n{}",
+        tree.node_count(),
+        tree.render()
+    );
 
     // 3. Judge an unknown family (WannaCry) slice by slice.
     let scenario = Scenario {
@@ -60,7 +64,11 @@ fn main() {
 
     println!("\nslice  vote  score  alarm  features");
     for v in &verdicts {
-        let marker = if run.label(v.slice, config.slice) { "<attack>" } else { "" };
+        let marker = if run.label(v.slice, config.slice) {
+            "<attack>"
+        } else {
+            ""
+        };
         println!(
             "{:>5}  {:>4}  {:>5}  {:>5}  {} {marker}",
             v.slice,

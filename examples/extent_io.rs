@@ -13,8 +13,8 @@
 
 use bytes::Bytes;
 use insider_detect::DecisionTree;
-use insider_nand::{Geometry, Lba, SimTime};
 use insider_fs::{FsConfig, MiniExt};
+use insider_nand::{Geometry, Lba, SimTime};
 use ssd_insider::{FsBridge, InsiderConfig, SsdInsider};
 
 fn device() -> SsdInsider {
@@ -57,13 +57,15 @@ fn main() {
 
     // --- The same extent directly against the device -------------------
     let mut ssd = device();
-    let blocks: Vec<Bytes> = (0..12u8)
-        .map(|i| Bytes::from(vec![i; 4096]))
-        .collect();
-    ssd.write_extent(Lba::new(100), &blocks, SimTime::from_secs(1)).unwrap();
-    let back = ssd.read_extent(Lba::new(100), 12, SimTime::from_secs(1)).unwrap();
+    let blocks: Vec<Bytes> = (0..12u8).map(|i| Bytes::from(vec![i; 4096])).collect();
+    ssd.write_extent(Lba::new(100), &blocks, SimTime::from_secs(1))
+        .unwrap();
+    let back = ssd
+        .read_extent(Lba::new(100), 12, SimTime::from_secs(1))
+        .unwrap();
     assert!(back.iter().enumerate().all(|(i, b)| {
-        b.as_ref().is_some_and(|b| b.as_ref() == vec![i as u8; 4096].as_slice())
+        b.as_ref()
+            .is_some_and(|b| b.as_ref() == vec![i as u8; 4096].as_slice())
     }));
 
     let t = ssd.timing();

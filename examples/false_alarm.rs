@@ -23,8 +23,12 @@ fn main() {
     );
 
     // User data, long before the wipe.
-    ssd.write(Lba::new(50), Bytes::from_static(b"keep me"), SimTime::from_secs(1))
-        .expect("write");
+    ssd.write(
+        Lba::new(50),
+        Bytes::from_static(b"keep me"),
+        SimTime::from_secs(1),
+    )
+    .expect("write");
 
     // A secure-erase tool wipes a retired scratch area: read, then
     // overwrite each block several times.
@@ -36,7 +40,7 @@ fn main() {
             }
             ssd.write(Lba::new(lba), Bytes::from_static(b"\0\0\0\0"), t)
                 .expect("write");
-            t = t + SimTime::from_millis(40);
+            t += SimTime::from_millis(40);
             if ssd.state() == DeviceState::Suspicious {
                 break 'wipe;
             }

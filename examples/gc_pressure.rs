@@ -44,7 +44,8 @@ fn run(ftl: &mut dyn Ftl) {
     }
     for i in 0..40_000u64 {
         let lba = Lba::new(rng.random_range(0..800));
-        ftl.write(lba, payload(i), SimTime::from_millis(i * 20)).unwrap();
+        ftl.write(lba, payload(i), SimTime::from_millis(i * 20))
+            .unwrap();
     }
 }
 

@@ -21,8 +21,12 @@ fn main() {
 
     // Day-to-day life: the user saves a document at t = 1 s.
     let doc = Lba::new(42);
-    ssd.write(doc, Bytes::from_static(b"my thesis draft"), SimTime::from_secs(1))
-        .expect("write failed");
+    ssd.write(
+        doc,
+        Bytes::from_static(b"my thesis draft"),
+        SimTime::from_secs(1),
+    )
+    .expect("write failed");
     println!("saved plaintext at {doc}");
 
     // Much later, ransomware reads the block and overwrites it with
@@ -33,7 +37,7 @@ fn main() {
         ssd.read(doc, t).expect("read failed");
         ssd.write(doc, Bytes::from_static(b"x9!k2..cipher.."), t)
             .expect("write failed");
-        t = t + SimTime::from_millis(250);
+        t += SimTime::from_millis(250);
         ops += 1;
     }
     let alarm = ssd.last_alarm().expect("alarm verdict");

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --release --example ransomware_attack`
 
 use insider_detect::{DecisionTree, DetectorConfig};
-use insider_ftl::FtlConfig;
 use insider_fs::{fsck, FsConfig, MiniExt};
+use insider_ftl::FtlConfig;
 use insider_nand::{Geometry, SimTime};
 use rand::{Rng, SeedableRng};
 use ssd_insider::{DeviceState, FsBridge, InsiderConfig, SsdInsider};
@@ -68,7 +68,10 @@ fn main() {
     let now = fs.dev_mut().now();
     let mut bridge = fs.into_dev();
     let started = std::time::Instant::now();
-    let report = bridge.device_mut().confirm_and_recover(now).expect("recover");
+    let report = bridge
+        .device_mut()
+        .confirm_and_recover(now)
+        .expect("recover");
     println!(
         "rollback restored {} mapping entries in {:.3} ms",
         report.restored,
@@ -87,5 +90,8 @@ fn main() {
         let content = fs.read_file(name).expect("read back");
         assert_eq!(&content, original, "{name} must be fully recovered");
     }
-    println!("all {} files verified byte-for-byte — 0% data loss", corpus.len());
+    println!(
+        "all {} files verified byte-for-byte — 0% data loss",
+        corpus.len()
+    );
 }

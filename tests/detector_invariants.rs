@@ -2,9 +2,7 @@
 //! bounds, slice monotonicity, and the definition of "overwrite" — all under
 //! arbitrary request streams.
 
-use insider_detect::{
-    DecisionTree, Detector, DetectorConfig, FeatureEngine, IoMode, IoReq,
-};
+use insider_detect::{DecisionTree, Detector, DetectorConfig, FeatureEngine, IoMode, IoReq};
 use insider_nand::{Lba, SimTime};
 use proptest::prelude::*;
 

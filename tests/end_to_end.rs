@@ -3,8 +3,8 @@
 //! across every crate in the workspace.
 
 use insider_detect::{DetectorConfig, Id3Params, TrainingSet};
-use insider_ftl::FtlConfig;
 use insider_fs::{fsck, FsConfig, MiniExt};
+use insider_ftl::FtlConfig;
 use insider_nand::{Geometry, SimTime};
 use insider_workloads::{table1, RansomwareKind, Scenario, ScenarioClass};
 use rand::{Rng, SeedableRng};
@@ -76,8 +76,7 @@ fn full_attack_rollback_fsck_cycle_recovers_every_byte() {
     let tree = quick_tree(&config);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
 
-    let insider_cfg =
-        InsiderConfig::from_parts(FtlConfig::new(device_geometry()), config);
+    let insider_cfg = InsiderConfig::from_parts(FtlConfig::new(device_geometry()), config);
     let device = SsdInsider::new(insider_cfg, tree);
     let bridge = FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(500));
     let mut fs = MiniExt::format(bridge, &FsConfig { inode_count: 128 }).unwrap();
@@ -173,7 +172,7 @@ fn device_survives_repeated_attack_recovery_cycles() {
             .write(lba, bytes::Bytes::from_static(b"keep"), t)
             .unwrap();
         // Age past the window, then attack.
-        t = t + SimTime::from_secs(20);
+        t += SimTime::from_secs(20);
         device.poll(t);
         let mut guard = 0;
         while device.state() == DeviceState::Normal {
@@ -181,7 +180,7 @@ fn device_survives_repeated_attack_recovery_cycles() {
             device
                 .write(lba, bytes::Bytes::from_static(b"junk"), t)
                 .unwrap();
-            t = t + SimTime::from_millis(200);
+            t += SimTime::from_millis(200);
             guard += 1;
             assert!(guard < 200, "round {round}: alarm never fired");
         }
@@ -192,7 +191,7 @@ fn device_survives_repeated_attack_recovery_cycles() {
             "round {round}: data must be restored"
         );
         device.reboot().unwrap();
-        t = t + SimTime::from_secs(20);
+        t += SimTime::from_secs(20);
         device.poll(t);
     }
 }

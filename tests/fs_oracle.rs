@@ -23,7 +23,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn content_for(name: u8, size: usize) -> Vec<u8> {
-    (0..size).map(|i| (i as u8).wrapping_mul(31).wrapping_add(name)).collect()
+    (0..size)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(name))
+        .collect()
 }
 
 proptest! {

@@ -58,7 +58,12 @@ fn check_model(ftl: &mut dyn Ftl, ops: &[Op]) -> Result<(), TestCaseError> {
                     .read(Lba::new(lba as u64), now)
                     .unwrap()
                     .map(|d| u16::from_le_bytes([d[0], d[1]]));
-                prop_assert_eq!(actual, model.get(&lba).copied(), "mid-run read of lba {}", lba);
+                prop_assert_eq!(
+                    actual,
+                    model.get(&lba).copied(),
+                    "mid-run read of lba {}",
+                    lba
+                );
             }
             Op::Pause { ms } => now += SimTime::from_millis(ms as u64),
         }

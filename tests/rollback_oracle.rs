@@ -10,10 +10,17 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { lba: u8, tag: u16 },
-    Trim { lba: u8 },
+    Write {
+        lba: u8,
+        tag: u16,
+    },
+    Trim {
+        lba: u8,
+    },
     /// Advance simulated time by this many milliseconds before the next op.
-    Pause { ms: u16 },
+    Pause {
+        ms: u16,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -22,7 +22,11 @@ enum Repr {
     /// Borrowed from a `'static` slice — no allocation, re-sliced in place.
     Static(&'static [u8]),
     /// Shared heap allocation with a sub-range view.
-    Shared { buf: Arc<[u8]>, start: usize, end: usize },
+    Shared {
+        buf: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Bytes {
@@ -449,7 +453,10 @@ mod tests {
         assert!(sub.is_shared(), "slice still aliases the parent");
         drop(unique);
         assert!(!sub.is_shared(), "last handle standing owns the buffer");
-        assert!(Bytes::from_static(b"s").is_shared(), "statics are never copied");
+        assert!(
+            Bytes::from_static(b"s").is_shared(),
+            "statics are never copied"
+        );
     }
 
     #[test]

@@ -136,7 +136,8 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let iters =
+            ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
 
         let start = Instant::now();
         for _ in 0..iters {
@@ -241,7 +242,11 @@ mod tests {
         group.sample_size(10);
         group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
         group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
-            b.iter_batched(|| vec![n; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![n; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
         });
         group.finish();
     }

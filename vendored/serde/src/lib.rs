@@ -52,9 +52,7 @@ impl Content {
     /// Looks up a key in a [`Content::Map`].
     pub fn get(&self, key: &str) -> Option<&Content> {
         match self {
-            Content::Map(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -350,9 +348,8 @@ pub mod __private {
     ) -> Result<T, Error> {
         match content {
             Content::Map(_) => match content.get(field_name) {
-                Some(v) => T::deserialize_content(v).map_err(|e| {
-                    Error::custom(format!("{type_name}.{field_name}: {e}"))
-                }),
+                Some(v) => T::deserialize_content(v)
+                    .map_err(|e| Error::custom(format!("{type_name}.{field_name}: {e}"))),
                 None => Err(Error::custom(format!(
                     "missing field `{field_name}` for {type_name}"
                 ))),
@@ -377,9 +374,8 @@ pub mod __private {
     ) -> Result<T, Error> {
         match content {
             Content::Map(_) => match content.get(field_name) {
-                Some(v) => T::deserialize_content(v).map_err(|e| {
-                    Error::custom(format!("{type_name}.{field_name}: {e}"))
-                }),
+                Some(v) => T::deserialize_content(v)
+                    .map_err(|e| Error::custom(format!("{type_name}.{field_name}: {e}"))),
                 None => Ok(T::default()),
             },
             other => Err(Error::custom(format!(
@@ -402,9 +398,8 @@ pub mod __private {
     ) -> Result<T, Error> {
         match content {
             Content::Seq(items) => match items.get(idx) {
-                Some(v) => T::deserialize_content(v).map_err(|e| {
-                    Error::custom(format!("{type_name}[{idx}]: {e}"))
-                }),
+                Some(v) => T::deserialize_content(v)
+                    .map_err(|e| Error::custom(format!("{type_name}[{idx}]: {e}"))),
                 None => Err(Error::custom(format!(
                     "sequence too short for {type_name}: no element {idx}"
                 ))),
@@ -422,9 +417,18 @@ mod tests {
 
     #[test]
     fn primitive_round_trips() {
-        assert_eq!(u64::deserialize_content(&7u64.serialize_content()).unwrap(), 7);
-        assert_eq!(i64::deserialize_content(&(-3i64).serialize_content()).unwrap(), -3);
-        assert_eq!(f64::deserialize_content(&1.5f64.serialize_content()).unwrap(), 1.5);
+        assert_eq!(
+            u64::deserialize_content(&7u64.serialize_content()).unwrap(),
+            7
+        );
+        assert_eq!(
+            i64::deserialize_content(&(-3i64).serialize_content()).unwrap(),
+            -3
+        );
+        assert_eq!(
+            f64::deserialize_content(&1.5f64.serialize_content()).unwrap(),
+            1.5
+        );
         assert_eq!(
             String::deserialize_content(&"hi".serialize_content()).unwrap(),
             "hi"

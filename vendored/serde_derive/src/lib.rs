@@ -34,8 +34,14 @@ struct Variant {
 }
 
 enum Input {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize` for the supported shapes.
@@ -46,7 +52,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Input::Struct { name, fields } => serialize_struct(name, fields),
         Input::Enum { name, variants } => serialize_enum(name, variants),
     };
-    code.parse().expect("serde_derive generated invalid Serialize impl")
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
 }
 
 /// Derives `serde::Deserialize` for the supported shapes.
@@ -57,7 +64,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Input::Struct { name, fields } => deserialize_struct(name, fields),
         Input::Enum { name, variants } => deserialize_enum(name, variants),
     };
-    code.parse().expect("serde_derive generated invalid Deserialize impl")
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
 }
 
 // ---------------------------------------------------------------- parsing

@@ -331,8 +331,7 @@ impl<'a> Parser<'a> {
                 } else {
                     first
                 };
-                let ch = char::from_u32(code)
-                    .ok_or_else(|| self.err("invalid unicode escape"))?;
+                let ch = char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?;
                 out.push(ch);
             }
             _ => return Err(self.err("unknown escape")),
@@ -406,7 +405,10 @@ mod tests {
         assert_eq!(to_string(&-7i64).unwrap(), "-7");
         assert_eq!(to_string("a\"b\\c\n").unwrap(), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(from_str::<u64>("42").unwrap(), 42);
-        assert_eq!(from_str::<String>("\"a\\\"b\\\\c\\n\"").unwrap(), "a\"b\\c\n");
+        assert_eq!(
+            from_str::<String>("\"a\\\"b\\\\c\\n\"").unwrap(),
+            "a\"b\\c\n"
+        );
     }
 
     #[test]
@@ -442,7 +444,10 @@ mod tests {
 
     #[test]
     fn unicode_escapes() {
-        assert_eq!(from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(), "é😀");
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            "é😀"
+        );
         let control = to_string("\u{01}").unwrap();
         assert_eq!(control, "\"\\u0001\"");
         assert_eq!(from_str::<String>(&control).unwrap(), "\u{01}");
