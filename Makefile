@@ -4,7 +4,7 @@
 #                      zero-warning clippy pass over the whole workspace.
 #   make ci          — the full offline CI gate (what .github/workflows/ci.yml
 #                      runs): tier1, rustfmt check, clippy over all targets,
-#                      bounded crash-sweep / latency / multitenant smoke runs
+#                      bounded crash-sweep / latency / multitenant / steady-state smoke runs
 #                      (env bounds below; smoke JSON goes to target/ci/, never
 #                      touching the committed artifacts), then bench_check
 #                      validating every committed BENCH_*.json schema and
@@ -28,6 +28,15 @@
 #                      namespace scaling: wall and modeled-parallel req/s,
 #                      per-shard p50/p99 dispatch latency; MT_SHARDS /
 #                      MT_WORKERS / MT_REPEATS override the sweep).
+#   make bench-steady — regenerate BENCH_steady.json (steady-state foreground
+#                      p50/p95/p99 under sustained hot churn at ~90 %
+#                      utilization: blocking GC vs incremental GC with
+#                      erase-suspend vs incremental + write pacing, identical
+#                      streams, final contents differentially verified;
+#                      STEADY_WRITES / STEADY_HOT_SPAN / STEADY_INTERARRIVAL_US
+#                      / STEADY_WINDOW_MS override the trace. Tier 1 runs the
+#                      bounded steady_smoke test instead; bench_check gates
+#                      the committed artifact's p99 ratio).
 #   make bench-latency — regenerate BENCH_latency.json (device replay of the
 #                      three traces under {copy, zero-copy} payloads ×
 #                      {in-order, out-of-order} NAND scheduling: wall-clock
@@ -57,7 +66,7 @@ CI_SWEEP_ENV = CRASH_SWEEP_STRIDE=41 CRASH_SWEEP_PAGES=160 CRASH_SWEEP_FS_POINTS
 CI_LAT_ENV = LAT_PASSES=1
 CI_MT_ENV = MT_SHARDS=1,2 MT_WORKERS=2 MT_REPEATS=2
 
-.PHONY: tier1 ci test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant bench-latency
+.PHONY: tier1 ci test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant bench-latency bench-steady
 
 tier1:
 	$(CARGO) build --release
@@ -71,6 +80,7 @@ ci: tier1
 	$(CI_SWEEP_ENV) $(CARGO) run --release -p insider-bench --bin crash_sweep
 	$(CI_LAT_ENV) $(CARGO) run --release -p insider-bench --bin bench_latency target/ci/BENCH_latency.json
 	$(CI_MT_ENV) $(CARGO) run --release -p insider-bench --bin bench_multitenant target/ci/BENCH_multitenant.json
+	$(CARGO) run --release -p insider-bench --bin bench_steady target/ci/BENCH_steady.json
 	$(CARGO) run --release -p insider-bench --bin bench_check
 
 test:
@@ -96,3 +106,6 @@ bench-multitenant:
 
 bench-latency:
 	$(CARGO) run --release -p insider-bench --bin bench_latency
+
+bench-steady:
+	$(CARGO) run --release -p insider-bench --bin bench_steady

@@ -16,6 +16,9 @@
 //!   full scan at 90 % utilization (both arms measured on the same host in
 //!   the same run, so the ratio is noise-resistant).
 //! * multitenant: the shard curve is present and strictly increasing.
+//! * steady: incremental GC + erase-suspend cuts the foreground write p99
+//!   by >= [`STEADY_P99_RATIO_MIN`]x vs blocking GC, with throughput no
+//!   worse than [`STEADY_THROUGHPUT_MIN`]x and byte-identical contents.
 //!
 //! Usage:
 //!   cargo run --release -p insider-bench --bin bench_check [-- repo_dir]
@@ -29,6 +32,8 @@ use std::path::Path;
 const DETECT_HEADLINE_MIN: f64 = 10.0;
 const GC_SPEEDUP_MIN: f64 = 5.0;
 const MOUNT_SPEEDUP_MIN: f64 = 5.0;
+const STEADY_P99_RATIO_MIN: f64 = 2.0;
+const STEADY_THROUGHPUT_MIN: f64 = 0.9;
 
 /// A check failure: file + human-readable violation.
 struct Violation(String, String);
@@ -292,17 +297,65 @@ fn check_multitenant(doc: &Value, errors: &mut Vec<Violation>) {
     }
 }
 
+fn check_steady(doc: &Value, errors: &mut Vec<Violation>) {
+    let name = "BENCH_steady.json";
+    if let Some(ratio) = need_f64(doc, "report.p99_ratio", name, errors) {
+        if ratio < STEADY_P99_RATIO_MIN {
+            errors.push(Violation(
+                name.into(),
+                format!(
+                    "incremental GC only cuts foreground p99 by {ratio:.2}x — floor is \
+                     {STEADY_P99_RATIO_MIN}x"
+                ),
+            ));
+        }
+    }
+    if let Some(tp) = need_f64(doc, "report.throughput_ratio", name, errors) {
+        if tp < STEADY_THROUGHPUT_MIN {
+            errors.push(Violation(
+                name.into(),
+                format!(
+                    "incremental GC costs too much throughput ({tp:.3} of blocking) — floor \
+                     is {STEADY_THROUGHPUT_MIN}"
+                ),
+            ));
+        }
+    }
+    for arm in ["blocking", "incremental", "paced"] {
+        need_f64(
+            doc,
+            &format!("report.{arm}.host.total.p99_ns"),
+            name,
+            errors,
+        );
+        need_f64(doc, &format!("report.{arm}.gc_pause.p99_ns"), name, errors);
+        need_f64(
+            doc,
+            &format!("report.{arm}.churn_pages_per_sec"),
+            name,
+            errors,
+        );
+    }
+    if get(doc, "report.contents_identical").and_then(as_bool) != Some(true) {
+        errors.push(Violation(
+            name.into(),
+            "final drive contents diverged between GC arms".into(),
+        ));
+    }
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let dir = Path::new(&dir);
     let mut errors = Vec::new();
 
-    let checks: [(&str, Check); 5] = [
+    let checks: [(&str, Check); 6] = [
         ("BENCH_detect.json", check_detect),
         ("BENCH_gc.json", check_gc),
         ("BENCH_latency.json", check_latency),
         ("BENCH_mount.json", check_mount),
         ("BENCH_multitenant.json", check_multitenant),
+        ("BENCH_steady.json", check_steady),
     ];
     for (name, check) in checks {
         let before = errors.len();

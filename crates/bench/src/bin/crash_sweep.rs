@@ -62,6 +62,13 @@ fn main() {
     if config.checkpoint_interval.is_none() {
         run_matrix("checkpointed", &config.checkpointed(48));
     }
+    // Third pass with the incremental GC engine and erase-suspend armed:
+    // a 1-page step budget parks a GcJob across nearly every host write,
+    // so cuts land inside half-migrated victim blocks and suspended
+    // erases — and every remount must rebuild to the same contract.
+    if !config.incremental_gc {
+        run_matrix("incremental", &config.incremental());
+    }
 
     // Filesystem scenario: probe the clean run for the crash-space size,
     // then cut at an even spread of mutation boundaries across the attack.

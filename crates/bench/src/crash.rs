@@ -67,6 +67,13 @@ pub struct SweepConfig {
     /// power *inside* checkpoint writes — and every remount must fall back
     /// (torn slot) or fast-mount (valid slot) to the same contract.
     pub checkpoint_interval: Option<u64>,
+    /// Sweeps the incremental background GC engine instead of the blocking
+    /// collector: a tiny step budget and watermark margin keep paused
+    /// `GcJob`s live across most host writes, and the out-of-order NAND
+    /// scheduler runs with erase-suspend armed — so strided cuts land
+    /// inside half-migrated victim blocks and suspended erases, and every
+    /// remount must rebuild to the same contract.
+    pub incremental_gc: bool,
 }
 
 impl SweepConfig {
@@ -77,6 +84,7 @@ impl SweepConfig {
             write_budget: 600,
             window: SimTime::from_millis(100),
             checkpoint_interval: None,
+            incremental_gc: false,
         }
     }
 
@@ -87,6 +95,7 @@ impl SweepConfig {
             write_budget: 160,
             window: SimTime::from_millis(100),
             checkpoint_interval: None,
+            incremental_gc: false,
         }
     }
 
@@ -96,6 +105,15 @@ impl SweepConfig {
     pub fn checkpointed(self, interval: u64) -> Self {
         SweepConfig {
             checkpoint_interval: Some(interval.max(1)),
+            ..self
+        }
+    }
+
+    /// The same sweep with incremental GC and erase-suspend armed (see
+    /// [`SweepConfig::incremental_gc`]).
+    pub fn incremental(self) -> Self {
+        SweepConfig {
+            incremental_gc: true,
             ..self
         }
     }
@@ -115,17 +133,29 @@ impl SweepConfig {
                 Some(n) => Some(n),
                 None => self.checkpoint_interval,
             },
+            incremental_gc: env("CRASH_SWEEP_INCREMENTAL").map_or(self.incremental_gc, |v| v != 0),
         }
     }
 
     /// The FTL configuration this sweep tests: the standard sweep config
-    /// plus this sweep's checkpoint interval (if any).
+    /// plus this sweep's checkpoint interval and GC engine selection.
     pub fn ftl_config(&self) -> FtlConfig {
-        let cfg = sweep_ftl_config(self.window);
-        match self.checkpoint_interval {
-            Some(interval) => cfg.checkpoint_interval(interval),
-            None => cfg,
+        let mut cfg = sweep_ftl_config(self.window);
+        if let Some(interval) = self.checkpoint_interval {
+            cfg = cfg.checkpoint_interval(interval);
         }
+        if self.incremental_gc {
+            // A 1-page step against 16-page blocks parks a GcJob across
+            // nearly every host write, maximizing the states a cut can
+            // land in; erase-suspend adds suspended erases to the mix.
+            cfg = cfg
+                .incremental_gc(true)
+                .gc_low_water_extra(1)
+                .gc_step_pages(1)
+                .scheduler(insider_nand::SchedMode::OutOfOrder)
+                .erase_suspend(true);
+        }
+        cfg
     }
 }
 

@@ -16,6 +16,7 @@ pub mod multitenant;
 pub mod outcome;
 pub mod replay;
 pub mod stats;
+pub mod steady;
 pub mod tablefmt;
 
 pub use crash::{
@@ -37,4 +38,5 @@ pub use replay::{
     replay_device_payload, replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry,
     sequential_trace, small_space, ReplayOutcome,
 };
+pub use steady::{run_steady, SteadyArm, SteadyArmOutcome, SteadyParams, SteadyReport};
 pub use tablefmt::render_table;

@@ -114,14 +114,29 @@ impl Console {
     }
 
     fn status(&self) -> String {
+        let ftl = self.device.ftl_stats();
+        let nand = self.device.nand_stats();
+        let pause = self.device.gc_pause_latency();
+        let (pacing_stalls, pacing_stall_ns) = self.device.pacing_stats();
         format!(
-            "state: {}  score: {}/{}  t: {}  writes: {}  WA: {:.3}",
+            "state: {}  score: {}/{}  t: {}  writes: {}  WA: {:.3}\n\
+             gc: {} collections, {} steps, {} stw fallbacks, pause p99 {:.3} ms\n\
+             tail: {} erases suspended, {} gc-stalled cmds, {} pacing stalls \
+             ({:.3} ms waited)",
             self.device.state(),
             self.device.score(),
             self.device.detector().config().window_slices,
             self.now,
-            self.device.ftl_stats().host_writes,
-            self.device.ftl_stats().write_amplification(),
+            ftl.host_writes,
+            ftl.write_amplification(),
+            ftl.gc_invocations,
+            ftl.gc_steps,
+            ftl.gc_stw_fallbacks,
+            pause.p99_ns as f64 / 1e6,
+            nand.erases_suspended,
+            nand.gc_stalled_cmds,
+            pacing_stalls,
+            pacing_stall_ns as f64 / 1e6,
         )
     }
 
@@ -382,5 +397,46 @@ mod tests {
         let s = run(&mut c, "status");
         assert!(s.contains("state: normal"));
         assert!(s.contains("5.000000s"));
+    }
+
+    #[test]
+    fn status_reports_gc_and_tail_counters() {
+        let mut c = Console::new();
+        let s = run(&mut c, "status");
+        assert!(
+            s.contains("gc: 0 collections, 0 steps, 0 stw fallbacks"),
+            "{s}"
+        );
+        assert!(s.contains("0 erases suspended"), "{s}");
+        assert!(s.contains("0 pacing stalls"), "{s}");
+
+        // A tiny drive with a short protection window: churn overwrites
+        // (ticking the clock past the window so backups expire) until the
+        // collector must run, then the counters must move.
+        let geometry = Geometry::builder()
+            .channels(1)
+            .chips_per_channel(1)
+            .blocks_per_chip(16)
+            .pages_per_block(8)
+            .page_size(64)
+            .build();
+        let ftl =
+            insider_ftl::FtlConfig::new(geometry).protection_window(SimTime::from_millis(100));
+        let detector = insider_detect::DetectorConfig::default();
+        let mut device = SsdInsider::new(
+            InsiderConfig::from_parts(ftl, detector),
+            DecisionTree::stump(0, 0.5),
+        );
+        device.set_detection(false);
+        let mut c = Console::with_device(device);
+        for round in 0..30 {
+            for lba in 0..8 {
+                run(&mut c, &format!("write {lba} v{round}"));
+            }
+            run(&mut c, "tick 1");
+        }
+        let s = run(&mut c, "status");
+        assert!(!s.contains("gc: 0 collections"), "GC never ran:\n{s}");
+        assert!(s.contains("pause p99"), "{s}");
     }
 }

@@ -65,6 +65,7 @@ mod error;
 mod events;
 mod multitenant;
 mod namespace;
+mod pacing;
 mod state;
 mod timing;
 
@@ -76,6 +77,7 @@ pub use error::DeviceError;
 pub use events::{DeviceEvent, EventLog, TaggedEvent, EVENT_CAPACITY};
 pub use multitenant::MultiTenantSsd;
 pub use namespace::{shard_geometry, NamespaceId, NamespaceLayout};
+pub use pacing::PacingBucket;
 pub use state::DeviceState;
 pub use timing::{IoTiming, TimingSummary};
 

@@ -9,7 +9,8 @@ use crate::stats::{FtlStats, GcVictim, GcVictimKind};
 use crate::{FtlError, Result};
 use bytes::Bytes;
 use insider_nand::{
-    Lba, NandDevice, NandError, OobTag, PageState, Pba, Ppa, ScanBaseline, SimTime, CKPT_SLOTS,
+    KindLatency, LatencyHistogram, Lba, NandDevice, NandError, OobTag, PageState, Pba, Ppa,
+    ScanBaseline, SimTime, CKPT_SLOTS,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
@@ -18,10 +19,15 @@ use std::time::Instant;
 /// page count (`invalid − protected`).
 ///
 /// Every closed in-service block with a non-zero reclaimable count sits in
-/// `buckets[reclaimable]`, ordered by a policy-dependent tie-break key: the
-/// raw block index for greedy (reproducing the legacy scan's
+/// `buckets[chip][reclaimable]`, ordered by a policy-dependent tie-break
+/// key: the raw block index for greedy (reproducing the legacy scan's
 /// first-strict-max order) and the block's open epoch for the age-based
-/// policies. One structure serves all three policies *exactly*:
+/// policies. Candidates are bucketed *per chip* because erased blocks
+/// refill that chip's free pool alone: programs cannot cross dies, so a
+/// globally-best victim on an already-full chip does nothing for a dry
+/// one. Selection queries one chip at a time (see
+/// [`FtlBase::select_victim`] for the dryest-chip ordering). Within a
+/// chip, one structure serves all three policies *exactly*:
 ///
 /// * **Greedy** — head of the highest non-empty bucket, O(1) amortized via
 ///   the lazily lowered `max_r` hint.
@@ -34,28 +40,41 @@ use std::time::Instant;
 ///   argmax is found by scoring one head per bucket with the same `f64`
 ///   expression the legacy scan evaluates, keeping scores bit-identical.
 ///
-/// Updates (re-filing one block) are O(log B); selection is O(1) for
-/// greedy and O(P) for the age-based policies, where P = pages per block —
-/// versus the legacy scan's O(B) with B = total blocks.
+/// Updates (re-filing one block) are O(log B); per-chip selection is O(1)
+/// for greedy and O(P) for the age-based policies, where P = pages per
+/// block — versus the legacy scan's O(B) with B = total blocks.
 #[derive(Debug)]
 struct VictimIndex {
-    buckets: Vec<BTreeSet<(u64, u32)>>,
+    /// `buckets[chip][reclaimable]` → candidates on that chip.
+    buckets: Vec<Vec<BTreeSet<(u64, u32)>>>,
     /// For indexed blocks, the `(reclaimable, key)` they are filed under.
     slot: Vec<Option<(u32, u64)>>,
-    /// Upper bound on the highest non-empty bucket, lowered lazily.
-    max_r: usize,
+    /// Per-chip upper bound on the highest non-empty bucket, lowered lazily.
+    max_r: Vec<usize>,
     /// Age-based policies key by epoch; greedy keys by block index.
     key_by_epoch: bool,
+    blocks_per_chip: u32,
 }
 
 impl VictimIndex {
-    fn new(total_blocks: usize, pages_per_block: usize, policy: GcPolicy) -> Self {
+    fn new(
+        total_blocks: usize,
+        pages_per_block: usize,
+        policy: GcPolicy,
+        blocks_per_chip: u32,
+    ) -> Self {
+        let chips = total_blocks / blocks_per_chip as usize;
         VictimIndex {
-            buckets: vec![BTreeSet::new(); pages_per_block + 1],
+            buckets: vec![vec![BTreeSet::new(); pages_per_block + 1]; chips],
             slot: vec![None; total_blocks],
-            max_r: 0,
+            max_r: vec![0; chips],
             key_by_epoch: !matches!(policy, GcPolicy::Greedy),
+            blocks_per_chip,
         }
+    }
+
+    fn chip_of(&self, raw: u32) -> usize {
+        (raw / self.blocks_per_chip) as usize
     }
 
     /// Files candidate `raw` under `reclaimable`, dropping it when zero.
@@ -66,49 +85,58 @@ impl VictimIndex {
         }
         self.remove(raw);
         if reclaimable > 0 {
-            self.buckets[reclaimable as usize].insert((key, raw));
+            let chip = self.chip_of(raw);
+            self.buckets[chip][reclaimable as usize].insert((key, raw));
             self.slot[raw as usize] = Some((reclaimable, key));
-            self.max_r = self.max_r.max(reclaimable as usize);
+            self.max_r[chip] = self.max_r[chip].max(reclaimable as usize);
         }
     }
 
     fn remove(&mut self, raw: u32) {
         if let Some((r, key)) = self.slot[raw as usize].take() {
-            self.buckets[r as usize].remove(&(key, raw));
+            let chip = self.chip_of(raw);
+            self.buckets[chip][r as usize].remove(&(key, raw));
         }
     }
 
-    /// Lowers the `max_r` hint onto the highest non-empty bucket.
-    fn settle(&mut self) {
-        while self.max_r > 0 && self.buckets[self.max_r].is_empty() {
-            self.max_r -= 1;
+    /// Lowers a chip's `max_r` hint onto its highest non-empty bucket.
+    fn settle(&mut self, chip: usize) {
+        while self.max_r[chip] > 0 && self.buckets[chip][self.max_r[chip]].is_empty() {
+            self.max_r[chip] -= 1;
         }
     }
 
-    /// Most reclaimable pages, lowest block index on ties.
-    fn best_greedy(&mut self) -> Option<u32> {
-        self.settle();
-        self.buckets[self.max_r].first().map(|&(_, raw)| raw)
+    /// Most reclaimable pages on `chip`, lowest block index on ties.
+    fn best_greedy(&mut self, chip: usize) -> Option<u32> {
+        self.settle(chip);
+        self.buckets[chip][self.max_r[chip]]
+            .first()
+            .map(|&(_, raw)| raw)
     }
 
-    /// Oldest open epoch among candidates (epochs are unique).
-    fn best_fifo(&mut self) -> Option<u32> {
-        self.settle();
-        self.buckets
+    /// Oldest open epoch among `chip`'s candidates (epochs are unique).
+    fn best_fifo(&mut self, chip: usize) -> Option<u32> {
+        self.settle(chip);
+        self.buckets[chip]
             .iter()
             .skip(1)
-            .take(self.max_r)
+            .take(self.max_r[chip])
             .filter_map(BTreeSet::first)
             .min_by_key(|&&(epoch, _)| epoch)
             .map(|&(_, raw)| raw)
     }
 
-    /// Exact cost-benefit argmax over the bucket heads, scored with the
-    /// legacy scan's expression and its lowest-block tie-break.
-    fn best_cost_benefit(&mut self, next_epoch: u64, ppb: u32) -> Option<u32> {
-        self.settle();
+    /// Exact cost-benefit argmax over `chip`'s bucket heads, scored with
+    /// the legacy scan's expression and its lowest-block tie-break.
+    fn best_cost_benefit(&mut self, chip: usize, next_epoch: u64, ppb: u32) -> Option<u32> {
+        self.settle(chip);
         let mut best: Option<(u32, f64)> = None;
-        for (r, bucket) in self.buckets.iter().enumerate().skip(1).take(self.max_r) {
+        for (r, bucket) in self.buckets[chip]
+            .iter()
+            .enumerate()
+            .skip(1)
+            .take(self.max_r[chip])
+        {
             let Some(&(epoch, raw)) = bucket.first() else {
                 continue;
             };
@@ -288,6 +316,15 @@ pub(crate) struct FtlBase {
     /// writes ping-pong to the other slot so a mid-write power cut can
     /// never destroy the fallback.
     ckpt_newest: Option<usize>,
+    /// In-flight incremental GC job, `None` at quiescence (and always
+    /// `None` on the blocking path). Dropped — not persisted — across a
+    /// power cut; the half-migrated victim is simply re-selectable.
+    gc_job: Option<GcJob>,
+    /// Per-GC-entry foreground pause histogram: the growth of the device's
+    /// parallel makespan across each GC entry (blocking drain or
+    /// incremental pump) — the device-time stall a collocated host command
+    /// would observe.
+    gc_pause_hist: LatencyHistogram,
     pub stats: FtlStats,
     config: FtlConfig,
 }
@@ -314,6 +351,28 @@ pub(crate) struct ScanPage {
 /// `(logical page, stamp, seq)` order, plus the per-block programmed-page
 /// watermarks and minimum OOB sequence numbers.
 type MountScan = (Vec<(Lba, ScanPage)>, Vec<u32>, Vec<Option<u64>>);
+
+/// A resumable garbage-collection job: one selected victim block plus a
+/// cursor over its page offsets. [`FtlBase::gc_step`] migrates pages from
+/// the cursor forward under a budget, persisting the cursor between pumps.
+/// Page migration re-reads the physical page state at execution time, so a
+/// job can be paused, resumed after arbitrary host writes, or dropped
+/// mid-block (power cut) without special cases: unmigrated offsets are
+/// re-examined fresh, migrated ones are already `Invalid`/`Free`.
+///
+/// The victim stays pinned while the job is paused — it is neither free nor
+/// active, so the host can never program into it, and victim *selection*
+/// only ever runs when no job is pending, so the selectors' indexes cannot
+/// go stale under a half-collected block.
+#[derive(Debug, Clone, Copy)]
+struct GcJob {
+    victim: Pba,
+    /// Reclaim jobs count as `gc_invocations` on completion, wear-level
+    /// jobs as `wear_level_swaps` — mirroring the blocking collector.
+    kind: GcVictimKind,
+    /// Next page offset to examine in the victim block.
+    cursor: u32,
+}
 
 impl FtlBase {
     pub fn new(config: FtlConfig) -> Self {
@@ -345,6 +404,7 @@ impl FtlBase {
                 g.total_blocks() as usize,
                 g.pages_per_block() as usize,
                 config.gc_policy_ref(),
+                g.blocks_per_chip(),
             ),
             wear: WearTracker::new(g.total_blocks()),
             victim_log: Vec::new(),
@@ -363,6 +423,8 @@ impl FtlBase {
             },
             last_ckpt_writes: 0,
             ckpt_newest: None,
+            gc_job: None,
+            gc_pause_hist: LatencyHistogram::new(),
             stats: FtlStats::new(),
             config,
         }
@@ -432,6 +494,18 @@ impl FtlBase {
             None
         } else {
             Some(self.device.latency_snapshot())
+        }
+    }
+
+    /// Latency percentiles over host-issued commands only — GC-context
+    /// work excluded (see [`Ftl::host_latency_snapshot`]).
+    ///
+    /// [`Ftl::host_latency_snapshot`]: crate::Ftl::host_latency_snapshot
+    pub fn host_latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        if self.device.sched_mode() == insider_nand::SchedMode::Legacy {
+            None
+        } else {
+            Some(self.device.host_latency_snapshot())
         }
     }
 
@@ -947,21 +1021,17 @@ impl FtlBase {
         Ok(olds)
     }
 
-    /// Runs garbage collection until the free pool is back above the reserve.
-    ///
-    /// `queue` carries the protection state for the SSD-Insider FTL: invalid
-    /// pages it protects are migrated (and their backup entries redirected)
-    /// rather than discarded. The conventional FTL passes `None`.
-    pub fn gc_if_needed(&mut self, queue: Option<&mut RecoveryQueue>) -> Result<()> {
-        self.gc_for_extent(0, queue)
-    }
-
-    /// Extent-aware garbage collection: collects until the free pool holds
-    /// the configured reserve *plus* enough whole blocks to absorb `pages`
+    /// Blocking garbage collection: collects until the free pool holds the
+    /// configured reserve *plus* enough whole blocks to absorb `pages`
     /// upcoming programs, so a batched extent write cannot run the
     /// allocator dry mid-submit the way a per-page GC check would have
-    /// caught. Scalar writes go through [`gc_if_needed`](Self::gc_if_needed)
-    /// (`pages = 0`), keeping their historical threshold.
+    /// caught. Scalar writes pass `pages = 0`, keeping their historical
+    /// threshold.
+    ///
+    /// `queue` carries the protection state for the SSD-Insider FTL:
+    /// invalid pages it protects are migrated (and their backup entries
+    /// redirected) rather than discarded. The conventional FTL passes
+    /// `None`.
     pub fn gc_for_extent(&mut self, pages: u64, queue: Option<&mut RecoveryQueue>) -> Result<()> {
         let ppb = self.config.geometry().pages_per_block() as u64;
         let need = pages.div_ceil(ppb) as usize;
@@ -973,11 +1043,237 @@ impl FtlBase {
         }
         let started = Instant::now();
         let copies_before = self.stats.gc_page_copies;
+        let pause_before = self.device.parallel_busy_ns();
+        self.device.set_gc_context(true);
         let result = self.gc_until(target, need, copies_before, queue);
+        self.device.set_gc_context(false);
+        // Blocking drains occupy the single-threaded firmware: no host
+        // command is serviced until the drain's last command lands.
+        let horizon = self.device.gc_horizon_ns();
+        self.device.stall_host_until(horizon);
         let migrated = self.stats.gc_page_copies - copies_before;
         self.stats.gc_migrations_max = self.stats.gc_migrations_max.max(migrated);
         self.stats.gc_ns += started.elapsed().as_nanos() as u64;
+        let pause = self.device.parallel_busy_ns() - pause_before;
+        if pause > 0 {
+            self.gc_pause_hist.record(pause);
+        }
         result
+    }
+
+    /// Chooses the GC path for a host write of `pages` upcoming programs:
+    /// the incremental engine ([`gc_maintain`](Self::gc_maintain)) when
+    /// `FtlConfig::incremental_gc` is on, the classic blocking collector
+    /// ([`gc_for_extent`](Self::gc_for_extent)) otherwise. Every host write
+    /// path funnels through here so the two engines are interchangeable.
+    pub fn gc_before_write(&mut self, pages: u64, queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        if self.config.incremental_gc_enabled() {
+            self.gc_maintain(pages, queue)
+        } else {
+            self.gc_for_extent(pages, queue)
+        }
+    }
+
+    /// Incremental background GC: instead of draining the whole free-block
+    /// deficit in one blocking pass, each host write pumps a bounded budget
+    /// of page migrations (`FtlConfig::gc_step_pages`, scaled up by an
+    /// urgency ramp as the pool sinks) through a resumable [`GcJob`].
+    /// Collection starts `FtlConfig::gc_low_water_extra` blocks *early* —
+    /// while the pool is still above the blocking trigger — so steady state
+    /// pays many small pauses instead of rare multi-block stalls.
+    ///
+    /// Safety valve: if the pool still reaches the hard floor (`need + 1`
+    /// blocks, the same floor the blocking collector's budget early-out
+    /// honors), the engine falls back to a stop-the-world
+    /// [`gc_until`](Self::gc_until) drain so the triggering write cannot
+    /// starve; `FtlStats::gc_stw_fallbacks` counts how often that fired.
+    pub fn gc_maintain(&mut self, pages: u64, mut queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        let ppb = self.config.geometry().pages_per_block() as u64;
+        let need = pages.div_ceil(ppb) as usize;
+        let target = self.config.gc_reserve() as usize + need;
+        let low = target + self.config.gc_low_water_extra_blocks() as usize;
+        if self.free_count >= low && self.gc_job.is_none() {
+            // Same cold-path discipline as the blocking collector: the
+            // common no-GC case returns before the timer starts.
+            return Ok(());
+        }
+        let started = Instant::now();
+        let copies_before = self.stats.gc_page_copies;
+        let pause_before = self.device.parallel_busy_ns();
+        self.device.set_gc_context(true);
+        let mut result = self.gc_pump(target, low, queue.as_deref_mut());
+        if result.is_ok() && self.free_count < need + 1 {
+            // Reserve exhausted despite the urgency ramp: blocking drain —
+            // which, like the classic collector, stalls the firmware for
+            // the host until the drain lands. Incremental steps never do.
+            self.stats.gc_stw_fallbacks += 1;
+            result = self
+                .gc_drain_job(queue.as_deref_mut())
+                .and_then(|()| self.gc_until(target, need, copies_before, queue));
+            let horizon = self.device.gc_horizon_ns();
+            self.device.stall_host_until(horizon);
+        }
+        self.device.set_gc_context(false);
+        let migrated = self.stats.gc_page_copies - copies_before;
+        self.stats.gc_migrations_max = self.stats.gc_migrations_max.max(migrated);
+        self.stats.gc_ns += started.elapsed().as_nanos() as u64;
+        let pause = self.device.parallel_busy_ns() - pause_before;
+        if pause > 0 {
+            self.gc_pause_hist.record(pause);
+        }
+        result
+    }
+
+    /// One budgeted pump of the incremental engine. The budget scales with
+    /// urgency — `gc_step_pages × (1 + deficit below the low watermark)` —
+    /// so a pool sinking toward the reserve migrates ever-larger steps and
+    /// the stop-the-world fallback stays cold under steady load. Order
+    /// within a pump mirrors [`gc_until`](Self::gc_until) exactly (reclaim
+    /// to target, wear-level once, top up), so an unbounded budget
+    /// reproduces the blocking collector's victim sequence verbatim.
+    fn gc_pump(
+        &mut self,
+        target: usize,
+        low: usize,
+        mut queue: Option<&mut RecoveryQueue>,
+    ) -> Result<()> {
+        let step = u64::from(self.config.gc_step_budget_pages());
+        let urgency = 1 + low.saturating_sub(self.free_count) as u64;
+        let mut budget = step.saturating_mul(urgency);
+        let mut leveled = false;
+        while budget > 0 {
+            if self.gc_job.is_some() {
+                budget = budget.saturating_sub(self.gc_step(budget, queue.as_deref_mut())?);
+                continue;
+            }
+            if self.free_count < target {
+                // Below the blocking trigger nothing reclaimable is the
+                // same hard error the blocking collector reports.
+                if !self.start_reclaim_job(queue.as_deref()) {
+                    return Err(FtlError::NoReclaimableSpace);
+                }
+                continue;
+            }
+            if !leveled {
+                leveled = true;
+                if let Some(victim) = self.wear_level_candidate()? {
+                    self.log_victim(GcVictimKind::WearLevel, victim);
+                    self.gc_job = Some(GcJob {
+                        victim,
+                        kind: GcVictimKind::WearLevel,
+                        cursor: 0,
+                    });
+                }
+                continue;
+            }
+            // Above target but below the low watermark: proactive top-up,
+            // stopping quietly when nothing is reclaimable.
+            if self.free_count < low && self.start_reclaim_job(queue.as_deref()) {
+                continue;
+            }
+            break;
+        }
+        Ok(())
+    }
+
+    /// Selects a reclaim victim and opens a job for it; `false` when
+    /// nothing is reclaimable. The victim is logged at selection time, so
+    /// the victim log stays comparable with the blocking collector's.
+    fn start_reclaim_job(&mut self, queue: Option<&RecoveryQueue>) -> bool {
+        debug_assert!(
+            self.gc_job.is_none(),
+            "victim selection must not run with a job pending"
+        );
+        let Some(victim) = self.select_victim(queue) else {
+            return false;
+        };
+        self.log_victim(GcVictimKind::Reclaim, victim);
+        self.gc_job = Some(GcJob {
+            victim,
+            kind: GcVictimKind::Reclaim,
+            cursor: 0,
+        });
+        true
+    }
+
+    /// Pumps the pending [`GcJob`] by up to `budget` page migrations and
+    /// returns how many it performed. Offsets needing no copy (free pages,
+    /// unprotected invalid pages) are skipped for free. Reaching the end of
+    /// the block finishes the job: the victim is erased and returned to the
+    /// free pool, or retired if worn out — the job is simply dropped, like
+    /// the blocking collector's retry-on-retirement.
+    fn gc_step(&mut self, budget: u64, mut queue: Option<&mut RecoveryQueue>) -> Result<u64> {
+        let mut job = self.gc_job.expect("gc_step requires a pending job");
+        let ppb = self.config.geometry().pages_per_block();
+        let mut migrated = 0u64;
+        self.stats.gc_steps += 1;
+        while job.cursor < ppb {
+            if migrated >= budget {
+                self.gc_job = Some(job);
+                return Ok(migrated);
+            }
+            let copies = self.stats.gc_page_copies;
+            if let Err(e) = self.migrate_page(job.victim, job.cursor, queue.as_deref_mut()) {
+                // Per-page migration is atomic; parking the cursor on the
+                // failed offset leaves it cleanly re-examinable.
+                self.gc_job = Some(job);
+                return Err(e);
+            }
+            migrated += self.stats.gc_page_copies - copies;
+            job.cursor += 1;
+        }
+        // Every offset handled: erase, close out the job.
+        self.gc_job = None;
+        match self.finish_erase(job.victim) {
+            Ok(()) => {
+                match job.kind {
+                    GcVictimKind::Reclaim => self.stats.gc_invocations += 1,
+                    GcVictimKind::WearLevel => self.stats.wear_level_swaps += 1,
+                }
+                Ok(migrated)
+            }
+            // Retirement reclaims no block, but the job is done; the pump
+            // selects another victim, mirroring `collect_once`'s retry.
+            Err(FtlError::BadBlockRetired) => Ok(migrated),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs the pending job (if any) to completion, unbudgeted — the
+    /// stop-the-world fallback and quiescence helpers use this to reach a
+    /// clean `gc_job == None` state.
+    pub fn gc_drain_job(&mut self, mut queue: Option<&mut RecoveryQueue>) -> Result<()> {
+        while self.gc_job.is_some() {
+            self.gc_step(u64::MAX, queue.as_deref_mut())?;
+        }
+        Ok(())
+    }
+
+    /// Whether an incremental GC job is currently paused mid-block.
+    pub fn gc_job_pending(&self) -> bool {
+        self.gc_job.is_some()
+    }
+
+    /// Normalized GC debt in `[0, 1]` (see [`Ftl::gc_debt`]): zero at or
+    /// above the incremental low watermark, rising linearly to `1.0` as
+    /// the free pool approaches exhaustion. Write pacing multiplies its
+    /// refill rate by `1 − debt`.
+    ///
+    /// [`Ftl::gc_debt`]: crate::Ftl::gc_debt
+    pub fn gc_debt(&self) -> f64 {
+        let low =
+            self.config.gc_reserve() as usize + self.config.gc_low_water_extra_blocks() as usize;
+        if self.free_count >= low || low <= 1 {
+            return 0.0;
+        }
+        (((low - self.free_count) as f64) / ((low - 1) as f64)).min(1.0)
+    }
+
+    /// Snapshot of the per-GC-entry foreground pause histogram (see the
+    /// `gc_pause_hist` field): how much device makespan each GC entry
+    /// inserted ahead of the foreground.
+    pub fn gc_pause_latency(&self) -> KindLatency {
+        KindLatency::from_histogram(&self.gc_pause_hist)
     }
 
     /// Collects until `target` free blocks are available, honoring the
@@ -1025,8 +1321,29 @@ impl FtlBase {
     /// block so it rejoins the hot rotation. Runs only right after GC, when
     /// the free pool has headroom for the migration.
     fn maybe_wear_level(&mut self, queue: Option<&mut RecoveryQueue>) -> Result<()> {
-        let Some(threshold) = self.config.wear_leveling_threshold() else {
+        let Some(victim) = self.wear_level_candidate()? else {
             return Ok(());
+        };
+        self.log_victim(GcVictimKind::WearLevel, victim);
+        match self.migrate_and_erase(victim, queue) {
+            Ok(()) => self.stats.wear_level_swaps += 1,
+            // The coldest block hitting its endurance limit means
+            // leveling has nothing left to do; never surface the
+            // internal retirement marker to the host write path.
+            Err(FtlError::BadBlockRetired) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    /// The coldest in-service block, when the erase-count spread exceeds
+    /// the wear-leveling threshold; `None` when leveling is off, has no
+    /// candidate, or the spread is within bounds. Shared by the blocking
+    /// and incremental wear-leveling paths; debug builds reconcile the
+    /// incremental trackers against the legacy scan on every call.
+    fn wear_level_candidate(&mut self) -> Result<Option<Pba>> {
+        let Some(threshold) = self.config.wear_leveling_threshold() else {
+            return Ok(None);
         };
         #[cfg(debug_assertions)]
         assert_eq!(
@@ -1040,20 +1357,9 @@ impl FtlBase {
             self.wear_extremes_scan()?
         };
         let Some((victim, wear, hottest)) = extremes else {
-            return Ok(());
+            return Ok(None);
         };
-        if hottest - wear > threshold {
-            self.log_victim(GcVictimKind::WearLevel, victim);
-            match self.migrate_and_erase(victim, queue) {
-                Ok(()) => self.stats.wear_level_swaps += 1,
-                // The coldest block hitting its endurance limit means
-                // leveling has nothing left to do; never surface the
-                // internal retirement marker to the host write path.
-                Err(FtlError::BadBlockRetired) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(())
+        Ok((hottest - wear > threshold).then_some(victim))
     }
 
     /// Wear-leveling extremes from the incremental erase-count trackers:
@@ -1091,9 +1397,23 @@ impl FtlBase {
 
     /// Picks the best victim under the configured policy (excluding free,
     /// active and retired-bad blocks), or `None` when nothing is
-    /// reclaimable. Dispatches to the incremental index or the legacy scan
-    /// per `FtlConfig::gc_victim_index`; debug builds run *both* selectors
-    /// on every call and assert they agree — the in-process differential
+    /// reclaimable.
+    ///
+    /// Selection is **die-balanced**: chips are tried from driest (fewest
+    /// free blocks, lowest index on ties) to wettest, and the policy picks
+    /// within the first chip that has any candidate. An erased victim
+    /// refills only its own chip's free pool — programs cannot cross dies
+    /// — so a globally-greedy pick starves every other die: hot
+    /// overwrites concentrate invalidations on the chip currently being
+    /// written, global-best victims land there too, and the allocator's
+    /// round-robin collapses onto one die (serializing the host stream
+    /// behind that die's erases). Preferring the driest chip keeps all
+    /// dies writable; on single-chip geometries the rule degenerates to
+    /// the plain global policy.
+    ///
+    /// Dispatches to the incremental index or the legacy scan per
+    /// `FtlConfig::gc_victim_index`; debug builds run *both* selectors on
+    /// every call and assert they agree — the in-process differential
     /// oracle — and reconcile the chosen block's mirrored protected count
     /// against the queue's.
     fn select_victim(&mut self, queue: Option<&RecoveryQueue>) -> Option<Pba> {
@@ -1118,16 +1438,37 @@ impl FtlBase {
         }
     }
 
-    /// Index-backed victim selection: O(1) for greedy, O(pages-per-block)
-    /// for the age-based policies.
+    /// Chips ordered driest first: ascending free-pool depth, ascending
+    /// chip index on ties. Both selectors share this ordering.
+    fn chips_driest_first(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.free.len()).collect();
+        order.sort_by_key(|&chip| (self.free[chip].len(), chip));
+        order
+    }
+
+    /// Index-backed victim selection: per candidate chip, O(1) for greedy,
+    /// O(pages-per-block) for the age-based policies. Single-chip
+    /// geometries skip the chip ordering entirely (driest-first over one
+    /// chip is the identity).
     fn select_victim_indexed(&mut self) -> Option<Pba> {
         let ppb = self.config.geometry().pages_per_block();
-        match self.config.gc_policy_ref() {
-            GcPolicy::Greedy => self.victims.best_greedy(),
-            GcPolicy::Fifo => self.victims.best_fifo(),
-            GcPolicy::CostBenefit => self.victims.best_cost_benefit(self.next_epoch, ppb),
+        let policy = self.config.gc_policy_ref();
+        let pick = |victims: &mut VictimIndex, chip: usize| match policy {
+            GcPolicy::Greedy => victims.best_greedy(chip),
+            GcPolicy::Fifo => victims.best_fifo(chip),
+            GcPolicy::CostBenefit => victims.best_cost_benefit(chip, self.next_epoch, ppb),
+        };
+        if self.free.len() == 1 {
+            return pick(&mut self.victims, 0).map(Pba::new);
         }
-        .map(Pba::new)
+        let mut order: Vec<usize> = (0..self.free.len()).collect();
+        order.sort_unstable_by_key(|&chip| (self.free[chip].len(), chip));
+        for chip in order {
+            if let Some(raw) = pick(&mut self.victims, chip) {
+                return Some(Pba::new(raw));
+            }
+        }
+        None
     }
 
     /// Legacy O(total-blocks) scan — the differential oracle for the index.
@@ -1136,8 +1477,9 @@ impl FtlBase {
     fn select_victim_scan(&self, queue: Option<&RecoveryQueue>) -> Option<Pba> {
         let g = self.config.geometry();
         let ppb = g.pages_per_block();
+        let bpc = g.blocks_per_chip();
         let policy = self.config.gc_policy_ref();
-        let mut best: Option<(Pba, f64)> = None;
+        let mut best: Vec<Option<(Pba, f64)>> = vec![None; self.free.len()];
         for raw in 0..g.total_blocks() {
             let pba = Pba::new(raw);
             if self.active_flags[raw as usize]
@@ -1166,11 +1508,15 @@ impl FtlBase {
                     reclaimable as f64 * age / cost
                 }
             };
-            if best.is_none_or(|(_, s)| score > s) {
-                best = Some((pba, score));
+            let chip = (raw / bpc) as usize;
+            if best[chip].is_none_or(|(_, s)| score > s) {
+                best[chip] = Some((pba, score));
             }
         }
-        best.map(|(pba, _)| pba)
+        self.chips_driest_first()
+            .into_iter()
+            .find_map(|chip| best[chip])
+            .map(|(pba, _)| pba)
     }
 
     /// Collects one victim. Each page is migrated *atomically* (copy,
@@ -1208,78 +1554,99 @@ impl FtlBase {
         victim: Pba,
         mut queue: Option<&mut RecoveryQueue>,
     ) -> Result<()> {
-        let g = *self.config.geometry();
-        let ppb = g.pages_per_block();
-        {
-            for off in 0..ppb {
-                let ppa = victim.page(&g, off);
-                match self.device.page_state(ppa)? {
-                    PageState::Valid => {
-                        let lba = self.rmap[ppa.index() as usize]
-                            .expect("valid page must have a reverse mapping");
-                        // Relocation moves a buffer handle, not bytes: the
-                        // read clones the stored `Bytes` (refcount bump) and
-                        // the program hands the same backing allocation to
-                        // the destination page.
-                        let data = self.device.read(ppa)?;
-                        let data = self.hop(&data);
-                        // Carry the host write stamp across the relocation;
-                        // the fresh sequence number marks the copy as newer
-                        // than its source, which is how a post-crash mount
-                        // resolves a crash between this program and the
-                        // source invalidation (newest sequence wins).
-                        let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
-                        let new = self.allocate()?;
-                        self.device
-                            .program_tagged(new, data, OobTag::live(lba, stamp))?;
-                        self.chain_note(lba, new, self.device.last_seq(), stamp, true);
-                        self.rmap[new.index() as usize] = Some(lba);
-                        self.mapping.set(lba, Some(new));
-                        self.invalidate(ppa)?;
-                        self.rmap[ppa.index() as usize] = None;
-                        self.stats.gc_page_copies += 1;
-                    }
-                    PageState::Invalid => {
-                        let protected = queue.as_ref().is_some_and(|q| q.is_protected(ppa));
-                        if protected {
-                            // Delayed deletion: the old version must survive
-                            // the erase, so copy it and redirect its backup
-                            // entry.
-                            let lba = self.rmap[ppa.index() as usize]
-                                .expect("protected page must have a reverse mapping");
-                            // Same zero-copy relocation as the valid path:
-                            // the protected old version's backing buffer is
-                            // shared into its new home, never duplicated.
-                            let data = self.device.read(ppa)?;
-                            let data = self.hop(&data);
-                            // A backup tag: the copy holds a superseded
-                            // version, so a post-crash mount must never pick
-                            // it as the current mapping — but the preserved
-                            // stamp keeps it eligible for recovery-queue
-                            // reconstruction.
-                            let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
-                            let new = self.allocate()?;
-                            self.device
-                                .program_tagged(new, data, OobTag::backup(lba, stamp))?;
-                            self.chain_note(lba, new, self.device.last_seq(), stamp, false);
-                            // The copy holds an *old* version, not live data.
-                            self.invalidate(new)?;
-                            self.rmap[new.index() as usize] = Some(lba);
-                            queue
-                                .as_mut()
-                                .expect("protection implies a queue")
-                                .relocate(ppa, new);
-                            self.note_unprotected(ppa);
-                            self.note_protected(new);
-                            self.stats.gc_page_copies += 1;
-                            self.stats.gc_protected_copies += 1;
-                        }
-                        self.rmap[ppa.index() as usize] = None;
-                    }
-                    PageState::Free => {}
-                }
-            }
+        let ppb = self.config.geometry().pages_per_block();
+        for off in 0..ppb {
+            self.migrate_page(victim, off, queue.as_deref_mut())?;
         }
+        self.finish_erase(victim)
+    }
+
+    /// Migrates (or skips) one page offset of a GC victim — the atomic unit
+    /// both the blocking collector and the incremental [`GcJob`] engine are
+    /// built from. Physical page state is re-read here at execution time,
+    /// so re-running an offset (resume after a pause, retry after an
+    /// injected fault) is always safe: an already-migrated page has become
+    /// `Invalid`-unprotected or `Free` and falls through without work.
+    fn migrate_page(
+        &mut self,
+        victim: Pba,
+        off: u32,
+        mut queue: Option<&mut RecoveryQueue>,
+    ) -> Result<()> {
+        let g = *self.config.geometry();
+        let ppa = victim.page(&g, off);
+        match self.device.page_state(ppa)? {
+            PageState::Valid => {
+                let lba = self.rmap[ppa.index() as usize]
+                    .expect("valid page must have a reverse mapping");
+                // Relocation moves a buffer handle, not bytes: the
+                // read clones the stored `Bytes` (refcount bump) and
+                // the program hands the same backing allocation to
+                // the destination page.
+                let data = self.device.read(ppa)?;
+                let data = self.hop(&data);
+                // Carry the host write stamp across the relocation;
+                // the fresh sequence number marks the copy as newer
+                // than its source, which is how a post-crash mount
+                // resolves a crash between this program and the
+                // source invalidation (newest sequence wins).
+                let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
+                let new = self.allocate()?;
+                self.device
+                    .program_tagged(new, data, OobTag::live(lba, stamp))?;
+                self.chain_note(lba, new, self.device.last_seq(), stamp, true);
+                self.rmap[new.index() as usize] = Some(lba);
+                self.mapping.set(lba, Some(new));
+                self.invalidate(ppa)?;
+                self.rmap[ppa.index() as usize] = None;
+                self.stats.gc_page_copies += 1;
+            }
+            PageState::Invalid => {
+                let protected = queue.as_ref().is_some_and(|q| q.is_protected(ppa));
+                if protected {
+                    // Delayed deletion: the old version must survive
+                    // the erase, so copy it and redirect its backup
+                    // entry.
+                    let lba = self.rmap[ppa.index() as usize]
+                        .expect("protected page must have a reverse mapping");
+                    // Same zero-copy relocation as the valid path:
+                    // the protected old version's backing buffer is
+                    // shared into its new home, never duplicated.
+                    let data = self.device.read(ppa)?;
+                    let data = self.hop(&data);
+                    // A backup tag: the copy holds a superseded
+                    // version, so a post-crash mount must never pick
+                    // it as the current mapping — but the preserved
+                    // stamp keeps it eligible for recovery-queue
+                    // reconstruction.
+                    let stamp = self.device.oob(ppa)?.map_or(SimTime::ZERO, |o| o.stamp);
+                    let new = self.allocate()?;
+                    self.device
+                        .program_tagged(new, data, OobTag::backup(lba, stamp))?;
+                    self.chain_note(lba, new, self.device.last_seq(), stamp, false);
+                    // The copy holds an *old* version, not live data.
+                    self.invalidate(new)?;
+                    self.rmap[new.index() as usize] = Some(lba);
+                    queue
+                        .as_mut()
+                        .expect("protection implies a queue")
+                        .relocate(ppa, new);
+                    self.note_unprotected(ppa);
+                    self.note_protected(new);
+                    self.stats.gc_page_copies += 1;
+                    self.stats.gc_protected_copies += 1;
+                }
+                self.rmap[ppa.index() as usize] = None;
+            }
+            PageState::Free => {}
+        }
+        Ok(())
+    }
+
+    /// Erases a fully migrated victim back into the free pool, or retires
+    /// it as *bad* when the erase hits its endurance limit (reported as
+    /// [`FtlError::BadBlockRetired`]).
+    fn finish_erase(&mut self, victim: Pba) -> Result<()> {
         // Sampled before the erase: counts only advance on success, so this
         // is the tracker's current bin either way.
         let wear_before = self.device.block(victim)?.erase_count();
@@ -1736,11 +2103,15 @@ impl FtlBase {
             total_blocks as usize,
             ppb as usize,
             self.config.gc_policy_ref(),
+            self.config.geometry().blocks_per_chip(),
         );
         self.wear = WearTracker {
             all: BTreeMap::new(),
             closed: BTreeMap::new(),
         };
+        // A half-done incremental job does not survive power loss: its
+        // victim is re-scored from physical state like every other block.
+        self.gc_job = None;
 
         // Rebuild the scan inputs — checkpoint + OOB tail when a valid
         // checkpoint exists, a full (serial or sharded) scan otherwise.
@@ -1904,7 +2275,7 @@ mod tests {
             {
                 b.invalidate(old).unwrap();
             }
-            b.gc_if_needed(None).unwrap();
+            b.gc_for_extent(0, None).unwrap();
         }
         assert!(b.stats.gc_invocations > 0);
         assert!(b.free_blocks() >= 2);
@@ -1919,7 +2290,7 @@ mod tests {
         // Interleave one cold (never overwritten) page into every block of
         // hot overwrites, so each GC victim holds live data to migrate.
         for i in 0..(16 * 16) {
-            b.gc_if_needed(None).unwrap();
+            b.gc_for_extent(0, None).unwrap();
             let (lba, data) = if i % 16 == 0 {
                 (Lba::new(100 + i / 16), Bytes::from_static(b"cold"))
             } else {
@@ -2067,7 +2438,7 @@ mod tests {
     /// Mixed hot/cold churn that forces GC with live pages on every victim.
     fn churn(b: &mut FtlBase, rounds: u64) {
         for i in 0..rounds {
-            b.gc_if_needed(None).unwrap();
+            b.gc_for_extent(0, None).unwrap();
             let (lba, data) = if i % 16 == 0 {
                 (Lba::new(100 + i / 16), Bytes::from_static(b"cold"))
             } else {
@@ -2084,7 +2455,7 @@ mod tests {
         let mut b = base();
         b.program_mapped(Lba::new(0), Bytes::from_static(b"x"), SimTime::ZERO)
             .unwrap();
-        b.gc_if_needed(None).unwrap();
+        b.gc_for_extent(0, None).unwrap();
         assert_eq!(b.stats.gc_ns, 0, "no collection, no timing noise");
         churn(&mut b, 16 * 16 * 2);
         assert!(b.stats.gc_invocations > 0);
@@ -2113,7 +2484,7 @@ mod tests {
     fn unbudgeted_gc_restores_full_reserve() {
         let mut b = base();
         churn(&mut b, 16 * 16 * 2);
-        b.gc_if_needed(None).unwrap();
+        b.gc_for_extent(0, None).unwrap();
         assert!(b.free_blocks() >= b.config().gc_reserve() as usize);
     }
 
@@ -2157,5 +2528,196 @@ mod tests {
         let (v_scan, s_scan) = run(false);
         assert_eq!(v_indexed, v_scan);
         assert_eq!(s_indexed, s_scan);
+    }
+
+    /// Hot/cold churn through the configured GC engine (blocking or
+    /// incremental, per `gc_before_write`), with enough cold (never
+    /// rewritten) pages per block that victims cost real migrations.
+    /// Returns whether a pump ever left a job paused mid-block.
+    fn churn_mixed(b: &mut FtlBase, rounds: u64) -> bool {
+        let mut saw_pending = false;
+        for i in 0..rounds {
+            b.gc_before_write(0, None).unwrap();
+            saw_pending |= b.gc_job_pending();
+            let (lba, data) = if i.is_multiple_of(2) {
+                (Lba::new(100 + i / 2 % 100), Bytes::from_static(b"cold"))
+            } else {
+                (Lba::new(0), Bytes::from_static(b"hot"))
+            };
+            if let Some(old) = b.program_mapped(lba, data, SimTime::ZERO).unwrap() {
+                b.invalidate(old).unwrap();
+            }
+        }
+        saw_pending
+    }
+
+    #[test]
+    fn incremental_degenerate_config_reproduces_blocking_exactly() {
+        // With the low watermark collapsed onto the blocking trigger and an
+        // unbounded step budget, the incremental engine must reproduce the
+        // blocking collector verbatim: same victim sequence, same stats
+        // (modulo the wall-clock timer and the step counters), same
+        // physical mapping.
+        let run = |incremental: bool| {
+            let mut cfg = FtlConfig::new(Geometry::tiny()).record_gc_victims(true);
+            if incremental {
+                cfg = cfg
+                    .incremental_gc(true)
+                    .gc_low_water_extra(0)
+                    .gc_step_pages(u32::MAX);
+            }
+            let mut b = FtlBase::new(cfg);
+            churn_mixed(&mut b, 600);
+            b
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a.gc_victims(), b.gc_victims());
+        let scrub = |mut s: FtlStats| {
+            s.gc_ns = 0;
+            s.gc_steps = 0;
+            s.gc_stw_fallbacks = 0;
+            s
+        };
+        assert_eq!(scrub(a.stats), scrub(b.stats));
+        for l in 0..a.logical_pages() {
+            assert_eq!(
+                a.mapping.get(Lba::new(l)),
+                b.mapping.get(Lba::new(l)),
+                "physical mapping diverged at logical page {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_gc_pauses_jobs_mid_block_and_preserves_data() {
+        let mut b = FtlBase::new(
+            FtlConfig::new(Geometry::tiny())
+                .incremental_gc(true)
+                .gc_low_water_extra(1)
+                .gc_step_pages(1),
+        );
+        let saw_pending = churn_mixed(&mut b, 600);
+        assert!(
+            saw_pending,
+            "a 1-page step against multi-valid-page victims must pause mid-block"
+        );
+        assert!(b.stats.gc_steps > 0);
+        assert!(b.stats.gc_invocations > 0);
+        b.gc_drain_job(None).unwrap();
+        assert!(!b.gc_job_pending());
+        // Every cold page survives GC pausing and resuming around it.
+        for k in 0..100u64 {
+            assert_eq!(
+                b.read_mapped(Lba::new(100 + k)).unwrap().unwrap().as_ref(),
+                b"cold",
+                "cold page {k} lost across paused GC jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn stw_fallback_fires_when_the_step_budget_cannot_keep_up() {
+        let mut b = FtlBase::new(
+            FtlConfig::new(Geometry::tiny())
+                .incremental_gc(true)
+                .gc_low_water_extra(0)
+                .gc_step_pages(1),
+        );
+        // Eight blocks of half-valid data: victims cost 8 migrations each,
+        // far beyond a 1-page step with a small urgency multiplier.
+        for i in 0..128u64 {
+            b.program_mapped(Lba::new(i), Bytes::from_static(b"v1"), SimTime::ZERO)
+                .unwrap();
+        }
+        for i in (0..128u64).step_by(2) {
+            let old = b
+                .program_mapped(Lba::new(i), Bytes::from_static(b"v2"), SimTime::ZERO)
+                .unwrap();
+            b.invalidate(old.expect("page was mapped")).unwrap();
+        }
+        // Demand the whole remaining pool at once: the pump cannot reach
+        // the hard floor within its budget, so the stop-the-world drain
+        // must fire and restore the full reserve.
+        let free = b.free_blocks() as u64;
+        b.gc_maintain(free * 16, None).unwrap();
+        assert_eq!(b.stats.gc_stw_fallbacks, 1);
+        assert!(!b.gc_job_pending());
+        assert!(
+            b.free_blocks() as u64 >= free + 2,
+            "blocking fallback must have restored reserve + need blocks"
+        );
+        for i in 0..128u64 {
+            let want: &[u8] = if i % 2 == 0 { b"v2" } else { b"v1" };
+            assert_eq!(b.read_mapped(Lba::new(i)).unwrap().unwrap().as_ref(), want);
+        }
+    }
+
+    #[test]
+    fn gc_debt_tracks_the_free_pool() {
+        let mut b = FtlBase::new(
+            FtlConfig::new(Geometry::tiny())
+                .incremental_gc(true)
+                .gc_low_water_extra(2),
+        );
+        assert_eq!(b.gc_debt(), 0.0);
+        let mut last = 0.0f64;
+        for i in 0..200u64 {
+            b.program_mapped(Lba::new(i), Bytes::from_static(b"x"), SimTime::ZERO)
+                .unwrap();
+            let debt = b.gc_debt();
+            assert!(
+                debt >= last,
+                "debt must not fall while the pool only drains"
+            );
+            assert!((0.0..=1.0).contains(&debt));
+            last = debt;
+        }
+        // 200 live pages leave at most 3 whole free blocks: below the
+        // low watermark of 4, so debt is strictly positive.
+        assert!(last > 0.0, "drained pool must report debt");
+    }
+
+    #[test]
+    fn gc_pause_histogram_records_collection_entries() {
+        let mut b = base();
+        assert_eq!(b.gc_pause_latency().count, 0);
+        churn_mixed(&mut b, 600);
+        let pause = b.gc_pause_latency();
+        assert!(pause.count > 0, "GC ran, so pauses must be recorded");
+        assert!(pause.max_ns > 0);
+        assert!(pause.p99_ns >= pause.p50_ns);
+        assert!(pause.max_ns >= pause.p99_ns);
+    }
+
+    #[test]
+    fn remount_drops_a_paused_gc_job() {
+        let mut b = FtlBase::new(
+            FtlConfig::new(Geometry::tiny())
+                .incremental_gc(true)
+                .gc_low_water_extra(1)
+                .gc_step_pages(1),
+        );
+        let mut i = 0u64;
+        while !b.gc_job_pending() {
+            assert!(i < 2_000, "churn never paused a job");
+            b.gc_before_write(0, None).unwrap();
+            let (lba, data) = if i.is_multiple_of(2) {
+                (Lba::new(100 + i / 2 % 100), Bytes::from_static(b"cold"))
+            } else {
+                (Lba::new(0), Bytes::from_static(b"hot"))
+            };
+            if let Some(old) = b.program_mapped(lba, data, SimTime::ZERO).unwrap() {
+                b.invalidate(old).unwrap();
+            }
+            i += 1;
+        }
+        b.remount().unwrap();
+        assert!(!b.gc_job_pending(), "a job must not survive a power cut");
+        // The half-collected victim is ordinary closed state after the
+        // rebuild; collection proceeds from scratch.
+        churn_mixed(&mut b, 64);
+        b.gc_drain_job(None).unwrap();
+        assert!(b.free_blocks() >= 2);
     }
 }

@@ -67,6 +67,11 @@ pub struct FtlConfig {
     checkpoint_interval: Option<u64>,
     mount_threads: usize,
     mount_from_checkpoint: bool,
+    incremental_gc: bool,
+    gc_low_water_extra: u32,
+    gc_step_pages: u32,
+    write_pacing_pages_per_sec: u64,
+    write_pacing_burst: u64,
 }
 
 impl FtlConfig {
@@ -93,6 +98,11 @@ impl FtlConfig {
             checkpoint_interval: None,
             mount_threads: 1,
             mount_from_checkpoint: true,
+            incremental_gc: false,
+            gc_low_water_extra: 2,
+            gc_step_pages: 4,
+            write_pacing_pages_per_sec: 0,
+            write_pacing_burst: 32,
         }
     }
 
@@ -310,6 +320,114 @@ impl FtlConfig {
         self.mount_from_checkpoint
     }
 
+    /// Switches garbage collection from stop-the-world bursts to the
+    /// incremental background engine: foreground writes pump a resumable
+    /// `GcJob` in small budgeted steps once the free pool sinks below the
+    /// low watermark (reserve + [`gc_low_water_extra`]), with an urgency
+    /// ramp and a blocking fallback at reserve exhaustion. Off by default —
+    /// the blocking path stays byte-identical to earlier behavior.
+    ///
+    /// [`gc_low_water_extra`]: Self::gc_low_water_extra
+    pub fn incremental_gc(mut self, enabled: bool) -> Self {
+        self.incremental_gc = enabled;
+        self
+    }
+
+    /// Whether the incremental GC engine is enabled.
+    pub fn incremental_gc_enabled(&self) -> bool {
+        self.incremental_gc
+    }
+
+    /// Sets how many blocks *above* the GC reserve the incremental engine
+    /// starts working in the background (the low watermark is
+    /// `gc_reserve + extra`). `0` makes incremental GC trigger exactly
+    /// where the blocking path does — the degenerate configuration the
+    /// differential oracle pins. Default 2.
+    pub fn gc_low_water_extra(mut self, extra: u32) -> Self {
+        self.gc_low_water_extra = extra;
+        self
+    }
+
+    /// Blocks above the GC reserve at which incremental GC engages.
+    pub fn gc_low_water_extra_blocks(&self) -> u32 {
+        self.gc_low_water_extra
+    }
+
+    /// Sets the base page budget of one incremental GC step (default 4).
+    /// The effective budget per foreground write grows with urgency as the
+    /// free pool sinks below the low watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn gc_step_pages(mut self, pages: u32) -> Self {
+        assert!(pages >= 1, "gc step budget must be at least one page");
+        self.gc_step_pages = pages;
+        self
+    }
+
+    /// The base incremental GC step budget, in pages.
+    pub fn gc_step_budget_pages(&self) -> u32 {
+        self.gc_step_pages
+    }
+
+    /// Enables erase-suspend/resume in the NAND scheduler: an out-of-order
+    /// read arriving while an erase is mid-pulse on its die preempts it
+    /// (never an erase of the read's own block) at the configured resume
+    /// penalty. Timing only; off by default.
+    pub fn erase_suspend(mut self, enabled: bool) -> Self {
+        self.nand = self.nand.erase_suspend(enabled);
+        self
+    }
+
+    /// Sets the erase resume penalty in nanoseconds (default 50 µs).
+    pub fn erase_resume_ns(mut self, ns: u64) -> Self {
+        self.nand = self.nand.erase_resume_ns(ns);
+        self
+    }
+
+    /// Caps how many times one erase may be suspended (default 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn max_erase_suspends(mut self, max: u32) -> Self {
+        self.nand = self.nand.max_erase_suspends(max);
+        self
+    }
+
+    /// Enables write pacing: the device-level write path drains a token
+    /// bucket refilled at `pages_per_sec` (scaled down as GC debt rises)
+    /// and stalls foreground programs once the bucket runs dry, smoothing
+    /// the latency tail instead of slamming into the reserve wall.
+    /// `0` (the default) disables pacing.
+    pub fn write_pacing(mut self, pages_per_sec: u64) -> Self {
+        self.write_pacing_pages_per_sec = pages_per_sec;
+        self
+    }
+
+    /// The pacing refill rate in pages per second (`0` = disabled).
+    pub fn write_pacing_rate(&self) -> u64 {
+        self.write_pacing_pages_per_sec
+    }
+
+    /// Sets the pacing token-bucket capacity in pages (default 32): bursts
+    /// up to this size pass unthrottled even at full debt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn write_pacing_burst(mut self, pages: u64) -> Self {
+        assert!(pages >= 1, "pacing burst must be at least one page");
+        self.write_pacing_burst = pages;
+        self
+    }
+
+    /// The pacing token-bucket capacity, in pages.
+    pub fn write_pacing_burst_pages(&self) -> u64 {
+        self.write_pacing_burst
+    }
+
     /// The NAND configuration.
     pub fn nand(&self) -> &NandConfig {
         &self.nand
@@ -488,6 +606,56 @@ mod tests {
     #[should_panic(expected = "at least one page")]
     fn zero_checkpoint_interval_panics() {
         FtlConfig::new(Geometry::tiny()).checkpoint_interval(0);
+    }
+
+    #[test]
+    fn incremental_gc_knobs_default_off_and_are_settable() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert!(!cfg.incremental_gc_enabled());
+        assert_eq!(cfg.gc_low_water_extra_blocks(), 2);
+        assert_eq!(cfg.gc_step_budget_pages(), 4);
+        let cfg = cfg
+            .incremental_gc(true)
+            .gc_low_water_extra(0)
+            .gc_step_pages(16);
+        assert!(cfg.incremental_gc_enabled());
+        assert_eq!(cfg.gc_low_water_extra_blocks(), 0);
+        assert_eq!(cfg.gc_step_budget_pages(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_gc_step_budget_panics() {
+        FtlConfig::new(Geometry::tiny()).gc_step_pages(0);
+    }
+
+    #[test]
+    fn erase_suspend_passes_through_to_nand() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert!(!cfg.nand().erase_suspend_enabled());
+        let cfg = cfg
+            .erase_suspend(true)
+            .erase_resume_ns(80_000)
+            .max_erase_suspends(2);
+        assert!(cfg.nand().erase_suspend_enabled());
+        assert_eq!(cfg.nand().erase_resume_latency_ns(), 80_000);
+        assert_eq!(cfg.nand().max_erase_suspends_limit(), 2);
+    }
+
+    #[test]
+    fn write_pacing_knobs() {
+        let cfg = FtlConfig::new(Geometry::tiny());
+        assert_eq!(cfg.write_pacing_rate(), 0);
+        assert_eq!(cfg.write_pacing_burst_pages(), 32);
+        let cfg = cfg.write_pacing(10_000).write_pacing_burst(8);
+        assert_eq!(cfg.write_pacing_rate(), 10_000);
+        assert_eq!(cfg.write_pacing_burst_pages(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_pacing_burst_panics() {
+        FtlConfig::new(Geometry::tiny()).write_pacing_burst(0);
     }
 
     #[test]

@@ -97,13 +97,34 @@ impl ConventionalFtl {
     pub fn device(&self) -> &insider_nand::NandDevice {
         &self.base.device
     }
+
+    /// Per-GC-entry foreground pause percentiles (device makespan growth
+    /// per GC entry, blocking or incremental).
+    pub fn gc_pause_latency(&self) -> insider_nand::KindLatency {
+        self.base.gc_pause_latency()
+    }
+
+    /// Whether an incremental GC job is paused mid-block.
+    pub fn gc_job_pending(&self) -> bool {
+        self.base.gc_job_pending()
+    }
+
+    /// Runs any paused incremental GC job to completion (quiescence helper
+    /// for differential oracles and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAND failures from the drained migrations.
+    pub fn gc_quiesce(&mut self) -> Result<()> {
+        self.base.gc_drain_job(None)
+    }
 }
 
 impl Ftl for ConventionalFtl {
     fn write(&mut self, lba: Lba, data: Bytes, now: SimTime) -> Result<()> {
         self.base.set_clock(now);
         self.base.check_lba(lba)?;
-        self.base.gc_if_needed(None)?;
+        self.base.gc_before_write(0, None)?;
         let old = self.base.program_mapped(lba, data, now)?;
         if let Some(old) = old {
             self.base.invalidate(old)?;
@@ -145,7 +166,7 @@ impl Ftl for ConventionalFtl {
         }
         self.base.set_clock(now);
         self.base.check_extent(lba, data.len() as u32)?;
-        self.base.gc_for_extent(data.len() as u64, None)?;
+        self.base.gc_before_write(data.len() as u64, None)?;
         self.base.program_extent_mapped(lba, data, now, None)?;
         self.base.maybe_checkpoint(now)
     }
@@ -172,6 +193,14 @@ impl Ftl for ConventionalFtl {
 
     fn latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
         self.base.latency_snapshot()
+    }
+
+    fn host_latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        self.base.host_latency_snapshot()
+    }
+
+    fn gc_debt(&self) -> f64 {
+        self.base.gc_debt()
     }
 
     fn stats(&self) -> &FtlStats {

@@ -109,6 +109,27 @@ impl InsiderFtl {
         &self.base.device
     }
 
+    /// Per-GC-entry foreground pause percentiles (device makespan growth
+    /// per GC entry, blocking or incremental).
+    pub fn gc_pause_latency(&self) -> insider_nand::KindLatency {
+        self.base.gc_pause_latency()
+    }
+
+    /// Whether an incremental GC job is paused mid-block.
+    pub fn gc_job_pending(&self) -> bool {
+        self.base.gc_job_pending()
+    }
+
+    /// Runs any paused incremental GC job to completion (quiescence helper
+    /// for differential oracles and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAND failures from the drained migrations.
+    pub fn gc_quiesce(&mut self) -> Result<()> {
+        self.base.gc_drain_job(Some(&mut self.queue))
+    }
+
     /// Whether the drive is refusing writes pending recovery.
     pub fn is_read_only(&self) -> bool {
         self.read_only
@@ -313,7 +334,7 @@ impl Ftl for InsiderFtl {
         self.base.set_clock(now);
         self.base.check_lba(lba)?;
         self.tick(now);
-        self.base.gc_if_needed(Some(&mut self.queue))?;
+        self.base.gc_before_write(0, Some(&mut self.queue))?;
         let old = self.base.program_mapped(lba, data, now)?;
         if let Some(old) = old {
             self.base.invalidate(old)?;
@@ -376,7 +397,7 @@ impl Ftl for InsiderFtl {
         self.base.check_extent(lba, data.len() as u32)?;
         self.tick(now);
         self.base
-            .gc_for_extent(data.len() as u64, Some(&mut self.queue))?;
+            .gc_before_write(data.len() as u64, Some(&mut self.queue))?;
         // The base layer finalizes mapping, invalidation and the vectorized
         // queue append page by page, so a mid-batch NAND failure leaves the
         // programmed prefix fully recoverable.
@@ -418,6 +439,14 @@ impl Ftl for InsiderFtl {
 
     fn latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
         self.base.latency_snapshot()
+    }
+
+    fn host_latency_snapshot(&self) -> Option<insider_nand::LatencySnapshot> {
+        self.base.host_latency_snapshot()
+    }
+
+    fn gc_debt(&self) -> f64 {
+        self.base.gc_debt()
     }
 
     fn stats(&self) -> &FtlStats {

@@ -49,6 +49,15 @@ pub struct FtlStats {
     /// flash-write overhead of checkpointing.
     #[serde(default)]
     pub checkpoint_pages: u64,
+    /// Budgeted pump steps executed by the incremental GC engine. Zero
+    /// for the blocking GC path.
+    #[serde(default)]
+    pub gc_steps: u64,
+    /// Times incremental GC fell back to a blocking stop-the-world drain
+    /// because the free pool hit the hard floor — the safety valve the
+    /// urgency ramp is supposed to keep cold.
+    #[serde(default)]
+    pub gc_stw_fallbacks: u64,
 }
 
 impl FtlStats {
@@ -117,7 +126,7 @@ impl std::fmt::Display for FtlStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={} ns={} max_migr={}] mounts={} ckpts={}/{}p WA={:.3}",
+            "reads={} writes={} trims={} gc[runs={} copies={} protected={} erases={} bad={} ns={} max_migr={} steps={} stw={}] mounts={} ckpts={}/{}p WA={:.3}",
             self.host_reads,
             self.host_writes,
             self.host_trims,
@@ -128,6 +137,8 @@ impl std::fmt::Display for FtlStats {
             self.bad_blocks,
             self.gc_ns,
             self.gc_migrations_max,
+            self.gc_steps,
+            self.gc_stw_fallbacks,
             self.mounts,
             self.checkpoints,
             self.checkpoint_pages,
@@ -159,6 +170,8 @@ mod tests {
             "gc[",
             "ns=",
             "max_migr=",
+            "steps=",
+            "stw=",
             "mounts=",
             "WA=",
         ] {

@@ -113,6 +113,22 @@ pub trait Ftl {
         None
     }
 
+    /// Latency percentiles over *host-issued* commands only — GC-internal
+    /// reads, programs and erases excluded. `None` for implementors without
+    /// a scheduled device (the default).
+    fn host_latency_snapshot(&self) -> Option<LatencySnapshot> {
+        None
+    }
+
+    /// Normalized garbage-collection debt in `[0, 1]`: `0.0` while the
+    /// free-block pool sits at or above the incremental-GC low watermark,
+    /// rising linearly to `1.0` as it approaches exhaustion. Write pacing
+    /// scales foreground throttling by this. The default (for FTLs without
+    /// background GC) reports no debt.
+    fn gc_debt(&self) -> f64 {
+        0.0
+    }
+
     /// FTL-level statistics (host ops, GC cost).
     fn stats(&self) -> &FtlStats;
 

@@ -28,6 +28,9 @@ pub struct NandConfig {
     sched_mode: SchedMode,
     queue_depth: usize,
     capture_commands: bool,
+    erase_suspend: bool,
+    erase_resume_ns: u64,
+    max_erase_suspends: u32,
 }
 
 impl NandConfig {
@@ -47,6 +50,11 @@ impl NandConfig {
             // NVMe-class default: one submission queue 32 deep.
             queue_depth: 32,
             capture_commands: false,
+            erase_suspend: false,
+            // Datasheet-class erase resume overhead: tens of µs to rebuild
+            // the erase pulse after a suspend window.
+            erase_resume_ns: 50_000,
+            max_erase_suspends: 3,
         }
     }
 
@@ -123,6 +131,50 @@ impl NandConfig {
     pub fn capture_commands(mut self, enabled: bool) -> Self {
         self.capture_commands = enabled;
         self
+    }
+
+    /// Enables erase-suspend/resume: in [`SchedMode::OutOfOrder`], a read
+    /// arriving while an erase is mid-pulse on its die preempts it (never
+    /// an erase of the read's own block) at the configured resume penalty.
+    /// Timing only — data application is unaffected. Off by default.
+    pub fn erase_suspend(mut self, enabled: bool) -> Self {
+        self.erase_suspend = enabled;
+        self
+    }
+
+    /// Whether erase-suspend is enabled.
+    pub fn erase_suspend_enabled(&self) -> bool {
+        self.erase_suspend
+    }
+
+    /// Sets the erase resume penalty in nanoseconds (default 50 µs): extra
+    /// die time a suspended erase pays to rebuild its pulse.
+    pub fn erase_resume_ns(mut self, ns: u64) -> Self {
+        self.erase_resume_ns = ns;
+        self
+    }
+
+    /// The configured erase resume penalty, ns.
+    pub fn erase_resume_latency_ns(&self) -> u64 {
+        self.erase_resume_ns
+    }
+
+    /// Caps how many times one erase may be suspended (default 3), so a
+    /// read-heavy burst cannot starve an erase indefinitely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero — use [`erase_suspend`](Self::erase_suspend)
+    /// to disable suspension instead.
+    pub fn max_erase_suspends(mut self, max: u32) -> Self {
+        assert!(max >= 1, "an erase must be suspendable at least once");
+        self.max_erase_suspends = max;
+        self
+    }
+
+    /// The per-erase suspend cap.
+    pub fn max_erase_suspends_limit(&self) -> u32 {
+        self.max_erase_suspends
     }
 
     /// The device geometry.
@@ -253,13 +305,16 @@ impl NandDevice {
             .collect();
         let chips = config.geometry.total_chips() as usize;
         let channels = config.geometry.channels() as usize;
-        let sched = CmdScheduler::new(
+        let mut sched = CmdScheduler::new(
             chips,
             channels,
             config.sched_mode,
             config.queue_depth,
             config.capture_commands,
         );
+        if config.erase_suspend {
+            sched = sched.with_erase_suspend(config.erase_resume_ns, config.max_erase_suspends);
+        }
         NandDevice {
             stats: NandStats::with_shape(chips, channels),
             sched,
@@ -290,8 +345,23 @@ impl NandDevice {
         let ch = pba.channel(&self.config.geometry) as usize;
         self.stats.bus_busy_ns[ch] += bus_ns;
         if self.config.sched_mode != SchedMode::Legacy {
+            let overhead_before = self.sched.suspend_overhead_ns();
             self.sched
                 .admit(kind, chip, ch, page, u64::from(pba.index()), ns, bus_ns);
+            // A suspended erase pays its resume penalty on the die of the
+            // *read* that preempted it (same die by construction); mirror
+            // that extra service time into the legacy integrals so the
+            // makespan differential oracle keeps holding.
+            let penalty = self.sched.suspend_overhead_ns() - overhead_before;
+            if penalty > 0 {
+                self.stats.die_busy_ns[chip] += penalty;
+                self.stats.busy_ns += penalty;
+                self.stats.suspend_overhead_ns += penalty;
+            }
+            self.stats.erases_suspended = self.sched.erases_suspended();
+            let (stalls, stall_ns) = self.sched.gc_stall_totals();
+            self.stats.gc_stalled_cmds = stalls;
+            self.stats.gc_stall_ns = stall_ns;
             debug_assert_eq!(
                 self.sched.die_busy_ns(),
                 &self.stats.die_busy_ns[..],
@@ -348,6 +418,26 @@ impl NandDevice {
         self.sched.snapshot()
     }
 
+    /// Latency percentiles over finalized *host-issued* commands only:
+    /// commands admitted inside the GC context
+    /// ([`set_gc_context`](Self::set_gc_context)) are excluded. This is the
+    /// foreground distribution a host observes. Empty in legacy mode.
+    pub fn host_latency_snapshot(&self) -> LatencySnapshot {
+        self.sched.host_snapshot()
+    }
+
+    /// Flags subsequent operations as GC-internal (`true`) or host-issued
+    /// (`false`, the initial state) for latency attribution. The FTL brackets
+    /// its GC work with this; data behavior is unaffected.
+    pub fn set_gc_context(&mut self, gc: bool) {
+        self.sched.set_gc_context(gc);
+    }
+
+    /// How many in-flight erases the scheduler suspended for a read.
+    pub fn erases_suspended(&self) -> u64 {
+        self.sched.erases_suspended()
+    }
+
     /// The scheduler's busy-integral makespan. Equal to
     /// [`parallel_busy_ns`](Self::parallel_busy_ns) by construction (both
     /// sum pure service time per resource); zero in legacy mode.
@@ -365,6 +455,20 @@ impl NandDevice {
     /// one queued mutation.
     pub fn reads_promoted(&self) -> u64 {
         self.sched.reads_promoted()
+    }
+
+    /// Latest completion among GC-context admissions — when the most
+    /// recent GC work fully lands on the arrays. Zero in legacy mode.
+    pub fn gc_horizon_ns(&self) -> u64 {
+        self.sched.gc_horizon_ns()
+    }
+
+    /// Stalls the firmware for the host until `ns`: host commands
+    /// submitted earlier dispatch at `ns`, with the wait counted into
+    /// their host-visible latency. A blocking GC drain calls this with
+    /// [`gc_horizon_ns`](Self::gc_horizon_ns); no-op in legacy mode.
+    pub fn stall_host_until(&mut self, ns: u64) {
+        self.sched.stall_host_until(ns);
     }
 
     /// The timing model in effect.
@@ -1455,6 +1559,41 @@ mod tests {
             d.stats().busy_ns > 0,
             "legacy busy integrals still accumulate"
         );
+    }
+
+    #[test]
+    fn erase_suspend_device_path_mirrors_integrals() {
+        // Program die service (300 µs) shorter than the bus transfer
+        // (400 µs) makes the program's completion bus-bound, so the
+        // throttled read arrival (400 µs) lands strictly inside the erase
+        // pulse that started when the die freed at 300 µs.
+        let mut d = NandDevice::new(
+            NandConfig::new(Geometry::tiny())
+                .program_latency_ns(300_000)
+                .bus_transfer_ns(400_000)
+                .queue_depth(2)
+                .erase_suspend(true),
+        );
+        d.program(Ppa::new(16), Bytes::from_static(b"x")).unwrap(); // block 1
+        d.set_gc_context(true);
+        d.erase(Pba::new(0)).unwrap();
+        d.set_gc_context(false);
+        d.read(Ppa::new(16)).unwrap(); // suspends the in-flight erase
+        assert_eq!(d.erases_suspended(), 1);
+        assert_eq!(d.stats().erases_suspended, 1);
+        assert_eq!(d.stats().suspend_overhead_ns, 50_000);
+        // The resume penalty joined both accountings (the per-admit debug
+        // asserts in `charge` already verified the vectors match).
+        assert_eq!(d.sched_makespan_ns(), d.parallel_busy_ns());
+        d.sync();
+        let all = d.latency_snapshot();
+        let host = d.host_latency_snapshot();
+        // Suspended erase: started 300 µs, read runs 400–450 µs, then
+        // 2.9 ms remaining pulse + 50 µs resume → ends at 3.4 ms.
+        assert_eq!(all.erase.max_ns, 3_400_000);
+        assert_eq!(all.erase.count, 1);
+        assert_eq!(host.erase.count, 0, "GC-context erase not a host sample");
+        assert_eq!(host.total.count, 2, "host program + read");
     }
 
     #[test]

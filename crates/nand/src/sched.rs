@@ -29,6 +29,35 @@
 //! `queue_depth` ago. Without it, a trace replayed faster than the device
 //! drains would grow queues (and reported latency) without bound.
 //!
+//! Three extensions serve tail-latency work:
+//!
+//! - **Erase-suspend/resume** ([`CmdScheduler::with_erase_suspend`]): an
+//!   out-of-order read — or a *host* program — arriving while an erase is
+//!   mid-pulse on its die may suspend it (never an erase of the command's
+//!   own block). The erase keeps the progress it made, pays a modeled
+//!   `resume_ns` penalty on top of its remaining work, and resumes behind
+//!   the preempting command; host programs may also slot in front of the
+//!   still-queued remainder. Every preemption (mid-pulse or queued) counts
+//!   against the same per-erase `max_suspends` cap, so a background erase
+//!   cannot starve under sustained foreground traffic. GC programs never
+//!   preempt — they are the background. The penalty joins the die busy
+//!   integral (`NandDevice` mirrors it into `NandStats`, so the makespan
+//!   differential assert keeps holding).
+//! - **Host/GC attribution** ([`CmdScheduler::set_gc_context`]): commands
+//!   admitted while the GC context flag is set land in the combined
+//!   histograms only; [`CmdScheduler::host_snapshot`] reports the
+//!   foreground-only distribution a host actually observes, which is the
+//!   figure steady-state benchmarks gate on.
+//! - **Firmware stall** ([`CmdScheduler::stall_host_until`]): a blocking
+//!   GC drain occupies the (single-threaded) FTL firmware, not just the
+//!   victim's die — no host command is serviced until the drain lands.
+//!   The FTL raises the stall horizon to the drain's completion
+//!   ([`CmdScheduler::gc_horizon_ns`]); host commands submitted earlier
+//!   dispatch at the horizon while their latency anchor stays at
+//!   submission, so the stall is fully host-visible. The incremental GC
+//!   engine never raises the horizon — interleaving bounded steps between
+//!   host commands is exactly its point.
+//!
 //! The scheduler is *timing only*: page contents, OOB records and error
 //! results are applied synchronously at submit, in submission order, so
 //! data-path behavior (and the crash sweep's acked-prefix durability
@@ -93,7 +122,8 @@ pub struct CmdRecord {
     pub die: usize,
     /// Global submission sequence number (issue order).
     pub submit: u64,
-    /// Arrival at the device, ns of simulated time.
+    /// Host submission instant, ns of simulated time (dispatch may slip
+    /// later under a firmware stall; latency is measured from here).
     pub arrival_ns: u64,
     /// Die service start, ns.
     pub start_ns: u64,
@@ -108,12 +138,20 @@ struct Window {
     page: u64,
     block: u64,
     submit: u64,
+    /// Host-visible submission instant — the latency anchor. Equal to
+    /// `arrival_ns` unless a firmware stall delayed dispatch.
+    submitted_ns: u64,
     arrival_ns: u64,
     start_ns: u64,
     service_ns: u64,
     /// Channel-bus completion, fixed at admission (the bus is seized in
     /// admission order); zero when the command moves no data on the bus.
     bus_done_ns: u64,
+    /// How many times this window (an erase) has been suspended.
+    suspends: u32,
+    /// Admitted outside the GC context — counts toward the host-only
+    /// latency histograms.
+    host: bool,
 }
 
 impl Window {
@@ -148,10 +186,30 @@ pub struct CmdScheduler {
     /// Completion estimates of the last `queue_depth` admissions.
     recent: VecDeque<u64>,
     reads_promoted: u64,
+    /// Erase-suspend model: `(resume_penalty_ns, max_suspends_per_erase)`;
+    /// `None` disables suspension entirely (the default).
+    erase_suspend: Option<(u64, u32)>,
+    erases_suspended: u64,
+    suspend_overhead_ns: u64,
+    /// Commands admitted while set are attributed to GC, not the host.
+    ctx_gc: bool,
+    /// Latest completion among GC-context admissions (suspend extensions
+    /// excluded — recorded at admission).
+    gc_horizon_ns: u64,
+    /// Firmware stall: host commands are not dispatched before this
+    /// instant (their latency anchor stays at submission, so the stall is
+    /// host-visible). A blocking GC drain sets it to the drain's horizon.
+    host_stall_until_ns: u64,
+    gc_stalls: u64,
+    gc_stall_ns: u64,
     read_hist: LatencyHistogram,
     program_hist: LatencyHistogram,
     erase_hist: LatencyHistogram,
     total_hist: LatencyHistogram,
+    host_read_hist: LatencyHistogram,
+    host_program_hist: LatencyHistogram,
+    host_erase_hist: LatencyHistogram,
+    host_total_hist: LatencyHistogram,
     capture: Option<Vec<CmdRecord>>,
 }
 
@@ -185,12 +243,35 @@ impl CmdScheduler {
             queue_depth,
             recent: VecDeque::new(),
             reads_promoted: 0,
+            erase_suspend: None,
+            erases_suspended: 0,
+            suspend_overhead_ns: 0,
+            ctx_gc: false,
+            gc_horizon_ns: 0,
+            host_stall_until_ns: 0,
+            gc_stalls: 0,
+            gc_stall_ns: 0,
             read_hist: LatencyHistogram::new(),
             program_hist: LatencyHistogram::new(),
             erase_hist: LatencyHistogram::new(),
             total_hist: LatencyHistogram::new(),
+            host_read_hist: LatencyHistogram::new(),
+            host_program_hist: LatencyHistogram::new(),
+            host_erase_hist: LatencyHistogram::new(),
+            host_total_hist: LatencyHistogram::new(),
             capture: capture.then(Vec::new),
         }
+    }
+
+    /// Enables erase-suspend: an out-of-order read or *host* program may
+    /// interrupt an in-flight erase on its die (never one of its own
+    /// block) at a `resume_ns` penalty; host programs may also slot in
+    /// front of the queued remainder. Each erase absorbs at most
+    /// `max_suspends` preemptions before it becomes blocking again.
+    /// Only effective in [`SchedMode::OutOfOrder`].
+    pub fn with_erase_suspend(mut self, resume_ns: u64, max_suspends: u32) -> Self {
+        self.erase_suspend = Some((resume_ns, max_suspends));
+        self
     }
 
     /// The timing model in effect.
@@ -198,11 +279,20 @@ impl CmdScheduler {
         self.mode
     }
 
+    /// Flags subsequent admissions as GC-internal (true) or host-issued
+    /// (false). GC commands are excluded from the host-only histograms.
+    pub fn set_gc_context(&mut self, gc: bool) {
+        self.ctx_gc = gc;
+    }
+
     /// Advances the device clock (monotone; earlier instants are clamped)
-    /// and finalizes every window whose service started strictly before the
-    /// new instant — a started window can no longer be displaced by a
-    /// promoted read. (Strictly: a window starting exactly *now* is still
-    /// fair game for a read arriving now.)
+    /// and finalizes every window whose service *completed* by the new
+    /// instant. Started-but-unfinished windows stay queued: a promoted
+    /// read can no longer displace them (the insertion scan treats a
+    /// started window as blocking), but an in-flight erase must remain
+    /// visible so a read arriving mid-pulse can suspend it — finalizing
+    /// at start would silently retire every suspendable erase before the
+    /// suspend check could ever see one.
     pub fn set_now(&mut self, now_ns: u64) {
         if now_ns > self.now_ns {
             self.now_ns = now_ns;
@@ -214,7 +304,7 @@ impl CmdScheduler {
 
     fn purge_started(&mut self, die: usize) {
         while let Some(w) = self.dies[die].front() {
-            if w.start_ns < self.now_ns {
+            if w.end_ns() <= self.now_ns {
                 let w = self.dies[die].pop_front().expect("front exists");
                 self.finalize(die, w);
             } else {
@@ -225,13 +315,23 @@ impl CmdScheduler {
 
     fn finalize(&mut self, die: usize, w: Window) {
         let complete = w.complete_ns();
-        let latency = complete - w.arrival_ns;
+        // Latency is anchored at host submission, so a firmware stall
+        // between submission and dispatch stays host-visible.
+        let latency = complete - w.submitted_ns;
         match w.kind {
             FaultKind::Read => self.read_hist.record(latency),
             FaultKind::Program => self.program_hist.record(latency),
             FaultKind::Erase => self.erase_hist.record(latency),
         }
         self.total_hist.record(latency);
+        if w.host {
+            match w.kind {
+                FaultKind::Read => self.host_read_hist.record(latency),
+                FaultKind::Program => self.host_program_hist.record(latency),
+                FaultKind::Erase => self.host_erase_hist.record(latency),
+            }
+            self.host_total_hist.record(latency);
+        }
         self.die_horizon_ns[die] = self.die_horizon_ns[die].max(w.end_ns());
         if let Some(log) = self.capture.as_mut() {
             log.push(CmdRecord {
@@ -240,7 +340,7 @@ impl CmdScheduler {
                 block: w.block,
                 die,
                 submit: w.submit,
-                arrival_ns: w.arrival_ns,
+                arrival_ns: w.submitted_ns,
                 start_ns: w.start_ns,
                 complete_ns: complete,
             });
@@ -281,6 +381,15 @@ impl CmdScheduler {
                 arrival_ns = arrival_ns.max(oldest);
             }
         }
+        // Firmware stall: a host command submitted during a blocking GC
+        // drain waits for the firmware, not a die — its dispatch slips to
+        // the stall horizon while its latency anchor stays at submission.
+        let submitted_ns = arrival_ns;
+        if !self.ctx_gc && self.host_stall_until_ns > arrival_ns {
+            self.gc_stalls += 1;
+            self.gc_stall_ns += self.host_stall_until_ns - arrival_ns;
+            arrival_ns = self.host_stall_until_ns;
+        }
         self.purge_started(die);
 
         // The channel bus is seized in admission order.
@@ -297,19 +406,74 @@ impl CmdScheduler {
             page,
             block,
             submit,
+            submitted_ns,
             arrival_ns,
             start_ns: 0,
             service_ns,
             bus_done_ns,
+            suspends: 0,
+            host: !self.ctx_gc,
         };
 
+        let suspend_cfg = self.erase_suspend;
+        let program_suspend_cfg =
+            if self.mode == SchedMode::OutOfOrder && kind == FaultKind::Program && !self.ctx_gc {
+                suspend_cfg
+            } else {
+                None
+            };
         let queue = &mut self.dies[die];
-        let ins = if self.mode == SchedMode::OutOfOrder && kind == FaultKind::Read {
-            // A read may jump queued windows, but never one that already
-            // started by its arrival, never another read, and never a
-            // program to the same page or an erase to its block.
+        let ins = if let Some((resume_ns, max_suspends)) = program_suspend_cfg {
+            // Erase-suspend for host programs: a foreground program stays
+            // in order behind every read and program, but may preempt an
+            // erase of another block — mid-pulse (suspend, resume penalty)
+            // or still queued (slot in front of the remainder). Each
+            // preemption spends one of the erase's `max_suspends` tokens,
+            // so a background erase bounded-starves at worst.
             let mut ins = 0;
             for (i, q) in queue.iter().enumerate() {
+                let passable = q.kind == FaultKind::Erase
+                    && q.block != block
+                    && q.suspends < max_suspends
+                    && q.end_ns() > arrival_ns;
+                if !passable {
+                    ins = i + 1;
+                }
+            }
+            for q in queue.iter_mut().skip(ins) {
+                if q.kind == FaultKind::Erase {
+                    if q.start_ns < arrival_ns {
+                        // Mid-pulse: keep progress, pay the resume penalty.
+                        q.service_ns = (q.end_ns() - arrival_ns) + resume_ns;
+                        self.erases_suspended += 1;
+                        self.suspend_overhead_ns += resume_ns;
+                        self.die_busy_ns[die] += resume_ns;
+                    }
+                    q.suspends += 1;
+                }
+            }
+            ins
+        } else if self.mode == SchedMode::OutOfOrder && kind == FaultKind::Read {
+            // A read may jump queued windows, but never one that already
+            // started by its arrival, never another read, and never a
+            // program to the same page or an erase to its block. With
+            // erase-suspend enabled, an *in-flight* erase of another block
+            // straddling this arrival is the one started window that does
+            // not block: the read preempts it mid-pulse.
+            let mut ins = 0;
+            let mut suspendable = None;
+            for (i, q) in queue.iter().enumerate() {
+                if let Some((_, max_suspends)) = suspend_cfg {
+                    if q.kind == FaultKind::Erase
+                        && q.start_ns < arrival_ns
+                        && q.end_ns() > arrival_ns
+                        && q.block != block
+                        && q.suspends < max_suspends
+                    {
+                        suspendable = Some(i);
+                        continue;
+                    }
+                }
                 let blocking = q.start_ns < arrival_ns
                     || match q.kind {
                         FaultKind::Read => true,
@@ -318,13 +482,28 @@ impl CmdScheduler {
                     };
                 if blocking {
                     ins = i + 1;
+                    suspendable = None;
                 }
+            }
+            if let Some(i) = suspendable {
+                // Suspend: the erase keeps the progress it made before the
+                // read arrived, and its remaining pulse plus the resume
+                // penalty re-chains behind the read. Arrival is untouched,
+                // so its finalized latency absorbs the interruption.
+                let (resume_ns, _) = suspend_cfg.expect("suspendable implies enabled");
+                let q = &mut queue[i];
+                q.service_ns = (q.end_ns() - arrival_ns) + resume_ns;
+                q.suspends += 1;
+                self.erases_suspended += 1;
+                self.suspend_overhead_ns += resume_ns;
+                self.die_busy_ns[die] += resume_ns;
+                ins = i;
             }
             ins
         } else {
             queue.len()
         };
-        if ins < queue.len() {
+        if ins < queue.len() && kind == FaultKind::Read {
             self.reads_promoted += 1;
         }
 
@@ -343,6 +522,9 @@ impl CmdScheduler {
             prev_end = q.end_ns();
         }
 
+        if self.ctx_gc {
+            self.gc_horizon_ns = self.gc_horizon_ns.max(complete);
+        }
         self.recent.push_back(complete);
         while self.recent.len() > self.queue_depth {
             self.recent.pop_front();
@@ -374,6 +556,19 @@ impl CmdScheduler {
             program: KindLatency::from_histogram(&self.program_hist),
             erase: KindLatency::from_histogram(&self.erase_hist),
             total: KindLatency::from_histogram(&self.total_hist),
+        }
+    }
+
+    /// Latency percentiles over finalized *host-issued* commands only —
+    /// admissions made inside the GC context
+    /// ([`set_gc_context`](Self::set_gc_context)) are excluded. This is
+    /// the foreground distribution steady-state benchmarks gate on.
+    pub fn host_snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            read: KindLatency::from_histogram(&self.host_read_hist),
+            program: KindLatency::from_histogram(&self.host_program_hist),
+            erase: KindLatency::from_histogram(&self.host_erase_hist),
+            total: KindLatency::from_histogram(&self.host_total_hist),
         }
     }
 
@@ -413,6 +608,38 @@ impl CmdScheduler {
     /// How many reads were promoted past at least one queued mutation.
     pub fn reads_promoted(&self) -> u64 {
         self.reads_promoted
+    }
+
+    /// How many times an in-flight erase was suspended by a read.
+    pub fn erases_suspended(&self) -> u64 {
+        self.erases_suspended
+    }
+
+    /// Total resume-penalty time paid by suspended erases, ns. Already
+    /// included in the die busy integrals.
+    pub fn suspend_overhead_ns(&self) -> u64 {
+        self.suspend_overhead_ns
+    }
+
+    /// Latest completion among GC-context admissions — the instant a
+    /// just-issued blocking drain fully lands on the arrays.
+    pub fn gc_horizon_ns(&self) -> u64 {
+        self.gc_horizon_ns
+    }
+
+    /// Models the firmware being busy (a blocking GC drain): host
+    /// commands submitted before `ns` are not dispatched until then,
+    /// and the wait counts toward their host-visible latency. Monotone;
+    /// earlier instants are ignored. GC-context admissions are exempt
+    /// (they *are* the drain).
+    pub fn stall_host_until(&mut self, ns: u64) {
+        self.host_stall_until_ns = self.host_stall_until_ns.max(ns);
+    }
+
+    /// How many host commands a firmware stall delayed, and the total
+    /// submission-to-dispatch time they waited, ns.
+    pub fn gc_stall_totals(&self) -> (u64, u64) {
+        (self.gc_stalls, self.gc_stall_ns)
     }
 
     /// Commands currently queued (admitted but not finalized).
@@ -526,11 +753,17 @@ mod tests {
     }
 
     #[test]
-    fn set_now_finalizes_started_windows() {
+    fn set_now_finalizes_completed_windows_only() {
         let mut s = sched(SchedMode::OutOfOrder);
         s.admit(FaultKind::Read, 0, 0, 1, 0, READ_NS, BUS_NS);
         assert_eq!(s.queued(), 1);
-        s.set_now(1); // the read started at 0 — it can no longer be displaced
+        // Started at 0 but still mid-pulse: it stays queued (an in-flight
+        // erase must remain visible to the suspend check).
+        s.set_now(1);
+        assert_eq!(s.queued(), 1);
+        assert_eq!(s.snapshot().read.count, 0);
+        // Pulse over: the clock sweep finalizes it.
+        s.set_now(BUS_NS + READ_NS + 1);
         assert_eq!(s.queued(), 0);
         assert_eq!(s.snapshot().read.count, 1);
     }
@@ -594,6 +827,153 @@ mod tests {
         // The promoted read starts before the program it overtook.
         assert!(rec[1].start_ns < rec[0].start_ns);
         assert!(s.take_captured().is_empty(), "capture log drains");
+    }
+
+    const RESUME_NS: u64 = 100_000;
+
+    /// QD-2 scheduler with erase-suspend on: the narrow queue depth lets a
+    /// read's throttled arrival land *inside* an already-started erase.
+    fn suspend_sched(max_suspends: u32) -> CmdScheduler {
+        CmdScheduler::new(4, 2, SchedMode::OutOfOrder, 2, false)
+            .with_erase_suspend(RESUME_NS, max_suspends)
+    }
+
+    /// Lands an erase on die 0 spanning [0, ERASE_NS) and returns the
+    /// completion of a read admitted at throttled arrival 1.2 ms — mid-
+    /// erase. The unrelated long program on die 1 pins the arrival.
+    fn erase_then_midpulse_read(s: &mut CmdScheduler, read_block: u64) -> u64 {
+        s.admit(FaultKind::Program, 1, 1, 100, 6, 1_200_000, 0);
+        s.admit(FaultKind::Erase, 0, 0, u64::MAX, 3, ERASE_NS, 0);
+        // QD 2: arrival = completion of the program = 1_200_000.
+        s.admit(FaultKind::Read, 0, 0, 64, read_block, READ_NS, BUS_NS)
+    }
+
+    #[test]
+    fn read_suspends_in_flight_erase() {
+        let mut s = suspend_sched(3);
+        let done = erase_then_midpulse_read(&mut s, 4);
+        // The read preempts the erase mid-pulse: service 1.2M..1.25M, bus
+        // done 1.23M — instead of waiting out the erase until 3.05M.
+        assert_eq!(done, 1_250_000);
+        assert_eq!(s.erases_suspended(), 1);
+        assert_eq!(s.suspend_overhead_ns(), RESUME_NS);
+        // Die 0 integral carries the erase + read + resume penalty.
+        assert_eq!(s.die_busy_ns()[0], ERASE_NS + READ_NS + RESUME_NS);
+        s.flush();
+        // The erase resumes behind the read: 1.8 ms of remaining pulse plus
+        // the penalty, ending (and its latency sample growing) accordingly.
+        assert_eq!(s.snapshot().erase.max_ns, 1_250_000 + 1_800_000 + RESUME_NS);
+    }
+
+    #[test]
+    fn suspend_count_is_bounded() {
+        let mut s = suspend_sched(1);
+        let first = erase_then_midpulse_read(&mut s, 4);
+        assert_eq!(first, 1_250_000);
+        // Second read arrives at 3 ms (throttled to the erase's original
+        // completion estimate) while the suspended erase now spans
+        // [1.25 ms, 3.15 ms] — but the erase is out of suspend budget, so
+        // the read waits for it.
+        let second = s.admit(FaultKind::Read, 0, 0, 65, 4, READ_NS, BUS_NS);
+        assert_eq!(second, 1_250_000 + 1_800_000 + RESUME_NS + READ_NS);
+        assert_eq!(s.erases_suspended(), 1, "budget spent — no second suspend");
+    }
+
+    #[test]
+    fn read_never_suspends_erase_of_its_block() {
+        let mut s = suspend_sched(3);
+        let done = erase_then_midpulse_read(&mut s, 3);
+        assert_eq!(done, ERASE_NS + READ_NS, "same-block read must wait");
+        assert_eq!(s.erases_suspended(), 0);
+    }
+
+    #[test]
+    fn erase_suspend_is_off_by_default() {
+        let mut s = CmdScheduler::new(4, 2, SchedMode::OutOfOrder, 2, false);
+        let done = erase_then_midpulse_read(&mut s, 4);
+        assert_eq!(done, ERASE_NS + READ_NS);
+        assert_eq!(s.erases_suspended(), 0);
+        assert_eq!(s.suspend_overhead_ns(), 0);
+    }
+
+    /// Same mid-pulse collision as [`erase_then_midpulse_read`], but the
+    /// preempting command is a host *program*.
+    fn erase_then_midpulse_program(s: &mut CmdScheduler, prog_block: u64) -> u64 {
+        s.admit(FaultKind::Program, 1, 1, 100, 6, 1_200_000, 0);
+        s.admit(FaultKind::Erase, 0, 0, u64::MAX, 3, ERASE_NS, 0);
+        s.admit(FaultKind::Program, 0, 0, 64, prog_block, PROG_NS, BUS_NS)
+    }
+
+    #[test]
+    fn host_program_suspends_in_flight_erase() {
+        let mut s = suspend_sched(3);
+        let done = erase_then_midpulse_program(&mut s, 4);
+        // The program preempts the erase mid-pulse instead of waiting out
+        // the remaining 1.8 ms of pulse.
+        assert_eq!(done, 1_200_000 + PROG_NS);
+        assert_eq!(s.erases_suspended(), 1);
+        assert_eq!(s.suspend_overhead_ns(), RESUME_NS);
+        s.flush();
+        // The erase resumes behind the program: remainder plus penalty.
+        assert_eq!(
+            s.snapshot().erase.max_ns,
+            1_200_000 + PROG_NS + 1_800_000 + RESUME_NS
+        );
+    }
+
+    #[test]
+    fn gc_program_never_suspends_an_erase() {
+        let mut s = suspend_sched(3);
+        s.admit(FaultKind::Program, 1, 1, 100, 6, 1_200_000, 0);
+        s.admit(FaultKind::Erase, 0, 0, u64::MAX, 3, ERASE_NS, 0);
+        s.set_gc_context(true);
+        let done = s.admit(FaultKind::Program, 0, 0, 64, 4, PROG_NS, BUS_NS);
+        assert_eq!(done, ERASE_NS + PROG_NS, "background program must wait");
+        assert_eq!(s.erases_suspended(), 0);
+    }
+
+    #[test]
+    fn host_program_never_suspends_erase_of_its_block() {
+        let mut s = suspend_sched(3);
+        let done = erase_then_midpulse_program(&mut s, 3);
+        assert_eq!(done, ERASE_NS + PROG_NS, "same-block program must wait");
+        assert_eq!(s.erases_suspended(), 0);
+    }
+
+    #[test]
+    fn program_preemptions_spend_the_suspend_budget() {
+        let mut s = suspend_sched(1);
+        let first = erase_then_midpulse_program(&mut s, 4);
+        assert_eq!(first, 1_200_000 + PROG_NS);
+        // The erase remainder is out of suspend tokens: the next host
+        // program queues behind it instead of displacing it again.
+        let second = s.admit(FaultKind::Program, 0, 0, 65, 4, PROG_NS, BUS_NS);
+        assert_eq!(
+            second,
+            1_200_000 + PROG_NS + 1_800_000 + RESUME_NS + PROG_NS,
+            "budget spent — the program waits for the resumed erase"
+        );
+        assert_eq!(s.erases_suspended(), 1);
+    }
+
+    #[test]
+    fn gc_context_splits_host_histograms() {
+        let mut s = sched(SchedMode::OutOfOrder);
+        s.admit(FaultKind::Program, 0, 0, 1, 0, PROG_NS, BUS_NS);
+        s.set_gc_context(true);
+        s.admit(FaultKind::Program, 1, 1, 17, 1, PROG_NS, BUS_NS);
+        s.admit(FaultKind::Erase, 1, 1, u64::MAX, 2, ERASE_NS, 0);
+        s.set_gc_context(false);
+        s.admit(FaultKind::Read, 0, 0, 2, 0, READ_NS, BUS_NS);
+        s.flush();
+        let all = s.snapshot();
+        let host = s.host_snapshot();
+        assert_eq!(all.program.count, 2);
+        assert_eq!(all.erase.count, 1);
+        assert_eq!(host.program.count, 1, "GC program excluded");
+        assert_eq!(host.erase.count, 0, "GC erase excluded");
+        assert_eq!(host.read.count, 1);
+        assert_eq!(host.total.count, 2);
     }
 
     #[test]

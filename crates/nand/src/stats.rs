@@ -39,6 +39,21 @@ pub struct NandStats {
     pub buffers_shared: u64,
     /// Programs whose payload arrived as a private copy.
     pub buffers_copied: u64,
+    /// In-flight erases suspended by a read (erase-suspend model; zero
+    /// unless `NandConfig::erase_suspend` is enabled).
+    #[serde(default)]
+    pub erases_suspended: u64,
+    /// Total resume-penalty time paid by suspended erases, ns. Already
+    /// folded into `busy_ns` and the per-die integrals.
+    #[serde(default)]
+    pub suspend_overhead_ns: u64,
+    /// Host commands a blocking-GC firmware stall delayed before
+    /// dispatch (zero unless a blocking drain ran in a scheduled mode).
+    #[serde(default)]
+    pub gc_stalled_cmds: u64,
+    /// Total submission-to-dispatch wait those commands paid, ns.
+    #[serde(default)]
+    pub gc_stall_ns: u64,
     /// Per-die busy integrals, ns (empty until sized by the device).
     pub die_busy_ns: Vec<u64>,
     /// Per-channel bus busy integrals, ns (empty until sized by the device).
@@ -160,6 +175,22 @@ impl std::fmt::Display for NandStats {
             self.buffers_shared,
             self.buffers_copied,
         )?;
+        if self.erases_suspended > 0 {
+            write!(
+                f,
+                " suspended={} suspend_overhead={:.3}ms",
+                self.erases_suspended,
+                self.suspend_overhead_ns as f64 / 1e6,
+            )?;
+        }
+        if self.gc_stalled_cmds > 0 {
+            write!(
+                f,
+                " gc_stalled={} gc_stall={:.3}ms",
+                self.gc_stalled_cmds,
+                self.gc_stall_ns as f64 / 1e6,
+            )?;
+        }
         if !self.die_busy_ns.is_empty() && self.parallel_busy_ns() > 0 {
             write!(f, "\ndie busy:")?;
             for (i, frac) in self.die_busy_fractions().iter().enumerate() {
