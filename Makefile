@@ -4,7 +4,8 @@
 #                      zero-warning clippy pass over the whole workspace.
 #   make ci          — the full offline CI gate (what .github/workflows/ci.yml
 #                      runs): tier1, rustfmt check, clippy over all targets,
-#                      bounded crash-sweep / latency / multitenant / steady-state smoke runs
+#                      bounded crash-sweep / latency / multitenant /
+#                      steady-state / ROC smoke runs
 #                      (env bounds below; smoke JSON goes to target/ci/, never
 #                      touching the committed artifacts), then bench_check
 #                      validating every committed BENCH_*.json schema and
@@ -37,6 +38,14 @@
 #                      / STEADY_WINDOW_MS override the trace. Tier 1 runs the
 #                      bounded steady_smoke test instead; bench_check gates
 #                      the committed artifact's p99 ratio).
+#   make bench-roc   — regenerate BENCH_roc.json (run-level TPR/FPR/latency
+#                      threshold sweeps for the baseline and evolved detector
+#                      variants over the three paper ransomware classes, the
+#                      four adversarial families, and the 15-app benign pool;
+#                      ROC_TRACES / ROC_PAGES bound the sweep for smoke runs.
+#                      Delete target/insider-tree-*.json or set
+#                      INSIDER_RETRAIN=1 after changing generators/trainer.
+#                      bench_check gates the committed artifact's TPR floors.)
 #   make bench-latency — regenerate BENCH_latency.json (device replay of the
 #                      three traces under {copy, zero-copy} payloads ×
 #                      {in-order, out-of-order} NAND scheduling: wall-clock
@@ -56,7 +65,8 @@
 #                        write budget, filesystem-scenario cut points.
 #   (Block buffer cache capacity is an API knob, not env:
 #    FsBridge::cached(capacity) / BlockCache::new(dev, capacity).)
-#   MT_SHARDS / MT_WORKERS / MT_REPEATS, LAT_PASSES — bench sweep bounds.
+#   MT_SHARDS / MT_WORKERS / MT_REPEATS, LAT_PASSES, ROC_TRACES / ROC_PAGES
+#                      — bench sweep bounds.
 
 CARGO ?= cargo
 
@@ -65,8 +75,9 @@ CARGO ?= cargo
 CI_SWEEP_ENV = CRASH_SWEEP_STRIDE=41 CRASH_SWEEP_PAGES=160 CRASH_SWEEP_FS_POINTS=6
 CI_LAT_ENV = LAT_PASSES=1
 CI_MT_ENV = MT_SHARDS=1,2 MT_WORKERS=2 MT_REPEATS=2
+CI_ROC_ENV = ROC_TRACES=1
 
-.PHONY: tier1 ci test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant bench-latency bench-steady
+.PHONY: tier1 ci test bench bench-json bench-gc crash-sweep bench-mount bench-multitenant bench-latency bench-roc bench-steady
 
 tier1:
 	$(CARGO) build --release
@@ -81,6 +92,7 @@ ci: tier1
 	$(CI_LAT_ENV) $(CARGO) run --release -p insider-bench --bin bench_latency target/ci/BENCH_latency.json
 	$(CI_MT_ENV) $(CARGO) run --release -p insider-bench --bin bench_multitenant target/ci/BENCH_multitenant.json
 	$(CARGO) run --release -p insider-bench --bin bench_steady target/ci/BENCH_steady.json
+	$(CI_ROC_ENV) $(CARGO) run --release -p insider-bench --bin bench_roc target/ci/BENCH_roc.json
 	$(CARGO) run --release -p insider-bench --bin bench_check
 
 test:
@@ -106,6 +118,9 @@ bench-multitenant:
 
 bench-latency:
 	$(CARGO) run --release -p insider-bench --bin bench_latency
+
+bench-roc:
+	$(CARGO) run --release -p insider-bench --bin bench_roc
 
 bench-steady:
 	$(CARGO) run --release -p insider-bench --bin bench_steady

@@ -79,6 +79,9 @@ fn bench_tree_predict(c: &mut Criterion) {
             avgwio: (i % 31) as f64,
             owslope: (i % 13) as f64,
             io: (i % 301) as f64 * 10.0,
+            went: (i % 8) as f64 * 1000.0,
+            rhew: (i % 17) as f64,
+            owburst: (i % 5) as f64 / 2.0,
         };
         samples.push(insider_detect::Sample {
             features: f,

@@ -19,6 +19,12 @@
 //! * steady: incremental GC + erase-suspend cuts the foreground write p99
 //!   by >= [`STEADY_P99_RATIO_MIN`]x vs blocking GC, with throughput no
 //!   worse than [`STEADY_THROUGHPUT_MIN`]x and byte-identical contents.
+//! * roc: the baseline detector still scores TPR >= [`ROC_PAPER_TPR_MIN`]
+//!   on every paper ransomware class within the benign FPR cap, the
+//!   evolved variant strictly beats the baseline's TPR on every
+//!   adversarial family at the same cap (reaching at least
+//!   [`ROC_ADV_EVOLVED_TPR_MIN`]), and never scores below the baseline
+//!   anywhere (it is a monotone strengthening by construction).
 //!
 //! Usage:
 //!   cargo run --release -p insider-bench --bin bench_check [-- repo_dir]
@@ -34,6 +40,17 @@ const GC_SPEEDUP_MIN: f64 = 5.0;
 const MOUNT_SPEEDUP_MIN: f64 = 5.0;
 const STEADY_P99_RATIO_MIN: f64 = 2.0;
 const STEADY_THROUGHPUT_MIN: f64 = 0.9;
+/// The paper reports FRR 0 % on known classes; anything below 1.0 means a
+/// paper-class attack escaped at every cap-compliant threshold.
+const ROC_PAPER_TPR_MIN: f64 = 1.0;
+/// Floor for the evolved variant on the adversarial families (measured
+/// 1.0; the floor leaves room for seed noise, not for a broken detector).
+const ROC_ADV_EVOLVED_TPR_MIN: f64 = 0.9;
+/// Benign false-positive-rate cap headline TPRs must be read at.
+const ROC_FPR_CAP: f64 = 0.05;
+
+const ROC_PAPER_FAMILIES: [&str; 3] = ["class-a-inplace", "class-b-outplace", "class-c-delete"];
+const ROC_ADV_FAMILIES: [&str; 4] = ["throttled", "sleep-overwrite", "mimicry", "multi-process"];
 
 /// A check failure: file + human-readable violation.
 struct Violation(String, String);
@@ -344,17 +361,123 @@ fn check_steady(doc: &Value, errors: &mut Vec<Violation>) {
     }
 }
 
+fn check_roc(doc: &Value, errors: &mut Vec<Violation>) {
+    let name = "BENCH_roc.json";
+    let Some(curves) = need_array(doc, "report.curves", name, errors) else {
+        return;
+    };
+    if need_f64(doc, "report.fpr_cap", name, errors).is_some_and(|cap| cap > ROC_FPR_CAP) {
+        errors.push(Violation(
+            name.into(),
+            format!("artifact generated with an FPR cap looser than {ROC_FPR_CAP}"),
+        ));
+    }
+
+    // Every curve carries a full, well-formed threshold sweep, and its
+    // headline threshold genuinely meets the FPR cap.
+    for (i, c) in curves.iter().enumerate() {
+        let ctx = format!("{name} curves.{i}");
+        let Some(points) = need_array(c, "points", &ctx, errors) else {
+            continue;
+        };
+        for (j, p) in points.iter().enumerate() {
+            for field in ["threshold", "tpr", "fpr"] {
+                need_f64(p, field, &format!("{ctx}.points.{j}"), errors);
+            }
+        }
+        if let Some(theta) = get(c, "threshold_at_cap").and_then(as_f64) {
+            let fpr = points
+                .iter()
+                .find(|p| get(p, "threshold").and_then(as_f64) == Some(theta))
+                .and_then(|p| get(p, "fpr"))
+                .and_then(as_f64);
+            match fpr {
+                Some(f) if f <= ROC_FPR_CAP => {}
+                _ => errors.push(Violation(
+                    name.into(),
+                    format!(
+                        "curves.{i}: headline threshold {theta} exceeds the {ROC_FPR_CAP} FPR cap"
+                    ),
+                )),
+            }
+        }
+    }
+
+    let tpr_at_cap = |family: &str, variant: &str| -> Option<f64> {
+        curves
+            .iter()
+            .find(|c| {
+                get(c, "family").and_then(as_str) == Some(family)
+                    && get(c, "variant").and_then(as_str) == Some(variant)
+            })
+            .and_then(|c| get(c, "tpr_at_cap"))
+            .and_then(as_f64)
+    };
+
+    for family in ROC_PAPER_FAMILIES.into_iter().chain(ROC_ADV_FAMILIES) {
+        let (Some(base), Some(evolved)) = (
+            tpr_at_cap(family, "baseline"),
+            tpr_at_cap(family, "evolved"),
+        ) else {
+            errors.push(Violation(
+                name.into(),
+                format!("missing baseline and/or evolved curve for `{family}`"),
+            ));
+            continue;
+        };
+        // The evolved tree is the baseline with a specialist grafted onto
+        // its benign leaves; scoring below the baseline anywhere means the
+        // composition broke.
+        if evolved < base {
+            errors.push(Violation(
+                name.into(),
+                format!("{family}: evolved TPR {evolved:.2} below baseline {base:.2}"),
+            ));
+        }
+        if ROC_PAPER_FAMILIES.contains(&family) && base < ROC_PAPER_TPR_MIN {
+            errors.push(Violation(
+                name.into(),
+                format!(
+                    "{family}: baseline TPR {base:.2} below the {ROC_PAPER_TPR_MIN} floor \
+                     within the FPR cap"
+                ),
+            ));
+        }
+        if ROC_ADV_FAMILIES.contains(&family) {
+            if evolved <= base {
+                errors.push(Violation(
+                    name.into(),
+                    format!(
+                        "{family}: evolved TPR {evolved:.2} does not beat baseline {base:.2} \
+                         at the FPR cap"
+                    ),
+                ));
+            }
+            if evolved < ROC_ADV_EVOLVED_TPR_MIN {
+                errors.push(Violation(
+                    name.into(),
+                    format!(
+                        "{family}: evolved TPR {evolved:.2} below the \
+                         {ROC_ADV_EVOLVED_TPR_MIN} floor"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let dir = Path::new(&dir);
     let mut errors = Vec::new();
 
-    let checks: [(&str, Check); 6] = [
+    let checks: [(&str, Check); 7] = [
         ("BENCH_detect.json", check_detect),
         ("BENCH_gc.json", check_gc),
         ("BENCH_latency.json", check_latency),
         ("BENCH_mount.json", check_mount),
         ("BENCH_multitenant.json", check_multitenant),
+        ("BENCH_roc.json", check_roc),
         ("BENCH_steady.json", check_steady),
     ];
     for (name, check) in checks {

@@ -1,0 +1,87 @@
+//! ROC evaluation artifact: detection quality of every detector variant
+//! against the paper-class ransomware and the adversarial families, swept
+//! over the full alarm-threshold range against a benign pool of all
+//! fifteen background applications.
+//!
+//! Usage:
+//!   cargo run --release -p insider-bench --bin bench_roc [out.json]
+//!
+//! `ROC_TRACES` (runs per workload) and `ROC_PAGES` (per-trace block
+//! budget) bound the sweep for smoke runs. Writes `BENCH_roc.json` (or the
+//! given path); `bench_check` enforces the TPR/FPR floors.
+
+use insider_bench::render_table;
+use insider_bench::roc::{run_roc, RocParams};
+use insider_detect::DetectorConfig;
+use std::time::Instant;
+
+fn main() {
+    let params = RocParams::full().from_env();
+    let config = DetectorConfig::default();
+    let started = Instant::now();
+    let report = run_roc(&params, &config);
+
+    println!(
+        "ROC sweep: {} runs/workload, {} benign runs, FPR cap {:.0}%{}",
+        report.runs_per_workload,
+        report.benign_runs,
+        report.fpr_cap * 100.0,
+        if report.block_budget > 0 {
+            format!(", {}-block budget", report.block_budget)
+        } else {
+            String::new()
+        }
+    );
+    println!();
+    let rows: Vec<Vec<String>> = report
+        .curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.family.clone(),
+                if c.adversarial {
+                    "adversarial"
+                } else {
+                    "paper"
+                }
+                .to_string(),
+                c.variant.clone(),
+                format!("{:.2}", c.tpr_at_cap),
+                c.threshold_at_cap
+                    .map_or("-".to_string(), |t| t.to_string()),
+                c.latency_at_cap_s
+                    .map_or("-".to_string(), |l| format!("{l:.1}")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "family",
+                "kind",
+                "variant",
+                "TPR@cap",
+                "threshold",
+                "latency s",
+            ],
+            &rows
+        )
+    );
+    println!("wall time: {:.2?}", started.elapsed());
+
+    let doc = serde_json::json!({
+        "benchmark": "roc_detection_quality",
+        "description": "Run-level TPR/FPR/latency threshold sweeps for every \
+            detector variant over paper-class ransomware, adversarial attack \
+            families, and a 15-app benign pool. Headline per family: best TPR \
+            at any threshold whose benign FPR stays within the cap.",
+        "report": report,
+    });
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_roc.json".into());
+    let json = serde_json::to_string(&doc).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

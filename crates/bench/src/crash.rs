@@ -650,8 +650,17 @@ pub fn fs_attack_crash(cut_after: Option<u64>) -> FsCrashOutcome {
         FtlConfig::new(fs_crash_geometry()),
         DetectorConfig::default(),
     );
-    let mut device = SsdInsider::new(config, DecisionTree::stump(0, 0.5));
-    // The stump alarms on any in-slice overwrite; keep detection off while
+    // Arm the evolved detector shape: the OWIO stump (votes in any slice
+    // with an overwrite) with an RHEW stump grafted onto its benign leaf,
+    // exactly how `train_tree_variant` composes the evolved variant. The
+    // sweep then cuts power with the entropy path live: the device stamps
+    // payload entropy on every write, the RHEW window set sits in detector
+    // DRAM, and both are volatile by design — a cut discards them and the
+    // cold-restarted detector re-accumulates evidence after the remount.
+    // Feature 7 is RHEW in `FEATURE_NAMES` order.
+    let tree = DecisionTree::stump(0, 0.5).or_graft(&DecisionTree::stump(7, 0.5));
+    let mut device = SsdInsider::new(config, tree);
+    // The tree alarms on any in-slice overwrite; keep detection off while
     // laying down the corpus (metadata updates overwrite constantly).
     device.set_detection(false);
     let bridge = FsBridge::new(device, SimTime::ZERO, SimTime::from_micros(500));

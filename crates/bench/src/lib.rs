@@ -15,6 +15,7 @@ pub mod harness;
 pub mod multitenant;
 pub mod outcome;
 pub mod replay;
+pub mod roc;
 pub mod stats;
 pub mod steady;
 pub mod tablefmt;
@@ -28,15 +29,18 @@ pub use gc::{
     gc_bench_geometry, measure_gc_cost, ChurnCursor, GcCost,
 };
 pub use harness::{
-    train_tree, train_tree_uncached, training_duration, training_samples, TRAIN_SEEDS,
+    adversarial_training_samples, train_tree, train_tree_uncached, train_tree_variant,
+    train_tree_variant_uncached, training_duration, training_samples, ADV_TRAIN_SEEDS, TRAIN_SEEDS,
 };
 pub use multitenant::{replay_multitenant, tenant_trace, tile_trace, MultiTenantRun, ShardMetrics};
 pub use outcome::RunOutcome;
 pub use replay::feature_series;
 pub use replay::{
-    prefill_ftl, random_trace, ransomware_mix_trace, replay_detector, replay_device,
-    replay_device_payload, replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry,
-    sequential_trace, small_space, ReplayOutcome,
+    prefill_ftl, random_trace, random_trace_seeded, ransomware_mix_trace,
+    ransomware_mix_trace_seeded, replay_detector, replay_device, replay_device_payload,
+    replay_device_scalar, replay_ftl, replay_ftl_scalar, replay_geometry, sequential_trace,
+    small_space, ReplayOutcome,
 };
+pub use roc::{run_roc, FamilyCurve, RocParams, RocPoint, RocReport, PAPER_CLASSES};
 pub use steady::{run_steady, SteadyArm, SteadyArmOutcome, SteadyParams, SteadyReport};
 pub use tablefmt::render_table;

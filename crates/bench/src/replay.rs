@@ -63,8 +63,15 @@ pub fn sequential_trace() -> Trace {
 }
 
 /// Random mixed I/O: short variable-length extents, reads/writes/trims.
+/// Fixed seed `0xBE7C`; see [`random_trace_seeded`] for the generator.
 pub fn random_trace() -> Trace {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
+    random_trace_seeded(0xBE7C)
+}
+
+/// [`random_trace`] from an explicit seed. The committed benchmark
+/// artifacts and the byte-stability test pin the `0xBE7C` stream.
+pub fn random_trace_seeded(seed: u64) -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut trace = Trace::new();
     for i in 0..40_000u64 {
         let t = SimTime::from_micros(i * 1_000);
@@ -81,9 +88,16 @@ pub fn random_trace() -> Trace {
 }
 
 /// Ransomware (Mole) mixed with cloud-storage background traffic — the
-/// realistic detection workload.
+/// realistic detection workload. Fixed seed `0x5EED`; see
+/// [`ransomware_mix_trace_seeded`] for the generator.
 pub fn ransomware_mix_trace() -> Trace {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    ransomware_mix_trace_seeded(0x5EED)
+}
+
+/// [`ransomware_mix_trace`] from an explicit seed. The committed benchmark
+/// artifacts and the byte-stability test pin the `0x5EED` stream.
+pub fn ransomware_mix_trace_seeded(seed: u64) -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let space = FileSpace::generate(&mut rng, &small_space());
     let duration = SimTime::from_secs(10);
     let ransom = RansomwareKind::Mole

@@ -1,0 +1,364 @@
+//! ROC evaluation of detector variants against the full workload zoo.
+//!
+//! Detection quality is measured the way the perf numbers are: a committed,
+//! regression-gated artifact (`BENCH_roc.json`). The harness replays every
+//! paper-class ransomware representative and every adversarial family
+//! ([`AdversaryKind`]) plus a benign pool of all fifteen background
+//! applications, once per detector variant, and sweeps the alarm threshold
+//! over the whole vote window. One replay yields the entire sweep: the
+//! per-slice [`Verdict::score`](insider_detect::Verdict) is
+//! threshold-independent, so "alarmed at threshold θ" is simply
+//! "some slice's score reached θ".
+//!
+//! * **TPR** per workload family: fraction of its runs whose score ever
+//!   reaches θ.
+//! * **FPR**: fraction of *benign* runs whose score ever reaches θ —
+//!   run-level, matching the paper's "false alarms per run" framing.
+//! * **Detection latency**: first θ-crossing slice end minus the attack's
+//!   first request, averaged over detected runs.
+//! * **`tpr_at_cap`**: the best TPR reachable at any threshold whose
+//!   benign FPR stays within [`RocParams::fpr_cap`] — the headline number
+//!   `bench_check` gates per family and variant.
+//!
+//! Evaluation seeds are disjoint from both [`TRAIN_SEEDS`] and
+//! [`ADV_TRAIN_SEEDS`], so every number measures generalization.
+//! Methodology details live in DESIGN.md §14.
+//!
+//! [`TRAIN_SEEDS`]: crate::harness::TRAIN_SEEDS
+//! [`ADV_TRAIN_SEEDS`]: crate::harness::ADV_TRAIN_SEEDS
+
+use crate::harness::train_tree_variant;
+use crate::replay::replay_detector;
+use insider_detect::{DetectorConfig, DetectorVariant};
+use insider_nand::SimTime;
+use insider_workloads::{AdversaryKind, AppKind, RansomwareKind, Scenario, ScenarioClass, Trace};
+use serde::Serialize;
+
+/// Paper-class representatives (all from the Table I *test* split, so the
+/// baseline tree has never seen them): Class A encrypts in place, Class B
+/// writes ciphertext out of place then overwrites the original, Class C
+/// trims the original and writes ciphertext elsewhere.
+pub const PAPER_CLASSES: [(&str, RansomwareKind); 3] = [
+    ("class-a-inplace", RansomwareKind::Mole),
+    ("class-b-outplace", RansomwareKind::WannaCry),
+    ("class-c-delete", RansomwareKind::InHouseOutPlace),
+];
+
+/// ROC sweep bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct RocParams {
+    /// Seeded runs per workload (attack family and benign app alike).
+    pub runs_per_workload: usize,
+    /// Truncate every trace after this many blocks (0 = unlimited) — the
+    /// smoke-test bound, like `LAT_PAGES` for the latency smoke.
+    pub block_budget: u64,
+    /// Duration of each generated run.
+    pub duration: SimTime,
+    /// The benign false-positive-rate cap the headline TPR is read at.
+    pub fpr_cap: f64,
+}
+
+impl RocParams {
+    /// The committed-artifact configuration.
+    pub fn full() -> Self {
+        RocParams {
+            runs_per_workload: 2,
+            block_budget: 0,
+            duration: SimTime::from_secs(60),
+            fpr_cap: 0.05,
+        }
+    }
+
+    /// Applies the `ROC_TRACES` (runs per workload) and `ROC_PAGES`
+    /// (per-trace block budget) environment overrides.
+    pub fn from_env(mut self) -> Self {
+        if let Some(n) = env_u64("ROC_TRACES") {
+            self.runs_per_workload = (n as usize).max(1);
+        }
+        if let Some(n) = env_u64("ROC_PAGES") {
+            self.block_budget = n;
+        }
+        self
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct RocPoint {
+    /// Alarm threshold (score needed within the vote window).
+    pub threshold: u32,
+    /// Fraction of this family's runs detected at this threshold.
+    pub tpr: f64,
+    /// Fraction of benign runs raising a false alarm at this threshold.
+    pub fpr: f64,
+    /// Runs detected / total runs behind `tpr`.
+    pub detected: usize,
+    /// Mean seconds from attack start to the first θ-crossing slice end,
+    /// over detected runs (`None` when nothing was detected).
+    pub mean_latency_s: Option<f64>,
+}
+
+/// The full sweep for one workload family under one detector variant.
+#[derive(Debug, Clone, Serialize)]
+pub struct FamilyCurve {
+    /// Workload family name (paper class or adversarial family).
+    pub family: String,
+    /// Detector variant name (`baseline` / `evolved`).
+    pub variant: String,
+    /// Whether this family is an adaptive adversary (vs a paper class).
+    pub adversarial: bool,
+    /// Seeded runs evaluated.
+    pub runs: usize,
+    /// One point per threshold in `1..=window_slices`.
+    pub points: Vec<RocPoint>,
+    /// Best TPR at any threshold whose benign FPR ≤ `fpr_cap`.
+    pub tpr_at_cap: f64,
+    /// The (smallest) threshold achieving `tpr_at_cap`, if any threshold
+    /// met the cap at all.
+    pub threshold_at_cap: Option<u32>,
+    /// Mean detection latency at that threshold.
+    pub latency_at_cap_s: Option<f64>,
+}
+
+/// The complete ROC artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct RocReport {
+    /// Benign FPR cap the headline TPRs are read at.
+    pub fpr_cap: f64,
+    /// Runs per workload (`ROC_TRACES`).
+    pub runs_per_workload: usize,
+    /// Per-trace block budget (`ROC_PAGES`, 0 = unlimited).
+    pub block_budget: u64,
+    /// Duration of each run in seconds.
+    pub duration_s: u64,
+    /// Benign runs in the false-positive pool (15 apps × runs).
+    pub benign_runs: usize,
+    /// Every family × variant sweep.
+    pub curves: Vec<FamilyCurve>,
+}
+
+impl RocReport {
+    /// The curve for a given family and variant, if present.
+    pub fn curve(&self, family: &str, variant: DetectorVariant) -> Option<&FamilyCurve> {
+        self.curves
+            .iter()
+            .find(|c| c.family == family && c.variant == variant.name())
+    }
+}
+
+/// An evaluation run: the request stream and when the attack began
+/// (`SimTime::ZERO` start is never used for benign runs).
+struct EvalRun {
+    trace: Trace,
+    start: SimTime,
+}
+
+fn truncate(trace: Trace, budget: u64) -> Trace {
+    if budget == 0 {
+        return trace;
+    }
+    let mut blocks = 0u64;
+    trace
+        .into_iter()
+        .take_while(|r| {
+            blocks += r.len as u64;
+            blocks <= budget
+        })
+        .collect()
+}
+
+fn benign_pool(params: &RocParams) -> Vec<EvalRun> {
+    let mut runs = Vec::new();
+    for (i, app) in AppKind::ALL.into_iter().enumerate() {
+        let scenario = Scenario {
+            class: ScenarioClass::NormalApp,
+            app: Some(app),
+            ransomware: None,
+            training: false,
+        };
+        for rep in 0..params.runs_per_workload {
+            let seed = 0xB000 + (i as u64) * 0x10 + rep as u64;
+            let built = scenario.build(seed, params.duration);
+            runs.push(EvalRun {
+                trace: truncate(built.trace, params.block_budget),
+                start: SimTime::ZERO,
+            });
+        }
+    }
+    runs
+}
+
+fn attack_families(params: &RocParams) -> Vec<(String, bool, Vec<EvalRun>)> {
+    let mut families = Vec::new();
+    for (i, (name, kind)) in PAPER_CLASSES.into_iter().enumerate() {
+        let scenario = Scenario {
+            class: ScenarioClass::RansomOnly,
+            app: None,
+            ransomware: Some(kind),
+            training: false,
+        };
+        let runs = (0..params.runs_per_workload)
+            .map(|rep| {
+                let seed = 0xA000 + (i as u64) * 0x10 + rep as u64;
+                let built = scenario.build(seed, params.duration);
+                let start = built.active.expect("ransomware scenario").start;
+                EvalRun {
+                    trace: truncate(built.trace, params.block_budget),
+                    start,
+                }
+            })
+            .collect();
+        families.push((name.to_string(), false, runs));
+    }
+    for (i, kind) in AdversaryKind::ALL.into_iter().enumerate() {
+        let runs = (0..params.runs_per_workload)
+            .map(|rep| {
+                let seed = 0xA100 + (i as u64) * 0x10 + rep as u64;
+                let built = kind.build(seed, params.duration);
+                EvalRun {
+                    trace: truncate(built.trace, params.block_budget),
+                    start: built.start,
+                }
+            })
+            .collect();
+        families.push((kind.name().to_string(), true, runs));
+    }
+    families
+}
+
+/// Per-run sweep result: for each threshold θ (index θ−1), the end time of
+/// the first slice whose score reached θ, if any.
+fn first_crossings(
+    run: &EvalRun,
+    tree: &insider_detect::DecisionTree,
+    config: &DetectorConfig,
+) -> Vec<Option<SimTime>> {
+    let verdicts = replay_detector(&run.trace, tree.clone(), *config);
+    let window = config.window_slices as u32;
+    let mut out = vec![None; window as usize];
+    for v in &verdicts {
+        for theta in 1..=v.score.min(window) {
+            let slot = &mut out[(theta - 1) as usize];
+            if slot.is_none() {
+                // Scores are evaluated at slice close, so the crossing is
+                // observable at the end of the verdict's slice.
+                *slot = Some(SimTime::from_micros(
+                    (v.slice + 1) * config.slice.as_micros(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the full sweep: every family × every variant, one detector replay
+/// per run. This is the entire `BENCH_roc.json` generator; the smoke test
+/// calls it with bounded [`RocParams`].
+pub fn run_roc(params: &RocParams, config: &DetectorConfig) -> RocReport {
+    let benign = benign_pool(params);
+    let families = attack_families(params);
+    let window = config.window_slices as u32;
+    let mut curves = Vec::new();
+
+    for variant in DetectorVariant::ALL {
+        let tree = train_tree_variant(config, variant);
+        // Benign first-crossing matrix → FPR per threshold, shared by
+        // every family curve of this variant.
+        let benign_cross: Vec<Vec<Option<SimTime>>> = benign
+            .iter()
+            .map(|run| first_crossings(run, &tree, config))
+            .collect();
+        let fpr_at = |theta: u32| -> f64 {
+            let hits = benign_cross
+                .iter()
+                .filter(|c| c[(theta - 1) as usize].is_some())
+                .count();
+            hits as f64 / benign.len().max(1) as f64
+        };
+
+        for (family, adversarial, runs) in &families {
+            let crossings: Vec<(&EvalRun, Vec<Option<SimTime>>)> = runs
+                .iter()
+                .map(|run| (run, first_crossings(run, &tree, config)))
+                .collect();
+            let mut points = Vec::new();
+            for theta in 1..=window {
+                let detected: Vec<f64> = crossings
+                    .iter()
+                    .filter_map(|(run, cross)| {
+                        cross[(theta - 1) as usize]
+                            .map(|t| t.saturating_sub(run.start).as_micros() as f64 / 1e6)
+                    })
+                    .collect();
+                let mean_latency_s = (!detected.is_empty())
+                    .then(|| detected.iter().sum::<f64>() / detected.len() as f64);
+                points.push(RocPoint {
+                    threshold: theta,
+                    tpr: detected.len() as f64 / runs.len().max(1) as f64,
+                    fpr: fpr_at(theta),
+                    detected: detected.len(),
+                    mean_latency_s,
+                });
+            }
+            // Headline: best TPR over thresholds meeting the FPR cap
+            // (smallest such threshold, for the lowest latency).
+            let best = points
+                .iter()
+                .filter(|p| p.fpr <= params.fpr_cap)
+                .max_by(|a, b| {
+                    a.tpr
+                        .partial_cmp(&b.tpr)
+                        .expect("TPRs are finite")
+                        .then(b.threshold.cmp(&a.threshold))
+                });
+            curves.push(FamilyCurve {
+                family: family.clone(),
+                variant: variant.name().to_string(),
+                adversarial: *adversarial,
+                runs: runs.len(),
+                tpr_at_cap: best.map_or(0.0, |p| p.tpr),
+                threshold_at_cap: best.map(|p| p.threshold),
+                latency_at_cap_s: best.and_then(|p| p.mean_latency_s),
+                points,
+            });
+        }
+    }
+
+    RocReport {
+        fpr_cap: params.fpr_cap,
+        runs_per_workload: params.runs_per_workload,
+        block_budget: params.block_budget,
+        duration_s: params.duration.as_micros() / 1_000_000,
+        benign_runs: benign.len(),
+        curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_bounds_blocks_and_zero_is_identity() {
+        let trace = crate::replay::random_trace_seeded(1);
+        let total = trace.total_blocks();
+        assert_eq!(truncate(trace.clone(), 0).total_blocks(), total);
+        let cut = truncate(trace, 500);
+        assert!(cut.total_blocks() <= 500);
+        assert!(cut.total_blocks() >= 500 - 16, "stops at the boundary");
+    }
+
+    #[test]
+    fn paper_classes_cover_all_three_overwrite_classes() {
+        use insider_workloads::OverwriteClass;
+        let classes: Vec<OverwriteClass> =
+            PAPER_CLASSES.iter().map(|(_, k)| k.model().class).collect();
+        assert!(classes.contains(&OverwriteClass::InPlace));
+        assert!(classes.contains(&OverwriteClass::OutOfPlace));
+        assert!(classes.contains(&OverwriteClass::DeleteThenWrite));
+    }
+}

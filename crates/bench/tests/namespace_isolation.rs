@@ -132,3 +132,122 @@ fn ransomware_in_one_namespace_never_touches_its_neighbor() {
         .any(|e| matches!(e.event, DeviceEvent::Recovered { .. })));
     assert!(ssd.take_events(b).unwrap().is_empty());
 }
+
+/// An adversary that splits one read-then-overwrite campaign across two
+/// namespaces, interleaving request-by-request. Per-tenant detection state
+/// means each shard sees a complete (if half-rate) attack pattern and must
+/// alarm on its own evidence; the benign middle tenant must stay clean,
+/// and each victim's rollback must stay confined to its own namespace —
+/// recovering A must not touch C's still-encrypted data or its pending
+/// alarm.
+#[test]
+fn split_attack_alarms_both_victim_namespaces_independently() {
+    let geometry = Geometry::builder()
+        .channels(1)
+        .chips_per_channel(1)
+        .blocks_per_chip(64)
+        .pages_per_block(32)
+        .page_size(4096)
+        .build();
+    let ssd = MultiTenantSsd::new(
+        &InsiderConfig::new(geometry),
+        &DecisionTree::stump(0, 0.5),
+        3,
+        NamespaceLayout::Provisioned,
+    );
+    let (a, b, c) = (
+        NamespaceId::new(0),
+        NamespaceId::new(1),
+        NamespaceId::new(2),
+    );
+    let victim_lbas: Vec<u64> = (0..8).collect();
+    let cipher = Bytes::from_static(b"3ncryp7ed");
+
+    // Distinct per-namespace originals so cross-shard restores would show.
+    let t0 = SimTime::from_secs(1);
+    for &lba in &victim_lbas {
+        ssd.write(a, Lba::new(lba), doc(lba), t0).unwrap();
+        ssd.write(c, Lba::new(lba), doc(lba + 500), t0).unwrap();
+    }
+
+    let mut t = SimTime::from_secs(60);
+    let mut fresh = 0u64;
+    let mut rounds = 0;
+    while ssd.state(a).unwrap() == DeviceState::Normal
+        || ssd.state(c).unwrap() == DeviceState::Normal
+    {
+        for &lba in &victim_lbas {
+            // One split step: the campaign alternates namespaces per
+            // request, never giving either shard the full-rate stream.
+            ssd.read(a, Lba::new(lba), t).unwrap();
+            ssd.read(c, Lba::new(lba), t).unwrap();
+            ssd.write(a, Lba::new(lba), cipher.clone(), t).unwrap();
+            ssd.write(c, Lba::new(lba), cipher.clone(), t).unwrap();
+        }
+        // Benign middle tenant: fresh-LBA backup-style writes.
+        ssd.write(b, Lba::new(fresh), doc(fresh), t).unwrap();
+        ssd.read(b, Lba::new(fresh), t).unwrap();
+        fresh += 1;
+        assert_eq!(
+            ssd.state(b).unwrap(),
+            DeviceState::Normal,
+            "benign tenant alarmed at round {rounds}"
+        );
+        t += SimTime::from_millis(250);
+        rounds += 1;
+        assert!(rounds < 1000, "split attack never tripped both alarms");
+    }
+
+    assert_eq!(ssd.state(a).unwrap(), DeviceState::Suspicious);
+    assert_eq!(ssd.state(c).unwrap(), DeviceState::Suspicious);
+    assert_eq!(ssd.score(b).unwrap(), 0, "votes bled across namespaces");
+
+    // Recover A alone: C must remain alarmed with its data untouched.
+    let report_a = ssd.confirm_and_recover(a, t).unwrap();
+    assert!(report_a.restored > 0);
+    for &lba in &victim_lbas {
+        assert_eq!(
+            ssd.read(a, Lba::new(lba), t).unwrap().unwrap(),
+            doc(lba),
+            "tenant A's lba {lba} not restored byte-exact"
+        );
+        assert_eq!(
+            ssd.read(c, Lba::new(lba), t).unwrap().unwrap(),
+            cipher,
+            "tenant C's lba {lba} was rolled back by A's recovery"
+        );
+    }
+    assert_eq!(
+        ssd.state(c).unwrap(),
+        DeviceState::Suspicious,
+        "A's recovery cleared C's alarm"
+    );
+
+    // Then C's own confirmation restores C's (distinct) originals.
+    let report_c = ssd.confirm_and_recover(c, t).unwrap();
+    assert!(report_c.restored > 0);
+    for &lba in &victim_lbas {
+        assert_eq!(
+            ssd.read(c, Lba::new(lba), t).unwrap().unwrap(),
+            doc(lba + 500),
+            "tenant C's lba {lba} not restored byte-exact"
+        );
+    }
+
+    // The bystander kept full service and emitted nothing.
+    ssd.write(b, Lba::new(fresh), doc(fresh), t)
+        .expect("tenant B must keep write service through both recoveries");
+    let events = ssd.take_all_events();
+    assert!(
+        events.iter().all(|e| e.namespace != b),
+        "tenant B emitted events"
+    );
+    for ns in [a, c] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.namespace == ns && matches!(e.event, DeviceEvent::AlarmRaised { .. })),
+            "missing alarm event for {ns:?}"
+        );
+    }
+}

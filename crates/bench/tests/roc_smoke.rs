@@ -1,0 +1,97 @@
+//! Bounded ROC smoke test (tier-1 fast configuration).
+//!
+//! Runs the same sweep as `make bench-roc` with one run per workload and a
+//! per-trace block budget, asserting the headline detection floors that
+//! `bench_check` gates on the committed artifact: the baseline detector
+//! catches every paper ransomware class within the benign FPR cap, and the
+//! evolved variant strictly dominates the baseline on the throttled
+//! adversary (the family built to starve the baseline's vote window).
+//! `ROC_TRACES` / `ROC_PAGES` scale the sweep up or down.
+
+use insider_bench::feature_series;
+use insider_bench::roc::{run_roc, RocParams};
+use insider_detect::{DetectorConfig, DetectorVariant};
+use insider_nand::SimTime;
+use insider_workloads::AdversaryKind;
+
+/// Regression for the counting-table run-merge subtlety: the table merges
+/// *adjacent* read runs and re-buckets the result to the newest read's
+/// slice, so whole-file sequential reads of back-to-back documents would
+/// chain into one immortal run and hand the baseline its OWIO back. The
+/// sleep-based families skip each file's header block precisely to prevent
+/// that — their attack streams must produce zero overwrite evidence.
+#[test]
+fn sleep_families_leave_no_overwrite_evidence() {
+    for kind in [
+        AdversaryKind::SleepOverwrite,
+        AdversaryKind::Mimicry,
+        AdversaryKind::MultiProcess,
+    ] {
+        let run = kind.build(0xA110, SimTime::from_secs(60));
+        for (slice, fv) in feature_series(&run.attack, SimTime::from_secs(1), 10) {
+            assert_eq!(
+                fv.owio, 0.0,
+                "{kind}: slice {slice} shows overwrite evidence: {fv}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bounded_roc_sweep_meets_the_headline_floors() {
+    let params = RocParams {
+        runs_per_workload: 1,
+        block_budget: 60_000,
+        duration: SimTime::from_secs(60),
+        fpr_cap: 0.05,
+    }
+    .from_env();
+    let config = DetectorConfig::default();
+    let report = run_roc(&params, &config);
+
+    // Complete, monotone sweeps: crossing θ+1 implies crossing θ, so both
+    // rates are non-increasing in the threshold.
+    assert_eq!(report.curves.len(), 7 * 2, "7 families x 2 variants");
+    for c in &report.curves {
+        assert_eq!(c.points.len(), config.window_slices, "{}", c.family);
+        for w in c.points.windows(2) {
+            assert!(w[1].tpr <= w[0].tpr, "{}: TPR not monotone", c.family);
+            assert!(w[1].fpr <= w[0].fpr, "{}: FPR not monotone", c.family);
+        }
+    }
+
+    // The paper's FRR-0 floor, and the evolved variant never below the
+    // baseline (it is the baseline with a specialist grafted onto its
+    // benign leaves).
+    for family in ["class-a-inplace", "class-b-outplace", "class-c-delete"] {
+        let base = report
+            .curve(family, DetectorVariant::Baseline)
+            .expect("baseline curve");
+        let evolved = report
+            .curve(family, DetectorVariant::Evolved)
+            .expect("evolved curve");
+        assert_eq!(base.tpr_at_cap, 1.0, "{family}: baseline missed runs");
+        assert!(
+            evolved.tpr_at_cap >= base.tpr_at_cap,
+            "{family}: evolved ({}) below baseline ({})",
+            evolved.tpr_at_cap,
+            base.tpr_at_cap
+        );
+    }
+
+    // The throttled adversary starves the baseline's vote window; the
+    // evolved window features must restore detection.
+    let base = report
+        .curve("throttled", DetectorVariant::Baseline)
+        .expect("baseline curve");
+    let evolved = report
+        .curve("throttled", DetectorVariant::Evolved)
+        .expect("evolved curve");
+    assert!(
+        evolved.tpr_at_cap > base.tpr_at_cap,
+        "evolved ({}) must strictly dominate baseline ({}) on throttled",
+        evolved.tpr_at_cap,
+        base.tpr_at_cap
+    );
+    assert_eq!(evolved.tpr_at_cap, 1.0, "evolved missed throttled runs");
+}

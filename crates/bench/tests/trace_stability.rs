@@ -1,0 +1,76 @@
+//! Byte-stability pins for the committed benchmark trace families.
+//!
+//! The committed `BENCH_*.json` artifacts and the ROC artifact are only
+//! comparable across machines and commits if the seeded generators emit
+//! *exactly* the same request streams everywhere. This test hashes every
+//! field of every request of the three bench trace families and compares
+//! against pinned values — if a generator, the vendored `rand` stream, or
+//! a default parameter changes, the pin fails and the committed artifacts
+//! must be regenerated in the same commit (and stale tree caches deleted:
+//! see `train_tree_variant`).
+
+use insider_bench::{random_trace_seeded, ransomware_mix_trace_seeded, sequential_trace};
+use insider_detect::IoMode;
+use insider_workloads::Trace;
+
+/// FNV-1a over every request field, in stream order. Deliberately not
+/// `std::hash::Hash`: the algorithm is pinned here, independent of the
+/// standard library's hasher internals.
+fn fnv1a(trace: &Trace) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for r in trace {
+        eat(r.time.as_micros());
+        eat(r.lba.index());
+        eat(match r.mode {
+            IoMode::Read => 0,
+            IoMode::Write => 1,
+            IoMode::Trim => 2,
+        });
+        eat(r.len as u64);
+        eat(match r.entropy {
+            None => u64::MAX,
+            Some(m) => m as u64,
+        });
+    }
+    h
+}
+
+#[test]
+fn committed_trace_families_are_byte_stable() {
+    let cases: [(&str, Trace, u64); 3] = [
+        ("sequential", sequential_trace(), 0xc4be_6559_de3e_9f42),
+        (
+            "random(0xBE7C)",
+            random_trace_seeded(0xBE7C),
+            0x8d44_ddc3_eeca_c202,
+        ),
+        (
+            "ransomware_mix(0x5EED)",
+            ransomware_mix_trace_seeded(0x5EED),
+            0x78ae_5346_d5ff_48f8,
+        ),
+    ];
+    let mut drift = Vec::new();
+    for (name, trace, pinned) in cases {
+        let got = fnv1a(&trace);
+        if got != pinned {
+            drift.push(format!(
+                "{name}: stream hash {got:#018x} != pinned {pinned:#018x}"
+            ));
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "the generator or RNG stream changed; regenerate the committed artifacts and update \
+         the pins:\n  {}",
+        drift.join("\n  ")
+    );
+}

@@ -8,7 +8,9 @@ use crate::state::DeviceState;
 use crate::timing::IoTiming;
 use crate::{DeviceError, Result};
 use bytes::Bytes;
-use insider_detect::{DecisionTree, Detector, IoMode, IoReq, Verdict};
+use insider_detect::{
+    payload_entropy_milli, DecisionTree, Detector, IoMode, IoReq, Verdict, ENTROPY_SAMPLE_BYTES,
+};
 use insider_ftl::{Ftl, FtlStats, GcVictim, InsiderFtl, RollbackReport};
 use insider_nand::{Lba, NandStats, SimTime};
 
@@ -196,6 +198,24 @@ impl SsdInsider {
         self.detect_enabled = enabled;
     }
 
+    /// Shannon-entropy stamp for an extent's payload, measured over the
+    /// leading bytes up to the estimator's sample budget — real firmware
+    /// holds the write data in the transfer buffer anyway, so this is the
+    /// device-side analogue of the stamps the workload generators attach.
+    fn extent_entropy_milli(data: &[Bytes]) -> u16 {
+        let mut sample = [0u8; ENTROPY_SAMPLE_BYTES];
+        let mut n = 0;
+        for block in data {
+            if n == ENTROPY_SAMPLE_BYTES {
+                break;
+            }
+            let take = block.len().min(ENTROPY_SAMPLE_BYTES - n);
+            sample[n..n + take].copy_from_slice(&block[..take]);
+            n += take;
+        }
+        payload_entropy_milli(&sample[..n])
+    }
+
     fn feed_detector(&mut self, req: IoReq) -> u64 {
         if !self.detect_enabled {
             return 0;
@@ -293,7 +313,10 @@ impl SsdInsider {
         if data.is_empty() {
             return Ok(());
         }
-        let insider_ns = self.feed_detector(IoReq::new(now, lba, IoMode::Write, data.len() as u32));
+        let insider_ns = self.feed_detector(
+            IoReq::new(now, lba, IoMode::Write, data.len() as u32)
+                .with_entropy_milli(Self::extent_entropy_milli(data)),
+        );
         let now = if self.pacing.enabled() {
             self.pacing
                 .admit(data.len() as u64, now, self.ftl.gc_debt())

@@ -1,6 +1,7 @@
 //! The real-time detector: feature extraction + decision tree + score window.
 
 use crate::counting_table::{CountingBackend, CountingTable};
+use crate::entropy::HIGH_ENTROPY_MILLI;
 use crate::features::FeatureVector;
 use crate::id3::DecisionTree;
 use crate::ioreq::{IoMode, IoReq};
@@ -47,6 +48,14 @@ struct SliceAccum {
     wio: u64,
     owio: u64,
     distinct_ow: LbaRangeSet,
+    /// Σ (entropy stamp × blocks) over entropy-stamped destructive
+    /// requests, in milli-bits (for the window-mean `WENT`).
+    ent_milli_blocks: u64,
+    /// Blocks carried by entropy-stamped destructive requests.
+    ent_blocks: u64,
+    /// High-entropy write blocks landing on previously accessed LBAs
+    /// (`RHEW` contribution of this slice).
+    rhew: u64,
 }
 
 /// Streaming feature extraction: the counting table plus the sliding-window
@@ -72,6 +81,18 @@ pub struct FeatureEngine<T: CountingBackend = CountingTable> {
     wio_history: std::collections::VecDeque<u64>,
     /// Distinct-overwritten sets of the previous `N-1` slices.
     ow_sets: std::collections::VecDeque<LbaRangeSet>,
+    /// `(Σ entropy·blocks, Σ blocks)` of the previous `N-1` slices, for the
+    /// window-mean `WENT`.
+    ent_history: std::collections::VecDeque<(u64, u64)>,
+    /// `RHEW` contributions of the previous `N-1` slices.
+    rhew_history: std::collections::VecDeque<u64>,
+    /// Every LBA the host has touched (reads *and* writes), never evicted.
+    /// `RHEW` checks incoming high-entropy writes against this set, so a
+    /// read–sleep–overwrite attack that waits out the counting table is
+    /// still seen replacing data it previously read. Coalesced runs keep
+    /// this compact; like the vote window it is volatile-by-design across
+    /// power loss (DESIGN.md §14).
+    accessed: LbaRangeSet,
     accum: SliceAccum,
     cur_slice: u64,
 }
@@ -120,6 +141,9 @@ impl<T: CountingBackend> FeatureEngine<T> {
             owio_history: SliceWindow::new(window_slices),
             wio_history: std::collections::VecDeque::with_capacity(window_slices),
             ow_sets: std::collections::VecDeque::with_capacity(window_slices),
+            ent_history: std::collections::VecDeque::with_capacity(window_slices),
+            rhew_history: std::collections::VecDeque::with_capacity(window_slices),
+            accessed: LbaRangeSet::new(),
             accum: SliceAccum::default(),
             cur_slice: 0,
         }
@@ -156,6 +180,11 @@ impl<T: CountingBackend> FeatureEngine<T> {
             self.owio_history.clear();
             self.wio_history.clear();
             self.ow_sets.clear();
+            self.ent_history.clear();
+            self.rhew_history.clear();
+            // `accessed` deliberately survives the gap: a read–sleep–
+            // overwrite attacker's whole strategy is to idle past the
+            // window, and both gap paths keep the set identically.
             self.accum = SliceAccum::default();
             self.cur_slice = target - window;
         }
@@ -188,8 +217,18 @@ impl<T: CountingBackend> FeatureEngine<T> {
                     });
                 accum.owio += overwritten as u64;
                 accum.wio += req.len as u64;
+                if let Some(milli) = req.entropy {
+                    accum.ent_milli_blocks += milli as u64 * req.len as u64;
+                    accum.ent_blocks += req.len as u64;
+                    if milli >= HIGH_ENTROPY_MILLI {
+                        // Checked before the write's own run is inserted, so
+                        // only *previously* accessed blocks count.
+                        accum.rhew += self.accessed.overlap_blocks(req.lba, req.len);
+                    }
+                }
             }
         }
+        self.accessed.insert_run(req.lba, req.len);
         closed
     }
 
@@ -236,6 +275,42 @@ impl<T: CountingBackend> FeatureEngine<T> {
         };
         let io = (a.rio + a.wio) as f64;
 
+        // WENT: window-mean payload entropy over stamped blocks (previous
+        // N−1 slices + current). Unstamped blocks are excluded, not zeroed.
+        let (mut ent_milli, mut ent_blocks) = (a.ent_milli_blocks, a.ent_blocks);
+        for &(m, b) in &self.ent_history {
+            ent_milli += m;
+            ent_blocks += b;
+        }
+        let went = if ent_blocks > 0 {
+            ent_milli as f64 / ent_blocks as f64 / 1000.0
+        } else {
+            0.0
+        };
+        // RHEW: high-entropy replacement write blocks across the window.
+        let rhew = (self.rhew_history.iter().sum::<u64>() + a.rhew) as f64;
+        // OWBURST: index of dispersion (variance/mean) of per-slice
+        // overwrite counts, retained history + current slice.
+        let owburst = {
+            let n = (self.owio_history.len() + 1) as f64;
+            let mean = (self.owio_history.sum() + a.owio) as f64 / n;
+            if mean > 0.0 {
+                let var = self
+                    .owio_history
+                    .iter()
+                    .chain(std::iter::once(a.owio))
+                    .map(|v| {
+                        let d = v as f64 - mean;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    / n;
+                var / mean
+            } else {
+                0.0
+            }
+        };
+
         let features = FeatureVector {
             owio,
             owst,
@@ -243,6 +318,9 @@ impl<T: CountingBackend> FeatureEngine<T> {
             avgwio,
             owslope,
             io,
+            went,
+            rhew,
+            owburst,
         };
         let slice = self.cur_slice;
         self.owio_history.push(a.owio);
@@ -252,10 +330,15 @@ impl<T: CountingBackend> FeatureEngine<T> {
             if self.wio_history.len() == self.window_slices - 1 {
                 self.wio_history.pop_front();
                 self.ow_sets.pop_front();
+                self.ent_history.pop_front();
+                self.rhew_history.pop_front();
             }
             let finished = std::mem::take(&mut self.accum);
             self.wio_history.push_back(finished.wio);
             self.ow_sets.push_back(finished.distinct_ow);
+            self.ent_history
+                .push_back((finished.ent_milli_blocks, finished.ent_blocks));
+            self.rhew_history.push_back(finished.rhew);
         } else {
             self.accum = SliceAccum::default();
         }
@@ -627,6 +710,117 @@ mod tests {
     }
 
     #[test]
+    fn went_averages_stamped_blocks_only() {
+        let mut e = engine();
+        // 4 stamped blocks at 7.95 bits + 4 unstamped blocks: the mean must
+        // ignore the unstamped ones entirely.
+        e.ingest(IoReq::new(t(0, 0), l(0), IoMode::Write, 4).with_entropy_milli(7950));
+        e.ingest(IoReq::new(t(0, 1), l(100), IoMode::Write, 4));
+        let (_, f) = e.close_slice();
+        assert!((f.went - 7.95).abs() < 1e-9, "went {}", f.went);
+        // No stamps at all → 0.0, not a diluted average.
+        let (_, f) = e.close_slice();
+        assert!((f.went - 7.95).abs() < 1e-9, "window keeps the stamp");
+    }
+
+    #[test]
+    fn went_decays_with_the_window() {
+        let mut e = engine();
+        e.ingest(IoReq::write(t(0, 0), l(0)).with_entropy(8.0));
+        for _ in 0..10 {
+            e.close_slice();
+        }
+        let (_, f) = e.close_slice();
+        assert_eq!(f.went, 0.0, "stamp must slide out after N slices");
+    }
+
+    #[test]
+    fn rhew_requires_high_entropy_and_prior_access() {
+        let mut e = engine();
+        e.ingest(IoReq::new(t(0, 0), l(0), IoMode::Read, 8));
+        // Low-entropy overwrite of read blocks: not RHEW.
+        e.ingest(IoReq::new(t(0, 1), l(0), IoMode::Write, 4).with_entropy(4.0));
+        // High-entropy write to *fresh* LBAs: not RHEW.
+        e.ingest(IoReq::new(t(0, 2), l(1000), IoMode::Write, 4).with_entropy(8.0));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.rhew, 0.0);
+        // High-entropy overwrite of previously read blocks: RHEW.
+        e.ingest(IoReq::new(t(1, 0), l(4), IoMode::Write, 4).with_entropy(7.9));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.rhew, 4.0);
+    }
+
+    #[test]
+    fn rhew_survives_counting_table_expiry() {
+        // The read–sleep–overwrite attack: read victims, idle past the
+        // window so the counting table evicts, then encrypt in place.
+        // OWIO is blind; RHEW is not.
+        let mut e = engine();
+        e.ingest(IoReq::new(t(0, 0), l(0), IoMode::Read, 8));
+        let closed = e.ingest(IoReq::new(t(30, 0), l(0), IoMode::Write, 8).with_entropy(7.9));
+        assert!(closed.len() <= 21);
+        let (_, f) = e.close_slice();
+        assert_eq!(f.owio, 0.0, "counting table evicted the read");
+        assert_eq!(f.rhew, 8.0, "accessed set must persist across the gap");
+    }
+
+    #[test]
+    fn rhew_ignores_the_writes_own_run() {
+        let mut e = engine();
+        // First high-entropy write to fresh LBAs must not count itself…
+        e.ingest(IoReq::new(t(0, 0), l(50), IoMode::Write, 4).with_entropy(7.9));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.rhew, 0.0);
+        // …but a repeat write over the same LBAs is a replacement.
+        e.ingest(IoReq::new(t(1, 0), l(50), IoMode::Write, 4).with_entropy(7.9));
+        let (_, f) = e.close_slice();
+        assert_eq!(f.rhew, 4.0);
+    }
+
+    #[test]
+    fn owburst_separates_bursty_from_steady_overwrites() {
+        let steady = {
+            let mut e = engine();
+            for s in 0..10u64 {
+                for i in 0..4u64 {
+                    e.ingest(IoReq::read(t(s, i * 2), l(s * 10 + i)));
+                    e.ingest(IoReq::write(t(s, i * 2 + 1), l(s * 10 + i)));
+                }
+                e.close_slice();
+            }
+            let (_, f) = e.close_slice();
+            f.owburst
+        };
+        let bursty = {
+            let mut e = engine();
+            // All 40 overwrites in one slice, then silence (still inside
+            // the window at the final close).
+            for i in 0..40u64 {
+                e.ingest(IoReq::read(t(0, i * 2), l(i)));
+                e.ingest(IoReq::write(t(0, i * 2 + 1), l(i)));
+            }
+            for _ in 0..5 {
+                e.close_slice();
+            }
+            let (_, f) = e.close_slice();
+            f.owburst
+        };
+        assert!(
+            bursty > steady + 1.0,
+            "bursty {bursty} must exceed steady {steady}"
+        );
+    }
+
+    #[test]
+    fn owburst_is_zero_when_idle() {
+        let mut e = engine();
+        for _ in 0..5 {
+            let (_, f) = e.close_slice();
+            assert_eq!(f.owburst, 0.0);
+        }
+    }
+
+    #[test]
     fn finish_closes_current_slice() {
         let mut d = Detector::new(DetectorConfig::default(), DecisionTree::constant(false));
         d.ingest(IoReq::read(t(0, 0), l(0)));
@@ -819,6 +1013,31 @@ mod gap_tests {
             Some((10, true)),
             "fast path dropped the tail vote"
         );
+    }
+
+    /// The evolved features must agree across the dense/fast gap paths:
+    /// window-scoped state (WENT/OWBURST histories) decays to zero within
+    /// the emitted tail either way, and the `accessed` set persists
+    /// identically so RHEW fires the same on the landing slice.
+    #[test]
+    fn gap_paths_agree_on_evolved_features() {
+        let run = |gap_secs: u64| -> (u64, FeatureVector) {
+            let mut e = FeatureEngine::new(SimTime::from_secs(1), 10);
+            e.ingest(IoReq::new(SimTime::ZERO, l(0), IoMode::Read, 8));
+            e.ingest(IoReq::new(SimTime::from_millis(1), l(0), IoMode::Write, 8).with_entropy(7.9));
+            e.flush_until(SimTime::from_secs(gap_secs));
+            e.ingest(
+                IoReq::new(SimTime::from_secs(gap_secs), l(0), IoMode::Write, 8).with_entropy(7.9),
+            );
+            e.close_slice()
+        };
+        // 20 s: dense path boundary. 21 s: fast path.
+        let (_, dense) = run(20);
+        let (_, fast) = run(21);
+        assert_eq!(dense.rhew, 8.0, "accessed set lost on the dense path");
+        assert_eq!(fast.rhew, 8.0, "accessed set lost on the fast path");
+        assert_eq!(dense.went, fast.went);
+        assert_eq!(dense.owburst, fast.owburst);
     }
 
     #[test]

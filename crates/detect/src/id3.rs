@@ -1,4 +1,4 @@
-//! An ID3-trained binary decision tree over the six features.
+//! An ID3-trained binary decision tree over the detector features.
 //!
 //! ID3 (Quinlan, 1986) selects splits by maximum information gain. The
 //! original formulation handles nominal attributes; SSD-Insider's features
@@ -142,7 +142,7 @@ fn best_threshold(samples: &[&Sample], feature: usize) -> Option<(f64, f64)> {
     best
 }
 
-fn build(samples: &[&Sample], depth: usize, params: &Id3Params) -> Node {
+fn build(samples: &[&Sample], depth: usize, params: &Id3Params, features: &[usize]) -> Node {
     let pos = samples.iter().filter(|s| s.label).count();
     if pos == 0 {
         return Node::Leaf(false);
@@ -155,7 +155,7 @@ fn build(samples: &[&Sample], depth: usize, params: &Id3Params) -> Node {
     }
 
     let mut best: Option<(usize, f64, f64)> = None;
-    for feature in 0..FEATURE_COUNT {
+    for &feature in features {
         if let Some((threshold, gain)) = best_threshold(samples, feature) {
             if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((feature, threshold, gain));
@@ -178,22 +178,43 @@ fn build(samples: &[&Sample], depth: usize, params: &Id3Params) -> Node {
     Node::Split {
         feature,
         threshold,
-        left: Box::new(build(&left, depth + 1, params)),
-        right: Box::new(build(&right, depth + 1, params)),
+        left: Box::new(build(&left, depth + 1, params, features)),
+        right: Box::new(build(&right, depth + 1, params, features)),
     }
 }
 
 impl DecisionTree {
-    /// Trains a tree with ID3 over `samples`.
+    /// Trains a tree with ID3 over `samples`, considering every feature.
     ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
     pub fn train(samples: &[Sample], params: &Id3Params) -> Self {
+        let all: Vec<usize> = (0..FEATURE_COUNT).collect();
+        Self::train_with_features(samples, params, &all)
+    }
+
+    /// Trains a tree with ID3 over `samples`, restricted to splitting on
+    /// `features` (indices into [`FEATURE_NAMES`](crate::FEATURE_NAMES)).
+    /// This is how detector variants differ: the paper-faithful baseline
+    /// trains on the header-only six, the evolved variant on all nine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` or `features` is empty, or any index is out of
+    /// range.
+    pub fn train_with_features(samples: &[Sample], params: &Id3Params, features: &[usize]) -> Self {
         assert!(!samples.is_empty(), "training requires at least one sample");
+        assert!(
+            !features.is_empty(),
+            "training requires at least one feature"
+        );
+        for &f in features {
+            assert!(f < FEATURE_COUNT, "feature index {f} out of range");
+        }
         let refs: Vec<&Sample> = samples.iter().collect();
         DecisionTree {
-            root: build(&refs, 0, params),
+            root: build(&refs, 0, params, features),
         }
     }
 
@@ -219,6 +240,40 @@ impl DecisionTree {
     pub fn constant(vote: bool) -> Self {
         DecisionTree {
             root: Node::Leaf(vote),
+        }
+    }
+
+    /// Disjunction of two trees as a single tree: the result predicts
+    /// `true` exactly when `self` **or** `other` does, built by grafting a
+    /// copy of `other` onto every `benign` leaf of `self`.
+    ///
+    /// This is how the evolved detector variant is assembled: the
+    /// paper-faithful tree keeps the final say on everything it already
+    /// flags, and an adversarial-specialist tree re-examines only what the
+    /// paper tree would wave through. The composite's per-slice votes are
+    /// a superset of the baseline's, so on any trace its vote-window score
+    /// — and therefore run-level TPR at every alarm threshold — dominates
+    /// the baseline's by construction.
+    pub fn or_graft(&self, other: &DecisionTree) -> DecisionTree {
+        fn graft(n: &Node, fallback: &Node) -> Node {
+            match n {
+                Node::Leaf(true) => Node::Leaf(true),
+                Node::Leaf(false) => fallback.clone(),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => Node::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: Box::new(graft(left, fallback)),
+                    right: Box::new(graft(right, fallback)),
+                },
+            }
+        }
+        DecisionTree {
+            root: graft(&self.root, &other.root),
         }
     }
 
@@ -435,6 +490,32 @@ mod tests {
     }
 
     #[test]
+    fn or_graft_is_exact_disjunction() {
+        // owio > 10 OR io > 20, over the four quadrants.
+        let a = DecisionTree::stump(0, 10.0);
+        let b = DecisionTree::stump(5, 20.0);
+        let grafted = a.or_graft(&b);
+        for &(owio, io) in &[(0.0, 0.0), (0.0, 30.0), (15.0, 0.0), (15.0, 30.0)] {
+            let f = fv(owio, io);
+            assert_eq!(
+                grafted.predict(&f),
+                a.predict(&f) || b.predict(&f),
+                "owio={owio} io={io}"
+            );
+        }
+    }
+
+    #[test]
+    fn or_graft_identities() {
+        let a = DecisionTree::stump(0, 10.0);
+        // OR false is self; OR true is constant true.
+        assert_eq!(a.or_graft(&DecisionTree::constant(false)), a);
+        let always = a.or_graft(&DecisionTree::constant(true));
+        assert!(always.predict(&fv(0.0, 0.0)));
+        assert!(always.predict(&fv(99.0, 0.0)));
+    }
+
+    #[test]
     fn json_round_trip() {
         let mut samples = Vec::new();
         for i in 0..20 {
@@ -471,8 +552,11 @@ mod tests {
     #[test]
     fn feature_usage_counts_splits() {
         let stump = DecisionTree::stump(3, 1.0);
-        assert_eq!(stump.feature_usage(), [0, 0, 0, 1, 0, 0]);
-        assert_eq!(DecisionTree::constant(true).feature_usage(), [0; 6]);
+        assert_eq!(stump.feature_usage(), [0, 0, 0, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            DecisionTree::constant(true).feature_usage(),
+            [0; FEATURE_COUNT]
+        );
         // A trained tree reports usage summing to its split count.
         let mut samples = Vec::new();
         for i in 0..60 {
@@ -481,6 +565,33 @@ mod tests {
         let tree = DecisionTree::train(&samples, &Id3Params::default());
         let splits: usize = tree.feature_usage().iter().sum();
         assert_eq!(splits * 2 + 1, tree.node_count());
+    }
+
+    #[test]
+    fn feature_mask_restricts_splits() {
+        // Labels perfectly separable on OWIO, noise on IO: a tree denied
+        // OWIO must not split on it, while the unrestricted tree does.
+        let mut samples = Vec::new();
+        for i in 0..60 {
+            samples.push(sample(
+                if i % 2 == 0 { 100.0 } else { 0.0 },
+                i as f64,
+                i % 2 == 0,
+            ));
+        }
+        let full = DecisionTree::train(&samples, &Id3Params::default());
+        assert!(full.feature_usage()[0] > 0);
+        let masked = DecisionTree::train_with_features(&samples, &Id3Params::default(), &[5]);
+        assert_eq!(masked.feature_usage()[0], 0, "split on a denied feature");
+        // Restricting to the separating feature reproduces the full tree.
+        let owio_only = DecisionTree::train_with_features(&samples, &Id3Params::default(), &[0]);
+        assert_eq!(owio_only, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature")]
+    fn empty_feature_mask_panics() {
+        DecisionTree::train_with_features(&[sample(1.0, 1.0, true)], &Id3Params::default(), &[]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Block-I/O request headers — the only thing the detector sees.
 
+use crate::entropy::ENTROPY_MAX_MILLI;
 use insider_nand::{Lba, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -35,11 +36,17 @@ impl fmt::Display for IoMode {
     }
 }
 
-/// One block-I/O request header: `(time, LBA, mode, length)`.
+/// One block-I/O request header: `(time, LBA, mode, length)` plus an
+/// optional payload-entropy stamp.
 ///
 /// `len` is the number of consecutive logical blocks the request covers,
 /// starting at `lba`. This mirrors what real firmware sees in an NVMe/SATA
-/// command — no file names, process IDs or payloads.
+/// command — no file names or process IDs. The `entropy` stamp is the one
+/// piece of payload-derived information: the device computes it from the
+/// write data it is handed anyway (see [`payload_entropy_milli`]), so it
+/// stays implementable inside firmware.
+///
+/// [`payload_entropy_milli`]: crate::payload_entropy_milli
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct IoReq {
     /// When the request was issued.
@@ -50,6 +57,12 @@ pub struct IoReq {
     pub mode: IoMode,
     /// Number of consecutive blocks covered (≥ 1).
     pub len: u32,
+    /// Sampled payload entropy in milli-bits per byte (0..=8000), or `None`
+    /// when the payload was not inspected (reads, trims, header-only
+    /// traces). Absent stamps are *excluded* from entropy features, not
+    /// counted as zero.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub entropy: Option<u16>,
 }
 
 impl IoReq {
@@ -65,7 +78,27 @@ impl IoReq {
             lba,
             mode,
             len,
+            entropy: None,
         }
+    }
+
+    /// Returns the request with its payload-entropy stamp set to `bits`
+    /// bits per byte (clamped to 0.0..=8.0).
+    pub fn with_entropy(mut self, bits: f64) -> Self {
+        let milli = (bits * 1000.0).round().clamp(0.0, ENTROPY_MAX_MILLI as f64) as u16;
+        self.entropy = Some(milli);
+        self
+    }
+
+    /// Returns the request with its raw milli-bit entropy stamp set.
+    pub fn with_entropy_milli(mut self, milli: u16) -> Self {
+        self.entropy = Some(milli.min(ENTROPY_MAX_MILLI));
+        self
+    }
+
+    /// The entropy stamp in bits per byte, if the payload was inspected.
+    pub fn entropy_bits(&self) -> Option<f64> {
+        self.entropy.map(|m| m as f64 / 1000.0)
     }
 
     /// Convenience constructor for a single-block read.
@@ -129,5 +162,41 @@ mod tests {
     fn display_format() {
         let req = IoReq::read(SimTime::from_secs(1), Lba::new(5));
         assert_eq!(req.to_string(), "[1.000000s R lba:5 x1]");
+    }
+
+    #[test]
+    fn entropy_stamp_round_trips_and_clamps() {
+        let req = IoReq::write(SimTime::ZERO, Lba::new(0)).with_entropy(7.95);
+        assert_eq!(req.entropy, Some(7950));
+        assert_eq!(req.entropy_bits(), Some(7.95));
+        assert_eq!(
+            IoReq::write(SimTime::ZERO, Lba::new(0))
+                .with_entropy(99.0)
+                .entropy,
+            Some(ENTROPY_MAX_MILLI)
+        );
+        assert_eq!(
+            IoReq::write(SimTime::ZERO, Lba::new(0))
+                .with_entropy_milli(u16::MAX)
+                .entropy,
+            Some(ENTROPY_MAX_MILLI)
+        );
+    }
+
+    #[test]
+    fn unstamped_json_stays_compact_and_old_json_loads() {
+        // Unstamped requests serialize without the entropy key, so traces
+        // written before (or without) stamping are byte-identical.
+        let plain = IoReq::write(SimTime::ZERO, Lba::new(3));
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(!json.contains("entropy"), "unexpected key in {json}");
+        let back: IoReq = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
+
+        let stamped = plain.with_entropy_milli(7900);
+        let json = serde_json::to_string(&stamped).unwrap();
+        assert!(json.contains("entropy"));
+        let back: IoReq = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stamped);
     }
 }

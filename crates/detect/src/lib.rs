@@ -2,15 +2,15 @@
 //!
 //! SSD-Insider's ransomware detection engine (Baek et al., ICDCS 2018, §III).
 //!
-//! The detector sees **only block-I/O request headers** — `(time, LBA,
-//! read/write, length)` — never payloads. It maintains a [`CountingTable`] of
-//! read/overwrite run lengths, computes six behavioral features at every
-//! 1-second time-slice boundary, feeds them to an ID3-trained binary
-//! [`DecisionTree`], and accumulates the tree's votes over a sliding
-//! 10-slice window into a score. Score ≥ threshold (3 in the paper) raises a
-//! ransomware alarm.
+//! The detector sees **block-I/O request headers** — `(time, LBA,
+//! read/write, length)` plus an optional payload-entropy stamp the device
+//! computes in-line. It maintains a [`CountingTable`] of read/overwrite run
+//! lengths, computes behavioral features at every 1-second time-slice
+//! boundary, feeds them to an ID3-trained binary [`DecisionTree`], and
+//! accumulates the tree's votes over a sliding 10-slice window into a
+//! score. Score ≥ threshold (3 in the paper) raises a ransomware alarm.
 //!
-//! The six features (paper §III-A):
+//! The paper's six features (§III-A):
 //!
 //! | feature    | meaning |
 //! |------------|---------|
@@ -20,6 +20,15 @@
 //! | `AVGWIO`   | mean overwrite run length in the counting table |
 //! | `OWSLOPE`  | `OWIO` relative to the previous window's per-slice average |
 //! | `IO`       | total read+write blocks in the current slice |
+//!
+//! plus three evolved features for the adversarial workloads of
+//! DESIGN.md §14, enabled by [`DetectorVariant::Evolved`]:
+//!
+//! | feature    | meaning |
+//! |------------|---------|
+//! | `WENT`     | window-mean write-payload entropy over stamped blocks |
+//! | `RHEW`     | high-entropy write blocks replacing previously accessed LBAs, per window |
+//! | `OWBURST`  | variance/mean of per-slice overwrite counts across the window |
 //!
 //! An *overwrite* is a write to an LBA that was **read within the current
 //! window** — the read-encrypt-overwrite signature of crypto ransomware.
@@ -56,20 +65,26 @@
 
 mod counting_table;
 mod detector;
+mod entropy;
 mod features;
 mod id3;
 mod ioreq;
 mod naive;
 mod rangeset;
 mod training;
+mod variant;
 mod window;
 
 pub use counting_table::{CountingBackend, CountingTable, Entry};
 pub use detector::{Detector, DetectorConfig, DetectorStatus, FeatureEngine, Verdict};
-pub use features::{FeatureVector, FEATURE_COUNT, FEATURE_NAMES};
+pub use entropy::{
+    payload_entropy_milli, ENTROPY_MAX_MILLI, ENTROPY_SAMPLE_BYTES, HIGH_ENTROPY_MILLI,
+};
+pub use features::{FeatureVector, FEATURE_COUNT, FEATURE_NAMES, PAPER_FEATURE_COUNT};
 pub use id3::{DecisionTree, Id3Params, Sample};
 pub use ioreq::{IoMode, IoReq};
 pub use naive::NaiveCountingTable;
 pub use rangeset::LbaRangeSet;
 pub use training::{Confusion, TrainingSet};
+pub use variant::DetectorVariant;
 pub use window::{SliceWindow, VoteWindow};

@@ -101,6 +101,25 @@ impl LbaRangeSet {
         self.blocks += end - start;
     }
 
+    /// Number of blocks of `[lba, lba + len)` already covered by the set,
+    /// without modifying it. O(log runs + runs overlapped).
+    pub fn overlap_blocks(&self, lba: Lba, len: u32) -> u64 {
+        let start = lba.index();
+        let end = start.saturating_add(len as u64);
+        let mut covered = 0;
+        // The predecessor run may extend into the query range…
+        if let Some((&s, &e)) = self.runs.range(..start).next_back() {
+            if e > start {
+                covered += e.min(end) - s.max(start);
+            }
+        }
+        // …plus every run starting inside it.
+        for (&s, &e) in self.runs.range(start..end) {
+            covered += e.min(end) - s;
+        }
+        covered
+    }
+
     /// Inserts every run of `other` into `self` (set union).
     pub fn merge(&mut self, other: &LbaRangeSet) {
         for (&s, &e) in &other.runs {
@@ -165,6 +184,19 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.block_count(), 7);
         assert_eq!(a.run_count(), 2);
+    }
+
+    #[test]
+    fn overlap_counts_covered_blocks_only() {
+        let mut s = LbaRangeSet::new();
+        s.insert_run(l(10), 4); // [10,14)
+        s.insert_run(l(20), 4); // [20,24)
+        assert_eq!(s.overlap_blocks(l(0), 5), 0);
+        assert_eq!(s.overlap_blocks(l(10), 4), 4);
+        assert_eq!(s.overlap_blocks(l(12), 4), 2); // tail of the first run
+        assert_eq!(s.overlap_blocks(l(8), 20), 8); // spans both runs
+        assert_eq!(s.overlap_blocks(l(13), 8), 2); // overhang + second run's head
+        assert_eq!(s.overlap_blocks(l(14), 6), 0); // exactly between runs
     }
 
     #[test]

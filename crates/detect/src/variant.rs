@@ -1,0 +1,78 @@
+//! Detector variants: which feature subset a detector trains and votes on.
+//!
+//! The adversarial workloads of DESIGN.md §14 are built to defeat the
+//! paper's header-only features; the evolved variant adds the payload-
+//! entropy and burstiness features to close that gap. Keeping both behind
+//! one enum lets the ROC harness run old and new detectors side by side on
+//! identical request streams.
+
+use crate::features::{FEATURE_COUNT, PAPER_FEATURE_COUNT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A detector variant: a named feature mask for ID3 training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorVariant {
+    /// The paper-faithful detector: the six header-only features
+    /// (OWIO … IO). Byte-identical to the pre-evolution detector.
+    Baseline,
+    /// The evolved detector: all nine features, adding WENT, RHEW and
+    /// OWBURST (payload entropy + overwrite burstiness).
+    Evolved,
+}
+
+/// All nine feature indices, used to slice masks out of.
+const ALL_FEATURES: [usize; FEATURE_COUNT] = [0, 1, 2, 3, 4, 5, 6, 7, 8];
+
+impl DetectorVariant {
+    /// Every variant, baseline first.
+    pub const ALL: [DetectorVariant; 2] = [DetectorVariant::Baseline, DetectorVariant::Evolved];
+
+    /// Stable lowercase name (used in artifact keys and cache filenames).
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorVariant::Baseline => "baseline",
+            DetectorVariant::Evolved => "evolved",
+        }
+    }
+
+    /// The feature indices this variant may split on.
+    pub fn features(self) -> &'static [usize] {
+        match self {
+            DetectorVariant::Baseline => &ALL_FEATURES[..PAPER_FEATURE_COUNT],
+            DetectorVariant::Evolved => &ALL_FEATURES[..],
+        }
+    }
+}
+
+impl fmt::Display for DetectorVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_sees_only_paper_features() {
+        assert_eq!(DetectorVariant::Baseline.features(), &[0, 1, 2, 3, 4, 5]);
+        assert!(DetectorVariant::Baseline
+            .features()
+            .iter()
+            .all(|&f| f < PAPER_FEATURE_COUNT));
+    }
+
+    #[test]
+    fn evolved_sees_everything() {
+        assert_eq!(DetectorVariant::Evolved.features().len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DetectorVariant::Baseline.to_string(), "baseline");
+        assert_eq!(DetectorVariant::Evolved.to_string(), "evolved");
+        assert_eq!(DetectorVariant::ALL.len(), 2);
+    }
+}

@@ -85,6 +85,11 @@ impl SliceWindow {
         self.cap
     }
 
+    /// Iterates over the retained values, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.values.iter().copied()
+    }
+
     /// Drops all values.
     pub fn clear(&mut self) {
         self.values.clear();

@@ -1,0 +1,126 @@
+//! Differential oracle: the interval-indexed [`CountingTable`] and the
+//! legacy per-LBA [`NaiveCountingTable`] must drive the feature engine to
+//! *identical* per-slice feature series on adversarial-shaped request
+//! streams — bursts, long sleeps (including past the engine's fast-path
+//! gap bound), entropy-stamped overwrites, and adjacent reads that force
+//! run merging. Identical features imply identical verdicts for every
+//! possible tree; the stump sweep at the end makes that concrete for all
+//! nine feature dimensions.
+
+use insider_detect::{
+    CountingBackend, CountingTable, DecisionTree, FeatureEngine, FeatureVector, IoMode, IoReq,
+    NaiveCountingTable, FEATURE_COUNT,
+};
+use insider_nand::{Lba, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Read `len` blocks at `slot * 2` — adjacent/overlapping runs occur
+    /// by construction, exercising the merge paths.
+    Read {
+        slot: u8,
+        len: u8,
+    },
+    /// Write with an entropy stamp straddling the high-entropy gate
+    /// (6500): both below-gate and ciphertext-grade values appear.
+    StampedWrite {
+        slot: u8,
+        len: u8,
+        entropy: u16,
+    },
+    /// Unstamped write (the paper's header-only view).
+    PlainWrite {
+        slot: u8,
+        len: u8,
+    },
+    Trim {
+        slot: u8,
+        len: u8,
+    },
+    /// Idle gap. Up to 30 s — past the 2x-window fast-path trigger, so
+    /// both the dense and the gap-jump advance paths are compared.
+    Sleep {
+        micros: u32,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let slot = 0u8..32;
+    let len = 1u8..=6;
+    prop_oneof![
+        4 => (slot.clone(), len.clone()).prop_map(|(slot, len)| Op::Read { slot, len }),
+        3 => (slot.clone(), len.clone(), prop_oneof![Just(0u16), Just(6400), Just(7000), Just(7950)])
+            .prop_map(|(slot, len, entropy)| Op::StampedWrite { slot, len, entropy }),
+        2 => (slot.clone(), len.clone()).prop_map(|(slot, len)| Op::PlainWrite { slot, len }),
+        1 => (slot, len).prop_map(|(slot, len)| Op::Trim { slot, len }),
+        2 => (1u32..30_000_000).prop_map(|micros| Op::Sleep { micros }),
+    ]
+}
+
+fn req_stream(ops: &[Op]) -> Vec<IoReq> {
+    let mut t = SimTime::ZERO;
+    let mut reqs = Vec::new();
+    for op in ops {
+        let mut push = |slot: u8, len: u8, mode: IoMode, entropy: Option<u16>| {
+            let mut req = IoReq::new(t, Lba::new(slot as u64 * 2), mode, len as u32);
+            if let Some(milli) = entropy {
+                req = req.with_entropy_milli(milli);
+            }
+            reqs.push(req);
+        };
+        match *op {
+            Op::Read { slot, len } => push(slot, len, IoMode::Read, None),
+            Op::StampedWrite { slot, len, entropy } => {
+                push(slot, len, IoMode::Write, Some(entropy))
+            }
+            Op::PlainWrite { slot, len } => push(slot, len, IoMode::Write, None),
+            Op::Trim { slot, len } => push(slot, len, IoMode::Trim, None),
+            Op::Sleep { micros } => t = t.plus_micros(micros as u64),
+        }
+        t = t.plus_micros(500);
+    }
+    reqs
+}
+
+fn series<T: CountingBackend>(reqs: &[IoReq], table: T) -> Vec<(u64, FeatureVector)> {
+    let mut engine = FeatureEngine::with_backend(SimTime::from_secs(1), 10, false, table);
+    let mut out = Vec::new();
+    for req in reqs {
+        out.extend(engine.ingest(*req));
+    }
+    let end = reqs.last().map_or(SimTime::ZERO, |r| r.time);
+    out.extend(engine.flush_until(end.plus_micros(2_000_000)));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn backends_agree_on_adversarial_streams(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+    ) {
+        let reqs = req_stream(&ops);
+        let interval = series(&reqs, CountingTable::new());
+        let naive = series(&reqs, NaiveCountingTable::new());
+
+        prop_assert_eq!(interval.len(), naive.len(), "slice counts diverged");
+        for ((si, fi), (sn, fn_)) in interval.iter().zip(&naive) {
+            prop_assert_eq!(si, sn, "slice indices diverged");
+            prop_assert_eq!(fi, fn_, "slice {}: features diverged", si);
+        }
+
+        // Identical features mean identical votes under any tree; sweep a
+        // stump per feature dimension as the concrete verdict check.
+        for feature in 0..FEATURE_COUNT {
+            let stump = DecisionTree::stump(feature, 0.5);
+            for ((slice, fi), (_, fn_)) in interval.iter().zip(&naive) {
+                prop_assert_eq!(
+                    stump.predict(fi), stump.predict(fn_),
+                    "slice {}: verdicts diverged on feature {}", slice, feature
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Adversarial ransomware variants designed to evade the paper's detector.
+//!
+//! The Table I zoo reproduces *observed* ransomware. This module models an
+//! adaptive adversary who knows the defense: the 1 s feature slices, the
+//! ~10 s counting-table overwrite window, and the 3-of-10 vote threshold.
+//! Each family attacks one of those assumptions:
+//!
+//! * [`AdversaryKind::Throttled`] — encrypts at full speed for under one
+//!   slice, then idles longer than the vote window. At most one positive
+//!   vote is ever in flight, so the baseline score never reaches the alarm
+//!   threshold.
+//! * [`AdversaryKind::SleepOverwrite`] — reads victims (leaving each
+//!   file's header block untouched so adjacent files' read runs cannot
+//!   merge and refresh each other), sleeps past the counting-table window
+//!   so the runs expire, then overwrites. The baseline sees pure writes
+//!   (`OWIO = 0`).
+//! * [`AdversaryKind::Mimicry`] — the sleep-overwrite trick at a trickle
+//!   pace, hidden inside cloud-sync cover traffic whose bulk uploads are
+//!   also high-entropy (but target fresh LBAs).
+//! * [`AdversaryKind::MultiProcess`] — several staggered sleep-overwrite
+//!   workers on disjoint LBA regions, each individually below any
+//!   single-stream rate threshold.
+//!
+//! All families carry ciphertext entropy stamps, so the evolved detector
+//! features (`WENT`/`RHEW`/`OWBURST`, see `insider-detect`) have something
+//! to key on: every family must still *read* plaintext and *write*
+//! high-entropy data over previously accessed blocks — that conjunction is
+//! what `RHEW` measures, and it does not expire with the counting table.
+//! DESIGN.md §14 gives the full taxonomy and the ROC methodology.
+
+use crate::apps::AppKind;
+use crate::filespace::{FileExtent, FileKind, FileSpace, FileSpaceConfig};
+use crate::mixer::merge;
+use crate::ransomware::CIPHERTEXT_ENTROPY_MILLI;
+use crate::trace::Trace;
+use insider_detect::{IoMode, IoReq};
+use insider_nand::{Lba, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Encryption chunk size in blocks (32 KiB), matching the zoo's I/O grain.
+const CHUNK_BLOCKS: u32 = 8;
+
+/// How long sleep-based families wait between reading a block and
+/// overwriting it. Chosen just past the detector's 10 s counting-table
+/// window so the read runs have always expired when the overwrite lands.
+const HOLDOFF_US: u64 = 12_000_000;
+
+/// The adversarial attack families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdversaryKind {
+    /// Burst-encrypts for under one slice per 11 s period.
+    Throttled,
+    /// Reads victims, waits out the overwrite window, then overwrites.
+    SleepOverwrite,
+    /// Trickle-paced sleep-overwrite hidden in cloud-sync cover traffic.
+    Mimicry,
+    /// Four staggered sleep-overwrite workers on disjoint LBA regions.
+    MultiProcess,
+}
+
+impl AdversaryKind {
+    /// Every family, in presentation order.
+    pub const ALL: [AdversaryKind; 4] = [
+        AdversaryKind::Throttled,
+        AdversaryKind::SleepOverwrite,
+        AdversaryKind::Mimicry,
+        AdversaryKind::MultiProcess,
+    ];
+
+    /// Stable machine-readable name (used in benchmark JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryKind::Throttled => "throttled",
+            AdversaryKind::SleepOverwrite => "sleep-overwrite",
+            AdversaryKind::Mimicry => "mimicry",
+            AdversaryKind::MultiProcess => "multi-process",
+        }
+    }
+
+    /// Builds one seeded run of this family over a default file space.
+    pub fn build(self, seed: u64, duration: SimTime) -> AdversarialRun {
+        self.build_with_space(seed, duration, &FileSpaceConfig::default())
+    }
+
+    /// [`AdversaryKind::build`] with an explicit file-space configuration.
+    pub fn build_with_space(
+        self,
+        seed: u64,
+        duration: SimTime,
+        space_cfg: &FileSpaceConfig,
+    ) -> AdversarialRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = FileSpace::generate(&mut rng, space_cfg);
+        let (attack, cover) = match self {
+            AdversaryKind::Throttled => (throttled(&mut rng, &space, duration), None),
+            AdversaryKind::SleepOverwrite => (sleep_overwrite(&mut rng, &space, duration), None),
+            AdversaryKind::Mimicry => {
+                let cover = AppKind::CloudStorage
+                    .model()
+                    .generate(&mut rng, &space, duration);
+                (mimicry(&mut rng, &space, duration), Some(cover))
+            }
+            AdversaryKind::MultiProcess => (multi_process(&mut rng, &space, duration), None),
+        };
+        let start = attack
+            .reqs()
+            .first()
+            .map(|r| r.time)
+            .unwrap_or(SimTime::ZERO);
+        let mut parts = vec![attack.clone()];
+        parts.extend(cover);
+        AdversarialRun {
+            kind: self,
+            trace: merge(parts),
+            attack,
+            start,
+        }
+    }
+}
+
+impl std::fmt::Display for AdversaryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One built adversarial run: the full request stream (attack plus any
+/// cover traffic), the attack-only subset for ground-truth labels, and the
+/// attack start time for detection-latency accounting.
+#[derive(Debug, Clone)]
+pub struct AdversarialRun {
+    /// Which family this run realizes.
+    pub kind: AdversaryKind,
+    /// Merged, time-ordered request stream fed to the detector.
+    pub trace: Trace,
+    /// The adversary's own requests (subset of `trace`).
+    pub attack: Trace,
+    /// Timestamp of the adversary's first request.
+    pub start: SimTime,
+}
+
+impl AdversarialRun {
+    /// The slices in which the adversary issued destructive I/O — the
+    /// positive labels for detector training and latency scoring.
+    pub fn attack_activity_slices(&self, slice: SimTime) -> std::collections::HashSet<u64> {
+        self.attack
+            .iter()
+            .filter(|r| r.mode.is_destructive())
+            .map(|r| r.time.slice_index(slice))
+            .collect()
+    }
+}
+
+/// The document extents split into read/overwrite chunks, in layout order.
+fn doc_chunks(space: &FileSpace) -> Vec<(Lba, u32)> {
+    let mut chunks = Vec::new();
+    for doc in space.files(FileKind::Document) {
+        let mut off = 0;
+        while off < doc.blocks {
+            let len = CHUNK_BLOCKS.min(doc.blocks - off);
+            chunks.push((doc.start.offset(off as u64), len));
+            off += len;
+        }
+    }
+    chunks
+}
+
+/// One document's chunks with the first block skipped. The sleep-based
+/// families leave each file's header block intact (real families do the
+/// same to keep magic bytes valid), and the skip is also what makes their
+/// evasion work: documents can be laid out back-to-back, and the counting
+/// table eagerly merges *adjacent* read runs, re-bucketing the merged run
+/// to the newest read's slice. Whole-file sequential reads would therefore
+/// chain every victim into one immortal run that never expires — the
+/// untouched header block guarantees a gap between files' runs, so each
+/// run ages out on its own 10 s clock.
+fn headerless_chunks(doc: &FileExtent) -> Vec<(Lba, u32)> {
+    let mut chunks = Vec::new();
+    let mut off = 1;
+    while off < doc.blocks {
+        let len = CHUNK_BLOCKS.min(doc.blocks - off);
+        chunks.push((doc.start.offset(off as u64), len));
+        off += len;
+    }
+    chunks
+}
+
+fn push_read(trace: &mut Trace, t: SimTime, lba: Lba, len: u32) {
+    trace.push(IoReq::new(t, lba, IoMode::Read, len));
+}
+
+fn push_ciphertext(trace: &mut Trace, t: SimTime, lba: Lba, len: u32) {
+    trace.push(IoReq::new(t, lba, IoMode::Write, len).with_entropy_milli(CIPHERTEXT_ENTROPY_MILLI));
+}
+
+/// Full-rate read-then-overwrite bursts of ~100 ms, one per 11 s period.
+/// Each burst is a textbook positive slice, but with ten-plus idle slices
+/// between bursts the 10-slice vote window never holds more than one vote.
+fn throttled(rng: &mut StdRng, space: &FileSpace, duration: SimTime) -> Trace {
+    const PERIOD_US: u64 = 11_000_000;
+    const BURST_BLOCKS: u32 = 96;
+    let chunks = doc_chunks(space);
+    let mut trace = Trace::new();
+    let mut burst_start = SimTime::from_secs(1).plus_micros(rng.random_range(0..500_000u64));
+    let mut next = 0;
+    while burst_start < duration && next < chunks.len() {
+        let mut blocks = 0;
+        let mut t = burst_start;
+        while blocks < BURST_BLOCKS && next < chunks.len() {
+            let (lba, len) = chunks[next];
+            next += 1;
+            push_read(&mut trace, t, lba, len);
+            push_ciphertext(&mut trace, t.plus_micros(2_000), lba, len);
+            t = t.plus_micros(6_000);
+            blocks += len;
+        }
+        burst_start = burst_start.plus_micros(PERIOD_US + rng.random_range(0..300_000u64));
+    }
+    trace.sort();
+    trace
+}
+
+/// A pipelined worker that reads each document quickly (header excluded,
+/// see [`headerless_chunks`]), then overwrites it [`HOLDOFF_US`] after the
+/// file's *last* read — so the file's merged read run, whose last-touch
+/// slice is that final read, has always expired when the overwrites land.
+/// Reads of later files interleave with overwrites of earlier ones.
+fn sleep_overwrite_worker(
+    trace: &mut Trace,
+    docs: &[FileExtent],
+    start: SimTime,
+    duration: SimTime,
+    inter_file_us: u64,
+    write_pace_us: u64,
+) {
+    let mut file_start = start;
+    for doc in docs {
+        if file_start >= duration {
+            break;
+        }
+        let chunks = headerless_chunks(doc);
+        let mut rt = file_start;
+        let mut last_read = file_start;
+        for &(lba, len) in &chunks {
+            if rt < duration {
+                push_read(trace, rt, lba, len);
+                last_read = rt;
+            }
+            rt = rt.plus_micros(1_000);
+        }
+        let mut wt = last_read.plus_micros(HOLDOFF_US);
+        for &(lba, len) in &chunks {
+            if wt < duration {
+                push_ciphertext(trace, wt, lba, len);
+            }
+            wt = wt.plus_micros(write_pace_us);
+        }
+        file_start = file_start.plus_micros(inter_file_us);
+    }
+}
+
+/// One sleep-overwrite stream across every document, one file per 2 s.
+fn sleep_overwrite(rng: &mut StdRng, space: &FileSpace, duration: SimTime) -> Trace {
+    let docs: Vec<FileExtent> = space.files(FileKind::Document).copied().collect();
+    let start = SimTime::from_secs(1).plus_micros(rng.random_range(0..500_000u64));
+    let mut trace = Trace::new();
+    sleep_overwrite_worker(&mut trace, &docs, start, duration, 2_000_000, 20_000);
+    trace.sort();
+    trace
+}
+
+/// Trickle-paced sleep-overwrite: one chunk read per 400 ms, each file's
+/// overwrites starting [`HOLDOFF_US`] after that file's last trickled read
+/// — a handful of write I/Os per slice, buried in the cloud-sync cover
+/// traffic the caller merges in. A file's chunks are adjacent and merge
+/// into one run whose last touch is the final chunk's read, so the holdoff
+/// must anchor there, not at each chunk's own read.
+fn mimicry(rng: &mut StdRng, space: &FileSpace, duration: SimTime) -> Trace {
+    const PACE_US: u64 = 400_000;
+    let mut trace = Trace::new();
+    let mut t = SimTime::from_secs(1).plus_micros(rng.random_range(0..500_000u64));
+    'docs: for doc in space.files(FileKind::Document) {
+        let chunks = headerless_chunks(doc);
+        let mut last_read = t;
+        for &(lba, len) in &chunks {
+            if t >= duration {
+                break 'docs;
+            }
+            push_read(&mut trace, t, lba, len);
+            last_read = t;
+            t = t.plus_micros(PACE_US);
+        }
+        let mut wt = last_read.plus_micros(HOLDOFF_US);
+        for &(lba, len) in &chunks {
+            if wt < duration {
+                push_ciphertext(&mut trace, wt, lba, len);
+            }
+            wt = wt.plus_micros(PACE_US);
+        }
+    }
+    trace.sort();
+    trace
+}
+
+/// Four staggered sleep-overwrite workers, each confined to its own quarter
+/// of the document list (disjoint LBA regions, since documents are laid out
+/// sequentially) and each slower than the single-stream variant.
+fn multi_process(rng: &mut StdRng, space: &FileSpace, duration: SimTime) -> Trace {
+    const WORKERS: usize = 4;
+    let docs: Vec<FileExtent> = space.files(FileKind::Document).copied().collect();
+    let per = docs.len().div_ceil(WORKERS);
+    let mut trace = Trace::new();
+    for (w, region) in docs.chunks(per).enumerate() {
+        let start = SimTime::from_secs(1)
+            .plus_micros(w as u64 * 2_750_000 + rng.random_range(0..500_000u64));
+        sleep_overwrite_worker(&mut trace, region, start, duration, 4_000_000, 50_000);
+    }
+    trace.sort();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insider_detect::HIGH_ENTROPY_MILLI;
+    use std::collections::HashMap;
+
+    const DURATION: SimTime = SimTime::from_secs(60);
+
+    #[test]
+    fn every_family_builds_a_stamped_sorted_run() {
+        for kind in AdversaryKind::ALL {
+            let run = kind.build(7, DURATION);
+            assert!(!run.attack.is_empty(), "{kind}: empty attack");
+            assert!(run.trace.is_sorted(), "{kind}: unsorted trace");
+            assert!(run.attack.is_sorted(), "{kind}: unsorted attack");
+            assert!(run.trace.len() >= run.attack.len());
+            assert_eq!(run.start, run.attack.reqs()[0].time);
+            for r in run.attack.iter() {
+                match r.mode {
+                    IoMode::Write => assert!(
+                        r.entropy >= Some(HIGH_ENTROPY_MILLI),
+                        "{kind}: unstamped ciphertext write"
+                    ),
+                    IoMode::Read => assert_eq!(r.entropy, None),
+                    IoMode::Trim => panic!("{kind}: adversaries do not trim"),
+                }
+            }
+            assert!(
+                !run.attack_activity_slices(SimTime::from_secs(1)).is_empty(),
+                "{kind}: no destructive slices"
+            );
+        }
+    }
+
+    #[test]
+    fn throttled_leaves_vote_window_gaps() {
+        let run = AdversaryKind::Throttled.build(3, DURATION);
+        let slice = SimTime::from_secs(1);
+        let mut active: Vec<u64> = run.attack_activity_slices(slice).into_iter().collect();
+        active.sort_unstable();
+        assert!(active.len() >= 3, "needs several bursts to be meaningful");
+        for w in active.windows(2) {
+            assert!(
+                w[1] - w[0] >= 11,
+                "bursts {} and {} are inside one vote window",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn sleep_families_wait_out_the_counting_window() {
+        for kind in [
+            AdversaryKind::SleepOverwrite,
+            AdversaryKind::Mimicry,
+            AdversaryKind::MultiProcess,
+        ] {
+            let run = kind.build(5, DURATION);
+            let mut last_read: HashMap<u64, SimTime> = HashMap::new();
+            for r in run.attack.iter() {
+                match r.mode {
+                    IoMode::Read => {
+                        last_read.insert(r.lba.index(), r.time);
+                    }
+                    IoMode::Write => {
+                        let read = last_read[&r.lba.index()];
+                        let gap = r.time.saturating_sub(read);
+                        assert!(
+                            gap.as_micros() > 10_000_000,
+                            "{kind}: overwrite only {gap:?} after read"
+                        );
+                    }
+                    IoMode::Trim => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mimicry_hides_inside_cover_traffic() {
+        let run = AdversaryKind::Mimicry.build(2, DURATION);
+        assert!(
+            run.trace.len() > 2 * run.attack.len(),
+            "cover traffic should dominate the merged trace"
+        );
+    }
+
+    #[test]
+    fn multi_process_workers_are_staggered() {
+        let run = AdversaryKind::MultiProcess.build(4, DURATION);
+        // Writes from at least three distinct regions must appear: the
+        // staggered workers all get going well inside a 60 s run.
+        let writes: Vec<u64> = run
+            .attack
+            .iter()
+            .filter(|r| r.mode == IoMode::Write)
+            .map(|r| r.lba.index())
+            .collect();
+        let lo = *writes.iter().min().unwrap();
+        let hi = *writes.iter().max().unwrap();
+        assert!(hi - lo > 1000, "workers should span distant LBA regions");
+    }
+
+    #[test]
+    fn same_seed_reproduces_and_seeds_differ() {
+        for kind in AdversaryKind::ALL {
+            let a = kind.build(9, DURATION);
+            let b = kind.build(9, DURATION);
+            assert_eq!(a.trace.reqs(), b.trace.reqs(), "{kind}");
+            let c = kind.build(10, DURATION);
+            assert_ne!(a.trace.reqs(), c.trace.reqs(), "{kind}");
+        }
+    }
+}

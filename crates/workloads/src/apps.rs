@@ -121,12 +121,54 @@ pub struct AppModel {
     pub kind: AppKind,
 }
 
+// Payload-entropy stamps per content kind, in milli-bits/byte. Constant per
+// generator pass — stamping draws no RNG values, so request streams stay
+// byte-identical to the unstamped generators. Values follow measured
+// byte-entropy of the corresponding real content under 1 KiB sampling
+// (DESIGN.md §14 records the modeling choices).
+/// DoD pass 0: pseudorandom filler — essentially maximal entropy.
+const WIPE_RANDOM_PASS_MILLI: u16 = 7990;
+/// DoD passes 1–6: fixed bit patterns (0x00/0xFF/alternating).
+const WIPE_PATTERN_PASS_MILLI: u16 = 20;
+/// InnoDB-style table pages: structured rows, some compressed columns.
+const DB_PAGE_MILLI: u16 = 4200;
+/// Write-ahead log records.
+const DB_WAL_MILLI: u16 = 5000;
+/// Cloud-sync downloads: mostly already-compressed user content.
+const CLOUD_UPLOAD_MILLI: u16 = 7600;
+/// Cloud-sync index/metadata pages.
+const CLOUD_INDEX_MILLI: u16 = 4500;
+/// Stress tools write repeating test patterns, not random data (a modeling
+/// choice documented in DESIGN.md §14: IOMeter/DiskMark default to
+/// pattern buffers).
+const IO_STRESS_MILLI: u16 = 1500;
+/// Archive output: compressed, near-maximal entropy — but written to
+/// *fresh* LBAs, which is what keeps RHEW at zero for it.
+const ARCHIVE_MILLI: u16 = 7850;
+/// Encoded video: compressed frames.
+const VIDEO_ENCODE_MILLI: u16 = 7300;
+/// Installer payloads: mixed binaries/resources, partially compressed.
+const INSTALL_MILLI: u16 = 5500;
+/// PST pages: mail text plus attachments.
+const OUTLOOK_MILLI: u16 = 4800;
+/// BitTorrent pieces: compressed media, fresh preallocated LBAs.
+const P2P_MILLI: u16 = 7800;
+/// Browser cache bodies: mixed compressed/plain; deliberately below the
+/// RHEW gate because cache slots are recycled at random offsets.
+const WEB_CACHE_MILLI: u16 = 6300;
+/// Browser history/cookie sqlite pages.
+const WEB_DB_MILLI: u16 = 4500;
+/// Messenger sqlite pages: mostly small text rows.
+const SQLITE_MILLI: u16 = 4000;
+
 /// Pacing/book-keeping shared by the generators.
 struct Gen<'a, R: Rng> {
     rng: &'a mut R,
     trace: Trace,
     now: SimTime,
     end: SimTime,
+    /// Entropy stamp attached to destructive requests until changed.
+    write_entropy: Option<u16>,
 }
 
 impl<'a, R: Rng> Gen<'a, R> {
@@ -136,6 +178,7 @@ impl<'a, R: Rng> Gen<'a, R> {
             trace: Trace::new(),
             now: SimTime::ZERO,
             end: duration,
+            write_entropy: None,
         }
     }
 
@@ -143,8 +186,19 @@ impl<'a, R: Rng> Gen<'a, R> {
         self.now >= self.end
     }
 
+    /// Sets the payload-entropy stamp for subsequent writes.
+    fn payload(&mut self, milli: u16) {
+        self.write_entropy = Some(milli);
+    }
+
     fn emit(&mut self, lba: Lba, mode: IoMode, len: u32, step_us: u64) {
-        self.trace.push(IoReq::new(self.now, lba, mode, len));
+        let mut req = IoReq::new(self.now, lba, mode, len);
+        if mode.is_destructive() {
+            if let Some(milli) = self.write_entropy {
+                req = req.with_entropy_milli(milli);
+            }
+        }
+        self.trace.push(req);
         self.now = self.now.plus_micros(step_us.max(1));
     }
 
@@ -202,8 +256,14 @@ fn wiper<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
             // …then the seven DoD overwrite passes. The pace (a 32-block
             // request every 320 ms ≈ 0.4 MB/s of 7-pass wiping) keeps the
             // wiper's cumulative overwrite curve in the same range as the
-            // ransomware curves, as in the paper's Fig. 1(b).
-            for _ in 0..7 {
+            // ransomware curves, as in the paper's Fig. 1(b). Pass 0 is the
+            // random pass; the rest write fixed patterns.
+            for pass in 0..7 {
+                g.payload(if pass == 0 {
+                    WIPE_RANDOM_PASS_MILLI
+                } else {
+                    WIPE_PATTERN_PASS_MILLI
+                });
                 g.seq(file.start, file.blocks, 32, IoMode::Write, 320_000);
             }
         }
@@ -226,8 +286,10 @@ fn database<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
         let max_start = (db.blocks - run) as u64;
         let start = db.start.offset(g.rng.random_range(0..=max_start));
         g.seq(start, run, 16, IoMode::Read, 200);
+        g.payload(DB_PAGE_MILLI);
         g.seq(start, run, 16, IoMode::Write, 200);
         // WAL append.
+        g.payload(DB_WAL_MILLI);
         g.emit(log_cursor, IoMode::Write, 4, 200);
         log_cursor = log_cursor.offset(4);
         let pause = g.rng.random_range(500_000..900_000);
@@ -242,11 +304,13 @@ fn cloud<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
     let db = space.database();
     while !g.done() {
         let blocks = g.rng.random_range(16..256u32);
+        g.payload(CLOUD_UPLOAD_MILLI);
         g.seq(cursor, blocks, 16, IoMode::Write, 500);
         cursor = cursor.offset(blocks as u64);
         // Index update: tiny read-modify-write.
         let at = db.start.offset(g.rng.random_range(0..db.blocks as u64 - 2));
         g.seq(at, 2, 2, IoMode::Read, 200);
+        g.payload(CLOUD_INDEX_MILLI);
         g.seq(at, 2, 2, IoMode::Write, 200);
         let pause = g.rng.random_range(50_000..400_000);
         g.idle(pause);
@@ -257,6 +321,7 @@ fn cloud<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
 /// read/write mix; `sweep` adds sequential phases (DiskMark/HDTune style).
 fn io_stress<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, read_ratio: f64, sweep: bool) {
     let total = space.total_blocks();
+    g.payload(IO_STRESS_MILLI);
     loop {
         if sweep {
             // Sequential phase over a random 1-MiB window.
@@ -295,6 +360,7 @@ fn io_stress<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, read_ratio: f64, swe
 /// Compression: sequentially read a media source, write the archive.
 fn compress<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
     let mut cursor = space.free_start();
+    g.payload(ARCHIVE_MILLI);
     while !g.done() {
         let src = space.pick(g.rng, FileKind::Media);
         let mut off = 0u32;
@@ -315,6 +381,7 @@ fn compress<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
 /// Video encode (read + new-file write) or decode (read-only playback).
 fn video<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, encode: bool) {
     let mut cursor = space.free_start();
+    g.payload(VIDEO_ENCODE_MILLI);
     while !g.done() {
         let src = space.pick(g.rng, FileKind::Media);
         let mut off = 0u32;
@@ -336,6 +403,7 @@ fn video<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, encode: bool) {
 /// system file (read old then overwrite) with probability `replace_p`.
 fn install<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, replace_p: f64) {
     let mut cursor = space.free_start();
+    g.payload(INSTALL_MILLI);
     while !g.done() {
         if g.rng.random::<f64>() < replace_p {
             let victim = space.pick(g.rng, FileKind::System);
@@ -355,6 +423,7 @@ fn install<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace, replace_p: f64) {
 fn outlook<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
     let db = space.database();
     let mut append = db.start.offset(db.blocks as u64 / 2);
+    g.payload(OUTLOOK_MILLI);
     while !g.done() {
         // A sync burst: a couple of messages.
         for _ in 0..g.rng.random_range(1..4) {
@@ -380,6 +449,7 @@ fn outlook<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
 fn p2p<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
     let free = space.free_start().index();
     let span = space.total_blocks() - free;
+    g.payload(P2P_MILLI);
     while !g.done() {
         // A 16-block piece at a random offset in the preallocated file.
         let at = Lba::new(free + g.rng.random_range(0..span - 16));
@@ -402,6 +472,7 @@ fn web<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
             let at = Lba::new(free + g.rng.random_range(0..span - 8));
             if g.rng.random::<f64>() < 0.5 {
                 let len = g.rng.random_range(1..=8);
+                g.payload(WEB_CACHE_MILLI);
                 g.emit(at, IoMode::Write, len, 300);
             } else {
                 let len = g.rng.random_range(1..=8);
@@ -411,6 +482,7 @@ fn web<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
         // History/cookie sqlite update.
         let at = db.start.offset(g.rng.random_range(0..db.blocks as u64 - 2));
         g.seq(at, 2, 2, IoMode::Read, 200);
+        g.payload(WEB_DB_MILLI);
         g.seq(at, 2, 2, IoMode::Write, 200);
         let pause = g.rng.random_range(200_000..1_000_000);
         g.idle(pause);
@@ -420,6 +492,7 @@ fn web<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
 /// KakaoTalk-style SQLite: sparse tiny transactions.
 fn sqlite<R: Rng>(g: &mut Gen<'_, R>, space: &FileSpace) {
     let db = space.database();
+    g.payload(SQLITE_MILLI);
     while !g.done() {
         let at = db.start.offset(g.rng.random_range(0..db.blocks as u64 - 2));
         g.seq(at, 2, 2, IoMode::Read, 300);
@@ -508,6 +581,46 @@ mod tests {
         let stress = AppKind::IoMeter.model().generate(&mut rng, &space, dur);
         let web = AppKind::WebSurfing.model().generate(&mut rng, &space, dur);
         assert!(stress.total_blocks() > 10 * web.total_blocks());
+    }
+
+    #[test]
+    fn every_destructive_request_is_entropy_stamped() {
+        let (mut rng, space) = setup();
+        let dur = SimTime::from_secs(10);
+        for kind in AppKind::ALL {
+            let trace = kind.model().generate(&mut rng, &space, dur);
+            for req in &trace {
+                if req.mode.is_destructive() {
+                    assert!(req.entropy.is_some(), "{kind}: unstamped write {req}");
+                } else {
+                    assert!(req.entropy.is_none(), "{kind}: stamped read {req}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_stamps_straddle_the_rhew_gate_plausibly() {
+        use insider_detect::HIGH_ENTROPY_MILLI;
+        let (mut rng, space) = setup();
+        let dur = SimTime::from_secs(10);
+        // Compressed-content writers sit above the gate (harmless for RHEW:
+        // they write to fresh LBAs)…
+        for kind in [AppKind::Compression, AppKind::P2pDownload] {
+            let trace = kind.model().generate(&mut rng, &space, dur);
+            assert!(trace
+                .iter()
+                .filter(|r| r.mode.is_destructive())
+                .all(|r| r.entropy >= Some(HIGH_ENTROPY_MILLI)));
+        }
+        // …while structured-data rewriters stay below it.
+        for kind in [AppKind::Database, AppKind::SqliteApp, AppKind::WebSurfing] {
+            let trace = kind.model().generate(&mut rng, &space, dur);
+            assert!(trace
+                .iter()
+                .filter(|r| r.mode.is_destructive())
+                .all(|r| r.entropy < Some(HIGH_ENTROPY_MILLI)));
+        }
     }
 
     #[test]

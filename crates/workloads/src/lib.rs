@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversarial;
 mod apps;
 mod dataset;
 mod filespace;
@@ -37,6 +38,7 @@ mod mixer;
 mod ransomware;
 mod trace;
 
+pub use adversarial::{AdversarialRun, AdversaryKind};
 pub use apps::{AppKind, AppModel};
 pub use dataset::{table1, Scenario, ScenarioClass, ScenarioTrace};
 pub use filespace::{FileExtent, FileKind, FileSpace, FileSpaceConfig};

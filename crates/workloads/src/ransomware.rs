@@ -4,6 +4,13 @@ use crate::filespace::{FileKind, FileSpace};
 use crate::trace::Trace;
 use insider_detect::{IoMode, IoReq};
 use insider_nand::{Lba, SimTime};
+
+/// Entropy stamp for ciphertext writes: ~7.95 bits/byte, what AES output
+/// measures under the detector's 1 KiB sampling.
+pub(crate) const CIPHERTEXT_ENTROPY_MILLI: u16 = 7950;
+/// Entropy stamp for the junk pass that destroys out-of-place originals
+/// (random filler, marginally below fresh ciphertext).
+pub(crate) const JUNK_OVERWRITE_ENTROPY_MILLI: u16 = 7900;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -185,6 +192,7 @@ impl RansomwareModel {
                 file.blocks,
                 self.read_chunk,
                 IoMode::Read,
+                None,
             );
 
             // Destroy the plaintext according to class.
@@ -198,6 +206,7 @@ impl RansomwareModel {
                         file.blocks,
                         self.read_chunk,
                         IoMode::Write,
+                        Some(CIPHERTEXT_ENTROPY_MILLI),
                     );
                 }
                 OverwriteClass::OutOfPlace => {
@@ -210,6 +219,7 @@ impl RansomwareModel {
                         file.blocks,
                         self.read_chunk,
                         IoMode::Write,
+                        Some(CIPHERTEXT_ENTROPY_MILLI),
                     );
                     out_cursor = out_cursor.offset(file.blocks as u64);
                     // …then a single junk overwrite pass over the original.
@@ -221,6 +231,7 @@ impl RansomwareModel {
                         file.blocks,
                         self.read_chunk,
                         IoMode::Write,
+                        Some(JUNK_OVERWRITE_ENTROPY_MILLI),
                     );
                 }
                 OverwriteClass::DeleteThenWrite => {
@@ -233,9 +244,10 @@ impl RansomwareModel {
                         file.blocks,
                         self.read_chunk,
                         IoMode::Write,
+                        Some(CIPHERTEXT_ENTROPY_MILLI),
                     );
                     out_cursor = out_cursor.offset(file.blocks as u64);
-                    // …then trim the original away.
+                    // …then trim the original away (trims carry no payload).
                     trace.push(IoReq::new(now, file.start, IoMode::Trim, file.blocks));
                     now = now.plus_micros(step);
                 }
@@ -248,8 +260,10 @@ impl RansomwareModel {
     }
 }
 
-/// Emits `[start, start+blocks)` as `chunk`-block requests of `mode`,
-/// `step` microseconds apart; returns the advanced clock.
+/// Emits `[start, start+blocks)` as `chunk`-block requests of `mode` with
+/// an optional payload-entropy stamp, `step` microseconds apart; returns
+/// the advanced clock.
+#[allow(clippy::too_many_arguments)]
 fn emit_chunks(
     trace: &mut Trace,
     mut now: SimTime,
@@ -258,11 +272,16 @@ fn emit_chunks(
     blocks: u32,
     chunk: u32,
     mode: IoMode,
+    entropy_milli: Option<u16>,
 ) -> SimTime {
     let mut offset = 0u32;
     while offset < blocks {
         let len = chunk.min(blocks - offset);
-        trace.push(IoReq::new(now, start.offset(offset as u64), mode, len));
+        let mut req = IoReq::new(now, start.offset(offset as u64), mode, len);
+        if let Some(milli) = entropy_milli {
+            req = req.with_entropy_milli(milli);
+        }
+        trace.push(req);
         now = now.plus_micros(step);
         offset += len;
     }
@@ -349,6 +368,31 @@ mod tests {
             SimTime::from_secs(5),
         );
         assert!(trace.iter().any(|r| r.mode == IoMode::Trim));
+    }
+
+    #[test]
+    fn ciphertext_writes_carry_high_entropy_stamps() {
+        let (mut rng, space) = setup();
+        for kind in [
+            RansomwareKind::Mole,
+            RansomwareKind::WannaCry,
+            RansomwareKind::InHouseOutPlace,
+        ] {
+            let trace = kind
+                .model()
+                .generate(&mut rng, &space, SimTime::from_secs(10));
+            for req in &trace {
+                match req.mode {
+                    IoMode::Write => assert!(
+                        req.entropy >= Some(JUNK_OVERWRITE_ENTROPY_MILLI),
+                        "{kind}: write {req} not stamped as ciphertext"
+                    ),
+                    IoMode::Read | IoMode::Trim => {
+                        assert_eq!(req.entropy, None, "{kind}: {req} has no payload")
+                    }
+                }
+            }
+        }
     }
 
     #[test]

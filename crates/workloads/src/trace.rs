@@ -115,7 +115,13 @@ impl Trace {
     pub fn scalarized(&self) -> Trace {
         self.reqs
             .iter()
-            .flat_map(|r| (0..r.len as u64).map(|i| IoReq::new(r.time, r.lba.offset(i), r.mode, 1)))
+            .flat_map(|r| {
+                (0..r.len as u64).map(|i| IoReq {
+                    len: 1,
+                    lba: r.lba.offset(i),
+                    ..*r
+                })
+            })
             .collect()
     }
 }
@@ -185,7 +191,7 @@ mod tests {
     fn scalarized_splits_extents_preserving_order_and_blocks() {
         use insider_detect::IoMode;
         let t = Trace::from_reqs(vec![
-            IoReq::new(SimTime::from_secs(1), Lba::new(8), IoMode::Write, 3),
+            IoReq::new(SimTime::from_secs(1), Lba::new(8), IoMode::Write, 3).with_entropy(7.9),
             IoReq::new(SimTime::from_secs(2), Lba::new(0), IoMode::Read, 1),
             IoReq::new(SimTime::from_secs(3), Lba::new(4), IoMode::Trim, 2),
         ]);
@@ -198,6 +204,10 @@ mod tests {
         assert_eq!(s.reqs()[2].lba, Lba::new(10));
         assert_eq!(s.reqs()[5].lba, Lba::new(5));
         assert_eq!(s.reqs()[5].mode, IoMode::Trim);
+        // Entropy stamps survive splitting (the extent-vs-scalar
+        // differential oracle depends on identical entropy features).
+        assert!(s.reqs()[..3].iter().all(|r| r.entropy == Some(7900)));
+        assert!(s.reqs()[3..].iter().all(|r| r.entropy.is_none()));
     }
 
     #[test]

@@ -20,6 +20,15 @@ struct Field {
     name: String,
     /// `#[serde(default)]` present on the field.
     default: bool,
+    /// `#[serde(skip_serializing_if = "path")]` predicate, if present.
+    skip_if: Option<String>,
+}
+
+/// Per-field serde attributes the derive understands.
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_if: Option<String>,
 }
 
 enum Fields {
@@ -72,34 +81,50 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Consumes leading `#[...]` attribute groups, reporting whether any of
-/// them is `#[serde(default)]`.
-fn skip_attrs(iter: &mut TokenIter) -> bool {
-    let mut has_default = false;
+/// Consumes leading `#[...]` attribute groups, collecting the serde
+/// attributes the derive understands (`default`, `skip_serializing_if`).
+fn skip_attrs(iter: &mut TokenIter) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         iter.next();
         match iter.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                has_default |= attr_is_serde_default(g.stream());
+                collect_serde_attrs(g.stream(), &mut attrs);
             }
             other => panic!("expected attribute body after `#`, found {other:?}"),
         }
     }
-    has_default
+    attrs
 }
 
-fn attr_is_serde_default(attr: TokenStream) -> bool {
+fn collect_serde_attrs(attr: TokenStream, attrs: &mut FieldAttrs) {
     let mut iter = attr.into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return,
     }
-    match iter.next() {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
-            .stream()
-            .into_iter()
-            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
-        _ => false,
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        return;
+    };
+    if g.delimiter() != Delimiter::Parenthesis {
+        return;
+    }
+    let mut inner = g.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        let TokenTree::Ident(id) = tt else { continue };
+        match id.to_string().as_str() {
+            "default" => attrs.default = true,
+            "skip_serializing_if" => match (inner.next(), inner.next()) {
+                (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                    if eq.as_char() == '=' =>
+                {
+                    let path = lit.to_string();
+                    attrs.skip_if = Some(path.trim_matches('"').to_string());
+                }
+                other => panic!("malformed skip_serializing_if attribute: {other:?}"),
+            },
+            _ => {}
+        }
     }
 }
 
@@ -164,7 +189,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        let default = skip_attrs(&mut iter);
+        let attrs = skip_attrs(&mut iter);
         if iter.peek().is_none() {
             break;
         }
@@ -175,7 +200,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             other => panic!("expected `:` after field `{name}`, found {other:?}"),
         }
         skip_type_until_comma(&mut iter);
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
     }
     fields
 }
@@ -266,6 +295,28 @@ fn impl_header(trait_name: &str, type_name: &str) -> String {
 
 fn serialize_struct(name: &str, fields: &Fields) -> String {
     let body = match fields {
+        Fields::Named(fields) if fields.iter().any(|f| f.skip_if.is_some()) => {
+            // Conditional shape: push each field unless its skip predicate
+            // holds, so e.g. `Option` fields vanish from the map entirely.
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    let push = format!(
+                        "__fields.push((\"{0}\".to_string(), ::serde::Serialize::serialize_content(&self.{0})));",
+                        f.name
+                    );
+                    match &f.skip_if {
+                        Some(pred) => {
+                            format!("if !{pred}(&self.{name}) {{ {push} }}\n", name = f.name)
+                        }
+                        None => format!("{push}\n"),
+                    }
+                })
+                .collect();
+            format!(
+                "{{\n let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n{pushes} ::serde::Content::Map(__fields)\n}}"
+            )
+        }
         Fields::Named(fields) => {
             let entries: String = fields
                 .iter()
